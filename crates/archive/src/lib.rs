@@ -1,0 +1,362 @@
+//! # jamm-archive — the event archive
+//!
+//! "It is important to archive event data in order to provide the ability to
+//! do historical analysis of system performance, and determine when/where
+//! changes occurred. ... the archive is just another consumer" (§2.2).
+//!
+//! [`EventArchive`] is a time-indexed store of ULM events with range, host
+//! and event-type queries, normal/abnormal tagging (the paper wants "a good
+//! sampling of both normal and abnormal system operation"), and ULM / JSON
+//! export so other tools — e.g. a Network Weather Service style predictor —
+//! can consume the history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use jamm_ulm::{Event, Timestamp};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// A label attached to a stored span of events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperationLabel {
+    /// The system was behaving normally.
+    Normal,
+    /// The span covers a fault or performance anomaly.
+    Abnormal,
+}
+
+/// Query parameters for the archive.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveQuery {
+    /// Inclusive lower bound on event time.
+    pub from: Option<Timestamp>,
+    /// Exclusive upper bound on event time.
+    pub to: Option<Timestamp>,
+    /// Restrict to this host.
+    pub host: Option<String>,
+    /// Restrict to this event type.
+    pub event_type: Option<String>,
+    /// Maximum number of events to return (0 = unlimited).
+    pub limit: usize,
+}
+
+impl ArchiveQuery {
+    /// Query everything.
+    pub fn all() -> Self {
+        ArchiveQuery::default()
+    }
+
+    /// Builder-style: time range.
+    pub fn between(mut self, from: Timestamp, to: Timestamp) -> Self {
+        self.from = Some(from);
+        self.to = Some(to);
+        self
+    }
+
+    /// Builder-style: restrict to a host.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = Some(host.into());
+        self
+    }
+
+    /// Builder-style: restrict to an event type.
+    pub fn event_type(mut self, ty: impl Into<String>) -> Self {
+        self.event_type = Some(ty.into());
+        self
+    }
+
+    /// Builder-style: cap the number of results.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = n;
+        self
+    }
+
+    fn matches(&self, event: &Event) -> bool {
+        if let Some(from) = self.from {
+            if event.timestamp < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if event.timestamp >= to {
+                return false;
+            }
+        }
+        if let Some(host) = &self.host {
+            if &event.host != host {
+                return false;
+            }
+        }
+        if let Some(ty) = &self.event_type {
+            if &event.event_type != ty {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Summary of the archive's contents, published in the directory so
+/// consumers can discover what history exists ("It also creates an archive
+/// directory service entry indicating the contents of the archive").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveCatalog {
+    /// Total number of stored events.
+    pub event_count: usize,
+    /// Earliest stored timestamp.
+    pub earliest: Option<Timestamp>,
+    /// Latest stored timestamp.
+    pub latest: Option<Timestamp>,
+    /// Event types present and their counts.
+    pub event_types: BTreeMap<String, usize>,
+    /// Hosts present and their counts.
+    pub hosts: BTreeMap<String, usize>,
+}
+
+/// A time-indexed archive of monitoring events.
+#[derive(Debug, Default)]
+pub struct EventArchive {
+    /// Events keyed by (timestamp, insertion sequence) for stable ordering.
+    events: RwLock<BTreeMap<(Timestamp, u64), Event>>,
+    labels: RwLock<Vec<(Timestamp, Timestamp, OperationLabel)>>,
+    seq: RwLock<u64>,
+}
+
+impl EventArchive {
+    /// Create an empty archive.
+    pub fn new() -> Self {
+        EventArchive::default()
+    }
+
+    /// Store one event.
+    pub fn store(&self, event: Event) {
+        let mut seq = self.seq.write();
+        *seq += 1;
+        self.events.write().insert((event.timestamp, *seq), event);
+    }
+
+    /// Store many events.
+    pub fn store_all(&self, events: impl IntoIterator<Item = Event>) {
+        for e in events {
+            self.store(e);
+        }
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// True if the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.read().is_empty()
+    }
+
+    /// Label a time span as normal or abnormal operation.
+    pub fn label_span(&self, from: Timestamp, to: Timestamp, label: OperationLabel) {
+        self.labels.write().push((from, to, label));
+    }
+
+    /// The label covering a timestamp, if any (later labels win).
+    pub fn label_at(&self, t: Timestamp) -> Option<OperationLabel> {
+        self.labels
+            .read()
+            .iter()
+            .rev()
+            .find(|(from, to, _)| t >= *from && t < *to)
+            .map(|(_, _, l)| *l)
+    }
+
+    /// Run a query; results are in time order.
+    pub fn query(&self, query: &ArchiveQuery) -> Vec<Event> {
+        let events = self.events.read();
+        let lower = query.from.map(|t| (t, 0)).unwrap_or((Timestamp::EPOCH, 0));
+        let mut out = Vec::new();
+        for ((ts, _), event) in events.range(lower..) {
+            if let Some(to) = query.to {
+                if *ts >= to {
+                    break;
+                }
+            }
+            if query.matches(event) {
+                out.push(event.clone());
+                if query.limit > 0 && out.len() >= query.limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the catalog entry describing the archive's contents.
+    pub fn catalog(&self) -> ArchiveCatalog {
+        let events = self.events.read();
+        let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
+        let mut hosts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in events.values() {
+            *event_types.entry(e.event_type.clone()).or_insert(0) += 1;
+            *hosts.entry(e.host.clone()).or_insert(0) += 1;
+        }
+        ArchiveCatalog {
+            event_count: events.len(),
+            earliest: events.keys().next().map(|(t, _)| *t),
+            latest: events.keys().next_back().map(|(t, _)| *t),
+            event_types,
+            hosts,
+        }
+    }
+
+    /// Export matching events as ULM text (one line per event).
+    pub fn export_ulm(&self, query: &ArchiveQuery) -> String {
+        let mut out = String::new();
+        for e in self.query(query) {
+            out.push_str(&jamm_ulm::text::encode(&e));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export matching events as a JSON array.
+    pub fn export_json(&self, query: &ArchiveQuery) -> String {
+        let values: Vec<serde_json::Value> =
+            self.query(query).iter().map(jamm_ulm::json::to_json).collect();
+        serde_json::Value::Array(values).to_string()
+    }
+
+    /// Drop events older than `cutoff`, returning how many were removed
+    /// (retention management).
+    pub fn expire_before(&self, cutoff: Timestamp) -> usize {
+        let mut events = self.events.write();
+        let keep = events.split_off(&(cutoff, 0));
+        let removed = events.len();
+        *events = keep;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::Level;
+
+    fn ev(host: &str, ty: &str, t: u64, value: f64) -> Event {
+        Event::builder("sensor", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(t))
+            .value(value)
+            .build()
+    }
+
+    fn populated() -> EventArchive {
+        let a = EventArchive::new();
+        for t in 0..100u64 {
+            a.store(ev("dpss1.lbl.gov", "CPU_TOTAL", 1_000 + t, t as f64));
+            if t % 10 == 0 {
+                a.store(ev("mems.cairn.net", "TCPD_RETRANSMITS", 1_000 + t, 1.0));
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn store_and_count() {
+        let a = populated();
+        assert_eq!(a.len(), 110);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn time_range_query_is_half_open() {
+        let a = populated();
+        let q = ArchiveQuery::all().between(Timestamp::from_secs(1_010), Timestamp::from_secs(1_020));
+        let r = a.query(&q);
+        assert!(r.iter().all(|e| e.timestamp >= Timestamp::from_secs(1_010)
+            && e.timestamp < Timestamp::from_secs(1_020)));
+        // 10 CPU events (t=1010..1019) + 1 retransmit at t=1010.
+        assert_eq!(r.len(), 11);
+    }
+
+    #[test]
+    fn host_and_type_queries_with_limit() {
+        let a = populated();
+        let cpu = a.query(&ArchiveQuery::all().event_type("CPU_TOTAL"));
+        assert_eq!(cpu.len(), 100);
+        let mems = a.query(&ArchiveQuery::all().host("mems.cairn.net"));
+        assert_eq!(mems.len(), 10);
+        let limited = a.query(&ArchiveQuery::all().limit(7));
+        assert_eq!(limited.len(), 7);
+        // Results are in time order.
+        let times: Vec<_> = cpu.iter().map(|e| e.timestamp).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn events_with_identical_timestamps_are_all_kept() {
+        let a = EventArchive::new();
+        for i in 0..5 {
+            a.store(ev("h", "X", 42, i as f64));
+        }
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.query(&ArchiveQuery::all()).len(), 5);
+    }
+
+    #[test]
+    fn catalog_summarises_contents() {
+        let a = populated();
+        let c = a.catalog();
+        assert_eq!(c.event_count, 110);
+        assert_eq!(c.event_types.get("CPU_TOTAL"), Some(&100));
+        assert_eq!(c.event_types.get("TCPD_RETRANSMITS"), Some(&10));
+        assert_eq!(c.hosts.len(), 2);
+        assert_eq!(c.earliest, Some(Timestamp::from_secs(1_000)));
+        assert_eq!(c.latest, Some(Timestamp::from_secs(1_099)));
+    }
+
+    #[test]
+    fn normal_abnormal_labels() {
+        let a = populated();
+        a.label_span(
+            Timestamp::from_secs(1_000),
+            Timestamp::from_secs(1_050),
+            OperationLabel::Normal,
+        );
+        a.label_span(
+            Timestamp::from_secs(1_030),
+            Timestamp::from_secs(1_040),
+            OperationLabel::Abnormal,
+        );
+        assert_eq!(a.label_at(Timestamp::from_secs(1_010)), Some(OperationLabel::Normal));
+        assert_eq!(a.label_at(Timestamp::from_secs(1_035)), Some(OperationLabel::Abnormal));
+        assert_eq!(a.label_at(Timestamp::from_secs(1_045)), Some(OperationLabel::Normal));
+        assert_eq!(a.label_at(Timestamp::from_secs(2_000)), None);
+    }
+
+    #[test]
+    fn exports_round_trip() {
+        let a = populated();
+        let q = ArchiveQuery::all().event_type("TCPD_RETRANSMITS");
+        let ulm = a.export_ulm(&q);
+        assert_eq!(jamm_ulm::text::decode_all_lossy(&ulm).len(), 10);
+        let json = a.export_json(&q);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn expiry_removes_old_events() {
+        let a = populated();
+        let removed = a.expire_before(Timestamp::from_secs(1_050));
+        assert!(removed > 0);
+        assert_eq!(a.len(), 110 - removed);
+        assert!(a
+            .query(&ArchiveQuery::all())
+            .iter()
+            .all(|e| e.timestamp >= Timestamp::from_secs(1_050)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Action-level access control lists.
+//!
+//! "The event gateways can also be used to provide access control to the
+//! sensors, allowing different access to different classes of users.  Some
+//! sites may only allow internal access to real-time sensor streams, with
+//! only summary data being available off-site." (§2.2)  The gateway consults
+//! an [`AccessControlList`] keyed by principal (a mapped local user or a
+//! certificate subject) and resource, deciding which [`Action`]s are allowed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AuthError, Result};
+
+/// Operations a consumer can ask of the monitoring system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Look sensors up in the directory.
+    Lookup,
+    /// Subscribe to a real-time event stream.
+    SubscribeStream,
+    /// Issue one-shot queries for the most recent event.
+    Query,
+    /// Receive only summary (averaged) data.
+    Summary,
+    /// Ask the sensor manager to start or reconfigure sensors.
+    ControlSensors,
+    /// Administer gateway policy itself.
+    Admin,
+}
+
+/// Principal classes, in the spirit of the paper's "different classes of
+/// users": a named principal, anyone from a named organisation (subject
+/// prefix), or anyone at all.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Principal {
+    /// A specific user (local account or certificate subject).
+    User(String),
+    /// Anyone whose subject starts with the given prefix
+    /// (e.g. `/O=Grid/O=LBNL` for "internal" users).
+    OrgPrefix(String),
+    /// Any authenticated principal.
+    Anyone,
+}
+
+impl Principal {
+    fn matches(&self, subject: &str) -> bool {
+        match self {
+            Principal::User(u) => u == subject,
+            Principal::OrgPrefix(p) => subject.starts_with(p.as_str()),
+            Principal::Anyone => true,
+        }
+    }
+}
+
+/// An access control list: grants of actions on resources to principals.
+///
+/// Resources are free-form strings; by convention JAMM uses
+/// `"sensor:<host>/<sensor>"`, `"gateway:<name>"` and `"*"` for everything.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessControlList {
+    grants: Vec<(Principal, String, BTreeSet<Action>)>,
+    /// If true (default), a subject with no matching grant is denied.
+    /// If false, unmatched subjects get `Query` and `Summary` only —
+    /// the "summary data available off-site" posture from the paper.
+    pub default_deny: bool,
+}
+
+impl AccessControlList {
+    /// An ACL that denies everything not explicitly granted.
+    pub fn deny_by_default() -> Self {
+        AccessControlList {
+            grants: Vec::new(),
+            default_deny: true,
+        }
+    }
+
+    /// An ACL whose fallback is summary-only access (the off-site posture).
+    pub fn summary_for_others() -> Self {
+        AccessControlList {
+            grants: Vec::new(),
+            default_deny: false,
+        }
+    }
+
+    /// Grant `actions` on `resource` to `principal`.
+    pub fn grant(
+        &mut self,
+        principal: Principal,
+        resource: impl Into<String>,
+        actions: impl IntoIterator<Item = Action>,
+    ) {
+        self.grants
+            .push((principal, resource.into(), actions.into_iter().collect()));
+    }
+
+    /// All actions `subject` may perform on `resource`.
+    pub fn allowed_actions(&self, subject: &str, resource: &str) -> BTreeSet<Action> {
+        let mut out = BTreeSet::new();
+        for (principal, res, actions) in &self.grants {
+            if principal.matches(subject) && resource_matches(res, resource) {
+                out.extend(actions.iter().copied());
+            }
+        }
+        if out.is_empty() && !self.default_deny {
+            out.insert(Action::Query);
+            out.insert(Action::Summary);
+        }
+        out
+    }
+
+    /// Check a single action, returning a descriptive error when denied.
+    pub fn check(&self, subject: &str, resource: &str, action: Action) -> Result<()> {
+        if self.allowed_actions(subject, resource).contains(&action) {
+            Ok(())
+        } else {
+            Err(AuthError::Denied(format!(
+                "{subject} may not {action:?} on {resource}"
+            )))
+        }
+    }
+
+    /// Number of grant rules.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// True if no grants have been added.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+/// Resource patterns: exact match, `"*"` matches anything, a trailing `*`
+/// matches a prefix (e.g. `sensor:dpss1.lbl.gov/*`).
+fn resource_matches(pattern: &str, resource: &str) -> bool {
+    if pattern == "*" || pattern == resource {
+        return true;
+    }
+    if let Some(prefix) = pattern.strip_suffix('*') {
+        return resource.starts_with(prefix);
+    }
+    false
+}
+
+/// The allow-list protecting sensor managers: "a sensor manager only needs
+/// to communicate with a small known set of gateway agents and thus can just
+/// have a list of the Identity Certificates for each agent to which it will
+/// allow a connection" (§7.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GatewayAllowList {
+    allowed_subjects: BTreeMap<String, ()>,
+}
+
+impl GatewayAllowList {
+    /// An empty allow-list (rejects every gateway).
+    pub fn new() -> Self {
+        GatewayAllowList::default()
+    }
+
+    /// Permit connections from the gateway with this certificate subject.
+    pub fn allow(&mut self, gateway_subject: impl Into<String>) {
+        self.allowed_subjects.insert(gateway_subject.into(), ());
+    }
+
+    /// Check whether a gateway may connect.
+    pub fn check(&self, gateway_subject: &str) -> Result<()> {
+        if self.allowed_subjects.contains_key(gateway_subject) {
+            Ok(())
+        } else {
+            Err(AuthError::Denied(format!(
+                "gateway {gateway_subject} is not in the sensor manager's allow list"
+            )))
+        }
+    }
+
+    /// Number of allowed gateways.
+    pub fn len(&self) -> usize {
+        self.allowed_subjects.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.allowed_subjects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_grants_and_default_deny() {
+        let mut acl = AccessControlList::deny_by_default();
+        acl.grant(
+            Principal::User("tierney".into()),
+            "*",
+            [Action::Lookup, Action::SubscribeStream, Action::ControlSensors],
+        );
+        assert!(acl.check("tierney", "sensor:dpss1.lbl.gov/cpu", Action::SubscribeStream).is_ok());
+        assert!(acl.check("tierney", "gateway:gw1", Action::Lookup).is_ok());
+        assert!(matches!(
+            acl.check("stranger", "sensor:dpss1.lbl.gov/cpu", Action::Query),
+            Err(AuthError::Denied(_))
+        ));
+        assert!(matches!(
+            acl.check("tierney", "gateway:gw1", Action::Admin),
+            Err(AuthError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn offsite_users_get_summary_only() {
+        let mut acl = AccessControlList::summary_for_others();
+        acl.grant(
+            Principal::OrgPrefix("/O=Grid/O=LBNL".into()),
+            "*",
+            [Action::Lookup, Action::SubscribeStream, Action::Query, Action::Summary],
+        );
+        // Internal user: full streaming access.
+        assert!(acl
+            .check("/O=Grid/O=LBNL/CN=Dan Gunter", "sensor:x/cpu", Action::SubscribeStream)
+            .is_ok());
+        // Off-site user: summaries and queries only.
+        let offsite = "/O=Grid/O=NCSA/CN=Remote User";
+        assert!(acl.check(offsite, "sensor:x/cpu", Action::Summary).is_ok());
+        assert!(acl.check(offsite, "sensor:x/cpu", Action::Query).is_ok());
+        assert!(matches!(
+            acl.check(offsite, "sensor:x/cpu", Action::SubscribeStream),
+            Err(AuthError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn resource_prefix_patterns() {
+        let mut acl = AccessControlList::deny_by_default();
+        acl.grant(
+            Principal::Anyone,
+            "sensor:dpss1.lbl.gov/*",
+            [Action::Query],
+        );
+        assert!(acl.check("anyone", "sensor:dpss1.lbl.gov/cpu", Action::Query).is_ok());
+        assert!(acl.check("anyone", "sensor:dpss1.lbl.gov/memory", Action::Query).is_ok());
+        assert!(acl.check("anyone", "sensor:dpss2.lbl.gov/cpu", Action::Query).is_err());
+    }
+
+    #[test]
+    fn allowed_actions_unions_grants() {
+        let mut acl = AccessControlList::deny_by_default();
+        acl.grant(Principal::User("u".into()), "r", [Action::Query]);
+        acl.grant(Principal::Anyone, "r", [Action::Summary]);
+        let actions = acl.allowed_actions("u", "r");
+        assert!(actions.contains(&Action::Query) && actions.contains(&Action::Summary));
+        assert_eq!(acl.len(), 2);
+    }
+
+    #[test]
+    fn gateway_allow_list() {
+        let mut allow = GatewayAllowList::new();
+        assert!(allow.is_empty());
+        allow.allow("/O=Grid/O=LBNL/CN=gw1.lbl.gov");
+        allow.allow("/O=Grid/O=LBNL/CN=gw2.lbl.gov");
+        assert_eq!(allow.len(), 2);
+        assert!(allow.check("/O=Grid/O=LBNL/CN=gw1.lbl.gov").is_ok());
+        assert!(matches!(
+            allow.check("/O=Grid/O=EVIL/CN=rogue"),
+            Err(AuthError::Denied(_))
+        ));
+    }
+}

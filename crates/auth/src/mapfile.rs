@@ -1,0 +1,137 @@
+//! The grid map file.
+//!
+//! "A server side map file is used to map the Globus X.509 user identities
+//! to local user-ids which can be used by existing access control
+//! mechanisms." (§7.1)
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AuthError, Result};
+
+/// Maps certificate subjects to local account names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridMapFile {
+    entries: BTreeMap<String, String>,
+}
+
+impl GridMapFile {
+    /// An empty map file.
+    pub fn new() -> Self {
+        GridMapFile::default()
+    }
+
+    /// Add a mapping from a certificate subject to a local user.
+    pub fn add(&mut self, subject: impl Into<String>, local_user: impl Into<String>) {
+        self.entries.insert(subject.into(), local_user.into());
+    }
+
+    /// Remove a mapping; returns true if it existed.
+    pub fn remove(&mut self, subject: &str) -> bool {
+        self.entries.remove(subject).is_some()
+    }
+
+    /// Resolve a certificate subject to its local account.
+    pub fn map(&self, subject: &str) -> Result<&str> {
+        self.entries
+            .get(subject)
+            .map(String::as_str)
+            .ok_or_else(|| AuthError::NoMapping(subject.to_string()))
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse the classic grid-mapfile format: one mapping per line,
+    /// `"subject dn" localuser`, with `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Self {
+        let mut map = GridMapFile::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some((subject, user)) = rest.split_once('"') {
+                    let user = user.trim();
+                    if !user.is_empty() {
+                        map.add(subject, user);
+                    }
+                }
+            } else if let Some((subject, user)) = line.rsplit_once(char::is_whitespace) {
+                map.add(subject.trim(), user.trim());
+            }
+        }
+        map
+    }
+
+    /// Serialise in the classic grid-mapfile format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (subject, user) in &self.entries {
+            out.push_str(&format!("\"{subject}\" {user}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_map_and_remove() {
+        let mut m = GridMapFile::new();
+        assert!(m.is_empty());
+        m.add("/O=Grid/O=LBNL/CN=Brian Tierney", "tierney");
+        m.add("/O=Grid/O=LBNL/CN=Dan Gunter", "dgunter");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.map("/O=Grid/O=LBNL/CN=Brian Tierney").unwrap(), "tierney");
+        assert!(matches!(
+            m.map("/O=Grid/CN=Unknown"),
+            Err(AuthError::NoMapping(_))
+        ));
+        assert!(m.remove("/O=Grid/O=LBNL/CN=Dan Gunter"));
+        assert!(!m.remove("/O=Grid/O=LBNL/CN=Dan Gunter"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn parse_classic_format() {
+        let text = r#"
+# DOE Science Grid users
+"/O=Grid/O=LBNL/CN=Brian Tierney" tierney
+"/O=Grid/O=LBNL/CN=Mary Thompson" mrt
+
+/O=Grid/O=ANL/CN=SimpleEntry warren
+"#;
+        let m = GridMapFile::parse(text);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.map("/O=Grid/O=LBNL/CN=Mary Thompson").unwrap(), "mrt");
+        assert_eq!(m.map("/O=Grid/O=ANL/CN=SimpleEntry").unwrap(), "warren");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut m = GridMapFile::new();
+        m.add("/O=Grid/CN=Alice User", "alice");
+        m.add("/O=Grid/CN=Bob", "bob");
+        let parsed = GridMapFile::parse(&m.to_text());
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let m = GridMapFile::parse("\"unterminated subject\n\"/CN=x\"\nnouser");
+        assert!(m.map("/CN=x").is_err());
+        assert!(m.len() <= 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Akenti-style distributed authorization.
+//!
+//! "Akenti provides a way for the resource stakeholders to remotely
+//! determine the authorization for resource use based on components of the
+//! user's distinguished name or attribute certificates." (§7.1)
+//!
+//! The model: each *resource* has one or more *stakeholders*; each
+//! stakeholder publishes [`UseCondition`]s saying which attribute (or DN
+//! component) a user must have for a set of actions; users carry
+//! [`AttributeCertificate`]s, issued by attribute authorities, asserting
+//! attributes such as `group=dpss-users`.  The [`PolicyEngine`] grants an
+//! action when **every** stakeholder of the resource has at least one
+//! satisfied use-condition covering that action.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::acl::Action;
+use crate::identity::IdentityCertificate;
+use crate::{AuthError, Result};
+
+/// A requirement a stakeholder places on users of a resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UseCondition {
+    /// The stakeholder who issued the condition.
+    pub stakeholder: String,
+    /// The resource it applies to (same naming convention as the ACLs).
+    pub resource: String,
+    /// Requirement on the user.
+    pub requirement: Requirement,
+    /// Actions this condition covers when satisfied.
+    pub actions: BTreeSet<Action>,
+}
+
+/// What a use-condition demands of the user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Requirement {
+    /// The user's certificate subject must contain this component
+    /// (e.g. `O=LBNL`).
+    DnContains(String),
+    /// The user must hold an attribute certificate asserting
+    /// `attribute = value`.
+    Attribute(String, String),
+}
+
+/// An attribute certificate: an authority asserts an attribute about a user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeCertificate {
+    /// Subject the attribute is about (certificate subject DN).
+    pub subject: String,
+    /// Attribute name (e.g. `group`).
+    pub attribute: String,
+    /// Attribute value (e.g. `dpss-users`).
+    pub value: String,
+    /// The issuing attribute authority.
+    pub issuer: String,
+    /// Expiry, seconds since the epoch.
+    pub not_after: u64,
+}
+
+impl AttributeCertificate {
+    /// True if the certificate is still valid at `now`.
+    pub fn is_valid_at(&self, now: u64) -> bool {
+        now <= self.not_after
+    }
+}
+
+/// Evaluates stakeholder policy for resources.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyEngine {
+    conditions: Vec<UseCondition>,
+    /// Attribute authorities trusted to issue attribute certificates.
+    trusted_attribute_issuers: BTreeSet<String>,
+}
+
+impl PolicyEngine {
+    /// An engine with no conditions (denies everything — a resource with no
+    /// stakeholders has no one to vouch for access).
+    pub fn new() -> Self {
+        PolicyEngine::default()
+    }
+
+    /// Trust an attribute authority.
+    pub fn trust_attribute_issuer(&mut self, issuer: impl Into<String>) {
+        self.trusted_attribute_issuers.insert(issuer.into());
+    }
+
+    /// Register a stakeholder's use-condition.
+    pub fn add_condition(&mut self, condition: UseCondition) {
+        self.conditions.push(condition);
+    }
+
+    /// Number of registered use-conditions.
+    pub fn condition_count(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// The actions `user` may perform on `resource` at time `now`, given the
+    /// attribute certificates they presented.
+    ///
+    /// An action is allowed when every stakeholder with conditions on the
+    /// resource has at least one satisfied condition covering it.
+    pub fn allowed_actions(
+        &self,
+        user: &IdentityCertificate,
+        attrs: &[AttributeCertificate],
+        resource: &str,
+        now: u64,
+    ) -> BTreeSet<Action> {
+        let relevant: Vec<&UseCondition> = self
+            .conditions
+            .iter()
+            .filter(|c| c.resource == "*" || c.resource == resource)
+            .collect();
+        if relevant.is_empty() {
+            return BTreeSet::new();
+        }
+        let stakeholders: BTreeSet<&str> =
+            relevant.iter().map(|c| c.stakeholder.as_str()).collect();
+
+        let mut allowed: Option<BTreeSet<Action>> = None;
+        for stakeholder in stakeholders {
+            let mut granted_by_this_stakeholder = BTreeSet::new();
+            for cond in relevant.iter().filter(|c| c.stakeholder == stakeholder) {
+                if self.satisfied(&cond.requirement, user, attrs, now) {
+                    granted_by_this_stakeholder.extend(cond.actions.iter().copied());
+                }
+            }
+            allowed = Some(match allowed {
+                None => granted_by_this_stakeholder,
+                Some(prev) => prev
+                    .intersection(&granted_by_this_stakeholder)
+                    .copied()
+                    .collect(),
+            });
+        }
+        allowed.unwrap_or_default()
+    }
+
+    /// Check one action.
+    pub fn check(
+        &self,
+        user: &IdentityCertificate,
+        attrs: &[AttributeCertificate],
+        resource: &str,
+        action: Action,
+        now: u64,
+    ) -> Result<()> {
+        if self.allowed_actions(user, attrs, resource, now).contains(&action) {
+            Ok(())
+        } else {
+            Err(AuthError::Denied(format!(
+                "{} may not {action:?} on {resource}",
+                user.effective_subject()
+            )))
+        }
+    }
+
+    fn satisfied(
+        &self,
+        req: &Requirement,
+        user: &IdentityCertificate,
+        attrs: &[AttributeCertificate],
+        now: u64,
+    ) -> bool {
+        match req {
+            Requirement::DnContains(component) => {
+                user.effective_subject().contains(component.as_str())
+            }
+            Requirement::Attribute(name, value) => attrs.iter().any(|a| {
+                a.subject == user.effective_subject()
+                    && a.attribute == *name
+                    && a.value == *value
+                    && a.is_valid_at(now)
+                    && self.trusted_attribute_issuers.contains(&a.issuer)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::CertificateAuthority;
+
+    const NOW: u64 = 959_400_000;
+
+    fn user(subject: &str) -> IdentityCertificate {
+        CertificateAuthority::new("/CN=CA", 7).issue(subject, NOW, 86_400)
+    }
+
+    fn group_cert(subject: &str, group: &str, issuer: &str) -> AttributeCertificate {
+        AttributeCertificate {
+            subject: subject.into(),
+            attribute: "group".into(),
+            value: group.into(),
+            issuer: issuer.into(),
+            not_after: NOW + 3_600,
+        }
+    }
+
+    fn engine_with_two_stakeholders() -> PolicyEngine {
+        let mut e = PolicyEngine::new();
+        e.trust_attribute_issuer("/CN=LBNL Attribute Authority");
+        // Stakeholder 1 (LBNL ops): anyone from LBNL may stream and query.
+        e.add_condition(UseCondition {
+            stakeholder: "lbl-ops".into(),
+            resource: "sensor:dpss1.lbl.gov/*".into(),
+            requirement: Requirement::DnContains("O=LBNL".into()),
+            actions: [Action::SubscribeStream, Action::Query, Action::Summary]
+                .into_iter()
+                .collect(),
+        });
+        // Stakeholder 2 (DPSS project): must be in group dpss-users to stream;
+        // anyone may see summaries.
+        e.add_condition(UseCondition {
+            stakeholder: "dpss-project".into(),
+            resource: "sensor:dpss1.lbl.gov/*".into(),
+            requirement: Requirement::Attribute("group".into(), "dpss-users".into()),
+            actions: [Action::SubscribeStream, Action::Query, Action::Summary]
+                .into_iter()
+                .collect(),
+        });
+        e.add_condition(UseCondition {
+            stakeholder: "dpss-project".into(),
+            resource: "sensor:dpss1.lbl.gov/*".into(),
+            requirement: Requirement::DnContains("O=Grid".into()),
+            actions: [Action::Summary].into_iter().collect(),
+        });
+        e
+    }
+
+    #[test]
+    fn all_stakeholders_must_agree() {
+        let e = engine_with_two_stakeholders();
+        let resource = "sensor:dpss1.lbl.gov/*";
+        let alice = user("/O=Grid/O=LBNL/CN=Alice");
+        let alice_attrs = [group_cert(
+            "/O=Grid/O=LBNL/CN=Alice",
+            "dpss-users",
+            "/CN=LBNL Attribute Authority",
+        )];
+        // Alice satisfies both stakeholders: full access.
+        assert!(e.check(&alice, &alice_attrs, resource, Action::SubscribeStream, NOW).is_ok());
+        // Bob is from LBNL but not in the group: only the summary action is
+        // granted by both stakeholders.
+        let bob = user("/O=Grid/O=LBNL/CN=Bob");
+        let actions = e.allowed_actions(&bob, &[], resource, NOW);
+        assert_eq!(actions, [Action::Summary].into_iter().collect());
+        assert!(e.check(&bob, &[], resource, Action::SubscribeStream, NOW).is_err());
+        // Carol is in the group but not from LBNL: stakeholder 1 grants
+        // nothing, so nothing is allowed.
+        let carol = user("/O=Grid/O=NCSA/CN=Carol");
+        let carol_attrs = [group_cert(
+            "/O=Grid/O=NCSA/CN=Carol",
+            "dpss-users",
+            "/CN=LBNL Attribute Authority",
+        )];
+        assert!(e.allowed_actions(&carol, &carol_attrs, resource, NOW).is_empty());
+    }
+
+    #[test]
+    fn untrusted_attribute_issuers_are_ignored() {
+        let e = engine_with_two_stakeholders();
+        let mallory = user("/O=Grid/O=LBNL/CN=Mallory");
+        let forged = [group_cert(
+            "/O=Grid/O=LBNL/CN=Mallory",
+            "dpss-users",
+            "/CN=Mallory's Own Authority",
+        )];
+        let actions = e.allowed_actions(&mallory, &forged, "sensor:dpss1.lbl.gov/*", NOW);
+        assert!(!actions.contains(&Action::SubscribeStream));
+    }
+
+    #[test]
+    fn expired_attribute_certificates_are_ignored() {
+        let e = engine_with_two_stakeholders();
+        let alice = user("/O=Grid/O=LBNL/CN=Alice");
+        let mut attr = group_cert(
+            "/O=Grid/O=LBNL/CN=Alice",
+            "dpss-users",
+            "/CN=LBNL Attribute Authority",
+        );
+        attr.not_after = NOW - 1;
+        assert!(e
+            .check(&alice, &[attr], "sensor:dpss1.lbl.gov/*", Action::SubscribeStream, NOW)
+            .is_err());
+    }
+
+    #[test]
+    fn resources_with_no_conditions_deny_everything() {
+        let e = engine_with_two_stakeholders();
+        let alice = user("/O=Grid/O=LBNL/CN=Alice");
+        assert!(e.allowed_actions(&alice, &[], "sensor:other.host/cpu", NOW).is_empty());
+        assert_eq!(e.condition_count(), 3);
+    }
+
+    #[test]
+    fn proxy_certificates_carry_the_users_rights() {
+        let e = engine_with_two_stakeholders();
+        let alice = user("/O=Grid/O=LBNL/CN=Alice");
+        let proxy = alice.issue_proxy(42, NOW, 3_600);
+        let attrs = [group_cert(
+            "/O=Grid/O=LBNL/CN=Alice",
+            "dpss-users",
+            "/CN=LBNL Attribute Authority",
+        )];
+        assert!(e
+            .check(&proxy, &attrs, "sensor:dpss1.lbl.gov/*", Action::SubscribeStream, NOW)
+            .is_ok());
+    }
+}

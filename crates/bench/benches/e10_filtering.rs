@@ -1,0 +1,179 @@
+//! E10 — §2.2 gateway filtering and summary data.
+//!
+//! Paper: "the netstat sensor may output the value of the TCP retransmission
+//! counter every second, but most consumers only want to be notified when
+//! the counter changes"; "a consumer can also request that an event be sent
+//! only if its value crosses a certain threshold ... CPU load becomes
+//! greater than 50%, or if load changes by more than 20%"; "it can compute
+//! 1, 10, and 60 minute averages of CPU usage".
+//!
+//! The report measures the delivered-volume reduction of each filter on a
+//! realistic sensor stream; the Criterion benches measure per-event filter
+//! and summary-engine costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jamm_bench::{compare_row, header};
+use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
+use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_ulm::{Event, Level, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A realistic hour of 1 Hz sensor readings: CPU load wandering around 35%
+/// with occasional bursts, and a retransmission counter that only changes
+/// during the bursts.
+fn sensor_stream() -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut events = Vec::new();
+    let mut retrans_counter = 0u64;
+    let mut load = 30.0f64;
+    for t in 0..3_600u64 {
+        let bursting = (600..700).contains(&t) || (2_000..2_150).contains(&t);
+        load += rng.gen_range(-3.0..3.0) + if bursting { 10.0 } else { 0.0 };
+        load = load.clamp(2.0, 98.0);
+        if !bursting {
+            load = load.min(49.0);
+        }
+        events.push(
+            Event::builder("vmstat", "mems.cairn.net")
+                .level(Level::Usage)
+                .event_type("CPU_TOTAL")
+                .timestamp(Timestamp::from_secs(1_000 + t))
+                .value(load)
+                .build(),
+        );
+        if bursting && rng.gen_bool(0.3) {
+            retrans_counter += rng.gen_range(1..4);
+        }
+        events.push(
+            Event::builder("netstat", "mems.cairn.net")
+                .level(Level::Usage)
+                .event_type("NETSTAT_RETRANS")
+                .timestamp(Timestamp::from_secs(1_000 + t))
+                .value(retrans_counter)
+                .build(),
+        );
+    }
+    events
+}
+
+fn delivered_with(filters: Vec<EventFilter>, stream: &[Event]) -> usize {
+    let gw = EventGateway::new(GatewayConfig::open("gw"));
+    let sub = gw
+        .subscribe(SubscribeRequest {
+            consumer: "c".into(),
+            mode: SubscriptionMode::Stream,
+            filters,
+        })
+        .unwrap();
+    for e in stream {
+        gw.publish(e);
+    }
+    sub.events.try_iter().count()
+}
+
+fn report(stream: &[Event]) {
+    header(
+        "E10: event-volume reduction from gateway filters and summaries",
+        "section 2.2 gateway filtering (on-change, thresholds, 1/10/60-minute averages)",
+    );
+    let total = stream.len();
+    let unfiltered = delivered_with(vec![], stream);
+    let on_change = delivered_with(
+        vec![
+            EventFilter::EventTypes(vec!["NETSTAT_RETRANS".into()]),
+            EventFilter::OnChange,
+        ],
+        stream,
+    );
+    let raw_counter = delivered_with(
+        vec![EventFilter::EventTypes(vec!["NETSTAT_RETRANS".into()])],
+        stream,
+    );
+    let above_50 = delivered_with(
+        vec![
+            EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
+            EventFilter::Above(50.0),
+        ],
+        stream,
+    );
+    let change_20pct = delivered_with(
+        vec![
+            EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
+            EventFilter::RelativeChange(0.2),
+        ],
+        stream,
+    );
+
+    println!("\none hour of 1 Hz CPU + netstat readings ({total} events published):\n");
+    compare_row("no filter", "every event delivered", &format!("{unfiltered} events"));
+    compare_row(
+        "retransmission counter, on-change only",
+        "most samples suppressed",
+        &format!(
+            "{on_change} of {raw_counter} counter readings ({:.1}%)",
+            100.0 * on_change as f64 / raw_counter as f64
+        ),
+    );
+    compare_row(
+        "CPU load > 50% threshold",
+        "only the interesting readings",
+        &format!("{above_50} events"),
+    );
+    compare_row(
+        "CPU load changes by > 20%",
+        "only significant changes",
+        &format!("{change_20pct} events"),
+    );
+
+    // Summary data: the 1/10/60 minute averages.
+    let mut engine = SummaryEngine::new();
+    for e in stream {
+        engine.record(e);
+    }
+    let now = Timestamp::from_secs(1_000 + 3_600);
+    let summaries = engine.summary_events(&SummaryWindow::all(), now, "gw");
+    compare_row(
+        "summary service output",
+        "1, 10 and 60 minute averages",
+        &format!("{} summary events replace {} raw readings", summaries.len(), total),
+    );
+    println!();
+}
+
+fn bench_filters_and_summaries(c: &mut Criterion) {
+    let stream = sensor_stream();
+    report(&stream);
+
+    c.bench_function("gateway_publish_with_threshold_filter", |b| {
+        let gw = EventGateway::new(GatewayConfig::open("gw"));
+        let _sub = gw
+            .subscribe(SubscribeRequest {
+                consumer: "c".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![EventFilter::Above(50.0)],
+            })
+            .unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            gw.publish(std::hint::black_box(&stream[i % stream.len()]));
+            i += 1;
+        });
+    });
+
+    c.bench_function("summary_engine_record", |b| {
+        let mut engine = SummaryEngine::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            engine.record(std::hint::black_box(&stream[i % stream.len()]));
+            i += 1;
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_filters_and_summaries
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E12 — §3 event-format overheads.
+//!
+//! Paper: "JAMM event data is delivered in ULM format, a simple ASCII-based
+//! format ... We are also looking into adding a binary format option for
+//! high throughput event data that can not tolerate the parsing overhead of
+//! ASCII formats."  This bench quantifies that trade-off for the
+//! reproduction's three codecs (ULM text, binary, JSON).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jamm_bench::{compare_row, header};
+use jamm_ulm::{binary, json, text, Event, Level, Timestamp};
+
+fn sample_event(i: u64) -> Event {
+    Event::builder("dpss_block_server", "dpss1.lbl.gov")
+        .level(Level::Usage)
+        .event_type("DPSS_END_WRITE")
+        .timestamp(Timestamp::from_micros(958_392_000_000_000 + i))
+        .object_id(format!("frame-{}", i % 64))
+        .field("BLOCK.SZ", 65_536u64)
+        .field("SEND.SZ", 49_332u64)
+        .field("LOAD", 0.37)
+        .build()
+}
+
+fn report() {
+    header(
+        "E12: ULM text vs binary vs JSON encoding",
+        "section 3 format discussion (ASCII parsing overhead, planned binary option)",
+    );
+    let ev = sample_event(1);
+    let text_len = text::encode(&ev).len();
+    let bin_len = binary::encode(&ev).len();
+    let json_len = json::encode(&ev).len();
+    println!();
+    compare_row(
+        "encoded size per event",
+        "ASCII is simple but verbose",
+        &format!("text {text_len} B, binary {bin_len} B, json {json_len} B"),
+    );
+
+    let n = 50_000u64;
+    let events: Vec<Event> = (0..n).map(sample_event).collect();
+    let time = |f: &dyn Fn() -> usize| {
+        let t0 = std::time::Instant::now();
+        let total = f();
+        (total, t0.elapsed().as_secs_f64())
+    };
+    let (_, enc_text) = time(&|| events.iter().map(|e| text::encode(e).len()).sum());
+    let (_, enc_bin) = time(&|| events.iter().map(|e| binary::encode(e).len()).sum());
+    let text_lines: Vec<String> = events.iter().map(text::encode).collect();
+    let bin_frames: Vec<_> = events.iter().map(binary::encode).collect();
+    let (_, dec_text) = time(&|| text_lines.iter().map(|l| text::decode(l).unwrap().fields.len()).sum());
+    let (_, dec_bin) = time(&|| bin_frames.iter().map(|f| binary::decode(f).unwrap().0.fields.len()).sum());
+    compare_row(
+        "decode throughput (the hot path for consumers)",
+        "binary avoids ASCII parsing overhead",
+        &format!(
+            "text {:.0}k ev/s, binary {:.0}k ev/s ({:.1}x faster)",
+            n as f64 / dec_text / 1_000.0,
+            n as f64 / dec_bin / 1_000.0,
+            dec_text / dec_bin
+        ),
+    );
+    compare_row(
+        "encode throughput",
+        "-",
+        &format!(
+            "text {:.0}k ev/s, binary {:.0}k ev/s",
+            n as f64 / enc_text / 1_000.0,
+            n as f64 / enc_bin / 1_000.0
+        ),
+    );
+    println!();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    report();
+    let ev = sample_event(7);
+    let line = text::encode(&ev);
+    let frame = binary::encode(&ev);
+    let js = json::encode(&ev);
+
+    c.bench_function("ulm_text_encode", |b| b.iter(|| text::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_text_decode", |b| {
+        b.iter(|| text::decode(std::hint::black_box(&line)).unwrap())
+    });
+    c.bench_function("ulm_binary_encode", |b| b.iter(|| binary::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_binary_decode", |b| {
+        b.iter(|| binary::decode(std::hint::black_box(&frame)).unwrap())
+    });
+    c.bench_function("ulm_json_encode", |b| b.iter(|| json::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_json_decode", |b| {
+        b.iter(|| json::decode(std::hint::black_box(&js)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E7 — §2.3 scalability: event gateways absorb consumer fan-out.
+//!
+//! Paper: "In the case where many consumers are requesting the same event
+//! data, the use of an event gateway reduces the amount of work on and the
+//! amount of network traffic from the host being monitored. ...  one can add
+//! additional event gateways, and additional sensor directories as needed,
+//! reducing the load where necessary."
+//!
+//! The experiment measures, as the number of consumers grows: (a) events
+//! published by the monitored hosts' sensors (should stay flat), (b) event
+//! copies delivered (grows with consumers, absorbed by the gateway), and (c)
+//! the same with the consumer load spread over more gateways.  The Criterion
+//! part measures raw gateway publish throughput at different subscriber
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jamm::cluster::ClusterDeployment;
+use jamm_bench::{compare_row, data_row, header};
+use jamm_gateway::{EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_ulm::{Event, Level, Timestamp};
+
+fn fanout_report() {
+    header(
+        "E7: gateway fan-out and scaling",
+        "section 2.3 scalability argument (gateways shield the monitored hosts)",
+    );
+    println!("\n16-node monitored farm, 5 simulated seconds per row:\n");
+    data_row(&[
+        format!("{:>10}", "consumers"),
+        format!("{:>10}", "gateways"),
+        format!("{:>22}", "sensor events published"),
+        format!("{:>22}", "event copies delivered"),
+        format!("{:>26}", "delivered per gateway"),
+    ]);
+    let mut published_counts = Vec::new();
+    for &(consumers, gateways) in &[(0usize, 1usize), (1, 1), (4, 1), (16, 1), (16, 2), (16, 4)] {
+        let mut cluster = ClusterDeployment::new(16, gateways, 99);
+        cluster.attach_consumers(consumers, vec![]);
+        cluster.run_secs(5.0);
+        let published = cluster.events_published();
+        let delivered = cluster.events_delivered();
+        published_counts.push(published);
+        data_row(&[
+            format!("{consumers:>10}"),
+            format!("{gateways:>10}"),
+            format!("{published:>22}"),
+            format!("{delivered:>22}"),
+            format!("{:>26.0}", delivered as f64 / gateways as f64),
+        ]);
+    }
+    println!("\npaper vs measured:\n");
+    let flat = published_counts.iter().max().unwrap() - published_counts.iter().min().unwrap();
+    compare_row(
+        "work on monitored hosts as consumers grow",
+        "unchanged (gateway absorbs fan-out)",
+        &format!("spread of {flat} events across 0-16 consumers"),
+    );
+    compare_row(
+        "adding gateways",
+        "reduces per-gateway load",
+        "delivered-per-gateway column falls as gateways are added",
+    );
+    println!();
+}
+
+fn publish_event(i: u64) -> Event {
+    Event::builder("vmstat", "node001.farm.lbl.gov")
+        .level(Level::Usage)
+        .event_type("CPU_TOTAL")
+        .timestamp(Timestamp::from_micros(i))
+        .value((i % 100) as f64)
+        .build()
+}
+
+fn bench_gateway_publish(c: &mut Criterion) {
+    fanout_report();
+    let mut group = c.benchmark_group("gateway_publish_throughput");
+    for subscribers in [0usize, 1, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subscribers),
+            &subscribers,
+            |b, &n| {
+                let gw = EventGateway::new(GatewayConfig::open("bench-gw"));
+                let subs: Vec<_> = (0..n)
+                    .map(|i| {
+                        gw.subscribe(SubscribeRequest {
+                            consumer: format!("c{i}"),
+                            mode: SubscriptionMode::Stream,
+                            filters: vec![],
+                        })
+                        .unwrap()
+                    })
+                    .collect();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    gw.publish(std::hint::black_box(&publish_event(i)));
+                    // Drain so unbounded channels do not grow without limit.
+                    if i.is_multiple_of(1_024) {
+                        for s in &subs {
+                            while s.events.try_recv().is_ok() {}
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gateway_publish
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E9 — §6 administrative effort: manual monitoring vs JAMM.
+//!
+//! Paper: "One would need to have an account on every system, with superuser
+//! privileges (to run the tcpdump sensor), and log into every system (13 in
+//! this example) and start every sensor by hand, and then copy the results
+//! to one place for analysis. ...  Using JAMM, all that is required is for
+//! the application user to start up a consumer and subscribe to the relevant
+//! sensor data."
+//!
+//! ```text
+//! cargo run --release -p jamm-bench --bin e9_admin_ops
+//! ```
+
+use jamm::admin::{jamm_effort, manual_effort, matisse_comparison};
+use jamm_bench::{compare_row, data_row, header};
+
+fn main() {
+    header(
+        "E9: operations needed to run one monitored analysis",
+        "section 6 closing argument (13 hosts by hand vs one JAMM subscription)",
+    );
+
+    let (manual, jamm) = matisse_comparison();
+    println!("\nMATISSE analysis (13 hosts, ~5 sensors each, tcpdump needs root):\n");
+    data_row(&[
+        format!("{:<28}", "operation"),
+        format!("{:>10}", "manual"),
+        format!("{:>10}", "with JAMM"),
+    ]);
+    for (label, m, j) in [
+        ("accounts required", manual.accounts_required, jamm.accounts_required),
+        ("interactive logins", manual.logins, jamm.logins),
+        ("privileged (root) operations", manual.privileged_ops, jamm.privileged_ops),
+        ("sensors started by hand", manual.manual_sensor_starts, jamm.manual_sensor_starts),
+        ("result files copied", manual.file_copies, jamm.file_copies),
+        ("consumer subscriptions", manual.subscriptions, jamm.subscriptions),
+    ] {
+        data_row(&[
+            format!("{label:<28}"),
+            format!("{m:>10}"),
+            format!("{j:>10}"),
+        ]);
+    }
+    println!();
+    compare_row(
+        "total operations for one analysis",
+        "\"clearly more work than most users will do\"",
+        &format!("{} manual vs {} with JAMM", manual.total_ops(), jamm.total_ops()),
+    );
+
+    println!("\nhow the manual effort scales with system size (JAMM stays constant):\n");
+    data_row(&[
+        format!("{:>8}", "hosts"),
+        format!("{:>14}", "manual ops"),
+        format!("{:>14}", "JAMM ops"),
+    ]);
+    for hosts in [2usize, 4, 8, 13, 32, 64, 128] {
+        data_row(&[
+            format!("{hosts:>8}"),
+            format!("{:>14}", manual_effort(hosts, 5, 1).total_ops()),
+            format!("{:>14}", jamm_effort(2).total_ops()),
+        ]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # jamm-bench — experiment harness
+//!
+//! One bench target per figure / reported result of the paper (see
+//! DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+//! outcomes).  The scenario-scale experiments print the regenerated series
+//! alongside the paper's reported values; the micro-benchmarks use Criterion.
+//!
+//! This library holds the small shared helpers the bench targets use for
+//! consistent output formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Print a standard experiment header.
+pub fn header(experiment: &str, paper_artifact: &str) {
+    println!("==============================================================");
+    println!("{experiment}");
+    println!("reproduces: {paper_artifact}");
+    println!("==============================================================");
+}
+
+/// Print one "paper vs measured" comparison row.
+pub fn compare_row(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<44} paper: {paper:<18} measured: {measured}");
+}
+
+/// Print a plain data row (for regenerated series).
+pub fn data_row(cols: &[String]) {
+    println!("  {}", cols.join("  "));
+}
+
+/// Format a floating-point series compactly.
+pub fn fmt_series(series: &[(f64, f64)]) -> String {
+    series
+        .iter()
+        .map(|(x, y)| format!("({x:.0},{y:.1})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting_helpers_do_not_panic() {
+        super::header("E0", "nothing");
+        super::compare_row("metric", "1", "2");
+        super::data_row(&["a".into(), "b".into()]);
+        assert_eq!(super::fmt_series(&[(1.0, 2.0)]), "(1,2.0)");
+    }
+}

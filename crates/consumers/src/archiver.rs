@@ -1,0 +1,169 @@
+//! The archiver agent.
+//!
+//! "This consumer is used to collect data for an archive service.  It
+//! subscribes to the logging agents, collects the event data, and places it
+//! in the archive.  It also creates an archive directory service entry
+//! indicating the contents of the archive." (§2.2)
+
+use std::sync::Arc;
+
+use jamm_archive::EventArchive;
+use jamm_directory::{Dn, DirectoryServer, Entry};
+use jamm_gateway::{EventFilter, Subscription, SubscribeRequest, SubscriptionMode};
+use jamm_ulm::Timestamp;
+
+use crate::GatewayRegistry;
+
+/// Subscribes to gateways and stores everything that matches its filters.
+pub struct ArchiverAgent {
+    consumer: String,
+    archive: Arc<EventArchive>,
+    subscriptions: Vec<Subscription>,
+    /// DN under which the archive's catalog entry is published.
+    catalog_dn: Dn,
+}
+
+impl ArchiverAgent {
+    /// Create an archiver writing into `archive`, publishing its catalog at
+    /// `catalog_dn`.
+    pub fn new(consumer: impl Into<String>, archive: Arc<EventArchive>, catalog_dn: Dn) -> Self {
+        ArchiverAgent {
+            consumer: consumer.into(),
+            archive,
+            subscriptions: Vec::new(),
+            catalog_dn,
+        }
+    }
+
+    /// The archive being written.
+    pub fn archive(&self) -> &Arc<EventArchive> {
+        &self.archive
+    }
+
+    /// Subscribe to a gateway with the given filters (the paper stresses the
+    /// archive selects what to keep — "in some environments very little will
+    /// be monitored, and in others, it may be desirable to archive
+    /// everything").
+    pub fn subscribe(
+        &mut self,
+        registry: &GatewayRegistry,
+        gateway_name: &str,
+        filters: Vec<EventFilter>,
+    ) -> bool {
+        let Some(gateway) = registry.resolve(gateway_name) else {
+            return false;
+        };
+        match gateway.subscribe(SubscribeRequest {
+            consumer: self.consumer.clone(),
+            mode: SubscriptionMode::Stream,
+            filters,
+        }) {
+            Ok(sub) => {
+                self.subscriptions.push(sub);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Drain pending events into the archive.  Returns how many were stored.
+    pub fn poll(&mut self) -> usize {
+        let mut stored = 0;
+        for sub in &self.subscriptions {
+            for event in sub.events.try_iter() {
+                self.archive.store(event);
+                stored += 1;
+            }
+        }
+        stored
+    }
+
+    /// Publish (or refresh) the archive's catalog entry in the directory.
+    pub fn publish_catalog(&self, directory: &Arc<DirectoryServer>, now: Timestamp) -> bool {
+        let catalog = self.archive.catalog();
+        let mut entry = Entry::new(self.catalog_dn.clone())
+            .with("objectclass", "eventarchive")
+            .with("eventcount", catalog.event_count.to_string())
+            .with("lastupdate", now.to_ulm_date());
+        if let Some(earliest) = catalog.earliest {
+            entry.add("earliest", earliest.to_ulm_date());
+        }
+        if let Some(latest) = catalog.latest {
+            entry.add("latest", latest.to_ulm_date());
+        }
+        for ty in catalog.event_types.keys() {
+            entry.add("eventtype", ty.clone());
+        }
+        for host in catalog.hosts.keys() {
+            entry.add("host", host.clone());
+        }
+        directory.add_or_replace(entry).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_gateway::{EventGateway, GatewayConfig};
+    use jamm_ulm::{Event, Level};
+
+    fn ev(host: &str, ty: &str, t: u64, level: Level) -> Event {
+        Event::builder("sensor", host)
+            .level(level)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(t))
+            .value(1.0)
+            .build()
+    }
+
+    fn setup() -> (GatewayRegistry, Arc<EventGateway>, ArchiverAgent, Arc<DirectoryServer>) {
+        let gw = Arc::new(EventGateway::new(GatewayConfig::open("gw1")));
+        let mut reg = GatewayRegistry::new();
+        reg.register("gw1", Arc::clone(&gw));
+        let archive = Arc::new(EventArchive::new());
+        let agent = ArchiverAgent::new(
+            "archiver",
+            archive,
+            Dn::parse("archive=main,o=lbl,o=grid").unwrap(),
+        );
+        let dir = Arc::new(DirectoryServer::new(
+            "ldap://dir",
+            Dn::parse("o=grid").unwrap(),
+        ));
+        (reg, gw, agent, dir)
+    }
+
+    #[test]
+    fn archives_what_it_subscribed_to() {
+        let (reg, gw, mut agent, _) = setup();
+        // Archive only warnings and worse: a sampling of "abnormal" operation.
+        assert!(agent.subscribe(&reg, "gw1", vec![EventFilter::MinLevel(Level::Warning)]));
+        assert!(!agent.subscribe(&reg, "missing", vec![]));
+        gw.publish(&ev("h", "CPU_TOTAL", 1, Level::Usage));
+        gw.publish(&ev("h", "TCPD_RETRANSMITS", 2, Level::Warning));
+        gw.publish(&ev("h", "PROC_DIED", 3, Level::Error));
+        assert_eq!(agent.poll(), 2);
+        assert_eq!(agent.archive().len(), 2);
+        assert_eq!(agent.poll(), 0, "nothing new");
+    }
+
+    #[test]
+    fn catalog_entry_is_published_and_refreshed() {
+        let (reg, gw, mut agent, dir) = setup();
+        agent.subscribe(&reg, "gw1", vec![]);
+        gw.publish(&ev("dpss1.lbl.gov", "CPU_TOTAL", 10, Level::Usage));
+        gw.publish(&ev("mems.cairn.net", "TCPD_RETRANSMITS", 20, Level::Warning));
+        agent.poll();
+        assert!(agent.publish_catalog(&dir, Timestamp::from_secs(100)));
+        let dn = Dn::parse("archive=main,o=lbl,o=grid").unwrap();
+        let entry = dir.lookup(&dn).unwrap();
+        assert_eq!(entry.get("eventcount"), Some("2"));
+        assert!(entry.has_value("eventtype", "CPU_TOTAL"));
+        assert!(entry.has_value("host", "mems.cairn.net"));
+        // More data arrives; the refreshed catalog reflects it.
+        gw.publish(&ev("dpss1.lbl.gov", "CPU_TOTAL", 30, Level::Usage));
+        agent.poll();
+        agent.publish_catalog(&dir, Timestamp::from_secs(200));
+        assert_eq!(dir.lookup(&dn).unwrap().get("eventcount"), Some("3"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Administrative-effort accounting (experiment E9).
+//!
+//! The paper closes its results section with an effort argument: "One would
+//! need to have an account on every system, with superuser privileges (to
+//! run the tcpdump sensor), and log into every system (13 in this example)
+//! and start every sensor by hand, and then copy the results to one place
+//! for analysis. ...  Using JAMM, all that is required is for the
+//! application user to start up a consumer and subscribe to the relevant
+//! sensor data."  This module turns that narrative into a counted model so
+//! the comparison can be reported as numbers.
+
+use serde::Serialize;
+
+/// The administrative operations needed to run one monitored analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AdminEffort {
+    /// Accounts that must exist (and be kept) for the analyst.
+    pub accounts_required: usize,
+    /// Interactive logins performed for one analysis session.
+    pub logins: usize,
+    /// Privileged (root) operations, e.g. starting tcpdump by hand.
+    pub privileged_ops: usize,
+    /// Sensor processes started manually.
+    pub manual_sensor_starts: usize,
+    /// Result files copied to the analysis host afterwards.
+    pub file_copies: usize,
+    /// Consumer subscriptions issued (the JAMM path).
+    pub subscriptions: usize,
+}
+
+impl AdminEffort {
+    /// Total number of human operations.
+    pub fn total_ops(&self) -> usize {
+        self.logins
+            + self.privileged_ops
+            + self.manual_sensor_starts
+            + self.file_copies
+            + self.subscriptions
+    }
+}
+
+/// Effort to run the analysis by hand, without JAMM: log into every host,
+/// start every sensor (the TCP sensor needs root), and copy every host's log
+/// back for merging.
+pub fn manual_effort(hosts: usize, sensors_per_host: usize, privileged_sensors_per_host: usize) -> AdminEffort {
+    AdminEffort {
+        accounts_required: hosts,
+        logins: hosts,
+        privileged_ops: hosts * privileged_sensors_per_host,
+        manual_sensor_starts: hosts * sensors_per_host,
+        file_copies: hosts,
+        subscriptions: 0,
+    }
+}
+
+/// Effort with JAMM: the sensors are already managed; the analyst starts one
+/// consumer and subscribes once per event gateway involved.
+pub fn jamm_effort(gateways: usize) -> AdminEffort {
+    AdminEffort {
+        accounts_required: 0,
+        logins: 0,
+        privileged_ops: 0,
+        manual_sensor_starts: 0,
+        file_copies: 0,
+        subscriptions: 1 + gateways,
+    }
+}
+
+/// The MATISSE numbers: 13 hosts, roughly 5 sensors each of which one
+/// (tcpdump) needs root, versus two site gateways.
+pub fn matisse_comparison() -> (AdminEffort, AdminEffort) {
+    (manual_effort(13, 5, 1), jamm_effort(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_effort_scales_with_hosts_and_jamm_does_not() {
+        let small_manual = manual_effort(4, 5, 1);
+        let big_manual = manual_effort(13, 5, 1);
+        assert!(big_manual.total_ops() > small_manual.total_ops());
+        let jamm_small = jamm_effort(1);
+        let jamm_big = jamm_effort(2);
+        assert_eq!(jamm_big.total_ops() - jamm_small.total_ops(), 1);
+        assert_eq!(jamm_big.accounts_required, 0);
+    }
+
+    #[test]
+    fn matisse_comparison_matches_the_papers_narrative() {
+        let (manual, jamm) = matisse_comparison();
+        assert_eq!(manual.logins, 13);
+        assert_eq!(manual.accounts_required, 13);
+        assert!(manual.privileged_ops >= 13);
+        assert!(manual.total_ops() > 20 * jamm.total_ops());
+        assert_eq!(jamm.total_ops(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! # jamm — Java Agents for Monitoring and Management, in Rust
+//!
+//! This is the top-level crate of the JAMM reproduction (Tierney et al.,
+//! "A Monitoring Sensor Management System for Grid Environments", HPDC
+//! 2000).  It wires the individual subsystems into complete deployments:
+//!
+//! * [`jamm_ulm`] — the ULM / NetLogger event model;
+//! * [`jamm_sensors`] — host, network, process and application sensors;
+//! * [`jamm_manager`] — per-host sensor managers and the port monitor agent;
+//! * [`jamm_gateway`] — event gateways (filters, summaries, access control);
+//! * [`jamm_directory`] — the LDAP-like sensor directory;
+//! * [`jamm_consumers`] — event collector, archiver, process and overview
+//!   monitors;
+//! * [`jamm_archive`] — the event archive;
+//! * [`jamm_auth`] — certificates, grid-mapfile and policy authorization;
+//! * [`jamm_rmi`] — the remote-invocation / activation substrate;
+//! * [`jamm_netlogger`] — the NetLogger toolkit (API, merging, clocks, nlv);
+//! * [`jamm_netsim`] — the simulated Grid testbed everything runs against.
+//!
+//! The facade type is [`deployment::JammDeployment`]: it builds the paper's
+//! Figure 1 / Figure 4 structure (sensors → managers → gateways → consumers,
+//! publication in the directory) on top of either the MATISSE wide-area
+//! scenario of §6 or a generic monitored compute cluster, advances everything
+//! in lock-step with the simulated network, and exposes the collected events
+//! for NetLogger analysis.
+//!
+//! ```
+//! use jamm::deployment::{DeploymentConfig, JammDeployment};
+//!
+//! // A small LAN MATISSE run: 2 DPSS servers streaming frames to a client,
+//! // fully monitored by JAMM.
+//! let mut config = DeploymentConfig::matisse_lan(2);
+//! config.matisse.player.max_frames = 5;
+//! let mut jamm = JammDeployment::matisse(config);
+//! jamm.run_secs(5.0);
+//! assert!(jamm.collector_event_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod cluster;
+pub mod deployment;
+
+pub use deployment::{DeploymentConfig, JammDeployment};
+
+// Re-export the sub-crates under predictable names so downstream users need
+// only one dependency.
+pub use jamm_archive;
+pub use jamm_auth;
+pub use jamm_consumers;
+pub use jamm_directory;
+pub use jamm_gateway;
+pub use jamm_manager;
+pub use jamm_netlogger;
+pub use jamm_netsim;
+pub use jamm_rmi;
+pub use jamm_sensors;
+pub use jamm_ulm;

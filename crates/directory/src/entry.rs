@@ -1,0 +1,144 @@
+//! Directory entries: a DN plus multi-valued attributes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dn::Dn;
+
+/// A directory entry.
+///
+/// Attribute names are case-insensitive (stored lower-case); each attribute
+/// holds one or more string values, like LDAP.  JAMM publishes sensors as
+/// entries with attributes such as `objectclass=sensor`, `host=...`,
+/// `gateway=...`, `eventtype=...`, `frequency=...`, `status=...`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The entry's distinguished name.
+    pub dn: Dn,
+    attributes: BTreeMap<String, Vec<String>>,
+}
+
+impl Entry {
+    /// Create an entry with no attributes.
+    pub fn new(dn: Dn) -> Self {
+        Entry {
+            dn,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style: add one value of an attribute.
+    pub fn with(mut self, attr: impl Into<String>, value: impl Into<String>) -> Self {
+        self.add(attr, value);
+        self
+    }
+
+    /// Add one value of an attribute (duplicates are ignored).
+    pub fn add(&mut self, attr: impl Into<String>, value: impl Into<String>) {
+        let attr = attr.into().to_ascii_lowercase();
+        let value = value.into();
+        let values = self.attributes.entry(attr).or_default();
+        if !values.iter().any(|v| v.eq_ignore_ascii_case(&value)) {
+            values.push(value);
+        }
+    }
+
+    /// Replace every value of an attribute.
+    pub fn set(&mut self, attr: impl Into<String>, values: Vec<String>) {
+        self.attributes.insert(attr.into().to_ascii_lowercase(), values);
+    }
+
+    /// Remove an attribute entirely.  Returns true if it existed.
+    pub fn remove(&mut self, attr: &str) -> bool {
+        self.attributes.remove(&attr.to_ascii_lowercase()).is_some()
+    }
+
+    /// All values of an attribute (empty slice when absent).
+    pub fn get_all(&self, attr: &str) -> &[String] {
+        self.attributes
+            .get(&attr.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// First value of an attribute.
+    pub fn get(&self, attr: &str) -> Option<&str> {
+        self.get_all(attr).first().map(String::as_str)
+    }
+
+    /// True if the attribute is present with at least one value.
+    pub fn has(&self, attr: &str) -> bool {
+        !self.get_all(attr).is_empty()
+    }
+
+    /// True if the attribute holds the value (case-insensitive).
+    pub fn has_value(&self, attr: &str, value: &str) -> bool {
+        self.get_all(attr).iter().any(|v| v.eq_ignore_ascii_case(value))
+    }
+
+    /// Iterate over `(attribute, values)` pairs, sorted by attribute name.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of attributes.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_entry() -> Entry {
+        Entry::new(Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl").unwrap())
+            .with("objectClass", "sensor")
+            .with("objectClass", "jammObject")
+            .with("host", "dpss1.lbl.gov")
+            .with("gateway", "gw1.lbl.gov:8765")
+            .with("eventType", "CPU_TOTAL")
+            .with("frequency", "1.0")
+    }
+
+    #[test]
+    fn attribute_access_is_case_insensitive() {
+        let e = sensor_entry();
+        assert_eq!(e.get("GATEWAY"), Some("gw1.lbl.gov:8765"));
+        assert!(e.has("objectclass"));
+        assert!(e.has_value("OBJECTCLASS", "SENSOR"));
+        assert_eq!(e.get_all("objectclass").len(), 2);
+        assert_eq!(e.get("missing"), None);
+        assert!(!e.has("missing"));
+    }
+
+    #[test]
+    fn duplicate_values_are_ignored() {
+        let mut e = sensor_entry();
+        e.add("objectclass", "Sensor");
+        assert_eq!(e.get_all("objectclass").len(), 2);
+    }
+
+    #[test]
+    fn set_and_remove() {
+        let mut e = sensor_entry();
+        e.set("status", vec!["running".into()]);
+        assert_eq!(e.get("status"), Some("running"));
+        e.set("status", vec!["stopped".into()]);
+        assert_eq!(e.get_all("status"), &["stopped".to_string()]);
+        assert!(e.remove("status"));
+        assert!(!e.remove("status"));
+        assert!(!e.has("status"));
+    }
+
+    #[test]
+    fn attribute_iteration_is_sorted() {
+        let e = sensor_entry();
+        let names: Vec<_> = e.attributes().map(|(k, _)| k.to_string()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(e.attribute_count(), names.len());
+    }
+}

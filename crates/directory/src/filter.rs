@@ -1,0 +1,263 @@
+//! LDAP-style search filters.
+//!
+//! Supports the subset JAMM needs: equality, presence, substring (leading /
+//! trailing `*`), and the boolean combinators, with the standard
+//! parenthesised prefix syntax, e.g.
+//! `(&(objectclass=sensor)(host=dpss*)(!(status=stopped)))`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::Entry;
+use crate::DirectoryError;
+
+/// A search filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Filter {
+    /// `(attr=value)` — case-insensitive equality.
+    Equals(String, String),
+    /// `(attr=*)` — attribute present.
+    Present(String),
+    /// `(attr=pattern)` where pattern contains `*` wildcards.
+    Substring(String, Vec<String>),
+    /// `(&(f1)(f2)...)` — all must match.  An empty AND matches everything.
+    And(Vec<Filter>),
+    /// `(|(f1)(f2)...)` — at least one must match.
+    Or(Vec<Filter>),
+    /// `(!(f))` — negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// A filter that matches every entry.
+    pub fn everything() -> Filter {
+        Filter::And(Vec::new())
+    }
+
+    /// Convenience: equality filter.
+    pub fn eq(attr: impl Into<String>, value: impl Into<String>) -> Filter {
+        Filter::Equals(attr.into().to_ascii_lowercase(), value.into())
+    }
+
+    /// Convenience: presence filter.
+    pub fn present(attr: impl Into<String>) -> Filter {
+        Filter::Present(attr.into().to_ascii_lowercase())
+    }
+
+    /// Convenience: conjunction.
+    pub fn and(filters: Vec<Filter>) -> Filter {
+        Filter::And(filters)
+    }
+
+    /// Convenience: disjunction.
+    pub fn or(filters: Vec<Filter>) -> Filter {
+        Filter::Or(filters)
+    }
+
+    /// Evaluate the filter against an entry.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            Filter::Equals(attr, value) => entry.has_value(attr, value),
+            Filter::Present(attr) => entry.has(attr),
+            Filter::Substring(attr, parts) => entry
+                .get_all(attr)
+                .iter()
+                .any(|v| substring_match(v, parts)),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            Filter::Not(f) => !f.matches(entry),
+        }
+    }
+
+    /// Parse the textual filter syntax.
+    pub fn parse(s: &str) -> crate::Result<Filter> {
+        let s = s.trim();
+        let mut parser = Parser { input: s, pos: 0 };
+        let f = parser.parse_filter()?;
+        parser.skip_ws();
+        if parser.pos != parser.input.len() {
+            return Err(DirectoryError::InvalidFilter(s.to_string()));
+        }
+        Ok(f)
+    }
+}
+
+/// Case-insensitive glob match where `parts` are the literal segments between
+/// `*` wildcards (empty leading/trailing segments anchor nothing).
+fn substring_match(value: &str, parts: &[String]) -> bool {
+    let value = value.to_ascii_lowercase();
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let p = part.to_ascii_lowercase();
+        if i == 0 {
+            if !value.starts_with(&p) {
+                return false;
+            }
+            pos = p.len();
+        } else if i == parts.len() - 1 {
+            return value.len() >= pos && value[pos..].ends_with(&p);
+        } else {
+            match value[pos..].find(&p) {
+                Some(found) => pos += found + p.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self) -> DirectoryError {
+        DirectoryError::InvalidFilter(self.input.to_string())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> crate::Result<()> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err())
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn parse_filter(&mut self) -> crate::Result<Filter> {
+        self.expect('(')?;
+        let f = match self.peek() {
+            Some('&') => {
+                self.pos += 1;
+                Filter::And(self.parse_list()?)
+            }
+            Some('|') => {
+                self.pos += 1;
+                Filter::Or(self.parse_list()?)
+            }
+            Some('!') => {
+                self.pos += 1;
+                Filter::Not(Box::new(self.parse_filter()?))
+            }
+            Some(_) => self.parse_simple()?,
+            None => return Err(self.err()),
+        };
+        self.expect(')')?;
+        Ok(f)
+    }
+
+    fn parse_list(&mut self) -> crate::Result<Vec<Filter>> {
+        let mut out = Vec::new();
+        while self.peek() == Some('(') {
+            out.push(self.parse_filter()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_simple(&mut self) -> crate::Result<Filter> {
+        let rest = &self.input[self.pos..];
+        let end = rest.find(')').ok_or_else(|| self.err())?;
+        let body = &rest[..end];
+        self.pos += end;
+        let (attr, value) = body.split_once('=').ok_or_else(|| self.err())?;
+        let attr = attr.trim();
+        let value = value.trim();
+        if attr.is_empty() {
+            return Err(self.err());
+        }
+        if value == "*" {
+            Ok(Filter::Present(attr.to_ascii_lowercase()))
+        } else if value.contains('*') {
+            let parts: Vec<String> = value.split('*').map(|p| p.to_string()).collect();
+            Ok(Filter::Substring(attr.to_ascii_lowercase(), parts))
+        } else {
+            Ok(Filter::Equals(attr.to_ascii_lowercase(), value.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn entry() -> Entry {
+        Entry::new(Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl").unwrap())
+            .with("objectclass", "sensor")
+            .with("host", "dpss1.lbl.gov")
+            .with("eventtype", "CPU_TOTAL")
+            .with("status", "running")
+    }
+
+    #[test]
+    fn equality_and_presence() {
+        let e = entry();
+        assert!(Filter::eq("host", "DPSS1.LBL.GOV").matches(&e));
+        assert!(!Filter::eq("host", "other").matches(&e));
+        assert!(Filter::present("status").matches(&e));
+        assert!(!Filter::present("gateway").matches(&e));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = entry();
+        let f = Filter::and(vec![
+            Filter::eq("objectclass", "sensor"),
+            Filter::Not(Box::new(Filter::eq("status", "stopped"))),
+        ]);
+        assert!(f.matches(&e));
+        let g = Filter::or(vec![Filter::eq("host", "nope"), Filter::eq("host", "dpss1.lbl.gov")]);
+        assert!(g.matches(&e));
+        assert!(Filter::everything().matches(&e));
+        assert!(!Filter::Or(vec![]).matches(&e), "empty OR matches nothing");
+    }
+
+    #[test]
+    fn substring_patterns() {
+        let e = entry();
+        assert!(Filter::parse("(host=dpss*)").unwrap().matches(&e));
+        assert!(Filter::parse("(host=*.lbl.gov)").unwrap().matches(&e));
+        assert!(Filter::parse("(host=dpss*gov)").unwrap().matches(&e));
+        assert!(Filter::parse("(host=*lbl*)").unwrap().matches(&e));
+        assert!(!Filter::parse("(host=*.anl.gov)").unwrap().matches(&e));
+        assert!(!Filter::parse("(host=isi*)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn parse_canonical_jamm_query() {
+        let f = Filter::parse("(&(objectclass=sensor)(host=dpss1.lbl.gov)(!(status=stopped)))")
+            .unwrap();
+        assert!(f.matches(&entry()));
+        let mut stopped = entry();
+        stopped.set("status", vec!["stopped".into()]);
+        assert!(!f.matches(&stopped));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "(", "()", "(a)", "(&(a=b)", "(a=b))", "junk", "(=x)"] {
+            assert!(Filter::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let f = Filter::parse(" ( & ( objectclass=sensor ) ( status=* ) ) ").unwrap();
+        assert!(f.matches(&entry()));
+    }
+}

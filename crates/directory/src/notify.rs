@@ -1,0 +1,193 @@
+//! Persistent search / event notification.
+//!
+//! The paper (§2.2) looks forward to the LDAPv3 "event notification" service:
+//! "This service lets a client register interest in an entry (i.e., sensor
+//! running) with the LDAP server, and LDAP will notify the client when that
+//! entry becomes available or is updated."  This module provides exactly
+//! that: consumers register a base DN and filter and receive change events
+//! over a channel whenever a matching entry is added, modified or deleted.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::filter::Filter;
+
+/// The kind of change that occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// A matching entry was created.
+    Added,
+    /// A matching entry was modified.
+    Modified,
+    /// A matching entry was removed.
+    Deleted,
+}
+
+/// A change notification delivered to a persistent search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Change {
+    /// What happened.
+    pub kind: ChangeKind,
+    /// The entry after the change (or as it was, for deletions).
+    pub entry: Entry,
+}
+
+struct Subscription {
+    base: Dn,
+    filter: Filter,
+    tx: Sender<Change>,
+}
+
+/// Dispatches change notifications to registered persistent searches.
+#[derive(Default)]
+pub struct Notifier {
+    subs: Mutex<Vec<Subscription>>,
+}
+
+impl std::fmt::Debug for Notifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Notifier({} subscriptions)", self.subs.lock().len())
+    }
+}
+
+impl Notifier {
+    /// Create an empty notifier.
+    pub fn new() -> Self {
+        Notifier::default()
+    }
+
+    /// Register a persistent search.
+    pub fn subscribe(&self, base: Dn, filter: Filter) -> PersistentSearch {
+        let (tx, rx) = unbounded();
+        self.subs.lock().push(Subscription { base, filter, tx });
+        PersistentSearch { rx }
+    }
+
+    /// Publish a change to every interested subscriber.  Subscribers whose
+    /// receiving end has been dropped are pruned.
+    pub fn publish(&self, kind: ChangeKind, entry: &Entry) {
+        let mut subs = self.subs.lock();
+        subs.retain(|sub| {
+            if entry.dn.is_under(&sub.base) && sub.filter.matches(entry) {
+                sub.tx
+                    .send(Change {
+                        kind,
+                        entry: entry.clone(),
+                    })
+                    .is_ok()
+            } else {
+                // Non-matching changes never evict a subscription; dead
+                // channels are pruned the next time they would have matched.
+                true
+            }
+        });
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.lock().len()
+    }
+}
+
+/// The consumer side of a persistent search.
+#[derive(Debug)]
+pub struct PersistentSearch {
+    rx: Receiver<Change>,
+}
+
+impl PersistentSearch {
+    /// Non-blocking: the next pending change, if any.
+    pub fn try_next(&self) -> Option<Change> {
+        match self.rx.try_recv() {
+            Ok(c) => Some(c),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain all pending changes.
+    pub fn drain(&self) -> Vec<Change> {
+        let mut out = Vec::new();
+        while let Some(c) = self.try_next() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or disconnect.
+    pub fn next_timeout(&self, timeout: std::time::Duration) -> Option<Change> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor(host: &str, kind: &str) -> Entry {
+        Entry::new(Dn::parse(&format!("sensor={kind},host={host},o=lbl")).unwrap())
+            .with("objectclass", "sensor")
+            .with("host", host)
+            .with("sensor", kind)
+    }
+
+    #[test]
+    fn matching_changes_are_delivered() {
+        let n = Notifier::new();
+        let watch = n.subscribe(
+            Dn::parse("host=dpss1.lbl.gov,o=lbl").unwrap(),
+            Filter::eq("objectclass", "sensor"),
+        );
+        n.publish(ChangeKind::Added, &sensor("dpss1.lbl.gov", "cpu"));
+        n.publish(ChangeKind::Added, &sensor("dpss2.lbl.gov", "cpu")); // other host
+        n.publish(ChangeKind::Modified, &sensor("dpss1.lbl.gov", "cpu"));
+        let changes = watch.drain();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].kind, ChangeKind::Added);
+        assert_eq!(changes[1].kind, ChangeKind::Modified);
+        assert!(watch.try_next().is_none());
+    }
+
+    #[test]
+    fn filter_restricts_notifications() {
+        let n = Notifier::new();
+        let watch = n.subscribe(Dn::parse("o=lbl").unwrap(), Filter::eq("sensor", "tcp"));
+        n.publish(ChangeKind::Added, &sensor("a.lbl.gov", "cpu"));
+        n.publish(ChangeKind::Added, &sensor("a.lbl.gov", "tcp"));
+        n.publish(ChangeKind::Deleted, &sensor("b.lbl.gov", "tcp"));
+        let changes = watch.drain();
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|c| c.entry.get("sensor") == Some("tcp")));
+        assert_eq!(changes[1].kind, ChangeKind::Deleted);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_their_copy() {
+        let n = Notifier::new();
+        let w1 = n.subscribe(Dn::root(), Filter::everything());
+        let w2 = n.subscribe(Dn::root(), Filter::everything());
+        assert_eq!(n.subscription_count(), 2);
+        n.publish(ChangeKind::Added, &sensor("h", "cpu"));
+        assert_eq!(w1.drain().len(), 1);
+        assert_eq!(w2.drain().len(), 1);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_next_match() {
+        let n = Notifier::new();
+        let w = n.subscribe(Dn::root(), Filter::everything());
+        drop(w);
+        n.publish(ChangeKind::Added, &sensor("h", "cpu"));
+        assert_eq!(n.subscription_count(), 0);
+    }
+
+    #[test]
+    fn timeout_receive() {
+        let n = Notifier::new();
+        let w = n.subscribe(Dn::root(), Filter::everything());
+        assert!(w.next_timeout(std::time::Duration::from_millis(10)).is_none());
+        n.publish(ChangeKind::Added, &sensor("h", "cpu"));
+        assert!(w.next_timeout(std::time::Duration::from_millis(10)).is_some());
+    }
+}

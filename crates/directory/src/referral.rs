@@ -1,0 +1,211 @@
+//! Per-site servers and referral chasing.
+//!
+//! "LDAP servers can be hierarchical, with referrals to other LDAP servers
+//! which contain the directory service information for each site" (§2.2).
+//! A [`Federation`] holds one server per site; searching it chases referrals
+//! so a consumer sees one logical grid-wide directory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::dn::Dn;
+use crate::filter::Filter;
+use crate::server::{DirectoryServer, Scope, SearchResult};
+use crate::{DirectoryError, Result};
+
+/// A set of cooperating per-site directory servers.
+#[derive(Debug, Default, Clone)]
+pub struct Federation {
+    servers: HashMap<String, Arc<DirectoryServer>>,
+}
+
+impl Federation {
+    /// Create an empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// Add a server, keyed by its name/URL.
+    pub fn add_server(&mut self, server: Arc<DirectoryServer>) {
+        self.servers.insert(server.name().to_string(), server);
+    }
+
+    /// Look up a member server by name.
+    pub fn server(&self, name: &str) -> Option<&Arc<DirectoryServer>> {
+        self.servers.get(name)
+    }
+
+    /// Number of member servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Search starting at `start_server`, chasing referrals (breadth-first,
+    /// each server visited at most once).  Entries from every visited server
+    /// are merged; referrals that point outside the federation are surfaced
+    /// in the result so the caller knows coverage was incomplete.
+    pub fn search(
+        &self,
+        start_server: &str,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+    ) -> Result<SearchResult> {
+        let mut merged = SearchResult::default();
+        let mut visited: Vec<String> = Vec::new();
+        let mut queue: Vec<String> = vec![start_server.to_string()];
+
+        while let Some(name) = queue.pop() {
+            if visited.contains(&name) {
+                continue;
+            }
+            visited.push(name.clone());
+            let Some(server) = self.servers.get(&name) else {
+                merged.referrals.push(name);
+                continue;
+            };
+            match server.search(base, scope, filter) {
+                Ok(mut r) => {
+                    merged.entries.append(&mut r.entries);
+                    for referral in r.referrals {
+                        if !visited.contains(&referral) {
+                            queue.push(referral);
+                        }
+                    }
+                }
+                Err(DirectoryError::ServerUnavailable(_)) => {
+                    // A down site does not fail the whole grid query; its
+                    // name is reported as an unreachable referral.
+                    merged.referrals.push(name);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        merged.entries.sort_by_key(|e| e.dn.to_string());
+        merged.entries.dedup_by_key(|e| e.dn.to_string());
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+
+    fn site_server(site: &str) -> Arc<DirectoryServer> {
+        let suffix = Dn::parse(&format!("o={site},o=grid")).unwrap();
+        let s = DirectoryServer::new(format!("ldap://dir.{site}.example"), suffix.clone());
+        for i in 0..3 {
+            let dn = suffix
+                .child("host", format!("node{i}.{site}.example"))
+                .child("sensor", "cpu");
+            s.add(
+                Entry::new(dn)
+                    .with("objectclass", "sensor")
+                    .with("site", site)
+                    .with("sensor", "cpu"),
+            )
+            .unwrap();
+        }
+        Arc::new(s)
+    }
+
+    fn federation() -> (Federation, Arc<DirectoryServer>, Arc<DirectoryServer>, Arc<DirectoryServer>) {
+        let lbl = site_server("lbl");
+        let anl = site_server("anl");
+        let isi = site_server("isi");
+        // LBL refers to ANL and ISI; ANL refers back to LBL (cycle on purpose).
+        lbl.add_referral(Dn::parse("o=anl,o=grid").unwrap(), anl.name());
+        lbl.add_referral(Dn::parse("o=isi,o=grid").unwrap(), isi.name());
+        anl.add_referral(Dn::parse("o=lbl,o=grid").unwrap(), lbl.name());
+        let mut fed = Federation::new();
+        fed.add_server(Arc::clone(&lbl));
+        fed.add_server(Arc::clone(&anl));
+        fed.add_server(Arc::clone(&isi));
+        (fed, lbl, anl, isi)
+    }
+
+    #[test]
+    fn grid_wide_search_chases_referrals_and_merges() {
+        let (fed, lbl, _, _) = federation();
+        assert_eq!(fed.server_count(), 3);
+        let r = fed
+            .search(
+                lbl.name(),
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::eq("objectclass", "sensor"),
+            )
+            .unwrap();
+        assert_eq!(r.entries.len(), 9, "three sites x three sensors");
+        assert!(r.referrals.is_empty());
+    }
+
+    #[test]
+    fn referral_cycles_terminate() {
+        let (fed, _, anl, _) = federation();
+        // Starting at ANL follows the back-referral to LBL and onward to ISI.
+        let r = fed
+            .search(
+                anl.name(),
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert_eq!(r.entries.len(), 9);
+    }
+
+    #[test]
+    fn scoped_search_only_visits_relevant_sites() {
+        let (fed, lbl, _, _) = federation();
+        let r = fed
+            .search(
+                lbl.name(),
+                &Dn::parse("o=anl,o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert_eq!(r.entries.len(), 3);
+        assert!(r.entries.iter().all(|e| e.get("site") == Some("anl")));
+    }
+
+    #[test]
+    fn down_site_is_reported_not_fatal() {
+        let (fed, lbl, anl, _) = federation();
+        anl.set_available(false);
+        let r = fed
+            .search(
+                lbl.name(),
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert_eq!(r.entries.len(), 6, "LBL + ISI still answer");
+        assert_eq!(r.referrals, vec![anl.name().to_string()]);
+    }
+
+    #[test]
+    fn referral_to_unknown_server_is_surfaced() {
+        let (mut fed, lbl, _, _) = federation();
+        lbl.add_referral(
+            Dn::parse("o=ornl,o=grid").unwrap(),
+            "ldap://dir.ornl.example",
+        );
+        // Remove ISI from the federation to simulate an unknown server too.
+        fed.servers.remove("ldap://dir.isi.example");
+        let r = fed
+            .search(
+                lbl.name(),
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert_eq!(r.entries.len(), 6);
+        assert!(r.referrals.contains(&"ldap://dir.ornl.example".to_string()));
+        assert!(r.referrals.contains(&"ldap://dir.isi.example".to_string()));
+    }
+}

@@ -1,0 +1,244 @@
+//! Master/replica replication and failover reads.
+//!
+//! "LDAP also supports the notion of replicated servers, providing fault
+//! tolerance.  Replication is critical to JAMM.  Otherwise, failure of the
+//! sensor directory server could take down the entire system." (§2.2)
+//!
+//! [`ReplicatedDirectory`] accepts writes at the master, pushes them
+//! synchronously to every reachable replica, brings replicas that were down
+//! back up to date with a snapshot, and serves reads from the first
+//! reachable server (master first, then replicas) so the directory keeps
+//! answering when the master fails.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::filter::Filter;
+use crate::server::{DirectoryServer, Scope, SearchResult};
+use crate::{DirectoryError, Result};
+
+/// A master directory server with zero or more replicas.
+#[derive(Debug, Clone)]
+pub struct ReplicatedDirectory {
+    master: Arc<DirectoryServer>,
+    replicas: Vec<Arc<DirectoryServer>>,
+    /// Replicas that missed at least one write while unreachable and need a
+    /// full resynchronisation before they can serve reads again.
+    stale: Arc<Mutex<Vec<String>>>,
+}
+
+impl ReplicatedDirectory {
+    /// Create a replicated directory.
+    pub fn new(master: Arc<DirectoryServer>, replicas: Vec<Arc<DirectoryServer>>) -> Self {
+        ReplicatedDirectory {
+            master,
+            replicas,
+            stale: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The master server.
+    pub fn master(&self) -> &Arc<DirectoryServer> {
+        &self.master
+    }
+
+    /// The replica servers.
+    pub fn replicas(&self) -> &[Arc<DirectoryServer>] {
+        &self.replicas
+    }
+
+    /// Apply a write through the master and propagate it to replicas.
+    /// Replicas that are down are marked stale and resynchronised when they
+    /// come back (see [`ReplicatedDirectory::resync`]).
+    pub fn add_or_replace(&self, entry: Entry) -> Result<()> {
+        self.master.add_or_replace(entry.clone())?;
+        for r in &self.replicas {
+            if r.add_or_replace(entry.clone()).is_err() {
+                self.mark_stale(r.name());
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete through the master and propagate.
+    pub fn delete(&self, dn: &Dn) -> Result<()> {
+        self.master.delete(dn)?;
+        for r in &self.replicas {
+            match r.delete(dn) {
+                Ok(_) | Err(DirectoryError::NoSuchEntry(_)) => {}
+                Err(_) => self.mark_stale(r.name()),
+            }
+        }
+        Ok(())
+    }
+
+    fn mark_stale(&self, name: &str) {
+        let mut stale = self.stale.lock();
+        if !stale.iter().any(|n| n == name) {
+            stale.push(name.to_string());
+        }
+    }
+
+    /// Names of replicas known to be out of date.
+    pub fn stale_replicas(&self) -> Vec<String> {
+        self.stale.lock().clone()
+    }
+
+    /// Push a full snapshot of the master to every stale (and reachable)
+    /// replica, clearing its stale mark.  Returns the number resynchronised.
+    pub fn resync(&self) -> usize {
+        let snapshot = self.master.snapshot();
+        let mut resynced = 0;
+        let mut stale = self.stale.lock();
+        stale.retain(|name| {
+            let Some(replica) = self.replicas.iter().find(|r| r.name() == name) else {
+                return false;
+            };
+            if replica.is_available() {
+                replica.load(snapshot.clone());
+                resynced += 1;
+                false
+            } else {
+                true
+            }
+        });
+        resynced
+    }
+
+    /// Read one entry, trying the master first and then each replica.
+    pub fn lookup(&self, dn: &Dn) -> Result<Entry> {
+        let mut last_err = DirectoryError::ServerUnavailable("no servers".into());
+        for server in self.read_order() {
+            match server.lookup(dn) {
+                Ok(e) => return Ok(e),
+                Err(DirectoryError::ServerUnavailable(_)) => {
+                    last_err = DirectoryError::ServerUnavailable(server.name().to_string());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Search, trying the master first and then each replica.
+    pub fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> Result<SearchResult> {
+        let mut last_err = DirectoryError::ServerUnavailable("no servers".into());
+        for server in self.read_order() {
+            match server.search(base, scope, filter) {
+                Ok(r) => return Ok(r),
+                Err(DirectoryError::ServerUnavailable(_)) => {
+                    last_err = DirectoryError::ServerUnavailable(server.name().to_string());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn read_order(&self) -> impl Iterator<Item = &Arc<DirectoryServer>> {
+        let stale = self.stale.lock().clone();
+        std::iter::once(&self.master).chain(
+            self.replicas
+                .iter()
+                .filter(move |r| !stale.iter().any(|s| s == r.name())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suffix() -> Dn {
+        Dn::parse("o=grid").unwrap()
+    }
+
+    fn sensor(host: &str, kind: &str) -> Entry {
+        Entry::new(Dn::parse(&format!("sensor={kind},host={host},o=grid")).unwrap())
+            .with("objectclass", "sensor")
+            .with("host", host)
+            .with("sensor", kind)
+    }
+
+    fn replicated(n_replicas: usize) -> ReplicatedDirectory {
+        let master = Arc::new(DirectoryServer::new("ldap://master", suffix()));
+        let replicas: Vec<_> = (0..n_replicas)
+            .map(|i| Arc::new(DirectoryServer::new(format!("ldap://replica{i}"), suffix())))
+            .collect();
+        ReplicatedDirectory::new(master, replicas)
+    }
+
+    #[test]
+    fn writes_propagate_to_all_replicas() {
+        let d = replicated(2);
+        d.add_or_replace(sensor("h1", "cpu")).unwrap();
+        d.add_or_replace(sensor("h2", "cpu")).unwrap();
+        assert_eq!(d.master().entry_count(), 2);
+        for r in d.replicas() {
+            assert_eq!(r.entry_count(), 2);
+        }
+        d.delete(&Dn::parse("sensor=cpu,host=h1,o=grid").unwrap()).unwrap();
+        for r in d.replicas() {
+            assert_eq!(r.entry_count(), 1);
+        }
+    }
+
+    #[test]
+    fn reads_fail_over_when_the_master_is_down() {
+        let d = replicated(2);
+        d.add_or_replace(sensor("h1", "cpu")).unwrap();
+        d.master().set_available(false);
+        let dn = Dn::parse("sensor=cpu,host=h1,o=grid").unwrap();
+        assert_eq!(d.lookup(&dn).unwrap().get("host"), Some("h1"));
+        let r = d
+            .search(&suffix(), Scope::Subtree, &Filter::everything())
+            .unwrap();
+        assert_eq!(r.entries.len(), 1);
+    }
+
+    #[test]
+    fn all_servers_down_is_an_error() {
+        let d = replicated(1);
+        d.add_or_replace(sensor("h1", "cpu")).unwrap();
+        d.master().set_available(false);
+        d.replicas()[0].set_available(false);
+        assert!(matches!(
+            d.lookup(&Dn::parse("sensor=cpu,host=h1,o=grid").unwrap()),
+            Err(DirectoryError::ServerUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn missed_writes_mark_replica_stale_and_resync_catches_up() {
+        let d = replicated(2);
+        d.add_or_replace(sensor("h1", "cpu")).unwrap();
+        // Replica 0 goes down and misses two writes.
+        d.replicas()[0].set_available(false);
+        d.add_or_replace(sensor("h2", "cpu")).unwrap();
+        d.add_or_replace(sensor("h3", "cpu")).unwrap();
+        assert_eq!(d.stale_replicas(), vec!["ldap://replica0".to_string()]);
+        assert_eq!(d.replicas()[1].entry_count(), 3);
+        // While stale it is excluded from failover reads.
+        d.master().set_available(false);
+        d.replicas()[1].set_available(false);
+        assert!(d.search(&suffix(), Scope::Subtree, &Filter::everything()).is_err());
+        // It comes back, resync pushes the snapshot, and reads resume.
+        d.master().set_available(true);
+        d.replicas()[0].set_available(true);
+        assert_eq!(d.resync(), 1);
+        assert!(d.stale_replicas().is_empty());
+        assert_eq!(d.replicas()[0].entry_count(), 3);
+    }
+
+    #[test]
+    fn resync_skips_replicas_still_down() {
+        let d = replicated(1);
+        d.replicas()[0].set_available(false);
+        d.add_or_replace(sensor("h1", "cpu")).unwrap();
+        assert_eq!(d.resync(), 0, "replica still down");
+        assert_eq!(d.stale_replicas().len(), 1);
+    }
+}

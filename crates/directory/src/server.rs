@@ -1,0 +1,496 @@
+//! The directory server: a read-optimised hierarchical entry store.
+//!
+//! The paper notes that "current implementations of LDAP servers are
+//! optimized for read access" — so is this one: entries live in a sorted map
+//! behind a `parking_lot::RwLock`, searches take the read lock and proceed
+//! concurrently, and updates take the write lock.  Simple bind (user /
+//! password) authentication protects subtrees, mirroring the user/password
+//! protection discussed in §7.1, and per-operation statistics feed the
+//! directory-scalability experiment (E11).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::filter::Filter;
+use crate::notify::{ChangeKind, Notifier, PersistentSearch};
+use crate::{DirectoryError, Result};
+
+/// Search scope, as in LDAP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Only the base entry itself.
+    Base,
+    /// Immediate children of the base.
+    OneLevel,
+    /// The base and everything underneath it.
+    Subtree,
+}
+
+/// Outcome of a search: matching entries, plus referrals to other servers
+/// whose naming contexts intersect the search base.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchResult {
+    /// Entries that matched the filter, sorted by DN.
+    pub entries: Vec<Entry>,
+    /// URLs (server names) of servers that should also be consulted.
+    pub referrals: Vec<String>,
+}
+
+/// Cumulative operation counters (read by the scalability experiments).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Completed search operations.
+    pub searches: AtomicU64,
+    /// Entries returned by searches.
+    pub entries_returned: AtomicU64,
+    /// Add/modify/delete operations.
+    pub writes: AtomicU64,
+    /// Rejected bind attempts.
+    pub failed_binds: AtomicU64,
+}
+
+/// A single directory server instance.
+#[derive(Debug)]
+pub struct DirectoryServer {
+    name: String,
+    suffix: Dn,
+    entries: RwLock<BTreeMap<String, Entry>>,
+    referrals: RwLock<Vec<(Dn, String)>>,
+    credentials: RwLock<BTreeMap<String, String>>,
+    notifier: Notifier,
+    stats: ServerStats,
+    available: RwLock<bool>,
+}
+
+impl DirectoryServer {
+    /// Create a server named `name` (its "LDAP URL") holding the naming
+    /// context under `suffix`.
+    pub fn new(name: impl Into<String>, suffix: Dn) -> Self {
+        DirectoryServer {
+            name: name.into(),
+            suffix,
+            entries: RwLock::new(BTreeMap::new()),
+            referrals: RwLock::new(Vec::new()),
+            credentials: RwLock::new(BTreeMap::new()),
+            notifier: Notifier::new(),
+            stats: ServerStats::default(),
+            available: RwLock::new(true),
+        }
+    }
+
+    /// The server's name / URL.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The naming context (suffix) this server is authoritative for.
+    pub fn suffix(&self) -> &Dn {
+        &self.suffix
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Mark the server down or up (fault injection for the replication and
+    /// failover tests — the paper calls replication "critical to JAMM").
+    pub fn set_available(&self, up: bool) {
+        *self.available.write() = up;
+    }
+
+    /// Whether the server is currently reachable.
+    pub fn is_available(&self) -> bool {
+        *self.available.read()
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(DirectoryError::ServerUnavailable(self.name.clone()))
+        }
+    }
+
+    /// Register simple-bind credentials allowed to write to this server.
+    pub fn add_credential(&self, user: impl Into<String>, password: impl Into<String>) {
+        self.credentials.write().insert(user.into(), password.into());
+    }
+
+    /// Verify simple-bind credentials.  Servers with no registered
+    /// credentials accept anonymous binds (the default in the prototype).
+    pub fn bind(&self, user: &str, password: &str) -> Result<()> {
+        self.check_available()?;
+        let creds = self.credentials.read();
+        if creds.is_empty() {
+            return Ok(());
+        }
+        match creds.get(user) {
+            Some(p) if p == password => Ok(()),
+            _ => {
+                self.stats.failed_binds.fetch_add(1, Ordering::Relaxed);
+                Err(DirectoryError::AuthenticationFailed)
+            }
+        }
+    }
+
+    /// Register a referral: queries under `subtree` should go to `server`.
+    pub fn add_referral(&self, subtree: Dn, server: impl Into<String>) {
+        self.referrals.write().push((subtree, server.into()));
+    }
+
+    /// Add a new entry.
+    pub fn add(&self, entry: Entry) -> Result<()> {
+        self.check_available()?;
+        if !entry.dn.is_under(&self.suffix) {
+            return Err(DirectoryError::NotAuthorized(format!(
+                "{} is outside naming context {}",
+                entry.dn, self.suffix
+            )));
+        }
+        let key = entry.dn.to_string();
+        let mut entries = self.entries.write();
+        if entries.contains_key(&key) {
+            return Err(DirectoryError::AlreadyExists(key));
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.notifier.publish(ChangeKind::Added, &entry);
+        entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Add the entry, or replace it completely if it already exists.  This is
+    /// what sensor managers use to refresh publication records.
+    pub fn add_or_replace(&self, entry: Entry) -> Result<()> {
+        self.check_available()?;
+        if !entry.dn.is_under(&self.suffix) {
+            return Err(DirectoryError::NotAuthorized(format!(
+                "{} is outside naming context {}",
+                entry.dn, self.suffix
+            )));
+        }
+        let key = entry.dn.to_string();
+        let mut entries = self.entries.write();
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let kind = if entries.contains_key(&key) {
+            ChangeKind::Modified
+        } else {
+            ChangeKind::Added
+        };
+        self.notifier.publish(kind, &entry);
+        entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Modify an existing entry in place via the supplied closure.
+    pub fn modify<F: FnOnce(&mut Entry)>(&self, dn: &Dn, f: F) -> Result<()> {
+        self.check_available()?;
+        let key = dn.to_string();
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(&key)
+            .ok_or_else(|| DirectoryError::NoSuchEntry(key.clone()))?;
+        f(entry);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.notifier.publish(ChangeKind::Modified, entry);
+        Ok(())
+    }
+
+    /// Delete an entry.
+    pub fn delete(&self, dn: &Dn) -> Result<Entry> {
+        self.check_available()?;
+        let key = dn.to_string();
+        let mut entries = self.entries.write();
+        let removed = entries
+            .remove(&key)
+            .ok_or(DirectoryError::NoSuchEntry(key))?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.notifier.publish(ChangeKind::Deleted, &removed);
+        Ok(removed)
+    }
+
+    /// Fetch one entry by DN.
+    pub fn lookup(&self, dn: &Dn) -> Result<Entry> {
+        self.check_available()?;
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        let entries = self.entries.read();
+        entries
+            .get(&dn.to_string())
+            .cloned()
+            .inspect(|_| {
+                self.stats.entries_returned.fetch_add(1, Ordering::Relaxed);
+            })
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.to_string()))
+    }
+
+    /// Search under `base` with the given scope and filter.
+    pub fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> Result<SearchResult> {
+        self.check_available()?;
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        let mut result = SearchResult::default();
+
+        // Referrals whose subtree could contain matches for this base.
+        for (subtree, server) in self.referrals.read().iter() {
+            if subtree.is_under(base) || base.is_under(subtree) {
+                result.referrals.push(server.clone());
+            }
+        }
+
+        let entries = self.entries.read();
+        for entry in entries.values() {
+            let in_scope = match scope {
+                Scope::Base => entry.dn == *base,
+                Scope::OneLevel => entry.dn.is_child_of(base),
+                Scope::Subtree => entry.dn.is_under(base),
+            };
+            if in_scope && filter.matches(entry) {
+                result.entries.push(entry.clone());
+            }
+        }
+        self.stats
+            .entries_returned
+            .fetch_add(result.entries.len() as u64, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Number of entries held.
+    pub fn entry_count(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Register a persistent search ("event notification" in LDAPv3 terms):
+    /// the returned handle yields a [`crate::notify::Change`] whenever an
+    /// entry under `base` matching `filter` is added, modified or deleted.
+    pub fn persistent_search(&self, base: Dn, filter: Filter) -> PersistentSearch {
+        self.notifier.subscribe(base, filter)
+    }
+
+    /// A full copy of the server's contents (used by replication).
+    pub fn snapshot(&self) -> Vec<Entry> {
+        self.entries.read().values().cloned().collect()
+    }
+
+    /// Bulk-load entries (used by replication catch-up).  Existing entries
+    /// with the same DN are replaced; no notifications fire.
+    pub fn load(&self, entries: Vec<Entry>) {
+        let mut map = self.entries.write();
+        for e in entries {
+            map.insert(e.dn.to_string(), e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_suffix() -> Dn {
+        Dn::parse("o=grid").unwrap()
+    }
+
+    fn sensor(host: &str, sensor: &str, gateway: &str) -> Entry {
+        Entry::new(
+            Dn::parse(&format!("sensor={sensor},host={host},o=lbl,o=grid")).unwrap(),
+        )
+        .with("objectclass", "sensor")
+        .with("host", host)
+        .with("sensor", sensor)
+        .with("gateway", gateway)
+        .with("status", "running")
+    }
+
+    fn populated() -> DirectoryServer {
+        let s = DirectoryServer::new("ldap://dir.lbl.gov", grid_suffix());
+        for host in ["dpss1.lbl.gov", "dpss2.lbl.gov", "mems.cairn.net"] {
+            for kind in ["cpu", "memory", "tcp"] {
+                s.add(sensor(host, kind, "gw1.lbl.gov:8765")).unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn add_lookup_delete_lifecycle() {
+        let s = populated();
+        assert_eq!(s.entry_count(), 9);
+        let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
+        let e = s.lookup(&dn).unwrap();
+        assert_eq!(e.get("gateway"), Some("gw1.lbl.gov:8765"));
+        // Duplicate add is rejected.
+        assert!(matches!(
+            s.add(sensor("dpss1.lbl.gov", "cpu", "x")),
+            Err(DirectoryError::AlreadyExists(_))
+        ));
+        s.delete(&dn).unwrap();
+        assert!(matches!(s.lookup(&dn), Err(DirectoryError::NoSuchEntry(_))));
+        assert_eq!(s.entry_count(), 8);
+    }
+
+    #[test]
+    fn entries_outside_the_naming_context_are_rejected() {
+        let s = DirectoryServer::new("ldap://dir.lbl.gov", Dn::parse("o=lbl,o=grid").unwrap());
+        let foreign = Entry::new(Dn::parse("host=x,o=anl,o=grid").unwrap());
+        assert!(matches!(s.add(foreign), Err(DirectoryError::NotAuthorized(_))));
+    }
+
+    #[test]
+    fn subtree_onelevel_and_base_scopes() {
+        let s = populated();
+        let base = Dn::parse("host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
+        let all = s
+            .search(&base, Scope::Subtree, &Filter::everything())
+            .unwrap();
+        assert_eq!(all.entries.len(), 3);
+        let children = s
+            .search(&base, Scope::OneLevel, &Filter::everything())
+            .unwrap();
+        assert_eq!(children.entries.len(), 3);
+        let just_base = s
+            .search(&base, Scope::Base, &Filter::everything())
+            .unwrap();
+        assert_eq!(just_base.entries.len(), 0, "no entry exists at the host DN itself");
+        let root = s
+            .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &Filter::everything())
+            .unwrap();
+        assert_eq!(root.entries.len(), 9);
+    }
+
+    #[test]
+    fn filtered_search_finds_sensors_by_type_and_host() {
+        let s = populated();
+        let f = Filter::parse("(&(objectclass=sensor)(sensor=cpu)(host=dpss*))").unwrap();
+        let r = s
+            .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &f)
+            .unwrap();
+        assert_eq!(r.entries.len(), 2);
+        assert!(r.entries.iter().all(|e| e.get("sensor") == Some("cpu")));
+    }
+
+    #[test]
+    fn modify_updates_in_place_and_counts_writes() {
+        let s = populated();
+        let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
+        s.modify(&dn, |e| e.set("status", vec!["stopped".into()])).unwrap();
+        assert_eq!(s.lookup(&dn).unwrap().get("status"), Some("stopped"));
+        assert!(matches!(
+            s.modify(&Dn::parse("sensor=zzz,o=grid").unwrap(), |_| {}),
+            Err(DirectoryError::NoSuchEntry(_))
+        ));
+        assert!(s.stats().writes.load(Ordering::Relaxed) >= 10);
+        assert!(s.stats().searches.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn add_or_replace_is_idempotent_refresh() {
+        let s = populated();
+        let mut e = sensor("dpss1.lbl.gov", "cpu", "gw2.lbl.gov:8765");
+        e.set("status", vec!["running".into()]);
+        s.add_or_replace(e).unwrap();
+        let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
+        assert_eq!(s.lookup(&dn).unwrap().get("gateway"), Some("gw2.lbl.gov:8765"));
+        assert_eq!(s.entry_count(), 9, "replace does not duplicate");
+    }
+
+    #[test]
+    fn bind_requires_matching_credentials_once_registered() {
+        let s = populated();
+        assert!(s.bind("anyone", "anything").is_ok(), "anonymous ok by default");
+        s.add_credential("jamm-manager", "secret");
+        assert!(s.bind("jamm-manager", "secret").is_ok());
+        assert!(matches!(
+            s.bind("jamm-manager", "wrong"),
+            Err(DirectoryError::AuthenticationFailed)
+        ));
+        assert!(matches!(
+            s.bind("stranger", "secret"),
+            Err(DirectoryError::AuthenticationFailed)
+        ));
+        assert_eq!(s.stats().failed_binds.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unavailable_server_rejects_everything() {
+        let s = populated();
+        s.set_available(false);
+        assert!(!s.is_available());
+        let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
+        assert!(matches!(s.lookup(&dn), Err(DirectoryError::ServerUnavailable(_))));
+        assert!(matches!(
+            s.search(&grid_suffix(), Scope::Subtree, &Filter::everything()),
+            Err(DirectoryError::ServerUnavailable(_))
+        ));
+        s.set_available(true);
+        assert!(s.lookup(&dn).is_ok());
+    }
+
+    #[test]
+    fn search_returns_relevant_referrals() {
+        let s = populated();
+        s.add_referral(Dn::parse("o=anl,o=grid").unwrap(), "ldap://dir.anl.gov");
+        s.add_referral(Dn::parse("o=isi,o=grid").unwrap(), "ldap://dir.isi.edu");
+        // A grid-wide search sees both referrals.
+        let r = s
+            .search(&grid_suffix(), Scope::Subtree, &Filter::everything())
+            .unwrap();
+        assert_eq!(r.referrals.len(), 2);
+        // A search scoped to the ANL subtree sees only the ANL referral.
+        let r = s
+            .search(
+                &Dn::parse("host=x.anl.gov,o=anl,o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert_eq!(r.referrals, vec!["ldap://dir.anl.gov".to_string()]);
+        // A search inside LBL's own data sees none.
+        let r = s
+            .search(
+                &Dn::parse("o=lbl,o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
+            .unwrap();
+        assert!(r.referrals.is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_load_round_trip() {
+        let s = populated();
+        let copy = DirectoryServer::new("ldap://replica.lbl.gov", grid_suffix());
+        copy.load(s.snapshot());
+        assert_eq!(copy.entry_count(), s.entry_count());
+        let f = Filter::eq("sensor", "memory");
+        let a = s.search(&grid_suffix(), Scope::Subtree, &f).unwrap();
+        let b = copy.search(&grid_suffix(), Scope::Subtree, &f).unwrap();
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_block_each_other() {
+        use std::sync::Arc;
+        let s = Arc::new(populated());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let f = Filter::eq("objectclass", "sensor");
+                let mut found = 0;
+                for _ in 0..200 {
+                    found += s
+                        .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &f)
+                        .unwrap()
+                        .entries
+                        .len();
+                }
+                found
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 200 * 9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-subscription event filters.
+//!
+//! "The consumer may request all event data, or only to be notified of
+//! certain types of events.  For example the netstat sensor may output the
+//! value of the TCP retransmission counter every second, but most consumers
+//! only want to be notified when the counter changes. ...  A consumer can
+//! also request that an event be sent only if its value crosses a certain
+//! threshold.  Examples of such a threshold would be if CPU load becomes
+//! greater than 50%, or if load changes by more than 20%." (§2.2)
+
+use std::collections::HashMap;
+
+use jamm_ulm::{Event, Level};
+use serde::{Deserialize, Serialize};
+
+/// A single filter predicate.  A subscription carries a list of filters that
+/// must all pass ([`FilterChain`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventFilter {
+    /// Pass every event.
+    All,
+    /// Pass only the listed event types.
+    EventTypes(Vec<String>),
+    /// Pass only events from the listed hosts.
+    Hosts(Vec<String>),
+    /// Pass only events whose severity is at least this level
+    /// (Warning passes Error, etc.).
+    MinLevel(Level),
+    /// Pass an event only when its `VAL` reading differs from the previous
+    /// reading of the same (host, event type).
+    OnChange,
+    /// Pass an event only when its `VAL` reading is above the threshold.
+    Above(f64),
+    /// Pass an event only when its `VAL` reading is below the threshold.
+    Below(f64),
+    /// Pass an event only when its `VAL` reading crosses the threshold in
+    /// either direction relative to the previous reading (the "CPU load
+    /// becomes greater than 50%" request).
+    Crosses(f64),
+    /// Pass an event only when its `VAL` reading changed by more than the
+    /// given fraction relative to the previous reading ("load changes by more
+    /// than 20%" is `RelativeChange(0.2)`).
+    RelativeChange(f64),
+}
+
+impl EventFilter {
+    /// Whether this filter needs to remember previous readings.
+    fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            EventFilter::OnChange | EventFilter::Crosses(_) | EventFilter::RelativeChange(_)
+        )
+    }
+}
+
+/// Severity ordering helper: is `lvl` at least as severe as `min`?
+fn at_least(lvl: Level, min: Level) -> bool {
+    severity(lvl) >= severity(min)
+}
+
+fn severity(l: Level) -> u8 {
+    match l {
+        Level::Usage => 0,
+        Level::Debug => 1,
+        Level::Info => 2,
+        Level::Notice => 3,
+        Level::Warning => 4,
+        Level::Error => 5,
+        Level::Critical => 6,
+        Level::Alert => 7,
+        Level::Emergency => 8,
+    }
+}
+
+/// A conjunction of filters with the per-(host, event-type) state the
+/// stateful predicates need.
+#[derive(Debug, Clone, Default)]
+pub struct FilterChain {
+    filters: Vec<EventFilter>,
+    last_value: HashMap<(String, String), f64>,
+}
+
+impl FilterChain {
+    /// Build a chain from a list of filters (empty list passes everything).
+    pub fn new(filters: Vec<EventFilter>) -> Self {
+        FilterChain {
+            filters,
+            last_value: HashMap::new(),
+        }
+    }
+
+    /// The filters in the chain.
+    pub fn filters(&self) -> &[EventFilter] {
+        &self.filters
+    }
+
+    /// Evaluate the chain against an event, updating change-tracking state.
+    ///
+    /// The previous-reading state is updated whenever the event carries a
+    /// numeric `VAL`, whether or not the event ultimately passes, so "on
+    /// change" and "crosses" behave like the paper describes even when other
+    /// predicates in the chain reject a particular event.
+    pub fn accept(&mut self, event: &Event) -> bool {
+        let key = (event.host.clone(), event.event_type.clone());
+        let value = event.value();
+        let prev = self.last_value.get(&key).copied();
+
+        let mut pass = true;
+        for f in &self.filters {
+            let ok = match f {
+                EventFilter::All => true,
+                EventFilter::EventTypes(types) => types.contains(&event.event_type),
+                EventFilter::Hosts(hosts) => hosts.contains(&event.host),
+                EventFilter::MinLevel(min) => at_least(event.level, *min),
+                EventFilter::OnChange => match (value, prev) {
+                    (Some(v), Some(p)) => v != p,
+                    (Some(_), None) => true,
+                    (None, _) => true,
+                },
+                EventFilter::Above(t) => value.is_some_and(|v| v > *t),
+                EventFilter::Below(t) => value.is_some_and(|v| v < *t),
+                EventFilter::Crosses(t) => match (value, prev) {
+                    (Some(v), Some(p)) => (p <= *t && v > *t) || (p >= *t && v < *t),
+                    (Some(v), None) => v > *t,
+                    (None, _) => false,
+                },
+                EventFilter::RelativeChange(frac) => match (value, prev) {
+                    (Some(v), Some(p)) if p.abs() > f64::EPSILON => {
+                        ((v - p) / p).abs() > *frac
+                    }
+                    (Some(_), _) => true,
+                    (None, _) => false,
+                },
+            };
+            if !ok {
+                pass = false;
+                break;
+            }
+        }
+
+        if let Some(v) = value {
+            if self.filters.iter().any(EventFilter::is_stateful) {
+                self.last_value.insert(key, v);
+            }
+        }
+        pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::Timestamp;
+
+    fn ev(host: &str, ty: &str, level: Level, value: Option<f64>) -> Event {
+        let mut b = Event::builder("prog", host)
+            .level(level)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(1));
+        if let Some(v) = value {
+            b = b.value(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn event_type_and_host_selection() {
+        let mut c = FilterChain::new(vec![
+            EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
+            EventFilter::Hosts(vec!["a".into(), "b".into()]),
+        ]);
+        assert!(c.accept(&ev("a", "CPU_TOTAL", Level::Usage, Some(1.0))));
+        assert!(!c.accept(&ev("c", "CPU_TOTAL", Level::Usage, Some(1.0))));
+        assert!(!c.accept(&ev("a", "VMSTAT_FREE_MEMORY", Level::Usage, Some(1.0))));
+    }
+
+    #[test]
+    fn min_level_floor() {
+        let mut c = FilterChain::new(vec![EventFilter::MinLevel(Level::Warning)]);
+        assert!(c.accept(&ev("h", "X", Level::Error, None)));
+        assert!(c.accept(&ev("h", "X", Level::Warning, None)));
+        assert!(!c.accept(&ev("h", "X", Level::Info, None)));
+        assert!(!c.accept(&ev("h", "X", Level::Usage, None)));
+    }
+
+    #[test]
+    fn on_change_suppresses_repeats_per_host_and_type() {
+        let mut c = FilterChain::new(vec![EventFilter::OnChange]);
+        assert!(c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
+        assert!(!c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
+        assert!(!c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
+        assert!(c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(6.0))));
+        // A different host is tracked independently.
+        assert!(c.accept(&ev("h2", "NETSTAT_RETRANS", Level::Usage, Some(6.0))));
+    }
+
+    #[test]
+    fn paper_example_cpu_above_50() {
+        let mut c = FilterChain::new(vec![
+            EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
+            EventFilter::Above(50.0),
+        ]);
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(30.0))));
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(75.0))));
+    }
+
+    #[test]
+    fn crossing_fires_on_both_directions_but_not_within_a_side() {
+        let mut c = FilterChain::new(vec![EventFilter::Crosses(50.0)]);
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(30.0))));
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(60.0)))); // up-cross
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(70.0)))); // still above
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(40.0)))); // down-cross
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(45.0))));
+    }
+
+    #[test]
+    fn paper_example_load_changes_by_20_percent() {
+        let mut c = FilterChain::new(vec![EventFilter::RelativeChange(0.2)]);
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(50.0)))); // first
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(55.0)))); // +10%
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(70.0)))); // +27%
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(60.0)))); // -14%
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(20.0)))); // -66%
+    }
+
+    #[test]
+    fn below_filter_and_empty_chain() {
+        let mut below = FilterChain::new(vec![EventFilter::Below(1_000.0)]);
+        assert!(below.accept(&ev("h", "VMSTAT_FREE_MEMORY", Level::Usage, Some(500.0))));
+        assert!(!below.accept(&ev("h", "VMSTAT_FREE_MEMORY", Level::Usage, Some(5_000.0))));
+        let mut all = FilterChain::new(vec![]);
+        assert!(all.accept(&ev("h", "ANYTHING", Level::Usage, None)));
+    }
+
+    #[test]
+    fn stateful_filters_track_even_when_other_predicates_reject() {
+        // Host filter rejects h2 events, but the change tracking for h1 is
+        // unaffected by them.
+        let mut c = FilterChain::new(vec![
+            EventFilter::Hosts(vec!["h1".into()]),
+            EventFilter::OnChange,
+        ]);
+        assert!(c.accept(&ev("h1", "X", Level::Usage, Some(1.0))));
+        assert!(!c.accept(&ev("h2", "X", Level::Usage, Some(2.0))));
+        assert!(!c.accept(&ev("h1", "X", Level::Usage, Some(1.0))), "unchanged");
+        assert!(c.accept(&ev("h1", "X", Level::Usage, Some(3.0))));
+    }
+}

@@ -1,0 +1,452 @@
+//! The event gateway.
+//!
+//! The gateway receives every event its host's sensors produce (pushed by
+//! the sensor manager) and fans it out to subscribed consumers according to
+//! their filters — streaming subscriptions get a channel, query consumers
+//! ask for the most recent event on demand.  It also keeps the summary
+//! engine fed, enforces the site's access policy, and counts what it
+//! delivers so the scalability experiments can compare "N consumers hitting
+//! the sensor host" with "N consumers hitting one gateway" (E7) and measure
+//! how much the filters reduce delivered volume (E10).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use jamm_ulm::{Event, Timestamp};
+use parking_lot::{Mutex, RwLock};
+
+use jamm_auth::acl::{AccessControlList, Action};
+
+use crate::filter::{EventFilter, FilterChain};
+use crate::summary::{SummaryEngine, SummaryWindow};
+use crate::{GatewayError, Result};
+
+/// How a consumer wants to receive events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriptionMode {
+    /// "In streaming mode the consumer opens an event channel and the events
+    /// are returned in a stream."
+    Stream,
+    /// "In query mode the consumer does not open an event channel, but only
+    /// requests the most recent event."
+    Query,
+}
+
+/// A subscription request.
+#[derive(Debug, Clone)]
+pub struct SubscribeRequest {
+    /// The consumer's principal (mapped local user or certificate subject).
+    pub consumer: String,
+    /// Delivery mode.
+    pub mode: SubscriptionMode,
+    /// Filters to apply (all must pass).
+    pub filters: Vec<EventFilter>,
+}
+
+/// A live streaming subscription handle returned to the consumer.
+#[derive(Debug)]
+pub struct Subscription {
+    /// Subscription identifier (used to unsubscribe).
+    pub id: u64,
+    /// Channel on which matching events arrive.
+    pub events: Receiver<Event>,
+}
+
+struct ActiveSubscription {
+    id: u64,
+    consumer: String,
+    chain: FilterChain,
+    tx: Sender<Event>,
+    delivered: u64,
+    delivered_bytes: u64,
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Gateway name, used as the `PROG` of summary events and as the ACL
+    /// resource prefix.
+    pub name: String,
+    /// Access policy; `None` means a completely open gateway (the prototype
+    /// default in the paper's current-status section).
+    pub acl: Option<AccessControlList>,
+    /// Summary windows the gateway maintains.
+    pub summary_windows: Vec<SummaryWindow>,
+}
+
+impl GatewayConfig {
+    /// An open gateway with the standard 1/10/60-minute summaries.
+    pub fn open(name: impl Into<String>) -> Self {
+        GatewayConfig {
+            name: name.into(),
+            acl: None,
+            summary_windows: SummaryWindow::all().to_vec(),
+        }
+    }
+
+    /// A gateway enforcing the given ACL.
+    pub fn with_acl(name: impl Into<String>, acl: AccessControlList) -> Self {
+        GatewayConfig {
+            name: name.into(),
+            acl: Some(acl),
+            summary_windows: SummaryWindow::all().to_vec(),
+        }
+    }
+}
+
+/// Cumulative gateway statistics.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Events published into the gateway by sensor managers.
+    pub events_in: AtomicU64,
+    /// Event copies delivered to streaming consumers.
+    pub events_out: AtomicU64,
+    /// Bytes (approximate ULM size) delivered to streaming consumers.
+    pub bytes_out: AtomicU64,
+    /// Query-mode requests served.
+    pub queries: AtomicU64,
+}
+
+/// The JAMM event gateway.
+pub struct EventGateway {
+    config: GatewayConfig,
+    subscriptions: Mutex<Vec<ActiveSubscription>>,
+    latest: RwLock<HashMap<(String, String), Event>>,
+    summaries: Mutex<SummaryEngine>,
+    stats: GatewayStats,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for EventGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventGateway")
+            .field("name", &self.config.name)
+            .field("subscribers", &self.subscriptions.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventGateway {
+    /// Create a gateway.
+    pub fn new(config: GatewayConfig) -> Self {
+        EventGateway {
+            config,
+            subscriptions: Mutex::new(Vec::new()),
+            latest: RwLock::new(HashMap::new()),
+            summaries: Mutex::new(SummaryEngine::new()),
+            stats: GatewayStats::default(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The gateway's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.stats
+    }
+
+    fn check(&self, consumer: &str, action: Action) -> Result<()> {
+        if let Some(acl) = &self.config.acl {
+            acl.check(consumer, &format!("gateway:{}", self.config.name), action)
+                .map_err(|e| GatewayError::AccessDenied(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Subscribe for streaming delivery.  Query-mode consumers do not
+    /// subscribe; they call [`EventGateway::query`].
+    pub fn subscribe(&self, request: SubscribeRequest) -> Result<Subscription> {
+        let action = match request.mode {
+            SubscriptionMode::Stream => Action::SubscribeStream,
+            SubscriptionMode::Query => Action::Query,
+        };
+        self.check(&request.consumer, action)?;
+        let (tx, rx) = unbounded();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscriptions.lock().push(ActiveSubscription {
+            id,
+            consumer: request.consumer,
+            chain: FilterChain::new(request.filters),
+            tx,
+            delivered: 0,
+            delivered_bytes: 0,
+        });
+        Ok(Subscription { id, events: rx })
+    }
+
+    /// Cancel a streaming subscription.
+    pub fn unsubscribe(&self, id: u64) -> Result<()> {
+        let mut subs = self.subscriptions.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        if subs.len() == before {
+            Err(GatewayError::NoSuchSubscription(id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of live streaming subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriptions.lock().len()
+    }
+
+    /// Publish one event into the gateway (called by the sensor manager).
+    ///
+    /// Returns the number of consumers the event was delivered to.
+    pub fn publish(&self, event: &Event) -> usize {
+        self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+        // Most-recent cache for query mode.
+        self.latest
+            .write()
+            .insert((event.host.clone(), event.event_type.clone()), event.clone());
+        // Summaries.
+        self.summaries.lock().record(event);
+        // Fan out to streaming subscribers.
+        let size = event.approx_size() as u64;
+        let mut delivered = 0;
+        let mut subs = self.subscriptions.lock();
+        subs.retain_mut(|sub| {
+            if sub.chain.accept(event) {
+                if sub.tx.send(event.clone()).is_err() {
+                    // Consumer went away; drop the subscription.
+                    return false;
+                }
+                sub.delivered += 1;
+                sub.delivered_bytes += size;
+                delivered += 1;
+            }
+            true
+        });
+        self.stats
+            .events_out
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(delivered as u64 * size, Ordering::Relaxed);
+        delivered
+    }
+
+    /// Publish a batch of events.
+    pub fn publish_all<'a>(&self, events: impl IntoIterator<Item = &'a Event>) -> usize {
+        events.into_iter().map(|e| self.publish(e)).sum()
+    }
+
+    /// Query mode: the most recent event of `event_type` from `host`.
+    pub fn query(&self, consumer: &str, host: &str, event_type: &str) -> Result<Option<Event>> {
+        self.check(consumer, Action::Query)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .latest
+            .read()
+            .get(&(host.to_string(), event_type.to_string()))
+            .cloned())
+    }
+
+    /// Summary data for consumers entitled to summaries only (or anyone who
+    /// prefers them): one synthetic event per tracked series per window.
+    pub fn summaries(&self, consumer: &str, now: Timestamp) -> Result<Vec<Event>> {
+        self.check(consumer, Action::Summary)?;
+        Ok(self.summaries.lock().summary_events(
+            &self.config.summary_windows,
+            now,
+            &self.config.name,
+        ))
+    }
+
+    /// Per-subscription delivery counts `(subscription id, consumer, events,
+    /// bytes)` — used by the experiments and the status GUI.
+    pub fn delivery_report(&self) -> Vec<(u64, String, u64, u64)> {
+        self.subscriptions
+            .lock()
+            .iter()
+            .map(|s| (s.id, s.consumer.clone(), s.delivered, s.delivered_bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_auth::acl::Principal;
+    use jamm_ulm::Level;
+
+    fn ev(host: &str, ty: &str, value: f64, t: u64) -> Event {
+        Event::builder("vmstat", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(t))
+            .value(value)
+            .build()
+    }
+
+    #[test]
+    fn streaming_subscription_receives_matching_events_only() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub = gw
+            .subscribe(SubscribeRequest {
+                consumer: "collector".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![EventFilter::EventTypes(vec!["CPU_TOTAL".into()])],
+            })
+            .unwrap();
+        assert_eq!(gw.subscriber_count(), 1);
+        gw.publish(&ev("h1", "CPU_TOTAL", 10.0, 1));
+        gw.publish(&ev("h1", "VMSTAT_FREE_MEMORY", 999.0, 1));
+        gw.publish(&ev("h2", "CPU_TOTAL", 20.0, 2));
+        let got: Vec<Event> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.event_type == "CPU_TOTAL"));
+        assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 3);
+        assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn query_mode_returns_most_recent_event() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        assert_eq!(gw.query("c", "h1", "CPU_TOTAL").unwrap(), None);
+        gw.publish(&ev("h1", "CPU_TOTAL", 10.0, 1));
+        gw.publish(&ev("h1", "CPU_TOTAL", 55.0, 2));
+        let latest = gw.query("c", "h1", "CPU_TOTAL").unwrap().unwrap();
+        assert_eq!(latest.value(), Some(55.0));
+        assert_eq!(gw.stats().queries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unsubscribe_and_dead_consumer_cleanup() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub1 = gw
+            .subscribe(SubscribeRequest {
+                consumer: "a".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![],
+            })
+            .unwrap();
+        let sub2 = gw
+            .subscribe(SubscribeRequest {
+                consumer: "b".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![],
+            })
+            .unwrap();
+        assert_eq!(gw.subscriber_count(), 2);
+        gw.unsubscribe(sub1.id).unwrap();
+        assert!(matches!(
+            gw.unsubscribe(sub1.id),
+            Err(GatewayError::NoSuchSubscription(_))
+        ));
+        assert_eq!(gw.subscriber_count(), 1);
+        // Dropping the receiver makes the next publish prune the subscription.
+        drop(sub2);
+        gw.publish(&ev("h", "X", 1.0, 1));
+        assert_eq!(gw.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn threshold_subscription_reduces_delivered_volume() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let everything = gw
+            .subscribe(SubscribeRequest {
+                consumer: "all".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![],
+            })
+            .unwrap();
+        let filtered = gw
+            .subscribe(SubscribeRequest {
+                consumer: "ops".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![EventFilter::Above(50.0)],
+            })
+            .unwrap();
+        for i in 0..100 {
+            gw.publish(&ev("h", "CPU_TOTAL", (i % 10) as f64 * 10.0, i));
+        }
+        let all_count = everything.events.try_iter().count();
+        let filtered_count = filtered.events.try_iter().count();
+        assert_eq!(all_count, 100);
+        assert!(filtered_count < 50, "only the >50% readings: {filtered_count}");
+        assert!(filtered_count > 0);
+        let report = gw.delivery_report();
+        assert_eq!(report.len(), 2);
+        assert!(report.iter().any(|(_, c, n, _)| c == "ops" && *n == filtered_count as u64));
+    }
+
+    #[test]
+    fn acl_restricts_streaming_to_internal_users() {
+        let mut acl = AccessControlList::summary_for_others();
+        acl.grant(
+            Principal::OrgPrefix("/O=Grid/O=LBNL".into()),
+            "gateway:gw1",
+            [Action::SubscribeStream, Action::Query, Action::Summary],
+        );
+        let gw = EventGateway::new(GatewayConfig::with_acl("gw1", acl));
+        // Internal consumer streams.
+        assert!(gw
+            .subscribe(SubscribeRequest {
+                consumer: "/O=Grid/O=LBNL/CN=Dan Gunter".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![],
+            })
+            .is_ok());
+        // Off-site consumer cannot stream but can query and get summaries.
+        let offsite = "/O=Grid/O=NCSA/CN=Remote";
+        assert!(matches!(
+            gw.subscribe(SubscribeRequest {
+                consumer: offsite.into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![],
+            }),
+            Err(GatewayError::AccessDenied(_))
+        ));
+        gw.publish(&ev("h", "CPU_TOTAL", 42.0, 10));
+        assert!(gw.query(offsite, "h", "CPU_TOTAL").unwrap().is_some());
+        assert!(gw.summaries(offsite, Timestamp::from_secs(11)).is_ok());
+    }
+
+    #[test]
+    fn summaries_reflect_published_readings() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        for i in 0..30u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", 60.0, 1_000 + i));
+        }
+        let summaries = gw.summaries("c", Timestamp::from_secs(1_030)).unwrap();
+        let one_min = summaries
+            .iter()
+            .find(|e| e.event_type == "CPU_TOTAL_AVG_1MIN")
+            .expect("1-minute summary present");
+        assert_eq!(one_min.value(), Some(60.0));
+        assert_eq!(one_min.program, "gw1");
+    }
+
+    #[test]
+    fn on_change_filter_state_is_per_subscription() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let s1 = gw
+            .subscribe(SubscribeRequest {
+                consumer: "a".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![EventFilter::OnChange],
+            })
+            .unwrap();
+        gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 1));
+        gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 2));
+        // A subscriber arriving later starts with fresh state.
+        let s2 = gw
+            .subscribe(SubscribeRequest {
+                consumer: "b".into(),
+                mode: SubscriptionMode::Stream,
+                filters: vec![EventFilter::OnChange],
+            })
+            .unwrap();
+        gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 3));
+        gw.publish(&ev("h", "NETSTAT_RETRANS", 7.0, 4));
+        assert_eq!(s1.events.try_iter().count(), 2, "first + change");
+        assert_eq!(s2.events.try_iter().count(), 2, "first seen + change");
+    }
+}

@@ -1,0 +1,49 @@
+//! # jamm-gateway — the JAMM event gateway
+//!
+//! "Event gateways are responsible for listening for requests from event
+//! consumers.  Event gateways can service 'streaming' or 'query' requests
+//! from consumers." (§2.2)  The gateway is the *producer* in JAMM's
+//! producer/consumer model: the event channel is embedded here, it
+//! multiplexes sensor output to any number of consumers, filters what each
+//! consumer asked for, computes summary data, and enforces site access
+//! policy — all without the monitored host seeing any additional load.
+//!
+//! * [`filter`] — per-subscription event filters: event-type selection,
+//!   on-change delivery, absolute and relative thresholds, severity floors;
+//! * [`summary`] — 1/10/60-minute windowed averages of numeric readings;
+//! * [`gateway`] — the [`EventGateway`] itself: publish, subscribe (stream),
+//!   query (most recent event), access control and delivery statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod gateway;
+pub mod summary;
+
+pub use filter::EventFilter;
+pub use gateway::{EventGateway, GatewayConfig, SubscribeRequest, Subscription, SubscriptionMode};
+pub use summary::{SummaryEngine, SummaryWindow};
+
+/// Errors returned by gateway operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The consumer is not allowed to perform the request.
+    AccessDenied(String),
+    /// The referenced subscription does not exist.
+    NoSuchSubscription(u64),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::AccessDenied(what) => write!(f, "access denied: {what}"),
+            GatewayError::NoSuchSubscription(id) => write!(f, "no such subscription: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GatewayError>;

@@ -1,0 +1,258 @@
+//! Summary data computation.
+//!
+//! "The event gateway can also be configured to compute summary data.  For
+//! example, it can compute 1, 10, and 60 minute averages of CPU usage, and
+//! make this information available to consumers." (§2.2)  The same machinery
+//! backs the summary-data service sketched in §7.0 that the network-aware
+//! client uses to pick its TCP buffer size.
+
+use std::collections::{HashMap, VecDeque};
+
+use jamm_ulm::{keys, Event, Level, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A summary window length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SummaryWindow {
+    /// One minute.
+    OneMinute,
+    /// Ten minutes.
+    TenMinutes,
+    /// Sixty minutes.
+    OneHour,
+}
+
+impl SummaryWindow {
+    /// Window length in microseconds.
+    pub fn micros(self) -> u64 {
+        match self {
+            SummaryWindow::OneMinute => 60_000_000,
+            SummaryWindow::TenMinutes => 600_000_000,
+            SummaryWindow::OneHour => 3_600_000_000,
+        }
+    }
+
+    /// Suffix appended to the event type of the summary event.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SummaryWindow::OneMinute => "AVG_1MIN",
+            SummaryWindow::TenMinutes => "AVG_10MIN",
+            SummaryWindow::OneHour => "AVG_60MIN",
+        }
+    }
+
+    /// The three windows the paper names.
+    pub fn all() -> [SummaryWindow; 3] {
+        [
+            SummaryWindow::OneMinute,
+            SummaryWindow::TenMinutes,
+            SummaryWindow::OneHour,
+        ]
+    }
+}
+
+/// Summary statistics for one (host, event type) over one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Window the summary covers.
+    pub window: SummaryWindow,
+    /// Number of readings in the window.
+    pub count: usize,
+    /// Mean reading.
+    pub mean: f64,
+    /// Minimum reading.
+    pub min: f64,
+    /// Maximum reading.
+    pub max: f64,
+}
+
+/// Maintains sliding-window summaries of numeric readings.
+#[derive(Debug, Default)]
+pub struct SummaryEngine {
+    series: HashMap<(String, String), VecDeque<(Timestamp, f64)>>,
+}
+
+impl SummaryEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        SummaryEngine::default()
+    }
+
+    /// Record an event's numeric reading (events without a `VAL` are ignored).
+    pub fn record(&mut self, event: &Event) {
+        let Some(value) = event.value() else { return };
+        let key = (event.host.clone(), event.event_type.clone());
+        let series = self.series.entry(key).or_default();
+        series.push_back((event.timestamp, value));
+        // Prune anything older than the longest window to bound memory.
+        let horizon = SummaryWindow::OneHour.micros();
+        let cutoff = event.timestamp.sub_micros(horizon);
+        while series.front().is_some_and(|(t, _)| *t < cutoff) {
+            series.pop_front();
+        }
+    }
+
+    /// Compute the summary of one (host, event type) over one window ending
+    /// at `now`.  Returns `None` when the window holds no readings.
+    pub fn summary(
+        &self,
+        host: &str,
+        event_type: &str,
+        window: SummaryWindow,
+        now: Timestamp,
+    ) -> Option<Summary> {
+        let series = self.series.get(&(host.to_string(), event_type.to_string()))?;
+        let cutoff = now.sub_micros(window.micros());
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (t, v) in series.iter().rev() {
+            if *t < cutoff || *t > now {
+                if *t < cutoff {
+                    break;
+                }
+                continue;
+            }
+            count += 1;
+            sum += v;
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(Summary {
+            window,
+            count,
+            mean: sum / count as f64,
+            min,
+            max,
+        })
+    }
+
+    /// Produce summary *events* for every tracked series and every requested
+    /// window — this is what the gateway hands to consumers who are only
+    /// entitled to (or only want) summary data.
+    pub fn summary_events(
+        &self,
+        windows: &[SummaryWindow],
+        now: Timestamp,
+        gateway_name: &str,
+    ) -> Vec<Event> {
+        let mut out = Vec::new();
+        let mut keys_sorted: Vec<&(String, String)> = self.series.keys().collect();
+        keys_sorted.sort();
+        for (host, event_type) in keys_sorted {
+            for window in windows {
+                if let Some(s) = self.summary(host, event_type, *window, now) {
+                    out.push(
+                        Event::builder(gateway_name, host.clone())
+                            .level(Level::Usage)
+                            .event_type(format!("{event_type}_{}", window.suffix()))
+                            .timestamp(now)
+                            .field(keys::SENSOR, "summary")
+                            .value(s.mean)
+                            .field("MIN", s.min)
+                            .field("MAX", s.max)
+                            .field("COUNT", s.count as u64)
+                            .build(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of (host, event type) series being tracked.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(host: &str, ty: &str, t_secs: u64, value: f64) -> Event {
+        Event::builder("vmstat", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(t_secs))
+            .value(value)
+            .build()
+    }
+
+    #[test]
+    fn one_minute_average_of_cpu_usage() {
+        let mut eng = SummaryEngine::new();
+        // Readings every 10 s for 2 minutes: 0..12 readings of increasing load.
+        for i in 0..12u64 {
+            eng.record(&reading("h", "CPU_TOTAL", 1_000 + i * 10, i as f64 * 10.0));
+        }
+        let now = Timestamp::from_secs(1_000 + 110);
+        let one = eng.summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, now).unwrap();
+        // The last 60 s contain readings at t=1050..1110 -> values 50..110.
+        assert_eq!(one.count, 7);
+        assert!((one.mean - 80.0).abs() < 1e-9);
+        assert_eq!(one.min, 50.0);
+        assert_eq!(one.max, 110.0);
+        // The 10-minute window sees everything.
+        let ten = eng.summary("h", "CPU_TOTAL", SummaryWindow::TenMinutes, now).unwrap();
+        assert_eq!(ten.count, 12);
+        assert!((ten.mean - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let mut eng = SummaryEngine::new();
+        eng.record(&reading("h", "CPU_TOTAL", 100, 10.0));
+        let much_later = Timestamp::from_secs(100 + 7_200);
+        assert!(eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, much_later)
+            .is_none());
+        assert!(eng
+            .summary("h", "UNKNOWN", SummaryWindow::OneMinute, Timestamp::from_secs(100))
+            .is_none());
+    }
+
+    #[test]
+    fn non_numeric_events_are_ignored() {
+        let mut eng = SummaryEngine::new();
+        let ev = Event::builder("p", "h")
+            .event_type("PROC_DIED")
+            .timestamp(Timestamp::from_secs(1))
+            .build();
+        eng.record(&ev);
+        assert_eq!(eng.series_count(), 0);
+    }
+
+    #[test]
+    fn old_readings_are_pruned() {
+        let mut eng = SummaryEngine::new();
+        for i in 0..200u64 {
+            eng.record(&reading("h", "CPU_TOTAL", i * 60, 1.0));
+        }
+        // Only about an hour's worth (60 one-minute-spaced readings) remains.
+        let series = eng.series.get(&("h".to_string(), "CPU_TOTAL".to_string())).unwrap();
+        assert!(series.len() <= 62, "len = {}", series.len());
+    }
+
+    #[test]
+    fn summary_events_cover_all_series_and_windows() {
+        let mut eng = SummaryEngine::new();
+        for i in 0..10u64 {
+            eng.record(&reading("h1", "CPU_TOTAL", 1_000 + i, 50.0));
+            eng.record(&reading("h2", "VMSTAT_FREE_MEMORY", 1_000 + i, 1_000.0));
+        }
+        let now = Timestamp::from_secs(1_010);
+        let events = eng.summary_events(&SummaryWindow::all(), now, "gw1");
+        // 2 series x 3 windows.
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().any(|e| e.event_type == "CPU_TOTAL_AVG_1MIN"));
+        assert!(events.iter().any(|e| e.event_type == "VMSTAT_FREE_MEMORY_AVG_60MIN"));
+        let cpu1 = events.iter().find(|e| e.event_type == "CPU_TOTAL_AVG_1MIN").unwrap();
+        assert_eq!(cpu1.value(), Some(50.0));
+        assert_eq!(cpu1.field_f64("COUNT"), Some(10.0));
+    }
+}

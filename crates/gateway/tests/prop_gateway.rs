@@ -1,0 +1,150 @@
+//! Property-based tests of the event gateway: delivery is always a subset of
+//! what was published, filters never invent events, and summary statistics
+//! agree with a direct computation.
+
+use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
+use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_ulm::{Event, Level, Timestamp};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..120,
+        prop_oneof![Just("CPU_TOTAL"), Just("VMSTAT_FREE_MEMORY"), Just("NETSTAT_RETRANS")],
+        prop_oneof![Just("h1"), Just("h2"), Just("h3")],
+        0.0f64..100.0,
+        prop_oneof![Just(Level::Usage), Just(Level::Warning), Just(Level::Error)],
+    )
+        .prop_map(|(t, ty, host, value, level)| {
+            Event::builder("sensor", host)
+                .level(level)
+                .event_type(ty)
+                .timestamp(Timestamp::from_secs(10_000 + t))
+                .value(value)
+                .build()
+        })
+}
+
+fn arb_filters() -> impl Strategy<Value = Vec<EventFilter>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(EventFilter::All),
+            Just(EventFilter::EventTypes(vec!["CPU_TOTAL".into()])),
+            Just(EventFilter::Hosts(vec!["h1".into(), "h2".into()])),
+            Just(EventFilter::MinLevel(Level::Warning)),
+            Just(EventFilter::OnChange),
+            (0.0f64..100.0).prop_map(EventFilter::Above),
+            (0.0f64..100.0).prop_map(EventFilter::Below),
+            (0.05f64..0.9).prop_map(EventFilter::RelativeChange),
+        ],
+        0..3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the filters, a subscriber receives a subset of the published
+    /// events, each of which satisfies every stateless predicate it asked
+    /// for, and the gateway's counters add up.
+    #[test]
+    fn delivery_is_a_filtered_subset(
+        events in prop::collection::vec(arb_event(), 1..150),
+        filters in arb_filters(),
+    ) {
+        let gw = EventGateway::new(GatewayConfig::open("gw"));
+        let sub = gw
+            .subscribe(SubscribeRequest {
+                consumer: "c".into(),
+                mode: SubscriptionMode::Stream,
+                filters: filters.clone(),
+            })
+            .unwrap();
+        for e in &events {
+            gw.publish(e);
+        }
+        let delivered: Vec<Event> = sub.events.try_iter().collect();
+        prop_assert!(delivered.len() <= events.len());
+        for d in &delivered {
+            prop_assert!(events.contains(d), "gateway must not invent events");
+            for f in &filters {
+                match f {
+                    EventFilter::EventTypes(tys) => prop_assert!(tys.contains(&d.event_type)),
+                    EventFilter::Hosts(hs) => prop_assert!(hs.contains(&d.host)),
+                    EventFilter::Above(t) => prop_assert!(d.value().unwrap() > *t),
+                    EventFilter::Below(t) => prop_assert!(d.value().unwrap() < *t),
+                    EventFilter::MinLevel(_) => prop_assert!(
+                        matches!(d.level, Level::Warning | Level::Error)
+                    ),
+                    _ => {}
+                }
+            }
+        }
+        let stats_out = gw.stats().events_out.load(std::sync::atomic::Ordering::Relaxed);
+        prop_assert_eq!(stats_out as usize, delivered.len());
+        let stats_in = gw.stats().events_in.load(std::sync::atomic::Ordering::Relaxed);
+        prop_assert_eq!(stats_in as usize, events.len());
+    }
+
+    /// Query mode always returns the most recently published event for the
+    /// (host, type) pair, if any was published.
+    #[test]
+    fn query_returns_the_latest(events in prop::collection::vec(arb_event(), 1..100)) {
+        let gw = EventGateway::new(GatewayConfig::open("gw"));
+        for e in &events {
+            gw.publish(e);
+        }
+        for host in ["h1", "h2", "h3"] {
+            for ty in ["CPU_TOTAL", "VMSTAT_FREE_MEMORY", "NETSTAT_RETRANS"] {
+                let expected = events
+                    .iter().rfind(|e| e.host == host && e.event_type == ty);
+                let got = gw.query("c", host, ty).unwrap();
+                match expected {
+                    // Publication order wins among equal timestamps, so the
+                    // returned event must be the last published with a
+                    // timestamp >= every other candidate's.
+                    Some(_) => {
+                        let got = got.expect("published events are queryable");
+                        let max_ts = events
+                            .iter()
+                            .filter(|e| e.host == host && e.event_type == ty)
+                            .map(|e| e.timestamp)
+                            .max()
+                            .unwrap();
+                        prop_assert!(got.timestamp <= max_ts);
+                        prop_assert_eq!(&got.host, host);
+                        prop_assert_eq!(&got.event_type, ty);
+                    }
+                    None => prop_assert!(got.is_none()),
+                }
+            }
+        }
+    }
+
+    /// The summary engine's mean always equals the arithmetic mean of the
+    /// readings inside the window, and min <= mean <= max.
+    #[test]
+    fn summary_mean_matches_direct_computation(
+        values in prop::collection::vec(0.0f64..100.0, 1..60),
+    ) {
+        let mut engine = SummaryEngine::new();
+        let base = 50_000u64;
+        for (i, v) in values.iter().enumerate() {
+            let e = Event::builder("s", "h")
+                .level(Level::Usage)
+                .event_type("CPU_TOTAL")
+                .timestamp(Timestamp::from_secs(base + i as u64))
+                .value(*v)
+                .build();
+            engine.record(&e);
+        }
+        let now = Timestamp::from_secs(base + values.len() as u64);
+        let s = engine
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneHour, now)
+            .expect("readings inside the window");
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, values.len());
+    }
+}

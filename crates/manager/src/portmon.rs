@@ -1,0 +1,152 @@
+//! The port monitor agent.
+//!
+//! "An important component of the JAMM sensor manager is the port monitor
+//! agent.  This agent monitors traffic on specified ports, and starts
+//! sensors only when network traffic on that port is detected. ...  The port
+//! monitor has proven itself to be a very useful component, greatly reducing
+//! the total amount of monitoring data that must be collected and managed."
+//! (§2.2)
+
+use std::collections::HashMap;
+
+use jamm_ulm::Timestamp;
+
+/// Tracks activity on a set of watched ports and decides which are "active"
+/// (traffic seen within the idle timeout).
+#[derive(Debug, Default)]
+pub struct PortMonitorAgent {
+    /// Watched ports and their idle timeout in seconds.
+    watched: HashMap<u16, f64>,
+    /// Last time traffic was seen on each port.
+    last_seen: HashMap<u16, Timestamp>,
+    /// Cumulative bytes observed per port.
+    bytes_seen: HashMap<u16, u64>,
+}
+
+impl PortMonitorAgent {
+    /// Create an agent with no watched ports.
+    pub fn new() -> Self {
+        PortMonitorAgent::default()
+    }
+
+    /// Watch a port; sensors triggered by it stay on for `idle_secs` after
+    /// the last observed traffic.  Re-watching a port updates its timeout
+    /// (the port-monitor GUI can "reconfigure the type of monitoring to be
+    /// done when a port is active, or add a new port of interest").
+    pub fn watch(&mut self, port: u16, idle_secs: f64) {
+        self.watched.insert(port, idle_secs.max(0.0));
+    }
+
+    /// Stop watching a port.
+    pub fn unwatch(&mut self, port: u16) {
+        self.watched.remove(&port);
+        self.last_seen.remove(&port);
+    }
+
+    /// The watched ports.
+    pub fn watched_ports(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.watched.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Report observed traffic (bytes delivered on a port during the last
+    /// monitoring interval).  Zero bytes are ignored.
+    pub fn observe(&mut self, port: u16, bytes: u64, now: Timestamp) {
+        if bytes == 0 || !self.watched.contains_key(&port) {
+            return;
+        }
+        self.last_seen.insert(port, now);
+        *self.bytes_seen.entry(port).or_insert(0) += bytes;
+    }
+
+    /// Whether the port is currently considered active at time `now`.
+    pub fn is_active(&self, port: u16, now: Timestamp) -> bool {
+        let Some(idle_secs) = self.watched.get(&port) else {
+            return false;
+        };
+        let Some(last) = self.last_seen.get(&port) else {
+            return false;
+        };
+        let idle_us = (*idle_secs * 1e6) as u64;
+        now.as_micros() <= last.as_micros() + idle_us
+    }
+
+    /// All ports currently active at `now`.
+    pub fn active_ports(&self, now: Timestamp) -> Vec<u16> {
+        let mut v: Vec<u16> = self
+            .watched
+            .keys()
+            .copied()
+            .filter(|p| self.is_active(*p, now))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total bytes observed on a port since the agent started.
+    pub fn bytes_on_port(&self, port: u16) -> u64 {
+        self.bytes_seen.get(&port).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> Timestamp {
+        Timestamp::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn activity_turns_ports_on_and_idle_turns_them_off() {
+        let mut pm = PortMonitorAgent::new();
+        pm.watch(21, 10.0); // FTP with a 10 s idle timeout
+        pm.watch(7_000, 5.0); // DPSS data port
+        assert_eq!(pm.watched_ports(), vec![21, 7_000]);
+        assert!(!pm.is_active(21, t(0.0)), "no traffic yet");
+
+        pm.observe(21, 50_000, t(1.0));
+        assert!(pm.is_active(21, t(1.0)));
+        assert!(pm.is_active(21, t(10.9)), "within the idle timeout");
+        assert!(!pm.is_active(21, t(11.5)), "idle timeout expired");
+
+        // Fresh traffic re-activates.
+        pm.observe(21, 10_000, t(20.0));
+        assert!(pm.is_active(21, t(25.0)));
+        assert_eq!(pm.bytes_on_port(21), 60_000);
+    }
+
+    #[test]
+    fn unwatched_ports_are_ignored() {
+        let mut pm = PortMonitorAgent::new();
+        pm.watch(21, 10.0);
+        pm.observe(8_080, 1_000_000, t(1.0));
+        assert!(!pm.is_active(8_080, t(1.0)));
+        assert_eq!(pm.bytes_on_port(8_080), 0);
+        pm.unwatch(21);
+        pm.observe(21, 1_000, t(2.0));
+        assert!(!pm.is_active(21, t(2.0)));
+        assert!(pm.active_ports(t(2.0)).is_empty());
+    }
+
+    #[test]
+    fn zero_byte_observations_do_not_activate() {
+        let mut pm = PortMonitorAgent::new();
+        pm.watch(21, 10.0);
+        pm.observe(21, 0, t(1.0));
+        assert!(!pm.is_active(21, t(1.0)));
+    }
+
+    #[test]
+    fn active_ports_lists_only_currently_active() {
+        let mut pm = PortMonitorAgent::new();
+        pm.watch(21, 2.0);
+        pm.watch(22, 2.0);
+        pm.watch(23, 2.0);
+        pm.observe(21, 100, t(0.0));
+        assert_eq!(pm.active_ports(t(1.0)), vec![21]);
+        pm.observe(23, 100, t(5.0));
+        assert_eq!(pm.active_ports(t(5.5)), vec![23]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Quantitative analysis helpers behind the Figure 3 and Figure 7 stories.
+//!
+//! The paper's §6 analysis is visual: the analyst looks at the nlv graph and
+//! *sees* that the gaps in frame delivery line up with bursts of TCP
+//! retransmissions and with high system CPU time on the receiving host, and
+//! that the distribution of low-level `read()` sizes clusters around two
+//! values.  To make the reproduction testable, this module computes those
+//! observations as numbers: delivery-gap detection, retransmit/gap
+//! correlation, per-stage latency breakdowns, and two-cluster analysis of
+//! read sizes.
+
+use jamm_ulm::{Event, Timestamp};
+use serde::Serialize;
+
+use crate::nlv::Lifeline;
+
+/// A period with no progress events (a stall in frame delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Gap {
+    /// Start of the gap.
+    pub start: Timestamp,
+    /// End of the gap (the next progress event).
+    pub end: Timestamp,
+    /// Gap length in microseconds.
+    pub length_us: u64,
+}
+
+/// Find gaps between consecutive occurrences of `progress_event` longer than
+/// `min_gap_us`.
+pub fn delivery_gaps(events: &[Event], progress_event: &str, min_gap_us: u64) -> Vec<Gap> {
+    let mut times: Vec<Timestamp> = events
+        .iter()
+        .filter(|e| e.event_type == progress_event)
+        .map(|e| e.timestamp)
+        .collect();
+    times.sort();
+    times
+        .windows(2)
+        .filter_map(|w| {
+            let length = (w[1] - w[0]).max(0) as u64;
+            (length >= min_gap_us).then_some(Gap {
+                start: w[0],
+                end: w[1],
+                length_us: length,
+            })
+        })
+        .collect()
+}
+
+/// How strongly occurrences of `marker_event` (e.g. retransmissions) line up
+/// with the detected gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GapCorrelation {
+    /// Number of gaps examined.
+    pub gaps: usize,
+    /// Gaps that contain (or immediately follow) at least one marker event.
+    pub gaps_with_marker: usize,
+    /// Marker events that fall inside some gap.
+    pub markers_in_gaps: usize,
+    /// Total marker events.
+    pub markers_total: usize,
+}
+
+impl GapCorrelation {
+    /// Fraction of gaps explained by the marker (0 when there are no gaps).
+    pub fn gap_hit_rate(&self) -> f64 {
+        if self.gaps == 0 {
+            0.0
+        } else {
+            self.gaps_with_marker as f64 / self.gaps as f64
+        }
+    }
+}
+
+/// Correlate marker events (e.g. `TCPD_RETRANSMITS`) with delivery gaps.
+/// A marker "explains" a gap if it occurs within the gap or within
+/// `slack_us` before it starts.
+pub fn correlate_gaps(events: &[Event], gaps: &[Gap], marker_event: &str, slack_us: u64) -> GapCorrelation {
+    let markers: Vec<Timestamp> = events
+        .iter()
+        .filter(|e| e.event_type == marker_event)
+        .map(|e| e.timestamp)
+        .collect();
+    let mut gaps_with_marker = 0;
+    for gap in gaps {
+        let lo = gap.start.sub_micros(slack_us);
+        if markers.iter().any(|m| *m >= lo && *m <= gap.end) {
+            gaps_with_marker += 1;
+        }
+    }
+    let markers_in_gaps = markers
+        .iter()
+        .filter(|m| gaps.iter().any(|g| **m >= g.start && **m <= g.end))
+        .count();
+    GapCorrelation {
+        gaps: gaps.len(),
+        gaps_with_marker,
+        markers_in_gaps,
+        markers_total: markers.len(),
+    }
+}
+
+/// Mean duration of each lifeline stage across many lifelines:
+/// `(from event, to event, mean microseconds, count)`.
+pub fn mean_stage_durations(lifelines: &[Lifeline]) -> Vec<(String, String, f64, usize)> {
+    let mut acc: Vec<(String, String, f64, usize)> = Vec::new();
+    for l in lifelines {
+        for (from, to, d) in l.stage_durations() {
+            match acc.iter_mut().find(|(f, t, _, _)| *f == from && *t == to) {
+                Some(slot) => {
+                    slot.2 += d as f64;
+                    slot.3 += 1;
+                }
+                None => acc.push((from, to, d as f64, 1)),
+            }
+        }
+    }
+    for slot in &mut acc {
+        slot.2 /= slot.3 as f64;
+    }
+    acc
+}
+
+/// Result of splitting a set of readings into two clusters (Figure 3: "the
+/// (unexpected) clustering of the data around two distinct values").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TwoClusters {
+    /// Centre of the lower cluster.
+    pub low_center: f64,
+    /// Number of readings in the lower cluster.
+    pub low_count: usize,
+    /// Centre of the upper cluster.
+    pub high_center: f64,
+    /// Number of readings in the upper cluster.
+    pub high_count: usize,
+    /// Separation between the centres divided by the overall spread; > 1
+    /// means the clusters are well separated (clearly bimodal).
+    pub separation: f64,
+}
+
+/// One-dimensional 2-means clustering of readings.  Returns `None` when
+/// there are fewer than two distinct values.
+pub fn two_cluster(readings: &[f64]) -> Option<TwoClusters> {
+    if readings.len() < 2 {
+        return None;
+    }
+    let min = readings.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = readings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON {
+        return None;
+    }
+    let mut c_low = min;
+    let mut c_high = max;
+    for _ in 0..32 {
+        let (mut sum_l, mut n_l, mut sum_h, mut n_h) = (0.0, 0usize, 0.0, 0usize);
+        for &r in readings {
+            if (r - c_low).abs() <= (r - c_high).abs() {
+                sum_l += r;
+                n_l += 1;
+            } else {
+                sum_h += r;
+                n_h += 1;
+            }
+        }
+        if n_l == 0 || n_h == 0 {
+            break;
+        }
+        let new_low = sum_l / n_l as f64;
+        let new_high = sum_h / n_h as f64;
+        if (new_low - c_low).abs() < 1e-9 && (new_high - c_high).abs() < 1e-9 {
+            break;
+        }
+        c_low = new_low;
+        c_high = new_high;
+    }
+    let (mut low, mut high): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for &r in readings {
+        if (r - c_low).abs() <= (r - c_high).abs() {
+            low.push(r);
+        } else {
+            high.push(r);
+        }
+    }
+    if low.is_empty() || high.is_empty() {
+        return None;
+    }
+    let spread_of = |v: &[f64], c: f64| {
+        (v.iter().map(|x| (x - c).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    };
+    let within = (spread_of(&low, c_low) + spread_of(&high, c_high)).max(1e-9);
+    Some(TwoClusters {
+        low_center: c_low,
+        low_count: low.len(),
+        high_center: c_high,
+        high_count: high.len(),
+        separation: (c_high - c_low) / within,
+    })
+}
+
+/// Throughput (bits/second) of a byte-counting event series over its span,
+/// where each event carries the byte count in `field`.
+pub fn throughput_bps(events: &[Event], event_type: &str, field: &str) -> f64 {
+    let relevant: Vec<&Event> = events.iter().filter(|e| e.event_type == event_type).collect();
+    if relevant.len() < 2 {
+        return 0.0;
+    }
+    let bytes: f64 = relevant.iter().filter_map(|e| e.field_f64(field)).sum();
+    let t0 = relevant.iter().map(|e| e.timestamp).min().unwrap();
+    let t1 = relevant.iter().map(|e| e.timestamp).max().unwrap();
+    let secs = ((t1 - t0).max(1)) as f64 / 1e6;
+    bytes * 8.0 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlv::lifelines;
+    use jamm_ulm::{keys, Level};
+
+    fn ev(ty: &str, us: u64, value: Option<f64>) -> Event {
+        let mut b = Event::builder("p", "h")
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_micros(us));
+        if let Some(v) = value {
+            b = b.value(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn gaps_are_detected_between_sparse_progress_events() {
+        let log = vec![
+            ev("MPLAY_END_READ_FRAME", 0, None),
+            ev("MPLAY_END_READ_FRAME", 200_000, None),
+            ev("MPLAY_END_READ_FRAME", 1_700_000, None), // 1.5 s stall
+            ev("MPLAY_END_READ_FRAME", 1_900_000, None),
+        ];
+        let gaps = delivery_gaps(&log, "MPLAY_END_READ_FRAME", 1_000_000);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].length_us, 1_500_000);
+        // With a lower threshold, the 200 ms inter-frame times count too.
+        assert_eq!(delivery_gaps(&log, "MPLAY_END_READ_FRAME", 100_000).len(), 3);
+        assert!(delivery_gaps(&[], "X", 1).is_empty());
+    }
+
+    #[test]
+    fn retransmits_inside_gaps_are_correlated() {
+        let mut log = vec![
+            ev("MPLAY_END_READ_FRAME", 0, None),
+            ev("MPLAY_END_READ_FRAME", 2_000_000, None),
+            ev("MPLAY_END_READ_FRAME", 2_200_000, None),
+            ev("MPLAY_END_READ_FRAME", 5_000_000, None),
+        ];
+        // Retransmissions during both stalls, and one in quiet time.
+        log.push(ev(keys::tcp::RETRANSMITS, 900_000, Some(2.0)));
+        log.push(ev(keys::tcp::RETRANSMITS, 3_000_000, Some(1.0)));
+        log.push(ev(keys::tcp::RETRANSMITS, 2_100_000, Some(1.0)));
+        let gaps = delivery_gaps(&log, "MPLAY_END_READ_FRAME", 1_000_000);
+        assert_eq!(gaps.len(), 2);
+        let corr = correlate_gaps(&log, &gaps, keys::tcp::RETRANSMITS, 0);
+        assert_eq!(corr.gaps_with_marker, 2);
+        assert!((corr.gap_hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(corr.markers_in_gaps, 2);
+        assert_eq!(corr.markers_total, 3);
+    }
+
+    #[test]
+    fn stage_durations_average_across_lifelines() {
+        let order = [keys::matisse::START_READ_FRAME, keys::matisse::END_READ_FRAME];
+        let mut log = Vec::new();
+        for (i, dur) in [100_000u64, 300_000].iter().enumerate() {
+            let oid = format!("frame-{i}");
+            log.push({
+                let mut e = ev(order[0], i as u64 * 1_000_000, None);
+                e.set_field(keys::OBJECT_ID, oid.clone());
+                e
+            });
+            log.push({
+                let mut e = ev(order[1], i as u64 * 1_000_000 + dur, None);
+                e.set_field(keys::OBJECT_ID, oid);
+                e
+            });
+        }
+        let lines = lifelines(&log, &order);
+        let stages = mean_stage_durations(&lines);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].3, 2);
+        assert!((stages[0].2 - 200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bimodal_read_sizes_are_separated() {
+        // The Figure 3 situation: most reads return the full 64 KB buffer,
+        // the rest return a small remainder around 20 KB.
+        let mut readings = Vec::new();
+        for i in 0..100 {
+            readings.push(65_536.0 - (i % 3) as f64);
+            readings.push(20_000.0 + (i % 7) as f64 * 100.0);
+        }
+        let c = two_cluster(&readings).unwrap();
+        assert!(c.low_center > 19_000.0 && c.low_center < 22_000.0);
+        assert!(c.high_center > 65_000.0);
+        assert_eq!(c.low_count + c.high_count, 200);
+        assert!(c.separation > 10.0, "clearly bimodal: {}", c.separation);
+    }
+
+    #[test]
+    fn unimodal_data_has_low_separation_and_degenerate_cases_are_none() {
+        let uniform: Vec<f64> = (0..100).map(|i| 1_000.0 + i as f64).collect();
+        let c = two_cluster(&uniform).unwrap();
+        assert!(c.separation < 3.0, "not strongly bimodal: {}", c.separation);
+        assert!(two_cluster(&[]).is_none());
+        assert!(two_cluster(&[5.0]).is_none());
+        assert!(two_cluster(&[5.0, 5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn throughput_from_byte_events() {
+        let log = vec![
+            {
+                let mut e = ev("WriteData", 0, None);
+                e.set_field("SEND.SZ", 500_000u64);
+                e
+            },
+            {
+                let mut e = ev("WriteData", 1_000_000, None);
+                e.set_field("SEND.SZ", 750_000u64);
+                e
+            },
+        ];
+        let bps = throughput_bps(&log, "WriteData", "SEND.SZ");
+        assert!((bps - 10_000_000.0).abs() < 1.0, "1.25 MB over 1 s = 10 Mbit/s, got {bps}");
+        assert_eq!(throughput_bps(&log, "Other", "SEND.SZ"), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Log collection and merging.
+//!
+//! "a set of tools for collecting and sorting log files" (§4.1).  Event logs
+//! arrive from many hosts and sensors; before analysis they are merged into
+//! one stream ordered by timestamp.  Because the merge is by absolute
+//! timestamp, its correctness depends on clock synchronisation (§4.3) — the
+//! [`crate::clock`] module quantifies what happens when that assumption is
+//! violated.
+
+use jamm_ulm::{text, Event};
+
+/// Merge several already-collected logs into one time-ordered log.
+///
+/// The sort is stable, so events with identical timestamps keep the order of
+/// their source logs (earlier argument first).
+pub fn merge_logs(logs: &[Vec<Event>]) -> Vec<Event> {
+    let mut merged: Vec<Event> = logs.iter().flatten().cloned().collect();
+    merged.sort_by_key(|e| e.timestamp);
+    merged
+}
+
+/// Merge several ULM text documents (one event per line) into one
+/// time-ordered log, dropping malformed lines.
+pub fn merge_ulm_documents(docs: &[&str]) -> Vec<Event> {
+    let logs: Vec<Vec<Event>> = docs.iter().map(|d| text::decode_all_lossy(d)).collect();
+    merge_logs(&logs)
+}
+
+/// Check whether a log is ordered by timestamp (what analysis tools assume).
+pub fn is_time_ordered(events: &[Event]) -> bool {
+    events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp)
+}
+
+/// Count the number of adjacent inversions (places where time goes
+/// backwards).  With synchronised clocks this is zero after a merge; with
+/// skewed clocks the lifeline of a request can appear to run backwards, and
+/// this is the simplest scalar symptom of it.
+pub fn inversion_count(events: &[Event]) -> usize {
+    events
+        .windows(2)
+        .filter(|w| w[0].timestamp > w[1].timestamp)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::{Level, Timestamp};
+
+    fn ev(host: &str, ty: &str, micros: u64) -> Event {
+        Event::builder("p", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_micros(micros))
+            .build()
+    }
+
+    #[test]
+    fn merge_orders_across_sources() {
+        let client = vec![ev("client", "REQ_SENT", 100), ev("client", "RESP_RECV", 500)];
+        let server = vec![ev("server", "REQ_RECV", 200), ev("server", "RESP_SENT", 400)];
+        let merged = merge_logs(&[client, server]);
+        let types: Vec<_> = merged.iter().map(|e| e.event_type.as_str()).collect();
+        assert_eq!(types, vec!["REQ_SENT", "REQ_RECV", "RESP_SENT", "RESP_RECV"]);
+        assert!(is_time_ordered(&merged));
+        assert_eq!(inversion_count(&merged), 0);
+    }
+
+    #[test]
+    fn merge_is_stable_for_equal_timestamps() {
+        let a = vec![ev("a", "FIRST", 100)];
+        let b = vec![ev("b", "SECOND", 100)];
+        let merged = merge_logs(&[a, b]);
+        assert_eq!(merged[0].event_type, "FIRST");
+        assert_eq!(merged[1].event_type, "SECOND");
+    }
+
+    #[test]
+    fn ulm_documents_merge_and_skip_garbage() {
+        let doc1 = "DATE=20000330112320.000100 HOST=a PROG=p LVL=Usage NL.EVNT=A\nnot a ulm line\n";
+        let doc2 = "DATE=20000330112320.000050 HOST=b PROG=p LVL=Usage NL.EVNT=B\n";
+        let merged = merge_ulm_documents(&[doc1, doc2]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].event_type, "B");
+    }
+
+    #[test]
+    fn inversion_count_detects_unsorted_logs() {
+        let log = vec![ev("a", "X", 300), ev("a", "Y", 100), ev("a", "Z", 200)];
+        assert!(!is_time_ordered(&log));
+        assert_eq!(inversion_count(&log), 1);
+    }
+}

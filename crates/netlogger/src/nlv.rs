@@ -1,0 +1,376 @@
+//! The `nlv` visualisation data model (§4.5, Figure 2).
+//!
+//! `nlv` draws three graph primitives on a common time axis:
+//!
+//! * the **lifeline** — "the 'life' of an object (datum or computation) as it
+//!   travels through a distributed system", built by correlating events that
+//!   share an object id and plotting them against an ordered list of event
+//!   types on the y-axis; the slope shows where time is spent;
+//! * the **loadline** — "a series of scaled values into a continuous
+//!   segmented curve", e.g. CPU load or free memory;
+//! * the **point** — "single occurrences of events, often error or warning
+//!   conditions such as TCP retransmits", optionally scaled by a value to
+//!   give a scatter plot (Figure 3).
+//!
+//! This module produces those series from an event log; rendering is left to
+//! whatever plots the numbers (the benches print them as data tables, and
+//! [`NlvChart::render_ascii`] gives a quick terminal view).
+
+use std::collections::BTreeMap;
+
+use jamm_ulm::{Event, Timestamp};
+use serde::Serialize;
+
+/// One object's lifeline: its events in time order, with the y-position of
+/// each event taken from the chart's event ordering.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Lifeline {
+    /// The correlation id (`NL.OID`) of the object.
+    pub object_id: String,
+    /// `(time, y index, event type)` triples in time order.
+    pub points: Vec<(Timestamp, usize, String)>,
+}
+
+impl Lifeline {
+    /// Total elapsed time from the first to the last event, microseconds.
+    pub fn span_us(&self) -> u64 {
+        match (self.points.first(), self.points.last()) {
+            (Some((a, _, _)), Some((b, _, _))) => (*b - *a).max(0) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Duration of each stage: `(from event, to event, microseconds)`.
+    pub fn stage_durations(&self) -> Vec<(String, String, u64)> {
+        self.points
+            .windows(2)
+            .map(|w| {
+                (
+                    w[0].2.clone(),
+                    w[1].2.clone(),
+                    (w[1].0 - w[0].0).max(0) as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A loadline: scaled values forming a continuous curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Loadline {
+    /// Host the readings came from.
+    pub host: String,
+    /// Event type of the readings (e.g. `VMSTAT_SYS_TIME`).
+    pub event_type: String,
+    /// `(time, value)` samples in time order.
+    pub samples: Vec<(Timestamp, f64)>,
+}
+
+/// A point series: single occurrences, optionally value-scaled.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointSeries {
+    /// Host the events came from.
+    pub host: String,
+    /// Event type (e.g. `TCPD_RETRANSMITS`).
+    pub event_type: String,
+    /// `(time, optional value)` occurrences in time order.
+    pub points: Vec<(Timestamp, Option<f64>)>,
+}
+
+/// Extract lifelines from a log given the y-axis ordering of event types.
+/// Events whose type is not in `event_order` or that carry no object id are
+/// ignored.
+pub fn lifelines(events: &[Event], event_order: &[&str]) -> Vec<Lifeline> {
+    let index: BTreeMap<&str, usize> = event_order
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (*t, i))
+        .collect();
+    let mut by_object: BTreeMap<String, Vec<(Timestamp, usize, String)>> = BTreeMap::new();
+    for e in events {
+        let Some(oid) = e.object_id() else { continue };
+        let Some(&y) = index.get(e.event_type.as_str()) else {
+            continue;
+        };
+        by_object
+            .entry(oid.to_string())
+            .or_default()
+            .push((e.timestamp, y, e.event_type.clone()));
+    }
+    by_object
+        .into_iter()
+        .map(|(object_id, mut points)| {
+            points.sort_by_key(|(t, _, _)| *t);
+            Lifeline { object_id, points }
+        })
+        .collect()
+}
+
+/// Extract a loadline for one host and event type.
+pub fn loadline(events: &[Event], host: &str, event_type: &str) -> Loadline {
+    let mut samples: Vec<(Timestamp, f64)> = events
+        .iter()
+        .filter(|e| e.host == host && e.event_type == event_type)
+        .filter_map(|e| e.value().map(|v| (e.timestamp, v)))
+        .collect();
+    samples.sort_by_key(|(t, _)| *t);
+    Loadline {
+        host: host.to_string(),
+        event_type: event_type.to_string(),
+        samples,
+    }
+}
+
+/// Extract a point series for one event type (all hosts, or one host).
+pub fn points(events: &[Event], host: Option<&str>, event_type: &str) -> PointSeries {
+    let mut pts: Vec<(Timestamp, Option<f64>)> = events
+        .iter()
+        .filter(|e| e.event_type == event_type && host.is_none_or(|h| e.host == h))
+        .map(|e| (e.timestamp, e.value()))
+        .collect();
+    pts.sort_by_key(|(t, _)| *t);
+    PointSeries {
+        host: host.unwrap_or("*").to_string(),
+        event_type: event_type.to_string(),
+        points: pts,
+    }
+}
+
+/// A complete nlv-style chart: lifelines over an ordered set of event types,
+/// plus loadlines and point series on the same time axis — the structure of
+/// Figure 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct NlvChart {
+    /// The y-axis event ordering used for lifelines.
+    pub event_order: Vec<String>,
+    /// Lifelines, one per object id.
+    pub lifelines: Vec<Lifeline>,
+    /// Loadlines (CPU, memory, ...).
+    pub loadlines: Vec<Loadline>,
+    /// Point series (retransmits, errors, ...).
+    pub point_series: Vec<PointSeries>,
+}
+
+impl NlvChart {
+    /// Build a chart from a log.
+    ///
+    /// * `event_order` — lifeline event types, bottom to top;
+    /// * `load_specs` — `(host, event type)` pairs to draw as loadlines;
+    /// * `point_specs` — `(host or None, event type)` pairs to draw as points.
+    pub fn build(
+        events: &[Event],
+        event_order: &[&str],
+        load_specs: &[(&str, &str)],
+        point_specs: &[(Option<&str>, &str)],
+    ) -> Self {
+        NlvChart {
+            event_order: event_order.iter().map(|s| s.to_string()).collect(),
+            lifelines: lifelines(events, event_order),
+            loadlines: load_specs
+                .iter()
+                .map(|(h, t)| loadline(events, h, t))
+                .collect(),
+            point_series: point_specs
+                .iter()
+                .map(|(h, t)| points(events, *h, t))
+                .collect(),
+        }
+    }
+
+    /// The chart's overall time range.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut min: Option<Timestamp> = None;
+        let mut max: Option<Timestamp> = None;
+        let mut consider = |t: Timestamp| {
+            min = Some(min.map_or(t, |m| m.min(t)));
+            max = Some(max.map_or(t, |m| m.max(t)));
+        };
+        for l in &self.lifelines {
+            for (t, _, _) in &l.points {
+                consider(*t);
+            }
+        }
+        for l in &self.loadlines {
+            for (t, _) in &l.samples {
+                consider(*t);
+            }
+        }
+        for p in &self.point_series {
+            for (t, _) in &p.points {
+                consider(*t);
+            }
+        }
+        match (min, max) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// A quick fixed-width terminal rendering: one row per lifeline event
+    /// type / loadline / point series, time binned into `width` columns.
+    /// Used by the examples to show the "shape" of Figure 7 without a GUI.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let Some((t0, t1)) = self.time_range() else {
+            return String::from("(empty chart)\n");
+        };
+        let span = ((t1 - t0).max(1)) as f64;
+        let col = |t: Timestamp| {
+            (((t - t0) as f64 / span) * (width.saturating_sub(1)) as f64).round() as usize
+        };
+        let mut out = String::new();
+        // Lifeline rows, top-most event type first (like nlv's y axis).
+        for (y, ty) in self.event_order.iter().enumerate().rev() {
+            let mut row = vec![b' '; width];
+            for l in &self.lifelines {
+                for (t, yy, _) in &l.points {
+                    if *yy == y {
+                        row[col(*t).min(width - 1)] = b'o';
+                    }
+                }
+            }
+            out.push_str(&format!("{ty:>28} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        for load in &self.loadlines {
+            let max = load
+                .samples
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::MIN, f64::max)
+                .max(1e-9);
+            let mut row = vec![b' '; width];
+            for (t, v) in &load.samples {
+                let c = col(*t).min(width - 1);
+                let level = (v / max * 8.0).round() as u8;
+                row[c] = match level {
+                    0 => b'.',
+                    1..=2 => b'-',
+                    3..=5 => b'=',
+                    _ => b'#',
+                };
+            }
+            out.push_str(&format!(
+                "{:>28} |{}|\n",
+                format!("{} {}", load.host, load.event_type),
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        for ps in &self.point_series {
+            let mut row = vec![b' '; width];
+            for (t, _) in &ps.points {
+                row[col(*t).min(width - 1)] = b'X';
+            }
+            out.push_str(&format!(
+                "{:>28} |{}|\n",
+                ps.event_type,
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::{keys, Level};
+
+    fn ev(host: &str, ty: &str, us: u64, oid: Option<&str>, value: Option<f64>) -> Event {
+        let mut b = Event::builder("p", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_micros(us));
+        if let Some(o) = oid {
+            b = b.object_id(o);
+        }
+        if let Some(v) = value {
+            b = b.value(v);
+        }
+        b.build()
+    }
+
+    const ORDER: [&str; 4] = [
+        keys::matisse::DPSS_SERV_IN,
+        keys::matisse::DPSS_END_WRITE,
+        keys::matisse::START_READ_FRAME,
+        keys::matisse::END_READ_FRAME,
+    ];
+
+    fn request_path(oid: &str, start_us: u64, step: u64) -> Vec<Event> {
+        // Deliberately out of the canonical order to exercise sorting, and
+        // with the client-side START before the server-side events.
+        vec![
+            ev("mems.cairn.net", ORDER[2], start_us, Some(oid), None),
+            ev("dpss1.lbl.gov", ORDER[0], start_us + step, Some(oid), None),
+            ev("dpss1.lbl.gov", ORDER[1], start_us + 2 * step, Some(oid), None),
+            ev("mems.cairn.net", ORDER[3], start_us + 3 * step, Some(oid), None),
+        ]
+    }
+
+    #[test]
+    fn lifelines_group_by_object_and_sort_by_time() {
+        let mut log = request_path("frame-1", 1_000, 100);
+        log.extend(request_path("frame-2", 2_000, 400));
+        log.push(ev("x", "UNRELATED", 1, None, None));
+        let lines = lifelines(&log, &ORDER);
+        assert_eq!(lines.len(), 2);
+        let f1 = &lines[0];
+        assert_eq!(f1.object_id, "frame-1");
+        assert_eq!(f1.points.len(), 4);
+        assert_eq!(f1.span_us(), 300);
+        let stages = f1.stage_durations();
+        assert_eq!(stages.len(), 3);
+        assert!(stages.iter().all(|(_, _, d)| *d == 100));
+        // The slower request has a longer span (a shallower lifeline slope).
+        assert_eq!(lines[1].span_us(), 1_200);
+    }
+
+    #[test]
+    fn loadline_and_points_extraction() {
+        let log = vec![
+            ev("mems.cairn.net", "VMSTAT_SYS_TIME", 3_000, None, Some(80.0)),
+            ev("mems.cairn.net", "VMSTAT_SYS_TIME", 1_000, None, Some(20.0)),
+            ev("other.host", "VMSTAT_SYS_TIME", 2_000, None, Some(99.0)),
+            ev("mems.cairn.net", "TCPD_RETRANSMITS", 2_500, None, Some(3.0)),
+            ev("mems.cairn.net", "TCPD_RETRANSMITS", 1_500, None, None),
+        ];
+        let load = loadline(&log, "mems.cairn.net", "VMSTAT_SYS_TIME");
+        assert_eq!(load.samples.len(), 2);
+        assert_eq!(load.samples[0].1, 20.0, "sorted by time");
+        let pts = points(&log, Some("mems.cairn.net"), "TCPD_RETRANSMITS");
+        assert_eq!(pts.points.len(), 2);
+        assert_eq!(pts.points[1].1, Some(3.0));
+        let all_hosts = points(&log, None, "VMSTAT_SYS_TIME");
+        assert_eq!(all_hosts.points.len(), 3);
+    }
+
+    #[test]
+    fn chart_assembles_figure7_structure() {
+        let mut log = request_path("frame-1", 0, 1_000);
+        log.push(ev("mems.cairn.net", "VMSTAT_SYS_TIME", 500, None, Some(55.0)));
+        log.push(ev("mems.cairn.net", "TCPD_RETRANSMITS", 1_200, None, Some(1.0)));
+        let chart = NlvChart::build(
+            &log,
+            &ORDER,
+            &[("mems.cairn.net", "VMSTAT_SYS_TIME")],
+            &[(Some("mems.cairn.net"), "TCPD_RETRANSMITS")],
+        );
+        assert_eq!(chart.lifelines.len(), 1);
+        assert_eq!(chart.loadlines.len(), 1);
+        assert_eq!(chart.point_series.len(), 1);
+        let (t0, t1) = chart.time_range().unwrap();
+        assert_eq!(t0.as_micros(), 0);
+        assert_eq!(t1.as_micros(), 3_000);
+        let ascii = chart.render_ascii(40);
+        assert!(ascii.contains("TCPD_RETRANSMITS"));
+        assert!(ascii.lines().count() >= ORDER.len() + 2);
+        assert!(ascii.contains('X'));
+        assert!(ascii.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_renders_gracefully() {
+        let chart = NlvChart::build(&[], &ORDER, &[], &[]);
+        assert!(chart.time_range().is_none());
+        assert_eq!(chart.render_ascii(20), "(empty chart)\n");
+    }
+}

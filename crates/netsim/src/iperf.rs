@@ -1,0 +1,179 @@
+//! The iperf-style throughput test from §6 of the paper.
+//!
+//! After narrowing the MATISSE problem to the receiving host, the authors ran
+//! Iperf to compare one TCP stream against four parallel streams between the
+//! same pair of hosts, over both the WAN and the LAN.  [`IperfTest`] sets up
+//! `n` unlimited flows over a given path, runs for a configured duration and
+//! reports per-stream and aggregate throughput — experiment E5.
+
+use crate::host::HostId;
+use crate::link::LinkId;
+use crate::network::{FlowId, Network};
+
+/// Result of an iperf run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IperfReport {
+    /// Number of parallel streams.
+    pub streams: usize,
+    /// Per-stream throughput in Mbit/s.
+    pub per_stream_mbps: Vec<f64>,
+    /// Aggregate throughput in Mbit/s.
+    pub aggregate_mbps: f64,
+    /// Total retransmissions across all streams.
+    pub retransmits: u64,
+    /// Total retransmission timeouts across all streams.
+    pub timeouts: u64,
+    /// Test duration in simulated seconds.
+    pub duration_secs: f64,
+}
+
+/// A memory-to-memory TCP throughput test.
+#[derive(Debug)]
+pub struct IperfTest {
+    flows: Vec<FlowId>,
+}
+
+impl IperfTest {
+    /// Open `streams` parallel flows from `src` to `dst` along `path`, each
+    /// with the given receive window, starting at iperf's default port 5001.
+    pub fn start(
+        net: &mut Network,
+        src: HostId,
+        dst: HostId,
+        path: Vec<LinkId>,
+        streams: usize,
+        rcv_window: u64,
+    ) -> Self {
+        assert!(streams > 0, "iperf needs at least one stream");
+        let mut flows = Vec::with_capacity(streams);
+        for i in 0..streams {
+            let fid = net.open_flow(
+                format!("iperf-{}", i + 1),
+                src,
+                dst,
+                5_001 + i as u16,
+                path.clone(),
+                rcv_window,
+            );
+            net.flow_mut(fid).set_unlimited();
+            flows.push(fid);
+        }
+        IperfTest { flows }
+    }
+
+    /// The flow ids of the test streams.
+    pub fn flows(&self) -> &[FlowId] {
+        &self.flows
+    }
+
+    /// Run the test for `duration_us` of simulated time and report.
+    pub fn run(&self, net: &mut Network, duration_us: u64) -> IperfReport {
+        let start_us = net.clock().now_us();
+        let start_delivered: Vec<u64> = self
+            .flows
+            .iter()
+            .map(|f| net.flow(*f).total_delivered)
+            .collect();
+        let start_retrans: Vec<u64> = self
+            .flows
+            .iter()
+            .map(|f| net.flow(*f).retransmits)
+            .collect();
+        let start_timeouts: Vec<u64> =
+            self.flows.iter().map(|f| net.flow(*f).timeouts).collect();
+
+        let ticks = duration_us / net.clock().tick_us();
+        net.run_ticks(ticks);
+
+        let elapsed_us = net.clock().now_us() - start_us;
+        let per_stream_mbps: Vec<f64> = self
+            .flows
+            .iter()
+            .zip(&start_delivered)
+            .map(|(f, s)| {
+                (net.flow(*f).total_delivered - s) as f64 * 8.0 / (elapsed_us as f64 / 1e6) / 1e6
+            })
+            .collect();
+        let aggregate_mbps = per_stream_mbps.iter().sum();
+        let retransmits = self
+            .flows
+            .iter()
+            .zip(&start_retrans)
+            .map(|(f, s)| net.flow(*f).retransmits - s)
+            .sum();
+        let timeouts = self
+            .flows
+            .iter()
+            .zip(&start_timeouts)
+            .map(|(f, s)| net.flow(*f).timeouts - s)
+            .sum();
+        IperfReport {
+            streams: self.flows.len(),
+            per_stream_mbps,
+            aggregate_mbps,
+            retransmits,
+            timeouts,
+            duration_secs: elapsed_us as f64 / 1e6,
+        }
+    }
+
+    /// Close all the test's flows.
+    pub fn stop(&self, net: &mut Network) {
+        for f in &self.flows {
+            net.flow_mut(*f).close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::host::HostSpec;
+    use crate::link::LinkSpec;
+
+    #[test]
+    fn single_stream_saturates_a_clean_lan() {
+        let mut net = Network::new(SimClock::matisse(), 1);
+        let a = net.add_host(HostSpec::new("a"));
+        let b = net.add_host(HostSpec::new("b"));
+        let l = net.add_link(LinkSpec::new("fe", 100_000_000, 150));
+        let test = IperfTest::start(&mut net, a, b, vec![l], 1, 1 << 20);
+        let report = test.run(&mut net, 5_000_000);
+        assert_eq!(report.streams, 1);
+        assert_eq!(report.per_stream_mbps.len(), 1);
+        assert!(
+            report.aggregate_mbps > 70.0 && report.aggregate_mbps < 105.0,
+            "got {:.1} Mbit/s",
+            report.aggregate_mbps
+        );
+        assert!((report.duration_secs - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn aggregate_is_sum_of_streams() {
+        let mut net = Network::new(SimClock::matisse(), 2);
+        let a = net.add_host(HostSpec::new("a"));
+        let b = net.add_host(HostSpec::new("b"));
+        let l = net.add_link(LinkSpec::new("fe", 100_000_000, 150));
+        let test = IperfTest::start(&mut net, a, b, vec![l], 3, 1 << 20);
+        let report = test.run(&mut net, 3_000_000);
+        let sum: f64 = report.per_stream_mbps.iter().sum();
+        assert!((sum - report.aggregate_mbps).abs() < 1e-9);
+        test.stop(&mut net);
+        assert!(net.flows().iter().all(|f| matches!(
+            f.state,
+            crate::tcp::FlowState::Closed
+        )));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let mut net = Network::new(SimClock::matisse(), 3);
+        let a = net.add_host(HostSpec::new("a"));
+        let b = net.add_host(HostSpec::new("b"));
+        let l = net.add_link(LinkSpec::gige("l"));
+        let _ = IperfTest::start(&mut net, a, b, vec![l], 0, 1 << 20);
+    }
+}

@@ -1,0 +1,474 @@
+//! The network: topology container and per-tick update loop.
+//!
+//! `Network` owns the hosts, links, routers and TCP flows and advances them
+//! one tick at a time.  Applications (DPSS, iperf, the frame player) sit on
+//! top: they enqueue data on flows before the tick and read
+//! [`crate::tcp::TcpFlow::tick_report`] afterwards.  Monitoring sensors read
+//! host statistics, link counters and flow counters between ticks — the same
+//! quantities `vmstat`, `netstat`, SNMP and the instrumented `tcpdump`
+//! reported on the real testbed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::clock::SimClock;
+use crate::host::{Host, HostId, HostSpec};
+use crate::link::{Link, LinkId, LinkSpec, Router};
+use crate::tcp::{FlowState, TcpFlow, MSS};
+
+pub use crate::tcp::FlowId;
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    clock: SimClock,
+    hosts: Vec<Host>,
+    links: Vec<Link>,
+    routers: Vec<Router>,
+    flows: Vec<TcpFlow>,
+    host_index: HashMap<String, HostId>,
+    rng: StdRng,
+    /// Per-(host, port) bytes delivered during the last tick; what the JAMM
+    /// port-monitor agent inspects.
+    port_activity: HashMap<(HostId, u16), u64>,
+}
+
+impl Network {
+    /// Create an empty network with the given clock and RNG seed.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        Network {
+            clock,
+            hosts: Vec::new(),
+            links: Vec::new(),
+            routers: Vec::new(),
+            flows: Vec::new(),
+            host_index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            port_activity: HashMap::new(),
+        }
+    }
+
+    /// Current simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Add a host; returns its id.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.hosts.len());
+        self.host_index.insert(spec.name.clone(), id);
+        self.hosts.push(Host::new(id, spec));
+        id
+    }
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(id, spec));
+        id
+    }
+
+    /// Add a router/switch device reporting on the given interfaces.
+    pub fn add_router(&mut self, router: Router) {
+        self.routers.push(router);
+    }
+
+    /// Open a TCP flow from `src` to `dst` along `path`.  The RTT is derived
+    /// from the path's propagation delays plus a processing allowance.
+    pub fn open_flow(
+        &mut self,
+        name: impl Into<String>,
+        src: HostId,
+        dst: HostId,
+        dst_port: u16,
+        path: Vec<LinkId>,
+        rcv_window: u64,
+    ) -> FlowId {
+        let prop: u64 = path.iter().map(|l| self.links[l.0].spec.delay_us).sum();
+        let rtt = 2 * prop + 2 * self.clock.tick_us();
+        let id = FlowId(self.flows.len());
+        self.flows.push(TcpFlow::new(
+            id,
+            name,
+            src,
+            dst,
+            dst_port,
+            path,
+            rtt,
+            rcv_window,
+        ));
+        id
+    }
+
+    /// Host accessor.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Mutable host accessor.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0]
+    }
+
+    /// Look a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.host_index.get(name).copied()
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// Flow accessor.
+    pub fn flow(&self, id: FlowId) -> &TcpFlow {
+        &self.flows[id.0]
+    }
+
+    /// Mutable flow accessor.
+    pub fn flow_mut(&mut self, id: FlowId) -> &mut TcpFlow {
+        &mut self.flows[id.0]
+    }
+
+    /// All flows.
+    pub fn flows(&self) -> &[TcpFlow] {
+        &self.flows
+    }
+
+    /// Bytes delivered on (host, port) during the last tick — the signal the
+    /// port-monitor agent uses to decide an application is active.
+    pub fn port_activity(&self, host: HostId, port: u16) -> u64 {
+        self.port_activity.get(&(host, port)).copied().unwrap_or(0)
+    }
+
+    /// Advance the simulation by one tick.
+    pub fn step(&mut self) {
+        let tick_us = self.clock.tick_us();
+        let now_us = self.clock.now_us();
+        self.port_activity.clear();
+
+        // Phase 0: clear last tick's per-flow reports (applications read the
+        // report *after* step(), so stale data must never survive a tick in
+        // which the flow moved nothing), then expire retransmission timeouts.
+        for flow in &mut self.flows {
+            flow.tick_report = crate::tcp::FlowTickReport::default();
+            flow.maybe_recover(now_us);
+        }
+
+        // Phase 1: declare socket concurrency at each receiver so the
+        // per-packet cost reflects how many sockets will move data this tick.
+        let mut inflight_per_host: HashMap<HostId, u64> = HashMap::new();
+        for flow in &self.flows {
+            if matches!(flow.state, FlowState::Open) && flow.pending_bytes > 0 {
+                *inflight_per_host.entry(flow.dst).or_insert(0) +=
+                    flow.estimated_in_flight(tick_us);
+            }
+        }
+        let active_ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| matches!(f.state, FlowState::Open) && f.pending_bytes > 0)
+            .map(|f| f.id)
+            .collect();
+        for fid in &active_ids {
+            let dst = self.flows[fid.0].dst;
+            self.hosts[dst.0].mark_socket_active();
+        }
+        // Flows that are idle this tick contribute nothing to the in-flight
+        // estimate next tick either.
+        for flow in &mut self.flows {
+            if !(matches!(flow.state, FlowState::Open) && flow.pending_bytes > 0) {
+                flow.last_tick_delivered = 0;
+            }
+        }
+
+        // Phase 2: move data, rotating the starting flow each tick so no flow
+        // systematically wins the first claim on shared links.
+        let n = active_ids.len();
+        let start = if n == 0 {
+            0
+        } else {
+            (now_us / tick_us) as usize % n
+        };
+        for k in 0..n {
+            let fid = active_ids[(start + k) % n];
+            self.step_flow(fid, tick_us, now_us, &inflight_per_host);
+        }
+
+        // Phase 3: close out the tick on hosts and links, then advance time.
+        for host in &mut self.hosts {
+            host.end_tick(tick_us);
+        }
+        for link in &mut self.links {
+            link.end_tick(tick_us);
+        }
+        self.clock.advance();
+    }
+
+    /// Advance the simulation by `n` ticks.
+    pub fn run_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    fn step_flow(
+        &mut self,
+        fid: FlowId,
+        tick_us: u64,
+        now_us: u64,
+        inflight_per_host: &HashMap<HostId, u64>,
+    ) {
+        let (desired, dst, src, path, dst_port) = {
+            let f = &self.flows[fid.0];
+            (
+                f.desired_bytes(tick_us),
+                f.dst,
+                f.src,
+                f.path.clone(),
+                f.dst_port,
+            )
+        };
+        if desired == 0 {
+            self.flows[fid.0].apply_tick(now_us, 0, 0, 0);
+            return;
+        }
+
+        // Carry the burst across every link on the path; the running minimum
+        // is what arrives at the receiver's NIC.
+        let mut bytes = desired;
+        let mut line_error_packets = 0u64;
+        for lid in &path {
+            let pkts = bytes.div_ceil(MSS);
+            let carried = self.links[lid.0].carry(bytes, pkts, tick_us);
+            bytes = bytes.min(carried);
+            let err_rate = self.links[lid.0].spec.error_rate;
+            if err_rate > 0.0 && bytes > 0 {
+                let pkts_here = bytes.div_ceil(MSS);
+                let mut errs = 0u64;
+                for _ in 0..pkts_here.min(1_000) {
+                    if self.rng.gen::<f64>() < err_rate {
+                        errs += 1;
+                    }
+                }
+                if errs > 0 {
+                    self.links[lid.0].record_errors(errs);
+                    line_error_packets += errs;
+                }
+            }
+            if bytes == 0 {
+                break;
+            }
+        }
+
+        let sent_packets = desired.div_ceil(MSS);
+        let arrived_packets = bytes.div_ceil(MSS);
+        let queue_lost = sent_packets - arrived_packets;
+
+        // Receiver ring overflow: when the sum of in-flight bytes destined to
+        // this host exceeds its receive-buffer memory, the excess fraction of
+        // this burst is dropped before the stack sees it.
+        let total_inflight = inflight_per_host.get(&dst).copied().unwrap_or(0);
+        let ring = self.hosts[dst.0].spec.rcv_buffer_bytes;
+        let mut ring_lost = 0u64;
+        let mut bytes_after_ring = bytes;
+        if total_inflight > ring && bytes > 0 {
+            let excess_frac = (total_inflight - ring) as f64 / total_inflight as f64;
+            let lost_bytes = (bytes as f64 * excess_frac) as u64;
+            bytes_after_ring = bytes - lost_bytes;
+            ring_lost = lost_bytes.div_ceil(MSS);
+        }
+
+        // Receiver CPU budget: packets beyond the budget are dropped.
+        let pkts_to_stack = bytes_after_ring.div_ceil(MSS);
+        let processed = self.hosts[dst.0].receive_packets(pkts_to_stack, bytes_after_ring, tick_us);
+        let cpu_lost = pkts_to_stack - processed;
+        let mut delivered_bytes = if pkts_to_stack > 0 {
+            bytes_after_ring * processed / pkts_to_stack
+        } else {
+            0
+        };
+
+        // Gigabit-card / driver pathology: with several concurrently active
+        // sockets, each delivered packet has a small chance of being dropped
+        // by the driver (the receiving-host problem the paper tracked down).
+        let driver_p = self.hosts[dst.0].driver_loss_probability();
+        let mut driver_lost = 0u64;
+        if driver_p > 0.0 && processed > 0 {
+            for _ in 0..processed.min(10_000) {
+                if self.rng.gen::<f64>() < driver_p {
+                    driver_lost += 1;
+                }
+            }
+            delivered_bytes = delivered_bytes.saturating_sub(driver_lost * MSS);
+        }
+
+        let lost = queue_lost + ring_lost + cpu_lost + line_error_packets + driver_lost;
+        self.hosts[src.0].transmit_bytes(desired, sent_packets);
+        if lost > 0 {
+            self.hosts[dst.0].record_retransmit(lost);
+        }
+        if delivered_bytes > 0 {
+            *self.port_activity.entry((dst, dst_port)).or_insert(0) += delivered_bytes;
+        }
+        self.flows[fid.0].apply_tick(now_us, sent_packets, lost, delivered_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    /// Two hosts connected by one 100 Mbit/s link with 5 ms one-way delay.
+    fn simple_net() -> (Network, HostId, HostId, LinkId) {
+        let mut net = Network::new(SimClock::matisse(), 42);
+        let a = net.add_host(HostSpec::new("sender.lbl.gov"));
+        let b = net.add_host(HostSpec::new("receiver.lbl.gov"));
+        let l = net.add_link(LinkSpec::new("wan", 100_000_000, 5_000));
+        (net, a, b, l)
+    }
+
+    #[test]
+    fn single_flow_reaches_near_link_rate() {
+        let (mut net, a, b, l) = simple_net();
+        let f = net.open_flow("bulk", a, b, 5_000, vec![l], 4 << 20);
+        net.flow_mut(f).set_unlimited();
+        net.run_ticks(5_000); // 5 simulated seconds
+        let rate = net.flow(f).average_rate_bps(net.clock().now_us());
+        assert!(
+            rate > 70_000_000.0 && rate < 110_000_000.0,
+            "expected near 100 Mbit/s, got {:.1} Mbit/s",
+            rate / 1e6
+        );
+    }
+
+    #[test]
+    fn small_receive_window_limits_throughput() {
+        let (mut net, a, b, l) = simple_net();
+        // 64 KB window over ~12 ms RTT -> about 43 Mbit/s ceiling.
+        let f = net.open_flow("limited", a, b, 5_000, vec![l], 64 * 1024);
+        net.flow_mut(f).set_unlimited();
+        net.run_ticks(5_000);
+        let rate = net.flow(f).average_rate_bps(net.clock().now_us());
+        assert!(
+            rate < 60_000_000.0,
+            "window-limited flow should stay well under link rate, got {:.1} Mbit/s",
+            rate / 1e6
+        );
+        assert!(rate > 20_000_000.0, "but not collapse: {:.1} Mbit/s", rate / 1e6);
+    }
+
+    #[test]
+    fn finite_transfer_completes_and_port_activity_visible() {
+        let (mut net, a, b, l) = simple_net();
+        let f = net.open_flow("ftp", a, b, 21, vec![l], 1 << 20);
+        net.flow_mut(f).enqueue(2_000_000);
+        let mut saw_activity = false;
+        for _ in 0..10_000 {
+            net.step();
+            if net.port_activity(b, 21) > 0 {
+                saw_activity = true;
+            }
+            if net.flow(f).pending_bytes == 0 {
+                break;
+            }
+        }
+        assert!(saw_activity, "port monitor should see traffic on port 21");
+        assert_eq!(net.flow(f).pending_bytes, 0);
+        assert_eq!(net.flow(f).total_delivered, 2_000_000);
+        // And afterwards the port goes quiet again.
+        net.step();
+        assert_eq!(net.port_activity(b, 21), 0);
+    }
+
+    #[test]
+    fn receiver_cpu_saturation_causes_retransmits() {
+        let mut net = Network::new(SimClock::matisse(), 7);
+        let a = net.add_host(HostSpec::new("fast-sender"));
+        // A receiver with a very slow protocol stack.
+        let b = net.add_host(
+            HostSpec::new("slow-receiver")
+                .cpus(1)
+                .pkt_cost_us(200.0),
+        );
+        let l = net.add_link(LinkSpec::gige("lan"));
+        let f = net.open_flow("blast", a, b, 9_000, vec![l], 8 << 20);
+        net.flow_mut(f).set_unlimited();
+        net.run_ticks(3_000);
+        assert!(
+            net.flow(f).retransmits > 0,
+            "CPU-bound receiver must force losses"
+        );
+        assert!(net.host(b).stats().rx_drops > 0);
+        // Delivered rate is bounded by the stack: 5000 pkt/s * 1460 B ~ 58 Mbit/s.
+        let rate = net.flow(f).average_rate_bps(net.clock().now_us());
+        assert!(rate < 80_000_000.0, "got {:.1} Mbit/s", rate / 1e6);
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_roughly_fairly() {
+        let (mut net, a, b, l) = simple_net();
+        let f1 = net.open_flow("one", a, b, 5_001, vec![l], 1 << 20);
+        let f2 = net.open_flow("two", a, b, 5_002, vec![l], 1 << 20);
+        net.flow_mut(f1).set_unlimited();
+        net.flow_mut(f2).set_unlimited();
+        net.run_ticks(10_000);
+        let r1 = net.flow(f1).average_rate_bps(net.clock().now_us());
+        let r2 = net.flow(f2).average_rate_bps(net.clock().now_us());
+        let total = (r1 + r2) / 1e6;
+        assert!(total > 60.0 && total < 115.0, "aggregate {total:.1} Mbit/s");
+        let ratio = r1.max(r2) / r1.min(r2).max(1.0);
+        assert!(ratio < 4.5, "gross unfairness: {r1:.0} vs {r2:.0}");
+    }
+
+    #[test]
+    fn line_errors_are_counted_on_the_link() {
+        let mut net = Network::new(SimClock::matisse(), 11);
+        let a = net.add_host(HostSpec::new("a"));
+        let b = net.add_host(HostSpec::new("b"));
+        let l = net.add_link(LinkSpec::new("noisy", 100_000_000, 1_000).error_rate(0.01));
+        let f = net.open_flow("x", a, b, 80, vec![l], 1 << 20);
+        net.flow_mut(f).set_unlimited();
+        net.run_ticks(2_000);
+        assert!(net.link(l).counters().errors > 0);
+        assert!(net.flow(f).retransmits > 0);
+    }
+
+    #[test]
+    fn host_lookup_by_name() {
+        let (net, a, b, _) = simple_net();
+        assert_eq!(net.host_by_name("sender.lbl.gov"), Some(a));
+        assert_eq!(net.host_by_name("receiver.lbl.gov"), Some(b));
+        assert_eq!(net.host_by_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn closed_flow_moves_no_data() {
+        let (mut net, a, b, l) = simple_net();
+        let f = net.open_flow("x", a, b, 80, vec![l], 1 << 20);
+        net.flow_mut(f).set_unlimited();
+        net.run_ticks(100);
+        let delivered = net.flow(f).total_delivered;
+        assert!(delivered > 0);
+        net.flow_mut(f).close();
+        net.run_ticks(100);
+        assert_eq!(net.flow(f).total_delivered, delivered);
+    }
+}

@@ -1,0 +1,387 @@
+//! The MATISSE frame player (the `mplay` application of Figure 7).
+//!
+//! The player requests MEMS video frames from the DPSS, reads them from its
+//! sockets, renders them, and emits the `MPLAY_*` NetLogger events that form
+//! the application part of the Figure 7 lifelines.  It also records the size
+//! of every `read()` it performs, which is the data behind the Figure 3
+//! scatter plot (read sizes clustering around two distinct values).
+
+use jamm_ulm::{keys, Event, Level};
+
+use crate::dpss::DpssCluster;
+use crate::host::HostId;
+use crate::network::Network;
+use crate::trace::TraceLog;
+
+/// Maximum bytes a single `read()` call returns (the player's buffer size).
+pub const READ_BUFFER_BYTES: u64 = 64 * 1024;
+
+/// Record of one displayed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Frame sequence number.
+    pub frame_id: u64,
+    /// Simulated time the frame was requested, microseconds.
+    pub requested_at_us: u64,
+    /// Simulated time the last byte arrived, microseconds.
+    pub arrived_at_us: u64,
+    /// Simulated time rendering finished, microseconds.
+    pub displayed_at_us: u64,
+}
+
+/// Configuration of the player.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayerConfig {
+    /// Size of each frame in bytes (high-resolution MEMS video frame).
+    pub frame_bytes: u64,
+    /// CPU time to decode/render one frame, microseconds of user time.
+    pub render_us: u64,
+    /// The player's socket-poll interval in ticks (how often it calls
+    /// `read()`), which determines the read-size clustering of Figure 3.
+    pub poll_interval_ticks: u64,
+    /// Number of frames to fetch before stopping (0 = unlimited).
+    pub max_frames: u64,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            // ~1.5 MB frames: 6 frames/s at ~140 Mbit/s was the best case in
+            // the demo, and 1-2 frames/s in the bad case.
+            frame_bytes: 1_500_000,
+            render_us: 40_000,
+            poll_interval_ticks: 8,
+            max_frames: 0,
+        }
+    }
+}
+
+/// The frame-player application.
+#[derive(Debug, Clone)]
+pub struct FramePlayer {
+    /// Host the player runs on (the receiving workstation / cluster head).
+    pub host: HostId,
+    host_name: String,
+    config: PlayerConfig,
+    next_frame_id: u64,
+    outstanding: Option<Outstanding>,
+    pending_render_us: u64,
+    rendering_frame: Option<(u64, u64, u64)>,
+    render_queue: std::collections::VecDeque<(u64, u64, u64)>,
+    unread_bytes: u64,
+    ticks_since_poll: u64,
+    /// Sizes of every `read()` performed, with the simulated time it
+    /// happened (Figure 3 raw data).
+    pub read_sizes: Vec<(u64, u64)>,
+    /// Completed frames.
+    pub frames: Vec<FrameRecord>,
+    requested_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    frame_id: u64,
+    bytes_needed: u64,
+    bytes_got: u64,
+}
+
+impl FramePlayer {
+    /// Create a player running on `host`.
+    pub fn new(host: HostId, host_name: impl Into<String>, config: PlayerConfig) -> Self {
+        FramePlayer {
+            host,
+            host_name: host_name.into(),
+            config,
+            next_frame_id: 1,
+            outstanding: None,
+            pending_render_us: 0,
+            rendering_frame: None,
+            render_queue: std::collections::VecDeque::new(),
+            unread_bytes: 0,
+            ticks_since_poll: 0,
+            read_sizes: Vec::new(),
+            frames: Vec::new(),
+            requested_at: 0,
+        }
+    }
+
+    /// The player's configuration.
+    pub fn config(&self) -> &PlayerConfig {
+        &self.config
+    }
+
+    /// Number of frames fully displayed so far.
+    pub fn frames_displayed(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// True once `max_frames` frames have been displayed (never true when
+    /// unlimited).
+    pub fn finished(&self) -> bool {
+        self.config.max_frames > 0 && self.frames_displayed() >= self.config.max_frames
+    }
+
+    /// Drive the player for one tick.  Call this *after* `net.step()` and
+    /// pass the same tick's DPSS cluster so frame deliveries are seen.
+    pub fn tick(&mut self, net: &mut Network, dpss: &mut DpssCluster, trace: &mut TraceLog) {
+        let now = net.clock().now_us();
+        let ts = net.clock().timestamp();
+
+        // Request the next frame when nothing is outstanding.
+        if self.outstanding.is_none() && !self.finished() {
+            let frame_id = self.next_frame_id;
+            self.next_frame_id += 1;
+            self.requested_at = now;
+            trace.record(
+                Event::builder("mplay", self.host_name.clone())
+                    .level(Level::Usage)
+                    .event_type(keys::matisse::START_READ_FRAME)
+                    .timestamp(ts)
+                    .object_id(format!("frame-{frame_id}"))
+                    .field("FRAME.ID", frame_id)
+                    .build(),
+            );
+            dpss.request_frame(net, frame_id, self.config.frame_bytes, trace);
+            self.outstanding = Some(Outstanding {
+                frame_id,
+                bytes_needed: self.config.frame_bytes,
+                bytes_got: 0,
+            });
+        }
+
+        // Collect bytes the DPSS delivered this tick.
+        let deliveries = dpss.tick(net, trace);
+        for d in deliveries {
+            self.unread_bytes += d.bytes;
+            if let Some(out) = self.outstanding.as_mut() {
+                if out.frame_id == d.frame_id {
+                    out.bytes_got += d.bytes;
+                }
+            }
+        }
+
+        // The application polls its sockets every `poll_interval_ticks`.
+        self.ticks_since_poll += 1;
+        if self.ticks_since_poll >= self.config.poll_interval_ticks && self.unread_bytes > 0 {
+            self.ticks_since_poll = 0;
+            // One poll performs back-to-back read() calls until the socket
+            // buffer is drained; each call returns at most READ_BUFFER_BYTES.
+            while self.unread_bytes > 0 {
+                let r = self.unread_bytes.min(READ_BUFFER_BYTES);
+                self.read_sizes.push((now, r));
+                self.unread_bytes -= r;
+                // Copying the data out of the kernel costs a little user CPU.
+                net.host_mut(self.host).consume_user_cpu_us(r as f64 / 1_000.0);
+            }
+        }
+
+        // Frame completion: all bytes arrived.  The frame joins the render
+        // queue; the next frame is requested on the following tick so the
+        // transfer pipeline never sits idle behind the renderer.
+        if let Some(out) = self.outstanding {
+            if out.bytes_got >= out.bytes_needed {
+                trace.record(
+                    Event::builder("mplay", self.host_name.clone())
+                        .level(Level::Usage)
+                        .event_type(keys::matisse::END_READ_FRAME)
+                        .timestamp(ts)
+                        .object_id(format!("frame-{}", out.frame_id))
+                        .field("FRAME.ID", out.frame_id)
+                        .build(),
+                );
+                self.render_queue
+                    .push_back((out.frame_id, self.requested_at, now));
+                self.outstanding = None;
+            }
+        }
+
+        // Start rendering the next queued frame when the renderer is free.
+        if self.rendering_frame.is_none() {
+            if let Some((frame_id, requested_at, arrived_at)) = self.render_queue.pop_front() {
+                trace.record(
+                    Event::builder("mplay", self.host_name.clone())
+                        .level(Level::Usage)
+                        .event_type(keys::matisse::START_PUT_IMAGE)
+                        .timestamp(ts)
+                        .object_id(format!("frame-{frame_id}"))
+                        .field("FRAME.ID", frame_id)
+                        .build(),
+                );
+                self.pending_render_us = self.config.render_us;
+                self.rendering_frame = Some((frame_id, requested_at, arrived_at));
+            }
+        }
+
+        // Rendering consumes user CPU spread over ticks (at most half a CPU).
+        if self.pending_render_us > 0 {
+            let tick_us = net.clock().tick_us();
+            let spend = self.pending_render_us.min(tick_us / 2);
+            net.host_mut(self.host).consume_user_cpu_us(spend as f64);
+            self.pending_render_us -= spend;
+            if self.pending_render_us == 0 {
+                if let Some((frame_id, requested_at, arrived_at)) = self.rendering_frame.take() {
+                    trace.record(
+                        Event::builder("mplay", self.host_name.clone())
+                            .level(Level::Usage)
+                            .event_type(keys::matisse::END_PUT_IMAGE)
+                            .timestamp(ts)
+                            .object_id(format!("frame-{frame_id}"))
+                            .field("FRAME.ID", frame_id)
+                            .build(),
+                    );
+                    self.frames.push(FrameRecord {
+                        frame_id,
+                        requested_at_us: requested_at,
+                        arrived_at_us: arrived_at,
+                        displayed_at_us: now,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Frame rate over consecutive windows of `window_us` simulated time.
+    /// Returns `(window start in seconds, frames per second)` pairs — the
+    /// data behind the "sometimes 6 frames/sec, sometimes 1-2" observation.
+    pub fn frame_rate_series(&self, total_us: u64, window_us: u64) -> Vec<(f64, f64)> {
+        assert!(window_us > 0);
+        let n_windows = total_us.div_ceil(window_us);
+        let mut counts = vec![0u64; n_windows as usize];
+        for f in &self.frames {
+            let w = (f.displayed_at_us / window_us) as usize;
+            if w < counts.len() {
+                counts[w] += 1;
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    i as f64 * window_us as f64 / 1e6,
+                    c as f64 / (window_us as f64 / 1e6),
+                )
+            })
+            .collect()
+    }
+
+    /// Mean frame rate over the whole run, frames per second.
+    pub fn mean_frame_rate(&self, total_us: u64) -> f64 {
+        if total_us == 0 {
+            return 0.0;
+        }
+        self.frames.len() as f64 / (total_us as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::dpss::{DpssServer, DEFAULT_BLOCK_BYTES};
+    use crate::host::HostSpec;
+    use crate::link::LinkSpec;
+
+    fn lan_setup() -> (Network, DpssCluster, FramePlayer) {
+        let mut net = Network::new(SimClock::matisse(), 5);
+        let client = net.add_host(HostSpec::new("viz.lbl.gov"));
+        let lan = net.add_link(LinkSpec::gige("lan"));
+        let mut servers = Vec::new();
+        for i in 0..2 {
+            let name = format!("dpss{}.lbl.gov", i + 1);
+            let h = net.add_host(HostSpec::new(name.clone()));
+            let f = net.open_flow(format!("dpss{}", i + 1), h, client, 7_000, vec![lan], 1 << 20);
+            servers.push(DpssServer::new(h, name, f, 8_000));
+        }
+        let cluster = DpssCluster::new(servers, DEFAULT_BLOCK_BYTES);
+        let player = FramePlayer::new(
+            client,
+            "viz.lbl.gov",
+            PlayerConfig {
+                frame_bytes: 400_000,
+                render_us: 10_000,
+                poll_interval_ticks: 5,
+                max_frames: 10,
+            },
+        );
+        (net, cluster, player)
+    }
+
+    fn run(net: &mut Network, cluster: &mut DpssCluster, player: &mut FramePlayer, ticks: u64) -> TraceLog {
+        let mut trace = TraceLog::new();
+        for _ in 0..ticks {
+            net.step();
+            player.tick(net, cluster, &mut trace);
+            if player.finished() {
+                break;
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn player_fetches_and_displays_frames_in_order() {
+        let (mut net, mut cluster, mut player) = lan_setup();
+        let trace = run(&mut net, &mut cluster, &mut player, 200_000);
+        assert!(player.finished(), "only {} frames displayed", player.frames_displayed());
+        assert_eq!(player.frames.len(), 10);
+        let ids: Vec<u64> = player.frames.iter().map(|f| f.frame_id).collect();
+        assert_eq!(ids, (1..=10).collect::<Vec<_>>());
+        for f in &player.frames {
+            assert!(f.requested_at_us <= f.arrived_at_us);
+            assert!(f.arrived_at_us <= f.displayed_at_us);
+        }
+        // Every displayed frame went through every stage; a couple of extra
+        // frames may have been requested (pipelined) but not yet displayed.
+        assert_eq!(trace.by_type(keys::matisse::END_PUT_IMAGE).count(), 10);
+        assert_eq!(trace.by_type(keys::matisse::START_PUT_IMAGE).count(), 10);
+        for ty in [keys::matisse::START_READ_FRAME, keys::matisse::END_READ_FRAME] {
+            let n = trace.by_type(ty).count();
+            assert!((10..=13).contains(&n), "{ty}: {n}");
+        }
+    }
+
+    #[test]
+    fn read_sizes_are_recorded_and_bounded() {
+        let (mut net, mut cluster, mut player) = lan_setup();
+        run(&mut net, &mut cluster, &mut player, 200_000);
+        assert!(!player.read_sizes.is_empty());
+        assert!(player.read_sizes.iter().all(|&(_, r)| r > 0 && r <= READ_BUFFER_BYTES));
+        // Every displayed frame's bytes were read exactly once; at most a
+        // couple of extra frames may still have been in flight when the run
+        // stopped.
+        let total_read: u64 = player.read_sizes.iter().map(|&(_, r)| r).sum();
+        assert!(total_read >= 10 * 400_000, "read {total_read} bytes");
+        assert!(total_read <= 13 * 400_000, "read {total_read} bytes");
+    }
+
+    #[test]
+    fn frame_rate_series_counts_frames_per_window() {
+        let (mut net, mut cluster, mut player) = lan_setup();
+        run(&mut net, &mut cluster, &mut player, 200_000);
+        let total = net.clock().now_us();
+        let series = player.frame_rate_series(total, 1_000_000);
+        let total_frames: f64 = series.iter().map(|&(_, fps)| fps).sum::<f64>();
+        assert!((total_frames - 10.0).abs() < 1e-9, "sum of per-second counts = frames");
+        assert!(player.mean_frame_rate(total) > 0.0);
+    }
+
+    #[test]
+    fn object_ids_link_player_and_dpss_events() {
+        let (mut net, mut cluster, mut player) = lan_setup();
+        let trace = run(&mut net, &mut cluster, &mut player, 200_000);
+        // Frame 1's lifeline spans both the application and the DPSS servers.
+        let frame1: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.object_id() == Some("frame-1"))
+            .collect();
+        let hosts: std::collections::HashSet<_> = frame1.iter().map(|e| e.host.as_str()).collect();
+        assert!(hosts.len() >= 2, "lifeline crosses hosts: {hosts:?}");
+        let types: std::collections::HashSet<_> =
+            frame1.iter().map(|e| e.event_type.as_str()).collect();
+        assert!(types.contains(keys::matisse::START_READ_FRAME));
+        assert!(types.contains(keys::matisse::DPSS_SERV_IN));
+        assert!(types.contains(keys::matisse::END_PUT_IMAGE));
+    }
+}

@@ -1,0 +1,398 @@
+//! TCP flow model.
+//!
+//! Each flow is a fluid AIMD model: per simulation tick it sends
+//! `min(cwnd, rcv_window) / RTT * tick` bytes, capped by the links along its
+//! path and by the receiving host's packet-processing budget.  Packet losses
+//! (queue overflow, receive-ring overflow, CPU exhaustion or line errors)
+//! trigger either a fast-retransmit halving or — for burst losses — a
+//! retransmission timeout with a slow-start restart, which is the mechanism
+//! behind the 4-stream WAN throughput collapse the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::host::HostId;
+use crate::link::LinkId;
+
+/// Maximum segment size used by all flows (standard Ethernet MSS).
+pub const MSS: u64 = 1_460;
+
+/// Default retransmission-timeout length in microseconds.
+pub const DEFAULT_RTO_US: u64 = 500_000;
+
+/// Identifies a flow within a [`crate::network::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub usize);
+
+/// Congestion-control state of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowState {
+    /// Transmitting normally.
+    Open,
+    /// Waiting out a retransmission timeout until the given simulated time
+    /// (microseconds since simulation start).
+    TimedOut {
+        /// Simulated time at which transmission resumes.
+        until_us: u64,
+    },
+    /// The application closed the connection.
+    Closed,
+}
+
+/// Per-tick outcome of a flow's transmission, used by applications layered on
+/// top (DPSS, iperf, the frame player) and by the monitoring sensors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTickReport {
+    /// Bytes delivered to the receiving application this tick.
+    pub delivered_bytes: u64,
+    /// Packets lost this tick (any cause).
+    pub lost_packets: u64,
+    /// Whether a retransmission timeout was taken this tick.
+    pub timed_out: bool,
+}
+
+/// A simulated TCP connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpFlow {
+    /// Identifier within the owning network.
+    pub id: FlowId,
+    /// Human-readable label (shows up in emitted monitoring events).
+    pub name: String,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Destination port (what the JAMM port-monitor agent watches).
+    pub dst_port: u16,
+    /// Links traversed from `src` to `dst`, in order.
+    pub path: Vec<LinkId>,
+    /// Receiver window in bytes (the buffer the network-aware client tunes).
+    pub rcv_window: u64,
+    /// Round-trip time in microseconds (path propagation + processing).
+    pub rtt_us: u64,
+    /// Retransmission-timeout length in microseconds.
+    pub rto_us: u64,
+
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u64,
+    /// Current state.
+    pub state: FlowState,
+
+    /// Bytes the application has queued for transmission.  `u64::MAX` means
+    /// the source is unlimited (iperf-style).
+    pub pending_bytes: u64,
+
+    /// Cumulative bytes delivered to the receiver.
+    pub total_delivered: u64,
+    /// Cumulative retransmitted packets.
+    pub retransmits: u64,
+    /// Cumulative retransmission timeouts.
+    pub timeouts: u64,
+    /// Bytes delivered during the previous tick (sensor-visible rate).
+    pub last_tick_delivered: u64,
+    /// Report for the tick currently being processed.
+    #[serde(skip)]
+    pub tick_report: FlowTickReport,
+}
+
+impl TcpFlow {
+    /// Create a new flow in slow start with one MSS of congestion window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: FlowId,
+        name: impl Into<String>,
+        src: HostId,
+        dst: HostId,
+        dst_port: u16,
+        path: Vec<LinkId>,
+        rtt_us: u64,
+        rcv_window: u64,
+    ) -> Self {
+        TcpFlow {
+            id,
+            name: name.into(),
+            src,
+            dst,
+            dst_port,
+            path,
+            rcv_window: rcv_window.max(MSS),
+            rtt_us: rtt_us.max(200),
+            rto_us: DEFAULT_RTO_US.max(2 * rtt_us),
+            cwnd: 2 * MSS,
+            ssthresh: rcv_window.max(MSS),
+            state: FlowState::Open,
+            pending_bytes: 0,
+            total_delivered: 0,
+            retransmits: 0,
+            timeouts: 0,
+            last_tick_delivered: 0,
+            tick_report: FlowTickReport::default(),
+        }
+    }
+
+    /// The effective send window: min of congestion and receiver windows.
+    pub fn window(&self) -> u64 {
+        self.cwnd.min(self.rcv_window)
+    }
+
+    /// Queue application data for transmission.
+    pub fn enqueue(&mut self, bytes: u64) {
+        if self.pending_bytes != u64::MAX {
+            self.pending_bytes = self.pending_bytes.saturating_add(bytes);
+        }
+    }
+
+    /// Make the source unlimited (always has data to send).
+    pub fn set_unlimited(&mut self) {
+        self.pending_bytes = u64::MAX;
+    }
+
+    /// Close the connection from the application side.
+    pub fn close(&mut self) {
+        self.state = FlowState::Closed;
+        if self.pending_bytes == u64::MAX {
+            self.pending_bytes = 0;
+        }
+    }
+
+    /// Whether the flow wants to transmit this tick.
+    pub fn wants_to_send(&self, now_us: u64) -> bool {
+        match self.state {
+            FlowState::Open => self.pending_bytes > 0,
+            FlowState::TimedOut { until_us } => {
+                // The check is made before the timeout expiry processing; a
+                // flow still inside its RTO sends nothing.
+                now_us >= until_us && self.pending_bytes > 0
+            }
+            FlowState::Closed => false,
+        }
+    }
+
+    /// Bytes the fluid model would like to send in a tick of `tick_us`.
+    pub fn desired_bytes(&self, tick_us: u64) -> u64 {
+        let w = self.window() as f64;
+        let rate_bps = w / (self.rtt_us as f64 / 1e6); // bytes per second
+        let bytes = (rate_bps * tick_us as f64 / 1e6).ceil() as u64;
+        bytes.min(self.pending_bytes)
+    }
+
+    /// Estimated bytes in flight, for the receiver ring-overflow model:
+    /// bounded by the window and by what the achieved rate can keep in the
+    /// pipe.
+    pub fn estimated_in_flight(&self, tick_us: u64) -> u64 {
+        if self.pending_bytes == 0 || !matches!(self.state, FlowState::Open) {
+            return 0;
+        }
+        let by_rate = self.last_tick_delivered.saturating_mul(self.rtt_us) / tick_us.max(1)
+            + 2 * MSS;
+        self.window().min(by_rate)
+    }
+
+    /// If the flow is in timeout and the timer expired, reopen it in slow
+    /// start.  Returns true if the flow (re)opened.
+    pub fn maybe_recover(&mut self, now_us: u64) -> bool {
+        if let FlowState::TimedOut { until_us } = self.state {
+            if now_us >= until_us {
+                self.state = FlowState::Open;
+                self.cwnd = 2 * MSS;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Apply the outcome of a tick's transmission attempt.
+    ///
+    /// `sent_packets` is how many packets were put on the wire, `lost_packets`
+    /// how many of them were lost (any cause), `delivered_bytes` how many
+    /// bytes reached the application.  Congestion control reacts:
+    /// no loss → additive/exponential growth; some loss → fast retransmit
+    /// (halve); loss of more than a third of the burst → timeout.
+    pub fn apply_tick(
+        &mut self,
+        now_us: u64,
+        sent_packets: u64,
+        lost_packets: u64,
+        delivered_bytes: u64,
+    ) {
+        self.tick_report = FlowTickReport {
+            delivered_bytes,
+            lost_packets,
+            timed_out: false,
+        };
+        if self.pending_bytes != u64::MAX {
+            self.pending_bytes = self.pending_bytes.saturating_sub(delivered_bytes);
+        }
+        self.total_delivered += delivered_bytes;
+        self.last_tick_delivered = delivered_bytes;
+
+        if lost_packets == 0 {
+            // Window growth on successful delivery.
+            if self.cwnd < self.ssthresh {
+                self.cwnd = (self.cwnd + delivered_bytes).min(self.rcv_window);
+            } else if self.cwnd > 0 {
+                let incr = (MSS as f64 * delivered_bytes as f64 / self.cwnd as f64) as u64;
+                self.cwnd = (self.cwnd + incr).min(self.rcv_window);
+            }
+            return;
+        }
+
+        self.retransmits += lost_packets;
+        let burst_loss = sent_packets > 0 && lost_packets * 3 >= sent_packets;
+        if burst_loss {
+            // Severe loss: retransmission timeout, slow-start restart.
+            self.timeouts += 1;
+            self.ssthresh = (self.window() / 2).max(2 * MSS);
+            self.cwnd = MSS;
+            self.state = FlowState::TimedOut {
+                until_us: now_us + self.rto_us,
+            };
+            self.tick_report.timed_out = true;
+        } else {
+            // Isolated loss: fast retransmit / recovery.
+            self.ssthresh = (self.window() / 2).max(2 * MSS);
+            self.cwnd = self.ssthresh;
+        }
+    }
+
+    /// Average delivery rate in bits per second over `elapsed_us` of
+    /// simulated time.
+    pub fn average_rate_bps(&self, elapsed_us: u64) -> f64 {
+        if elapsed_us == 0 {
+            0.0
+        } else {
+            self.total_delivered as f64 * 8.0 / (elapsed_us as f64 / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> TcpFlow {
+        TcpFlow::new(
+            FlowId(0),
+            "test",
+            HostId(0),
+            HostId(1),
+            14_830,
+            vec![LinkId(0)],
+            60_000,
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn slow_start_doubles_per_delivered_window() {
+        let mut f = flow();
+        f.set_unlimited();
+        let before = f.cwnd;
+        f.apply_tick(0, 10, 0, before);
+        assert_eq!(f.cwnd, before * 2, "slow start: cwnd grows by bytes acked");
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.ssthresh = 4 * MSS;
+        f.cwnd = 8 * MSS;
+        f.apply_tick(0, 8, 0, 8 * MSS);
+        // One MSS per window's worth of acks.
+        assert_eq!(f.cwnd, 9 * MSS);
+    }
+
+    #[test]
+    fn cwnd_never_exceeds_receiver_window() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.cwnd = f.rcv_window - MSS / 2;
+        f.apply_tick(0, 100, 0, 500_000);
+        assert_eq!(f.cwnd, f.rcv_window);
+        assert_eq!(f.window(), f.rcv_window);
+    }
+
+    #[test]
+    fn isolated_loss_halves_window() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.cwnd = 100 * MSS;
+        f.apply_tick(0, 100, 1, 99 * MSS);
+        assert_eq!(f.cwnd, 50 * MSS);
+        assert_eq!(f.retransmits, 1);
+        assert_eq!(f.timeouts, 0);
+        assert!(matches!(f.state, FlowState::Open));
+    }
+
+    #[test]
+    fn burst_loss_causes_timeout_and_slow_start_restart() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.cwnd = 100 * MSS;
+        f.apply_tick(1_000, 90, 40, 50 * MSS);
+        assert_eq!(f.timeouts, 1);
+        assert_eq!(f.cwnd, MSS);
+        assert!(matches!(f.state, FlowState::TimedOut { .. }));
+        assert!(f.tick_report.timed_out);
+        // Not yet recovered before the RTO expires.
+        assert!(!f.maybe_recover(1_000 + f.rto_us - 1));
+        assert!(f.maybe_recover(1_000 + f.rto_us));
+        assert!(matches!(f.state, FlowState::Open));
+        assert_eq!(f.cwnd, 2 * MSS);
+    }
+
+    #[test]
+    fn pending_bytes_drain_and_limit_sending() {
+        let mut f = flow();
+        f.enqueue(10_000);
+        assert!(f.wants_to_send(0));
+        assert!(f.desired_bytes(1_000) <= 10_000);
+        f.apply_tick(0, 7, 0, 10_000);
+        assert_eq!(f.pending_bytes, 0);
+        assert!(!f.wants_to_send(0));
+        assert_eq!(f.total_delivered, 10_000);
+    }
+
+    #[test]
+    fn unlimited_source_never_drains() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.apply_tick(0, 100, 0, 1 << 20);
+        assert_eq!(f.pending_bytes, u64::MAX);
+        f.close();
+        assert_eq!(f.pending_bytes, 0);
+        assert!(!f.wants_to_send(0));
+    }
+
+    #[test]
+    fn desired_bytes_follows_window_over_rtt() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.cwnd = 600_000; // bytes
+        // rate = 600k / 60ms = 10 MB/s -> 10k bytes per 1ms tick.
+        let d = f.desired_bytes(1_000);
+        assert!((d as i64 - 10_000).abs() <= 10, "got {d}");
+    }
+
+    #[test]
+    fn average_rate_computation() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.apply_tick(0, 10, 0, 1_250_000); // 1.25 MB in 1 s => 10 Mbit/s
+        assert!((f.average_rate_bps(1_000_000) - 10_000_000.0).abs() < 1.0);
+        assert_eq!(f.average_rate_bps(0), 0.0);
+    }
+
+    #[test]
+    fn in_flight_estimate_bounded_by_window() {
+        let mut f = flow();
+        f.set_unlimited();
+        f.cwnd = 4 * MSS;
+        f.last_tick_delivered = 1 << 20;
+        assert!(f.estimated_in_flight(1_000) <= f.window());
+        f.pending_bytes = 0;
+        assert_eq!(f.estimated_in_flight(1_000), 0);
+    }
+}

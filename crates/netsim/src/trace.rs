@@ -1,0 +1,146 @@
+//! Collection of monitoring events produced during a simulation.
+//!
+//! Applications (the DPSS servers, the frame player) and the sensors layered
+//! on top of the simulator all append ULM events here.  The trace is what the
+//! NetLogger analysis tools consume to draw Figure 7 — lifelines, loadlines
+//! and retransmit points on a common time axis.
+
+use jamm_ulm::{Event, Timestamp};
+
+/// An append-only log of monitoring events.
+#[derive(Debug, Default, Clone)]
+pub struct TraceLog {
+    events: Vec<Event>,
+}
+
+impl TraceLog {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        TraceLog { events: Vec::new() }
+    }
+
+    /// Append one event.
+    pub fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Append many events.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = Event>) {
+        self.events.extend(events);
+    }
+
+    /// All recorded events, in insertion order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of a given NetLogger event type.
+    pub fn by_type<'a>(&'a self, event_type: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| e.event_type == event_type)
+    }
+
+    /// Events generated on a given host.
+    pub fn by_host<'a>(&'a self, host: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| e.host == host)
+    }
+
+    /// Events within `[start, end)`.
+    pub fn in_window(&self, start: Timestamp, end: Timestamp) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(move |e| e.timestamp >= start && e.timestamp < end)
+    }
+
+    /// Drain all events out of the trace (used by streaming collectors).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Sort events by timestamp (stable, so equal timestamps keep insertion
+    /// order).  NetLogger's log-merge tool does the same before analysis.
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| e.timestamp);
+    }
+
+    /// Serialise the whole trace as ULM text, one event per line.
+    pub fn to_ulm_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&jamm_ulm::text::encode(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::Level;
+
+    fn ev(t: u64, host: &str, ty: &str) -> Event {
+        Event::builder("prog", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_micros(t))
+            .build()
+    }
+
+    #[test]
+    fn record_filter_and_count() {
+        let mut log = TraceLog::new();
+        assert!(log.is_empty());
+        log.record(ev(2, "a", "X"));
+        log.record(ev(1, "b", "Y"));
+        log.record(ev(3, "a", "X"));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.by_type("X").count(), 2);
+        assert_eq!(log.by_host("b").count(), 1);
+        assert_eq!(
+            log.in_window(Timestamp::from_micros(1), Timestamp::from_micros(3))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn sort_is_stable_by_time() {
+        let mut log = TraceLog::new();
+        log.record(ev(5, "a", "later"));
+        log.record(ev(1, "a", "first"));
+        log.record(ev(5, "a", "later2"));
+        log.sort_by_time();
+        let types: Vec<_> = log.events().iter().map(|e| e.event_type.as_str()).collect();
+        assert_eq!(types, vec!["first", "later", "later2"]);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let mut log = TraceLog::new();
+        log.extend([ev(1, "a", "X"), ev(2, "a", "Y")]);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ulm_text_round_trips() {
+        let mut log = TraceLog::new();
+        log.record(ev(1_000_000, "h", "A"));
+        log.record(ev(2_000_000, "h", "B"));
+        let text = log.to_ulm_text();
+        let parsed = jamm_ulm::text::decode_all_lossy(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].event_type, "B");
+    }
+}

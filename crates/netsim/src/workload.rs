@@ -1,0 +1,178 @@
+//! Synthetic application workloads.
+//!
+//! The port-monitor experiment (E8) needs an application whose network
+//! activity comes and goes: the paper's example is an FTP client connecting
+//! to an FTP server, which should switch host monitoring on only for the
+//! duration of the transfer.  [`OnOffWorkload`] produces exactly that
+//! pattern: bursts of transfer on a well-known port separated by idle gaps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::host::HostId;
+use crate::link::LinkId;
+use crate::network::{FlowId, Network};
+
+/// Phase of the on/off workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting before the next transfer starts (remaining ticks).
+    Idle(u64),
+    /// A transfer is in progress on the given flow.
+    Active(FlowId),
+}
+
+/// An application that alternates between transfers and idle periods.
+#[derive(Debug)]
+pub struct OnOffWorkload {
+    /// Source host of the transfers.
+    pub src: HostId,
+    /// Destination host of the transfers.
+    pub dst: HostId,
+    /// Destination port (what the port monitor watches), e.g. 21 for FTP.
+    pub port: u16,
+    path: Vec<LinkId>,
+    transfer_bytes: u64,
+    idle_ticks: u64,
+    rcv_window: u64,
+    phase: Phase,
+    rng: StdRng,
+    /// Number of transfers completed.
+    pub transfers_completed: u64,
+}
+
+impl OnOffWorkload {
+    /// Create a workload that repeatedly transfers `transfer_bytes` from
+    /// `src` to `dst` on `port`, waiting roughly `idle_ticks` between
+    /// transfers (jittered ±25% so runs are not artificially synchronised).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        src: HostId,
+        dst: HostId,
+        port: u16,
+        path: Vec<LinkId>,
+        transfer_bytes: u64,
+        idle_ticks: u64,
+        rcv_window: u64,
+        seed: u64,
+    ) -> Self {
+        OnOffWorkload {
+            src,
+            dst,
+            port,
+            path,
+            transfer_bytes,
+            idle_ticks,
+            rcv_window,
+            phase: Phase::Idle(1),
+            rng: StdRng::seed_from_u64(seed),
+            transfers_completed: 0,
+        }
+    }
+
+    /// Whether a transfer is currently in progress.
+    pub fn is_active(&self) -> bool {
+        matches!(self.phase, Phase::Active(_))
+    }
+
+    /// Drive the workload by one tick.  Call before `net.step()`.
+    pub fn tick(&mut self, net: &mut Network) {
+        match self.phase {
+            Phase::Idle(remaining) => {
+                if remaining > 1 {
+                    self.phase = Phase::Idle(remaining - 1);
+                } else {
+                    // Start a new transfer on a fresh connection.
+                    let fid = net.open_flow(
+                        format!("ftp-{}", self.transfers_completed + 1),
+                        self.src,
+                        self.dst,
+                        self.port,
+                        self.path.clone(),
+                        self.rcv_window,
+                    );
+                    net.flow_mut(fid).enqueue(self.transfer_bytes);
+                    self.phase = Phase::Active(fid);
+                }
+            }
+            Phase::Active(fid) => {
+                if net.flow(fid).pending_bytes == 0 {
+                    net.flow_mut(fid).close();
+                    self.transfers_completed += 1;
+                    let jitter = (self.idle_ticks / 4).max(1);
+                    let idle = self.idle_ticks - jitter + self.rng.gen_range(0..=2 * jitter);
+                    self.phase = Phase::Idle(idle.max(1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::host::HostSpec;
+    use crate::link::LinkSpec;
+
+    fn setup() -> (Network, OnOffWorkload, HostId) {
+        let mut net = Network::new(SimClock::matisse(), 9);
+        let a = net.add_host(HostSpec::new("ftp-client"));
+        let b = net.add_host(HostSpec::new("ftp-server"));
+        let l = net.add_link(LinkSpec::fast_ethernet("lan"));
+        let w = OnOffWorkload::new(a, b, 21, vec![l], 500_000, 200, 1 << 20, 1);
+        (net, w, b)
+    }
+
+    #[test]
+    fn workload_alternates_and_completes_transfers() {
+        let (mut net, mut w, _) = setup();
+        let mut active_ticks = 0u64;
+        let mut idle_ticks = 0u64;
+        for _ in 0..10_000 {
+            w.tick(&mut net);
+            if w.is_active() {
+                active_ticks += 1;
+            } else {
+                idle_ticks += 1;
+            }
+            net.step();
+        }
+        assert!(w.transfers_completed >= 5, "completed {}", w.transfers_completed);
+        assert!(active_ticks > 0 && idle_ticks > 0, "both phases occur");
+    }
+
+    #[test]
+    fn port_activity_only_during_transfers() {
+        let (mut net, mut w, server) = setup();
+        let mut active_with_traffic = 0u64;
+        let mut idle_with_traffic = 0u64;
+        for _ in 0..5_000 {
+            w.tick(&mut net);
+            let active = w.is_active();
+            net.step();
+            let traffic = net.port_activity(server, 21) > 0;
+            if traffic && active {
+                active_with_traffic += 1;
+            }
+            if traffic && !active {
+                idle_with_traffic += 1;
+            }
+        }
+        assert!(active_with_traffic > 0);
+        assert_eq!(idle_with_traffic, 0, "no traffic while idle");
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = || {
+            let (mut net, mut w, _) = setup();
+            for _ in 0..3_000 {
+                w.tick(&mut net);
+                net.step();
+            }
+            w.transfers_completed
+        };
+        assert_eq!(run(), run());
+    }
+}

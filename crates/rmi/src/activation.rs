@@ -1,0 +1,176 @@
+//! Activation: services constructed on first call, retired when idle.
+//!
+//! "Activatable RMI objects can be loaded and run simply by invoking one of
+//! their methods, and will unload themselves automatically after a period of
+//! inactivity." (§3)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde_json::Value as Json;
+
+use crate::bus::Service;
+use crate::message::{MethodCall, RmiError, RmiResult};
+
+type Factory = Box<dyn Fn() -> Arc<dyn Service> + Send + Sync>;
+
+struct Activatable {
+    factory: Factory,
+    instance: Option<Arc<dyn Service>>,
+    last_used_us: u64,
+    idle_timeout_us: u64,
+    activations: u64,
+}
+
+/// A registry of activatable services.
+///
+/// Time is passed in explicitly (microseconds) so the registry works with
+/// both wall-clock time and the simulator's clock.
+#[derive(Default)]
+pub struct ActivationRegistry {
+    services: Mutex<HashMap<String, Activatable>>,
+}
+
+impl std::fmt::Debug for ActivationRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActivationRegistry({} services)", self.services.lock().len())
+    }
+}
+
+impl ActivationRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        ActivationRegistry::default()
+    }
+
+    /// Register a factory for an activatable service.
+    pub fn register<F>(&self, name: impl Into<String>, idle_timeout_us: u64, factory: F)
+    where
+        F: Fn() -> Arc<dyn Service> + Send + Sync + 'static,
+    {
+        self.services.lock().insert(
+            name.into(),
+            Activatable {
+                factory: Box::new(factory),
+                instance: None,
+                last_used_us: 0,
+                idle_timeout_us,
+                activations: 0,
+            },
+        );
+    }
+
+    /// Invoke a method, activating the service if necessary.
+    pub fn invoke(&self, call: &MethodCall, now_us: u64) -> RmiResult {
+        let service = {
+            let mut services = self.services.lock();
+            let entry = services
+                .get_mut(&call.service)
+                .ok_or_else(|| RmiError::NoSuchService(call.service.clone()))?;
+            if entry.instance.is_none() {
+                entry.instance = Some((entry.factory)());
+                entry.activations += 1;
+            }
+            entry.last_used_us = now_us;
+            entry.instance.as_ref().expect("just activated").clone()
+        };
+        service.call(&call.method, &call.args)
+    }
+
+    /// Unload services idle longer than their timeout.  Returns how many were
+    /// deactivated.
+    pub fn reap_idle(&self, now_us: u64) -> usize {
+        let mut reaped = 0;
+        for entry in self.services.lock().values_mut() {
+            if entry.instance.is_some()
+                && now_us.saturating_sub(entry.last_used_us) >= entry.idle_timeout_us
+            {
+                entry.instance = None;
+                reaped += 1;
+            }
+        }
+        reaped
+    }
+
+    /// Whether a service currently has a live instance.
+    pub fn is_active(&self, name: &str) -> bool {
+        self.services
+            .lock()
+            .get(name)
+            .is_some_and(|e| e.instance.is_some())
+    }
+
+    /// How many times a service has been (re)activated.
+    pub fn activation_count(&self, name: &str) -> u64 {
+        self.services.lock().get(name).map_or(0, |e| e.activations)
+    }
+
+    /// Dispatch helper so an activation registry can itself be used where a
+    /// plain bus invocation is expected (with an externally supplied clock).
+    pub fn invoke_json(&self, service: &str, method: &str, args: Json, now_us: u64) -> RmiResult {
+        self.invoke(&MethodCall::new(service, method, args), now_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FnService;
+    use serde_json::json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_registry() -> (Arc<AtomicU64>, ActivationRegistry) {
+        let constructed = Arc::new(AtomicU64::new(0));
+        let reg = ActivationRegistry::new();
+        let c = Arc::clone(&constructed);
+        reg.register("gateway@gw1", 1_000_000, move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            Arc::new(FnService(|method: &str, args: &Json| match method {
+                "ping" => Ok(json!("pong")),
+                "echo" => Ok(args.clone()),
+                m => Err(RmiError::NoSuchMethod(m.to_string())),
+            }))
+        });
+        (constructed, reg)
+    }
+
+    #[test]
+    fn first_call_activates_and_later_calls_reuse() {
+        let (constructed, reg) = counting_registry();
+        assert!(!reg.is_active("gateway@gw1"));
+        assert_eq!(
+            reg.invoke_json("gateway@gw1", "ping", json!(null), 0).unwrap(),
+            json!("pong")
+        );
+        assert!(reg.is_active("gateway@gw1"));
+        reg.invoke_json("gateway@gw1", "echo", json!(7), 10).unwrap();
+        assert_eq!(constructed.load(Ordering::Relaxed), 1, "constructed once");
+        assert_eq!(reg.activation_count("gateway@gw1"), 1);
+    }
+
+    #[test]
+    fn idle_services_unload_and_reactivate_on_demand() {
+        let (constructed, reg) = counting_registry();
+        reg.invoke_json("gateway@gw1", "ping", json!(null), 0).unwrap();
+        // Not yet idle long enough.
+        assert_eq!(reg.reap_idle(500_000), 0);
+        assert!(reg.is_active("gateway@gw1"));
+        // Idle past the timeout: unloaded.
+        assert_eq!(reg.reap_idle(2_000_000), 1);
+        assert!(!reg.is_active("gateway@gw1"));
+        // Next call transparently reactivates.
+        reg.invoke_json("gateway@gw1", "ping", json!(null), 3_000_000).unwrap();
+        assert_eq!(constructed.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.activation_count("gateway@gw1"), 2);
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let (_, reg) = counting_registry();
+        assert!(matches!(
+            reg.invoke_json("missing", "ping", json!(null), 0),
+            Err(RmiError::NoSuchService(_))
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! The in-process message bus.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde_json::Value as Json;
+
+use crate::message::{MethodCall, RmiError, RmiResult};
+
+/// A service: anything that can handle method calls.
+pub trait Service: Send + Sync {
+    /// Handle one method invocation.
+    fn call(&self, method: &str, args: &Json) -> RmiResult;
+}
+
+/// Closure adapter so simple services can be registered without a struct.
+pub struct FnService<F>(pub F);
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&str, &Json) -> RmiResult + Send + Sync,
+{
+    fn call(&self, method: &str, args: &Json) -> RmiResult {
+        (self.0)(method, args)
+    }
+}
+
+/// A registry of named services with location-transparent dispatch.
+#[derive(Default, Clone)]
+pub struct MessageBus {
+    services: Arc<RwLock<HashMap<String, Arc<dyn Service>>>>,
+}
+
+impl std::fmt::Debug for MessageBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MessageBus({} services)", self.services.read().len())
+    }
+}
+
+impl MessageBus {
+    /// Create an empty bus.
+    pub fn new() -> Self {
+        MessageBus::default()
+    }
+
+    /// Register (or replace) a service under a name.
+    pub fn register(&self, name: impl Into<String>, service: Arc<dyn Service>) {
+        self.services.write().insert(name.into(), service);
+    }
+
+    /// Register a closure-backed service.
+    pub fn register_fn<F>(&self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&str, &Json) -> RmiResult + Send + Sync + 'static,
+    {
+        self.register(name, Arc::new(FnService(f)));
+    }
+
+    /// Remove a service.  Returns true if it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.services.write().remove(name).is_some()
+    }
+
+    /// Whether a service is registered.
+    pub fn has_service(&self, name: &str) -> bool {
+        self.services.read().contains_key(name)
+    }
+
+    /// Names of all registered services, sorted.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.services.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Invoke a method on a service.
+    pub fn invoke(&self, call: &MethodCall) -> RmiResult {
+        let service = {
+            let services = self.services.read();
+            services
+                .get(&call.service)
+                .cloned()
+                .ok_or_else(|| RmiError::NoSuchService(call.service.clone()))?
+        };
+        service.call(&call.method, &call.args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn echo_bus() -> MessageBus {
+        let bus = MessageBus::new();
+        bus.register_fn("echo", |method, args| match method {
+            "echo" => Ok(args.clone()),
+            "fail" => Err(RmiError::Application("boom".into())),
+            other => Err(RmiError::NoSuchMethod(other.to_string())),
+        });
+        bus
+    }
+
+    #[test]
+    fn dispatch_to_registered_service() {
+        let bus = echo_bus();
+        let result = bus
+            .invoke(&MethodCall::new("echo", "echo", json!({"x": 1})))
+            .unwrap();
+        assert_eq!(result["x"], 1);
+        assert!(matches!(
+            bus.invoke(&MethodCall::new("echo", "fail", json!(null))),
+            Err(RmiError::Application(_))
+        ));
+        assert!(matches!(
+            bus.invoke(&MethodCall::new("echo", "unknown", json!(null))),
+            Err(RmiError::NoSuchMethod(_))
+        ));
+        assert!(matches!(
+            bus.invoke(&MethodCall::new("missing", "echo", json!(null))),
+            Err(RmiError::NoSuchService(_))
+        ));
+    }
+
+    #[test]
+    fn register_unregister_and_listing() {
+        let bus = echo_bus();
+        assert!(bus.has_service("echo"));
+        assert_eq!(bus.service_names(), vec!["echo".to_string()]);
+        assert!(bus.unregister("echo"));
+        assert!(!bus.unregister("echo"));
+        assert!(!bus.has_service("echo"));
+    }
+
+    #[test]
+    fn bus_clones_share_state_and_work_across_threads() {
+        let bus = echo_bus();
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            bus2.invoke(&MethodCall::new("echo", "echo", json!(42))).unwrap()
+        });
+        assert_eq!(handle.join().unwrap(), json!(42));
+    }
+}

@@ -1,0 +1,30 @@
+//! # jamm-rmi — the remote-invocation substrate
+//!
+//! JAMM's agents are "implemented as Java Activatable Remote Method
+//! Invocation (RMI) objects" (§3): managers, gateways and consumers call
+//! each other through location-transparent method invocations, activatable
+//! objects are loaded on first use and unload themselves after a period of
+//! inactivity, and code updates are picked up automatically.
+//!
+//! This crate is the Rust stand-in (see DESIGN.md, substitution 1):
+//!
+//! * [`message`] — the call/response envelope (JSON-encoded arguments);
+//! * [`bus`] — an in-process service registry and dispatcher: the
+//!   location-transparent call path used when agents share a process;
+//! * [`activation`] — lazy activation and idle deactivation of services, the
+//!   behaviour the paper gets from RMI activation daemons;
+//! * [`tcp`] — a TCP transport that exposes a bus to remote callers with
+//!   length-prefixed JSON frames, so agents on different hosts can invoke
+//!   each other exactly like local ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod bus;
+pub mod message;
+pub mod tcp;
+
+pub use activation::ActivationRegistry;
+pub use bus::{MessageBus, Service};
+pub use message::{MethodCall, RmiError, RmiResult};

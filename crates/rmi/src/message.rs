@@ -1,0 +1,114 @@
+//! Call / response envelopes.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value as Json;
+
+/// A remote method invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodCall {
+    /// Target service (object) name, e.g. `sensor-manager@dpss1.lbl.gov`.
+    pub service: String,
+    /// Method name, e.g. `start_sensor`.
+    pub method: String,
+    /// JSON-encoded arguments.
+    pub args: Json,
+}
+
+impl MethodCall {
+    /// Build a call.
+    pub fn new(service: impl Into<String>, method: impl Into<String>, args: Json) -> Self {
+        MethodCall {
+            service: service.into(),
+            method: method.into(),
+            args,
+        }
+    }
+}
+
+/// Errors surfaced by the invocation layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RmiError {
+    /// No service with the requested name is registered.
+    NoSuchService(String),
+    /// The service exists but does not implement the method.
+    NoSuchMethod(String),
+    /// The service raised an application-level error.
+    Application(String),
+    /// The transport failed (connection refused, framing error, ...).
+    Transport(String),
+}
+
+impl std::fmt::Display for RmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmiError::NoSuchService(s) => write!(f, "no such service: {s}"),
+            RmiError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+            RmiError::Application(e) => write!(f, "application error: {e}"),
+            RmiError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RmiError {}
+
+/// Result alias for invocations.
+pub type RmiResult = Result<Json, RmiError>;
+
+/// Wire representation of a response (so transports can serialise it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// Successful return value.
+    Ok(Json),
+    /// Error.
+    Err(RmiError),
+}
+
+impl From<RmiResult> for WireResponse {
+    fn from(r: RmiResult) -> Self {
+        match r {
+            Ok(v) => WireResponse::Ok(v),
+            Err(e) => WireResponse::Err(e),
+        }
+    }
+}
+
+impl From<WireResponse> for RmiResult {
+    fn from(w: WireResponse) -> Self {
+        match w {
+            WireResponse::Ok(v) => Ok(v),
+            WireResponse::Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn call_and_response_serialise() {
+        let call = MethodCall::new("sensor-manager@h", "start_sensor", json!({"name": "cpu"}));
+        let text = serde_json::to_string(&call).unwrap();
+        let back: MethodCall = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, call);
+
+        let ok: WireResponse = Ok(json!({"started": true})).into();
+        let round: RmiResult = serde_json::from_str::<WireResponse>(
+            &serde_json::to_string(&ok).unwrap(),
+        )
+        .unwrap()
+        .into();
+        assert_eq!(round.unwrap()["started"], true);
+
+        let err: WireResponse = Err(RmiError::NoSuchService("x".into())).into();
+        let round: RmiResult = err.into();
+        assert!(matches!(round, Err(RmiError::NoSuchService(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RmiError::NoSuchMethod("m".into()).to_string().contains("m"));
+        assert!(RmiError::Transport("refused".into()).to_string().contains("refused"));
+    }
+}

@@ -1,0 +1,232 @@
+//! TCP transport: expose a bus to remote callers.
+//!
+//! Frames are a 4-byte little-endian length followed by a JSON document —
+//! a `MethodCall` in the request direction, a `WireResponse` coming back.
+//! One thread per connection; connections are persistent so an agent can
+//! issue many calls over one socket, like RMI does.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::bus::MessageBus;
+use crate::message::{MethodCall, RmiError, RmiResult, WireResponse};
+
+/// A server exposing a [`MessageBus`] on a TCP socket.
+pub struct RmiServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RmiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RmiServer({})", self.addr)
+    }
+}
+
+impl RmiServer {
+    /// Bind to `127.0.0.1:0` (an ephemeral port) and start serving the bus.
+    pub fn start(bus: MessageBus) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        // A generous read timeout so connection threads never
+                        // outlive their clients by much; they are detached and
+                        // exit when the peer closes or the timeout fires.
+                        stream
+                            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                            .ok();
+                        let bus = bus.clone();
+                        std::thread::spawn(move || serve_connection(stream, bus));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(RmiServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and wait for the accept loop to exit.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RmiServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, bus: MessageBus) {
+    loop {
+        let call: MethodCall = match read_frame(&mut stream) {
+            Ok(Some(c)) => c,
+            _ => return,
+        };
+        let response: WireResponse = bus.invoke(&call).into();
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn read_frame<T: serde::de::DeserializeOwned>(stream: &mut TcpStream) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > 16 * 1024 * 1024 {
+        return Err(std::io::Error::other("frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map(Some)
+        .map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+fn write_frame<T: serde::Serialize>(stream: &mut TcpStream, value: &T) -> std::io::Result<()> {
+    let body = serde_json::to_vec(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
+}
+
+/// A client connection to a remote bus.
+#[derive(Debug)]
+pub struct RmiClient {
+    stream: TcpStream,
+}
+
+impl RmiClient {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(RmiClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Invoke a remote method.
+    pub fn invoke(&mut self, call: &MethodCall) -> RmiResult {
+        write_frame(&mut self.stream, call).map_err(|e| RmiError::Transport(e.to_string()))?;
+        match read_frame::<WireResponse>(&mut self.stream) {
+            Ok(Some(r)) => r.into(),
+            Ok(None) => Err(RmiError::Transport("connection closed".into())),
+            Err(e) => Err(RmiError::Transport(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn bus() -> MessageBus {
+        let bus = MessageBus::new();
+        bus.register_fn("sensor-manager@dpss1", |method, args| match method {
+            "start_sensor" => Ok(json!({"started": args["name"]})),
+            "status" => Ok(json!({"sensors": ["cpu", "memory"]})),
+            m => Err(RmiError::NoSuchMethod(m.to_string())),
+        });
+        bus
+    }
+
+    #[test]
+    fn remote_invocation_round_trip() {
+        let mut server = RmiServer::start(bus()).unwrap();
+        let mut client = RmiClient::connect(server.addr()).unwrap();
+        let r = client
+            .invoke(&MethodCall::new(
+                "sensor-manager@dpss1",
+                "start_sensor",
+                json!({"name": "tcp"}),
+            ))
+            .unwrap();
+        assert_eq!(r["started"], "tcp");
+        // Several calls over the same connection.
+        let r2 = client
+            .invoke(&MethodCall::new("sensor-manager@dpss1", "status", json!(null)))
+            .unwrap();
+        assert_eq!(r2["sensors"][0], "cpu");
+        // Errors propagate.
+        assert!(matches!(
+            client.invoke(&MethodCall::new("sensor-manager@dpss1", "nope", json!(null))),
+            Err(RmiError::NoSuchMethod(_))
+        ));
+        assert!(matches!(
+            client.invoke(&MethodCall::new("unknown", "x", json!(null))),
+            Err(RmiError::NoSuchService(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_are_served_concurrently() {
+        let server = RmiServer::start(bus()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = RmiClient::connect(addr).unwrap();
+                    let r = c
+                        .invoke(&MethodCall::new(
+                            "sensor-manager@dpss1",
+                            "start_sensor",
+                            json!({"name": format!("s{i}")}),
+                        ))
+                        .unwrap();
+                    r["started"].as_str().unwrap().to_string()
+                })
+            })
+            .collect();
+        let mut results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort();
+        assert_eq!(results, vec!["s0", "s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn connecting_to_a_dead_server_fails_cleanly() {
+        let addr = {
+            let server = RmiServer::start(bus()).unwrap();
+            server.addr()
+            // server dropped (and shut down) here
+        };
+        // Either the connect fails or the first invoke fails; both are fine.
+        if let Ok(mut c) = RmiClient::connect(addr) {
+            let r = c.invoke(&MethodCall::new("sensor-manager@dpss1", "status", json!(null)));
+            if let Err(e) = r {
+                assert!(matches!(e, RmiError::Transport(_)));
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Host sensors: CPU load and free memory (the `vmstat` family).
+
+use jamm_ulm::{keys, Event, Level};
+
+use crate::{SampleContext, Sensor, SensorKind, SensorSpec};
+
+/// Samples user / system CPU utilisation on one host.
+///
+/// Emits three events per sample: `VMSTAT_USER_TIME`, `VMSTAT_SYS_TIME` and
+/// `CPU_TOTAL`, each carrying the reading in the `VAL` field — the loadline
+/// inputs of Figure 7.
+#[derive(Debug)]
+pub struct CpuSensor {
+    spec: SensorSpec,
+    host: String,
+}
+
+impl CpuSensor {
+    /// Create a CPU sensor for `host`, sampling every `frequency_secs`.
+    pub fn new(host: impl Into<String>, frequency_secs: f64) -> Self {
+        let host = host.into();
+        CpuSensor {
+            spec: SensorSpec::new(
+                "cpu",
+                SensorKind::Host,
+                host.clone(),
+                vec![
+                    keys::cpu::USER.to_string(),
+                    keys::cpu::SYS.to_string(),
+                    keys::cpu::TOTAL.to_string(),
+                ],
+                frequency_secs,
+            ),
+            host,
+        }
+    }
+}
+
+impl Sensor for CpuSensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(stats) = ctx.source.host_stats(&self.host) else {
+            return Vec::new();
+        };
+        let mk = |event_type: &str, value: f64| {
+            Event::builder("vmstat", self.host.clone())
+                .level(Level::Usage)
+                .event_type(event_type)
+                .timestamp(ctx.timestamp)
+                .field(keys::SENSOR, "cpu")
+                .field(keys::UNITS, "percent")
+                .value(value)
+                .build()
+        };
+        vec![
+            mk(keys::cpu::USER, stats.cpu_user_pct),
+            mk(keys::cpu::SYS, stats.cpu_sys_pct),
+            mk(keys::cpu::TOTAL, stats.cpu_user_pct + stats.cpu_sys_pct),
+        ]
+    }
+}
+
+/// Samples free memory on one host (`VMSTAT_FREE_MEMORY`).
+#[derive(Debug)]
+pub struct MemorySensor {
+    spec: SensorSpec,
+    host: String,
+}
+
+impl MemorySensor {
+    /// Create a memory sensor for `host`.
+    pub fn new(host: impl Into<String>, frequency_secs: f64) -> Self {
+        let host = host.into();
+        MemorySensor {
+            spec: SensorSpec::new(
+                "memory",
+                SensorKind::Host,
+                host.clone(),
+                vec![keys::mem::FREE.to_string()],
+                frequency_secs,
+            ),
+            host,
+        }
+    }
+}
+
+impl Sensor for MemorySensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(stats) = ctx.source.host_stats(&self.host) else {
+            return Vec::new();
+        };
+        vec![Event::builder("vmstat", self.host.clone())
+            .level(Level::Usage)
+            .event_type(keys::mem::FREE)
+            .timestamp(ctx.timestamp)
+            .field(keys::SENSOR, "memory")
+            .field(keys::UNITS, "kilobytes")
+            .value(stats.mem_free_kb)
+            .build()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostView, IfView, StatsSource};
+    use jamm_ulm::Timestamp;
+
+    struct Fixed(HostView);
+    impl StatsSource for Fixed {
+        fn host_stats(&self, host: &str) -> Option<HostView> {
+            (host == "known.lbl.gov").then_some(self.0)
+        }
+        fn device_interfaces(&self, _device: &str) -> Vec<IfView> {
+            Vec::new()
+        }
+        fn process_alive(&self, _host: &str, _process: &str) -> Option<bool> {
+            None
+        }
+    }
+
+    fn ctx(source: &Fixed) -> SampleContext<'_> {
+        SampleContext {
+            timestamp: Timestamp::from_secs(960_000_000),
+            source,
+        }
+    }
+
+    #[test]
+    fn cpu_sensor_emits_user_sys_and_total() {
+        let src = Fixed(HostView {
+            cpu_user_pct: 12.5,
+            cpu_sys_pct: 40.0,
+            ..Default::default()
+        });
+        let mut s = CpuSensor::new("known.lbl.gov", 1.0);
+        let events = s.sample(&ctx(&src));
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].event_type, keys::cpu::USER);
+        assert_eq!(events[0].value(), Some(12.5));
+        assert_eq!(events[1].value(), Some(40.0));
+        assert_eq!(events[2].event_type, keys::cpu::TOTAL);
+        assert_eq!(events[2].value(), Some(52.5));
+        assert!(events.iter().all(|e| e.host == "known.lbl.gov"));
+        assert_eq!(s.spec().kind, SensorKind::Host);
+    }
+
+    #[test]
+    fn memory_sensor_reports_free_kb() {
+        let src = Fixed(HostView {
+            mem_free_kb: 123_456,
+            ..Default::default()
+        });
+        let mut s = MemorySensor::new("known.lbl.gov", 5.0);
+        let events = s.sample(&ctx(&src));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event_type, keys::mem::FREE);
+        assert_eq!(events[0].value(), Some(123_456.0));
+        assert_eq!(events[0].field(keys::UNITS).unwrap().as_str(), Some("kilobytes"));
+    }
+
+    #[test]
+    fn unknown_host_produces_no_events() {
+        let src = Fixed(HostView::default());
+        let mut cpu = CpuSensor::new("other.host", 1.0);
+        let mut mem = MemorySensor::new("other.host", 1.0);
+        assert!(cpu.sample(&ctx(&src)).is_empty());
+        assert!(mem.sample(&ctx(&src)).is_empty());
+    }
+}

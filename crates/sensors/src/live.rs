@@ -1,0 +1,229 @@
+//! Live host data source: parses `/proc` on Linux.
+//!
+//! This is the "real" counterpart of the simulated source: on a Linux host
+//! the same CPU / memory / TCP sensors can run against the actual kernel
+//! counters, exactly as the paper's sensors wrapped `vmstat` and `netstat`.
+//! On other platforms (or when `/proc` is unreadable) every probe returns
+//! `None` and the sensors simply emit nothing, so examples remain portable.
+
+use std::fs;
+
+use parking_lot::Mutex;
+
+use crate::{HostView, IfView, StatsSource};
+
+/// Raw cumulative CPU jiffies from `/proc/stat`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CpuTimes {
+    user: u64,
+    nice: u64,
+    system: u64,
+    idle: u64,
+    iowait: u64,
+    irq: u64,
+    softirq: u64,
+}
+
+impl CpuTimes {
+    fn total(&self) -> u64 {
+        self.user + self.nice + self.system + self.idle + self.iowait + self.irq + self.softirq
+    }
+}
+
+/// A [`StatsSource`] backed by the local `/proc` filesystem.
+///
+/// CPU percentages are computed as the delta between successive samples, the
+/// way `vmstat` reports them, so the first sample reports zero utilisation.
+#[derive(Debug, Default)]
+pub struct ProcSource {
+    hostname: String,
+    prev_cpu: Mutex<Option<CpuTimes>>,
+}
+
+impl ProcSource {
+    /// Create a source reporting under the local hostname.
+    pub fn new() -> Self {
+        ProcSource {
+            hostname: read_hostname(),
+            prev_cpu: Mutex::new(None),
+        }
+    }
+
+    /// The hostname this source reports for.
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// Whether `/proc` looks usable on this system.
+    pub fn is_supported() -> bool {
+        fs::metadata("/proc/stat").is_ok() && fs::metadata("/proc/meminfo").is_ok()
+    }
+}
+
+fn read_hostname() -> String {
+    fs::read_to_string("/proc/sys/kernel/hostname")
+        .or_else(|_| fs::read_to_string("/etc/hostname"))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "localhost".to_string())
+}
+
+fn read_cpu_times() -> Option<CpuTimes> {
+    let stat = fs::read_to_string("/proc/stat").ok()?;
+    let line = stat.lines().find(|l| l.starts_with("cpu "))?;
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .skip(1)
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    if nums.len() < 7 {
+        return None;
+    }
+    Some(CpuTimes {
+        user: nums[0],
+        nice: nums[1],
+        system: nums[2],
+        idle: nums[3],
+        iowait: nums[4],
+        irq: nums[5],
+        softirq: nums[6],
+    })
+}
+
+fn read_mem_free_kb() -> Option<u64> {
+    let meminfo = fs::read_to_string("/proc/meminfo").ok()?;
+    for line in meminfo.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:").or_else(|| line.strip_prefix("MemFree:")) {
+            return rest.split_whitespace().next()?.parse().ok();
+        }
+    }
+    None
+}
+
+fn read_tcp_retransmits() -> Option<u64> {
+    // /proc/net/snmp has a Tcp: header line followed by a values line; the
+    // RetransSegs column is what netstat -s reports as retransmitted segments.
+    let snmp = fs::read_to_string("/proc/net/snmp").ok()?;
+    let mut lines = snmp.lines().filter(|l| l.starts_with("Tcp:"));
+    let header = lines.next()?;
+    let values = lines.next()?;
+    let idx = header
+        .split_whitespace()
+        .position(|c| c == "RetransSegs")?;
+    values
+        .split_whitespace()
+        .nth(idx)
+        .and_then(|v| v.parse().ok())
+}
+
+impl StatsSource for ProcSource {
+    fn host_stats(&self, host: &str) -> Option<HostView> {
+        if host != self.hostname && host != "localhost" {
+            return None;
+        }
+        let cur = read_cpu_times()?;
+        let mem_free_kb = read_mem_free_kb().unwrap_or(0);
+        let tcp_retransmits = read_tcp_retransmits().unwrap_or(0);
+        let mut prev_guard = self.prev_cpu.lock();
+        let (user_pct, sys_pct) = match *prev_guard {
+            Some(prev) if cur.total() > prev.total() => {
+                let dt = (cur.total() - prev.total()) as f64;
+                (
+                    (cur.user + cur.nice - prev.user - prev.nice) as f64 / dt * 100.0,
+                    (cur.system + cur.irq + cur.softirq
+                        - prev.system
+                        - prev.irq
+                        - prev.softirq) as f64
+                        / dt
+                        * 100.0,
+                )
+            }
+            _ => (0.0, 0.0),
+        };
+        *prev_guard = Some(cur);
+        Some(HostView {
+            cpu_user_pct: user_pct,
+            cpu_sys_pct: sys_pct,
+            mem_free_kb,
+            tcp_retransmits,
+            rx_bytes: 0,
+            tx_bytes: 0,
+            active_sockets: 0,
+        })
+    }
+
+    fn device_interfaces(&self, _device: &str) -> Vec<IfView> {
+        // Live SNMP polling is out of scope; network sensors run against the
+        // simulator.
+        Vec::new()
+    }
+
+    fn process_alive(&self, host: &str, process: &str) -> Option<bool> {
+        if host != self.hostname && host != "localhost" {
+            return None;
+        }
+        let entries = fs::read_dir("/proc").ok()?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().filter(|s| s.chars().all(|c| c.is_ascii_digit())) else {
+                continue;
+            };
+            if let Ok(comm) = fs::read_to_string(format!("/proc/{pid}/comm")) {
+                if comm.trim() == process {
+                    return Some(true);
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_source_reports_something_plausible_on_linux() {
+        if !ProcSource::is_supported() {
+            // Not a Linux /proc system; the source must degrade gracefully.
+            let src = ProcSource::new();
+            assert!(src.host_stats("localhost").is_none() || true);
+            return;
+        }
+        let src = ProcSource::new();
+        let host = src.hostname().to_string();
+        assert!(!host.is_empty());
+        let first = src.host_stats(&host).expect("stats available");
+        // First sample: deltas are zero, but memory should be a real number.
+        assert_eq!(first.cpu_user_pct, 0.0);
+        assert!(first.mem_free_kb > 0);
+        // Burn a little CPU so the second sample sees movement.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        assert!(x != 1);
+        let second = src.host_stats(&host).expect("stats available");
+        assert!(second.cpu_user_pct >= 0.0 && second.cpu_user_pct <= 100.0);
+        assert!(second.cpu_sys_pct >= 0.0 && second.cpu_sys_pct <= 100.0);
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let src = ProcSource::new();
+        assert!(src.host_stats("definitely-not-this-host.example").is_none());
+        assert!(src.process_alive("definitely-not-this-host.example", "init").is_none());
+    }
+
+    #[test]
+    fn process_liveness_lookup() {
+        if !ProcSource::is_supported() {
+            return;
+        }
+        let src = ProcSource::new();
+        // Some process certainly does not exist with this name.
+        assert_eq!(
+            src.process_alive("localhost", "no_such_process_zzz_42"),
+            Some(false)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Network sensors: SNMP-style polling of routers and switches.
+//!
+//! "These sensors perform SNMP queries to a network device, typically a
+//! router or switch.  Information on which device statistics are being
+//! monitored is published in the directory service." (§2.2)  In the MATISSE
+//! analysis these sensors confirmed that no errors were reported by the end
+//! switches and routers, which pointed the investigation at the receiving
+//! host.
+
+use jamm_ulm::{keys, Event, Level};
+
+use crate::{SampleContext, Sensor, SensorKind, SensorSpec};
+
+/// Polls one network device's interface counters.
+///
+/// Emits per-interface octet counters every sample, and error / drop events
+/// only when those counters advance (errors are rare and interesting;
+/// traffic counters are routine).
+#[derive(Debug)]
+pub struct SnmpSensor {
+    spec: SensorSpec,
+    device: String,
+    last_errors: std::collections::HashMap<String, u64>,
+    last_drops: std::collections::HashMap<String, u64>,
+}
+
+impl SnmpSensor {
+    /// Create an SNMP sensor for the named device.
+    pub fn new(device: impl Into<String>, frequency_secs: f64) -> Self {
+        let device = device.into();
+        SnmpSensor {
+            spec: SensorSpec::new(
+                "snmp",
+                SensorKind::Network,
+                device.clone(),
+                vec![
+                    keys::net::IF_IN_OCTETS.to_string(),
+                    keys::net::IF_ERRORS.to_string(),
+                    keys::net::IF_DROPS.to_string(),
+                ],
+                frequency_secs,
+            ),
+            device,
+            last_errors: std::collections::HashMap::new(),
+            last_drops: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Sensor for SnmpSensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let mut events = Vec::new();
+        for iface in ctx.source.device_interfaces(&self.device) {
+            events.push(
+                Event::builder("snmpd", self.device.clone())
+                    .level(Level::Usage)
+                    .event_type(keys::net::IF_IN_OCTETS)
+                    .timestamp(ctx.timestamp)
+                    .field(keys::SENSOR, "snmp")
+                    .field(keys::TARGET, iface.name.clone())
+                    .value(iface.in_octets)
+                    .build(),
+            );
+            let prev_err = self.last_errors.get(&iface.name).copied().unwrap_or(0);
+            if iface.errors > prev_err {
+                events.push(
+                    Event::builder("snmpd", self.device.clone())
+                        .level(Level::Error)
+                        .event_type(keys::net::IF_ERRORS)
+                        .timestamp(ctx.timestamp)
+                        .field(keys::SENSOR, "snmp")
+                        .field(keys::TARGET, iface.name.clone())
+                        .value(iface.errors - prev_err)
+                        .field("COUNTER", iface.errors)
+                        .build(),
+                );
+            }
+            self.last_errors.insert(iface.name.clone(), iface.errors);
+            let prev_drop = self.last_drops.get(&iface.name).copied().unwrap_or(0);
+            if iface.drops > prev_drop {
+                events.push(
+                    Event::builder("snmpd", self.device.clone())
+                        .level(Level::Warning)
+                        .event_type(keys::net::IF_DROPS)
+                        .timestamp(ctx.timestamp)
+                        .field(keys::SENSOR, "snmp")
+                        .field(keys::TARGET, iface.name.clone())
+                        .value(iface.drops - prev_drop)
+                        .field("COUNTER", iface.drops)
+                        .build(),
+                );
+            }
+            self.last_drops.insert(iface.name.clone(), iface.drops);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostView, IfView, StatsSource};
+    use jamm_ulm::Timestamp;
+    use std::cell::RefCell;
+
+    struct Device {
+        interfaces: RefCell<Vec<IfView>>,
+    }
+    impl StatsSource for Device {
+        fn host_stats(&self, _host: &str) -> Option<HostView> {
+            None
+        }
+        fn device_interfaces(&self, device: &str) -> Vec<IfView> {
+            if device == "lbl-border-router" {
+                self.interfaces.borrow().clone()
+            } else {
+                Vec::new()
+            }
+        }
+        fn process_alive(&self, _host: &str, _process: &str) -> Option<bool> {
+            None
+        }
+    }
+
+    fn ctx(source: &Device) -> SampleContext<'_> {
+        SampleContext {
+            timestamp: Timestamp::from_secs(100),
+            source,
+        }
+    }
+
+    #[test]
+    fn traffic_counters_every_sample_errors_only_on_change() {
+        let dev = Device {
+            interfaces: RefCell::new(vec![
+                IfView {
+                    name: "oc12".into(),
+                    in_octets: 1_000,
+                    in_packets: 10,
+                    drops: 0,
+                    errors: 0,
+                },
+                IfView {
+                    name: "oc48".into(),
+                    in_octets: 5_000,
+                    in_packets: 50,
+                    drops: 2,
+                    errors: 0,
+                },
+            ]),
+        };
+        let mut s = SnmpSensor::new("lbl-border-router", 10.0);
+        let first = s.sample(&ctx(&dev));
+        // 2 octet events + 1 drop event (counter went 0 -> 2).
+        assert_eq!(first.len(), 3);
+        assert_eq!(
+            first.iter().filter(|e| e.event_type == keys::net::IF_IN_OCTETS).count(),
+            2
+        );
+        // Nothing changed: only the octet readings repeat.
+        let second = s.sample(&ctx(&dev));
+        assert_eq!(second.len(), 2);
+        // A CRC error appears on the oc48 interface.
+        dev.interfaces.borrow_mut()[1].errors = 3;
+        let third = s.sample(&ctx(&dev));
+        let errs: Vec<_> = third
+            .iter()
+            .filter(|e| e.event_type == keys::net::IF_ERRORS)
+            .collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].level, Level::Error);
+        assert_eq!(errs[0].value(), Some(3.0));
+        assert_eq!(errs[0].field("TARGET").unwrap().as_str(), Some("oc48"));
+    }
+
+    #[test]
+    fn unknown_device_produces_nothing() {
+        let dev = Device {
+            interfaces: RefCell::new(Vec::new()),
+        };
+        let mut s = SnmpSensor::new("unknown-device", 10.0);
+        assert!(s.sample(&ctx(&dev)).is_empty());
+        assert_eq!(s.spec().kind, SensorKind::Network);
+    }
+}

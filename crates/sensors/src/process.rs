@@ -1,0 +1,258 @@
+//! Process sensors.
+//!
+//! "Process sensors generate events when there is a change in process status
+//! (for example, when it starts, dies normally, or dies abnormally).  They
+//! might also generate an event if some dynamic threshold is reached." (§2.2)
+
+use jamm_ulm::{keys, Event, Level};
+
+use crate::{SampleContext, Sensor, SensorKind, SensorSpec};
+
+/// Watches a named process on a host and reports status transitions.
+#[derive(Debug)]
+pub struct ProcessSensor {
+    spec: SensorSpec,
+    host: String,
+    process: String,
+    last_alive: Option<bool>,
+}
+
+impl ProcessSensor {
+    /// Create a sensor watching `process` on `host`.
+    pub fn new(host: impl Into<String>, process: impl Into<String>, frequency_secs: f64) -> Self {
+        let host = host.into();
+        let process = process.into();
+        ProcessSensor {
+            spec: SensorSpec::new(
+                format!("process-{process}"),
+                SensorKind::Process,
+                host.clone(),
+                vec![
+                    keys::process::STARTED.to_string(),
+                    keys::process::DIED.to_string(),
+                ],
+                frequency_secs,
+            ),
+            host,
+            process,
+            last_alive: None,
+        }
+    }
+
+    /// The watched process name.
+    pub fn process(&self) -> &str {
+        &self.process
+    }
+}
+
+impl Sensor for ProcessSensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(alive) = ctx.source.process_alive(&self.host, &self.process) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        match (self.last_alive, alive) {
+            // First observation of a running process: report it started so
+            // consumers know it is being watched.
+            (None, true) => events.push(self.event(ctx, keys::process::STARTED, Level::Info)),
+            // First observation of a dead process, or a death transition.
+            (None, false) | (Some(true), false) => {
+                events.push(self.event(ctx, keys::process::DIED, Level::Error));
+            }
+            // Restart transition.
+            (Some(false), true) => {
+                events.push(self.event(ctx, keys::process::STARTED, Level::Notice));
+            }
+            // No change.
+            (Some(true), true) | (Some(false), false) => {}
+        }
+        self.last_alive = Some(alive);
+        events
+    }
+}
+
+impl ProcessSensor {
+    fn event(&self, ctx: &SampleContext<'_>, event_type: &str, level: Level) -> Event {
+        Event::builder("procmon", self.host.clone())
+            .level(level)
+            .event_type(event_type)
+            .timestamp(ctx.timestamp)
+            .field(keys::SENSOR, self.spec.name.clone())
+            .field(keys::TARGET, self.process.clone())
+            .build()
+    }
+}
+
+/// A threshold watcher layered on any numeric reading: emits a
+/// `PROC_THRESHOLD` event when the watched value crosses the limit in the
+/// upward direction ("if the average number of users over a certain time
+/// period exceeds a given threshold").
+#[derive(Debug)]
+pub struct ThresholdSensor<F> {
+    spec: SensorSpec,
+    host: String,
+    threshold: f64,
+    read: F,
+    was_above: bool,
+}
+
+impl<F: FnMut(&SampleContext<'_>) -> Option<f64> + Send> ThresholdSensor<F> {
+    /// Create a threshold sensor: `read` extracts the watched value each
+    /// sample; an event fires on each upward crossing of `threshold`.
+    pub fn new(
+        name: impl Into<String>,
+        host: impl Into<String>,
+        threshold: f64,
+        frequency_secs: f64,
+        read: F,
+    ) -> Self {
+        let host = host.into();
+        ThresholdSensor {
+            spec: SensorSpec::new(
+                name,
+                SensorKind::Process,
+                host.clone(),
+                vec![keys::process::THRESHOLD.to_string()],
+                frequency_secs,
+            ),
+            host,
+            threshold,
+            read,
+            was_above: false,
+        }
+    }
+}
+
+impl<F: FnMut(&SampleContext<'_>) -> Option<f64> + Send> Sensor for ThresholdSensor<F> {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(value) = (self.read)(ctx) else {
+            return Vec::new();
+        };
+        let above = value > self.threshold;
+        let mut events = Vec::new();
+        if above && !self.was_above {
+            events.push(
+                Event::builder("threshold", self.host.clone())
+                    .level(Level::Warning)
+                    .event_type(keys::process::THRESHOLD)
+                    .timestamp(ctx.timestamp)
+                    .field(keys::SENSOR, self.spec.name.clone())
+                    .field("THRESHOLD", self.threshold)
+                    .value(value)
+                    .build(),
+            );
+        }
+        self.was_above = above;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostView, IfView, StatsSource};
+    use jamm_ulm::Timestamp;
+    use std::cell::Cell;
+
+    struct Procs {
+        alive: Cell<Option<bool>>,
+        load: Cell<f64>,
+    }
+    impl StatsSource for Procs {
+        fn host_stats(&self, _host: &str) -> Option<HostView> {
+            Some(HostView {
+                cpu_sys_pct: self.load.get(),
+                ..Default::default()
+            })
+        }
+        fn device_interfaces(&self, _device: &str) -> Vec<IfView> {
+            Vec::new()
+        }
+        fn process_alive(&self, _host: &str, process: &str) -> Option<bool> {
+            if process == "dpss_master" {
+                self.alive.get()
+            } else {
+                None
+            }
+        }
+    }
+
+    fn ctx(source: &Procs) -> SampleContext<'_> {
+        SampleContext {
+            timestamp: Timestamp::from_secs(5),
+            source,
+        }
+    }
+
+    #[test]
+    fn death_and_restart_transitions() {
+        let src = Procs {
+            alive: Cell::new(Some(true)),
+            load: Cell::new(0.0),
+        };
+        let mut s = ProcessSensor::new("dpss1.lbl.gov", "dpss_master", 5.0);
+        // First sight: started (Info).
+        let e = s.sample(&ctx(&src));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].event_type, keys::process::STARTED);
+        assert_eq!(e[0].level, Level::Info);
+        // Steady state: silent.
+        assert!(s.sample(&ctx(&src)).is_empty());
+        // It dies: Error event.
+        src.alive.set(Some(false));
+        let e = s.sample(&ctx(&src));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].event_type, keys::process::DIED);
+        assert_eq!(e[0].level, Level::Error);
+        assert_eq!(e[0].field(keys::TARGET).unwrap().as_str(), Some("dpss_master"));
+        // Still dead: silent.
+        assert!(s.sample(&ctx(&src)).is_empty());
+        // Restart: Notice event.
+        src.alive.set(Some(true));
+        let e = s.sample(&ctx(&src));
+        assert_eq!(e[0].event_type, keys::process::STARTED);
+        assert_eq!(e[0].level, Level::Notice);
+    }
+
+    #[test]
+    fn unknown_process_is_silent() {
+        let src = Procs {
+            alive: Cell::new(None),
+            load: Cell::new(0.0),
+        };
+        let mut s = ProcessSensor::new("h", "dpss_master", 5.0);
+        assert!(s.sample(&ctx(&src)).is_empty());
+    }
+
+    #[test]
+    fn threshold_fires_on_upward_crossings_only() {
+        let src = Procs {
+            alive: Cell::new(Some(true)),
+            load: Cell::new(10.0),
+        };
+        let mut s = ThresholdSensor::new("sys-cpu-watch", "h", 50.0, 1.0, |ctx| {
+            ctx.source.host_stats("h").map(|s| s.cpu_sys_pct)
+        });
+        assert!(s.sample(&ctx(&src)).is_empty());
+        src.load.set(75.0);
+        let e = s.sample(&ctx(&src));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].event_type, keys::process::THRESHOLD);
+        assert_eq!(e[0].value(), Some(75.0));
+        // Still above: no repeat.
+        assert!(s.sample(&ctx(&src)).is_empty());
+        // Drops below, then crosses again: another event.
+        src.load.set(20.0);
+        assert!(s.sample(&ctx(&src)).is_empty());
+        src.load.set(90.0);
+        assert_eq!(s.sample(&ctx(&src)).len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! TCP sensors: retransmissions and socket activity.
+//!
+//! "The TCP sensor we are using is a version of tcpdump modified to generate
+//! NetLogger events when it detects a TCP retransmission or a change in
+//! window size" (§6).  The sensor therefore emits *change* events: one
+//! `TCPD_RETRANSMITS` event per sample in which the host's retransmission
+//! counter advanced (carrying the delta), and a `TCPD_WINDOW_SIZE`-style
+//! socket-activity event when the number of active sockets changes.
+
+use jamm_ulm::{keys, Event, Level};
+
+use crate::{SampleContext, Sensor, SensorKind, SensorSpec};
+
+/// Watches a host's TCP behaviour.
+#[derive(Debug)]
+pub struct TcpSensor {
+    spec: SensorSpec,
+    host: String,
+    last_retransmits: Option<u64>,
+    last_sockets: Option<u32>,
+}
+
+impl TcpSensor {
+    /// Create a TCP sensor for `host`.
+    pub fn new(host: impl Into<String>, frequency_secs: f64) -> Self {
+        let host = host.into();
+        TcpSensor {
+            spec: SensorSpec::new(
+                "tcp",
+                SensorKind::Host,
+                host.clone(),
+                vec![
+                    keys::tcp::RETRANSMITS.to_string(),
+                    keys::tcp::WINDOW_SIZE.to_string(),
+                    keys::tcp::RETRANS_COUNTER.to_string(),
+                ],
+                frequency_secs,
+            ),
+            host,
+            last_retransmits: None,
+            last_sockets: None,
+        }
+    }
+}
+
+impl Sensor for TcpSensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(stats) = ctx.source.host_stats(&self.host) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+
+        // Retransmissions: emit only when the counter advanced, with the
+        // delta and the absolute counter value.
+        let prev = self.last_retransmits.unwrap_or(stats.tcp_retransmits);
+        if stats.tcp_retransmits > prev {
+            events.push(
+                Event::builder("tcpdump", self.host.clone())
+                    .level(Level::Warning)
+                    .event_type(keys::tcp::RETRANSMITS)
+                    .timestamp(ctx.timestamp)
+                    .field(keys::SENSOR, "tcp")
+                    .value(stats.tcp_retransmits - prev)
+                    .field("COUNTER", stats.tcp_retransmits)
+                    .build(),
+            );
+        }
+        self.last_retransmits = Some(stats.tcp_retransmits);
+
+        // Socket activity changes (stand-in for window-size change events).
+        if self.last_sockets != Some(stats.active_sockets) && self.last_sockets.is_some() {
+            events.push(
+                Event::builder("netstat", self.host.clone())
+                    .level(Level::Usage)
+                    .event_type(keys::tcp::WINDOW_SIZE)
+                    .timestamp(ctx.timestamp)
+                    .field(keys::SENSOR, "tcp")
+                    .field("ACTIVE_SOCKETS", stats.active_sockets)
+                    .value(stats.active_sockets)
+                    .build(),
+            );
+        }
+        self.last_sockets = Some(stats.active_sockets);
+        events
+    }
+}
+
+/// A plain netstat-style counter sensor that reports the absolute
+/// retransmission counter every sample, regardless of change.  This is the
+/// "the netstat sensor may output the value of the TCP retransmission counter
+/// every second" behaviour whose redundancy the gateway's on-change filter
+/// exists to remove (experiment E10).
+#[derive(Debug)]
+pub struct NetstatCounterSensor {
+    spec: SensorSpec,
+    host: String,
+}
+
+impl NetstatCounterSensor {
+    /// Create a counter sensor for `host`.
+    pub fn new(host: impl Into<String>, frequency_secs: f64) -> Self {
+        let host = host.into();
+        NetstatCounterSensor {
+            spec: SensorSpec::new(
+                "netstat",
+                SensorKind::Host,
+                host.clone(),
+                vec![keys::tcp::RETRANS_COUNTER.to_string()],
+                frequency_secs,
+            ),
+            host,
+        }
+    }
+}
+
+impl Sensor for NetstatCounterSensor {
+    fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    fn sample(&mut self, ctx: &SampleContext<'_>) -> Vec<Event> {
+        let Some(stats) = ctx.source.host_stats(&self.host) else {
+            return Vec::new();
+        };
+        vec![Event::builder("netstat", self.host.clone())
+            .level(Level::Usage)
+            .event_type(keys::tcp::RETRANS_COUNTER)
+            .timestamp(ctx.timestamp)
+            .field(keys::SENSOR, "netstat")
+            .value(stats.tcp_retransmits)
+            .build()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostView, IfView, StatsSource};
+    use jamm_ulm::Timestamp;
+    use std::cell::Cell;
+
+    struct Mutable {
+        retrans: Cell<u64>,
+        sockets: Cell<u32>,
+    }
+    impl StatsSource for Mutable {
+        fn host_stats(&self, _host: &str) -> Option<HostView> {
+            Some(HostView {
+                tcp_retransmits: self.retrans.get(),
+                active_sockets: self.sockets.get(),
+                ..Default::default()
+            })
+        }
+        fn device_interfaces(&self, _device: &str) -> Vec<IfView> {
+            Vec::new()
+        }
+        fn process_alive(&self, _host: &str, _process: &str) -> Option<bool> {
+            None
+        }
+    }
+
+    fn ctx(source: &Mutable) -> SampleContext<'_> {
+        SampleContext {
+            timestamp: Timestamp::from_secs(1_000),
+            source,
+        }
+    }
+
+    #[test]
+    fn retransmit_events_only_on_change_with_delta() {
+        let src = Mutable {
+            retrans: Cell::new(10),
+            sockets: Cell::new(1),
+        };
+        let mut s = TcpSensor::new("h", 1.0);
+        // First sample establishes the baseline: no event even though the
+        // counter is nonzero.
+        assert!(s.sample(&ctx(&src)).is_empty());
+        // No change: no event.
+        assert!(s.sample(&ctx(&src)).is_empty());
+        // Counter advances by 3: one Warning event with VAL=3.
+        src.retrans.set(13);
+        let events = s.sample(&ctx(&src));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event_type, keys::tcp::RETRANSMITS);
+        assert_eq!(events[0].level, Level::Warning);
+        assert_eq!(events[0].value(), Some(3.0));
+        assert_eq!(events[0].field_f64("COUNTER"), Some(13.0));
+        // Back to quiet.
+        assert!(s.sample(&ctx(&src)).is_empty());
+    }
+
+    #[test]
+    fn socket_change_events() {
+        let src = Mutable {
+            retrans: Cell::new(0),
+            sockets: Cell::new(1),
+        };
+        let mut s = TcpSensor::new("h", 1.0);
+        s.sample(&ctx(&src));
+        src.sockets.set(4);
+        let events = s.sample(&ctx(&src));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event_type, keys::tcp::WINDOW_SIZE);
+        assert_eq!(events[0].field_f64("ACTIVE_SOCKETS"), Some(4.0));
+    }
+
+    #[test]
+    fn netstat_counter_sensor_is_unconditional() {
+        let src = Mutable {
+            retrans: Cell::new(42),
+            sockets: Cell::new(0),
+        };
+        let mut s = NetstatCounterSensor::new("h", 1.0);
+        for _ in 0..5 {
+            let events = s.sample(&ctx(&src));
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].value(), Some(42.0));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The in-memory ULM / NetLogger event model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+
+/// Severity / class of a ULM event (the `LVL` field).
+///
+/// The ULM draft uses syslog-like levels; the paper's examples additionally
+/// use `Usage` for routine instrumentation events, which is the default here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Level {
+    /// System is unusable.
+    Emergency,
+    /// Action must be taken immediately.
+    Alert,
+    /// Critical condition.
+    Critical,
+    /// Error condition (e.g. a server process crashed).
+    Error,
+    /// Warning condition (e.g. threshold crossed).
+    Warning,
+    /// Normal but significant condition.
+    Notice,
+    /// Informational message.
+    Info,
+    /// Debug-level message.
+    Debug,
+    /// Routine instrumentation / usage event (NetLogger's default class).
+    #[default]
+    Usage,
+}
+
+impl Level {
+    /// The canonical ULM spelling of the level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Emergency => "Emergency",
+            Level::Alert => "Alert",
+            Level::Critical => "Critical",
+            Level::Error => "Error",
+            Level::Warning => "Warning",
+            Level::Notice => "Notice",
+            Level::Info => "Info",
+            Level::Debug => "Debug",
+            Level::Usage => "Usage",
+        }
+    }
+
+    /// Parse a level, case-insensitively.
+    pub fn parse(s: &str) -> crate::Result<Level> {
+        let l = s.to_ascii_lowercase();
+        Ok(match l.as_str() {
+            "emergency" | "emerg" => Level::Emergency,
+            "alert" => Level::Alert,
+            "critical" | "crit" => Level::Critical,
+            "error" | "err" => Level::Error,
+            "warning" | "warn" => Level::Warning,
+            "notice" => Level::Notice,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "usage" => Level::Usage,
+            _ => return Err(crate::UlmError::BadLevel(s.to_string())),
+        })
+    }
+
+    /// True for levels that indicate a problem (`Warning` and above).
+    pub fn is_problem(self) -> bool {
+        matches!(
+            self,
+            Level::Emergency | Level::Alert | Level::Critical | Level::Error | Level::Warning
+        )
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single monitoring event: the unit of data everything in JAMM exchanges.
+///
+/// An event always carries the four required ULM fields (timestamp, host,
+/// program, level) plus the NetLogger event-type name, and an ordered list of
+/// user-defined fields.  Field order is preserved because the ULM text format
+/// is ordered and analysis tools (and humans) expect stable output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event timestamp (`DATE`), microsecond precision.
+    pub timestamp: Timestamp,
+    /// Host that generated the event (`HOST`).
+    pub host: String,
+    /// Program / sensor that generated the event (`PROG`).
+    pub program: String,
+    /// Severity level (`LVL`).
+    pub level: Level,
+    /// NetLogger event type (`NL.EVNT`), e.g. `VMSTAT_SYS_TIME`.
+    pub event_type: String,
+    /// Ordered user-defined fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Start building an event for `program` running on `host`.
+    pub fn builder(program: impl Into<String>, host: impl Into<String>) -> EventBuilder {
+        EventBuilder {
+            event: Event {
+                timestamp: Timestamp::EPOCH,
+                host: host.into(),
+                program: program.into(),
+                level: Level::Usage,
+                event_type: String::new(),
+                fields: Vec::new(),
+            },
+            explicit_timestamp: false,
+        }
+    }
+
+    /// Look up a user field by name (first match).
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Numeric value of a user field, if present and numeric.
+    pub fn field_f64(&self, name: &str) -> Option<f64> {
+        self.field(name).and_then(Value::as_f64)
+    }
+
+    /// The conventional reading carried in the `VAL` field, if any.
+    pub fn value(&self) -> Option<f64> {
+        self.field_f64(keys::VALUE)
+    }
+
+    /// The object-correlation identifier (`NL.OID`), used for lifelines.
+    pub fn object_id(&self) -> Option<&str> {
+        self.field(keys::OBJECT_ID).and_then(Value::as_str)
+    }
+
+    /// Add or replace a user field, preserving position on replace.
+    pub fn set_field(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+    }
+
+    /// Approximate encoded size of the event in ULM text form, in bytes.
+    /// Used by the gateway and archive for accounting data volume.
+    pub fn approx_size(&self) -> usize {
+        let mut n = 26 + 6 + self.host.len() + 6 + self.program.len() + 5
+            + self.level.as_str().len() + 9 + self.event_type.len();
+        for (k, v) in &self.fields {
+            n += 1 + k.len() + 1 + v.to_ulm_string().len();
+        }
+        n
+    }
+}
+
+/// Builder for [`Event`].
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    event: Event,
+    explicit_timestamp: bool,
+}
+
+impl EventBuilder {
+    /// Set the event type (`NL.EVNT`).
+    pub fn event_type(mut self, name: impl Into<String>) -> Self {
+        self.event.event_type = name.into();
+        self
+    }
+
+    /// Set the severity level.
+    pub fn level(mut self, level: Level) -> Self {
+        self.event.level = level;
+        self
+    }
+
+    /// Set an explicit timestamp (e.g. simulated time).  Without this the
+    /// event is stamped with wall-clock time at `build()`.
+    pub fn timestamp(mut self, ts: Timestamp) -> Self {
+        self.event.timestamp = ts;
+        self.explicit_timestamp = true;
+        self
+    }
+
+    /// Append a user-defined field.
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.event.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Append the conventional `VAL` reading field.
+    pub fn value(self, value: impl Into<Value>) -> Self {
+        self.field(keys::VALUE, value)
+    }
+
+    /// Append the conventional `NL.OID` object-correlation field.
+    pub fn object_id(self, oid: impl Into<String>) -> Self {
+        self.field(keys::OBJECT_ID, Value::Str(oid.into()))
+    }
+
+    /// Finish building.  Stamps the event with the current wall-clock time if
+    /// no explicit timestamp was provided.
+    pub fn build(mut self) -> Event {
+        if !self.explicit_timestamp {
+            self.event.timestamp = Timestamp::now();
+        }
+        self.event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::builder("testProg", "dpss1.lbl.gov")
+            .level(Level::Usage)
+            .event_type("WriteData")
+            .timestamp(Timestamp::from_micros(954_415_400_957_943))
+            .field("SEND.SZ", 49_332u64)
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let ev = sample();
+        assert_eq!(ev.host, "dpss1.lbl.gov");
+        assert_eq!(ev.program, "testProg");
+        assert_eq!(ev.level, Level::Usage);
+        assert_eq!(ev.event_type, "WriteData");
+        assert_eq!(ev.field("SEND.SZ"), Some(&Value::UInt(49_332)));
+        assert_eq!(ev.field_f64("SEND.SZ"), Some(49_332.0));
+        assert_eq!(ev.field("MISSING"), None);
+    }
+
+    #[test]
+    fn builder_defaults_to_wall_clock() {
+        let ev = Event::builder("p", "h").event_type("X").build();
+        assert!(ev.timestamp > Timestamp::from_secs(1_500_000_000));
+    }
+
+    #[test]
+    fn set_field_replaces_in_place() {
+        let mut ev = sample();
+        ev.set_field("SEND.SZ", 1u64);
+        ev.set_field("NEW", "x");
+        assert_eq!(ev.fields[0], ("SEND.SZ".to_string(), Value::UInt(1)));
+        assert_eq!(ev.field("NEW"), Some(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn value_and_object_id_helpers() {
+        let ev = Event::builder("p", "h")
+            .event_type("CPU_TOTAL")
+            .value(42.5)
+            .object_id("frame-17")
+            .build();
+        assert_eq!(ev.value(), Some(42.5));
+        assert_eq!(ev.object_id(), Some("frame-17"));
+    }
+
+    #[test]
+    fn level_parse_round_trip() {
+        for lvl in [
+            Level::Emergency,
+            Level::Alert,
+            Level::Critical,
+            Level::Error,
+            Level::Warning,
+            Level::Notice,
+            Level::Info,
+            Level::Debug,
+            Level::Usage,
+        ] {
+            assert_eq!(Level::parse(lvl.as_str()).unwrap(), lvl);
+            assert_eq!(Level::parse(&lvl.as_str().to_uppercase()).unwrap(), lvl);
+        }
+        assert!(Level::parse("bogus").is_err());
+        assert!(Level::Error.is_problem());
+        assert!(!Level::Usage.is_problem());
+    }
+
+    #[test]
+    fn approx_size_tracks_fields() {
+        let small = Event::builder("p", "h").event_type("X").build();
+        let mut big = small.clone();
+        big.set_field("A_LONG_FIELD_NAME", "a_long_field_value");
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

@@ -1,0 +1,390 @@
+//! The ASCII ULM codec.
+//!
+//! A ULM line is a whitespace-separated list of `FIELD=value` tokens.  The
+//! paper's example:
+//!
+//! ```text
+//! DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage NL.EVNT=WriteData SEND.SZ=49332
+//! ```
+//!
+//! Values containing whitespace or `"` are quoted with double quotes and
+//! backslash-escaped, which is the convention NetLogger's parsers accept.
+//! The codec also provides buffered reader/writer adapters for log files and
+//! sockets.
+
+use std::io::{self, BufRead, Write};
+
+use crate::event::{Event, Level};
+use crate::keys;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use crate::{Result, UlmError};
+
+/// Encode a single event as one ULM text line (no trailing newline).
+pub fn encode(event: &Event) -> String {
+    let mut out = String::with_capacity(event.approx_size());
+    push_pair(&mut out, keys::DATE, &event.timestamp.to_ulm_date());
+    push_pair(&mut out, keys::HOST, &event.host);
+    push_pair(&mut out, keys::PROG, &event.program);
+    push_pair(&mut out, keys::LVL, event.level.as_str());
+    if !event.event_type.is_empty() {
+        push_pair(&mut out, keys::NL_EVNT, &event.event_type);
+    }
+    for (k, v) in &event.fields {
+        push_pair(&mut out, k, &v.to_ulm_string());
+    }
+    out
+}
+
+fn push_pair(out: &mut String, key: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(' ');
+    }
+    out.push_str(key);
+    out.push('=');
+    if needs_quoting(value) {
+        out.push('"');
+        for c in value.chars() {
+            if c == '"' || c == '\\' {
+                out.push('\\');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+}
+
+fn needs_quoting(value: &str) -> bool {
+    value.is_empty() || value.chars().any(|c| c.is_whitespace() || c == '"')
+}
+
+/// Decode one ULM text line into an [`Event`].
+pub fn decode(line: &str) -> Result<Event> {
+    let mut date: Option<Timestamp> = None;
+    let mut host: Option<String> = None;
+    let mut prog: Option<String> = None;
+    let mut level: Option<Level> = None;
+    let mut event_type = String::new();
+    let mut fields: Vec<(String, Value)> = Vec::new();
+
+    for (key, raw) in TokenIter::new(line) {
+        let (key, raw) = (key?, raw);
+        match key.as_str() {
+            keys::DATE => date = Some(Timestamp::parse_ulm_date(&raw)?),
+            keys::HOST => host = Some(raw),
+            keys::PROG => prog = Some(raw),
+            keys::LVL => level = Some(Level::parse(&raw)?),
+            keys::NL_EVNT => event_type = raw,
+            _ => fields.push((key, Value::infer(&raw))),
+        }
+    }
+
+    Ok(Event {
+        timestamp: date.ok_or(UlmError::MissingField(keys::DATE))?,
+        host: host.ok_or(UlmError::MissingField(keys::HOST))?,
+        program: prog.ok_or(UlmError::MissingField(keys::PROG))?,
+        level: level.ok_or(UlmError::MissingField(keys::LVL))?,
+        event_type,
+        fields,
+    })
+}
+
+/// Iterator over `KEY=value` tokens, handling quoted values.
+struct TokenIter<'a> {
+    rest: &'a str,
+}
+
+impl<'a> TokenIter<'a> {
+    fn new(line: &'a str) -> Self {
+        TokenIter { rest: line.trim() }
+    }
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = (Result<String>, String);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return None;
+        }
+        let eq = match self.rest.find('=') {
+            Some(i) => i,
+            None => {
+                let tok = self.rest.to_string();
+                self.rest = "";
+                return Some((Err(UlmError::MalformedField(tok)), String::new()));
+            }
+        };
+        let key = self.rest[..eq].to_string();
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            let tok = self.rest.split_whitespace().next().unwrap_or("").to_string();
+            // Skip past this token so iteration terminates.
+            self.rest = &self.rest[tok.len().min(self.rest.len())..];
+            return Some((Err(UlmError::MalformedField(tok)), String::new()));
+        }
+        let after = &self.rest[eq + 1..];
+        if let Some(stripped) = after.strip_prefix('"') {
+            // Quoted value: scan for the closing unescaped quote.
+            let mut value = String::new();
+            let mut chars = stripped.char_indices();
+            let mut end = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '\\' => {
+                        if let Some((_, esc)) = chars.next() {
+                            value.push(esc);
+                        }
+                    }
+                    '"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => value.push(c),
+                }
+            }
+            match end {
+                Some(i) => {
+                    self.rest = &stripped[i + 1..];
+                    Some((Ok(key), value))
+                }
+                None => {
+                    self.rest = "";
+                    Some((Err(UlmError::UnterminatedQuote), String::new()))
+                }
+            }
+        } else {
+            let end = after
+                .find(char::is_whitespace)
+                .unwrap_or(after.len());
+            let value = after[..end].to_string();
+            self.rest = &after[end..];
+            Some((Ok(key), value))
+        }
+    }
+}
+
+/// Streaming writer that emits one ULM line per event.
+pub struct UlmWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> UlmWriter<W> {
+    /// Wrap a writer (file, socket, `Vec<u8>`...).
+    pub fn new(inner: W) -> Self {
+        UlmWriter { inner, written: 0 }
+    }
+
+    /// Write one event followed by a newline.
+    pub fn write_event(&mut self, event: &Event) -> io::Result<()> {
+        let line = encode(event);
+        self.inner.write_all(line.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Streaming reader that yields events from a ULM text stream.
+///
+/// Blank lines and lines starting with `#` are skipped; malformed lines are
+/// returned as errors so the consumer can decide whether to drop or abort.
+pub struct UlmReader<R: BufRead> {
+    inner: R,
+    line: String,
+    line_no: u64,
+}
+
+impl<R: BufRead> UlmReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        UlmReader {
+            inner,
+            line: String::new(),
+            line_no: 0,
+        }
+    }
+
+    /// Read the next event, `Ok(None)` at end of stream.
+    pub fn read_event(&mut self) -> io::Result<Option<Result<Event>>> {
+        loop {
+            self.line.clear();
+            let n = self.inner.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Ok(Some(decode(trimmed)));
+        }
+    }
+
+    /// The line number of the most recently read line (1-based).
+    pub fn line_number(&self) -> u64 {
+        self.line_no
+    }
+}
+
+impl<R: BufRead> Iterator for UlmReader<R> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_event().unwrap_or_default()
+    }
+}
+
+/// Parse every valid event in a multi-line ULM document, dropping malformed
+/// lines.  Convenience used by log-merging tools and tests.
+pub fn decode_all_lossy(doc: &str) -> Vec<Event> {
+    doc.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| decode(l).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    fn sample() -> Event {
+        Event::builder("testProg", "dpss1.lbl.gov")
+            .level(Level::Usage)
+            .event_type("WriteData")
+            .timestamp(Timestamp::parse_ulm_date("20000330112320.957943").unwrap())
+            .field("SEND.SZ", 49_332u64)
+            .build()
+    }
+
+    #[test]
+    fn encodes_paper_example_exactly() {
+        let line = encode(&sample());
+        assert_eq!(
+            line,
+            "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage \
+             NL.EVNT=WriteData SEND.SZ=49332"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_event() {
+        let ev = sample();
+        assert_eq!(decode(&encode(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn quoted_values_round_trip() {
+        let ev = Event::builder("prog", "host")
+            .event_type("MSG")
+            .timestamp(Timestamp::from_secs(10))
+            .field("TEXT", "hello world with \"quotes\" and \\backslash")
+            .field("EMPTY", "")
+            .build();
+        let line = encode(&ev);
+        let back = decode(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn missing_required_fields_error() {
+        assert_eq!(
+            decode("HOST=h PROG=p LVL=Usage"),
+            Err(UlmError::MissingField("DATE"))
+        );
+        assert_eq!(
+            decode("DATE=20000330112320 PROG=p LVL=Usage"),
+            Err(UlmError::MissingField("HOST"))
+        );
+        assert_eq!(
+            decode("DATE=20000330112320 HOST=h LVL=Usage"),
+            Err(UlmError::MissingField("PROG"))
+        );
+        assert_eq!(
+            decode("DATE=20000330112320 HOST=h PROG=p"),
+            Err(UlmError::MissingField("LVL"))
+        );
+    }
+
+    #[test]
+    fn malformed_tokens_error() {
+        assert!(matches!(
+            decode("DATE=20000330112320 HOST=h PROG=p LVL=Usage junk"),
+            Err(UlmError::MalformedField(_))
+        ));
+        assert!(matches!(
+            decode("DATE=20000330112320 HOST=h PROG=p LVL=Usage X=\"unterminated"),
+            Err(UlmError::UnterminatedQuote)
+        ));
+        assert!(matches!(
+            decode("DATE=20000330112320 HOST=h PROG=p LVL=Bogus NL.EVNT=x"),
+            Err(UlmError::BadLevel(_))
+        ));
+    }
+
+    #[test]
+    fn reader_writer_round_trip_and_skips_comments() {
+        let mut buf = Vec::new();
+        {
+            let mut w = UlmWriter::new(&mut buf);
+            for i in 0..5u64 {
+                let ev = Event::builder("p", "h")
+                    .event_type("TICK")
+                    .timestamp(Timestamp::from_secs(i))
+                    .value(i)
+                    .build();
+                w.write_event(&ev).unwrap();
+            }
+            assert_eq!(w.events_written(), 5);
+            w.flush().unwrap();
+        }
+        let mut text = String::from_utf8(buf).unwrap();
+        text.insert_str(0, "# comment line\n\n");
+        let reader = UlmReader::new(text.as_bytes());
+        let events: Vec<_> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[3].value(), Some(3.0));
+    }
+
+    #[test]
+    fn decode_all_lossy_drops_bad_lines() {
+        let doc = "\
+# header
+DATE=20000330112320 HOST=h PROG=p LVL=Usage NL.EVNT=A
+this is not ulm
+DATE=20000330112321 HOST=h PROG=p LVL=Usage NL.EVNT=B
+";
+        let events = decode_all_lossy(doc);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].event_type, "B");
+    }
+
+    #[test]
+    fn event_type_is_optional_on_decode() {
+        let ev = decode("DATE=20000330112320 HOST=h PROG=p LVL=Info").unwrap();
+        assert_eq!(ev.event_type, "");
+        assert_eq!(ev.level, Level::Info);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: every representable event must round-trip through
+//! all three codecs (text, binary, JSON) without loss.
+
+use jamm_ulm::{binary, json, text, Event, Level, Timestamp, Value};
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Emergency),
+        Just(Level::Alert),
+        Just(Level::Critical),
+        Just(Level::Error),
+        Just(Level::Warning),
+        Just(Level::Notice),
+        Just(Level::Info),
+        Just(Level::Debug),
+        Just(Level::Usage),
+    ]
+}
+
+/// Identifier-like strings (hostnames, program names, event names).
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,30}"
+}
+
+/// Field keys: ULM-safe (no '=', no whitespace, non-empty).
+fn arb_key() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_.]{0,20}"
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::UInt),
+        any::<i64>().prop_map(|v| if v >= 0 {
+            // Non-negative signed values re-infer as UInt from text; keep the
+            // text round-trip property exact by restricting Int to negatives.
+            Value::Int(-(v.saturating_abs().max(1)))
+        } else {
+            Value::Int(v)
+        }),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        // Strings that are not accidentally numeric/boolean.
+        "[a-zA-Z_][a-zA-Z_ /:-]{0,40}".prop_filter("not keyword", |s| {
+            s != "true" && s != "false" && s.parse::<f64>().is_err()
+        })
+        .prop_map(Value::Str),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        // Timestamps within civil-date range handled by the ULM DATE codec
+        // (year <= 9999).
+        0u64..250_000_000_000_000_000u64,
+        arb_ident(),
+        arb_ident(),
+        arb_level(),
+        arb_ident(),
+        prop::collection::vec((arb_key(), arb_value()), 0..8),
+    )
+        .prop_map(|(ts, host, prog, level, event_type, fields)| {
+            let mut b = Event::builder(prog, host)
+                .level(level)
+                .event_type(event_type)
+                .timestamp(Timestamp::from_micros(ts));
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in fields {
+                if seen.insert(k.clone()) {
+                    b = b.field(k, v);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(ev in arb_event()) {
+        let frame = binary::encode(&ev);
+        let (back, consumed) = binary::decode(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_structure(ev in arb_event()) {
+        let line = text::encode(&ev);
+        let back = text::decode(&line).unwrap();
+        prop_assert_eq!(back.timestamp, ev.timestamp);
+        prop_assert_eq!(&back.host, &ev.host);
+        prop_assert_eq!(&back.program, &ev.program);
+        prop_assert_eq!(back.level, ev.level);
+        prop_assert_eq!(&back.event_type, &ev.event_type);
+        prop_assert_eq!(back.fields.len(), ev.fields.len());
+        for ((k1, v1), (k2, v2)) in back.fields.iter().zip(ev.fields.iter()) {
+            prop_assert_eq!(k1, k2);
+            // Floats may lose the distinction with integers only when the
+            // original was integral; numeric equality must still hold.
+            match (v1.as_f64(), v2.as_f64()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() <= b.abs() * 1e-12 + 1e-9),
+                _ => prop_assert_eq!(v1, v2),
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_fields(ev in arb_event()) {
+        let s = json::encode(&ev);
+        let back = json::decode(&s).unwrap();
+        prop_assert_eq!(back.timestamp, ev.timestamp);
+        prop_assert_eq!(back.level, ev.level);
+        for (k, v) in &ev.fields {
+            let got = back.field(k).unwrap();
+            match (got.as_f64(), v.as_f64()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() <= b.abs() * 1e-12 + 1e-9),
+                _ => prop_assert_eq!(got, v),
+            }
+        }
+    }
+
+    #[test]
+    fn timestamp_date_round_trip(us in 0u64..250_000_000_000_000_000u64) {
+        let ts = Timestamp::from_micros(us);
+        let parsed = Timestamp::parse_ulm_date(&ts.to_ulm_date()).unwrap();
+        prop_assert_eq!(parsed, ts);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_text(s in "\\PC{0,200}") {
+        let _ = text::decode(&s);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = binary::decode(&bytes);
+    }
+}
