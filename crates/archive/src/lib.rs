@@ -15,12 +15,12 @@
 
 use std::collections::BTreeMap;
 
+use jamm_core::flow::{EventSink, SinkError};
+use jamm_core::sync::RwLock;
 use jamm_ulm::{Event, Timestamp};
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 /// A label attached to a stored span of events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperationLabel {
     /// The system was behaving normally.
     Normal,
@@ -102,7 +102,7 @@ impl ArchiveQuery {
 /// Summary of the archive's contents, published in the directory so
 /// consumers can discover what history exists ("It also creates an archive
 /// directory service entry indicating the contents of the archive").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchiveCatalog {
     /// Total number of stored events.
     pub event_count: usize,
@@ -221,9 +221,12 @@ impl EventArchive {
 
     /// Export matching events as a JSON array.
     pub fn export_json(&self, query: &ArchiveQuery) -> String {
-        let values: Vec<serde_json::Value> =
-            self.query(query).iter().map(jamm_ulm::json::to_json).collect();
-        serde_json::Value::Array(values).to_string()
+        let values: Vec<jamm_core::json::Json> = self
+            .query(query)
+            .iter()
+            .map(jamm_ulm::json::to_json)
+            .collect();
+        jamm_core::json::Json::Array(values).to_string()
     }
 
     /// Drop events older than `cutoff`, returning how many were removed
@@ -234,6 +237,14 @@ impl EventArchive {
         let removed = events.len();
         *events = keep;
         removed
+    }
+}
+
+/// The archive is a terminal event sink: `accept` stores the event.
+impl EventSink<Event> for EventArchive {
+    fn accept(&self, event: &Event) -> Result<usize, SinkError> {
+        self.store(event.clone());
+        Ok(1)
     }
 }
 
@@ -272,7 +283,8 @@ mod tests {
     #[test]
     fn time_range_query_is_half_open() {
         let a = populated();
-        let q = ArchiveQuery::all().between(Timestamp::from_secs(1_010), Timestamp::from_secs(1_020));
+        let q =
+            ArchiveQuery::all().between(Timestamp::from_secs(1_010), Timestamp::from_secs(1_020));
         let r = a.query(&q);
         assert!(r.iter().all(|e| e.timestamp >= Timestamp::from_secs(1_010)
             && e.timestamp < Timestamp::from_secs(1_020)));
@@ -331,9 +343,18 @@ mod tests {
             Timestamp::from_secs(1_040),
             OperationLabel::Abnormal,
         );
-        assert_eq!(a.label_at(Timestamp::from_secs(1_010)), Some(OperationLabel::Normal));
-        assert_eq!(a.label_at(Timestamp::from_secs(1_035)), Some(OperationLabel::Abnormal));
-        assert_eq!(a.label_at(Timestamp::from_secs(1_045)), Some(OperationLabel::Normal));
+        assert_eq!(
+            a.label_at(Timestamp::from_secs(1_010)),
+            Some(OperationLabel::Normal)
+        );
+        assert_eq!(
+            a.label_at(Timestamp::from_secs(1_035)),
+            Some(OperationLabel::Abnormal)
+        );
+        assert_eq!(
+            a.label_at(Timestamp::from_secs(1_045)),
+            Some(OperationLabel::Normal)
+        );
         assert_eq!(a.label_at(Timestamp::from_secs(2_000)), None);
     }
 
@@ -344,7 +365,7 @@ mod tests {
         let ulm = a.export_ulm(&q);
         assert_eq!(jamm_ulm::text::decode_all_lossy(&ulm).len(), 10);
         let json = a.export_json(&q);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = jamm_core::json::Json::parse(&json).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 10);
     }
 

@@ -9,12 +9,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AuthError, Result};
 
 /// Operations a consumer can ask of the monitoring system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Action {
     /// Look sensors up in the directory.
     Lookup,
@@ -33,7 +31,7 @@ pub enum Action {
 /// Principal classes, in the spirit of the paper's "different classes of
 /// users": a named principal, anyone from a named organisation (subject
 /// prefix), or anyone at all.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Principal {
     /// A specific user (local account or certificate subject).
     User(String),
@@ -58,7 +56,7 @@ impl Principal {
 ///
 /// Resources are free-form strings; by convention JAMM uses
 /// `"sensor:<host>/<sensor>"`, `"gateway:<name>"` and `"*"` for everything.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AccessControlList {
     grants: Vec<(Principal, String, BTreeSet<Action>)>,
     /// If true (default), a subject with no matching grant is denied.
@@ -148,7 +146,7 @@ fn resource_matches(pattern: &str, resource: &str) -> bool {
 /// to communicate with a small known set of gateway agents and thus can just
 /// have a list of the Identity Certificates for each agent to which it will
 /// allow a connection" (§7.1).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GatewayAllowList {
     allowed_subjects: BTreeMap<String, ()>,
 }
@@ -196,9 +194,19 @@ mod tests {
         acl.grant(
             Principal::User("tierney".into()),
             "*",
-            [Action::Lookup, Action::SubscribeStream, Action::ControlSensors],
+            [
+                Action::Lookup,
+                Action::SubscribeStream,
+                Action::ControlSensors,
+            ],
         );
-        assert!(acl.check("tierney", "sensor:dpss1.lbl.gov/cpu", Action::SubscribeStream).is_ok());
+        assert!(acl
+            .check(
+                "tierney",
+                "sensor:dpss1.lbl.gov/cpu",
+                Action::SubscribeStream
+            )
+            .is_ok());
         assert!(acl.check("tierney", "gateway:gw1", Action::Lookup).is_ok());
         assert!(matches!(
             acl.check("stranger", "sensor:dpss1.lbl.gov/cpu", Action::Query),
@@ -216,11 +224,20 @@ mod tests {
         acl.grant(
             Principal::OrgPrefix("/O=Grid/O=LBNL".into()),
             "*",
-            [Action::Lookup, Action::SubscribeStream, Action::Query, Action::Summary],
+            [
+                Action::Lookup,
+                Action::SubscribeStream,
+                Action::Query,
+                Action::Summary,
+            ],
         );
         // Internal user: full streaming access.
         assert!(acl
-            .check("/O=Grid/O=LBNL/CN=Dan Gunter", "sensor:x/cpu", Action::SubscribeStream)
+            .check(
+                "/O=Grid/O=LBNL/CN=Dan Gunter",
+                "sensor:x/cpu",
+                Action::SubscribeStream
+            )
             .is_ok());
         // Off-site user: summaries and queries only.
         let offsite = "/O=Grid/O=NCSA/CN=Remote User";
@@ -235,14 +252,16 @@ mod tests {
     #[test]
     fn resource_prefix_patterns() {
         let mut acl = AccessControlList::deny_by_default();
-        acl.grant(
-            Principal::Anyone,
-            "sensor:dpss1.lbl.gov/*",
-            [Action::Query],
-        );
-        assert!(acl.check("anyone", "sensor:dpss1.lbl.gov/cpu", Action::Query).is_ok());
-        assert!(acl.check("anyone", "sensor:dpss1.lbl.gov/memory", Action::Query).is_ok());
-        assert!(acl.check("anyone", "sensor:dpss2.lbl.gov/cpu", Action::Query).is_err());
+        acl.grant(Principal::Anyone, "sensor:dpss1.lbl.gov/*", [Action::Query]);
+        assert!(acl
+            .check("anyone", "sensor:dpss1.lbl.gov/cpu", Action::Query)
+            .is_ok());
+        assert!(acl
+            .check("anyone", "sensor:dpss1.lbl.gov/memory", Action::Query)
+            .is_ok());
+        assert!(acl
+            .check("anyone", "sensor:dpss2.lbl.gov/cpu", Action::Query)
+            .is_err());
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! *proxy* certificates are supported: a user certificate can sign a
 //! short-lived proxy that carries the user's identity for delegated agents.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AuthError, Result};
 
 /// A keyed hash standing in for a public-key signature.
@@ -29,7 +27,7 @@ fn keyed_hash(key: u64, data: &str) -> u64 {
 }
 
 /// An identity (or proxy) certificate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdentityCertificate {
     /// Distinguished name of the subject, e.g.
     /// `/O=Grid/O=LBNL/CN=Brian Tierney`.
@@ -88,7 +86,7 @@ impl IdentityCertificate {
 }
 
 /// A certificate authority.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CertificateAuthority {
     /// The CA's distinguished name.
     pub name: String,
@@ -106,7 +104,12 @@ impl CertificateAuthority {
 
     /// Issue an identity certificate for `subject`, valid from `now` for
     /// `lifetime_secs`.
-    pub fn issue(&self, subject: impl Into<String>, now: u64, lifetime_secs: u64) -> IdentityCertificate {
+    pub fn issue(
+        &self,
+        subject: impl Into<String>,
+        now: u64,
+        lifetime_secs: u64,
+    ) -> IdentityCertificate {
         let mut cert = IdentityCertificate {
             subject: subject.into(),
             issuer: self.name.clone(),
@@ -239,7 +242,10 @@ mod tests {
         let ca1 = ca();
         let ca2 = CertificateAuthority::new("/O=Grid/CN=Rogue CA", 0x1234);
         let cert = ca1.issue("/CN=user", NOW, 3_600);
-        assert!(matches!(ca2.verify(&cert, NOW), Err(AuthError::UntrustedIssuer(_))));
+        assert!(matches!(
+            ca2.verify(&cert, NOW),
+            Err(AuthError::UntrustedIssuer(_))
+        ));
         // Same name, different key -> bad signature.
         let ca3 = CertificateAuthority::new("/O=Grid/CN=DOE Science Grid CA", 0x9999);
         assert_eq!(ca3.verify(&cert, NOW), Err(AuthError::BadSignature));
@@ -279,6 +285,9 @@ mod tests {
         assert!(store.verify(&c1, NOW).is_ok());
         assert!(store.verify(&c2, NOW).is_ok());
         let unknown = CertificateAuthority::new("/CN=Other CA", 3).issue("/CN=eve", NOW, 100);
-        assert!(matches!(store.verify(&unknown, NOW), Err(AuthError::UntrustedIssuer(_))));
+        assert!(matches!(
+            store.verify(&unknown, NOW),
+            Err(AuthError::UntrustedIssuer(_))
+        ));
     }
 }

@@ -6,12 +6,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AuthError, Result};
 
 /// Maps certificate subjects to local account names.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GridMapFile {
     entries: BTreeMap<String, String>,
 }

@@ -14,14 +14,12 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::acl::Action;
 use crate::identity::IdentityCertificate;
 use crate::{AuthError, Result};
 
 /// A requirement a stakeholder places on users of a resource.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UseCondition {
     /// The stakeholder who issued the condition.
     pub stakeholder: String,
@@ -34,7 +32,7 @@ pub struct UseCondition {
 }
 
 /// What a use-condition demands of the user.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Requirement {
     /// The user's certificate subject must contain this component
     /// (e.g. `O=LBNL`).
@@ -45,7 +43,7 @@ pub enum Requirement {
 }
 
 /// An attribute certificate: an authority asserts an attribute about a user.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeCertificate {
     /// Subject the attribute is about (certificate subject DN).
     pub subject: String,
@@ -147,7 +145,10 @@ impl PolicyEngine {
         action: Action,
         now: u64,
     ) -> Result<()> {
-        if self.allowed_actions(user, attrs, resource, now).contains(&action) {
+        if self
+            .allowed_actions(user, attrs, resource, now)
+            .contains(&action)
+        {
             Ok(())
         } else {
             Err(AuthError::Denied(format!(
@@ -242,13 +243,17 @@ mod tests {
             "/CN=LBNL Attribute Authority",
         )];
         // Alice satisfies both stakeholders: full access.
-        assert!(e.check(&alice, &alice_attrs, resource, Action::SubscribeStream, NOW).is_ok());
+        assert!(e
+            .check(&alice, &alice_attrs, resource, Action::SubscribeStream, NOW)
+            .is_ok());
         // Bob is from LBNL but not in the group: only the summary action is
         // granted by both stakeholders.
         let bob = user("/O=Grid/O=LBNL/CN=Bob");
         let actions = e.allowed_actions(&bob, &[], resource, NOW);
         assert_eq!(actions, [Action::Summary].into_iter().collect());
-        assert!(e.check(&bob, &[], resource, Action::SubscribeStream, NOW).is_err());
+        assert!(e
+            .check(&bob, &[], resource, Action::SubscribeStream, NOW)
+            .is_err());
         // Carol is in the group but not from LBNL: stakeholder 1 grants
         // nothing, so nothing is allowed.
         let carol = user("/O=Grid/O=NCSA/CN=Carol");
@@ -257,7 +262,9 @@ mod tests {
             "dpss-users",
             "/CN=LBNL Attribute Authority",
         )];
-        assert!(e.allowed_actions(&carol, &carol_attrs, resource, NOW).is_empty());
+        assert!(e
+            .allowed_actions(&carol, &carol_attrs, resource, NOW)
+            .is_empty());
     }
 
     #[test]
@@ -284,7 +291,13 @@ mod tests {
         );
         attr.not_after = NOW - 1;
         assert!(e
-            .check(&alice, &[attr], "sensor:dpss1.lbl.gov/*", Action::SubscribeStream, NOW)
+            .check(
+                &alice,
+                &[attr],
+                "sensor:dpss1.lbl.gov/*",
+                Action::SubscribeStream,
+                NOW
+            )
             .is_err());
     }
 
@@ -292,7 +305,9 @@ mod tests {
     fn resources_with_no_conditions_deny_everything() {
         let e = engine_with_two_stakeholders();
         let alice = user("/O=Grid/O=LBNL/CN=Alice");
-        assert!(e.allowed_actions(&alice, &[], "sensor:other.host/cpu", NOW).is_empty());
+        assert!(e
+            .allowed_actions(&alice, &[], "sensor:other.host/cpu", NOW)
+            .is_empty());
         assert_eq!(e.condition_count(), 3);
     }
 
@@ -307,7 +322,13 @@ mod tests {
             "/CN=LBNL Attribute Authority",
         )];
         assert!(e
-            .check(&proxy, &attrs, "sensor:dpss1.lbl.gov/*", Action::SubscribeStream, NOW)
+            .check(
+                &proxy,
+                &attrs,
+                "sensor:dpss1.lbl.gov/*",
+                Action::SubscribeStream,
+                NOW
+            )
             .is_ok());
     }
 }

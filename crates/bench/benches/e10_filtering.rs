@@ -11,19 +11,18 @@
 //! realistic sensor stream; the Criterion benches measure per-event filter
 //! and summary-engine costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jamm_bench::harness::{criterion_group, criterion_main, Criterion};
 use jamm_bench::{compare_row, header};
+use jamm_core::rng::Rng;
 use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
-use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
 use jamm_ulm::{Event, Level, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A realistic hour of 1 Hz sensor readings: CPU load wandering around 35%
 /// with occasional bursts, and a retransmission counter that only changes
 /// during the bursts.
 fn sensor_stream() -> Vec<Event> {
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Rng::seed_from_u64(10);
     let mut events = Vec::new();
     let mut retrans_counter = 0u64;
     let mut load = 30.0f64;
@@ -43,7 +42,7 @@ fn sensor_stream() -> Vec<Event> {
                 .build(),
         );
         if bursting && rng.gen_bool(0.3) {
-            retrans_counter += rng.gen_range(1..4);
+            retrans_counter += rng.gen_range(1u64..4);
         }
         events.push(
             Event::builder("netstat", "mems.cairn.net")
@@ -60,11 +59,11 @@ fn sensor_stream() -> Vec<Event> {
 fn delivered_with(filters: Vec<EventFilter>, stream: &[Event]) -> usize {
     let gw = EventGateway::new(GatewayConfig::open("gw"));
     let sub = gw
-        .subscribe(SubscribeRequest {
-            consumer: "c".into(),
-            mode: SubscriptionMode::Stream,
-            filters,
-        })
+        .subscribe()
+        .stream()
+        .filters(filters)
+        .as_consumer("c")
+        .open()
         .unwrap();
     for e in stream {
         gw.publish(e);
@@ -106,7 +105,11 @@ fn report(stream: &[Event]) {
     );
 
     println!("\none hour of 1 Hz CPU + netstat readings ({total} events published):\n");
-    compare_row("no filter", "every event delivered", &format!("{unfiltered} events"));
+    compare_row(
+        "no filter",
+        "every event delivered",
+        &format!("{unfiltered} events"),
+    );
     compare_row(
         "retransmission counter, on-change only",
         "most samples suppressed",
@@ -136,7 +139,11 @@ fn report(stream: &[Event]) {
     compare_row(
         "summary service output",
         "1, 10 and 60 minute averages",
-        &format!("{} summary events replace {} raw readings", summaries.len(), total),
+        &format!(
+            "{} summary events replace {} raw readings",
+            summaries.len(),
+            total
+        ),
     );
     println!();
 }
@@ -148,11 +155,10 @@ fn bench_filters_and_summaries(c: &mut Criterion) {
     c.bench_function("gateway_publish_with_threshold_filter", |b| {
         let gw = EventGateway::new(GatewayConfig::open("gw"));
         let _sub = gw
-            .subscribe(SubscribeRequest {
-                consumer: "c".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![EventFilter::Above(50.0)],
-            })
+            .subscribe()
+            .filter(EventFilter::Above(50.0))
+            .as_consumer("c")
+            .open()
             .unwrap();
         let mut i = 0usize;
         b.iter(|| {

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jamm_bench::harness::{criterion_group, criterion_main, Criterion};
 use jamm_bench::{compare_row, header};
 use jamm_directory::replication::ReplicatedDirectory;
 use jamm_directory::{DirectoryServer, Dn, Entry, Filter, Scope};
@@ -53,7 +53,11 @@ fn report() {
     let t0 = std::time::Instant::now();
     let mut found = 0usize;
     for _ in 0..200 {
-        found += server.search(&base, Scope::Subtree, &filter).unwrap().entries.len();
+        found += server
+            .search(&base, Scope::Subtree, &filter)
+            .unwrap()
+            .entries
+            .len();
     }
     let search_rate = 200.0 / t0.elapsed().as_secs_f64();
 
@@ -80,8 +84,14 @@ fn report() {
     );
 
     // Replication and failover.
-    let master = Arc::new(DirectoryServer::new("ldap://master", Dn::parse("o=grid").unwrap()));
-    let replica = Arc::new(DirectoryServer::new("ldap://replica", Dn::parse("o=grid").unwrap()));
+    let master = Arc::new(DirectoryServer::new(
+        "ldap://master",
+        Dn::parse("o=grid").unwrap(),
+    ));
+    let replica = Arc::new(DirectoryServer::new(
+        "ldap://replica",
+        Dn::parse("o=grid").unwrap(),
+    ));
     let replicated = ReplicatedDirectory::new(Arc::clone(&master), vec![Arc::clone(&replica)]);
     for i in 0..500 {
         replicated.add_or_replace(sensor_entry(i)).unwrap();
@@ -105,7 +115,11 @@ fn bench_directory(c: &mut Criterion) {
     let base = Dn::parse("o=grid").unwrap();
     let filter = Filter::parse("(&(objectclass=sensor)(host=node01*))").unwrap();
     c.bench_function("directory_subtree_search_2000_entries", |b| {
-        b.iter(|| server.search(std::hint::black_box(&base), Scope::Subtree, &filter).unwrap())
+        b.iter(|| {
+            server
+                .search(std::hint::black_box(&base), Scope::Subtree, &filter)
+                .unwrap()
+        })
     });
     c.bench_function("directory_lookup_by_dn", |b| {
         let dn = sensor_entry(1_234).dn;

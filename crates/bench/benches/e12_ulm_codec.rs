@@ -6,7 +6,7 @@
 //! ASCII formats."  This bench quantifies that trade-off for the
 //! reproduction's three codecs (ULM text, binary, JSON).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jamm_bench::harness::{criterion_group, criterion_main, Criterion};
 use jamm_bench::{compare_row, header};
 use jamm_ulm::{binary, json, text, Event, Level, Timestamp};
 
@@ -49,8 +49,18 @@ fn report() {
     let (_, enc_bin) = time(&|| events.iter().map(|e| binary::encode(e).len()).sum());
     let text_lines: Vec<String> = events.iter().map(text::encode).collect();
     let bin_frames: Vec<_> = events.iter().map(binary::encode).collect();
-    let (_, dec_text) = time(&|| text_lines.iter().map(|l| text::decode(l).unwrap().fields.len()).sum());
-    let (_, dec_bin) = time(&|| bin_frames.iter().map(|f| binary::decode(f).unwrap().0.fields.len()).sum());
+    let (_, dec_text) = time(&|| {
+        text_lines
+            .iter()
+            .map(|l| text::decode(l).unwrap().fields.len())
+            .sum()
+    });
+    let (_, dec_bin) = time(&|| {
+        bin_frames
+            .iter()
+            .map(|f| binary::decode(f).unwrap().0.fields.len())
+            .sum()
+    });
     compare_row(
         "decode throughput (the hot path for consumers)",
         "binary avoids ASCII parsing overhead",
@@ -80,15 +90,21 @@ fn bench_codecs(c: &mut Criterion) {
     let frame = binary::encode(&ev);
     let js = json::encode(&ev);
 
-    c.bench_function("ulm_text_encode", |b| b.iter(|| text::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_text_encode", |b| {
+        b.iter(|| text::encode(std::hint::black_box(&ev)))
+    });
     c.bench_function("ulm_text_decode", |b| {
         b.iter(|| text::decode(std::hint::black_box(&line)).unwrap())
     });
-    c.bench_function("ulm_binary_encode", |b| b.iter(|| binary::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_binary_encode", |b| {
+        b.iter(|| binary::encode(std::hint::black_box(&ev)))
+    });
     c.bench_function("ulm_binary_decode", |b| {
         b.iter(|| binary::decode(std::hint::black_box(&frame)).unwrap())
     });
-    c.bench_function("ulm_json_encode", |b| b.iter(|| json::encode(std::hint::black_box(&ev))));
+    c.bench_function("ulm_json_encode", |b| {
+        b.iter(|| json::encode(std::hint::black_box(&ev)))
+    });
     c.bench_function("ulm_json_decode", |b| {
         b.iter(|| json::decode(std::hint::black_box(&js)).unwrap())
     });

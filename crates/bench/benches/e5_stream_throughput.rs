@@ -6,6 +6,7 @@
 //! server instead of four "increased the throughput to 140 Mbits/sec".
 
 use jamm_bench::{compare_row, data_row, header};
+use jamm_core::json::{Json, Map};
 use jamm_netsim::scenario::matisse_iperf;
 
 fn main() {
@@ -15,7 +16,7 @@ fn main() {
     );
 
     let duration = 20.0;
-    let seed = 42;
+    let seed = 42u64;
     println!("\nregenerated sweep (20 simulated seconds per cell):\n");
     data_row(&[
         format!("{:<8}", "network"),
@@ -66,4 +67,36 @@ fn main() {
         "~4.7x",
         &format!("{collapse:.1}x"),
     );
+
+    // Record the sweep as a JSON baseline (see BENCH_e5.json at the repo
+    // root) when asked: JAMM_BENCH_JSON=BENCH_e5.json cargo bench --bench
+    // e5_stream_throughput
+    if let Ok(path) = std::env::var("JAMM_BENCH_JSON") {
+        let mut sorted: Vec<_> = results.iter().collect();
+        sorted.sort_by_key(|((wan, streams), _)| (!wan, *streams));
+        let rows: Vec<Json> = sorted
+            .into_iter()
+            .map(|(&(wan, streams), &mbps)| {
+                let mut row = Map::new();
+                row.insert(
+                    "network".into(),
+                    Json::from(if wan { "WAN" } else { "LAN" }),
+                );
+                row.insert("streams".into(), Json::from(streams));
+                row.insert(
+                    "aggregate_mbps".into(),
+                    Json::from((mbps * 10.0).round() / 10.0),
+                );
+                Json::Object(row)
+            })
+            .collect();
+        let mut doc = Map::new();
+        doc.insert("target".into(), Json::from("e5_stream_throughput"));
+        doc.insert("duration_simulated_secs".into(), Json::from(duration));
+        doc.insert("seed".into(), Json::from(seed));
+        doc.insert("results".into(), Json::Array(rows));
+        if let Err(e) = std::fs::write(&path, Json::Object(doc).to_pretty() + "\n") {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
 }

@@ -20,8 +20,14 @@ fn request_pair(us: u64) -> (Vec<Event>, Vec<Event>) {
             .build()
     };
     (
-        vec![mk("client", "REQ_SENT", us), mk("client", "RESP_RECV", us + 4_000)],
-        vec![mk("server", "REQ_RECV", us + 1_000), mk("server", "RESP_SENT", us + 3_000)],
+        vec![
+            mk("client", "REQ_SENT", us),
+            mk("client", "RESP_RECV", us + 4_000),
+        ],
+        vec![
+            mk("server", "REQ_RECV", us + 1_000),
+            mk("server", "RESP_SENT", us + 3_000),
+        ],
     )
 }
 
@@ -40,7 +46,12 @@ fn main() {
     for hops in [0u32, 1, 2, 3, 5, 8] {
         let mut sim = NtpSimulation::new(1_000 + hops as u64);
         for i in 0..8 {
-            sim.add_host(format!("host{i}"), 200_000.0 * ((i % 5) as f64 - 2.0), 40.0, hops);
+            sim.add_host(
+                format!("host{i}"),
+                200_000.0 * ((i % 5) as f64 - 2.0),
+                40.0,
+                hops,
+            );
         }
         sim.run(60);
         let worst_ms = sim.worst_offset_us() / 1_000.0;

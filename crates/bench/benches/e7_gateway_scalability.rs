@@ -13,10 +13,10 @@
 //! part measures raw gateway publish throughput at different subscriber
 //! counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jamm::cluster::ClusterDeployment;
+use jamm_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jamm_bench::{compare_row, data_row, header};
-use jamm_gateway::{EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventGateway, GatewayConfig};
 use jamm_ulm::{Event, Level, Timestamp};
 
 fn fanout_report() {
@@ -82,20 +82,14 @@ fn bench_gateway_publish(c: &mut Criterion) {
             |b, &n| {
                 let gw = EventGateway::new(GatewayConfig::open("bench-gw"));
                 let subs: Vec<_> = (0..n)
-                    .map(|i| {
-                        gw.subscribe(SubscribeRequest {
-                            consumer: format!("c{i}"),
-                            mode: SubscriptionMode::Stream,
-                            filters: vec![],
-                        })
-                        .unwrap()
-                    })
+                    .map(|i| gw.subscribe().as_consumer(format!("c{i}")).open().unwrap())
                     .collect();
                 let mut i = 0u64;
                 b.iter(|| {
                     i += 1;
                     gw.publish(std::hint::black_box(&publish_event(i)));
-                    // Drain so unbounded channels do not grow without limit.
+                    // Drain periodically; the bounded queues would otherwise
+                    // overwrite and count drops, skewing the comparison.
                     if i.is_multiple_of(1_024) {
                         for s in &subs {
                             while s.events.try_recv().is_ok() {}

@@ -10,8 +10,8 @@
 //! continuity, point sparsity), then measures how fast the chart extraction
 //! is with Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jamm::deployment::{DeploymentConfig, JammDeployment};
+use jamm_bench::harness::{criterion_group, criterion_main, Criterion};
 use jamm_bench::{compare_row, header};
 use jamm_netlogger::nlv::{lifelines, loadline, points, NlvChart};
 use jamm_ulm::{keys, Event};
@@ -44,7 +44,11 @@ fn report(log: &[Event]) {
     compare_row(
         "lifeline: one per monitored object",
         "one line per datum",
-        &format!("{} frame lifelines, mean span {:.0} ms", lines.len(), mean_span),
+        &format!(
+            "{} frame lifelines, mean span {:.0} ms",
+            lines.len(),
+            mean_span
+        ),
     );
     let monotone = lines
         .iter()
@@ -58,7 +62,10 @@ fn report(log: &[Event]) {
     compare_row(
         "loadline: continuous scaled series",
         "e.g. CPU load / free memory",
-        &format!("{} VMSTAT_SYS_TIME samples on the receiving host", load.samples.len()),
+        &format!(
+            "{} VMSTAT_SYS_TIME samples on the receiving host",
+            load.samples.len()
+        ),
     );
     let pts = points(log, Some("mems.cairn.net"), keys::tcp::RETRANSMITS);
     compare_row(

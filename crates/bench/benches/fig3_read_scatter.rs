@@ -21,7 +21,10 @@ fn main() {
     jamm.run_secs(25.0);
 
     let reads = &jamm.scenario.player.read_sizes;
-    println!("\n{} read() calls recorded over 25 simulated seconds", reads.len());
+    println!(
+        "\n{} read() calls recorded over 25 simulated seconds",
+        reads.len()
+    );
 
     // Regenerate the scatter data: a coarse histogram over read size.
     let mut histogram = [0usize; 9];
@@ -29,7 +32,10 @@ fn main() {
         let bucket = ((r as usize) / 8_192).min(8);
         histogram[bucket] += 1;
     }
-    println!("\nread-size histogram (8 KB buckets, '#' = {} reads):", (reads.len() / 200).max(1));
+    println!(
+        "\nread-size histogram (8 KB buckets, '#' = {} reads):",
+        (reads.len() / 200).max(1)
+    );
     for (i, count) in histogram.iter().enumerate() {
         let label = format!("{:>3}-{:<3} KB", i * 8, (i + 1) * 8);
         let bar = "#".repeat(count / (reads.len() / 200).max(1));

@@ -58,13 +58,20 @@ fn main() {
         "yes (X marks on the chart)",
         &format!(
             "{} retransmit events collected",
-            log.iter().filter(|e| e.event_type == keys::tcp::RETRANSMITS).count()
+            log.iter()
+                .filter(|e| e.event_type == keys::tcp::RETRANSMITS)
+                .count()
         ),
     );
     compare_row(
         "delivery gaps explained by retransmit bursts",
         "the large gap coincides with retransmits",
-        &format!("{}/{} gaps ({:.0}%)", corr.gaps_with_marker, corr.gaps, corr.gap_hit_rate() * 100.0),
+        &format!(
+            "{}/{} gaps ({:.0}%)",
+            corr.gaps_with_marker,
+            corr.gaps,
+            corr.gap_hit_rate() * 100.0
+        ),
     );
     compare_row(
         "system CPU on the receiving host",
@@ -74,6 +81,9 @@ fn main() {
 
     println!("\nmean per-stage lifeline latency (the slope of the lifelines):\n");
     for (from, to, mean_us, n) in mean_stage_durations(&chart.lifelines) {
-        println!("  {from:>22} -> {to:<22} {:>9.1} ms  ({n} samples)", mean_us / 1_000.0);
+        println!(
+            "  {from:>22} -> {to:<22} {:>9.1} ms  ({n} samples)",
+            mean_us / 1_000.0
+        );
     }
 }

@@ -28,12 +28,28 @@ fn main() {
         format!("{:>10}", "with JAMM"),
     ]);
     for (label, m, j) in [
-        ("accounts required", manual.accounts_required, jamm.accounts_required),
+        (
+            "accounts required",
+            manual.accounts_required,
+            jamm.accounts_required,
+        ),
         ("interactive logins", manual.logins, jamm.logins),
-        ("privileged (root) operations", manual.privileged_ops, jamm.privileged_ops),
-        ("sensors started by hand", manual.manual_sensor_starts, jamm.manual_sensor_starts),
+        (
+            "privileged (root) operations",
+            manual.privileged_ops,
+            jamm.privileged_ops,
+        ),
+        (
+            "sensors started by hand",
+            manual.manual_sensor_starts,
+            jamm.manual_sensor_starts,
+        ),
         ("result files copied", manual.file_copies, jamm.file_copies),
-        ("consumer subscriptions", manual.subscriptions, jamm.subscriptions),
+        (
+            "consumer subscriptions",
+            manual.subscriptions,
+            jamm.subscriptions,
+        ),
     ] {
         data_row(&[
             format!("{label:<28}"),
@@ -45,7 +61,11 @@ fn main() {
     compare_row(
         "total operations for one analysis",
         "\"clearly more work than most users will do\"",
-        &format!("{} manual vs {} with JAMM", manual.total_ops(), jamm.total_ops()),
+        &format!(
+            "{} manual vs {} with JAMM",
+            manual.total_ops(),
+            jamm.total_ops()
+        ),
     );
 
     println!("\nhow the manual effort scales with system size (JAMM stays constant):\n");

@@ -6,10 +6,13 @@
 //! alongside the paper's reported values; the micro-benchmarks use Criterion.
 //!
 //! This library holds the small shared helpers the bench targets use for
-//! consistent output formatting.
+//! consistent output formatting, plus [`harness`], the criterion-compatible
+//! micro-benchmark driver the `[[bench]]` targets run on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Print a standard experiment header.
 pub fn header(experiment: &str, paper_artifact: &str) {

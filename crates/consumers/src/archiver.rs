@@ -8,9 +8,10 @@
 use std::sync::Arc;
 
 use jamm_archive::EventArchive;
-use jamm_directory::{Dn, DirectoryServer, Entry};
-use jamm_gateway::{EventFilter, Subscription, SubscribeRequest, SubscriptionMode};
-use jamm_ulm::Timestamp;
+use jamm_core::flow::{EventSink, SinkError};
+use jamm_directory::{DirectoryServer, Dn, Entry};
+use jamm_gateway::{EventFilter, Subscription};
+use jamm_ulm::{Event, Timestamp};
 
 use crate::GatewayRegistry;
 
@@ -53,11 +54,13 @@ impl ArchiverAgent {
         let Some(gateway) = registry.resolve(gateway_name) else {
             return false;
         };
-        match gateway.subscribe(SubscribeRequest {
-            consumer: self.consumer.clone(),
-            mode: SubscriptionMode::Stream,
-            filters,
-        }) {
+        match gateway
+            .subscribe()
+            .stream()
+            .filters(filters)
+            .as_consumer(self.consumer.clone())
+            .open()
+        {
             Ok(sub) => {
                 self.subscriptions.push(sub);
                 true
@@ -101,6 +104,16 @@ impl ArchiverAgent {
     }
 }
 
+/// The archiver is itself a sink: events pushed straight at it (e.g. from
+/// an RMI event bridge at a site with no local gateway) are stored exactly
+/// as subscribed events are.
+impl EventSink<Event> for ArchiverAgent {
+    fn accept(&self, event: &Event) -> Result<usize, SinkError> {
+        self.archive.store(event.clone());
+        Ok(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +129,12 @@ mod tests {
             .build()
     }
 
-    fn setup() -> (GatewayRegistry, Arc<EventGateway>, ArchiverAgent, Arc<DirectoryServer>) {
+    fn setup() -> (
+        GatewayRegistry,
+        Arc<EventGateway>,
+        ArchiverAgent,
+        Arc<DirectoryServer>,
+    ) {
         let gw = Arc::new(EventGateway::new(GatewayConfig::open("gw1")));
         let mut reg = GatewayRegistry::new();
         reg.register("gw1", Arc::clone(&gw));
@@ -152,7 +170,12 @@ mod tests {
         let (reg, gw, mut agent, dir) = setup();
         agent.subscribe(&reg, "gw1", vec![]);
         gw.publish(&ev("dpss1.lbl.gov", "CPU_TOTAL", 10, Level::Usage));
-        gw.publish(&ev("mems.cairn.net", "TCPD_RETRANSMITS", 20, Level::Warning));
+        gw.publish(&ev(
+            "mems.cairn.net",
+            "TCPD_RETRANSMITS",
+            20,
+            Level::Warning,
+        ));
         agent.poll();
         assert!(agent.publish_catalog(&dir, Timestamp::from_secs(100)));
         let dn = Dn::parse("archive=main,o=lbl,o=grid").unwrap();

@@ -9,8 +9,9 @@
 
 use std::sync::Arc;
 
-use jamm_directory::{Dn, DirectoryServer, Filter, Scope};
-use jamm_gateway::{EventFilter, Subscription, SubscribeRequest, SubscriptionMode};
+use jamm_core::flow::EventSource;
+use jamm_directory::{DirectoryServer, Dn, Filter, Scope};
+use jamm_gateway::{EventFilter, Subscription};
 use jamm_ulm::Event;
 
 use crate::GatewayRegistry;
@@ -96,13 +97,14 @@ impl EventCollector {
                 .filter(|d| d.gateway == gw_name)
                 .map(|d| d.host.clone())
                 .collect();
-            let mut filters = vec![EventFilter::Hosts(hosts)];
-            filters.extend(extra_filters.iter().cloned());
-            if let Ok(sub) = gateway.subscribe(SubscribeRequest {
-                consumer: self.consumer.clone(),
-                mode: SubscriptionMode::Stream,
-                filters,
-            }) {
+            let open = gateway
+                .subscribe()
+                .stream()
+                .filter(EventFilter::Hosts(hosts))
+                .filters(extra_filters.iter().cloned())
+                .as_consumer(self.consumer.clone())
+                .open();
+            if let Ok(sub) = open {
                 self.subscriptions.push((gw_name.to_string(), sub));
                 opened += 1;
             }
@@ -122,11 +124,13 @@ impl EventCollector {
         let Some(gateway) = registry.resolve(gateway_name) else {
             return false;
         };
-        match gateway.subscribe(SubscribeRequest {
-            consumer: self.consumer.clone(),
-            mode: SubscriptionMode::Stream,
-            filters,
-        }) {
+        match gateway
+            .subscribe()
+            .stream()
+            .filters(filters)
+            .as_consumer(self.consumer.clone())
+            .open()
+        {
             Ok(sub) => {
                 self.subscriptions.push((gateway_name.to_string(), sub));
                 true
@@ -165,6 +169,12 @@ impl EventCollector {
         log
     }
 
+    /// Events dropped across all this collector's subscriptions because it
+    /// fell behind the gateways' bounded queues.
+    pub fn dropped(&self) -> u64 {
+        self.subscriptions.iter().map(|(_, s)| s.dropped()).sum()
+    }
+
     /// Serialise the merged log as ULM text.
     pub fn merged_ulm(&self) -> String {
         let mut out = String::new();
@@ -173,6 +183,19 @@ impl EventCollector {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Draining the collector moves its collected log out (after pulling
+/// whatever is pending on the gateway subscriptions), so a downstream
+/// stage can treat the collector itself as just another event source.
+impl EventSource<Event> for EventCollector {
+    fn drain_into(&mut self, out: &mut Vec<Event>) -> usize {
+        self.poll();
+        let drained = std::mem::take(&mut self.collected);
+        let n = drained.len();
+        out.extend(drained);
+        n
     }
 }
 
@@ -202,7 +225,12 @@ mod tests {
             .build()
     }
 
-    fn setup() -> (Arc<DirectoryServer>, GatewayRegistry, Arc<EventGateway>, Arc<EventGateway>) {
+    fn setup() -> (
+        Arc<DirectoryServer>,
+        GatewayRegistry,
+        Arc<EventGateway>,
+        Arc<EventGateway>,
+    ) {
         let dir = Arc::new(DirectoryServer::new(
             "ldap://dir",
             Dn::parse("o=grid").unwrap(),
@@ -210,7 +238,8 @@ mod tests {
         for host in ["dpss1.lbl.gov", "dpss2.lbl.gov"] {
             dir.add(sensor_entry(host, "cpu", "gw1")).unwrap();
         }
-        dir.add(sensor_entry("mems.cairn.net", "cpu", "gw2")).unwrap();
+        dir.add(sensor_entry("mems.cairn.net", "cpu", "gw2"))
+            .unwrap();
         let gw1 = Arc::new(EventGateway::new(GatewayConfig::open("gw1")));
         let gw2 = Arc::new(EventGateway::new(GatewayConfig::open("gw2")));
         let mut reg = GatewayRegistry::new();
@@ -229,7 +258,11 @@ mod tests {
             &Filter::parse("(objectclass=sensor)").unwrap(),
         );
         assert_eq!(found.len(), 3);
-        assert_eq!(collector.subscribe_all(&reg, vec![]), 2, "one sub per gateway");
+        assert_eq!(
+            collector.subscribe_all(&reg, vec![]),
+            2,
+            "one sub per gateway"
+        );
 
         // Events arrive out of order across gateways.
         gw2.publish(&ev("mems.cairn.net", "MPLAY_START_READ_FRAME", 30));
@@ -266,7 +299,8 @@ mod tests {
     fn discovery_with_filters_and_unknown_gateways() {
         let (dir, _, _, _) = setup();
         // A sensor pointing at a gateway that is not in the registry.
-        dir.add(sensor_entry("orphan.lbl.gov", "cpu", "gw-missing")).unwrap();
+        dir.add(sensor_entry("orphan.lbl.gov", "cpu", "gw-missing"))
+            .unwrap();
         let mut collector = EventCollector::new("c");
         let found = collector.discover(
             &dir,

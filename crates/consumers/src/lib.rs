@@ -49,9 +49,18 @@ impl GatewayRegistry {
         self.gateways.insert(name.into(), gateway);
     }
 
-    /// Resolve a gateway by name.
-    pub fn resolve(&self, name: &str) -> Option<&Arc<EventGateway>> {
-        self.gateways.get(name)
+    /// Resolve a gateway by name.  Returns an owned handle so callers can
+    /// keep it across registry mutations (and so the registry's internal
+    /// storage stays private).
+    pub fn resolve(&self, name: &str) -> Option<Arc<EventGateway>> {
+        self.gateways.get(name).cloned()
+    }
+
+    /// Names of all registered gateways, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.gateways.keys().cloned().collect();
+        v.sort();
+        v
     }
 
     /// Number of registered gateways.
@@ -74,8 +83,14 @@ mod tests {
     fn registry_resolves_by_name() {
         let mut reg = GatewayRegistry::new();
         assert!(reg.is_empty());
-        reg.register("gw1.lbl.gov:8765", Arc::new(EventGateway::new(GatewayConfig::open("gw1"))));
-        reg.register("gw2.lbl.gov:8765", Arc::new(EventGateway::new(GatewayConfig::open("gw2"))));
+        reg.register(
+            "gw1.lbl.gov:8765",
+            Arc::new(EventGateway::new(GatewayConfig::open("gw1"))),
+        );
+        reg.register(
+            "gw2.lbl.gov:8765",
+            Arc::new(EventGateway::new(GatewayConfig::open("gw2"))),
+        );
         assert_eq!(reg.len(), 2);
         assert!(reg.resolve("gw1.lbl.gov:8765").is_some());
         assert!(reg.resolve("unknown").is_none());

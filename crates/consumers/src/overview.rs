@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use jamm_gateway::{EventFilter, Subscription, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventFilter, Subscription};
 use jamm_ulm::{keys, Event, Timestamp};
 
 use crate::GatewayRegistry;
@@ -77,14 +77,16 @@ impl OverviewMonitor {
         let Some(gateway) = registry.resolve(gateway_name) else {
             return false;
         };
-        match gateway.subscribe(SubscribeRequest {
-            consumer: self.consumer.clone(),
-            mode: SubscriptionMode::Stream,
-            filters: vec![EventFilter::EventTypes(vec![
+        match gateway
+            .subscribe()
+            .stream()
+            .filter(EventFilter::EventTypes(vec![
                 keys::process::DIED.to_string(),
                 keys::process::STARTED.to_string(),
-            ])],
-        }) {
+            ]))
+            .as_consumer(self.consumer.clone())
+            .open()
+        {
             Ok(sub) => {
                 self.subscriptions.push(sub);
                 true

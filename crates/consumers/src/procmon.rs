@@ -4,7 +4,7 @@
 //! server process.  For example, it might run a script to restart the
 //! processes, send email to a system administrator, or call a pager." (§2.2)
 
-use jamm_gateway::{EventFilter, Subscription, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventFilter, Subscription};
 use jamm_ulm::{keys, Event};
 
 use crate::GatewayRegistry;
@@ -80,14 +80,16 @@ impl ProcessMonitorConsumer {
         let Some(gateway) = registry.resolve(gateway_name) else {
             return false;
         };
-        match gateway.subscribe(SubscribeRequest {
-            consumer: self.consumer.clone(),
-            mode: SubscriptionMode::Stream,
-            filters: vec![EventFilter::EventTypes(vec![
+        match gateway
+            .subscribe()
+            .stream()
+            .filter(EventFilter::EventTypes(vec![
                 keys::process::DIED.to_string(),
                 keys::process::STARTED.to_string(),
-            ])],
-        }) {
+            ]))
+            .as_consumer(self.consumer.clone())
+            .open()
+        {
             Ok(sub) => {
                 self.subscriptions.push(sub);
                 true
@@ -173,7 +175,10 @@ mod tests {
         assert_eq!(actions.len(), 2);
         assert_eq!(actions[0].action, RecoveryAction::Restart);
         assert_eq!(actions[0].host, "dpss1.lbl.gov");
-        assert_eq!(actions[1].action, RecoveryAction::Email("ops@lbl.gov".into()));
+        assert_eq!(
+            actions[1].action,
+            RecoveryAction::Email("ops@lbl.gov".into())
+        );
         assert_eq!(mon.history().len(), 2);
     }
 

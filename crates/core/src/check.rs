@@ -1,0 +1,166 @@
+//! A miniature property-testing harness.
+//!
+//! [`forall`] runs a property closure over many generated cases, each driven
+//! by a deterministically seeded [`Gen`].  On failure it reports the case
+//! seed so the exact input can be replayed by running the single seed.  It
+//! is intentionally tiny — no shrinking — but covers what the workspace's
+//! property tests need: seeded generation of primitives, choices and
+//! strings.
+
+use crate::rng::Rng;
+
+/// A per-case value generator.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Generator for a specific case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: Rng::seed_from_u64(seed ^ 0xC0FF_EE00_DEAD_BEEF),
+        }
+    }
+
+    /// Access the raw RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64` in `[0, bound)` (`bound` 0 means the full range).
+    pub fn u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            self.rng.next_u64()
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// Any `u64`.
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Any `i64`.
+    pub fn any_i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A boolean with probability `p` of `true`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// One element of a non-empty slice, cloned.
+    pub fn choice<T: Clone>(&mut self, options: &[T]) -> T {
+        options[self.usize_in(0, options.len() - 1)].clone()
+    }
+
+    /// A string of `len` characters drawn from `alphabet`.
+    pub fn string_from(&mut self, alphabet: &str, len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        (0..len).map(|_| self.choice(&chars)).collect()
+    }
+
+    /// A string of arbitrary printable characters (including spaces, quotes
+    /// and backslashes) with length in `[0, max_len]`.
+    pub fn printable_string(&mut self, max_len: usize) -> String {
+        let len = self.usize_in(0, max_len);
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII printable, sometimes a wider codepoint.
+                if self.bool(0.9) {
+                    char::from_u32(self.u64(95) as u32 + 0x20).unwrap_or(' ')
+                } else {
+                    char::from_u32(self.u64(0x2FF) as u32 + 0xA1).unwrap_or('¡')
+                }
+            })
+            .collect()
+    }
+
+    /// Arbitrary bytes with length in `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.usize_in(0, max_len);
+        (0..len).map(|_| self.u64(256) as u8).collect()
+    }
+}
+
+/// Run `property` over `cases` generated cases.  Panics (with the failing
+/// case seed in the message) on the first failure.
+pub fn forall(name: &str, cases: u64, property: impl Fn(&mut Gen) + std::panic::RefUnwindSafe) {
+    // An env knob so a failure can be replayed in isolation:
+    // JAMM_CHECK_SEED=<n> runs only that case.
+    if let Ok(seed) = std::env::var("JAMM_CHECK_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            let mut gen = Gen::from_seed(seed);
+            property(&mut gen);
+            return;
+        }
+    }
+    for seed in 0..cases {
+        let result = std::panic::catch_unwind(|| {
+            let mut gen = Gen::from_seed(seed);
+            property(&mut gen);
+        });
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property {name:?} failed at case seed {seed} \
+                 (replay with JAMM_CHECK_SEED={seed}): {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        forall("addition commutes", 64, |g| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (a, b) = (g.u64(1_000), g.u64(1_000));
+            assert_eq!(a + b, b + a);
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            forall("always fails", 8, |g| {
+                let v = g.u64(10);
+                assert!(v > 100, "generated {v}");
+            });
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("case seed"), "got: {msg}");
+        assert!(msg.contains("JAMM_CHECK_SEED="), "got: {msg}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Gen::from_seed(5);
+        let mut b = Gen::from_seed(5);
+        assert_eq!(a.printable_string(40), b.printable_string(40));
+        assert_eq!(a.bytes(40), b.bytes(40));
+        assert_eq!(a.choice(&[1, 2, 3]), b.choice(&[1, 2, 3]));
+    }
+}

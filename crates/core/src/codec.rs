@@ -1,0 +1,114 @@
+//! The [`Codec`] trait: one vocabulary for every wire format.
+//!
+//! The seed code had three parallel free-function modules (text, binary,
+//! JSON) with incompatible signatures, so every transport hard-coded one
+//! format.  `Codec` abstracts over them: a codec encodes an item to bytes,
+//! decodes it back, batches frames, and names its format with a MIME-like
+//! `content_type` so peers can negotiate (see [`negotiate`]).
+
+/// Encode / decode items of one type to a self-describing byte format.
+///
+/// Implementations must guarantee `decode(encode(item)) == item` for every
+/// representable item, and `decode_batch(encode_batch(items)) == items`.
+pub trait Codec {
+    /// The item type this codec carries.
+    type Item;
+    /// The decode error type.
+    type Error: std::fmt::Display;
+
+    /// MIME-like tag identifying the format (e.g. `application/x-ulm`).
+    fn content_type(&self) -> &'static str;
+
+    /// Encode one item as a self-delimiting frame.
+    fn encode(&self, item: &Self::Item) -> Vec<u8>;
+
+    /// Decode one frame produced by [`Codec::encode`].
+    fn decode(&self, bytes: &[u8]) -> Result<Self::Item, Self::Error>;
+
+    /// Encode a batch of items into one buffer.  The default concatenates
+    /// individual frames; codecs with a cheaper batch form override this.
+    fn encode_batch(&self, items: &[Self::Item]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for item in items {
+            out.extend_from_slice(&self.encode(item));
+        }
+        out
+    }
+
+    /// Decode a batch produced by [`Codec::encode_batch`].
+    fn decode_batch(&self, bytes: &[u8]) -> Result<Vec<Self::Item>, Self::Error>;
+}
+
+/// Pick the first content type both sides support.
+///
+/// `preferred` is the caller's ranking (best first); `supported` is what
+/// the peer advertises.  Returns `None` when the intersection is empty.
+pub fn negotiate<'a>(preferred: &[&'a str], supported: &[&str]) -> Option<&'a str> {
+    preferred
+        .iter()
+        .find(|p| supported.contains(&p.trim()))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy codec over `u32` to exercise the defaults.
+    struct BeU32;
+
+    impl Codec for BeU32 {
+        type Item = u32;
+        type Error = String;
+
+        fn content_type(&self) -> &'static str {
+            "application/x-be-u32"
+        }
+
+        fn encode(&self, item: &u32) -> Vec<u8> {
+            item.to_be_bytes().to_vec()
+        }
+
+        fn decode(&self, bytes: &[u8]) -> Result<u32, String> {
+            let arr: [u8; 4] = bytes
+                .get(..4)
+                .and_then(|b| b.try_into().ok())
+                .ok_or("short frame")?;
+            Ok(u32::from_be_bytes(arr))
+        }
+
+        fn decode_batch(&self, bytes: &[u8]) -> Result<Vec<u32>, String> {
+            if !bytes.len().is_multiple_of(4) {
+                return Err("ragged batch".into());
+            }
+            bytes.chunks(4).map(|c| self.decode(c)).collect()
+        }
+    }
+
+    #[test]
+    fn default_batch_is_frame_concatenation() {
+        let c = BeU32;
+        let items = [1u32, 2, 0xFFFF_FFFF];
+        let batch = c.encode_batch(&items);
+        assert_eq!(batch.len(), 12);
+        assert_eq!(c.decode_batch(&batch).unwrap(), items);
+    }
+
+    #[test]
+    fn negotiation_respects_preference_order() {
+        let preferred = ["application/x-ulm-binary", "application/x-ulm"];
+        assert_eq!(
+            negotiate(
+                &preferred,
+                &["application/x-ulm", "application/x-ulm-binary"]
+            ),
+            Some("application/x-ulm-binary")
+        );
+        assert_eq!(
+            negotiate(&preferred, &["application/x-ulm"]),
+            Some("application/x-ulm")
+        );
+        assert_eq!(negotiate(&preferred, &["text/html"]), None);
+        assert_eq!(negotiate(&[], &["application/x-ulm"]), None);
+    }
+}

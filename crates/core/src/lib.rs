@@ -1,60 +1,39 @@
-//! # jamm — Java Agents for Monitoring and Management, in Rust
+//! # jamm-core — shared event-pipeline abstractions
 //!
-//! This is the top-level crate of the JAMM reproduction (Tierney et al.,
-//! "A Monitoring Sensor Management System for Grid Environments", HPDC
-//! 2000).  It wires the individual subsystems into complete deployments:
+//! Every hop of the JAMM pipeline (sensors → managers → gateways →
+//! consumers) used to be wired with a different ad-hoc mechanism: free
+//! function codecs, bare subscription structs, unbounded channels, and
+//! hand-passed gateway references.  This crate defines the one vocabulary
+//! all of them now share:
 //!
-//! * [`jamm_ulm`] — the ULM / NetLogger event model;
-//! * [`jamm_sensors`] — host, network, process and application sensors;
-//! * [`jamm_manager`] — per-host sensor managers and the port monitor agent;
-//! * [`jamm_gateway`] — event gateways (filters, summaries, access control);
-//! * [`jamm_directory`] — the LDAP-like sensor directory;
-//! * [`jamm_consumers`] — event collector, archiver, process and overview
-//!   monitors;
-//! * [`jamm_archive`] — the event archive;
-//! * [`jamm_auth`] — certificates, grid-mapfile and policy authorization;
-//! * [`jamm_rmi`] — the remote-invocation / activation substrate;
-//! * [`jamm_netlogger`] — the NetLogger toolkit (API, merging, clocks, nlv);
-//! * [`jamm_netsim`] — the simulated Grid testbed everything runs against.
+//! * [`codec::Codec`] — encode/decode items to wire bytes, with a
+//!   `content_type` tag so peers can negotiate a format
+//!   ([`jamm_ulm`](https://docs.rs) implements it for the ULM text, binary
+//!   and JSON formats);
+//! * [`flow::EventSink`] / [`flow::EventSource`] — push and pull ends of
+//!   the pipeline, implemented by the gateway, the collector, the archiver,
+//!   the sensor manager's push path and the RMI event bridge;
+//! * [`channel`] — the **bounded** MPMC channel the pipeline runs on, with
+//!   an explicit overflow policy instead of unbounded growth;
+//! * [`flow::DeliveryCounters`] — per-sink delivered/dropped/byte counters.
 //!
-//! The facade type is [`deployment::JammDeployment`]: it builds the paper's
-//! Figure 1 / Figure 4 structure (sensors → managers → gateways → consumers,
-//! publication in the directory) on top of either the MATISSE wide-area
-//! scenario of §6 or a generic monitored compute cluster, advances everything
-//! in lock-step with the simulated network, and exposes the collected events
-//! for NetLogger analysis.
-//!
-//! ```
-//! use jamm::deployment::{DeploymentConfig, JammDeployment};
-//!
-//! // A small LAN MATISSE run: 2 DPSS servers streaming frames to a client,
-//! // fully monitored by JAMM.
-//! let mut config = DeploymentConfig::matisse_lan(2);
-//! config.matisse.player.max_frames = 5;
-//! let mut jamm = JammDeployment::matisse(config);
-//! jamm.run_secs(5.0);
-//! assert!(jamm.collector_event_count() > 0);
-//! ```
+//! Because the build environment has no crate registry, this crate also
+//! carries the small std-only stand-ins the workspace would otherwise pull
+//! from crates.io: [`sync`] (poison-transparent locks), [`json`] (a JSON
+//! value type, parser and `json!` macro), [`rng`] (a seeded SplitMix64),
+//! and [`check`] (a miniature property-testing harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod admin;
-pub mod cluster;
-pub mod deployment;
+pub mod channel;
+pub mod check;
+pub mod codec;
+pub mod flow;
+pub mod json;
+pub mod rng;
+pub mod sync;
 
-pub use deployment::{DeploymentConfig, JammDeployment};
-
-// Re-export the sub-crates under predictable names so downstream users need
-// only one dependency.
-pub use jamm_archive;
-pub use jamm_auth;
-pub use jamm_consumers;
-pub use jamm_directory;
-pub use jamm_gateway;
-pub use jamm_manager;
-pub use jamm_netlogger;
-pub use jamm_netsim;
-pub use jamm_rmi;
-pub use jamm_sensors;
-pub use jamm_ulm;
+pub use channel::{bounded, unbounded, Receiver, Sender};
+pub use codec::Codec;
+pub use flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};

@@ -1,0 +1,160 @@
+//! Seeded pseudo-random numbers (SplitMix64).
+//!
+//! All randomness in the simulator and the clock model flows from explicit
+//! seeds so every experiment is reproducible.  SplitMix64 is small, fast
+//! and plenty for driving packet-loss draws and jitter; nothing here is
+//! cryptographic.
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform boolean with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value from a range (see [`SampleRange`] for supported range
+    /// types).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+fn uniform_u64(rng: &mut Rng, span: u64) -> u64 {
+    // span == 0 means the full u64 range.
+    if span == 0 {
+        rng.next_u64()
+    } else {
+        // Multiply-shift bounded draw; bias is negligible for the spans the
+        // simulator uses.
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + uniform_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + uniform_u64(rng, (hi - lo).wrapping_add(1))
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(uniform_u64(rng, span) as i64)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        self.start() + rng.gen_f64() * (self.end() - self.start())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(3u64..=5);
+            assert!((3..=5).contains(&v));
+            let f = rng.gen_range(-2.0..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = Rng::seed_from_u64(1);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -5,12 +5,10 @@
 //! The hierarchy is what lets one site's server hold a subtree and refer
 //! queries about other subtrees elsewhere.
 
-use serde::{Deserialize, Serialize};
-
 use crate::DirectoryError;
 
 /// One relative distinguished name component (`attribute=value`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rdn {
     /// Attribute name, stored lower-case.
     pub attr: String,
@@ -39,7 +37,7 @@ impl std::fmt::Display for Rdn {
 }
 
 /// A distinguished name: ordered RDN components, most specific first.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Dn {
     components: Vec<Rdn>,
 }
@@ -188,7 +186,10 @@ mod tests {
         let base = Dn::parse("o=lbl,o=grid").unwrap();
         let host = base.child("host", "dpss1.lbl.gov");
         let sensor = host.child("sensor", "cpu");
-        assert_eq!(sensor.to_string(), "sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid");
+        assert_eq!(
+            sensor.to_string(),
+            "sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid"
+        );
         assert_eq!(sensor.parent().unwrap(), host);
         assert!(sensor.is_under(&base));
         assert!(sensor.is_under(&host));

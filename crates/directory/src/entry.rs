@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::dn::Dn;
 
 /// A directory entry.
@@ -12,7 +10,7 @@ use crate::dn::Dn;
 /// holds one or more string values, like LDAP.  JAMM publishes sensors as
 /// entries with attributes such as `objectclass=sensor`, `host=...`,
 /// `gateway=...`, `eventtype=...`, `frequency=...`, `status=...`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
     /// The entry's distinguished name.
     pub dn: Dn,
@@ -46,7 +44,8 @@ impl Entry {
 
     /// Replace every value of an attribute.
     pub fn set(&mut self, attr: impl Into<String>, values: Vec<String>) {
-        self.attributes.insert(attr.into().to_ascii_lowercase(), values);
+        self.attributes
+            .insert(attr.into().to_ascii_lowercase(), values);
     }
 
     /// Remove an attribute entirely.  Returns true if it existed.
@@ -74,12 +73,16 @@ impl Entry {
 
     /// True if the attribute holds the value (case-insensitive).
     pub fn has_value(&self, attr: &str, value: &str) -> bool {
-        self.get_all(attr).iter().any(|v| v.eq_ignore_ascii_case(value))
+        self.get_all(attr)
+            .iter()
+            .any(|v| v.eq_ignore_ascii_case(value))
     }
 
     /// Iterate over `(attribute, values)` pairs, sorted by attribute name.
     pub fn attributes(&self) -> impl Iterator<Item = (&str, &[String])> {
-        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Number of attributes.

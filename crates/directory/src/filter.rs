@@ -5,13 +5,11 @@
 //! parenthesised prefix syntax, e.g.
 //! `(&(objectclass=sensor)(host=dpss*)(!(status=stopped)))`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::entry::Entry;
 use crate::DirectoryError;
 
 /// A search filter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Filter {
     /// `(attr=value)` — case-insensitive equality.
     Equals(String, String),
@@ -221,7 +219,10 @@ mod tests {
             Filter::Not(Box::new(Filter::eq("status", "stopped"))),
         ]);
         assert!(f.matches(&e));
-        let g = Filter::or(vec![Filter::eq("host", "nope"), Filter::eq("host", "dpss1.lbl.gov")]);
+        let g = Filter::or(vec![
+            Filter::eq("host", "nope"),
+            Filter::eq("host", "dpss1.lbl.gov"),
+        ]);
         assert!(g.matches(&e));
         assert!(Filter::everything().matches(&e));
         assert!(!Filter::Or(vec![]).matches(&e), "empty OR matches nothing");

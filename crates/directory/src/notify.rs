@@ -7,8 +7,8 @@
 //! that: consumers register a base DN and filter and receive change events
 //! over a channel whenever a matching entry is added, modified or deleted.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use jamm_core::channel::{unbounded, Receiver, Sender, TryRecvError};
+use jamm_core::sync::Mutex;
 
 use crate::dn::Dn;
 use crate::entry::Entry;
@@ -186,8 +186,12 @@ mod tests {
     fn timeout_receive() {
         let n = Notifier::new();
         let w = n.subscribe(Dn::root(), Filter::everything());
-        assert!(w.next_timeout(std::time::Duration::from_millis(10)).is_none());
+        assert!(w
+            .next_timeout(std::time::Duration::from_millis(10))
+            .is_none());
         n.publish(ChangeKind::Added, &sensor("h", "cpu"));
-        assert!(w.next_timeout(std::time::Duration::from_millis(10)).is_some());
+        assert!(w
+            .next_timeout(std::time::Duration::from_millis(10))
+            .is_some());
     }
 }

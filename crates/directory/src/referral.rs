@@ -110,7 +110,12 @@ mod tests {
         Arc::new(s)
     }
 
-    fn federation() -> (Federation, Arc<DirectoryServer>, Arc<DirectoryServer>, Arc<DirectoryServer>) {
+    fn federation() -> (
+        Federation,
+        Arc<DirectoryServer>,
+        Arc<DirectoryServer>,
+        Arc<DirectoryServer>,
+    ) {
         let lbl = site_server("lbl");
         let anl = site_server("anl");
         let isi = site_server("isi");

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use jamm_core::sync::Mutex;
 
 use crate::dn::Dn;
 use crate::entry::Entry;
@@ -180,7 +180,8 @@ mod tests {
         for r in d.replicas() {
             assert_eq!(r.entry_count(), 2);
         }
-        d.delete(&Dn::parse("sensor=cpu,host=h1,o=grid").unwrap()).unwrap();
+        d.delete(&Dn::parse("sensor=cpu,host=h1,o=grid").unwrap())
+            .unwrap();
         for r in d.replicas() {
             assert_eq!(r.entry_count(), 1);
         }
@@ -224,7 +225,9 @@ mod tests {
         // While stale it is excluded from failover reads.
         d.master().set_available(false);
         d.replicas()[1].set_available(false);
-        assert!(d.search(&suffix(), Scope::Subtree, &Filter::everything()).is_err());
+        assert!(d
+            .search(&suffix(), Scope::Subtree, &Filter::everything())
+            .is_err());
         // It comes back, resync pushes the snapshot, and reads resume.
         d.master().set_available(true);
         d.replicas()[0].set_available(true);

@@ -2,7 +2,7 @@
 //!
 //! The paper notes that "current implementations of LDAP servers are
 //! optimized for read access" — so is this one: entries live in a sorted map
-//! behind a `parking_lot::RwLock`, searches take the read lock and proceed
+//! behind a `jamm_core::sync::RwLock`, searches take the read lock and proceed
 //! concurrently, and updates take the write lock.  Simple bind (user /
 //! password) authentication protects subtrees, mirroring the user/password
 //! protection discussed in §7.1, and per-operation statistics feed the
@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use jamm_core::sync::RwLock;
 
 use crate::dn::Dn;
 use crate::entry::Entry;
@@ -118,7 +118,9 @@ impl DirectoryServer {
 
     /// Register simple-bind credentials allowed to write to this server.
     pub fn add_credential(&self, user: impl Into<String>, password: impl Into<String>) {
-        self.credentials.write().insert(user.into(), password.into());
+        self.credentials
+            .write()
+            .insert(user.into(), password.into());
     }
 
     /// Verify simple-bind credentials.  Servers with no registered
@@ -293,14 +295,12 @@ mod tests {
     }
 
     fn sensor(host: &str, sensor: &str, gateway: &str) -> Entry {
-        Entry::new(
-            Dn::parse(&format!("sensor={sensor},host={host},o=lbl,o=grid")).unwrap(),
-        )
-        .with("objectclass", "sensor")
-        .with("host", host)
-        .with("sensor", sensor)
-        .with("gateway", gateway)
-        .with("status", "running")
+        Entry::new(Dn::parse(&format!("sensor={sensor},host={host},o=lbl,o=grid")).unwrap())
+            .with("objectclass", "sensor")
+            .with("host", host)
+            .with("sensor", sensor)
+            .with("gateway", gateway)
+            .with("status", "running")
     }
 
     fn populated() -> DirectoryServer {
@@ -334,7 +334,10 @@ mod tests {
     fn entries_outside_the_naming_context_are_rejected() {
         let s = DirectoryServer::new("ldap://dir.lbl.gov", Dn::parse("o=lbl,o=grid").unwrap());
         let foreign = Entry::new(Dn::parse("host=x,o=anl,o=grid").unwrap());
-        assert!(matches!(s.add(foreign), Err(DirectoryError::NotAuthorized(_))));
+        assert!(matches!(
+            s.add(foreign),
+            Err(DirectoryError::NotAuthorized(_))
+        ));
     }
 
     #[test]
@@ -349,12 +352,18 @@ mod tests {
             .search(&base, Scope::OneLevel, &Filter::everything())
             .unwrap();
         assert_eq!(children.entries.len(), 3);
-        let just_base = s
-            .search(&base, Scope::Base, &Filter::everything())
-            .unwrap();
-        assert_eq!(just_base.entries.len(), 0, "no entry exists at the host DN itself");
+        let just_base = s.search(&base, Scope::Base, &Filter::everything()).unwrap();
+        assert_eq!(
+            just_base.entries.len(),
+            0,
+            "no entry exists at the host DN itself"
+        );
         let root = s
-            .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &Filter::everything())
+            .search(
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
             .unwrap();
         assert_eq!(root.entries.len(), 9);
     }
@@ -374,7 +383,8 @@ mod tests {
     fn modify_updates_in_place_and_counts_writes() {
         let s = populated();
         let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
-        s.modify(&dn, |e| e.set("status", vec!["stopped".into()])).unwrap();
+        s.modify(&dn, |e| e.set("status", vec!["stopped".into()]))
+            .unwrap();
         assert_eq!(s.lookup(&dn).unwrap().get("status"), Some("stopped"));
         assert!(matches!(
             s.modify(&Dn::parse("sensor=zzz,o=grid").unwrap(), |_| {}),
@@ -391,14 +401,20 @@ mod tests {
         e.set("status", vec!["running".into()]);
         s.add_or_replace(e).unwrap();
         let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
-        assert_eq!(s.lookup(&dn).unwrap().get("gateway"), Some("gw2.lbl.gov:8765"));
+        assert_eq!(
+            s.lookup(&dn).unwrap().get("gateway"),
+            Some("gw2.lbl.gov:8765")
+        );
         assert_eq!(s.entry_count(), 9, "replace does not duplicate");
     }
 
     #[test]
     fn bind_requires_matching_credentials_once_registered() {
         let s = populated();
-        assert!(s.bind("anyone", "anything").is_ok(), "anonymous ok by default");
+        assert!(
+            s.bind("anyone", "anything").is_ok(),
+            "anonymous ok by default"
+        );
         s.add_credential("jamm-manager", "secret");
         assert!(s.bind("jamm-manager", "secret").is_ok());
         assert!(matches!(
@@ -418,7 +434,10 @@ mod tests {
         s.set_available(false);
         assert!(!s.is_available());
         let dn = Dn::parse("sensor=cpu,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap();
-        assert!(matches!(s.lookup(&dn), Err(DirectoryError::ServerUnavailable(_))));
+        assert!(matches!(
+            s.lookup(&dn),
+            Err(DirectoryError::ServerUnavailable(_))
+        ));
         assert!(matches!(
             s.search(&grid_suffix(), Scope::Subtree, &Filter::everything()),
             Err(DirectoryError::ServerUnavailable(_))

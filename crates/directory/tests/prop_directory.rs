@@ -1,57 +1,57 @@
 //! Property-based tests of the directory service: DN algebra, filter
 //! evaluation, and store consistency under arbitrary entry populations.
 
+use jamm_core::check::{forall, Gen};
 use jamm_directory::{DirectoryServer, Dn, Entry, Filter, Scope};
-use proptest::prelude::*;
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,12}"
+fn arb_name(g: &mut Gen) -> String {
+    let first = g.string_from("abcdefghijklmnopqrstuvwxyz", 1);
+    let len = g.usize_in(0, 12);
+    first + &g.string_from("abcdefghijklmnopqrstuvwxyz0123456789-", len)
 }
 
-fn arb_dn() -> impl Strategy<Value = Dn> {
-    prop::collection::vec((arb_name(), arb_name()), 1..5).prop_map(|parts| {
-        let mut dn = Dn::parse("o=grid").unwrap();
-        for (attr, value) in parts.into_iter().rev() {
-            dn = dn.child(attr, value);
-        }
-        dn
-    })
+fn arb_dn(g: &mut Gen) -> Dn {
+    let mut dn = Dn::parse("o=grid").unwrap();
+    for _ in 0..g.usize_in(1, 4) {
+        let attr = arb_name(g);
+        let value = arb_name(g);
+        dn = dn.child(attr, value);
+    }
+    dn
 }
 
-fn arb_entry() -> impl Strategy<Value = Entry> {
-    (
-        arb_dn(),
-        prop::collection::vec((arb_name(), arb_name()), 0..6),
-    )
-        .prop_map(|(dn, attrs)| {
-            let mut e = Entry::new(dn).with("objectclass", "thing");
-            for (k, v) in attrs {
-                e.add(k, v);
-            }
-            e
-        })
+fn arb_entry(g: &mut Gen) -> Entry {
+    let mut e = Entry::new(arb_dn(g)).with("objectclass", "thing");
+    for _ in 0..g.usize_in(0, 5) {
+        let k = arb_name(g);
+        let v = arb_name(g);
+        e.add(k, v);
+    }
+    e
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// DN text form round-trips through the parser.
-    #[test]
-    fn dn_round_trips(dn in arb_dn()) {
+/// DN text form round-trips through the parser.
+#[test]
+fn dn_round_trips() {
+    forall("dn round-trip", 64, |g| {
+        let dn = arb_dn(g);
         let text = dn.to_string();
         let parsed = Dn::parse(&text).unwrap();
-        prop_assert_eq!(parsed, dn);
-    }
+        assert_eq!(parsed, dn);
+    });
+}
 
-    /// A child DN is always under its parent and under the root, and the
-    /// parent chain terminates at the root in `depth` steps.
-    #[test]
-    fn dn_hierarchy_laws(dn in arb_dn()) {
-        prop_assert!(dn.is_under(&Dn::root()));
+/// A child DN is always under its parent and under the root, and the
+/// parent chain terminates at the root in `depth` steps.
+#[test]
+fn dn_hierarchy_laws() {
+    forall("dn hierarchy", 64, |g| {
+        let dn = arb_dn(g);
+        assert!(dn.is_under(&Dn::root()));
         if let Some(parent) = dn.parent() {
-            prop_assert!(dn.is_under(&parent));
-            prop_assert!(dn.is_child_of(&parent));
-            prop_assert!(!parent.is_under(&dn) || parent == dn);
+            assert!(dn.is_under(&parent));
+            assert!(dn.is_child_of(&parent));
+            assert!(!parent.is_under(&dn) || parent == dn);
         }
         let mut steps = 0;
         let mut cur = dn.clone();
@@ -59,13 +59,16 @@ proptest! {
             cur = p;
             steps += 1;
         }
-        prop_assert_eq!(steps, dn.depth());
-    }
+        assert_eq!(steps, dn.depth());
+    });
+}
 
-    /// Every stored entry is findable by exact lookup, by a subtree search at
-    /// the root, and by an equality filter on one of its own attributes.
-    #[test]
-    fn stored_entries_are_findable(entries in prop::collection::vec(arb_entry(), 1..25)) {
+/// Every stored entry is findable by exact lookup, by a subtree search at
+/// the root, and by an equality filter on one of its own attributes.
+#[test]
+fn stored_entries_are_findable() {
+    forall("stored entries findable", 64, |g| {
+        let entries: Vec<Entry> = (0..g.usize_in(1, 24)).map(|_| arb_entry(g)).collect();
         let server = DirectoryServer::new("ldap://test", Dn::parse("o=grid").unwrap());
         let mut stored = Vec::new();
         for e in entries {
@@ -77,17 +80,21 @@ proptest! {
         let mut dns: Vec<String> = stored.iter().map(|e| e.dn.to_string()).collect();
         dns.sort();
         dns.dedup();
-        prop_assert_eq!(server.entry_count(), dns.len());
+        assert_eq!(server.entry_count(), dns.len());
 
         let all = server
-            .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &Filter::everything())
+            .search(
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
             .unwrap();
-        prop_assert_eq!(all.entries.len(), dns.len());
+        assert_eq!(all.entries.len(), dns.len());
 
         for e in &stored {
             let looked_up = server.lookup(&e.dn).unwrap();
             // The last write for this DN wins; it still carries objectclass.
-            prop_assert!(looked_up.has_value("objectclass", "thing"));
+            assert!(looked_up.has_value("objectclass", "thing"));
             let by_filter = server
                 .search(
                     &Dn::parse("o=grid").unwrap(),
@@ -95,54 +102,67 @@ proptest! {
                     &Filter::eq("objectclass", "thing"),
                 )
                 .unwrap();
-            prop_assert_eq!(by_filter.entries.len(), dns.len());
+            assert_eq!(by_filter.entries.len(), dns.len());
         }
-    }
+    });
+}
 
-    /// Deleting everything empties the server and makes lookups fail.
-    #[test]
-    fn delete_is_complete(entries in prop::collection::vec(arb_entry(), 1..15)) {
+/// Deleting everything empties the server and makes lookups fail.
+#[test]
+fn delete_is_complete() {
+    forall("delete complete", 64, |g| {
+        let entries: Vec<Entry> = (0..g.usize_in(1, 14)).map(|_| arb_entry(g)).collect();
         let server = DirectoryServer::new("ldap://test", Dn::parse("o=grid").unwrap());
         for e in &entries {
             let _ = server.add_or_replace(e.clone());
         }
         let all = server
-            .search(&Dn::parse("o=grid").unwrap(), Scope::Subtree, &Filter::everything())
+            .search(
+                &Dn::parse("o=grid").unwrap(),
+                Scope::Subtree,
+                &Filter::everything(),
+            )
             .unwrap();
         for e in &all.entries {
             server.delete(&e.dn).unwrap();
         }
-        prop_assert_eq!(server.entry_count(), 0);
+        assert_eq!(server.entry_count(), 0);
         for e in &entries {
-            prop_assert!(server.lookup(&e.dn).is_err());
+            assert!(server.lookup(&e.dn).is_err());
         }
-    }
+    });
+}
 
-    /// Filter parsing never panics on arbitrary input, and parsing the
-    /// canonical rendering of a simple filter gives an equivalent decision.
-    #[test]
-    fn filter_parser_is_total(s in "\\PC{0,60}") {
+/// Filter parsing never panics on arbitrary input.
+#[test]
+fn filter_parser_is_total() {
+    forall("filter parser total", 256, |g| {
+        let s = g.printable_string(60);
         let _ = Filter::parse(&s);
-    }
+    });
+}
 
-    /// Substring filters agree with plain string matching.
-    #[test]
-    fn substring_filter_matches_prefix_and_suffix(
-        prefix in "[a-z]{1,6}",
-        middle in "[a-z]{0,6}",
-        suffix in "[a-z]{1,6}",
-    ) {
+/// Substring filters agree with plain string matching.
+#[test]
+fn substring_filter_matches_prefix_and_suffix() {
+    forall("substring filters", 64, |g| {
+        let lp = g.usize_in(1, 6);
+        let prefix = g.string_from("abcdefghijklmnopqrstuvwxyz", lp);
+        let lm = g.usize_in(0, 6);
+        let middle = g.string_from("abcdefghijklmnopqrstuvwxyz", lm);
+        let ls = g.usize_in(1, 6);
+        let suffix = g.string_from("abcdefghijklmnopqrstuvwxyz", ls);
         let value = format!("{prefix}{middle}{suffix}");
         let entry = Entry::new(Dn::parse("host=x,o=grid").unwrap()).with("name", value.clone());
         let starts = Filter::parse(&format!("(name={prefix}*)")).unwrap();
         let ends = Filter::parse(&format!("(name=*{suffix})")).unwrap();
         let contains = Filter::parse(&format!("(name=*{middle}*)")).unwrap();
-        prop_assert!(starts.matches(&entry));
-        prop_assert!(ends.matches(&entry));
+        assert!(starts.matches(&entry));
+        assert!(ends.matches(&entry));
         if !middle.is_empty() {
-            prop_assert!(contains.matches(&entry));
+            assert!(contains.matches(&entry));
         }
         let nomatch = Filter::parse("(name=zzzzzzzz*)").unwrap();
-        prop_assert!(!nomatch.matches(&entry) || value.starts_with("zzzzzzzz"));
-    }
+        assert!(!nomatch.matches(&entry) || value.starts_with("zzzzzzzz"));
+    });
 }

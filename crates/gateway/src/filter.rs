@@ -11,11 +11,9 @@
 use std::collections::HashMap;
 
 use jamm_ulm::{Event, Level};
-use serde::{Deserialize, Serialize};
-
 /// A single filter predicate.  A subscription carries a list of filters that
 /// must all pass ([`FilterChain`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventFilter {
     /// Pass every event.
     All,
@@ -125,9 +123,7 @@ impl FilterChain {
                     (None, _) => false,
                 },
                 EventFilter::RelativeChange(frac) => match (value, prev) {
-                    (Some(v), Some(p)) if p.abs() > f64::EPSILON => {
-                        ((v - p) / p).abs() > *frac
-                    }
+                    (Some(v), Some(p)) if p.abs() > f64::EPSILON => ((v - p) / p).abs() > *frac,
                     (Some(_), _) => true,
                     (None, _) => false,
                 },
@@ -243,7 +239,10 @@ mod tests {
         ]);
         assert!(c.accept(&ev("h1", "X", Level::Usage, Some(1.0))));
         assert!(!c.accept(&ev("h2", "X", Level::Usage, Some(2.0))));
-        assert!(!c.accept(&ev("h1", "X", Level::Usage, Some(1.0))), "unchanged");
+        assert!(
+            !c.accept(&ev("h1", "X", Level::Usage, Some(1.0))),
+            "unchanged"
+        );
         assert!(c.accept(&ev("h1", "X", Level::Usage, Some(3.0))));
     }
 }

@@ -1,20 +1,40 @@
 //! The event gateway.
 //!
 //! The gateway receives every event its host's sensors produce (pushed by
-//! the sensor manager) and fans it out to subscribed consumers according to
-//! their filters — streaming subscriptions get a channel, query consumers
-//! ask for the most recent event on demand.  It also keeps the summary
-//! engine fed, enforces the site's access policy, and counts what it
-//! delivers so the scalability experiments can compare "N consumers hitting
-//! the sensor host" with "N consumers hitting one gateway" (E7) and measure
-//! how much the filters reduce delivered volume (E10).
+//! the sensor manager through the [`EventSink`] trait) and fans it out to
+//! subscribed consumers according to their filters — streaming
+//! subscriptions get a **bounded** channel with an explicit overflow
+//! policy, query consumers ask for the most recent event on demand.  It
+//! also keeps the summary engine fed, enforces the site's access policy,
+//! and counts what it delivers (and drops) per subscription so the
+//! scalability experiments can compare "N consumers hitting the sensor
+//! host" with "N consumers hitting one gateway" (E7) and measure how much
+//! the filters reduce delivered volume (E10).
+//!
+//! Consumers subscribe with the fluent [`SubscriptionBuilder`]:
+//!
+//! ```
+//! use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
+//!
+//! let gw = EventGateway::new(GatewayConfig::open("gw1"));
+//! let sub = gw
+//!     .subscribe()
+//!     .stream()
+//!     .filter(EventFilter::Above(50.0))
+//!     .as_consumer("threshold-watcher")
+//!     .open()
+//!     .unwrap();
+//! assert_eq!(sub.delivered(), 0);
+//! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use jamm_core::channel::{bounded, Receiver, Sender, TrySendError};
+use jamm_core::flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
+use jamm_core::sync::{Mutex, RwLock};
 use jamm_ulm::{Event, Timestamp};
-use parking_lot::{Mutex, RwLock};
 
 use jamm_auth::acl::{AccessControlList, Action};
 
@@ -22,35 +42,113 @@ use crate::filter::{EventFilter, FilterChain};
 use crate::summary::{SummaryEngine, SummaryWindow};
 use crate::{GatewayError, Result};
 
-/// How a consumer wants to receive events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubscriptionMode {
-    /// "In streaming mode the consumer opens an event channel and the events
-    /// are returned in a stream."
-    Stream,
-    /// "In query mode the consumer does not open an event channel, but only
-    /// requests the most recent event."
-    Query,
-}
-
-/// A subscription request.
-#[derive(Debug, Clone)]
-pub struct SubscribeRequest {
-    /// The consumer's principal (mapped local user or certificate subject).
-    pub consumer: String,
-    /// Delivery mode.
-    pub mode: SubscriptionMode,
-    /// Filters to apply (all must pass).
-    pub filters: Vec<EventFilter>,
-}
+/// Default bound on a subscription's in-flight event queue.
+pub const DEFAULT_SUBSCRIPTION_CAPACITY: usize = 4_096;
 
 /// A live streaming subscription handle returned to the consumer.
+///
+/// Exposes the shared delivery counters: [`Subscription::delivered`] /
+/// [`Subscription::dropped`] / [`Subscription::bytes`] report what the
+/// gateway pushed into (or evicted from) this subscription's bounded
+/// queue.
 #[derive(Debug)]
 pub struct Subscription {
     /// Subscription identifier (used to unsubscribe).
     pub id: u64,
     /// Channel on which matching events arrive.
     pub events: Receiver<Event>,
+    counters: Arc<DeliveryCounters>,
+}
+
+impl Subscription {
+    /// Events the gateway delivered into this subscription's queue.
+    pub fn delivered(&self) -> u64 {
+        self.counters.delivered()
+    }
+
+    /// Events dropped because the consumer fell behind its queue bound.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped()
+    }
+
+    /// Approximate ULM payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.counters.bytes()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.try_iter().collect()
+    }
+}
+
+impl EventSource<Event> for Subscription {
+    fn drain_into(&mut self, out: &mut Vec<Event>) -> usize {
+        let before = out.len();
+        out.extend(self.events.try_iter());
+        out.len() - before
+    }
+}
+
+/// Fluent builder for a streaming subscription, returned by
+/// [`EventGateway::subscribe`].
+#[must_use = "call .open() to register the subscription"]
+#[derive(Debug)]
+pub struct SubscriptionBuilder<'gw> {
+    gateway: &'gw EventGateway,
+    consumer: String,
+    filters: Vec<EventFilter>,
+    capacity: usize,
+    overflow: OverflowPolicy,
+}
+
+impl<'gw> SubscriptionBuilder<'gw> {
+    /// Request streaming delivery (the builder's default; present so call
+    /// sites read like the paper: open an event channel, get a stream).
+    pub fn stream(self) -> Self {
+        self
+    }
+
+    /// Add one filter to the conjunction.
+    pub fn filter(mut self, filter: EventFilter) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Add several filters.
+    pub fn filters(mut self, filters: impl IntoIterator<Item = EventFilter>) -> Self {
+        self.filters.extend(filters);
+        self
+    }
+
+    /// Set the consumer principal the subscription is checked and accounted
+    /// against.  Defaults to `"anonymous"`.
+    pub fn as_consumer(mut self, consumer: impl Into<String>) -> Self {
+        self.consumer = consumer.into();
+        self
+    }
+
+    /// Bound the in-flight queue (default
+    /// [`DEFAULT_SUBSCRIPTION_CAPACITY`]).
+    pub fn capacity(mut self, events: usize) -> Self {
+        self.capacity = events.max(1);
+        self
+    }
+
+    /// What to do when the queue is full (default
+    /// [`OverflowPolicy::DropOldest`]).
+    pub fn on_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Register the subscription with the gateway, returning the live
+    /// handle.  Fails if the site policy denies this consumer streaming
+    /// access.
+    pub fn open(self) -> Result<Subscription> {
+        self.gateway
+            .open_subscription(self.consumer, self.filters, self.capacity, self.overflow)
+    }
 }
 
 struct ActiveSubscription {
@@ -58,8 +156,8 @@ struct ActiveSubscription {
     consumer: String,
     chain: FilterChain,
     tx: Sender<Event>,
-    delivered: u64,
-    delivered_bytes: u64,
+    overflow: OverflowPolicy,
+    counters: Arc<DeliveryCounters>,
 }
 
 /// Gateway configuration.
@@ -102,10 +200,27 @@ pub struct GatewayStats {
     pub events_in: AtomicU64,
     /// Event copies delivered to streaming consumers.
     pub events_out: AtomicU64,
+    /// Event copies dropped on full subscription queues.
+    pub events_dropped: AtomicU64,
     /// Bytes (approximate ULM size) delivered to streaming consumers.
     pub bytes_out: AtomicU64,
     /// Query-mode requests served.
     pub queries: AtomicU64,
+}
+
+/// One row of [`EventGateway::delivery_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Subscription id.
+    pub id: u64,
+    /// Consumer principal.
+    pub consumer: String,
+    /// Events delivered into the subscription queue.
+    pub delivered: u64,
+    /// Events dropped on queue overflow.
+    pub dropped: u64,
+    /// Approximate payload bytes delivered.
+    pub bytes: u64,
 }
 
 /// The JAMM event gateway.
@@ -158,25 +273,42 @@ impl EventGateway {
         Ok(())
     }
 
-    /// Subscribe for streaming delivery.  Query-mode consumers do not
-    /// subscribe; they call [`EventGateway::query`].
-    pub fn subscribe(&self, request: SubscribeRequest) -> Result<Subscription> {
-        let action = match request.mode {
-            SubscriptionMode::Stream => Action::SubscribeStream,
-            SubscriptionMode::Query => Action::Query,
-        };
-        self.check(&request.consumer, action)?;
-        let (tx, rx) = unbounded();
+    /// Start building a streaming subscription.  Query-mode consumers do
+    /// not subscribe; they call [`EventGateway::query`].
+    pub fn subscribe(&self) -> SubscriptionBuilder<'_> {
+        SubscriptionBuilder {
+            gateway: self,
+            consumer: "anonymous".to_string(),
+            filters: Vec::new(),
+            capacity: DEFAULT_SUBSCRIPTION_CAPACITY,
+            overflow: OverflowPolicy::default(),
+        }
+    }
+
+    fn open_subscription(
+        &self,
+        consumer: String,
+        filters: Vec<EventFilter>,
+        capacity: usize,
+        overflow: OverflowPolicy,
+    ) -> Result<Subscription> {
+        self.check(&consumer, Action::SubscribeStream)?;
+        let (tx, rx) = bounded(capacity);
+        let counters = Arc::new(DeliveryCounters::new());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.subscriptions.lock().push(ActiveSubscription {
             id,
-            consumer: request.consumer,
-            chain: FilterChain::new(request.filters),
+            consumer,
+            chain: FilterChain::new(filters),
             tx,
-            delivered: 0,
-            delivered_bytes: 0,
+            overflow,
+            counters: Arc::clone(&counters),
         });
-        Ok(Subscription { id, events: rx })
+        Ok(Subscription {
+            id,
+            events: rx,
+            counters,
+        })
     }
 
     /// Cancel a streaming subscription.
@@ -202,34 +334,59 @@ impl EventGateway {
     pub fn publish(&self, event: &Event) -> usize {
         self.stats.events_in.fetch_add(1, Ordering::Relaxed);
         // Most-recent cache for query mode.
-        self.latest
-            .write()
-            .insert((event.host.clone(), event.event_type.clone()), event.clone());
+        self.latest.write().insert(
+            (event.host.clone(), event.event_type.clone()),
+            event.clone(),
+        );
         // Summaries.
         self.summaries.lock().record(event);
         // Fan out to streaming subscribers.
         let size = event.approx_size() as u64;
-        let mut delivered = 0;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
         let mut subs = self.subscriptions.lock();
         subs.retain_mut(|sub| {
-            if sub.chain.accept(event) {
-                if sub.tx.send(event.clone()).is_err() {
+            if !sub.chain.accept(event) {
+                return true;
+            }
+            let pushed = match sub.overflow {
+                OverflowPolicy::DropOldest => match sub.tx.send_overwriting(event.clone()) {
+                    Ok(evicted) => {
+                        if evicted {
+                            sub.counters.record_dropped(1);
+                            dropped += 1;
+                        }
+                        true
+                    }
                     // Consumer went away; drop the subscription.
-                    return false;
-                }
-                sub.delivered += 1;
-                sub.delivered_bytes += size;
+                    Err(_) => return false,
+                },
+                OverflowPolicy::DropNewest => match sub.tx.try_send(event.clone()) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        sub.counters.record_dropped(1);
+                        dropped += 1;
+                        false
+                    }
+                    Err(TrySendError::Disconnected(_)) => return false,
+                },
+            };
+            if pushed {
+                sub.counters.record_delivered(size);
                 delivered += 1;
             }
             true
         });
         self.stats
             .events_out
-            .fetch_add(delivered as u64, Ordering::Relaxed);
+            .fetch_add(delivered, Ordering::Relaxed);
+        self.stats
+            .events_dropped
+            .fetch_add(dropped, Ordering::Relaxed);
         self.stats
             .bytes_out
-            .fetch_add(delivered as u64 * size, Ordering::Relaxed);
-        delivered
+            .fetch_add(delivered * size, Ordering::Relaxed);
+        delivered as usize
     }
 
     /// Publish a batch of events.
@@ -259,14 +416,29 @@ impl EventGateway {
         ))
     }
 
-    /// Per-subscription delivery counts `(subscription id, consumer, events,
-    /// bytes)` — used by the experiments and the status GUI.
-    pub fn delivery_report(&self) -> Vec<(u64, String, u64, u64)> {
+    /// Per-subscription delivery/drop counts — used by the experiments and
+    /// the status GUI.
+    pub fn delivery_report(&self) -> Vec<DeliveryReport> {
         self.subscriptions
             .lock()
             .iter()
-            .map(|s| (s.id, s.consumer.clone(), s.delivered, s.delivered_bytes))
+            .map(|s| DeliveryReport {
+                id: s.id,
+                consumer: s.consumer.clone(),
+                delivered: s.counters.delivered(),
+                dropped: s.counters.dropped(),
+                bytes: s.counters.bytes(),
+            })
             .collect()
+    }
+}
+
+/// The gateway is the canonical event sink: the sensor manager (or any
+/// other producer) pushes events through `&dyn EventSink<Event>` without
+/// knowing it is talking to a gateway.
+impl EventSink<Event> for EventGateway {
+    fn accept(&self, event: &Event) -> std::result::Result<usize, SinkError> {
+        Ok(self.publish(event))
     }
 }
 
@@ -289,11 +461,11 @@ mod tests {
     fn streaming_subscription_receives_matching_events_only() {
         let gw = EventGateway::new(GatewayConfig::open("gw1"));
         let sub = gw
-            .subscribe(SubscribeRequest {
-                consumer: "collector".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![EventFilter::EventTypes(vec!["CPU_TOTAL".into()])],
-            })
+            .subscribe()
+            .stream()
+            .filter(EventFilter::EventTypes(vec!["CPU_TOTAL".into()]))
+            .as_consumer("collector")
+            .open()
             .unwrap();
         assert_eq!(gw.subscriber_count(), 1);
         gw.publish(&ev("h1", "CPU_TOTAL", 10.0, 1));
@@ -304,6 +476,9 @@ mod tests {
         assert!(got.iter().all(|e| e.event_type == "CPU_TOTAL"));
         assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 3);
         assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 2);
+        assert_eq!(sub.delivered(), 2);
+        assert_eq!(sub.dropped(), 0);
+        assert!(sub.bytes() > 0);
     }
 
     #[test]
@@ -320,20 +495,8 @@ mod tests {
     #[test]
     fn unsubscribe_and_dead_consumer_cleanup() {
         let gw = EventGateway::new(GatewayConfig::open("gw1"));
-        let sub1 = gw
-            .subscribe(SubscribeRequest {
-                consumer: "a".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            })
-            .unwrap();
-        let sub2 = gw
-            .subscribe(SubscribeRequest {
-                consumer: "b".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            })
-            .unwrap();
+        let sub1 = gw.subscribe().as_consumer("a").open().unwrap();
+        let sub2 = gw.subscribe().as_consumer("b").open().unwrap();
         assert_eq!(gw.subscriber_count(), 2);
         gw.unsubscribe(sub1.id).unwrap();
         assert!(matches!(
@@ -350,19 +513,13 @@ mod tests {
     #[test]
     fn threshold_subscription_reduces_delivered_volume() {
         let gw = EventGateway::new(GatewayConfig::open("gw1"));
-        let everything = gw
-            .subscribe(SubscribeRequest {
-                consumer: "all".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            })
-            .unwrap();
+        let everything = gw.subscribe().as_consumer("all").open().unwrap();
         let filtered = gw
-            .subscribe(SubscribeRequest {
-                consumer: "ops".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![EventFilter::Above(50.0)],
-            })
+            .subscribe()
+            .stream()
+            .filter(EventFilter::Above(50.0))
+            .as_consumer("ops")
+            .open()
             .unwrap();
         for i in 0..100 {
             gw.publish(&ev("h", "CPU_TOTAL", (i % 10) as f64 * 10.0, i));
@@ -370,11 +527,72 @@ mod tests {
         let all_count = everything.events.try_iter().count();
         let filtered_count = filtered.events.try_iter().count();
         assert_eq!(all_count, 100);
-        assert!(filtered_count < 50, "only the >50% readings: {filtered_count}");
+        assert!(
+            filtered_count < 50,
+            "only the >50% readings: {filtered_count}"
+        );
         assert!(filtered_count > 0);
         let report = gw.delivery_report();
         assert_eq!(report.len(), 2);
-        assert!(report.iter().any(|(_, c, n, _)| c == "ops" && *n == filtered_count as u64));
+        assert!(report
+            .iter()
+            .any(|r| r.consumer == "ops" && r.delivered == filtered_count as u64));
+        assert!(report.iter().all(|r| r.dropped == 0));
+    }
+
+    #[test]
+    fn bounded_queue_drop_oldest_keeps_freshest_events() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub = gw
+            .subscribe()
+            .as_consumer("slow")
+            .capacity(10)
+            .open()
+            .unwrap();
+        for i in 0..25u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", i as f64, i));
+        }
+        let got: Vec<Event> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 10, "queue bounded at 10");
+        // The oldest were evicted: what remains is the freshest tail.
+        let times: Vec<u64> = got.iter().map(|e| e.timestamp.as_secs()).collect();
+        assert_eq!(times, (15..25).collect::<Vec<_>>());
+        assert_eq!(sub.dropped(), 15);
+        assert_eq!(sub.delivered(), 25);
+        assert_eq!(gw.stats().events_dropped.load(Ordering::Relaxed), 15);
+        let report = gw.delivery_report();
+        assert_eq!(report[0].dropped, 15);
+    }
+
+    #[test]
+    fn bounded_queue_drop_newest_keeps_earliest_events() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub = gw
+            .subscribe()
+            .as_consumer("slow")
+            .capacity(10)
+            .on_overflow(OverflowPolicy::DropNewest)
+            .open()
+            .unwrap();
+        for i in 0..25u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", i as f64, i));
+        }
+        let got: Vec<Event> = sub.events.try_iter().collect();
+        let times: Vec<u64> = got.iter().map(|e| e.timestamp.as_secs()).collect();
+        assert_eq!(times, (0..10).collect::<Vec<_>>());
+        assert_eq!(sub.dropped(), 15);
+        assert_eq!(sub.delivered(), 10);
+    }
+
+    #[test]
+    fn gateway_is_an_event_sink() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub = gw.subscribe().as_consumer("c").open().unwrap();
+        let sink: &dyn EventSink<Event> = &gw;
+        assert_eq!(sink.accept(&ev("h", "X", 1.0, 1)).unwrap(), 1);
+        let batch = [ev("h", "X", 2.0, 2), ev("h", "Y", 3.0, 3)];
+        assert_eq!(sink.accept_batch(&batch).unwrap(), 2);
+        assert_eq!(sub.events.try_iter().count(), 3);
     }
 
     #[test]
@@ -388,20 +606,14 @@ mod tests {
         let gw = EventGateway::new(GatewayConfig::with_acl("gw1", acl));
         // Internal consumer streams.
         assert!(gw
-            .subscribe(SubscribeRequest {
-                consumer: "/O=Grid/O=LBNL/CN=Dan Gunter".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            })
+            .subscribe()
+            .as_consumer("/O=Grid/O=LBNL/CN=Dan Gunter")
+            .open()
             .is_ok());
         // Off-site consumer cannot stream but can query and get summaries.
         let offsite = "/O=Grid/O=NCSA/CN=Remote";
         assert!(matches!(
-            gw.subscribe(SubscribeRequest {
-                consumer: offsite.into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            }),
+            gw.subscribe().as_consumer(offsite).open(),
             Err(GatewayError::AccessDenied(_))
         ));
         gw.publish(&ev("h", "CPU_TOTAL", 42.0, 10));
@@ -428,21 +640,19 @@ mod tests {
     fn on_change_filter_state_is_per_subscription() {
         let gw = EventGateway::new(GatewayConfig::open("gw1"));
         let s1 = gw
-            .subscribe(SubscribeRequest {
-                consumer: "a".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![EventFilter::OnChange],
-            })
+            .subscribe()
+            .filter(EventFilter::OnChange)
+            .as_consumer("a")
+            .open()
             .unwrap();
         gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 1));
         gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 2));
         // A subscriber arriving later starts with fresh state.
         let s2 = gw
-            .subscribe(SubscribeRequest {
-                consumer: "b".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![EventFilter::OnChange],
-            })
+            .subscribe()
+            .filter(EventFilter::OnChange)
+            .as_consumer("b")
+            .open()
             .unwrap();
         gw.publish(&ev("h", "NETSTAT_RETRANS", 5.0, 3));
         gw.publish(&ev("h", "NETSTAT_RETRANS", 7.0, 4));

@@ -11,8 +11,10 @@
 //! * [`filter`] — per-subscription event filters: event-type selection,
 //!   on-change delivery, absolute and relative thresholds, severity floors;
 //! * [`summary`] — 1/10/60-minute windowed averages of numeric readings;
-//! * [`gateway`] — the [`EventGateway`] itself: publish, subscribe (stream),
-//!   query (most recent event), access control and delivery statistics.
+//! * [`gateway`] — the [`EventGateway`] itself: publish (as a
+//!   [`jamm_core::flow::EventSink`]), the fluent [`SubscriptionBuilder`]
+//!   for bounded streaming subscriptions, query (most recent event),
+//!   access control and per-subscription delivery/drop accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +24,11 @@ pub mod gateway;
 pub mod summary;
 
 pub use filter::EventFilter;
-pub use gateway::{EventGateway, GatewayConfig, SubscribeRequest, Subscription, SubscriptionMode};
+pub use gateway::{
+    DeliveryReport, EventGateway, GatewayConfig, Subscription, SubscriptionBuilder,
+    DEFAULT_SUBSCRIPTION_CAPACITY,
+};
+pub use jamm_core::flow::OverflowPolicy;
 pub use summary::{SummaryEngine, SummaryWindow};
 
 /// Errors returned by gateway operations.

@@ -9,10 +9,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use jamm_ulm::{keys, Event, Level, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// A summary window length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SummaryWindow {
     /// One minute.
     OneMinute,
@@ -101,7 +100,9 @@ impl SummaryEngine {
         window: SummaryWindow,
         now: Timestamp,
     ) -> Option<Summary> {
-        let series = self.series.get(&(host.to_string(), event_type.to_string()))?;
+        let series = self
+            .series
+            .get(&(host.to_string(), event_type.to_string()))?;
         let cutoff = now.sub_micros(window.micros());
         let mut count = 0usize;
         let mut sum = 0.0;
@@ -191,14 +192,18 @@ mod tests {
             eng.record(&reading("h", "CPU_TOTAL", 1_000 + i * 10, i as f64 * 10.0));
         }
         let now = Timestamp::from_secs(1_000 + 110);
-        let one = eng.summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, now).unwrap();
+        let one = eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, now)
+            .unwrap();
         // The last 60 s contain readings at t=1050..1110 -> values 50..110.
         assert_eq!(one.count, 7);
         assert!((one.mean - 80.0).abs() < 1e-9);
         assert_eq!(one.min, 50.0);
         assert_eq!(one.max, 110.0);
         // The 10-minute window sees everything.
-        let ten = eng.summary("h", "CPU_TOTAL", SummaryWindow::TenMinutes, now).unwrap();
+        let ten = eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::TenMinutes, now)
+            .unwrap();
         assert_eq!(ten.count, 12);
         assert!((ten.mean - 55.0).abs() < 1e-9);
     }
@@ -212,7 +217,12 @@ mod tests {
             .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, much_later)
             .is_none());
         assert!(eng
-            .summary("h", "UNKNOWN", SummaryWindow::OneMinute, Timestamp::from_secs(100))
+            .summary(
+                "h",
+                "UNKNOWN",
+                SummaryWindow::OneMinute,
+                Timestamp::from_secs(100)
+            )
             .is_none());
     }
 
@@ -234,7 +244,10 @@ mod tests {
             eng.record(&reading("h", "CPU_TOTAL", i * 60, 1.0));
         }
         // Only about an hour's worth (60 one-minute-spaced readings) remains.
-        let series = eng.series.get(&("h".to_string(), "CPU_TOTAL".to_string())).unwrap();
+        let series = eng
+            .series
+            .get(&("h".to_string(), "CPU_TOTAL".to_string()))
+            .unwrap();
         assert!(series.len() <= 62, "len = {}", series.len());
     }
 
@@ -250,8 +263,13 @@ mod tests {
         // 2 series x 3 windows.
         assert_eq!(events.len(), 6);
         assert!(events.iter().any(|e| e.event_type == "CPU_TOTAL_AVG_1MIN"));
-        assert!(events.iter().any(|e| e.event_type == "VMSTAT_FREE_MEMORY_AVG_60MIN"));
-        let cpu1 = events.iter().find(|e| e.event_type == "CPU_TOTAL_AVG_1MIN").unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.event_type == "VMSTAT_FREE_MEMORY_AVG_60MIN"));
+        let cpu1 = events
+            .iter()
+            .find(|e| e.event_type == "CPU_TOTAL_AVG_1MIN")
+            .unwrap();
         assert_eq!(cpu1.value(), Some(50.0));
         assert_eq!(cpu1.field_f64("COUNT"), Some(10.0));
     }

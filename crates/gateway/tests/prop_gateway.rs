@@ -1,103 +1,151 @@
 //! Property-based tests of the event gateway: delivery is always a subset of
-//! what was published, filters never invent events, and summary statistics
-//! agree with a direct computation.
+//! what was published, filters never invent events, drop accounting is
+//! exact under any queue bound, and summary statistics agree with a direct
+//! computation.
 
+use jamm_core::check::{forall, Gen};
 use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
-use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, OverflowPolicy};
 use jamm_ulm::{Event, Level, Timestamp};
-use proptest::prelude::*;
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    (
-        0u64..120,
-        prop_oneof![Just("CPU_TOTAL"), Just("VMSTAT_FREE_MEMORY"), Just("NETSTAT_RETRANS")],
-        prop_oneof![Just("h1"), Just("h2"), Just("h3")],
-        0.0f64..100.0,
-        prop_oneof![Just(Level::Usage), Just(Level::Warning), Just(Level::Error)],
-    )
-        .prop_map(|(t, ty, host, value, level)| {
-            Event::builder("sensor", host)
-                .level(level)
-                .event_type(ty)
-                .timestamp(Timestamp::from_secs(10_000 + t))
-                .value(value)
-                .build()
+const TYPES: [&str; 3] = ["CPU_TOTAL", "VMSTAT_FREE_MEMORY", "NETSTAT_RETRANS"];
+const HOSTS: [&str; 3] = ["h1", "h2", "h3"];
+const LEVELS: [Level; 3] = [Level::Usage, Level::Warning, Level::Error];
+
+fn arb_event(g: &mut Gen) -> Event {
+    let t = g.u64(120);
+    Event::builder("sensor", g.choice(&HOSTS))
+        .level(g.choice(&LEVELS))
+        .event_type(g.choice(&TYPES))
+        .timestamp(Timestamp::from_secs(10_000 + t))
+        .value(g.f64_in(0.0, 100.0))
+        .build()
+}
+
+fn arb_filters(g: &mut Gen) -> Vec<EventFilter> {
+    (0..g.usize_in(0, 2))
+        .map(|_| match g.usize_in(0, 7) {
+            0 => EventFilter::All,
+            1 => EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
+            2 => EventFilter::Hosts(vec!["h1".into(), "h2".into()]),
+            3 => EventFilter::MinLevel(Level::Warning),
+            4 => EventFilter::OnChange,
+            5 => EventFilter::Above(g.f64_in(0.0, 100.0)),
+            6 => EventFilter::Below(g.f64_in(0.0, 100.0)),
+            _ => EventFilter::RelativeChange(g.f64_in(0.05, 0.9)),
         })
+        .collect()
 }
 
-fn arb_filters() -> impl Strategy<Value = Vec<EventFilter>> {
-    prop::collection::vec(
-        prop_oneof![
-            Just(EventFilter::All),
-            Just(EventFilter::EventTypes(vec!["CPU_TOTAL".into()])),
-            Just(EventFilter::Hosts(vec!["h1".into(), "h2".into()])),
-            Just(EventFilter::MinLevel(Level::Warning)),
-            Just(EventFilter::OnChange),
-            (0.0f64..100.0).prop_map(EventFilter::Above),
-            (0.0f64..100.0).prop_map(EventFilter::Below),
-            (0.05f64..0.9).prop_map(EventFilter::RelativeChange),
-        ],
-        0..3,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever the filters, a subscriber receives a subset of the published
-    /// events, each of which satisfies every stateless predicate it asked
-    /// for, and the gateway's counters add up.
-    #[test]
-    fn delivery_is_a_filtered_subset(
-        events in prop::collection::vec(arb_event(), 1..150),
-        filters in arb_filters(),
-    ) {
+/// Whatever the filters, a subscriber receives a subset of the published
+/// events, each of which satisfies every stateless predicate it asked
+/// for, and the gateway's counters add up.
+#[test]
+fn delivery_is_a_filtered_subset() {
+    forall("filtered subset", 48, |g| {
+        let events: Vec<Event> = (0..g.usize_in(1, 150)).map(|_| arb_event(g)).collect();
+        let filters = arb_filters(g);
         let gw = EventGateway::new(GatewayConfig::open("gw"));
         let sub = gw
-            .subscribe(SubscribeRequest {
-                consumer: "c".into(),
-                mode: SubscriptionMode::Stream,
-                filters: filters.clone(),
-            })
+            .subscribe()
+            .stream()
+            .filters(filters.clone())
+            .as_consumer("c")
+            .open()
             .unwrap();
         for e in &events {
             gw.publish(e);
         }
         let delivered: Vec<Event> = sub.events.try_iter().collect();
-        prop_assert!(delivered.len() <= events.len());
+        assert!(delivered.len() <= events.len());
         for d in &delivered {
-            prop_assert!(events.contains(d), "gateway must not invent events");
+            assert!(events.contains(d), "gateway must not invent events");
             for f in &filters {
                 match f {
-                    EventFilter::EventTypes(tys) => prop_assert!(tys.contains(&d.event_type)),
-                    EventFilter::Hosts(hs) => prop_assert!(hs.contains(&d.host)),
-                    EventFilter::Above(t) => prop_assert!(d.value().unwrap() > *t),
-                    EventFilter::Below(t) => prop_assert!(d.value().unwrap() < *t),
-                    EventFilter::MinLevel(_) => prop_assert!(
-                        matches!(d.level, Level::Warning | Level::Error)
-                    ),
+                    EventFilter::EventTypes(tys) => assert!(tys.contains(&d.event_type)),
+                    EventFilter::Hosts(hs) => assert!(hs.contains(&d.host)),
+                    EventFilter::Above(t) => assert!(d.value().unwrap() > *t),
+                    EventFilter::Below(t) => assert!(d.value().unwrap() < *t),
+                    EventFilter::MinLevel(_) => {
+                        assert!(matches!(d.level, Level::Warning | Level::Error))
+                    }
                     _ => {}
                 }
             }
         }
-        let stats_out = gw.stats().events_out.load(std::sync::atomic::Ordering::Relaxed);
-        prop_assert_eq!(stats_out as usize, delivered.len());
-        let stats_in = gw.stats().events_in.load(std::sync::atomic::Ordering::Relaxed);
-        prop_assert_eq!(stats_in as usize, events.len());
-    }
+        let stats_out = gw
+            .stats()
+            .events_out
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(stats_out as usize, delivered.len());
+        let stats_in = gw
+            .stats()
+            .events_in
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(stats_in as usize, events.len());
+        assert_eq!(sub.delivered() as usize, delivered.len());
+        assert_eq!(sub.dropped(), 0, "queue never overflowed in this run");
+    });
+}
 
-    /// Query mode always returns the most recently published event for the
-    /// (host, type) pair, if any was published.
-    #[test]
-    fn query_returns_the_latest(events in prop::collection::vec(arb_event(), 1..100)) {
+/// Under any queue bound and either overflow policy, queued + dropped ==
+/// delivered, and the queue never exceeds its bound.
+#[test]
+fn drop_accounting_is_exact_under_any_bound() {
+    forall("drop accounting", 48, |g| {
+        let events: Vec<Event> = (0..g.usize_in(1, 200)).map(|_| arb_event(g)).collect();
+        let capacity = g.usize_in(1, 32);
+        let policy = if g.bool(0.5) {
+            OverflowPolicy::DropOldest
+        } else {
+            OverflowPolicy::DropNewest
+        };
+        let gw = EventGateway::new(GatewayConfig::open("gw"));
+        let sub = gw
+            .subscribe()
+            .as_consumer("slow")
+            .capacity(capacity)
+            .on_overflow(policy)
+            .open()
+            .unwrap();
+        for e in &events {
+            gw.publish(e);
+        }
+        let queued = sub.events.try_iter().count();
+        assert!(queued <= capacity, "queue bound respected");
+        match policy {
+            // DropOldest admits every event, then evicts.
+            OverflowPolicy::DropOldest => {
+                assert_eq!(sub.delivered() as usize, events.len());
+                assert_eq!(queued + sub.dropped() as usize, events.len());
+            }
+            // DropNewest rejects at the door.
+            OverflowPolicy::DropNewest => {
+                assert_eq!(sub.delivered() as usize, queued);
+                assert_eq!(queued + sub.dropped() as usize, events.len());
+            }
+        }
+        let report = gw.delivery_report();
+        assert_eq!(report[0].dropped, sub.dropped());
+        assert_eq!(report[0].delivered, sub.delivered());
+    });
+}
+
+/// Query mode always returns the most recently published event for the
+/// (host, type) pair, if any was published.
+#[test]
+fn query_returns_the_latest() {
+    forall("query latest", 48, |g| {
+        let events: Vec<Event> = (0..g.usize_in(1, 100)).map(|_| arb_event(g)).collect();
         let gw = EventGateway::new(GatewayConfig::open("gw"));
         for e in &events {
             gw.publish(e);
         }
-        for host in ["h1", "h2", "h3"] {
-            for ty in ["CPU_TOTAL", "VMSTAT_FREE_MEMORY", "NETSTAT_RETRANS"] {
+        for host in HOSTS {
+            for ty in TYPES {
                 let expected = events
-                    .iter().rfind(|e| e.host == host && e.event_type == ty);
+                    .iter()
+                    .rfind(|e| e.host == host && e.event_type == ty);
                 let got = gw.query("c", host, ty).unwrap();
                 match expected {
                     // Publication order wins among equal timestamps, so the
@@ -111,22 +159,25 @@ proptest! {
                             .map(|e| e.timestamp)
                             .max()
                             .unwrap();
-                        prop_assert!(got.timestamp <= max_ts);
-                        prop_assert_eq!(&got.host, host);
-                        prop_assert_eq!(&got.event_type, ty);
+                        assert!(got.timestamp <= max_ts);
+                        assert_eq!(got.host, host);
+                        assert_eq!(got.event_type, ty);
                     }
-                    None => prop_assert!(got.is_none()),
+                    None => assert!(got.is_none()),
                 }
             }
         }
-    }
+    });
+}
 
-    /// The summary engine's mean always equals the arithmetic mean of the
-    /// readings inside the window, and min <= mean <= max.
-    #[test]
-    fn summary_mean_matches_direct_computation(
-        values in prop::collection::vec(0.0f64..100.0, 1..60),
-    ) {
+/// The summary engine's mean always equals the arithmetic mean of the
+/// readings inside the window, and min <= mean <= max.
+#[test]
+fn summary_mean_matches_direct_computation() {
+    forall("summary mean", 48, |g| {
+        let values: Vec<f64> = (0..g.usize_in(1, 60))
+            .map(|_| g.f64_in(0.0, 100.0))
+            .collect();
         let mut engine = SummaryEngine::new();
         let base = 50_000u64;
         for (i, v) in values.iter().enumerate() {
@@ -143,8 +194,8 @@ proptest! {
             .summary("h", "CPU_TOTAL", SummaryWindow::OneHour, now)
             .expect("readings inside the window");
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((s.mean - mean).abs() < 1e-6);
-        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert_eq!(s.count, values.len());
-    }
+        assert!((s.mean - mean).abs() < 1e-6);
+        assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        assert_eq!(s.count, values.len());
+    });
 }

@@ -9,10 +9,8 @@
 //! sensor data."  This module turns that narrative into a counted model so
 //! the comparison can be reported as numbers.
 
-use serde::Serialize;
-
 /// The administrative operations needed to run one monitored analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdminEffort {
     /// Accounts that must exist (and be kept) for the analyst.
     pub accounts_required: usize,
@@ -42,7 +40,11 @@ impl AdminEffort {
 /// Effort to run the analysis by hand, without JAMM: log into every host,
 /// start every sensor (the TCP sensor needs root), and copy every host's log
 /// back for merging.
-pub fn manual_effort(hosts: usize, sensors_per_host: usize, privileged_sensors_per_host: usize) -> AdminEffort {
+pub fn manual_effort(
+    hosts: usize,
+    sensors_per_host: usize,
+    privileged_sensors_per_host: usize,
+) -> AdminEffort {
     AdminEffort {
         accounts_required: hosts,
         logins: hosts,

@@ -1,0 +1,322 @@
+//! [`JammBuilder`]: wire a complete JAMM deployment in a few lines.
+//!
+//! The paper's Figure 1 structure — sensor directory, per-site event
+//! gateways, consumers subscribed through them — used to take a page of
+//! imperative setup.  The builder names each part once and `build()`
+//! returns a [`JammSystem`] holding the wired components.
+
+use std::sync::Arc;
+
+use jamm_archive::EventArchive;
+use jamm_consumers::archiver::ArchiverAgent;
+use jamm_consumers::collector::EventCollector;
+use jamm_consumers::GatewayRegistry;
+use jamm_directory::{DirectoryServer, Dn, Filter};
+use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
+
+/// Errors from [`JammBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A DN (directory suffix or archive catalog DN) did not parse.
+    BadDn(String),
+    /// The deployment declares no event gateway.
+    NoGateways,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BadDn(dn) => write!(f, "invalid DN: {dn}"),
+            BuildError::NoGateways => write!(f, "deployment declares no event gateway"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for a [`JammSystem`].
+///
+/// ```
+/// use jamm::JammBuilder;
+/// use jamm_ulm::{Event, Level, Timestamp};
+///
+/// // Directory + two site gateways + a collector, end to end:
+/// let mut jamm = JammBuilder::new()
+///     .directory("ldap://dir.lbl.gov", "o=grid")
+///     .gateway("gw.lbl.gov:8765")
+///     .gateway("gw.cairn.net:8765")
+///     .collector("nlv-analyst")
+///     .build()?;
+/// assert_eq!(jamm.gateways.len(), 2);
+///
+/// // The collector subscribes through every gateway...
+/// assert_eq!(jamm.connect_collectors(vec![]), 2);
+///
+/// // ...so an event published at either site reaches it.
+/// let ev = Event::builder("vmstat", "dpss1.lbl.gov")
+///     .level(Level::Usage)
+///     .event_type("CPU_TOTAL")
+///     .timestamp(Timestamp::from_secs(1))
+///     .value(42.0)
+///     .build();
+/// jamm.publish("gw.lbl.gov:8765", &ev);
+/// jamm.poll();
+/// assert_eq!(jamm.collectors[0].events().len(), 1);
+/// # Ok::<(), jamm::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct JammBuilder {
+    directory_url: Option<String>,
+    directory_suffix: Option<String>,
+    gateways: Vec<GatewayConfig>,
+    collectors: Vec<String>,
+    archiver: Option<(String, String)>,
+}
+
+impl JammBuilder {
+    /// Start an empty deployment description.
+    pub fn new() -> Self {
+        JammBuilder::default()
+    }
+
+    /// The sensor directory: its published URL and its suffix DN (e.g.
+    /// `o=grid`).  Defaults to `ldap://directory` with suffix `o=grid`.
+    pub fn directory(mut self, url: impl Into<String>, suffix: impl Into<String>) -> Self {
+        self.directory_url = Some(url.into());
+        self.directory_suffix = Some(suffix.into());
+        self
+    }
+
+    /// Add an open event gateway published under `name`.
+    pub fn gateway(mut self, name: impl Into<String>) -> Self {
+        self.gateways.push(GatewayConfig::open(name));
+        self
+    }
+
+    /// Add a gateway with a full configuration (ACL, summary windows).
+    pub fn gateway_config(mut self, config: GatewayConfig) -> Self {
+        self.gateways.push(config);
+        self
+    }
+
+    /// Add an event collector acting as the given consumer principal.
+    pub fn collector(mut self, consumer: impl Into<String>) -> Self {
+        self.collectors.push(consumer.into());
+        self
+    }
+
+    /// Add an archiver agent (with its own archive) publishing its catalog
+    /// at `catalog_dn`.
+    pub fn archiver(mut self, consumer: impl Into<String>, catalog_dn: impl Into<String>) -> Self {
+        self.archiver = Some((consumer.into(), catalog_dn.into()));
+        self
+    }
+
+    /// Wire everything.
+    pub fn build(self) -> Result<JammSystem, BuildError> {
+        if self.gateways.is_empty() {
+            return Err(BuildError::NoGateways);
+        }
+        let suffix = self
+            .directory_suffix
+            .unwrap_or_else(|| "o=grid".to_string());
+        let suffix_dn = Dn::parse(&suffix).map_err(|_| BuildError::BadDn(suffix.clone()))?;
+        let directory = Arc::new(DirectoryServer::new(
+            self.directory_url
+                .unwrap_or_else(|| "ldap://directory".to_string()),
+            suffix_dn.clone(),
+        ));
+        let mut registry = GatewayRegistry::new();
+        let mut gateways = Vec::new();
+        for config in self.gateways {
+            let name = config.name.clone();
+            let gw = Arc::new(EventGateway::new(config));
+            registry.register(name, Arc::clone(&gw));
+            gateways.push(gw);
+        }
+        let collectors = self
+            .collectors
+            .into_iter()
+            .map(EventCollector::new)
+            .collect();
+        let archive = Arc::new(EventArchive::new());
+        let archiver = match self.archiver {
+            Some((consumer, catalog_dn)) => {
+                let dn = Dn::parse(&catalog_dn).map_err(|_| BuildError::BadDn(catalog_dn))?;
+                Some(ArchiverAgent::new(consumer, Arc::clone(&archive), dn))
+            }
+            None => None,
+        };
+        Ok(JammSystem {
+            directory,
+            suffix: suffix_dn,
+            registry,
+            gateways,
+            collectors,
+            archiver,
+            archive,
+        })
+    }
+}
+
+/// A wired JAMM deployment: directory, gateways, consumers.
+pub struct JammSystem {
+    /// The sensor directory.
+    pub directory: Arc<DirectoryServer>,
+    /// The directory's suffix DN (the root of sensor publication).
+    pub suffix: Dn,
+    /// Gateway registry consumers resolve through.
+    pub registry: GatewayRegistry,
+    /// The gateways, in declaration order.
+    pub gateways: Vec<Arc<EventGateway>>,
+    /// Event collectors, in declaration order.
+    pub collectors: Vec<EventCollector>,
+    /// The archiver agent, if one was declared.
+    pub archiver: Option<ArchiverAgent>,
+    /// The archive written by the archiver agent.
+    pub archive: Arc<EventArchive>,
+}
+
+impl std::fmt::Debug for JammSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JammSystem")
+            .field("gateways", &self.gateways.len())
+            .field("collectors", &self.collectors.len())
+            .field("archiver", &self.archiver.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JammSystem {
+    /// Subscribe every collector to every gateway with the given extra
+    /// filters (no directory discovery; that needs sensors published —
+    /// see [`EventCollector::discover`]).  Returns subscriptions opened.
+    pub fn connect_collectors(&mut self, extra_filters: Vec<EventFilter>) -> usize {
+        let names = self.registry.names();
+        let mut opened = 0;
+        for collector in &mut self.collectors {
+            for name in &names {
+                if collector.subscribe_gateway(&self.registry, name, extra_filters.clone()) {
+                    opened += 1;
+                }
+            }
+        }
+        opened
+    }
+
+    /// Subscribe every collector through directory discovery: find sensors
+    /// matching `filter` under the suffix, subscribe at their serving
+    /// gateways with per-host filters.  Returns subscriptions opened.
+    pub fn discover_and_connect(&mut self, filter: &Filter, extra: Vec<EventFilter>) -> usize {
+        let mut opened = 0;
+        for collector in &mut self.collectors {
+            collector.discover(&self.directory, &self.suffix.clone(), filter);
+            opened += collector.subscribe_all(&self.registry, extra.clone());
+        }
+        opened
+    }
+
+    /// Subscribe the archiver at every gateway with the given filters.
+    pub fn connect_archiver(&mut self, filters: Vec<EventFilter>) -> usize {
+        let names = self.registry.names();
+        let mut opened = 0;
+        if let Some(archiver) = &mut self.archiver {
+            for name in &names {
+                if archiver.subscribe(&self.registry, name, filters.clone()) {
+                    opened += 1;
+                }
+            }
+        }
+        opened
+    }
+
+    /// Publish one event at a named gateway.  Returns deliveries, or 0 for
+    /// an unknown gateway.
+    pub fn publish(&self, gateway: &str, event: &jamm_ulm::Event) -> usize {
+        self.registry
+            .resolve(gateway)
+            .map(|gw| gw.publish(event))
+            .unwrap_or(0)
+    }
+
+    /// Drain every consumer's pending subscriptions (collectors and the
+    /// archiver).  Returns events moved.
+    pub fn poll(&mut self) -> usize {
+        let mut moved = 0;
+        for collector in &mut self.collectors {
+            moved += collector.poll();
+        }
+        if let Some(archiver) = &mut self.archiver {
+            moved += archiver.poll();
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::{Event, Level, Timestamp};
+
+    fn ev(host: &str, level: Level, t: u64) -> Event {
+        Event::builder("sensor", host)
+            .level(level)
+            .event_type("CPU_TOTAL")
+            .timestamp(Timestamp::from_secs(t))
+            .value(50.0)
+            .build()
+    }
+
+    #[test]
+    fn builder_requires_a_gateway_and_valid_dns() {
+        assert_eq!(
+            JammBuilder::new().build().unwrap_err(),
+            BuildError::NoGateways
+        );
+        assert!(matches!(
+            JammBuilder::new()
+                .directory("ldap://x", "not a dn !!")
+                .gateway("gw")
+                .build(),
+            Err(BuildError::BadDn(_))
+        ));
+        assert!(matches!(
+            JammBuilder::new()
+                .gateway("gw")
+                .archiver("a", "also not a dn !!")
+                .build(),
+            Err(BuildError::BadDn(_))
+        ));
+    }
+
+    #[test]
+    fn full_system_flows_events_to_collector_and_archiver() {
+        let mut jamm = JammBuilder::new()
+            .directory("ldap://dir", "o=grid")
+            .gateway("gw1")
+            .gateway("gw2")
+            .collector("ops")
+            .archiver("archiver", "archive=main,o=grid")
+            .build()
+            .unwrap();
+        assert_eq!(jamm.connect_collectors(vec![]), 2);
+        assert_eq!(
+            jamm.connect_archiver(vec![EventFilter::MinLevel(Level::Warning)]),
+            2
+        );
+        jamm.publish("gw1", &ev("h1", Level::Usage, 1));
+        jamm.publish("gw2", &ev("h2", Level::Error, 2));
+        assert_eq!(jamm.publish("missing", &ev("h", Level::Usage, 3)), 0);
+        jamm.poll();
+        assert_eq!(jamm.collectors[0].events().len(), 2);
+        assert_eq!(jamm.archive.len(), 1, "archiver only keeps problems");
+    }
+
+    #[test]
+    fn default_directory_is_provided() {
+        let jamm = JammBuilder::new().gateway("gw").build().unwrap();
+        assert_eq!(jamm.directory.entry_count(), 0);
+        assert_eq!(jamm.suffix, Dn::parse("o=grid").unwrap());
+        assert!(jamm.archiver.is_none());
+    }
+}

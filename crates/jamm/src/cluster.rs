@@ -129,7 +129,13 @@ impl ClusterDeployment {
         let n_gw = self.gateways.len();
         for (i, manager) in self.managers.iter_mut().enumerate() {
             let gw = &self.gateways[i % n_gw];
-            manager.tick(now, &stats, &NoPortActivity, gw, Some(&self.directory));
+            manager.tick(
+                now,
+                &stats,
+                &NoPortActivity,
+                gw.as_ref(),
+                Some(&self.directory),
+            );
         }
         for c in &mut self.consumers {
             c.poll();
@@ -172,7 +178,11 @@ impl ClusterDeployment {
     pub fn events_published(&self) -> u64 {
         self.gateways
             .iter()
-            .map(|g| g.stats().events_in.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|g| {
+                g.stats()
+                    .events_in
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum()
     }
 
@@ -180,7 +190,11 @@ impl ClusterDeployment {
     pub fn events_delivered(&self) -> u64 {
         self.gateways
             .iter()
-            .map(|g| g.stats().events_out.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|g| {
+                g.stats()
+                    .events_out
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum()
     }
 }
@@ -194,12 +208,18 @@ mod tests {
         let mut cluster = ClusterDeployment::new(8, 1, 17);
         cluster.run_secs(3.0);
         assert!(cluster.events_published() > 0);
-        assert!(cluster.directory.entry_count() >= 8 * 4, "sensors published");
+        assert!(
+            cluster.directory.entry_count() >= 8 * 4,
+            "sensors published"
+        );
         // Kill a worker; the process monitor notices and restarts it.
         cluster.kill_worker(3);
         assert!(!cluster.worker_alive(3));
         cluster.run_secs(6.0);
-        assert!(cluster.worker_alive(3), "restarted by the recovery consumer");
+        assert!(
+            cluster.worker_alive(3),
+            "restarted by the recovery consumer"
+        );
         assert!(!cluster.process_monitor.history().is_empty());
     }
 

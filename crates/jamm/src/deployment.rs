@@ -14,7 +14,9 @@ use jamm_consumers::archiver::ArchiverAgent;
 use jamm_consumers::collector::EventCollector;
 use jamm_consumers::GatewayRegistry;
 use jamm_directory::{DirectoryServer, Dn, Filter};
-use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
+use jamm_gateway::{EventFilter, EventGateway};
+
+use crate::builder::JammBuilder;
 use jamm_manager::config::{ManagerConfig, RunPolicy, SensorConfigEntry, SensorTemplate};
 use jamm_manager::manager::{PortActivitySource, SensorManager};
 use jamm_netlogger::nlv::NlvChart;
@@ -109,18 +111,28 @@ impl JammDeployment {
     /// storage cluster, the receiving host, and the routers in between.
     pub fn matisse(config: DeploymentConfig) -> Self {
         let scenario = MatisseScenario::new(config.matisse.clone());
-        let directory = Arc::new(DirectoryServer::new(
-            "ldap://dir.lbl.gov",
-            Dn::parse("o=grid").expect("valid suffix"),
-        ));
 
         // One gateway per site, as in Figure 6: the storage cluster's events
         // go through the LBNL gateway, the compute cluster's through ISI's.
-        let lbl_gateway = Arc::new(EventGateway::new(GatewayConfig::open("gw.lbl.gov:8765")));
-        let isi_gateway = Arc::new(EventGateway::new(GatewayConfig::open("gw.cairn.net:8765")));
-        let mut registry = GatewayRegistry::new();
-        registry.register("gw.lbl.gov:8765", Arc::clone(&lbl_gateway));
-        registry.register("gw.cairn.net:8765", Arc::clone(&isi_gateway));
+        // The builder wires directory + gateways + consumers in one place.
+        let mut builder = JammBuilder::new()
+            .directory("ldap://dir.lbl.gov", "o=grid")
+            .gateway("gw.lbl.gov:8765")
+            .gateway("gw.cairn.net:8765")
+            .collector("nlv-analyst");
+        if config.archive {
+            builder = builder.archiver("archiver", "archive=matisse,o=lbl,o=grid");
+        }
+        let system = builder
+            .build()
+            .expect("static deployment description is valid");
+        let directory = system.directory;
+        let registry = system.registry;
+        let gateways = system.gateways;
+        let mut collectors = system.collectors;
+        let collector = collectors.pop().expect("one collector declared");
+        let archiver = system.archiver;
+        let archive = system.archive;
 
         // Sensor managers: one per monitored host.
         let mut managers = Vec::new();
@@ -187,8 +199,7 @@ impl JammDeployment {
 
         // The receiving host (compute cluster head) at ISI.
         let client_host = scenario.net.host(scenario.client).name().to_string();
-        let mut client_cfg =
-            ManagerConfig::empty(client_host, "gw.cairn.net:8765");
+        let mut client_cfg = ManagerConfig::empty(client_host, "gw.cairn.net:8765");
         for (template, freq) in [
             (SensorTemplate::Cpu, 0.5),
             (SensorTemplate::Memory, 5.0),
@@ -212,22 +223,13 @@ impl JammDeployment {
             Dn::parse("o=isi,o=grid").expect("valid base"),
         ));
 
-        let archive = Arc::new(EventArchive::new());
-        let archiver = config.archive.then(|| {
-            ArchiverAgent::new(
-                "archiver",
-                Arc::clone(&archive),
-                Dn::parse("archive=matisse,o=lbl,o=grid").expect("valid dn"),
-            )
-        });
-
         JammDeployment {
             scenario,
             directory,
             registry,
-            gateways: vec![lbl_gateway, isi_gateway],
+            gateways,
             managers,
-            collector: EventCollector::new("nlv-analyst"),
+            collector,
             archiver,
             archive,
             config,
@@ -286,7 +288,7 @@ impl JammDeployment {
                 } else {
                     &self.gateways[1]
                 };
-                manager.tick(now, &stats, &ports, gateway, Some(&self.directory));
+                manager.tick(now, &stats, &ports, gateway.as_ref(), Some(&self.directory));
             }
             if !self.subscribed {
                 self.connect_consumers();
@@ -363,7 +365,11 @@ impl JammDeployment {
     pub fn events_delivered(&self) -> u64 {
         self.gateways
             .iter()
-            .map(|g| g.stats().events_out.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|g| {
+                g.stats()
+                    .events_out
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum()
     }
 
@@ -371,7 +377,11 @@ impl JammDeployment {
     pub fn events_published(&self) -> u64 {
         self.gateways
             .iter()
-            .map(|g| g.stats().events_in.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|g| {
+                g.stats()
+                    .events_in
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum()
     }
 
@@ -416,7 +426,9 @@ mod tests {
         // The merged log is time ordered and contains both kinds of events.
         let log = jamm.merged_log();
         assert!(log.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
-        assert!(log.iter().any(|e| e.event_type == keys::matisse::END_READ_FRAME));
+        assert!(log
+            .iter()
+            .any(|e| e.event_type == keys::matisse::END_READ_FRAME));
         assert!(log.iter().any(|e| e.event_type == keys::cpu::SYS));
     }
 

@@ -1,0 +1,88 @@
+//! # jamm — Java Agents for Monitoring and Management, in Rust
+//!
+//! The facade crate of the JAMM reproduction (Tierney et al., "A Monitoring
+//! Sensor Management System for Grid Environments", HPDC 2000).  One
+//! dependency wires the paper's whole architecture; the individual pieces
+//! live in the `jamm-*` crates re-exported below.
+//!
+//! ## Paper component → crate map (§2.2)
+//!
+//! | Paper component | Crate |
+//! |---|---|
+//! | Sensors (host / network / process / application) | [`jamm_sensors`] |
+//! | Sensor managers, port monitor agent | [`jamm_manager`] |
+//! | Event gateways (filters, summaries, access control) | [`jamm_gateway`] |
+//! | Sensor directory (LDAP-like) | [`jamm_directory`] |
+//! | Consumers: collector, archiver, procmon, overview | [`jamm_consumers`] |
+//! | Event archive | [`jamm_archive`] |
+//! | ULM events and the text/binary/JSON codecs | [`jamm_ulm`] |
+//! | NetLogger toolkit (API, merge, clocks, nlv) | [`jamm_netlogger`] |
+//! | RMI substrate and event bridge | [`jamm_rmi`] |
+//! | Certificates, grid-mapfile, policy | [`jamm_auth`] |
+//! | Simulated Grid testbed | [`jamm_netsim`] |
+//!
+//! Every hop speaks the shared pipeline vocabulary from `jamm-core`: events
+//! move through [`jamm_core::flow::EventSink`] / `EventSource`
+//! implementations over **bounded** channels, wire formats implement
+//! [`jamm_core::codec::Codec`] and are negotiated by content type, and
+//! consumers subscribe with the gateway's fluent `SubscriptionBuilder`.
+//!
+//! ## Entry points
+//!
+//! * [`JammBuilder`] — declare a deployment (directory, gateways,
+//!   consumers) and get a wired [`builder::JammSystem`]:
+//!
+//! ```
+//! use jamm::JammBuilder;
+//!
+//! let mut jamm = JammBuilder::new()
+//!     .directory("ldap://dir.lbl.gov", "o=grid")
+//!     .gateway("gw.lbl.gov:8765")
+//!     .collector("nlv-analyst")
+//!     .build()
+//!     .expect("valid deployment");
+//! assert_eq!(jamm.connect_collectors(vec![]), 1);
+//! ```
+//!
+//! * [`deployment::JammDeployment`] — the paper's Figure 4 / §6 MATISSE
+//!   case study running over the simulated testbed:
+//!
+//! ```
+//! use jamm::deployment::{DeploymentConfig, JammDeployment};
+//!
+//! // A small LAN MATISSE run: 2 DPSS servers streaming frames to a client,
+//! // fully monitored by JAMM.
+//! let mut config = DeploymentConfig::matisse_lan(2);
+//! config.matisse.player.max_frames = 5;
+//! let mut jamm = JammDeployment::matisse(config);
+//! jamm.run_secs(5.0);
+//! assert!(jamm.collector_event_count() > 0);
+//! ```
+//!
+//! * [`cluster::ClusterDeployment`] — the §1.1 monitored compute farm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod builder;
+pub mod cluster;
+pub mod deployment;
+
+pub use builder::{BuildError, JammBuilder, JammSystem};
+pub use deployment::{DeploymentConfig, JammDeployment};
+
+// Re-export the sub-crates under predictable names so downstream users need
+// only one dependency.
+pub use jamm_archive;
+pub use jamm_auth;
+pub use jamm_consumers;
+pub use jamm_core;
+pub use jamm_directory;
+pub use jamm_gateway;
+pub use jamm_manager;
+pub use jamm_netlogger;
+pub use jamm_netsim;
+pub use jamm_rmi;
+pub use jamm_sensors;
+pub use jamm_ulm;

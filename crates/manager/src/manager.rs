@@ -11,14 +11,15 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use jamm_directory::{Dn, DirectoryServer, Entry};
-use jamm_gateway::EventGateway;
+use jamm_core::flow::EventSink;
+use jamm_directory::{DirectoryServer, Dn, Entry};
 use jamm_sensors::application::ApplicationSensor;
 use jamm_sensors::host::{CpuSensor, MemorySensor};
 use jamm_sensors::network::SnmpSensor;
 use jamm_sensors::process::ProcessSensor;
 use jamm_sensors::tcp::{NetstatCounterSensor, TcpSensor};
 use jamm_sensors::{SampleContext, Sensor, StatsSource};
+use jamm_ulm::Event;
 use jamm_ulm::Timestamp;
 
 use crate::config::{ConfigProvider, ManagerConfig, RunPolicy, SensorTemplate};
@@ -69,6 +70,7 @@ pub struct SensorManager {
     port_monitor: PortMonitorAgent,
     directory_base: Dn,
     events_published: u64,
+    delivery_failures: u64,
 }
 
 impl SensorManager {
@@ -83,6 +85,7 @@ impl SensorManager {
             port_monitor: PortMonitorAgent::new(),
             directory_base,
             events_published: 0,
+            delivery_failures: 0,
         };
         mgr.apply_config(config);
         mgr
@@ -101,6 +104,13 @@ impl SensorManager {
     /// Total events pushed to the gateway since the manager started.
     pub fn events_published(&self) -> u64 {
         self.events_published
+    }
+
+    /// Events whose delivery the sink refused (closed or rejecting sink).
+    /// Sensors keep running through sink outages; this counter is how the
+    /// loss stays visible.
+    pub fn delivery_failures(&self) -> u64 {
+        self.delivery_failures
     }
 
     /// Apply (or re-apply) a configuration: new sensors are created, removed
@@ -217,14 +227,16 @@ impl SensorManager {
     /// 1. feed the port monitor with observed per-port traffic;
     /// 2. start / stop sensors according to their run policy;
     /// 3. sample every running sensor whose period has elapsed;
-    /// 4. push the events to the gateway;
+    /// 4. push the events into the sink (normally the host's event
+    ///    gateway, but any [`EventSink`] — a remote bridge, an archive, a
+    ///    test probe — works);
     /// 5. refresh the sensor directory.
     pub fn tick(
         &mut self,
         now: Timestamp,
         stats: &dyn StatsSource,
         ports: &dyn PortActivitySource,
-        gateway: &EventGateway,
+        sink: &dyn EventSink<Event>,
         directory: Option<&Arc<DirectoryServer>>,
     ) -> u64 {
         // 1. Port activity.
@@ -255,9 +267,7 @@ impl SensorManager {
             }
             let due = match s.last_sample {
                 None => true,
-                Some(last) => {
-                    now.as_micros() >= last.as_micros() + (s.frequency_secs * 1e6) as u64
-                }
+                Some(last) => now.as_micros() >= last.as_micros() + (s.frequency_secs * 1e6) as u64,
             };
             if !due {
                 continue;
@@ -269,8 +279,12 @@ impl SensorManager {
             };
             let events = s.sensor.sample(&ctx);
             s.events_emitted += events.len() as u64;
-            for e in &events {
-                gateway.publish(e);
+            // A failing sink is not the manager's failure: the sensors keep
+            // running, and the whole batch is counted as lost (the default
+            // accept_batch aborts at the first error, so per-event progress
+            // within a failed batch is unknowable here).
+            if sink.accept_batch(&events).is_err() {
+                self.delivery_failures += events.len() as u64;
             }
             published += events.len() as u64;
         }
@@ -315,7 +329,9 @@ fn build_sensor(template: &SensorTemplate, host: &str, frequency_secs: f64) -> B
         SensorTemplate::Memory => Box::new(MemorySensor::new(host, frequency_secs)),
         SensorTemplate::Tcp => Box::new(TcpSensor::new(host, frequency_secs)),
         SensorTemplate::NetstatCounter => Box::new(NetstatCounterSensor::new(host, frequency_secs)),
-        SensorTemplate::Snmp { device } => Box::new(SnmpSensor::new(device.clone(), frequency_secs)),
+        SensorTemplate::Snmp { device } => {
+            Box::new(SnmpSensor::new(device.clone(), frequency_secs))
+        }
         SensorTemplate::Process { process } => {
             Box::new(ProcessSensor::new(host, process.clone(), frequency_secs))
         }
@@ -359,7 +375,7 @@ impl SensorManager {
 mod tests {
     use super::*;
     use crate::config::{SensorConfigEntry, StaticConfigProvider};
-    use jamm_gateway::{GatewayConfig, SubscribeRequest, SubscriptionMode};
+    use jamm_gateway::{EventGateway, GatewayConfig};
     use jamm_sensors::{HostView, IfView};
     use std::cell::Cell;
 
@@ -398,16 +414,23 @@ mod tests {
         }
     }
 
-    fn setup() -> (SensorManager, FakeStats, FakePorts, EventGateway, Arc<DirectoryServer>) {
-        let cfg = ManagerConfig::standard_host("dpss1.lbl.gov", "gw1.lbl.gov:8765", &["dpss_master"])
-            .with_sensor(SensorConfigEntry {
-                template: SensorTemplate::NetstatCounter,
-                frequency_secs: 1.0,
-                policy: RunPolicy::PortTriggered {
-                    port: 7_000,
-                    idle_secs: 5.0,
-                },
-            });
+    fn setup() -> (
+        SensorManager,
+        FakeStats,
+        FakePorts,
+        EventGateway,
+        Arc<DirectoryServer>,
+    ) {
+        let cfg =
+            ManagerConfig::standard_host("dpss1.lbl.gov", "gw1.lbl.gov:8765", &["dpss_master"])
+                .with_sensor(SensorConfigEntry {
+                    template: SensorTemplate::NetstatCounter,
+                    frequency_secs: 1.0,
+                    policy: RunPolicy::PortTriggered {
+                        port: 7_000,
+                        idle_secs: 5.0,
+                    },
+                });
         let mgr = SensorManager::new(&cfg, Dn::parse("o=lbl,o=grid").unwrap());
         let stats = FakeStats {
             retrans: Cell::new(0),
@@ -472,7 +495,10 @@ mod tests {
         // Traffic stops; after the 5 s idle timeout the sensor stops too.
         ports.active_port.set(None);
         mgr.tick(t(3.0), &stats, &ports, &gw, Some(&dir));
-        assert!(mgr.running_sensors().contains(&"netstat".to_string()), "still within idle");
+        assert!(
+            mgr.running_sensors().contains(&"netstat".to_string()),
+            "still within idle"
+        );
         mgr.tick(t(7.0), &stats, &ports, &gw, Some(&dir));
         assert!(!mgr.running_sensors().contains(&"netstat".to_string()));
         assert_eq!(dir.lookup(&dn).unwrap().get("status"), Some("stopped"));
@@ -547,11 +573,10 @@ mod tests {
     fn events_flow_through_to_gateway_subscribers() {
         let (mut mgr, stats, ports, gw, _) = setup();
         let sub = gw
-            .subscribe(SubscribeRequest {
-                consumer: "collector".into(),
-                mode: SubscriptionMode::Stream,
-                filters: vec![],
-            })
+            .subscribe()
+            .stream()
+            .as_consumer("collector")
+            .open()
             .unwrap();
         stats.retrans.set(5);
         mgr.tick(t(0.0), &stats, &ports, &gw, None);
@@ -559,6 +584,8 @@ mod tests {
         mgr.tick(t(1.1), &stats, &ports, &gw, None);
         let events: Vec<_> = sub.events.try_iter().collect();
         assert!(events.iter().any(|e| e.event_type == "CPU_TOTAL"));
-        assert!(events.iter().any(|e| e.event_type == "TCPD_RETRANSMITS" && e.value() == Some(4.0)));
+        assert!(events
+            .iter()
+            .any(|e| e.event_type == "TCPD_RETRANSMITS" && e.value() == Some(4.0)));
     }
 }

@@ -9,13 +9,11 @@
 //! correlation, per-stage latency breakdowns, and two-cluster analysis of
 //! read sizes.
 
-use jamm_ulm::{Event, Timestamp};
-use serde::Serialize;
-
 use crate::nlv::Lifeline;
+use jamm_ulm::{Event, Timestamp};
 
 /// A period with no progress events (a stall in frame delivery).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gap {
     /// Start of the gap.
     pub start: Timestamp,
@@ -49,7 +47,7 @@ pub fn delivery_gaps(events: &[Event], progress_event: &str, min_gap_us: u64) ->
 
 /// How strongly occurrences of `marker_event` (e.g. retransmissions) line up
 /// with the detected gaps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GapCorrelation {
     /// Number of gaps examined.
     pub gaps: usize,
@@ -75,7 +73,12 @@ impl GapCorrelation {
 /// Correlate marker events (e.g. `TCPD_RETRANSMITS`) with delivery gaps.
 /// A marker "explains" a gap if it occurs within the gap or within
 /// `slack_us` before it starts.
-pub fn correlate_gaps(events: &[Event], gaps: &[Gap], marker_event: &str, slack_us: u64) -> GapCorrelation {
+pub fn correlate_gaps(
+    events: &[Event],
+    gaps: &[Gap],
+    marker_event: &str,
+    slack_us: u64,
+) -> GapCorrelation {
     let markers: Vec<Timestamp> = events
         .iter()
         .filter(|e| e.event_type == marker_event)
@@ -123,7 +126,7 @@ pub fn mean_stage_durations(lifelines: &[Lifeline]) -> Vec<(String, String, f64,
 
 /// Result of splitting a set of readings into two clusters (Figure 3: "the
 /// (unexpected) clustering of the data around two distinct values").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoClusters {
     /// Centre of the lower cluster.
     pub low_center: f64,
@@ -200,7 +203,10 @@ pub fn two_cluster(readings: &[f64]) -> Option<TwoClusters> {
 /// Throughput (bits/second) of a byte-counting event series over its span,
 /// where each event carries the byte count in `field`.
 pub fn throughput_bps(events: &[Event], event_type: &str, field: &str) -> f64 {
-    let relevant: Vec<&Event> = events.iter().filter(|e| e.event_type == event_type).collect();
+    let relevant: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.event_type == event_type)
+        .collect();
     if relevant.len() < 2 {
         return 0.0;
     }
@@ -240,7 +246,10 @@ mod tests {
         assert_eq!(gaps.len(), 1);
         assert_eq!(gaps[0].length_us, 1_500_000);
         // With a lower threshold, the 200 ms inter-frame times count too.
-        assert_eq!(delivery_gaps(&log, "MPLAY_END_READ_FRAME", 100_000).len(), 3);
+        assert_eq!(
+            delivery_gaps(&log, "MPLAY_END_READ_FRAME", 100_000).len(),
+            3
+        );
         assert!(delivery_gaps(&[], "X", 1).is_empty());
     }
 
@@ -267,7 +276,10 @@ mod tests {
 
     #[test]
     fn stage_durations_average_across_lifelines() {
-        let order = [keys::matisse::START_READ_FRAME, keys::matisse::END_READ_FRAME];
+        let order = [
+            keys::matisse::START_READ_FRAME,
+            keys::matisse::END_READ_FRAME,
+        ];
         let mut log = Vec::new();
         for (i, dur) in [100_000u64, 300_000].iter().enumerate() {
             let oid = format!("frame-{i}");
@@ -330,7 +342,10 @@ mod tests {
             },
         ];
         let bps = throughput_bps(&log, "WriteData", "SEND.SZ");
-        assert!((bps - 10_000_000.0).abs() < 1.0, "1.25 MB over 1 s = 10 Mbit/s, got {bps}");
+        assert!(
+            (bps - 10_000_000.0).abs() < 1.0,
+            "1.25 MB over 1 s = 10 Mbit/s, got {bps}"
+        );
         assert_eq!(throughput_bps(&log, "Other", "SEND.SZ"), 0.0);
     }
 }

@@ -18,8 +18,11 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use crossbeam::channel::Sender;
+use jamm_core::channel::Sender;
+use jamm_core::flow::EventSink;
+use jamm_ulm::codec::{codec_for, EventCodec};
 use jamm_ulm::{keys, text, Event, Level, Timestamp, Value};
 
 /// Where a [`NetLogger`] sends its events.
@@ -32,6 +35,19 @@ pub enum Sink {
     /// Send events to a collector over a channel (the in-process stand-in
     /// for "log to a remote host on port 14830").
     Net(Sender<Event>),
+    /// Append frames of the named ULM content type to a local file — the
+    /// file-sink analogue of wire codec negotiation: callers pass the
+    /// content type the downstream analysis tools asked for (see
+    /// [`jamm_ulm::codec`]).
+    EncodedFile {
+        /// File to append to.
+        path: PathBuf,
+        /// Negotiated content type, e.g. `application/x-ulm-binary`.
+        content_type: &'static str,
+    },
+    /// Push events into any pipeline sink: a local gateway, an archive, or
+    /// a remote gateway behind an RMI event bridge.
+    Pipeline(Arc<dyn EventSink<Event>>),
 }
 
 impl std::fmt::Debug for Sink {
@@ -40,6 +56,10 @@ impl std::fmt::Debug for Sink {
             Sink::Memory => write!(f, "Sink::Memory"),
             Sink::File(p) => write!(f, "Sink::File({})", p.display()),
             Sink::Net(_) => write!(f, "Sink::Net(..)"),
+            Sink::EncodedFile { path, content_type } => {
+                write!(f, "Sink::EncodedFile({}, {content_type})", path.display())
+            }
+            Sink::Pipeline(_) => write!(f, "Sink::Pipeline(..)"),
         }
     }
 }
@@ -53,6 +73,10 @@ pub enum LogError {
     CollectorGone,
     /// `write` was called before `open`.
     NotOpen,
+    /// The requested content type has no codec.
+    UnknownContentType(String),
+    /// The downstream pipeline sink refused the event.
+    SinkRefused(String),
 }
 
 impl std::fmt::Display for LogError {
@@ -61,6 +85,8 @@ impl std::fmt::Display for LogError {
             LogError::Io(e) => write!(f, "i/o error: {e}"),
             LogError::CollectorGone => write!(f, "collector channel closed"),
             LogError::NotOpen => write!(f, "logger not opened"),
+            LogError::UnknownContentType(ct) => write!(f, "no codec for content type {ct}"),
+            LogError::SinkRefused(why) => write!(f, "pipeline sink refused event: {why}"),
         }
     }
 }
@@ -77,6 +103,11 @@ enum OpenSink {
     Memory,
     File(BufWriter<File>),
     Net(Sender<Event>),
+    EncodedFile {
+        writer: BufWriter<File>,
+        codec: EventCodec,
+    },
+    Pipeline(Arc<dyn EventSink<Event>>),
 }
 
 /// The NetLogger instrumentation handle.
@@ -135,6 +166,17 @@ impl NetLogger {
                 OpenOptions::new().create(true).append(true).open(path)?,
             )),
             Sink::Net(tx) => OpenSink::Net(tx),
+            Sink::EncodedFile { path, content_type } => {
+                let codec = codec_for(content_type)
+                    .ok_or_else(|| LogError::UnknownContentType(content_type.to_string()))?;
+                OpenSink::EncodedFile {
+                    writer: BufWriter::new(
+                        OpenOptions::new().create(true).append(true).open(path)?,
+                    ),
+                    codec,
+                }
+            }
+            Sink::Pipeline(sink) => OpenSink::Pipeline(sink),
         });
         Ok(())
     }
@@ -163,11 +205,7 @@ impl NetLogger {
     /// Log an event with the given NetLogger event name and user fields,
     /// automatically timestamped.  This is the `write("WriteIt", ...)` call
     /// from the paper.
-    pub fn write(
-        &mut self,
-        event_name: &str,
-        fields: &[(&str, Value)],
-    ) -> Result<(), LogError> {
+    pub fn write(&mut self, event_name: &str, fields: &[(&str, Value)]) -> Result<(), LogError> {
         let mut builder = Event::builder(self.program.clone(), self.host.clone())
             .level(Level::Usage)
             .event_type(event_name);
@@ -204,6 +242,23 @@ impl NetLogger {
                 self.written += 1;
                 Ok(())
             }
+            Some(OpenSink::EncodedFile { writer, codec }) => {
+                writer.write_all(&codec.encode(&event))?;
+                // Binary frames are self-delimiting; the text and JSON
+                // formats are one-document-per-line and need the separator
+                // (TextCodec::encode emits no trailing newline).
+                if codec.content_type() != jamm_ulm::codec::BINARY {
+                    writer.write_all(b"\n")?;
+                }
+                self.written += 1;
+                Ok(())
+            }
+            Some(OpenSink::Pipeline(sink)) => {
+                sink.accept(&event)
+                    .map_err(|e| LogError::SinkRefused(e.to_string()))?;
+                self.written += 1;
+                Ok(())
+            }
         }
     }
 
@@ -225,10 +280,13 @@ impl NetLogger {
         std::mem::take(&mut self.buffer)
     }
 
-    /// Flush the underlying sink (meaningful for the file sink).
+    /// Flush the underlying sink (meaningful for the file sinks).
     pub fn flush(&mut self) -> Result<(), LogError> {
-        if let Some(OpenSink::File(w)) = self.sink.as_mut() {
-            w.flush()?;
+        match self.sink.as_mut() {
+            Some(OpenSink::File(w)) | Some(OpenSink::EncodedFile { writer: w, .. }) => {
+                w.flush()?;
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -244,7 +302,9 @@ impl NetLogger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use jamm_core::channel::unbounded;
+    use jamm_core::flow::SinkError;
+    use jamm_core::sync::Mutex;
 
     #[test]
     fn paper_example_produces_the_expected_ulm_line() {
@@ -253,7 +313,8 @@ mod tests {
         log.set_clock_override(Some(
             Timestamp::parse_ulm_date("20000330112320.957943").unwrap(),
         ));
-        log.write("WriteData", &[("SEND.SZ", Value::UInt(49_332))]).unwrap();
+        log.write("WriteData", &[("SEND.SZ", Value::UInt(49_332))])
+            .unwrap();
         let events = log.drain_buffer();
         assert_eq!(events.len(), 1);
         let line = text::encode(&events[0]);
@@ -267,10 +328,7 @@ mod tests {
     #[test]
     fn write_before_open_fails_and_close_disables() {
         let mut log = NetLogger::with_host("p", "h");
-        assert!(matches!(
-            log.write("X", &[]),
-            Err(LogError::NotOpen)
-        ));
+        assert!(matches!(log.write("X", &[]), Err(LogError::NotOpen)));
         log.open(Sink::Memory).unwrap();
         log.write("X", &[]).unwrap();
         log.close().unwrap();
@@ -288,8 +346,12 @@ mod tests {
             let mut log = NetLogger::with_host("ftpd", "dpss1.lbl.gov");
             log.open(Sink::File(path.clone())).unwrap();
             for i in 0..10u64 {
-                log.write_for_object("SEND_BLOCK", &format!("xfer-{}", i % 2), &[("SZ", Value::UInt(i))])
-                    .unwrap();
+                log.write_for_object(
+                    "SEND_BLOCK",
+                    &format!("xfer-{}", i % 2),
+                    &[("SZ", Value::UInt(i))],
+                )
+                .unwrap();
             }
             log.close().unwrap();
         }
@@ -305,17 +367,16 @@ mod tests {
         let (tx, rx) = unbounded();
         let mut log = NetLogger::with_host("mplay", "mems.cairn.net");
         log.open(Sink::Net(tx)).unwrap();
-        log.write("MPLAY_START_READ_FRAME", &[("FRAME.ID", Value::UInt(1))]).unwrap();
-        log.write("MPLAY_END_READ_FRAME", &[("FRAME.ID", Value::UInt(1))]).unwrap();
+        log.write("MPLAY_START_READ_FRAME", &[("FRAME.ID", Value::UInt(1))])
+            .unwrap();
+        log.write("MPLAY_END_READ_FRAME", &[("FRAME.ID", Value::UInt(1))])
+            .unwrap();
         let got: Vec<Event> = rx.try_iter().collect();
         assert_eq!(got.len(), 2);
         assert_eq!(got[1].event_type, "MPLAY_END_READ_FRAME");
         // Dropping the receiver turns further writes into CollectorGone.
         drop(rx);
-        assert!(matches!(
-            log.write("X", &[]),
-            Err(LogError::CollectorGone)
-        ));
+        assert!(matches!(log.write("X", &[]), Err(LogError::CollectorGone)));
     }
 
     #[test]
@@ -327,5 +388,91 @@ mod tests {
         let events = log.drain_buffer();
         assert!(events[0].timestamp <= events[1].timestamp);
         assert!(events[0].timestamp > Timestamp::from_secs(1_500_000_000));
+    }
+
+    #[test]
+    fn encoded_file_sink_writes_negotiated_format() {
+        let dir = std::env::temp_dir().join(format!("jamm-netlogger-codec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.bin");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = NetLogger::with_host("dpss", "dpss1.lbl.gov");
+            log.open(Sink::EncodedFile {
+                path: path.clone(),
+                content_type: jamm_ulm::codec::BINARY,
+            })
+            .unwrap();
+            for i in 0..6u64 {
+                log.write("DPSS_SERV_IN", &[("BLOCK.ID", Value::UInt(i))])
+                    .unwrap();
+            }
+            log.close().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let events = jamm_ulm::binary::decode_all(&bytes).unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[5].field("BLOCK.ID"), Some(&Value::UInt(5)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoded_file_text_frames_are_line_separated() {
+        let dir = std::env::temp_dir().join(format!("jamm-netlogger-text-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.ulm");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = NetLogger::with_host("dpss", "dpss1.lbl.gov");
+            log.open(Sink::EncodedFile {
+                path: path.clone(),
+                content_type: jamm_ulm::codec::TEXT,
+            })
+            .unwrap();
+            for i in 0..4u64 {
+                log.write("TICK", &[("N", Value::UInt(i))]).unwrap();
+            }
+            log.close().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = jamm_ulm::text::decode_all_lossy(&text);
+        assert_eq!(events.len(), 4, "one parseable ULM line per event");
+        assert_eq!(events[3].field("N"), Some(&Value::UInt(3)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_content_type_fails_to_open() {
+        let mut log = NetLogger::with_host("p", "h");
+        assert!(matches!(
+            log.open(Sink::EncodedFile {
+                path: std::env::temp_dir().join("never-created.log"),
+                content_type: "application/xml",
+            }),
+            Err(LogError::UnknownContentType(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_sink_receives_events() {
+        struct Probe(Mutex<Vec<Event>>);
+        impl EventSink<Event> for Probe {
+            fn accept(&self, event: &Event) -> Result<usize, SinkError> {
+                self.0.lock().push(event.clone());
+                Ok(1)
+            }
+        }
+        let probe = Arc::new(Probe(Mutex::new(Vec::new())));
+        let mut log = NetLogger::with_host("mplay", "mems.cairn.net");
+        log.open(Sink::Pipeline(
+            Arc::clone(&probe) as Arc<dyn EventSink<Event>>
+        ))
+        .unwrap();
+        log.write("MPLAY_START_READ_FRAME", &[("FRAME.ID", Value::UInt(1))])
+            .unwrap();
+        log.write("MPLAY_END_READ_FRAME", &[("FRAME.ID", Value::UInt(1))])
+            .unwrap();
+        assert_eq!(probe.0.lock().len(), 2);
+        assert_eq!(log.events_written(), 2);
     }
 }

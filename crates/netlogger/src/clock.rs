@@ -15,9 +15,8 @@
 //! reproduce the 0.25 ms / 1 ms numbers and show what clock skew does to
 //! lifeline analysis.
 
+use jamm_core::rng::Rng;
 use jamm_ulm::{Event, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A host's clock: true time plus an offset that drifts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +30,10 @@ pub struct HostClock {
 impl HostClock {
     /// A clock with the given initial offset and drift.
     pub fn new(offset_us: f64, drift_ppm: f64) -> Self {
-        HostClock { offset_us, drift_ppm }
+        HostClock {
+            offset_us,
+            drift_ppm,
+        }
     }
 
     /// A perfectly synchronised, drift-free clock.
@@ -71,7 +73,7 @@ struct SyncedHost {
 #[derive(Debug)]
 pub struct NtpSimulation {
     hosts: Vec<SyncedHost>,
-    rng: StdRng,
+    rng: Rng,
     /// Polling interval in seconds.
     pub poll_interval_secs: f64,
     /// One-way jitter per router hop, microseconds (asymmetric path delay is
@@ -84,7 +86,7 @@ impl NtpSimulation {
     pub fn new(seed: u64) -> Self {
         NtpSimulation {
             hosts: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             poll_interval_secs: 64.0,
             per_hop_jitter_us: 150.0,
         }
@@ -201,7 +203,10 @@ mod tests {
         sim.run(50);
         let near = sim.offset_of("near").unwrap();
         let far = sim.offset_of("far").unwrap();
-        assert!(near < far, "more hops => worse sync ({near:.0} vs {far:.0} us)");
+        assert!(
+            near < far,
+            "more hops => worse sync ({near:.0} vs {far:.0} us)"
+        );
         assert!(far < 2_000.0, "still within a couple of ms: {far:.0} us");
     }
 
@@ -216,8 +221,14 @@ mod tests {
                 .timestamp(Timestamp::from_micros(1_000_000 + us))
                 .build()
         };
-        let client = vec![mk("client", "REQ_SENT", 0), mk("client", "RESP_RECV", 15_000)];
-        let server = vec![mk("server", "REQ_RECV", 5_000), mk("server", "RESP_SENT", 10_000)];
+        let client = vec![
+            mk("client", "REQ_SENT", 0),
+            mk("client", "RESP_RECV", 15_000),
+        ];
+        let server = vec![
+            mk("server", "REQ_RECV", 5_000),
+            mk("server", "RESP_SENT", 10_000),
+        ];
         // Synchronised: the merged lifeline is ordered.
         let merged = merge_logs(&[client.clone(), server.clone()]);
         assert_eq!(inversion_count(&merged), 0);
@@ -227,7 +238,10 @@ mod tests {
         let slow = HostClock::new(-8_000.0, 0.0);
         let skewed_server = skew_events(&server, "server", &slow);
         let merged_skewed = merge_logs(&[client, skewed_server]);
-        let order: Vec<_> = merged_skewed.iter().map(|e| e.event_type.as_str()).collect();
+        let order: Vec<_> = merged_skewed
+            .iter()
+            .map(|e| e.event_type.as_str())
+            .collect();
         assert_eq!(order[0], "REQ_RECV", "causality appears violated");
     }
 }

@@ -57,11 +57,20 @@ mod tests {
 
     #[test]
     fn merge_orders_across_sources() {
-        let client = vec![ev("client", "REQ_SENT", 100), ev("client", "RESP_RECV", 500)];
-        let server = vec![ev("server", "REQ_RECV", 200), ev("server", "RESP_SENT", 400)];
+        let client = vec![
+            ev("client", "REQ_SENT", 100),
+            ev("client", "RESP_RECV", 500),
+        ];
+        let server = vec![
+            ev("server", "REQ_RECV", 200),
+            ev("server", "RESP_SENT", 400),
+        ];
         let merged = merge_logs(&[client, server]);
         let types: Vec<_> = merged.iter().map(|e| e.event_type.as_str()).collect();
-        assert_eq!(types, vec!["REQ_SENT", "REQ_RECV", "RESP_SENT", "RESP_RECV"]);
+        assert_eq!(
+            types,
+            vec!["REQ_SENT", "REQ_RECV", "RESP_SENT", "RESP_RECV"]
+        );
         assert!(is_time_ordered(&merged));
         assert_eq!(inversion_count(&merged), 0);
     }

@@ -19,11 +19,9 @@
 use std::collections::BTreeMap;
 
 use jamm_ulm::{Event, Timestamp};
-use serde::Serialize;
-
 /// One object's lifeline: its events in time order, with the y-position of
 /// each event taken from the chart's event ordering.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lifeline {
     /// The correlation id (`NL.OID`) of the object.
     pub object_id: String,
@@ -56,7 +54,7 @@ impl Lifeline {
 }
 
 /// A loadline: scaled values forming a continuous curve.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Loadline {
     /// Host the readings came from.
     pub host: String,
@@ -67,7 +65,7 @@ pub struct Loadline {
 }
 
 /// A point series: single occurrences, optionally value-scaled.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSeries {
     /// Host the events came from.
     pub host: String,
@@ -139,7 +137,7 @@ pub fn points(events: &[Event], host: Option<&str>, event_type: &str) -> PointSe
 /// A complete nlv-style chart: lifelines over an ordered set of event types,
 /// plus loadlines and point series on the same time axis — the structure of
 /// Figure 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NlvChart {
     /// The y-axis event ordering used for lifelines.
     pub event_order: Vec<String>,
@@ -301,8 +299,20 @@ mod tests {
         vec![
             ev("mems.cairn.net", ORDER[2], start_us, Some(oid), None),
             ev("dpss1.lbl.gov", ORDER[0], start_us + step, Some(oid), None),
-            ev("dpss1.lbl.gov", ORDER[1], start_us + 2 * step, Some(oid), None),
-            ev("mems.cairn.net", ORDER[3], start_us + 3 * step, Some(oid), None),
+            ev(
+                "dpss1.lbl.gov",
+                ORDER[1],
+                start_us + 2 * step,
+                Some(oid),
+                None,
+            ),
+            ev(
+                "mems.cairn.net",
+                ORDER[3],
+                start_us + 3 * step,
+                Some(oid),
+                None,
+            ),
         ]
     }
 
@@ -346,8 +356,20 @@ mod tests {
     #[test]
     fn chart_assembles_figure7_structure() {
         let mut log = request_path("frame-1", 0, 1_000);
-        log.push(ev("mems.cairn.net", "VMSTAT_SYS_TIME", 500, None, Some(55.0)));
-        log.push(ev("mems.cairn.net", "TCPD_RETRANSMITS", 1_200, None, Some(1.0)));
+        log.push(ev(
+            "mems.cairn.net",
+            "VMSTAT_SYS_TIME",
+            500,
+            None,
+            Some(55.0),
+        ));
+        log.push(ev(
+            "mems.cairn.net",
+            "TCPD_RETRANSMITS",
+            1_200,
+            None,
+            Some(1.0),
+        ));
         let chart = NlvChart::build(
             &log,
             &ORDER,

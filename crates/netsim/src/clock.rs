@@ -6,13 +6,11 @@
 //! arithmetic stays in plain microseconds.
 
 use jamm_ulm::Timestamp;
-use serde::{Deserialize, Serialize};
-
 /// Default tick length: 1 millisecond.
 pub const DEFAULT_TICK_US: u64 = 1_000;
 
 /// The simulation clock: current simulated time plus the tick length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimClock {
     /// Microseconds since the simulation epoch.
     now_us: u64,

@@ -54,7 +54,12 @@ pub struct DpssServer {
 
 impl DpssServer {
     /// Create a server on `host` using `flow` towards the client.
-    pub fn new(host: HostId, host_name: impl Into<String>, flow: FlowId, disk_latency_us: u64) -> Self {
+    pub fn new(
+        host: HostId,
+        host_name: impl Into<String>,
+        flow: FlowId,
+        disk_latency_us: u64,
+    ) -> Self {
         DpssServer {
             host,
             host_name: host_name.into(),
@@ -88,7 +93,10 @@ pub struct DpssCluster {
 impl DpssCluster {
     /// Build a cluster from its servers.
     pub fn new(servers: Vec<DpssServer>, block_bytes: u64) -> Self {
-        assert!(!servers.is_empty(), "a DPSS cluster needs at least one server");
+        assert!(
+            !servers.is_empty(),
+            "a DPSS cluster needs at least one server"
+        );
         assert!(block_bytes > 0);
         DpssCluster {
             servers,
@@ -249,7 +257,14 @@ mod tests {
         for i in 0..n_servers {
             let name = format!("dpss{}.lbl.gov", i + 1);
             let h = net.add_host(HostSpec::new(name.clone()));
-            let f = net.open_flow(format!("dpss{}", i + 1), h, client, 7_000, vec![lan], 1 << 20);
+            let f = net.open_flow(
+                format!("dpss{}", i + 1),
+                h,
+                client,
+                7_000,
+                vec![lan],
+                1 << 20,
+            );
             servers.push(DpssServer::new(h, name, f, 8_000));
         }
         let cluster = DpssCluster::new(servers, DEFAULT_BLOCK_BYTES);
@@ -290,7 +305,10 @@ mod tests {
         // One SERV_IN per touched server, START/END per block.
         assert_eq!(trace.by_type(keys::matisse::DPSS_SERV_IN).count(), 1);
         let blocks = (frame as f64 / DEFAULT_BLOCK_BYTES as f64).ceil() as usize;
-        assert_eq!(trace.by_type(keys::matisse::DPSS_START_WRITE).count(), blocks);
+        assert_eq!(
+            trace.by_type(keys::matisse::DPSS_START_WRITE).count(),
+            blocks
+        );
         assert_eq!(trace.by_type(keys::matisse::DPSS_END_WRITE).count(), blocks);
     }
 
@@ -300,10 +318,16 @@ mod tests {
         let mut trace = TraceLog::new();
         run_frame(&mut net, &mut cluster, &mut trace, 7, 2_000_000, 10_000);
         let served: Vec<u64> = cluster.servers().iter().map(|s| s.bytes_served).collect();
-        assert!(served.iter().all(|&b| b > 0), "all servers served data: {served:?}");
+        assert!(
+            served.iter().all(|&b| b > 0),
+            "all servers served data: {served:?}"
+        );
         let max = *served.iter().max().unwrap();
         let min = *served.iter().min().unwrap();
-        assert!(max - min <= 2 * DEFAULT_BLOCK_BYTES, "stripe imbalance: {served:?}");
+        assert!(
+            max - min <= 2 * DEFAULT_BLOCK_BYTES,
+            "stripe imbalance: {served:?}"
+        );
         assert_eq!(trace.by_type(keys::matisse::DPSS_SERV_IN).count(), 4);
     }
 
@@ -323,7 +347,10 @@ mod tests {
             }
         }
         let t = first_delivery_tick.expect("delivery happened");
-        assert!(t >= 50, "nothing can arrive before the disk read finishes (tick {t})");
+        assert!(
+            t >= 50,
+            "nothing can arrive before the disk read finishes (tick {t})"
+        );
     }
 
     #[test]

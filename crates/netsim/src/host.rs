@@ -13,14 +13,12 @@
 //! which the TCP model turns into retransmissions and congestion-window
 //! collapse.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a host within a [`crate::network::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub usize);
 
 /// Static description of a host used to construct it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostSpec {
     /// Fully-qualified host name (e.g. `dpss1.lbl.gov`).
     pub name: String,
@@ -102,7 +100,7 @@ impl HostSpec {
 ///
 /// This is what the JAMM host sensors (`vmstat`, `netstat` equivalents)
 /// sample each collection interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HostStats {
     /// User-mode CPU utilisation over the last tick, percent (0-100).
     pub cpu_user_pct: f64,
@@ -127,7 +125,7 @@ pub struct HostStats {
 }
 
 /// A simulated host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Host {
     /// Identifier within the owning network.
     pub id: HostId,
@@ -150,8 +148,10 @@ impl Host {
     /// Construct a host from its spec.
     pub fn new(id: HostId, spec: HostSpec) -> Self {
         let mem_used = spec.memory_kb / 8; // baseline OS footprint
-        let mut stats = HostStats::default();
-        stats.mem_free_kb = spec.memory_kb - mem_used;
+        let stats = HostStats {
+            mem_free_kb: spec.memory_kb - mem_used,
+            ..HostStats::default()
+        };
         Host {
             id,
             spec,
@@ -282,11 +282,7 @@ impl Host {
         self.sys_us_this_tick += can_process as f64 * cost;
         // Dropped packets still cost an interrupt (~quarter of the full cost).
         self.sys_us_this_tick += dropped as f64 * cost * 0.25;
-        let bytes_ok = if packets > 0 {
-            bytes * can_process / packets
-        } else {
-            0
-        };
+        let bytes_ok = (bytes * can_process).checked_div(packets).unwrap_or(0);
         self.stats.rx_packets += can_process;
         self.stats.rx_bytes += bytes_ok;
         self.stats.rx_drops += dropped;
@@ -311,8 +307,8 @@ impl Host {
     pub fn end_tick(&mut self, tick_us: u64) {
         let budget = self.cpu_budget_us(tick_us);
         self.stats.cpu_sys_pct = (self.sys_us_this_tick / budget * 100.0).min(100.0);
-        self.stats.cpu_user_pct = (self.user_us_this_tick / budget * 100.0)
-            .min(100.0 - self.stats.cpu_sys_pct);
+        self.stats.cpu_user_pct =
+            (self.user_us_this_tick / budget * 100.0).min(100.0 - self.stats.cpu_sys_pct);
         self.stats.mem_free_kb = self.spec.memory_kb.saturating_sub(self.mem_used_kb);
         self.stats.active_sockets = self.sockets_this_tick;
         self.sys_us_this_tick = 0.0;

@@ -79,8 +79,7 @@ impl IperfTest {
             .iter()
             .map(|f| net.flow(*f).retransmits)
             .collect();
-        let start_timeouts: Vec<u64> =
-            self.flows.iter().map(|f| net.flow(*f).timeouts).collect();
+        let start_timeouts: Vec<u64> = self.flows.iter().map(|f| net.flow(*f).timeouts).collect();
 
         let ticks = duration_us / net.clock().tick_us();
         net.run_ticks(ticks);
@@ -161,10 +160,10 @@ mod tests {
         let sum: f64 = report.per_stream_mbps.iter().sum();
         assert!((sum - report.aggregate_mbps).abs() < 1e-9);
         test.stop(&mut net);
-        assert!(net.flows().iter().all(|f| matches!(
-            f.state,
-            crate::tcp::FlowState::Closed
-        )));
+        assert!(net
+            .flows()
+            .iter()
+            .all(|f| matches!(f.state, crate::tcp::FlowState::Closed)));
     }
 
     #[test]

@@ -6,14 +6,12 @@
 //! the JAMM *network sensors* poll (§2.2: "These sensors perform SNMP queries
 //! to a network device, typically a router or switch").
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a link within a [`crate::network::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub usize);
 
 /// Static description of a link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     /// Human-readable name (e.g. `lbl-oc12`, `supernet-oc48`).
     pub name: String,
@@ -76,7 +74,7 @@ impl LinkSpec {
 }
 
 /// SNMP-style interface counters, as exposed to the JAMM network sensors.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IfCounters {
     /// Octets carried by the link.
     pub in_octets: u64,
@@ -89,7 +87,7 @@ pub struct IfCounters {
 }
 
 /// A unidirectional link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Identifier within the owning network.
     pub id: LinkId,
@@ -141,7 +139,7 @@ impl Link {
         let carried = bytes.min(avail);
         let dropped_bytes = bytes - carried;
         self.used_this_tick += carried;
-        let carried_pkts = if bytes > 0 { packets * carried / bytes } else { 0 };
+        let carried_pkts = (packets * carried).checked_div(bytes).unwrap_or(0);
         self.counters.in_octets += carried;
         self.counters.in_packets += carried_pkts;
         self.counters.drops += packets.saturating_sub(carried_pkts) * (dropped_bytes > 0) as u64;
@@ -186,7 +184,7 @@ impl Link {
 
 /// A router or switch: a named device grouping link interfaces, polled by
 /// the JAMM network (SNMP) sensors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Router {
     /// Device name (e.g. `lbl-border-router`).
     pub name: String,

@@ -8,8 +8,7 @@
 //! quantities `vmstat`, `netstat`, SNMP and the instrumented `tcpdump`
 //! reported on the real testbed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jamm_core::rng::Rng;
 use std::collections::HashMap;
 
 use crate::clock::SimClock;
@@ -28,7 +27,7 @@ pub struct Network {
     routers: Vec<Router>,
     flows: Vec<TcpFlow>,
     host_index: HashMap<String, HostId>,
-    rng: StdRng,
+    rng: Rng,
     /// Per-(host, port) bytes delivered during the last tick; what the JAMM
     /// port-monitor agent inspects.
     port_activity: HashMap<(HostId, u16), u64>,
@@ -44,7 +43,7 @@ impl Network {
             routers: Vec::new(),
             flows: Vec::new(),
             host_index: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             port_activity: HashMap::new(),
         }
     }
@@ -89,14 +88,7 @@ impl Network {
         let rtt = 2 * prop + 2 * self.clock.tick_us();
         let id = FlowId(self.flows.len());
         self.flows.push(TcpFlow::new(
-            id,
-            name,
-            src,
-            dst,
-            dst_port,
-            path,
-            rtt,
-            rcv_window,
+            id, name, src, dst, dst_port, path, rtt, rcv_window,
         ));
         id
     }
@@ -263,7 +255,7 @@ impl Network {
                 let pkts_here = bytes.div_ceil(MSS);
                 let mut errs = 0u64;
                 for _ in 0..pkts_here.min(1_000) {
-                    if self.rng.gen::<f64>() < err_rate {
+                    if self.rng.gen_f64() < err_rate {
                         errs += 1;
                     }
                 }
@@ -299,11 +291,9 @@ impl Network {
         let pkts_to_stack = bytes_after_ring.div_ceil(MSS);
         let processed = self.hosts[dst.0].receive_packets(pkts_to_stack, bytes_after_ring, tick_us);
         let cpu_lost = pkts_to_stack - processed;
-        let mut delivered_bytes = if pkts_to_stack > 0 {
-            bytes_after_ring * processed / pkts_to_stack
-        } else {
-            0
-        };
+        let mut delivered_bytes = (bytes_after_ring * processed)
+            .checked_div(pkts_to_stack)
+            .unwrap_or(0);
 
         // Gigabit-card / driver pathology: with several concurrently active
         // sockets, each delivered packet has a small chance of being dropped
@@ -312,7 +302,7 @@ impl Network {
         let mut driver_lost = 0u64;
         if driver_p > 0.0 && processed > 0 {
             for _ in 0..processed.min(10_000) {
-                if self.rng.gen::<f64>() < driver_p {
+                if self.rng.gen_f64() < driver_p {
                     driver_lost += 1;
                 }
             }
@@ -372,7 +362,11 @@ mod tests {
             "window-limited flow should stay well under link rate, got {:.1} Mbit/s",
             rate / 1e6
         );
-        assert!(rate > 20_000_000.0, "but not collapse: {:.1} Mbit/s", rate / 1e6);
+        assert!(
+            rate > 20_000_000.0,
+            "but not collapse: {:.1} Mbit/s",
+            rate / 1e6
+        );
     }
 
     #[test]
@@ -403,11 +397,7 @@ mod tests {
         let mut net = Network::new(SimClock::matisse(), 7);
         let a = net.add_host(HostSpec::new("fast-sender"));
         // A receiver with a very slow protocol stack.
-        let b = net.add_host(
-            HostSpec::new("slow-receiver")
-                .cpus(1)
-                .pkt_cost_us(200.0),
-        );
+        let b = net.add_host(HostSpec::new("slow-receiver").cpus(1).pkt_cost_us(200.0));
         let l = net.add_link(LinkSpec::gige("lan"));
         let f = net.open_flow("blast", a, b, 9_000, vec![l], 8 << 20);
         net.flow_mut(f).set_unlimited();

@@ -171,7 +171,8 @@ impl FramePlayer {
                 self.read_sizes.push((now, r));
                 self.unread_bytes -= r;
                 // Copying the data out of the kernel costs a little user CPU.
-                net.host_mut(self.host).consume_user_cpu_us(r as f64 / 1_000.0);
+                net.host_mut(self.host)
+                    .consume_user_cpu_us(r as f64 / 1_000.0);
             }
         }
 
@@ -290,7 +291,14 @@ mod tests {
         for i in 0..2 {
             let name = format!("dpss{}.lbl.gov", i + 1);
             let h = net.add_host(HostSpec::new(name.clone()));
-            let f = net.open_flow(format!("dpss{}", i + 1), h, client, 7_000, vec![lan], 1 << 20);
+            let f = net.open_flow(
+                format!("dpss{}", i + 1),
+                h,
+                client,
+                7_000,
+                vec![lan],
+                1 << 20,
+            );
             servers.push(DpssServer::new(h, name, f, 8_000));
         }
         let cluster = DpssCluster::new(servers, DEFAULT_BLOCK_BYTES);
@@ -307,7 +315,12 @@ mod tests {
         (net, cluster, player)
     }
 
-    fn run(net: &mut Network, cluster: &mut DpssCluster, player: &mut FramePlayer, ticks: u64) -> TraceLog {
+    fn run(
+        net: &mut Network,
+        cluster: &mut DpssCluster,
+        player: &mut FramePlayer,
+        ticks: u64,
+    ) -> TraceLog {
         let mut trace = TraceLog::new();
         for _ in 0..ticks {
             net.step();
@@ -323,7 +336,11 @@ mod tests {
     fn player_fetches_and_displays_frames_in_order() {
         let (mut net, mut cluster, mut player) = lan_setup();
         let trace = run(&mut net, &mut cluster, &mut player, 200_000);
-        assert!(player.finished(), "only {} frames displayed", player.frames_displayed());
+        assert!(
+            player.finished(),
+            "only {} frames displayed",
+            player.frames_displayed()
+        );
         assert_eq!(player.frames.len(), 10);
         let ids: Vec<u64> = player.frames.iter().map(|f| f.frame_id).collect();
         assert_eq!(ids, (1..=10).collect::<Vec<_>>());
@@ -335,7 +352,10 @@ mod tests {
         // frames may have been requested (pipelined) but not yet displayed.
         assert_eq!(trace.by_type(keys::matisse::END_PUT_IMAGE).count(), 10);
         assert_eq!(trace.by_type(keys::matisse::START_PUT_IMAGE).count(), 10);
-        for ty in [keys::matisse::START_READ_FRAME, keys::matisse::END_READ_FRAME] {
+        for ty in [
+            keys::matisse::START_READ_FRAME,
+            keys::matisse::END_READ_FRAME,
+        ] {
             let n = trace.by_type(ty).count();
             assert!((10..=13).contains(&n), "{ty}: {n}");
         }
@@ -346,7 +366,10 @@ mod tests {
         let (mut net, mut cluster, mut player) = lan_setup();
         run(&mut net, &mut cluster, &mut player, 200_000);
         assert!(!player.read_sizes.is_empty());
-        assert!(player.read_sizes.iter().all(|&(_, r)| r > 0 && r <= READ_BUFFER_BYTES));
+        assert!(player
+            .read_sizes
+            .iter()
+            .all(|&(_, r)| r > 0 && r <= READ_BUFFER_BYTES));
         // Every displayed frame's bytes were read exactly once; at most a
         // couple of extra frames may still have been in flight when the run
         // stopped.
@@ -362,7 +385,10 @@ mod tests {
         let total = net.clock().now_us();
         let series = player.frame_rate_series(total, 1_000_000);
         let total_frames: f64 = series.iter().map(|&(_, fps)| fps).sum::<f64>();
-        assert!((total_frames - 10.0).abs() < 1e-9, "sum of per-second counts = frames");
+        assert!(
+            (total_frames - 10.0).abs() < 1e-9,
+            "sum of per-second counts = frames"
+        );
         assert!(player.mean_frame_rate(total) > 0.0);
     }
 

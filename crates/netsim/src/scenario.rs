@@ -91,7 +91,8 @@ pub fn matisse_topology(wan: bool, n_storage: usize, seed: u64) -> MatisseTopolo
         storage_hosts.push(h);
     }
     // DPSS master process lives on the first server.
-    net.host_mut(storage_hosts[0]).register_process("dpss_master");
+    net.host_mut(storage_hosts[0])
+        .register_process("dpss_master");
 
     // Receiving compute-cluster head node at ISI East: single fast CPU, a
     // gigabit card on a constrained I/O bus, and a driver that misbehaves
@@ -131,7 +132,10 @@ pub fn matisse_topology(wan: bool, n_storage: usize, seed: u64) -> MatisseTopolo
         }
         net.add_router(Router::new("lbl-border-router", vec![lbl_access, supernet]));
         net.add_router(Router::new("isi-border-router", vec![supernet, isi_edge]));
-        net.add_router(Router::new("isi-cluster-switch", vec![isi_edge, client_nic]));
+        net.add_router(Router::new(
+            "isi-cluster-switch",
+            vec![isi_edge, client_nic],
+        ));
     } else {
         let client_nic = net.add_link(LinkSpec::new("mems-gige-pci", 250_000_000, 150));
         for (i, _h) in storage_hosts.iter().enumerate() {
@@ -389,7 +393,10 @@ mod tests {
         s.run_secs(10.0);
         assert!(s.player.frames_displayed() > 0, "some frames arrive");
         assert!(!s.trace.is_empty());
-        assert!(s.client_retransmits() > 0, "the WAN run shows retransmissions");
+        assert!(
+            s.client_retransmits() > 0,
+            "the WAN run shows retransmissions"
+        );
         let rate = s.aggregate_mbps();
         assert!(rate > 3.0 && rate < 200.0, "aggregate {rate:.1} Mbit/s");
     }

@@ -8,8 +8,6 @@
 //! retransmission timeout with a slow-start restart, which is the mechanism
 //! behind the 4-stream WAN throughput collapse the paper reports.
 
-use serde::{Deserialize, Serialize};
-
 use crate::host::HostId;
 use crate::link::LinkId;
 
@@ -20,11 +18,11 @@ pub const MSS: u64 = 1_460;
 pub const DEFAULT_RTO_US: u64 = 500_000;
 
 /// Identifies a flow within a [`crate::network::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub usize);
 
 /// Congestion-control state of a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowState {
     /// Transmitting normally.
     Open,
@@ -40,7 +38,7 @@ pub enum FlowState {
 
 /// Per-tick outcome of a flow's transmission, used by applications layered on
 /// top (DPSS, iperf, the frame player) and by the monitoring sensors.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FlowTickReport {
     /// Bytes delivered to the receiving application this tick.
     pub delivered_bytes: u64,
@@ -51,7 +49,7 @@ pub struct FlowTickReport {
 }
 
 /// A simulated TCP connection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcpFlow {
     /// Identifier within the owning network.
     pub id: FlowId,
@@ -92,7 +90,6 @@ pub struct TcpFlow {
     /// Bytes delivered during the previous tick (sensor-visible rate).
     pub last_tick_delivered: u64,
     /// Report for the tick currently being processed.
-    #[serde(skip)]
     pub tick_report: FlowTickReport,
 }
 
@@ -184,8 +181,8 @@ impl TcpFlow {
         if self.pending_bytes == 0 || !matches!(self.state, FlowState::Open) {
             return 0;
         }
-        let by_rate = self.last_tick_delivered.saturating_mul(self.rtt_us) / tick_us.max(1)
-            + 2 * MSS;
+        let by_rate =
+            self.last_tick_delivered.saturating_mul(self.rtt_us) / tick_us.max(1) + 2 * MSS;
         self.window().min(by_rate)
     }
 
@@ -371,7 +368,7 @@ mod tests {
         let mut f = flow();
         f.set_unlimited();
         f.cwnd = 600_000; // bytes
-        // rate = 600k / 60ms = 10 MB/s -> 10k bytes per 1ms tick.
+                          // rate = 600k / 60ms = 10 MB/s -> 10k bytes per 1ms tick.
         let d = f.desired_bytes(1_000);
         assert!((d as i64 - 10_000).abs() <= 10, "got {d}");
     }

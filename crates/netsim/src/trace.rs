@@ -46,7 +46,9 @@ impl TraceLog {
 
     /// Events of a given NetLogger event type.
     pub fn by_type<'a>(&'a self, event_type: &'a str) -> impl Iterator<Item = &'a Event> {
-        self.events.iter().filter(move |e| e.event_type == event_type)
+        self.events
+            .iter()
+            .filter(move |e| e.event_type == event_type)
     }
 
     /// Events generated on a given host.

@@ -6,8 +6,7 @@
 //! duration of the transfer.  [`OnOffWorkload`] produces exactly that
 //! pattern: bursts of transfer on a well-known port separated by idle gaps.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jamm_core::rng::Rng;
 
 use crate::host::HostId;
 use crate::link::LinkId;
@@ -36,7 +35,7 @@ pub struct OnOffWorkload {
     idle_ticks: u64,
     rcv_window: u64,
     phase: Phase,
-    rng: StdRng,
+    rng: Rng,
     /// Number of transfers completed.
     pub transfers_completed: u64,
 }
@@ -65,7 +64,7 @@ impl OnOffWorkload {
             idle_ticks,
             rcv_window,
             phase: Phase::Idle(1),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             transfers_completed: 0,
         }
     }
@@ -138,7 +137,11 @@ mod tests {
             }
             net.step();
         }
-        assert!(w.transfers_completed >= 5, "completed {}", w.transfers_completed);
+        assert!(
+            w.transfers_completed >= 5,
+            "completed {}",
+            w.transfers_completed
+        );
         assert!(active_ticks > 0 && idle_ticks > 0, "both phases occur");
     }
 

@@ -5,11 +5,11 @@
 //! be deterministic for a given seed — otherwise none of the reproduced
 //! experiments can be trusted.
 
+use jamm_core::check::{forall, Gen};
 use jamm_netsim::clock::SimClock;
 use jamm_netsim::host::HostSpec;
 use jamm_netsim::link::LinkSpec;
 use jamm_netsim::network::Network;
-use proptest::prelude::*;
 
 /// Build a two-host network with one link and one flow from generated
 /// parameters, run it, and return it for inspection.
@@ -37,81 +37,91 @@ fn run_simple(
     (net, f, bytes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A finite transfer never delivers more bytes than were enqueued, and
-    /// the per-tick clock advances exactly as configured.
-    #[test]
-    fn delivered_bytes_never_exceed_offered(
-        bandwidth_mbps in 10u64..1_000,
-        delay_ms in 1u64..50,
-        rcv_window_kb in 16u64..2_048,
-        transfer_kb in 64u64..4_096,
-        seed in 0u64..1_000,
-    ) {
+/// A finite transfer never delivers more bytes than were enqueued, and
+/// the per-tick clock advances exactly as configured.
+#[test]
+fn delivered_bytes_never_exceed_offered() {
+    forall("byte conservation", 24, |g: &mut Gen| {
+        let bandwidth_mbps = g.rng().gen_range(10u64..1_000);
+        let delay_ms = g.rng().gen_range(1u64..50);
+        let rcv_window_kb = g.rng().gen_range(16u64..2_048);
+        let transfer_kb = g.rng().gen_range(64u64..4_096);
+        let seed = g.u64(1_000);
         let ticks = 2_000;
         let (net, f, offered) = run_simple(
-            bandwidth_mbps, delay_ms, rcv_window_kb, transfer_kb, 20.0, seed, ticks,
+            bandwidth_mbps,
+            delay_ms,
+            rcv_window_kb,
+            transfer_kb,
+            20.0,
+            seed,
+            ticks,
         );
-        prop_assert!(net.flow(f).total_delivered <= offered);
-        prop_assert_eq!(net.clock().now_us(), ticks * 1_000);
+        assert!(net.flow(f).total_delivered <= offered);
+        assert_eq!(net.clock().now_us(), ticks * 1_000);
         // Receiver never counts more received bytes than the sender offered.
-        prop_assert!(net.host(jamm_netsim::HostId(1)).stats().rx_bytes <= offered);
-    }
+        assert!(net.host(jamm_netsim::HostId(1)).stats().rx_bytes <= offered);
+    });
+}
 
-    /// Sustained throughput never exceeds the link's configured bandwidth
-    /// (small allowance for the one-off queue drain).
-    #[test]
-    fn throughput_respects_link_capacity(
-        bandwidth_mbps in 10u64..622,
-        delay_ms in 1u64..30,
-        seed in 0u64..1_000,
-    ) {
+/// Sustained throughput never exceeds the link's configured bandwidth
+/// (small allowance for the one-off queue drain).
+#[test]
+fn throughput_respects_link_capacity() {
+    forall("link capacity", 24, |g: &mut Gen| {
+        let bandwidth_mbps = g.rng().gen_range(10u64..622);
+        let delay_ms = g.rng().gen_range(1u64..30);
+        let seed = g.u64(1_000);
         let mut net = Network::new(SimClock::matisse(), seed);
         let a = net.add_host(HostSpec::new("a"));
         let b = net.add_host(HostSpec::new("b"));
-        let l = net.add_link(LinkSpec::new("l", bandwidth_mbps * 1_000_000, delay_ms * 1_000));
+        let l = net.add_link(LinkSpec::new(
+            "l",
+            bandwidth_mbps * 1_000_000,
+            delay_ms * 1_000,
+        ));
         let f = net.open_flow("x", a, b, 1, vec![l], 8 << 20);
         net.flow_mut(f).set_unlimited();
         let secs = 5.0;
         net.run_ticks((secs * 1_000.0) as u64);
         let rate_bps = net.flow(f).average_rate_bps(net.clock().now_us());
         let queue_allowance = net.link(l).spec.queue_bytes as f64 * 8.0 / secs;
-        prop_assert!(
+        assert!(
             rate_bps <= bandwidth_mbps as f64 * 1e6 * 1.02 + queue_allowance,
             "rate {:.1} Mbit/s exceeds link {} Mbit/s",
             rate_bps / 1e6,
             bandwidth_mbps
         );
-    }
+    });
+}
 
-    /// Host CPU percentages stay within 0-100 and memory never exceeds the
-    /// configured total, whatever load the receiver sees.
-    #[test]
-    fn host_utilisation_stays_in_range(
-        pkt_cost_us in 5.0f64..400.0,
-        bandwidth_mbps in 50u64..1_000,
-        seed in 0u64..500,
-    ) {
+/// Host CPU percentages stay within 0-100 and memory never exceeds the
+/// configured total, whatever load the receiver sees.
+#[test]
+fn host_utilisation_stays_in_range() {
+    forall("host utilisation", 24, |g: &mut Gen| {
+        let pkt_cost_us = g.f64_in(5.0, 400.0);
+        let bandwidth_mbps = g.rng().gen_range(50u64..1_000);
+        let seed = g.u64(500);
         let (net, _, _) = run_simple(bandwidth_mbps, 5, 1_024, 100_000, pkt_cost_us, seed, 1_500);
         for host in net.hosts() {
             let s = host.stats();
-            prop_assert!(s.cpu_user_pct >= 0.0 && s.cpu_user_pct <= 100.0);
-            prop_assert!(s.cpu_sys_pct >= 0.0 && s.cpu_sys_pct <= 100.0);
-            prop_assert!(s.cpu_user_pct + s.cpu_sys_pct <= 100.0 + 1e-9);
-            prop_assert!(s.mem_free_kb <= host.spec.memory_kb);
+            assert!(s.cpu_user_pct >= 0.0 && s.cpu_user_pct <= 100.0);
+            assert!(s.cpu_sys_pct >= 0.0 && s.cpu_sys_pct <= 100.0);
+            assert!(s.cpu_user_pct + s.cpu_sys_pct <= 100.0 + 1e-9);
+            assert!(s.mem_free_kb <= host.spec.memory_kb);
         }
-    }
+    });
+}
 
-    /// The same seed and parameters give bit-identical results; a different
-    /// seed on a lossy path is allowed to differ.
-    #[test]
-    fn simulation_is_deterministic_per_seed(
-        bandwidth_mbps in 10u64..500,
-        transfer_kb in 128u64..2_048,
-        seed in 0u64..1_000,
-    ) {
+/// The same seed and parameters give bit-identical results; a different
+/// seed on a lossy path is allowed to differ.
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    forall("determinism", 24, |g: &mut Gen| {
+        let bandwidth_mbps = g.rng().gen_range(10u64..500);
+        let transfer_kb = g.rng().gen_range(128u64..2_048);
+        let seed = g.u64(1_000);
         let run = |s| {
             let (net, f, _) = run_simple(bandwidth_mbps, 10, 512, transfer_kb, 30.0, s, 1_000);
             (
@@ -120,17 +130,18 @@ proptest! {
                 net.host(jamm_netsim::HostId(1)).stats().rx_packets,
             )
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed));
+    });
+}
 
-    /// Link interface counters are monotone and drops only happen when the
-    /// offered load exceeds what the link can carry.
-    #[test]
-    fn link_counters_are_consistent(
-        bandwidth_mbps in 5u64..200,
-        rcv_window_kb in 64u64..4_096,
-        seed in 0u64..300,
-    ) {
+/// Link interface counters are monotone and drops only happen when the
+/// offered load exceeds what the link can carry.
+#[test]
+fn link_counters_are_consistent() {
+    forall("link counters", 24, |g: &mut Gen| {
+        let bandwidth_mbps = g.rng().gen_range(5u64..200);
+        let rcv_window_kb = g.rng().gen_range(64u64..4_096);
+        let seed = g.u64(300);
         let mut net = Network::new(SimClock::matisse(), seed);
         let a = net.add_host(HostSpec::new("a"));
         let b = net.add_host(HostSpec::new("b"));
@@ -141,10 +152,13 @@ proptest! {
         for _ in 0..50 {
             net.run_ticks(20);
             let c = net.link(l).counters();
-            prop_assert!(c.in_octets >= last_octets, "octet counter went backwards");
+            assert!(c.in_octets >= last_octets, "octet counter went backwards");
             last_octets = c.in_octets;
         }
         let c = net.link(l).counters();
-        prop_assert!(c.in_packets <= c.in_octets, "packets cannot outnumber octets");
-    }
+        assert!(
+            c.in_packets <= c.in_octets,
+            "packets cannot outnumber octets"
+        );
+    });
 }

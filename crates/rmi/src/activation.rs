@@ -7,8 +7,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use serde_json::Value as Json;
+use jamm_core::json::Json;
+use jamm_core::sync::Mutex;
 
 use crate::bus::Service;
 use crate::message::{MethodCall, RmiError, RmiResult};
@@ -34,7 +34,11 @@ pub struct ActivationRegistry {
 
 impl std::fmt::Debug for ActivationRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ActivationRegistry({} services)", self.services.lock().len())
+        write!(
+            f,
+            "ActivationRegistry({} services)",
+            self.services.lock().len()
+        )
     }
 }
 
@@ -117,7 +121,7 @@ impl ActivationRegistry {
 mod tests {
     use super::*;
     use crate::bus::FnService;
-    use serde_json::json;
+    use jamm_core::json::json;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn counting_registry() -> (Arc<AtomicU64>, ActivationRegistry) {
@@ -140,11 +144,13 @@ mod tests {
         let (constructed, reg) = counting_registry();
         assert!(!reg.is_active("gateway@gw1"));
         assert_eq!(
-            reg.invoke_json("gateway@gw1", "ping", json!(null), 0).unwrap(),
+            reg.invoke_json("gateway@gw1", "ping", json!(null), 0)
+                .unwrap(),
             json!("pong")
         );
         assert!(reg.is_active("gateway@gw1"));
-        reg.invoke_json("gateway@gw1", "echo", json!(7), 10).unwrap();
+        reg.invoke_json("gateway@gw1", "echo", json!(7), 10)
+            .unwrap();
         assert_eq!(constructed.load(Ordering::Relaxed), 1, "constructed once");
         assert_eq!(reg.activation_count("gateway@gw1"), 1);
     }
@@ -152,7 +158,8 @@ mod tests {
     #[test]
     fn idle_services_unload_and_reactivate_on_demand() {
         let (constructed, reg) = counting_registry();
-        reg.invoke_json("gateway@gw1", "ping", json!(null), 0).unwrap();
+        reg.invoke_json("gateway@gw1", "ping", json!(null), 0)
+            .unwrap();
         // Not yet idle long enough.
         assert_eq!(reg.reap_idle(500_000), 0);
         assert!(reg.is_active("gateway@gw1"));
@@ -160,7 +167,8 @@ mod tests {
         assert_eq!(reg.reap_idle(2_000_000), 1);
         assert!(!reg.is_active("gateway@gw1"));
         // Next call transparently reactivates.
-        reg.invoke_json("gateway@gw1", "ping", json!(null), 3_000_000).unwrap();
+        reg.invoke_json("gateway@gw1", "ping", json!(null), 3_000_000)
+            .unwrap();
         assert_eq!(constructed.load(Ordering::Relaxed), 2);
         assert_eq!(reg.activation_count("gateway@gw1"), 2);
     }

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-use serde_json::Value as Json;
+use jamm_core::json::Json;
+use jamm_core::sync::RwLock;
 
 use crate::message::{MethodCall, RmiError, RmiResult};
 
@@ -90,7 +90,7 @@ impl MessageBus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+    use jamm_core::json::json;
 
     fn echo_bus() -> MessageBus {
         let bus = MessageBus::new();
@@ -138,7 +138,8 @@ mod tests {
         let bus = echo_bus();
         let bus2 = bus.clone();
         let handle = std::thread::spawn(move || {
-            bus2.invoke(&MethodCall::new("echo", "echo", json!(42))).unwrap()
+            bus2.invoke(&MethodCall::new("echo", "echo", json!(42)))
+                .unwrap()
         });
         assert_eq!(handle.join().unwrap(), json!(42));
     }

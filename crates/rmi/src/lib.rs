@@ -15,16 +15,21 @@
 //!   behaviour the paper gets from RMI activation daemons;
 //! * [`tcp`] — a TCP transport that exposes a bus to remote callers with
 //!   length-prefixed JSON frames, so agents on different hosts can invoke
-//!   each other exactly like local ones.
+//!   each other exactly like local ones;
+//! * [`bridge`] — monitoring events over the substrate: any
+//!   [`jamm_core::flow::EventSink`] exposed as a service, with ULM codec
+//!   negotiation between producer and sink.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod bridge;
 pub mod bus;
 pub mod message;
 pub mod tcp;
 
 pub use activation::ActivationRegistry;
+pub use bridge::{BridgeService, RemoteEventSink};
 pub use bus::{MessageBus, Service};
 pub use message::{MethodCall, RmiError, RmiResult};

@@ -1,10 +1,9 @@
 //! Call / response envelopes.
 
-use serde::{Deserialize, Serialize};
-use serde_json::Value as Json;
+use jamm_core::json::{Json, Map};
 
 /// A remote method invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodCall {
     /// Target service (object) name, e.g. `sensor-manager@dpss1.lbl.gov`.
     pub service: String,
@@ -23,10 +22,30 @@ impl MethodCall {
             args,
         }
     }
+
+    /// Wire form: `{"service": ..., "method": ..., "args": ...}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Map::new();
+        obj.insert("service".into(), Json::from(&self.service));
+        obj.insert("method".into(), Json::from(&self.method));
+        obj.insert("args".into(), self.args.clone());
+        Json::Object(obj)
+    }
+
+    /// Parse the wire form.
+    pub fn from_json(v: &Json) -> Result<Self, RmiError> {
+        let service = v["service"]
+            .as_str()
+            .ok_or_else(|| RmiError::Transport("call missing service".into()))?;
+        let method = v["method"]
+            .as_str()
+            .ok_or_else(|| RmiError::Transport("call missing method".into()))?;
+        Ok(MethodCall::new(service, method, v["args"].clone()))
+    }
 }
 
 /// Errors surfaced by the invocation layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RmiError {
     /// No service with the requested name is registered.
     NoSuchService(String),
@@ -36,6 +55,35 @@ pub enum RmiError {
     Application(String),
     /// The transport failed (connection refused, framing error, ...).
     Transport(String),
+}
+
+impl RmiError {
+    fn kind(&self) -> &'static str {
+        match self {
+            RmiError::NoSuchService(_) => "no_such_service",
+            RmiError::NoSuchMethod(_) => "no_such_method",
+            RmiError::Application(_) => "application",
+            RmiError::Transport(_) => "transport",
+        }
+    }
+
+    fn detail(&self) -> &str {
+        match self {
+            RmiError::NoSuchService(s)
+            | RmiError::NoSuchMethod(s)
+            | RmiError::Application(s)
+            | RmiError::Transport(s) => s,
+        }
+    }
+
+    fn from_parts(kind: &str, detail: String) -> Self {
+        match kind {
+            "no_such_service" => RmiError::NoSuchService(detail),
+            "no_such_method" => RmiError::NoSuchMethod(detail),
+            "application" => RmiError::Application(detail),
+            _ => RmiError::Transport(detail),
+        }
+    }
 }
 
 impl std::fmt::Display for RmiError {
@@ -55,12 +103,48 @@ impl std::error::Error for RmiError {}
 pub type RmiResult = Result<Json, RmiError>;
 
 /// Wire representation of a response (so transports can serialise it).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WireResponse {
     /// Successful return value.
     Ok(Json),
     /// Error.
     Err(RmiError),
+}
+
+impl WireResponse {
+    /// Wire form: `{"ok": value}` or `{"err": kind, "detail": text}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Map::new();
+        match self {
+            WireResponse::Ok(v) => {
+                obj.insert("ok".into(), v.clone());
+            }
+            WireResponse::Err(e) => {
+                obj.insert("err".into(), Json::from(e.kind()));
+                obj.insert("detail".into(), Json::from(e.detail()));
+            }
+        }
+        Json::Object(obj)
+    }
+
+    /// Parse the wire form.
+    pub fn from_json(v: &Json) -> Result<Self, RmiError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| RmiError::Transport("response is not an object".into()))?;
+        if let Some(kind) = obj.get("err").and_then(Json::as_str) {
+            let detail = obj
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            return Ok(WireResponse::Err(RmiError::from_parts(kind, detail)));
+        }
+        match obj.get("ok") {
+            Some(value) => Ok(WireResponse::Ok(value.clone())),
+            None => Err(RmiError::Transport("response missing ok/err".into())),
+        }
+    }
 }
 
 impl From<RmiResult> for WireResponse {
@@ -84,31 +168,42 @@ impl From<WireResponse> for RmiResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+    use jamm_core::json::json;
 
     #[test]
     fn call_and_response_serialise() {
         let call = MethodCall::new("sensor-manager@h", "start_sensor", json!({"name": "cpu"}));
-        let text = serde_json::to_string(&call).unwrap();
-        let back: MethodCall = serde_json::from_str(&text).unwrap();
+        let text = call.to_json().to_string();
+        let back = MethodCall::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, call);
 
         let ok: WireResponse = Ok(json!({"started": true})).into();
-        let round: RmiResult = serde_json::from_str::<WireResponse>(
-            &serde_json::to_string(&ok).unwrap(),
-        )
-        .unwrap()
-        .into();
+        let round: RmiResult =
+            WireResponse::from_json(&Json::parse(&ok.to_json().to_string()).unwrap())
+                .unwrap()
+                .into();
         assert_eq!(round.unwrap()["started"], true);
 
         let err: WireResponse = Err(RmiError::NoSuchService("x".into())).into();
-        let round: RmiResult = err.into();
-        assert!(matches!(round, Err(RmiError::NoSuchService(_))));
+        let round: RmiResult =
+            WireResponse::from_json(&Json::parse(&err.to_json().to_string()).unwrap())
+                .unwrap()
+                .into();
+        assert!(matches!(round, Err(RmiError::NoSuchService(ref s)) if s == "x"));
     }
 
     #[test]
     fn error_display() {
         assert!(RmiError::NoSuchMethod("m".into()).to_string().contains("m"));
-        assert!(RmiError::Transport("refused".into()).to_string().contains("refused"));
+        assert!(RmiError::Transport("refused".into())
+            .to_string()
+            .contains("refused"));
+    }
+
+    #[test]
+    fn malformed_wire_forms_are_transport_errors() {
+        assert!(MethodCall::from_json(&json!({"service": "s"})).is_err());
+        assert!(WireResponse::from_json(&json!({"neither": 1})).is_err());
+        assert!(WireResponse::from_json(&json!(null)).is_err());
     }
 }

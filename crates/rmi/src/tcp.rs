@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use jamm_core::json::Json;
+
 use crate::bus::MessageBus;
 use crate::message::{MethodCall, RmiError, RmiResult, WireResponse};
 
@@ -85,18 +87,21 @@ impl Drop for RmiServer {
 
 fn serve_connection(mut stream: TcpStream, bus: MessageBus) {
     loop {
-        let call: MethodCall = match read_frame(&mut stream) {
-            Ok(Some(c)) => c,
+        let call = match read_frame(&mut stream) {
+            Ok(Some(doc)) => match MethodCall::from_json(&doc) {
+                Ok(call) => call,
+                Err(_) => return,
+            },
             _ => return,
         };
         let response: WireResponse = bus.invoke(&call).into();
-        if write_frame(&mut stream, &response).is_err() {
+        if write_frame(&mut stream, &response.to_json()).is_err() {
             return;
         }
     }
 }
 
-fn read_frame<T: serde::de::DeserializeOwned>(stream: &mut TcpStream) -> std::io::Result<Option<T>> {
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Json>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -109,13 +114,13 @@ fn read_frame<T: serde::de::DeserializeOwned>(stream: &mut TcpStream) -> std::io
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
-    serde_json::from_slice(&body)
+    Json::parse_slice(&body)
         .map(Some)
         .map_err(|e| std::io::Error::other(e.to_string()))
 }
 
-fn write_frame<T: serde::Serialize>(stream: &mut TcpStream, value: &T) -> std::io::Result<()> {
-    let body = serde_json::to_vec(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+fn write_frame(stream: &mut TcpStream, value: &Json) -> std::io::Result<()> {
+    let body = value.to_vec();
     stream.write_all(&(body.len() as u32).to_le_bytes())?;
     stream.write_all(&body)?;
     stream.flush()
@@ -137,9 +142,10 @@ impl RmiClient {
 
     /// Invoke a remote method.
     pub fn invoke(&mut self, call: &MethodCall) -> RmiResult {
-        write_frame(&mut self.stream, call).map_err(|e| RmiError::Transport(e.to_string()))?;
-        match read_frame::<WireResponse>(&mut self.stream) {
-            Ok(Some(r)) => r.into(),
+        write_frame(&mut self.stream, &call.to_json())
+            .map_err(|e| RmiError::Transport(e.to_string()))?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(doc)) => WireResponse::from_json(&doc)?.into(),
             Ok(None) => Err(RmiError::Transport("connection closed".into())),
             Err(e) => Err(RmiError::Transport(e.to_string())),
         }
@@ -149,12 +155,12 @@ impl RmiClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+    use jamm_core::json::json;
 
     fn bus() -> MessageBus {
         let bus = MessageBus::new();
         bus.register_fn("sensor-manager@dpss1", |method, args| match method {
-            "start_sensor" => Ok(json!({"started": args["name"]})),
+            "start_sensor" => Ok(json!({"started": args["name"].clone()})),
             "status" => Ok(json!({"sensors": ["cpu", "memory"]})),
             m => Err(RmiError::NoSuchMethod(m.to_string())),
         });
@@ -175,12 +181,20 @@ mod tests {
         assert_eq!(r["started"], "tcp");
         // Several calls over the same connection.
         let r2 = client
-            .invoke(&MethodCall::new("sensor-manager@dpss1", "status", json!(null)))
+            .invoke(&MethodCall::new(
+                "sensor-manager@dpss1",
+                "status",
+                json!(null),
+            ))
             .unwrap();
         assert_eq!(r2["sensors"][0], "cpu");
         // Errors propagate.
         assert!(matches!(
-            client.invoke(&MethodCall::new("sensor-manager@dpss1", "nope", json!(null))),
+            client.invoke(&MethodCall::new(
+                "sensor-manager@dpss1",
+                "nope",
+                json!(null)
+            )),
             Err(RmiError::NoSuchMethod(_))
         ));
         assert!(matches!(
@@ -223,7 +237,11 @@ mod tests {
         };
         // Either the connect fails or the first invoke fails; both are fine.
         if let Ok(mut c) = RmiClient::connect(addr) {
-            let r = c.invoke(&MethodCall::new("sensor-manager@dpss1", "status", json!(null)));
+            let r = c.invoke(&MethodCall::new(
+                "sensor-manager@dpss1",
+                "status",
+                json!(null),
+            ));
             if let Err(e) = r {
                 assert!(matches!(e, RmiError::Transport(_)));
             }

@@ -9,7 +9,7 @@
 //! the normal sampling pipeline so they flow through the same gateway,
 //! filters and consumers as host sensors.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use jamm_core::channel::{unbounded, Receiver, Sender};
 use jamm_ulm::Event;
 
 use crate::{SampleContext, Sensor, SensorKind, SensorSpec};
@@ -111,8 +111,11 @@ mod tests {
 
     #[test]
     fn events_flow_from_feed_to_sample() {
-        let (mut sensor, feed) =
-            ApplicationSensor::new("mplay", "mems.cairn.net", vec!["MPLAY_START_READ_FRAME".into()]);
+        let (mut sensor, feed) = ApplicationSensor::new(
+            "mplay",
+            "mems.cairn.net",
+            vec!["MPLAY_START_READ_FRAME".into()],
+        );
         assert_eq!(feed.publish_all((0..5).map(app_event)), 5);
         assert_eq!(sensor.pending(), 5);
         let ctx = SampleContext {

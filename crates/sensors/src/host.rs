@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].event_type, keys::mem::FREE);
         assert_eq!(events[0].value(), Some(123_456.0));
-        assert_eq!(events[0].field(keys::UNITS).unwrap().as_str(), Some("kilobytes"));
+        assert_eq!(
+            events[0].field(keys::UNITS).unwrap().as_str(),
+            Some("kilobytes")
+        );
     }
 
     #[test]

@@ -34,10 +34,8 @@ pub mod sim;
 pub mod tcp;
 
 use jamm_ulm::{Event, Timestamp};
-use serde::{Deserialize, Serialize};
-
 /// The family a sensor belongs to (paper §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SensorKind {
     /// Host monitoring: CPU, memory, interrupts.
     Host,
@@ -62,7 +60,7 @@ impl SensorKind {
 }
 
 /// Static description of a sensor, published in the sensor directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensorSpec {
     /// Short sensor name, unique per host (e.g. `cpu`, `memory`, `tcp`).
     pub name: String,
@@ -75,6 +73,20 @@ pub struct SensorSpec {
     /// Default sampling period in seconds.
     pub frequency_secs: f64,
 }
+
+/// `frequency_secs` is compared bit-for-bit so the comparison is a true
+/// equivalence relation (NaN == NaN), which `f64`'s `PartialEq` is not.
+impl PartialEq for SensorSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.kind == other.kind
+            && self.target == other.target
+            && self.event_types == other.event_types
+            && self.frequency_secs.to_bits() == other.frequency_secs.to_bits()
+    }
+}
+
+impl Eq for SensorSpec {}
 
 impl SensorSpec {
     /// Create a spec.
@@ -165,6 +177,22 @@ mod tests {
         assert_eq!(SensorKind::Network.as_str(), "network");
         assert_eq!(SensorKind::Process.as_str(), "process");
         assert_eq!(SensorKind::Application.as_str(), "application");
+    }
+
+    #[test]
+    fn spec_equality_compares_frequency_by_bits() {
+        let a = SensorSpec::new("cpu", SensorKind::Host, "h", vec![], 1.0);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.frequency_secs = 2.0;
+        assert_ne!(a, b);
+        // NaN frequencies still compare equal to themselves (true equivalence).
+        let mut n1 = a.clone();
+        let mut n2 = a.clone();
+        n1.frequency_secs = f64::NAN;
+        n2.frequency_secs = f64::NAN;
+        assert_eq!(n1, n2);
+        assert_ne!(n1, a);
     }
 
     #[test]

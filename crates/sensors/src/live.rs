@@ -8,7 +8,7 @@
 
 use std::fs;
 
-use parking_lot::Mutex;
+use jamm_core::sync::Mutex;
 
 use crate::{HostView, IfView, StatsSource};
 
@@ -92,7 +92,10 @@ fn read_cpu_times() -> Option<CpuTimes> {
 fn read_mem_free_kb() -> Option<u64> {
     let meminfo = fs::read_to_string("/proc/meminfo").ok()?;
     for line in meminfo.lines() {
-        if let Some(rest) = line.strip_prefix("MemAvailable:").or_else(|| line.strip_prefix("MemFree:")) {
+        if let Some(rest) = line
+            .strip_prefix("MemAvailable:")
+            .or_else(|| line.strip_prefix("MemFree:"))
+        {
             return rest.split_whitespace().next()?.parse().ok();
         }
     }
@@ -106,9 +109,7 @@ fn read_tcp_retransmits() -> Option<u64> {
     let mut lines = snmp.lines().filter(|l| l.starts_with("Tcp:"));
     let header = lines.next()?;
     let values = lines.next()?;
-    let idx = header
-        .split_whitespace()
-        .position(|c| c == "RetransSegs")?;
+    let idx = header.split_whitespace().position(|c| c == "RetransSegs")?;
     values
         .split_whitespace()
         .nth(idx)
@@ -129,10 +130,8 @@ impl StatsSource for ProcSource {
                 let dt = (cur.total() - prev.total()) as f64;
                 (
                     (cur.user + cur.nice - prev.user - prev.nice) as f64 / dt * 100.0,
-                    (cur.system + cur.irq + cur.softirq
-                        - prev.system
-                        - prev.irq
-                        - prev.softirq) as f64
+                    (cur.system + cur.irq + cur.softirq - prev.system - prev.irq - prev.softirq)
+                        as f64
                         / dt
                         * 100.0,
                 )
@@ -164,7 +163,10 @@ impl StatsSource for ProcSource {
         let entries = fs::read_dir("/proc").ok()?;
         for entry in entries.flatten() {
             let name = entry.file_name();
-            let Some(pid) = name.to_str().filter(|s| s.chars().all(|c| c.is_ascii_digit())) else {
+            let Some(pid) = name
+                .to_str()
+                .filter(|s| s.chars().all(|c| c.is_ascii_digit()))
+            else {
                 continue;
             };
             if let Ok(comm) = fs::read_to_string(format!("/proc/{pid}/comm")) {
@@ -184,9 +186,10 @@ mod tests {
     #[test]
     fn proc_source_reports_something_plausible_on_linux() {
         if !ProcSource::is_supported() {
-            // Not a Linux /proc system; the source must degrade gracefully.
+            // Not a Linux /proc system; the source must degrade gracefully
+            // (no panic on lookup).
             let src = ProcSource::new();
-            assert!(src.host_stats("localhost").is_none() || true);
+            let _ = src.host_stats("localhost");
             return;
         }
         let src = ProcSource::new();
@@ -211,7 +214,9 @@ mod tests {
     fn unknown_host_is_rejected() {
         let src = ProcSource::new();
         assert!(src.host_stats("definitely-not-this-host.example").is_none());
-        assert!(src.process_alive("definitely-not-this-host.example", "init").is_none());
+        assert!(src
+            .process_alive("definitely-not-this-host.example", "init")
+            .is_none());
     }
 
     #[test]

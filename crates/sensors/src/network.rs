@@ -158,7 +158,10 @@ mod tests {
         // 2 octet events + 1 drop event (counter went 0 -> 2).
         assert_eq!(first.len(), 3);
         assert_eq!(
-            first.iter().filter(|e| e.event_type == keys::net::IF_IN_OCTETS).count(),
+            first
+                .iter()
+                .filter(|e| e.event_type == keys::net::IF_IN_OCTETS)
+                .count(),
             2
         );
         // Nothing changed: only the octet readings repeat.

@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].event_type, keys::process::DIED);
         assert_eq!(e[0].level, Level::Error);
-        assert_eq!(e[0].field(keys::TARGET).unwrap().as_str(), Some("dpss_master"));
+        assert_eq!(
+            e[0].field(keys::TARGET).unwrap().as_str(),
+            Some("dpss_master")
+        );
         // Still dead: silent.
         assert!(s.sample(&ctx(&src)).is_empty());
         // Restart: Notice event.

@@ -122,7 +122,9 @@ mod tests {
             events.extend(tcp.sample(&ctx));
             events.extend(proc.sample(&ctx));
         }
-        assert!(events.iter().any(|e| e.event_type == "VMSTAT_SYS_TIME" && e.value().unwrap_or(0.0) > 0.0));
+        assert!(events
+            .iter()
+            .any(|e| e.event_type == "VMSTAT_SYS_TIME" && e.value().unwrap_or(0.0) > 0.0));
         assert!(events.iter().any(|e| e.event_type == "PROC_STARTED"));
         // Sanity: iperf on the same topology still behaves (module linkage).
         let r = matisse_iperf(false, 1, 1.0, 2);
@@ -144,12 +146,18 @@ mod tests {
         let topo = matisse_topology(true, 1, 3);
         let mut net = topo.net;
         let src = NetworkSource::new(&net);
-        assert_eq!(src.process_alive("dpss1.lbl.gov", "dpss_master"), Some(true));
+        assert_eq!(
+            src.process_alive("dpss1.lbl.gov", "dpss_master"),
+            Some(true)
+        );
         assert_eq!(src.process_alive("dpss1.lbl.gov", "no_such_proc"), None);
-        drop(src);
+        let _ = src;
         let id = net.host_by_name("dpss1.lbl.gov").unwrap();
         net.host_mut(id).kill_process("dpss_master");
         let src = NetworkSource::new(&net);
-        assert_eq!(src.process_alive("dpss1.lbl.gov", "dpss_master"), Some(false));
+        assert_eq!(
+            src.process_alive("dpss1.lbl.gov", "dpss_master"),
+            Some(false)
+        );
     }
 }

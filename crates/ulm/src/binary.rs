@@ -20,8 +20,6 @@
 //! then per field: str key, u8 value tag, value payload
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::event::{Event, Level};
 use crate::timestamp::Timestamp;
 use crate::value::Value;
@@ -37,44 +35,44 @@ const TAG_BOOL: u8 = 3;
 const TAG_STR: u8 = 4;
 
 /// Encode an event into a self-delimiting binary frame.
-pub fn encode(event: &Event) -> Bytes {
-    let mut body = BytesMut::with_capacity(event.approx_size() + 16);
-    body.put_u8(VERSION);
-    body.put_u64_le(event.timestamp.as_micros());
-    body.put_u8(level_to_u8(event.level));
+pub fn encode(event: &Event) -> Vec<u8> {
+    let mut body = Vec::with_capacity(event.approx_size() + 16);
+    body.push(VERSION);
+    body.extend_from_slice(&event.timestamp.as_micros().to_le_bytes());
+    body.push(level_to_u8(event.level));
     put_str(&mut body, &event.host);
     put_str(&mut body, &event.program);
     put_str(&mut body, &event.event_type);
-    body.put_u16_le(event.fields.len() as u16);
+    body.extend_from_slice(&(event.fields.len() as u16).to_le_bytes());
     for (k, v) in &event.fields {
         put_str(&mut body, k);
         match v {
             Value::UInt(u) => {
-                body.put_u8(TAG_UINT);
-                body.put_u64_le(*u);
+                body.push(TAG_UINT);
+                body.extend_from_slice(&u.to_le_bytes());
             }
             Value::Int(i) => {
-                body.put_u8(TAG_INT);
-                body.put_i64_le(*i);
+                body.push(TAG_INT);
+                body.extend_from_slice(&i.to_le_bytes());
             }
             Value::Float(f) => {
-                body.put_u8(TAG_FLOAT);
-                body.put_f64_le(*f);
+                body.push(TAG_FLOAT);
+                body.extend_from_slice(&f.to_le_bytes());
             }
             Value::Bool(b) => {
-                body.put_u8(TAG_BOOL);
-                body.put_u8(*b as u8);
+                body.push(TAG_BOOL);
+                body.push(*b as u8);
             }
             Value::Str(s) => {
-                body.put_u8(TAG_STR);
+                body.push(TAG_STR);
                 put_str(&mut body, s);
             }
         }
     }
-    let mut frame = BytesMut::with_capacity(body.len() + 4);
-    frame.put_u32_le(body.len() as u32);
+    let mut frame = Vec::with_capacity(body.len() + 4);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
     frame.extend_from_slice(&body);
-    frame.freeze()
+    frame
 }
 
 /// Decode one binary frame (including the leading length word).
@@ -85,9 +83,9 @@ pub fn decode(buf: &[u8]) -> Result<(Event, usize)> {
     if buf.len() < 4 {
         return Err(UlmError::BadBinary("truncated length prefix"));
     }
-    let mut cursor = buf;
-    let len = cursor.get_u32_le() as usize;
-    if cursor.remaining() < len {
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    let cursor = &buf[4..];
+    if cursor.len() < len {
         return Err(UlmError::BadBinary("truncated frame body"));
     }
     let mut body = &cursor[..len];
@@ -139,42 +137,46 @@ pub fn decode_all(mut buf: &[u8]) -> Result<Vec<Event>> {
     Ok(out)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u16_le(s.len() as u16);
-    buf.put_slice(s.as_bytes());
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8> {
-    if buf.remaining() < 1 {
-        return Err(UlmError::BadBinary("truncated u8"));
-    }
-    Ok(buf.get_u8())
+    let (&first, rest) = buf
+        .split_first()
+        .ok_or(UlmError::BadBinary("truncated u8"))?;
+    *buf = rest;
+    Ok(first)
 }
 
 fn get_u16(buf: &mut &[u8]) -> Result<u16> {
-    if buf.remaining() < 2 {
+    if buf.len() < 2 {
         return Err(UlmError::BadBinary("truncated u16"));
     }
-    Ok(buf.get_u16_le())
+    let v = u16::from_le_bytes(buf[..2].try_into().expect("2 bytes"));
+    *buf = &buf[2..];
+    Ok(v)
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64> {
-    if buf.remaining() < 8 {
+    if buf.len() < 8 {
         return Err(UlmError::BadBinary("truncated u64"));
     }
-    Ok(buf.get_u64_le())
+    let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    *buf = &buf[8..];
+    Ok(v)
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String> {
     let len = get_u16(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(UlmError::BadBinary("truncated string"));
     }
-    let bytes = &buf[..len];
-    let s = std::str::from_utf8(bytes)
+    let s = std::str::from_utf8(&buf[..len])
         .map_err(|_| UlmError::BadBinary("invalid utf-8 string"))?
         .to_string();
-    buf.advance(len);
+    *buf = &buf[len..];
     Ok(s)
 }
 

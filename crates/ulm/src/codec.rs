@@ -1,0 +1,208 @@
+//! The three ULM wire formats as [`Codec`] implementations.
+//!
+//! The seed code shipped three parallel free-function modules; transports
+//! hard-coded one of them.  These unit codecs put all three behind the one
+//! [`jamm_core::codec::Codec`] trait so a transport can carry *any* format
+//! and peers can negotiate which one with [`negotiate`] /
+//! [`codec_for`]:
+//!
+//! * [`TextCodec`] — the ASCII ULM line format (`application/x-ulm`);
+//! * [`BinaryCodec`] — the length-prefixed binary frames
+//!   (`application/x-ulm-binary`);
+//! * [`JsonCodec`] — the flat JSON mapping (`application/json`).
+
+pub use jamm_core::codec::{negotiate, Codec};
+use jamm_core::json::Json;
+
+use crate::event::Event;
+use crate::{binary, json, text, Result, UlmError};
+
+/// Content type of the ASCII ULM line format.
+pub const TEXT: &str = "application/x-ulm";
+/// Content type of the binary frame format.
+pub const BINARY: &str = "application/x-ulm-binary";
+/// Content type of the JSON mapping.
+pub const JSON: &str = "application/json";
+
+/// Every content type this crate can speak, preferred order first
+/// (binary is cheapest to parse, text is the interoperable default, JSON
+/// is for third-party consumers).
+pub const ALL: [&str; 3] = [BINARY, TEXT, JSON];
+
+/// The ASCII ULM line codec.  Frames are single lines; batches are
+/// newline-separated documents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TextCodec;
+
+impl Codec for TextCodec {
+    type Item = Event;
+    type Error = UlmError;
+
+    fn content_type(&self) -> &'static str {
+        TEXT
+    }
+
+    fn encode(&self, event: &Event) -> Vec<u8> {
+        text::encode(event).into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Event> {
+        text::decode(as_utf8(bytes)?)
+    }
+
+    fn encode_batch(&self, events: &[Event]) -> Vec<u8> {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&text::encode(e));
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    fn decode_batch(&self, bytes: &[u8]) -> Result<Vec<Event>> {
+        as_utf8(bytes)?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(text::decode)
+            .collect()
+    }
+}
+
+/// The binary frame codec.  Batches are back-to-back frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    type Item = Event;
+    type Error = UlmError;
+
+    fn content_type(&self) -> &'static str {
+        BINARY
+    }
+
+    fn encode(&self, event: &Event) -> Vec<u8> {
+        binary::encode(event)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Event> {
+        binary::decode(bytes).map(|(event, _)| event)
+    }
+
+    fn decode_batch(&self, bytes: &[u8]) -> Result<Vec<Event>> {
+        binary::decode_all(bytes)
+    }
+}
+
+/// The JSON codec.  Frames are objects; batches are JSON arrays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    type Item = Event;
+    type Error = UlmError;
+
+    fn content_type(&self) -> &'static str {
+        JSON
+    }
+
+    fn encode(&self, event: &Event) -> Vec<u8> {
+        json::encode(event).into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Event> {
+        json::decode(as_utf8(bytes)?)
+    }
+
+    fn encode_batch(&self, events: &[Event]) -> Vec<u8> {
+        Json::Array(events.iter().map(json::to_json).collect())
+            .to_string()
+            .into_bytes()
+    }
+
+    fn decode_batch(&self, bytes: &[u8]) -> Result<Vec<Event>> {
+        let doc = Json::parse(as_utf8(bytes)?)
+            .map_err(|_| UlmError::MalformedField("invalid JSON batch".into()))?;
+        let items = doc.as_array().ok_or(UlmError::MalformedField(
+            "JSON batch is not an array".into(),
+        ))?;
+        items.iter().map(json::from_json).collect()
+    }
+}
+
+/// A boxed event codec, as produced by [`codec_for`].
+pub type EventCodec = Box<dyn Codec<Item = Event, Error = UlmError> + Send + Sync>;
+
+/// Look a codec up by content type (the receiving side of negotiation).
+pub fn codec_for(content_type: &str) -> Option<EventCodec> {
+    match content_type.trim() {
+        TEXT => Some(Box::new(TextCodec)),
+        BINARY => Some(Box::new(BinaryCodec)),
+        JSON => Some(Box::new(JsonCodec)),
+        _ => None,
+    }
+}
+
+fn as_utf8(bytes: &[u8]) -> Result<&str> {
+    std::str::from_utf8(bytes).map_err(|_| UlmError::MalformedField("invalid UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Timestamp};
+
+    fn sample(i: u64) -> Event {
+        Event::builder("dpss_master", "dpss1.lbl.gov")
+            .level(Level::Usage)
+            .event_type("DPSS_SERV_IN")
+            .timestamp(Timestamp::from_micros(954_415_400_000_000 + i))
+            .field("BLOCK.ID", i)
+            .field("NOTE", "has spaces and \"quotes\"")
+            .build()
+    }
+
+    fn codecs() -> Vec<EventCodec> {
+        ALL.iter().map(|ct| codec_for(ct).unwrap()).collect()
+    }
+
+    #[test]
+    fn every_codec_round_trips_frames_and_batches() {
+        let events: Vec<Event> = (0..5).map(sample).collect();
+        for codec in codecs() {
+            let one = codec.decode(&codec.encode(&events[0])).unwrap();
+            assert_eq!(one, events[0], "{}", codec.content_type());
+            let batch = codec.decode_batch(&codec.encode_batch(&events)).unwrap();
+            assert_eq!(batch, events, "{}", codec.content_type());
+        }
+    }
+
+    #[test]
+    fn codec_lookup_and_negotiation() {
+        assert!(codec_for(TEXT).is_some());
+        assert!(
+            codec_for(" application/x-ulm ").is_some(),
+            "whitespace tolerated"
+        );
+        assert!(codec_for("application/xml").is_none());
+        // A peer that only speaks text gets text even though we prefer binary.
+        assert_eq!(negotiate(&ALL, &[TEXT]), Some(TEXT));
+        assert_eq!(negotiate(&ALL, &[JSON, BINARY]), Some(BINARY));
+    }
+
+    #[test]
+    fn content_types_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for codec in codecs() {
+            assert!(seen.insert(codec.content_type()));
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_errors_not_panics() {
+        for codec in codecs() {
+            assert!(codec.decode(b"\xff\xfe garbage").is_err());
+            assert!(codec.decode_batch(b"\xff\xfe garbage").is_err());
+        }
+    }
+}

@@ -1,7 +1,5 @@
 //! The in-memory ULM / NetLogger event model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::keys;
 use crate::timestamp::Timestamp;
 use crate::value::Value;
@@ -10,7 +8,7 @@ use crate::value::Value;
 ///
 /// The ULM draft uses syslog-like levels; the paper's examples additionally
 /// use `Usage` for routine instrumentation events, which is the default here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Level {
     /// System is unusable.
     Emergency,
@@ -87,7 +85,7 @@ impl std::fmt::Display for Level {
 /// program, level) plus the NetLogger event-type name, and an ordered list of
 /// user-defined fields.  Field order is preserved because the ULM text format
 /// is ordered and analysis tools (and humans) expect stable output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Event timestamp (`DATE`), microsecond precision.
     pub timestamp: Timestamp,
@@ -153,8 +151,15 @@ impl Event {
     /// Approximate encoded size of the event in ULM text form, in bytes.
     /// Used by the gateway and archive for accounting data volume.
     pub fn approx_size(&self) -> usize {
-        let mut n = 26 + 6 + self.host.len() + 6 + self.program.len() + 5
-            + self.level.as_str().len() + 9 + self.event_type.len();
+        let mut n = 26
+            + 6
+            + self.host.len()
+            + 6
+            + self.program.len()
+            + 5
+            + self.level.as_str().len()
+            + 9
+            + self.event_type.len();
         for (k, v) in &self.fields {
             n += 1 + k.len() + 1 + v.to_ulm_string().len();
         }

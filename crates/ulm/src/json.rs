@@ -6,7 +6,7 @@
 //! consume it without knowing the ULM field model: required fields become
 //! top-level keys, user fields are nested under `"fields"`.
 
-use serde_json::{json, Map, Value as Json};
+use jamm_core::json::{Json, Map, Number};
 
 use crate::event::{Event, Level};
 use crate::timestamp::Timestamp;
@@ -19,15 +19,18 @@ pub fn to_json(event: &Event) -> Json {
     for (k, v) in &event.fields {
         fields.insert(k.clone(), value_to_json(v));
     }
-    json!({
-        "date": event.timestamp.to_ulm_date(),
-        "timestamp_us": event.timestamp.as_micros(),
-        "host": event.host,
-        "prog": event.program,
-        "lvl": event.level.as_str(),
-        "event": event.event_type,
-        "fields": Json::Object(fields),
-    })
+    let mut obj = Map::new();
+    obj.insert("date".into(), Json::from(event.timestamp.to_ulm_date()));
+    obj.insert(
+        "timestamp_us".into(),
+        Json::from(event.timestamp.as_micros()),
+    );
+    obj.insert("host".into(), Json::from(&event.host));
+    obj.insert("prog".into(), Json::from(&event.program));
+    obj.insert("lvl".into(), Json::from(event.level.as_str()));
+    obj.insert("event".into(), Json::from(&event.event_type));
+    obj.insert("fields".into(), Json::Object(fields));
+    Json::Object(obj)
 }
 
 /// Serialise an event to a compact JSON string.
@@ -37,8 +40,8 @@ pub fn encode(event: &Event) -> String {
 
 /// Parse an event from the JSON produced by [`encode`] / [`to_json`].
 pub fn decode(text: &str) -> Result<Event> {
-    let v: Json = serde_json::from_str(text)
-        .map_err(|_| UlmError::MalformedField(text.chars().take(40).collect()))?;
+    let v =
+        Json::parse(text).map_err(|_| UlmError::MalformedField(text.chars().take(40).collect()))?;
     from_json(&v)
 }
 
@@ -94,25 +97,19 @@ pub fn from_json(v: &Json) -> Result<Event> {
 
 fn value_to_json(v: &Value) -> Json {
     match v {
-        Value::UInt(u) => json!(u),
-        Value::Int(i) => json!(i),
-        Value::Float(f) => json!(f),
-        Value::Bool(b) => json!(b),
-        Value::Str(s) => json!(s),
+        Value::UInt(u) => Json::from(*u),
+        Value::Int(i) => Json::from(*i),
+        Value::Float(f) => Json::from(*f),
+        Value::Bool(b) => Json::from(*b),
+        Value::Str(s) => Json::from(s),
     }
 }
 
 fn json_to_value(v: &Json) -> Value {
     match v {
-        Json::Number(n) => {
-            if let Some(u) = n.as_u64() {
-                Value::UInt(u)
-            } else if let Some(i) = n.as_i64() {
-                Value::Int(i)
-            } else {
-                Value::Float(n.as_f64().unwrap_or(f64::NAN))
-            }
-        }
+        Json::Number(Number::U(u)) => Value::UInt(*u),
+        Json::Number(Number::I(i)) => Value::Int(*i),
+        Json::Number(Number::F(f)) => Value::Float(*f),
         Json::Bool(b) => Value::Bool(*b),
         Json::String(s) => Value::Str(s.clone()),
         other => Value::Str(other.to_string()),
@@ -162,7 +159,8 @@ mod tests {
 
     #[test]
     fn decode_uses_date_when_micros_missing() {
-        let text = r#"{"date":"20000330112320.000001","host":"h","prog":"p","lvl":"Usage","event":"X"}"#;
+        let text =
+            r#"{"date":"20000330112320.000001","host":"h","prog":"p","lvl":"Usage","event":"X"}"#;
         let ev = decode(text).unwrap();
         assert_eq!(ev.timestamp.subsec_micros(), 1);
         assert_eq!(ev.event_type, "X");

@@ -17,7 +17,10 @@
 //! * [`binary`] — the compact binary codec the paper lists as planned work
 //!   for high-throughput event streams;
 //! * [`json`] — a JSON export (stand-in for the paper's planned XML schema
-//!   from the Grid Forum performance working group).
+//!   from the Grid Forum performance working group);
+//! * [`codec`] — all three formats behind the shared
+//!   [`jamm_core::codec::Codec`] trait ([`TextCodec`], [`BinaryCodec`],
+//!   [`JsonCodec`]), with content-type negotiation for transports.
 //!
 //! ```
 //! use jamm_ulm::{Event, Level, Timestamp, Value};
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod codec;
 pub mod event;
 pub mod json;
 pub mod keys;
@@ -46,6 +50,7 @@ pub mod text;
 pub mod timestamp;
 pub mod value;
 
+pub use codec::{BinaryCodec, JsonCodec, TextCodec};
 pub use event::{Event, EventBuilder, Level};
 pub use timestamp::Timestamp;
 pub use value::Value;

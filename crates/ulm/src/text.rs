@@ -120,7 +120,12 @@ impl<'a> Iterator for TokenIter<'a> {
         };
         let key = self.rest[..eq].to_string();
         if key.is_empty() || key.contains(char::is_whitespace) {
-            let tok = self.rest.split_whitespace().next().unwrap_or("").to_string();
+            let tok = self
+                .rest
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string();
             // Skip past this token so iteration terminates.
             self.rest = &self.rest[tok.len().min(self.rest.len())..];
             return Some((Err(UlmError::MalformedField(tok)), String::new()));
@@ -156,9 +161,7 @@ impl<'a> Iterator for TokenIter<'a> {
                 }
             }
         } else {
-            let end = after
-                .find(char::is_whitespace)
-                .unwrap_or(after.len());
+            let end = after.find(char::is_whitespace).unwrap_or(after.len());
             let value = after[..end].to_string();
             self.rest = &after[end..];
             Some((Ok(key), value))

@@ -7,7 +7,6 @@
 //! system (`SystemTime`) and the discrete-event simulator (plain `u64`
 //! simulated microseconds).
 
-use serde::{Deserialize, Serialize};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::UlmError;
@@ -20,8 +19,7 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// `Timestamp` is a thin wrapper over *microseconds since the Unix epoch*
 /// (UTC).  It orders and subtracts naturally and converts to/from the ULM
 /// `DATE` textual form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(u64);
 
 impl Timestamp {
@@ -235,12 +233,12 @@ mod tests {
         for bad in [
             "",
             "2000",
-            "20001301000000",      // month 13
-            "20000100000000",      // day 0
-            "20000101250000",      // hour 25
-            "2000010100000a",      // non-digit
+            "20001301000000",         // month 13
+            "20000100000000",         // day 0
+            "20000101250000",         // hour 25
+            "2000010100000a",         // non-digit
             "20000101000000.1234567", // 7 fraction digits
-            "19691231235959",      // before epoch
+            "19691231235959",         // before epoch
         ] {
             assert!(
                 Timestamp::parse_ulm_date(bad).is_err(),

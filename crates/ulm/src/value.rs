@@ -6,10 +6,8 @@
 //! filter without reparsing, while the text codec falls back to strings for
 //! anything non-numeric.
 
-use serde::{Deserialize, Serialize};
-
 /// A single ULM field value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Unsigned integer reading (counters, sizes in bytes, ...).
     UInt(u64),
@@ -196,7 +194,10 @@ mod tests {
         assert_eq!(Value::infer("42.5"), Value::Float(42.5));
         assert_eq!(Value::infer("true"), Value::Bool(true));
         assert_eq!(Value::infer("false"), Value::Bool(false));
-        assert_eq!(Value::infer("dpss1.lbl.gov"), Value::Str("dpss1.lbl.gov".into()));
+        assert_eq!(
+            Value::infer("dpss1.lbl.gov"),
+            Value::Str("dpss1.lbl.gov".into())
+        );
         // A bare word containing 'e' must stay a string, not parse as float.
         assert_eq!(Value::infer("WriteData"), Value::Str("WriteData".into()));
     }

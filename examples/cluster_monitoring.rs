@@ -29,9 +29,18 @@ fn main() {
     cluster.run_secs(5.0);
 
     println!("after 5 s of normal operation:");
-    println!("  sensor entries in directory : {}", cluster.directory.entry_count());
-    println!("  events published            : {}", cluster.events_published());
-    println!("  event copies delivered      : {}", cluster.events_delivered());
+    println!(
+        "  sensor entries in directory : {}",
+        cluster.directory.entry_count()
+    );
+    println!(
+        "  events published            : {}",
+        cluster.events_published()
+    );
+    println!(
+        "  event copies delivered      : {}",
+        cluster.events_delivered()
+    );
 
     // Fault injection: three workers die.
     for node in [3, 11, 27] {
@@ -44,20 +53,27 @@ fn main() {
         .into_iter()
         .filter(|&n| cluster.worker_alive(n))
         .collect();
-    println!("  recovery actions taken      : {}", cluster.process_monitor.history().len());
+    println!(
+        "  recovery actions taken      : {}",
+        cluster.process_monitor.history().len()
+    );
     println!("  workers alive again         : {recovered:?}");
-    println!("  whole-farm outage alerts    : {}", cluster.overview.alerts().len());
+    println!(
+        "  whole-farm outage alerts    : {}",
+        cluster.overview.alerts().len()
+    );
 
     println!("\nper-consumer delivery counts (gateway fan-out, §2.3):");
     for gw in &cluster.gateways {
-        for (id, consumer, events, bytes) in gw.delivery_report() {
+        for report in gw.delivery_report() {
             println!(
-                "  gateway {:<24} subscription {:<2} {:<12} {:>8} events {:>10} bytes",
+                "  gateway {:<24} subscription {:<2} {:<12} {:>8} events {:>10} bytes {:>6} dropped",
                 gw.name(),
-                id,
-                consumer,
-                events,
-                bytes
+                report.id,
+                report.consumer,
+                report.delivered,
+                report.bytes,
+                report.dropped
             );
         }
     }

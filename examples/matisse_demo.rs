@@ -65,7 +65,11 @@ fn main() {
     println!("MATISSE over Supernet (WAN), 4 DPSS servers vs 1 DPSS server\n");
 
     let four = run_configuration(4, seconds);
-    report("4 DPSS servers (4 parallel sockets into the receiver)", &four, seconds);
+    report(
+        "4 DPSS servers (4 parallel sockets into the receiver)",
+        &four,
+        seconds,
+    );
 
     let one = run_configuration(1, seconds);
     report("1 DPSS server (the paper's work-around)", &one, seconds);

@@ -53,11 +53,18 @@ fn main() {
     // 1. Instrument and merge.
     let (client_log, server_log) = instrumented_run();
     let merged = merge_logs(&[client_log.clone(), server_log.clone()]);
-    println!("merged {} events from 2 hosts; time inversions: {}", merged.len(), inversion_count(&merged));
+    println!(
+        "merged {} events from 2 hosts; time inversions: {}",
+        merged.len(),
+        inversion_count(&merged)
+    );
 
     // 2. Lifeline analysis: where does the time go?
     let lines = lifelines(&merged, &STAGES);
-    println!("\nper-stage mean latency over {} request lifelines:", lines.len());
+    println!(
+        "\nper-stage mean latency over {} request lifelines:",
+        lines.len()
+    );
     for (from, to, mean_us, n) in mean_stage_durations(&lines) {
         println!("  {from:>10} -> {to:<10}  {mean_us:>8.0} us   ({n} samples)");
     }

@@ -55,7 +55,10 @@ fn main() {
         "  application events .......... {}",
         jamm.application_event_count()
     );
-    println!("  sensor events published ..... {}", jamm.events_published());
+    println!(
+        "  sensor events published ..... {}",
+        jamm.events_published()
+    );
     println!(
         "  events delivered to consumers {}",
         jamm.events_delivered()

@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use jamm_core::json::json;
 use jamm_directory::notify::ChangeKind;
 use jamm_directory::referral::Federation;
 use jamm_directory::replication::ReplicatedDirectory;
@@ -11,23 +12,26 @@ use jamm_directory::{DirectoryServer, Dn, Entry, Filter, Scope};
 use jamm_rmi::bus::MessageBus;
 use jamm_rmi::message::MethodCall;
 use jamm_rmi::tcp::{RmiClient, RmiServer};
-use serde_json::json;
 
 fn sensor_entry(site: &str, host: &str, sensor: &str) -> Entry {
-    Entry::new(
-        Dn::parse(&format!("sensor={sensor},host={host},o={site},o=grid")).unwrap(),
-    )
-    .with("objectclass", "sensor")
-    .with("host", host)
-    .with("sensor", sensor)
-    .with("gateway", format!("gw.{site}.example:8765"))
-    .with("status", "running")
+    Entry::new(Dn::parse(&format!("sensor={sensor},host={host},o={site},o=grid")).unwrap())
+        .with("objectclass", "sensor")
+        .with("host", host)
+        .with("sensor", sensor)
+        .with("gateway", format!("gw.{site}.example:8765"))
+        .with("status", "running")
 }
 
 #[test]
 fn replicated_directory_survives_master_failure_and_resyncs() {
-    let master = Arc::new(DirectoryServer::new("ldap://master", Dn::parse("o=grid").unwrap()));
-    let replica = Arc::new(DirectoryServer::new("ldap://replica", Dn::parse("o=grid").unwrap()));
+    let master = Arc::new(DirectoryServer::new(
+        "ldap://master",
+        Dn::parse("o=grid").unwrap(),
+    ));
+    let replica = Arc::new(DirectoryServer::new(
+        "ldap://replica",
+        Dn::parse("o=grid").unwrap(),
+    ));
     let dir = ReplicatedDirectory::new(Arc::clone(&master), vec![Arc::clone(&replica)]);
 
     // A sensor manager publishes through the replicated handle.
@@ -49,7 +53,8 @@ fn replicated_directory_survives_master_failure_and_resyncs() {
     // The replica misses writes while it is down; resync catches it up.
     master.set_available(true);
     replica.set_available(false);
-    dir.add_or_replace(sensor_entry("lbl", "late.lbl.gov", "cpu")).unwrap();
+    dir.add_or_replace(sensor_entry("lbl", "late.lbl.gov", "cpu"))
+        .unwrap();
     assert_eq!(dir.stale_replicas().len(), 1);
     replica.set_available(true);
     assert_eq!(dir.resync(), 1);
@@ -58,12 +63,20 @@ fn replicated_directory_survives_master_failure_and_resyncs() {
 
 #[test]
 fn federation_gives_a_grid_wide_view_across_site_directories() {
-    let lbl = Arc::new(DirectoryServer::new("ldap://dir.lbl.example", Dn::parse("o=lbl,o=grid").unwrap()));
-    let isi = Arc::new(DirectoryServer::new("ldap://dir.isi.example", Dn::parse("o=isi,o=grid").unwrap()));
+    let lbl = Arc::new(DirectoryServer::new(
+        "ldap://dir.lbl.example",
+        Dn::parse("o=lbl,o=grid").unwrap(),
+    ));
+    let isi = Arc::new(DirectoryServer::new(
+        "ldap://dir.isi.example",
+        Dn::parse("o=isi,o=grid").unwrap(),
+    ));
     for i in 0..4 {
-        lbl.add(sensor_entry("lbl", &format!("dpss{i}.lbl.gov"), "cpu")).unwrap();
+        lbl.add(sensor_entry("lbl", &format!("dpss{i}.lbl.gov"), "cpu"))
+            .unwrap();
     }
-    isi.add(sensor_entry("isi", "mems.cairn.net", "cpu")).unwrap();
+    isi.add(sensor_entry("isi", "mems.cairn.net", "cpu"))
+        .unwrap();
     lbl.add_referral(Dn::parse("o=isi,o=grid").unwrap(), isi.name());
     isi.add_referral(Dn::parse("o=lbl,o=grid").unwrap(), lbl.name());
 
@@ -94,15 +107,21 @@ fn persistent_search_notifies_consumers_of_new_sensors() {
         Dn::parse("o=grid").unwrap(),
         Filter::parse("(&(objectclass=sensor)(sensor=tcp))").unwrap(),
     );
-    dir.add(sensor_entry("lbl", "dpss1.lbl.gov", "cpu")).unwrap();
-    dir.add(sensor_entry("lbl", "dpss1.lbl.gov", "tcp")).unwrap();
+    dir.add(sensor_entry("lbl", "dpss1.lbl.gov", "cpu"))
+        .unwrap();
+    dir.add(sensor_entry("lbl", "dpss1.lbl.gov", "tcp"))
+        .unwrap();
     dir.modify(
         &Dn::parse("sensor=tcp,host=dpss1.lbl.gov,o=lbl,o=grid").unwrap(),
         |e| e.set("status", vec!["stopped".into()]),
     )
     .unwrap();
     let changes = watch.drain();
-    assert_eq!(changes.len(), 2, "added + modified, the cpu sensor is ignored");
+    assert_eq!(
+        changes.len(),
+        2,
+        "added + modified, the cpu sensor is ignored"
+    );
     assert_eq!(changes[0].kind, ChangeKind::Added);
     assert_eq!(changes[1].kind, ChangeKind::Modified);
     assert_eq!(changes[1].entry.get("status"), Some("stopped"));
@@ -113,14 +132,17 @@ fn control_plane_calls_travel_over_the_rmi_substrate() {
     // A sensor-manager control service exposed over TCP, as the GUIs and
     // gateways would call it.
     let bus = MessageBus::new();
-    bus.register_fn("sensor-manager@dpss1.lbl.gov", |method, args| match method {
-        "start_sensor" => Ok(json!({
-            "sensor": args["name"],
-            "status": "running"
-        })),
-        "list" => Ok(json!(["cpu", "memory", "tcp"])),
-        other => Err(jamm_rmi::message::RmiError::NoSuchMethod(other.into())),
-    });
+    bus.register_fn(
+        "sensor-manager@dpss1.lbl.gov",
+        |method, args| match method {
+            "start_sensor" => Ok(json!({
+                "sensor": args["name"].clone(),
+                "status": "running"
+            })),
+            "list" => Ok(json!(["cpu", "memory", "tcp"])),
+            other => Err(jamm_rmi::message::RmiError::NoSuchMethod(other.into())),
+        },
+    );
     let server = RmiServer::start(bus).expect("bind localhost");
     let mut client = RmiClient::connect(server.addr()).expect("connect");
     let started = client
@@ -132,7 +154,11 @@ fn control_plane_calls_travel_over_the_rmi_substrate() {
         .unwrap();
     assert_eq!(started["status"], "running");
     let list = client
-        .invoke(&MethodCall::new("sensor-manager@dpss1.lbl.gov", "list", json!(null)))
+        .invoke(&MethodCall::new(
+            "sensor-manager@dpss1.lbl.gov",
+            "list",
+            json!(null),
+        ))
         .unwrap();
     assert_eq!(list.as_array().unwrap().len(), 3);
 }

@@ -55,8 +55,14 @@ fn monitored_matisse_run_reproduces_figure7_correlations() {
     let mut four = JammDeployment::matisse(cfg);
     four.run_secs(30.0);
 
-    assert!(four.scenario.player.frames_displayed() > 3, "frames arrived");
-    assert!(four.scenario.client_retransmits() > 0, "retransmissions occurred");
+    assert!(
+        four.scenario.player.frames_displayed() > 3,
+        "frames arrived"
+    );
+    assert!(
+        four.scenario.client_retransmits() > 0,
+        "retransmissions occurred"
+    );
 
     let log = four.merged_log();
     // Retransmission events were *collected by JAMM* (not just simulated).
@@ -108,7 +114,11 @@ fn read_sizes_cluster_around_two_values() {
         .iter()
         .map(|&(_, r)| r as f64)
         .collect();
-    assert!(readings.len() > 100, "enough reads recorded: {}", readings.len());
+    assert!(
+        readings.len() > 100,
+        "enough reads recorded: {}",
+        readings.len()
+    );
     let clusters = two_cluster(&readings).expect("clustering possible");
     assert!(
         clusters.high_center > 50_000.0,

@@ -2,11 +2,9 @@
 //! pipeline over the simulated network, including directory publication,
 //! filtering, summaries and archiving.
 
-use std::sync::Arc;
-
 use jamm::deployment::{DeploymentConfig, JammDeployment};
 use jamm_directory::{Dn, Filter, Scope};
-use jamm_gateway::{EventFilter, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::EventFilter;
 use jamm_ulm::{keys, Level};
 
 fn lan_deployment(seed: u64) -> JammDeployment {
@@ -30,7 +28,11 @@ fn sensors_publish_through_gateways_into_collector_and_archive() {
             &Filter::parse("(objectclass=sensor)").unwrap(),
         )
         .unwrap();
-    assert!(listed.entries.len() >= 10, "sensors published: {}", listed.entries.len());
+    assert!(
+        listed.entries.len() >= 10,
+        "sensors published: {}",
+        listed.entries.len()
+    );
     assert!(listed
         .entries
         .iter()
@@ -73,7 +75,10 @@ fn late_consumer_discovers_sensors_and_queries_most_recent_values() {
         .unwrap();
     assert_eq!(found.entries.len(), 1);
     let gateway_name = found.entries[0].get("gateway").unwrap();
-    let gateway = jamm.registry.resolve(gateway_name).expect("gateway resolvable");
+    let gateway = jamm
+        .registry
+        .resolve(gateway_name)
+        .expect("gateway resolvable");
     let latest = gateway
         .query("late-consumer", "mems.cairn.net", keys::cpu::SYS)
         .unwrap()
@@ -93,16 +98,14 @@ fn late_consumer_discovers_sensors_and_queries_most_recent_values() {
 fn threshold_subscription_sees_only_interesting_events() {
     let mut jamm = lan_deployment(303);
     // Subscribe before running: only CPU readings above 30%.
-    let gateway = Arc::clone(jamm.registry.resolve("gw.cairn.net:8765").unwrap());
+    let gateway = jamm.registry.resolve("gw.cairn.net:8765").unwrap();
     let sub = gateway
-        .subscribe(SubscribeRequest {
-            consumer: "threshold-watcher".into(),
-            mode: SubscriptionMode::Stream,
-            filters: vec![
-                EventFilter::EventTypes(vec![keys::cpu::TOTAL.into()]),
-                EventFilter::Above(30.0),
-            ],
-        })
+        .subscribe()
+        .stream()
+        .filter(EventFilter::EventTypes(vec![keys::cpu::TOTAL.into()]))
+        .filter(EventFilter::Above(30.0))
+        .as_consumer("threshold-watcher")
+        .open()
         .unwrap();
     jamm.run_secs(10.0);
     let events: Vec<_> = sub.events.try_iter().collect();
@@ -112,7 +115,11 @@ fn threshold_subscription_sees_only_interesting_events() {
     );
     // And the unfiltered stream saw strictly more events than this one.
     assert!(
-        (events.len() as u64) < gateway.stats().events_in.load(std::sync::atomic::Ordering::Relaxed),
+        (events.len() as u64)
+            < gateway
+                .stats()
+                .events_in
+                .load(std::sync::atomic::Ordering::Relaxed),
         "filtering reduced the volume"
     );
 }

@@ -6,7 +6,7 @@ use jamm_auth::acl::{AccessControlList, Action, GatewayAllowList, Principal};
 use jamm_auth::identity::{CertificateAuthority, TrustStore};
 use jamm_auth::mapfile::GridMapFile;
 use jamm_auth::policy::{AttributeCertificate, PolicyEngine, Requirement, UseCondition};
-use jamm_gateway::{EventGateway, GatewayConfig, SubscribeRequest, SubscriptionMode};
+use jamm_gateway::{EventGateway, GatewayConfig};
 use jamm_ulm::{Event, Level, Timestamp};
 
 const NOW: u64 = 959_400_000;
@@ -35,7 +35,9 @@ fn certificate_to_mapfile_to_gateway_acl_chain() {
     let remote = ncsa_ca.issue("/O=Grid/O=NCSA/CN=Remote Analyst", NOW, 86_400);
     assert!(trust.verify(&tierney, NOW).is_ok());
     assert!(trust.verify(&remote, NOW).is_ok());
-    assert!(doe_ca.verify_proxy(&tierney_proxy, &tierney, 777, NOW).is_ok());
+    assert!(doe_ca
+        .verify_proxy(&tierney_proxy, &tierney, 777, NOW)
+        .is_ok());
 
     // 3. The grid map file translates subjects to local principals.
     let mapfile = GridMapFile::parse(
@@ -51,7 +53,12 @@ fn certificate_to_mapfile_to_gateway_acl_chain() {
     acl.grant(
         Principal::User("tierney".into()),
         "*",
-        [Action::Lookup, Action::SubscribeStream, Action::Query, Action::Summary],
+        [
+            Action::Lookup,
+            Action::SubscribeStream,
+            Action::Query,
+            Action::Summary,
+        ],
     );
     let gateway = EventGateway::new(GatewayConfig::with_acl("gw.lbl.gov:8765", acl));
     for i in 0..30 {
@@ -59,21 +66,19 @@ fn certificate_to_mapfile_to_gateway_acl_chain() {
     }
     // tierney streams.
     let sub = gateway
-        .subscribe(SubscribeRequest {
-            consumer: local_tierney.to_string(),
-            mode: SubscriptionMode::Stream,
-            filters: vec![],
-        })
+        .subscribe()
+        .stream()
+        .as_consumer(local_tierney)
+        .open()
         .expect("internal user may stream");
     gateway.publish(&cpu_event(99.0));
     assert_eq!(sub.events.try_iter().count(), 1);
     // guest cannot stream, but can query and read summaries.
     assert!(gateway
-        .subscribe(SubscribeRequest {
-            consumer: local_remote.to_string(),
-            mode: SubscriptionMode::Stream,
-            filters: vec![],
-        })
+        .subscribe()
+        .stream()
+        .as_consumer(local_remote)
+        .open()
         .is_err());
     assert!(gateway
         .query(local_remote, "dpss1.lbl.gov", "CPU_TOTAL")
@@ -97,9 +102,13 @@ fn akenti_policy_gates_sensor_control_and_expired_credentials_fail() {
         stakeholder: "dpss-project".into(),
         resource: "sensor:dpss1.lbl.gov/*".into(),
         requirement: Requirement::Attribute("group".into(), "dpss-operators".into()),
-        actions: [Action::ControlSensors, Action::SubscribeStream, Action::Summary]
-            .into_iter()
-            .collect(),
+        actions: [
+            Action::ControlSensors,
+            Action::SubscribeStream,
+            Action::Summary,
+        ]
+        .into_iter()
+        .collect(),
     });
     policy.add_condition(UseCondition {
         stakeholder: "dpss-project".into(),
@@ -117,23 +126,47 @@ fn akenti_policy_gates_sensor_control_and_expired_credentials_fail() {
         not_after: NOW + 7_200,
     };
     assert!(policy
-        .check(&operator, &[operator_attr.clone()], "sensor:dpss1.lbl.gov/*", Action::ControlSensors, NOW)
+        .check(
+            &operator,
+            std::slice::from_ref(&operator_attr),
+            "sensor:dpss1.lbl.gov/*",
+            Action::ControlSensors,
+            NOW
+        )
         .is_ok());
 
     // The same credential after the attribute certificate expires: control is
     // denied, summaries (granted on the DN alone) still work.
     let later = NOW + 10_000;
     assert!(policy
-        .check(&operator, &[operator_attr.clone()], "sensor:dpss1.lbl.gov/*", Action::ControlSensors, later)
+        .check(
+            &operator,
+            std::slice::from_ref(&operator_attr),
+            "sensor:dpss1.lbl.gov/*",
+            Action::ControlSensors,
+            later
+        )
         .is_err());
     assert!(policy
-        .check(&operator, &[operator_attr], "sensor:dpss1.lbl.gov/*", Action::Summary, later)
+        .check(
+            &operator,
+            &[operator_attr],
+            "sensor:dpss1.lbl.gov/*",
+            Action::Summary,
+            later
+        )
         .is_ok());
 
     // A random grid user without the attribute never gets control.
     let user = ca.issue("/O=Grid/O=ANL/CN=Someone Else", NOW, 86_400);
     assert!(policy
-        .check(&user, &[], "sensor:dpss1.lbl.gov/*", Action::ControlSensors, NOW)
+        .check(
+            &user,
+            &[],
+            "sensor:dpss1.lbl.gov/*",
+            Action::ControlSensors,
+            NOW
+        )
         .is_err());
     assert!(policy
         .check(&user, &[], "sensor:dpss1.lbl.gov/*", Action::Summary, NOW)
