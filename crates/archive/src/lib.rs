@@ -9,14 +9,29 @@
 //! sampling of both normal and abnormal system operation"), and ULM / JSON
 //! export so other tools — e.g. a Network Weather Service style predictor —
 //! can consume the history.
+//!
+//! Since PR 2 the archive sits on the [`jamm_tsdb`] storage engine: an
+//! in-memory archive ([`EventArchive::new`]) behaves exactly as before,
+//! while a persistent one ([`EventArchive::open`]) survives process
+//! restart via WAL replay and segment recovery.  Either way, range scans
+//! prune whole segments through per-segment catalogs, stream results
+//! through [`EventArchive::scan`] instead of materializing them, and the
+//! archived history can be pushed back through a gateway with
+//! [`ReplaySource`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod replay;
+
+pub use replay::ReplaySource;
+
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use jamm_core::flow::{EventSink, SinkError};
 use jamm_core::sync::RwLock;
+use jamm_tsdb::{ScanIter, SegmentCatalog, Tsdb, TsdbError, TsdbOptions, TsdbQuery, TsdbStats};
 use jamm_ulm::{Event, Timestamp};
 
 /// A label attached to a stored span of events.
@@ -74,28 +89,15 @@ impl ArchiveQuery {
         self
     }
 
-    fn matches(&self, event: &Event) -> bool {
-        if let Some(from) = self.from {
-            if event.timestamp < from {
-                return false;
-            }
+    /// The storage-engine query this archive query pushes down (everything
+    /// except the result limit, which the iterator applies).
+    fn to_tsdb(&self) -> TsdbQuery {
+        TsdbQuery {
+            from: self.from,
+            to: self.to,
+            host: self.host.clone(),
+            event_type: self.event_type.clone(),
         }
-        if let Some(to) = self.to {
-            if event.timestamp >= to {
-                return false;
-            }
-        }
-        if let Some(host) = &self.host {
-            if &event.host != host {
-                return false;
-            }
-        }
-        if let Some(ty) = &self.event_type {
-            if &event.event_type != ty {
-                return false;
-            }
-        }
-        true
     }
 }
 
@@ -116,48 +118,191 @@ pub struct ArchiveCatalog {
     pub hosts: BTreeMap<String, usize>,
 }
 
-/// A time-indexed archive of monitoring events.
-#[derive(Debug, Default)]
+/// A streaming, time-ordered iterator over query results.
+///
+/// Owns its segment handles, so it can outlive the archive borrow it was
+/// created from; segment data decodes lazily as it is consumed.
+#[derive(Debug)]
+pub struct ArchiveScan {
+    inner: ScanIter,
+    remaining: usize,
+    unlimited: bool,
+}
+
+impl Iterator for ArchiveScan {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if !self.unlimited {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+        }
+        self.inner.next()
+    }
+}
+
+/// Name of the sidecar file persisting operation labels in a store
+/// directory (one `from to label` line per span).
+const LABELS_FILE: &str = "labels.log";
+
+/// A time-indexed archive of monitoring events, persistent when opened on
+/// a directory.
+#[derive(Debug)]
 pub struct EventArchive {
-    /// Events keyed by (timestamp, insertion sequence) for stable ordering.
-    events: RwLock<BTreeMap<(Timestamp, u64), Event>>,
+    db: Tsdb,
     labels: RwLock<Vec<(Timestamp, Timestamp, OperationLabel)>>,
-    seq: RwLock<u64>,
+    /// Sidecar path persisting the labels (persistent archives only).
+    labels_path: Option<std::path::PathBuf>,
+}
+
+impl Default for EventArchive {
+    fn default() -> Self {
+        EventArchive::new()
+    }
 }
 
 impl EventArchive {
-    /// Create an empty archive.
+    /// Create an empty, in-memory (volatile) archive.
     pub fn new() -> Self {
-        EventArchive::default()
-    }
-
-    /// Store one event.
-    pub fn store(&self, event: Event) {
-        let mut seq = self.seq.write();
-        *seq += 1;
-        self.events.write().insert((event.timestamp, *seq), event);
-    }
-
-    /// Store many events.
-    pub fn store_all(&self, events: impl IntoIterator<Item = Event>) {
-        for e in events {
-            self.store(e);
+        EventArchive {
+            db: Tsdb::in_memory(),
+            labels: RwLock::new(Vec::new()),
+            labels_path: None,
         }
+    }
+
+    /// Open (creating if needed) a persistent archive in `dir`.  Existing
+    /// segments are loaded, the write-ahead log is replayed and saved
+    /// operation labels are reloaded, so a populated archive survives
+    /// process restart.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TsdbError> {
+        Self::open_with(dir, TsdbOptions::default())
+    }
+
+    /// Open a persistent archive with explicit storage-engine options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: TsdbOptions) -> Result<Self, TsdbError> {
+        let labels_path = dir.as_ref().join(LABELS_FILE);
+        let labels = load_labels(&labels_path);
+        Ok(EventArchive {
+            db: Tsdb::open_with(dir, opts)?,
+            labels: RwLock::new(labels),
+            labels_path: Some(labels_path),
+        })
+    }
+
+    /// Create an in-memory archive with explicit storage-engine options
+    /// (small memtables are useful in tests and benches).
+    pub fn in_memory_with(opts: TsdbOptions) -> Self {
+        EventArchive {
+            db: Tsdb::in_memory_with(opts),
+            labels: RwLock::new(Vec::new()),
+            labels_path: None,
+        }
+    }
+
+    /// The underlying storage engine (stats, segment catalogs, manual
+    /// maintenance).
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.db
+    }
+
+    /// Storage-engine observability counters (appends, seals, pruned
+    /// segments, ...).
+    pub fn stats(&self) -> &TsdbStats {
+        self.db.stats()
+    }
+
+    /// Store one event.  Storage errors (a failing disk under a persistent
+    /// archive) are swallowed here to keep the hot path infallible; use
+    /// [`EventArchive::try_store`] where the caller can handle them.
+    pub fn store(&self, event: Event) {
+        let _ = self.db.append(event);
+    }
+
+    /// Store one event, surfacing storage errors.
+    pub fn try_store(&self, event: Event) -> Result<(), TsdbError> {
+        self.db.append(event).map(|_| ())
+    }
+
+    /// Store a batch under a single storage-engine lock acquisition and —
+    /// for persistent archives — a single WAL write.  Returns how many
+    /// events were stored.  A storage error drops the batch (see
+    /// [`EventArchive::try_store_all`] for the recoverable variant).
+    pub fn store_all(&self, events: impl IntoIterator<Item = Event>) -> usize {
+        let batch: Vec<Event> = events.into_iter().collect();
+        self.db.append_batch(batch).unwrap_or(0)
+    }
+
+    /// Store a batch, handing it back on failure so the caller can retry
+    /// later instead of losing the events (the archiver agent's poll loop
+    /// uses this to survive transient disk errors).
+    pub fn try_store_all(&self, events: Vec<Event>) -> Result<usize, (TsdbError, Vec<Event>)> {
+        self.db.try_append_batch(events)
     }
 
     /// Number of stored events.
     pub fn len(&self) -> usize {
-        self.events.read().len()
+        self.db.len()
     }
 
     /// True if the archive is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.read().is_empty()
+        self.db.is_empty()
     }
 
-    /// Label a time span as normal or abnormal operation.
+    /// Seal the hot (memtable) tier into an immutable segment now.
+    /// Returns the new segment's catalog, or `None` when there was nothing
+    /// to seal.  The archiver agent calls this when flushing.  Errors are
+    /// swallowed (nothing is lost — the memtable is restored and the seal
+    /// retries later); use [`EventArchive::try_seal`] to observe them.
+    pub fn seal(&self) -> Option<SegmentCatalog> {
+        self.db.seal().unwrap_or(None)
+    }
+
+    /// Seal the hot tier, surfacing storage errors.
+    pub fn try_seal(&self) -> Result<Option<SegmentCatalog>, TsdbError> {
+        self.db.seal()
+    }
+
+    /// Merge runs of small segments; returns the net number of segments
+    /// removed.  Errors are swallowed (a failed compaction leaves the
+    /// store untouched); use [`EventArchive::try_compact`] to observe
+    /// them.
+    pub fn compact(&self) -> usize {
+        self.db.compact().unwrap_or(0)
+    }
+
+    /// Merge runs of small segments, surfacing storage errors.
+    pub fn try_compact(&self) -> Result<usize, TsdbError> {
+        self.db.compact()
+    }
+
+    /// Per-segment catalogs, in segment order — the entries the archiver
+    /// agent publishes in the directory.
+    pub fn segment_catalogs(&self) -> Vec<SegmentCatalog> {
+        self.db.segment_catalogs()
+    }
+
+    /// Label a time span as normal or abnormal operation.  Persistent
+    /// archives append the label to a sidecar file (best effort) so the
+    /// classification history survives restart alongside the events.
     pub fn label_span(&self, from: Timestamp, to: Timestamp, label: OperationLabel) {
         self.labels.write().push((from, to, label));
+        if let Some(path) = &self.labels_path {
+            use std::io::Write;
+            let tag = match label {
+                OperationLabel::Normal => "normal",
+                OperationLabel::Abnormal => "abnormal",
+            };
+            let line = format!("{} {} {tag}\n", from.as_micros(), to.as_micros());
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
     }
 
     /// The label covering a timestamp, if any (later labels win).
@@ -170,87 +315,152 @@ impl EventArchive {
             .map(|(_, _, l)| *l)
     }
 
+    /// Stream matching events in time order without materializing the
+    /// match set.  Non-overlapping segments are pruned via their catalogs
+    /// (see [`EventArchive::stats`]).
+    pub fn scan(&self, query: &ArchiveQuery) -> ArchiveScan {
+        ArchiveScan {
+            inner: self.db.scan(&query.to_tsdb()),
+            remaining: query.limit,
+            unlimited: query.limit == 0,
+        }
+    }
+
     /// Run a query; results are in time order.
     pub fn query(&self, query: &ArchiveQuery) -> Vec<Event> {
-        let events = self.events.read();
-        let lower = query.from.map(|t| (t, 0)).unwrap_or((Timestamp::EPOCH, 0));
-        let mut out = Vec::new();
-        for ((ts, _), event) in events.range(lower..) {
-            if let Some(to) = query.to {
-                if *ts >= to {
-                    break;
-                }
-            }
-            if query.matches(event) {
-                out.push(event.clone());
-                if query.limit > 0 && out.len() >= query.limit {
-                    break;
-                }
-            }
-        }
-        out
+        self.scan(query).collect()
     }
 
     /// Build the catalog entry describing the archive's contents.
     pub fn catalog(&self) -> ArchiveCatalog {
-        let events = self.events.read();
-        let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
-        let mut hosts: BTreeMap<String, usize> = BTreeMap::new();
-        for e in events.values() {
-            *event_types.entry(e.event_type.clone()).or_insert(0) += 1;
-            *hosts.entry(e.host.clone()).or_insert(0) += 1;
-        }
+        let c = self.db.catalog();
         ArchiveCatalog {
-            event_count: events.len(),
-            earliest: events.keys().next().map(|(t, _)| *t),
-            latest: events.keys().next_back().map(|(t, _)| *t),
-            event_types,
-            hosts,
+            event_count: c.event_count,
+            earliest: c.earliest,
+            latest: c.latest,
+            event_types: c.event_types,
+            hosts: c.hosts,
         }
+    }
+
+    /// Stream matching events as ULM text (one line per event) into a
+    /// writer, without building the export in memory.  Returns the number
+    /// of events written.
+    pub fn export_ulm_to<W: std::io::Write>(
+        &self,
+        query: &ArchiveQuery,
+        out: &mut W,
+    ) -> std::io::Result<usize> {
+        let mut n = 0;
+        for e in self.scan(query) {
+            out.write_all(jamm_ulm::text::encode(&e).as_bytes())?;
+            out.write_all(b"\n")?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Stream matching events as a JSON array into a writer.  Returns the
+    /// number of events written.
+    pub fn export_json_to<W: std::io::Write>(
+        &self,
+        query: &ArchiveQuery,
+        out: &mut W,
+    ) -> std::io::Result<usize> {
+        out.write_all(b"[")?;
+        let mut n = 0;
+        for e in self.scan(query) {
+            if n > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(jamm_ulm::json::to_json(&e).to_string().as_bytes())?;
+            n += 1;
+        }
+        out.write_all(b"]")?;
+        Ok(n)
     }
 
     /// Export matching events as ULM text (one line per event).
     pub fn export_ulm(&self, query: &ArchiveQuery) -> String {
-        let mut out = String::new();
-        for e in self.query(query) {
-            out.push_str(&jamm_ulm::text::encode(&e));
-            out.push('\n');
-        }
-        out
+        let mut out = Vec::new();
+        self.export_ulm_to(query, &mut out)
+            .expect("Vec<u8> writes cannot fail");
+        String::from_utf8(out).expect("ULM text is UTF-8")
     }
 
     /// Export matching events as a JSON array.
     pub fn export_json(&self, query: &ArchiveQuery) -> String {
-        let values: Vec<jamm_core::json::Json> = self
-            .query(query)
-            .iter()
-            .map(jamm_ulm::json::to_json)
-            .collect();
-        jamm_core::json::Json::Array(values).to_string()
+        let mut out = Vec::new();
+        self.export_json_to(query, &mut out)
+            .expect("Vec<u8> writes cannot fail");
+        String::from_utf8(out).expect("JSON is UTF-8")
     }
 
     /// Drop events older than `cutoff`, returning how many were removed
-    /// (retention management).
+    /// (retention management).  Whole expired segments are dropped without
+    /// decoding them.  Errors are swallowed (a failed cut leaves the store
+    /// untouched); use [`EventArchive::try_expire_before`] to observe them
+    /// — a silently failing retention policy otherwise looks like a no-op.
     pub fn expire_before(&self, cutoff: Timestamp) -> usize {
-        let mut events = self.events.write();
-        let keep = events.split_off(&(cutoff, 0));
-        let removed = events.len();
-        *events = keep;
-        removed
+        self.db.retain(cutoff).unwrap_or(0)
     }
+
+    /// Drop events older than `cutoff`, surfacing storage errors.
+    pub fn try_expire_before(&self, cutoff: Timestamp) -> Result<usize, TsdbError> {
+        self.db.retain(cutoff)
+    }
+}
+
+/// Load persisted labels from the sidecar file; a missing or partially
+/// unparsable file yields what could be read (labels are an annotation,
+/// not a source of truth worth refusing to open over).
+fn load_labels(path: &Path) -> Vec<(Timestamp, Timestamp, OperationLabel)> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(from), Some(to), Some(tag)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let (Ok(from), Ok(to)) = (from.parse::<u64>(), to.parse::<u64>()) else {
+            continue;
+        };
+        let label = match tag {
+            "normal" => OperationLabel::Normal,
+            "abnormal" => OperationLabel::Abnormal,
+            _ => continue,
+        };
+        out.push((
+            Timestamp::from_micros(from),
+            Timestamp::from_micros(to),
+            label,
+        ));
+    }
+    out
 }
 
 /// The archive is a terminal event sink: `accept` stores the event.
 impl EventSink<Event> for EventArchive {
     fn accept(&self, event: &Event) -> Result<usize, SinkError> {
-        self.store(event.clone());
-        Ok(1)
+        self.db
+            .append(event.clone())
+            .map(|_| 1)
+            .map_err(|e| SinkError::Rejected(e.to_string()))
+    }
+
+    fn accept_batch(&self, events: &[Event]) -> Result<usize, SinkError> {
+        self.db
+            .append_batch(events.to_vec())
+            .map_err(|e| SinkError::Rejected(e.to_string()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jamm_tsdb::test_util::TempDir;
     use jamm_ulm::Level;
 
     fn ev(host: &str, ty: &str, t: u64, value: f64) -> Event {
@@ -370,6 +580,21 @@ mod tests {
     }
 
     #[test]
+    fn streaming_exports_match_string_exports() {
+        let a = populated();
+        let q = ArchiveQuery::all().host("dpss1.lbl.gov").limit(13);
+        let mut ulm = Vec::new();
+        assert_eq!(a.export_ulm_to(&q, &mut ulm).unwrap(), 13);
+        assert_eq!(String::from_utf8(ulm).unwrap(), a.export_ulm(&q));
+        let mut json = Vec::new();
+        assert_eq!(a.export_json_to(&q, &mut json).unwrap(), 13);
+        assert_eq!(String::from_utf8(json).unwrap(), a.export_json(&q));
+        // Empty result is a valid empty JSON array.
+        let none = ArchiveQuery::all().host("nowhere");
+        assert_eq!(a.export_json(&none), "[]");
+    }
+
+    #[test]
     fn expiry_removes_old_events() {
         let a = populated();
         let removed = a.expire_before(Timestamp::from_secs(1_050));
@@ -379,5 +604,98 @@ mod tests {
             .query(&ArchiveQuery::all())
             .iter()
             .all(|e| e.timestamp >= Timestamp::from_secs(1_050)));
+    }
+
+    #[test]
+    fn scan_streams_in_order_with_sealed_segments() {
+        let a = EventArchive::in_memory_with(TsdbOptions {
+            memtable_max_events: 16,
+            small_segment_events: 16,
+            sync_wal: false,
+        });
+        for t in 0..100u64 {
+            a.store(ev("h", "X", 1_000 + t, t as f64));
+        }
+        assert!(a.tsdb().segment_count() > 1, "multiple sealed segments");
+        let mut prev = Timestamp::EPOCH;
+        let mut n = 0;
+        for e in a.scan(&ArchiveQuery::all()) {
+            assert!(e.timestamp >= prev);
+            prev = e.timestamp;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn persistent_archive_survives_restart() {
+        let dir = TempDir::new("archive-restart");
+        {
+            let a = EventArchive::open(dir.path()).unwrap();
+            for t in 0..50u64 {
+                a.store(ev("h", "CPU_TOTAL", t, t as f64));
+            }
+            a.seal();
+            for t in 50..60u64 {
+                a.store(ev("h", "CPU_TOTAL", t, t as f64));
+            }
+            // Dropped without flushing: the last 10 live only in the WAL.
+        }
+        let a = EventArchive::open(dir.path()).unwrap();
+        assert_eq!(a.len(), 60);
+        let r = a.query(
+            &ArchiveQuery::all().between(Timestamp::from_secs(45), Timestamp::from_secs(55)),
+        );
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn labels_survive_restart_on_persistent_archives() {
+        let dir = TempDir::new("archive-labels");
+        {
+            let a = EventArchive::open(dir.path()).unwrap();
+            a.store(ev("h", "X", 10, 1.0));
+            a.label_span(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(50),
+                OperationLabel::Normal,
+            );
+            a.label_span(
+                Timestamp::from_secs(20),
+                Timestamp::from_secs(30),
+                OperationLabel::Abnormal,
+            );
+        }
+        let a = EventArchive::open(dir.path()).unwrap();
+        assert_eq!(
+            a.label_at(Timestamp::from_secs(10)),
+            Some(OperationLabel::Normal)
+        );
+        assert_eq!(
+            a.label_at(Timestamp::from_secs(25)),
+            Some(OperationLabel::Abnormal),
+            "later labels still win after reload"
+        );
+        assert_eq!(a.label_at(Timestamp::from_secs(99)), None);
+    }
+
+    #[test]
+    fn range_scans_prune_segments() {
+        let a = EventArchive::in_memory_with(TsdbOptions {
+            memtable_max_events: 10,
+            small_segment_events: 10,
+            sync_wal: false,
+        });
+        for base in [0u64, 1_000, 2_000, 3_000] {
+            for t in 0..10 {
+                a.store(ev("h", "X", base + t, 0.0));
+            }
+            a.seal();
+        }
+        let q =
+            ArchiveQuery::all().between(Timestamp::from_secs(2_000), Timestamp::from_secs(2_010));
+        assert_eq!(a.query(&q).len(), 10);
+        assert_eq!(a.stats().segments_scanned(), 1);
+        assert_eq!(a.stats().segments_pruned(), 3);
     }
 }

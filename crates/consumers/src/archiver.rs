@@ -8,12 +8,13 @@
 use std::sync::Arc;
 
 use jamm_archive::EventArchive;
-use jamm_core::flow::{EventSink, SinkError};
+use jamm_core::flow::{EventSink, EventSource, SinkError};
 use jamm_directory::{DirectoryServer, Dn, Entry};
 use jamm_gateway::{EventFilter, Subscription};
+use jamm_tsdb::SegmentCatalog;
 use jamm_ulm::{Event, Timestamp};
 
-use crate::GatewayRegistry;
+use crate::{GatewayRegistry, SubscribeError};
 
 /// Subscribes to gateways and stores everything that matches its filters.
 pub struct ArchiverAgent {
@@ -22,6 +23,13 @@ pub struct ArchiverAgent {
     subscriptions: Vec<Subscription>,
     /// DN under which the archive's catalog entry is published.
     catalog_dn: Dn,
+    /// Segment ids whose directory entries we have published, so stale
+    /// entries can be deleted when segments are compacted or expired.
+    published_segments: std::collections::BTreeSet<u64>,
+    /// Events drained from subscriptions but not yet accepted by the
+    /// archive (a failed store hands the batch back here for retry, so a
+    /// transient disk error never loses drained events).
+    pending: Vec<Event>,
 }
 
 impl ArchiverAgent {
@@ -33,6 +41,8 @@ impl ArchiverAgent {
             archive,
             subscriptions: Vec::new(),
             catalog_dn,
+            published_segments: std::collections::BTreeSet::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -50,39 +60,78 @@ impl ArchiverAgent {
         registry: &GatewayRegistry,
         gateway_name: &str,
         filters: Vec<EventFilter>,
-    ) -> bool {
+    ) -> Result<(), SubscribeError> {
         let Some(gateway) = registry.resolve(gateway_name) else {
-            return false;
+            return Err(SubscribeError::UnknownGateway(gateway_name.to_string()));
         };
-        match gateway
+        let sub = gateway
             .subscribe()
             .stream()
             .filters(filters)
             .as_consumer(self.consumer.clone())
-            .open()
-        {
-            Ok(sub) => {
-                self.subscriptions.push(sub);
-                true
-            }
-            Err(_) => false,
-        }
+            .open()?;
+        self.subscriptions.push(sub);
+        Ok(())
     }
 
-    /// Drain pending events into the archive.  Returns how many were stored.
+    /// Drain pending events into the archive.  All subscriptions drain
+    /// into one batch that is stored under a single archive lock (and, for
+    /// a persistent archive, one WAL write).  If the store fails (e.g. a
+    /// transient disk error under a persistent archive) the batch is kept
+    /// and retried on the next poll rather than lost; while a retry batch
+    /// is outstanding no further draining happens, so the held batch is
+    /// bounded and the *subscriptions'* bounded queues (with their
+    /// overflow policy) absorb the backlog.  Returns how many were
+    /// stored.
     pub fn poll(&mut self) -> usize {
         let mut stored = 0;
-        for sub in &self.subscriptions {
-            for event in sub.events.try_iter() {
-                self.archive.store(event);
-                stored += 1;
+        if !self.pending.is_empty() {
+            match self
+                .archive
+                .try_store_all(std::mem::take(&mut self.pending))
+            {
+                Ok(n) => stored += n,
+                Err((_, batch)) => {
+                    self.pending = batch;
+                    return 0;
+                }
             }
         }
-        stored
+        let mut batch = Vec::new();
+        for sub in &mut self.subscriptions {
+            sub.drain_into(&mut batch);
+        }
+        if batch.is_empty() {
+            return stored;
+        }
+        match self.archive.try_store_all(batch) {
+            Ok(n) => stored + n,
+            Err((_, batch)) => {
+                self.pending = batch;
+                stored
+            }
+        }
     }
 
-    /// Publish (or refresh) the archive's catalog entry in the directory.
-    pub fn publish_catalog(&self, directory: &Arc<DirectoryServer>, now: Timestamp) -> bool {
+    /// Events drained from subscriptions but still awaiting a successful
+    /// store (non-zero only after a storage error).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flush the archive's hot tier: seal the memtable into an immutable
+    /// segment.  Returns the new segment's catalog if anything was sealed.
+    pub fn flush(&self) -> Option<SegmentCatalog> {
+        self.archive.seal()
+    }
+
+    /// Publish (or refresh) the archive's catalog entry in the directory,
+    /// plus one child entry per sealed segment ("It also creates an
+    /// archive directory service entry indicating the contents of the
+    /// archive" — per-segment entries let a consumer see *which* slice of
+    /// history each immutable segment covers).  Stale segment entries
+    /// (merged away by compaction or expired by retention) are removed.
+    pub fn publish_catalog(&mut self, directory: &Arc<DirectoryServer>, now: Timestamp) -> bool {
         let catalog = self.archive.catalog();
         let mut entry = Entry::new(self.catalog_dn.clone())
             .with("objectclass", "eventarchive")
@@ -100,7 +149,54 @@ impl ArchiverAgent {
         for host in catalog.hosts.keys() {
             entry.add("host", host.clone());
         }
-        directory.add_or_replace(entry).is_ok()
+        if directory.add_or_replace(entry).is_err() {
+            return false;
+        }
+        self.publish_segment_catalogs(directory, now);
+        true
+    }
+
+    /// Publish one directory entry per sealed segment under the archive's
+    /// catalog DN and drop entries for segments that no longer exist.
+    /// Returns how many segment entries are now published.
+    pub fn publish_segment_catalogs(
+        &mut self,
+        directory: &Arc<DirectoryServer>,
+        now: Timestamp,
+    ) -> usize {
+        let catalogs = self.archive.segment_catalogs();
+        let live: std::collections::BTreeSet<u64> = catalogs.iter().map(|c| c.id).collect();
+        // Remove entries for segments that were compacted or expired.
+        for id in &self.published_segments {
+            if !live.contains(id) {
+                let _ = directory.delete(&self.segment_dn(*id));
+            }
+        }
+        let mut published = 0;
+        for c in &catalogs {
+            let mut entry = Entry::new(self.segment_dn(c.id))
+                .with("objectclass", "archivesegment")
+                .with("segmentid", c.id.to_string())
+                .with("eventcount", c.event_count.to_string())
+                .with("earliest", c.min_ts.to_ulm_date())
+                .with("latest", c.max_ts.to_ulm_date())
+                .with("lastupdate", now.to_ulm_date());
+            for ty in c.event_types.keys() {
+                entry.add("eventtype", ty.clone());
+            }
+            for host in c.hosts.keys() {
+                entry.add("host", host.clone());
+            }
+            if directory.add_or_replace(entry).is_ok() {
+                published += 1;
+            }
+        }
+        self.published_segments = live;
+        published
+    }
+
+    fn segment_dn(&self, id: u64) -> Dn {
+        self.catalog_dn.child("segment", id.to_string())
     }
 }
 
@@ -155,8 +251,13 @@ mod tests {
     fn archives_what_it_subscribed_to() {
         let (reg, gw, mut agent, _) = setup();
         // Archive only warnings and worse: a sampling of "abnormal" operation.
-        assert!(agent.subscribe(&reg, "gw1", vec![EventFilter::MinLevel(Level::Warning)]));
-        assert!(!agent.subscribe(&reg, "missing", vec![]));
+        assert!(agent
+            .subscribe(&reg, "gw1", vec![EventFilter::MinLevel(Level::Warning)])
+            .is_ok());
+        assert_eq!(
+            agent.subscribe(&reg, "missing", vec![]),
+            Err(SubscribeError::UnknownGateway("missing".to_string()))
+        );
         gw.publish(&ev("h", "CPU_TOTAL", 1, Level::Usage));
         gw.publish(&ev("h", "TCPD_RETRANSMITS", 2, Level::Warning));
         gw.publish(&ev("h", "PROC_DIED", 3, Level::Error));
@@ -168,7 +269,7 @@ mod tests {
     #[test]
     fn catalog_entry_is_published_and_refreshed() {
         let (reg, gw, mut agent, dir) = setup();
-        agent.subscribe(&reg, "gw1", vec![]);
+        agent.subscribe(&reg, "gw1", vec![]).unwrap();
         gw.publish(&ev("dpss1.lbl.gov", "CPU_TOTAL", 10, Level::Usage));
         gw.publish(&ev(
             "mems.cairn.net",
@@ -188,5 +289,45 @@ mod tests {
         agent.poll();
         agent.publish_catalog(&dir, Timestamp::from_secs(200));
         assert_eq!(dir.lookup(&dn).unwrap().get("eventcount"), Some("3"));
+    }
+
+    #[test]
+    fn poll_batches_into_a_single_store_call() {
+        let (reg, gw, mut agent, _) = setup();
+        agent.subscribe(&reg, "gw1", vec![]).unwrap();
+        for t in 0..50 {
+            gw.publish(&ev("h", "CPU_TOTAL", t, Level::Usage));
+        }
+        assert_eq!(agent.poll(), 50);
+        assert_eq!(agent.archive().len(), 50);
+        // One batched append of 50, not 50 appends of 1.
+        assert_eq!(agent.archive().stats().appended(), 50);
+    }
+
+    #[test]
+    fn flush_seals_and_segment_catalogs_are_published() {
+        let (reg, gw, mut agent, dir) = setup();
+        agent.subscribe(&reg, "gw1", vec![]).unwrap();
+        for t in 0..10 {
+            gw.publish(&ev("dpss1.lbl.gov", "CPU_TOTAL", t, Level::Usage));
+        }
+        agent.poll();
+        let sealed = agent.flush().expect("memtable had events");
+        assert_eq!(sealed.event_count, 10);
+        assert!(agent.flush().is_none(), "nothing left to seal");
+
+        agent.publish_catalog(&dir, Timestamp::from_secs(100));
+        let seg_dn =
+            Dn::parse(&format!("segment={},archive=main,o=lbl,o=grid", sealed.id)).unwrap();
+        let entry = dir.lookup(&seg_dn).unwrap();
+        assert_eq!(entry.get("eventcount"), Some("10"));
+        assert!(entry.has_value("eventtype", "CPU_TOTAL"));
+        assert!(entry.has_value("host", "dpss1.lbl.gov"));
+
+        // Expire everything: the stale segment entry disappears on the
+        // next publication.
+        agent.archive().expire_before(Timestamp::from_secs(1_000));
+        agent.publish_catalog(&dir, Timestamp::from_secs(200));
+        assert!(dir.lookup(&seg_dn).is_err(), "stale segment entry removed");
     }
 }

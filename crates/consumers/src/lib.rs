@@ -25,7 +25,33 @@ pub mod procmon;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use jamm_gateway::EventGateway;
+use jamm_gateway::{EventGateway, GatewayError};
+
+/// Why a consumer's subscription attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// No gateway is registered under the requested name.
+    UnknownGateway(String),
+    /// The gateway refused the subscription (site policy, bad request).
+    Gateway(GatewayError),
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscribeError::UnknownGateway(name) => write!(f, "unknown gateway: {name}"),
+            SubscribeError::Gateway(e) => write!(f, "gateway refused subscription: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+impl From<GatewayError> for SubscribeError {
+    fn from(e: GatewayError) -> Self {
+        SubscribeError::Gateway(e)
+    }
+}
 
 /// A registry of event gateways by published name.
 ///

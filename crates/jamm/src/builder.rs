@@ -21,6 +21,8 @@ pub enum BuildError {
     BadDn(String),
     /// The deployment declares no event gateway.
     NoGateways,
+    /// The persistent archive directory could not be opened.
+    Archive(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -28,6 +30,7 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::BadDn(dn) => write!(f, "invalid DN: {dn}"),
             BuildError::NoGateways => write!(f, "deployment declares no event gateway"),
+            BuildError::Archive(e) => write!(f, "cannot open archive store: {e}"),
         }
     }
 }
@@ -71,6 +74,8 @@ pub struct JammBuilder {
     gateways: Vec<GatewayConfig>,
     collectors: Vec<String>,
     archiver: Option<(String, String)>,
+    archive_dir: Option<std::path::PathBuf>,
+    retention_micros: Option<u64>,
 }
 
 impl JammBuilder {
@@ -112,6 +117,26 @@ impl JammBuilder {
         self
     }
 
+    /// Store the archive persistently in `dir` (WAL + segment files)
+    /// instead of in memory.  The deployment's history then survives
+    /// process restart.
+    pub fn archive_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.archive_dir = Some(dir.into());
+        self
+    }
+
+    /// Retention policy: [`JammSystem::archive_maintenance`] expires
+    /// archived events older than this many microseconds.
+    pub fn retention_micros(mut self, micros: u64) -> Self {
+        self.retention_micros = Some(micros);
+        self
+    }
+
+    /// Retention policy expressed in whole seconds.
+    pub fn retention_secs(self, secs: u64) -> Self {
+        self.retention_micros(secs * 1_000_000)
+    }
+
     /// Wire everything.
     pub fn build(self) -> Result<JammSystem, BuildError> {
         if self.gateways.is_empty() {
@@ -139,7 +164,12 @@ impl JammBuilder {
             .into_iter()
             .map(EventCollector::new)
             .collect();
-        let archive = Arc::new(EventArchive::new());
+        let archive = match &self.archive_dir {
+            Some(dir) => {
+                Arc::new(EventArchive::open(dir).map_err(|e| BuildError::Archive(e.to_string()))?)
+            }
+            None => Arc::new(EventArchive::new()),
+        };
         let archiver = match self.archiver {
             Some((consumer, catalog_dn)) => {
                 let dn = Dn::parse(&catalog_dn).map_err(|_| BuildError::BadDn(catalog_dn))?;
@@ -155,6 +185,7 @@ impl JammBuilder {
             collectors,
             archiver,
             archive,
+            retention_micros: self.retention_micros,
         })
     }
 }
@@ -175,6 +206,8 @@ pub struct JammSystem {
     pub archiver: Option<ArchiverAgent>,
     /// The archive written by the archiver agent.
     pub archive: Arc<EventArchive>,
+    /// Retention policy applied by [`JammSystem::archive_maintenance`].
+    pub retention_micros: Option<u64>,
 }
 
 impl std::fmt::Debug for JammSystem {
@@ -222,7 +255,10 @@ impl JammSystem {
         let mut opened = 0;
         if let Some(archiver) = &mut self.archiver {
             for name in &names {
-                if archiver.subscribe(&self.registry, name, filters.clone()) {
+                if archiver
+                    .subscribe(&self.registry, name, filters.clone())
+                    .is_ok()
+                {
                     opened += 1;
                 }
             }
@@ -251,6 +287,77 @@ impl JammSystem {
         }
         moved
     }
+
+    /// Run the archive's periodic maintenance (an administrative operation
+    /// a deployment would schedule): seal the hot tier, merge small
+    /// segments, apply the retention policy relative to `now`, and refresh
+    /// the archive's directory entries.  Storage errors never abort the
+    /// pass (each step fails clean) but are carried in the report — a
+    /// retention policy that silently stopped working would otherwise look
+    /// like a no-op until the disk fills.
+    pub fn archive_maintenance(&mut self, now: jamm_ulm::Timestamp) -> ArchiveMaintenanceReport {
+        let mut errors = Vec::new();
+        let sealed = match self.archive.try_seal() {
+            Ok(catalog) => catalog.is_some(),
+            Err(e) => {
+                errors.push(format!("seal: {e}"));
+                false
+            }
+        };
+        let segments_merged = match self.archive.try_compact() {
+            Ok(n) => n,
+            Err(e) => {
+                errors.push(format!("compact: {e}"));
+                0
+            }
+        };
+        let events_expired = match self.retention_micros {
+            Some(r) => match self.archive.try_expire_before(now.sub_micros(r)) {
+                Ok(n) => n,
+                Err(e) => {
+                    errors.push(format!("retention: {e}"));
+                    0
+                }
+            },
+            None => 0,
+        };
+        if let Some(archiver) = &mut self.archiver {
+            if !archiver.publish_catalog(&self.directory, now) {
+                errors.push("catalog publication failed".to_string());
+            }
+        }
+        ArchiveMaintenanceReport {
+            sealed,
+            segments_merged,
+            events_expired,
+            errors,
+        }
+    }
+
+    /// Replay an archived range through a named gateway, so current
+    /// subscribers (collectors, nlv-style analysis) see the historical run
+    /// as a live stream.  Returns events delivered into the gateway, or 0
+    /// for an unknown gateway.
+    pub fn replay_through(&self, gateway: &str, query: &jamm_archive::ArchiveQuery) -> usize {
+        let Some(gw) = self.registry.resolve(gateway) else {
+            return 0;
+        };
+        jamm_archive::ReplaySource::new(&self.archive, query).pump(gw.as_ref())
+    }
+}
+
+/// What one [`JammSystem::archive_maintenance`] pass did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveMaintenanceReport {
+    /// Whether the hot tier had events to seal.
+    pub sealed: bool,
+    /// Net segments removed by compaction merges.
+    pub segments_merged: usize,
+    /// Events dropped by the retention policy.
+    pub events_expired: usize,
+    /// Steps that failed (each step fails clean; the rest of the pass
+    /// still runs).
+    pub errors: Vec<String>,
 }
 
 #[cfg(test)]
@@ -318,5 +425,66 @@ mod tests {
         assert_eq!(jamm.directory.entry_count(), 0);
         assert_eq!(jamm.suffix, Dn::parse("o=grid").unwrap());
         assert!(jamm.archiver.is_none());
+    }
+
+    #[test]
+    fn persistent_archive_and_retention_are_wired() {
+        let dir = jamm_tsdb::test_util::TempDir::new("builder-archive");
+        {
+            let mut jamm = JammBuilder::new()
+                .gateway("gw1")
+                .archiver("archiver", "archive=main,o=grid")
+                .archive_dir(dir.path())
+                .retention_secs(60)
+                .build()
+                .unwrap();
+            jamm.connect_archiver(vec![]);
+            for t in 0..50u64 {
+                jamm.publish("gw1", &ev("h", Level::Usage, t));
+            }
+            jamm.poll();
+            // Maintenance at t=100: retention 60s expires t < 40.
+            let report = jamm.archive_maintenance(Timestamp::from_secs(100));
+            assert!(report.sealed);
+            assert_eq!(report.events_expired, 40);
+            assert!(report.errors.is_empty());
+            assert_eq!(jamm.archive.len(), 10);
+            // The refreshed catalog entry reflects the cut.
+            let dn = Dn::parse("archive=main,o=grid").unwrap();
+            let entry = jamm.directory.lookup(&dn).unwrap();
+            assert_eq!(entry.get("eventcount"), Some("10"));
+        }
+        // A new system over the same directory sees the surviving history.
+        let jamm = JammBuilder::new()
+            .gateway("gw1")
+            .archiver("archiver", "archive=main,o=grid")
+            .archive_dir(dir.path())
+            .build()
+            .unwrap();
+        assert_eq!(jamm.archive.len(), 10);
+    }
+
+    #[test]
+    fn archived_history_replays_through_a_gateway() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .collector("analyst")
+            .archiver("archiver", "archive=main,o=grid")
+            .build()
+            .unwrap();
+        jamm.connect_archiver(vec![]);
+        for t in 0..20u64 {
+            jamm.publish("gw1", &ev("h", Level::Usage, t));
+        }
+        jamm.poll();
+        // A collector subscribing *after* the fact sees the archived run
+        // replayed as a live stream.
+        assert_eq!(jamm.connect_collectors(vec![]), 1);
+        let q = jamm_archive::ArchiveQuery::all()
+            .between(Timestamp::from_secs(5), Timestamp::from_secs(15));
+        assert_eq!(jamm.replay_through("gw1", &q), 10);
+        assert_eq!(jamm.replay_through("missing", &q), 0);
+        jamm.poll();
+        assert_eq!(jamm.collectors[0].events().len(), 10);
     }
 }

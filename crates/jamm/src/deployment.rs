@@ -260,7 +260,7 @@ impl JammDeployment {
         let opened = self.collector.subscribe_all(&self.registry, vec![]);
         if let Some(archiver) = &mut self.archiver {
             for name in ["gw.lbl.gov:8765", "gw.cairn.net:8765"] {
-                archiver.subscribe(
+                let _ = archiver.subscribe(
                     &self.registry,
                     name,
                     vec![EventFilter::MinLevel(Level::Warning)],

@@ -15,6 +15,7 @@
 //! | Sensor directory (LDAP-like) | [`jamm_directory`] |
 //! | Consumers: collector, archiver, procmon, overview | [`jamm_consumers`] |
 //! | Event archive | [`jamm_archive`] |
+//! | Archive storage engine (WAL, segments, pruned scans) | [`jamm_tsdb`] |
 //! | ULM events and the text/binary/JSON codecs | [`jamm_ulm`] |
 //! | NetLogger toolkit (API, merge, clocks, nlv) | [`jamm_netlogger`] |
 //! | RMI substrate and event bridge | [`jamm_rmi`] |
@@ -69,7 +70,7 @@ pub mod builder;
 pub mod cluster;
 pub mod deployment;
 
-pub use builder::{BuildError, JammBuilder, JammSystem};
+pub use builder::{ArchiveMaintenanceReport, BuildError, JammBuilder, JammSystem};
 pub use deployment::{DeploymentConfig, JammDeployment};
 
 // Re-export the sub-crates under predictable names so downstream users need
@@ -85,4 +86,5 @@ pub use jamm_netlogger;
 pub use jamm_netsim;
 pub use jamm_rmi;
 pub use jamm_sensors;
+pub use jamm_tsdb;
 pub use jamm_ulm;

@@ -1,0 +1,246 @@
+//! Range queries and the streaming scan iterator.
+//!
+//! [`TsdbQuery`] names what to read (half-open time range, optional host /
+//! event-type restriction); [`ScanIter`] merges the memtable snapshot with
+//! a cursor per surviving segment, yielding events in `(timestamp,
+//! sequence)` order while decoding segment data lazily — the whole match
+//! set is never materialized.
+
+use jamm_ulm::{Event, Timestamp};
+
+use crate::segment::SegmentCursor;
+
+/// A range query against a [`crate::Tsdb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TsdbQuery {
+    /// Inclusive lower bound on event time.
+    pub from: Option<Timestamp>,
+    /// Exclusive upper bound on event time.
+    pub to: Option<Timestamp>,
+    /// Restrict to this host.
+    pub host: Option<String>,
+    /// Restrict to this event type.
+    pub event_type: Option<String>,
+}
+
+impl TsdbQuery {
+    /// Query everything.
+    pub fn all() -> TsdbQuery {
+        TsdbQuery::default()
+    }
+
+    /// Builder-style: half-open time range `[from, to)`.
+    pub fn between(mut self, from: Timestamp, to: Timestamp) -> Self {
+        self.from = Some(from);
+        self.to = Some(to);
+        self
+    }
+
+    /// Builder-style: restrict to a host.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = Some(host.into());
+        self
+    }
+
+    /// Builder-style: restrict to an event type.
+    pub fn event_type(mut self, ty: impl Into<String>) -> Self {
+        self.event_type = Some(ty.into());
+        self
+    }
+
+    /// Does an event satisfy every restriction?
+    pub fn matches(&self, event: &Event) -> bool {
+        if let Some(from) = self.from {
+            if event.timestamp < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if event.timestamp >= to {
+                return false;
+            }
+        }
+        if let Some(host) = &self.host {
+            if &event.host != host {
+                return false;
+            }
+        }
+        if let Some(ty) = &self.event_type {
+            if &event.event_type != ty {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One merge source: either the (pre-filtered, pre-sorted) memtable
+/// snapshot or a lazily decoding segment cursor with the query applied.
+enum Source {
+    Mem(std::vec::IntoIter<(u64, Event)>),
+    Seg(SegmentCursor),
+}
+
+/// A source plus its staged next item, for the k-way merge.
+struct Peeked {
+    source: Source,
+    /// Next `(timestamp, seq, event)` this source will yield.
+    head: Option<(Timestamp, u64, Event)>,
+}
+
+impl Peeked {
+    fn advance(&mut self, query: &TsdbQuery) {
+        self.head = loop {
+            match &mut self.source {
+                Source::Mem(iter) => {
+                    // Already filtered and ordered.
+                    break iter.next().map(|(seq, e)| (e.timestamp, seq, e));
+                }
+                Source::Seg(cursor) => match cursor.next_event() {
+                    None => break None,
+                    // Checksummed at load; a decode error here means memory
+                    // corruption, so surface it loudly rather than silently
+                    // truncating a historical analysis.
+                    Some(Err(e)) => panic!("segment decode failed mid-scan: {e}"),
+                    Some(Ok((seq, e))) => {
+                        if let Some(to) = query.to {
+                            if e.timestamp >= to {
+                                // Sorted: nothing later can match.
+                                break None;
+                            }
+                        }
+                        if query.matches(&e) {
+                            break Some((e.timestamp, seq, e));
+                        }
+                    }
+                },
+            }
+        };
+    }
+}
+
+/// Streaming, ordered iterator over a scan's results.
+///
+/// Owns everything it needs (`Arc` segment handles, a memtable snapshot),
+/// so it is `'static` and can outlive the store lock it was created under.
+pub struct ScanIter {
+    query: TsdbQuery,
+    sources: Vec<Peeked>,
+}
+
+impl ScanIter {
+    pub(crate) fn new(
+        query: TsdbQuery,
+        mem: Vec<(u64, Event)>,
+        cursors: Vec<SegmentCursor>,
+    ) -> ScanIter {
+        let mut sources = Vec::with_capacity(cursors.len() + 1);
+        sources.push(Peeked {
+            source: Source::Mem(mem.into_iter()),
+            head: None,
+        });
+        for cursor in cursors {
+            sources.push(Peeked {
+                source: Source::Seg(cursor),
+                head: None,
+            });
+        }
+        for s in &mut sources {
+            s.advance(&query);
+        }
+        sources.retain(|s| s.head.is_some());
+        ScanIter { query, sources }
+    }
+}
+
+impl Iterator for ScanIter {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        // K is the number of live sources (segments + memtable) — small, so
+        // a linear min scan beats heap bookkeeping.
+        let min = self
+            .sources
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| {
+                let (ts, seq, _) = s.head.as_ref().expect("exhausted sources are dropped");
+                (*ts, *seq)
+            })
+            .map(|(i, _)| i)?;
+        let item = self.sources[min].head.take().expect("staged head");
+        self.sources[min].advance(&self.query);
+        if self.sources[min].head.is_none() {
+            self.sources.swap_remove(min);
+        }
+        Some(item.2)
+    }
+}
+
+impl std::fmt::Debug for ScanIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanIter")
+            .field("query", &self.query)
+            .field("live_sources", &self.sources.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+    use jamm_ulm::Level;
+    use std::sync::Arc;
+
+    fn ev(t: u64, host: &str) -> Event {
+        Event::builder("p", host)
+            .level(Level::Usage)
+            .event_type("X")
+            .timestamp(Timestamp::from_secs(t))
+            .value(t as f64)
+            .build()
+    }
+
+    #[test]
+    fn merge_interleaves_sources_in_time_order() {
+        let seg_a = Arc::new(Segment::build(
+            1,
+            &[(1, ev(10, "a")), (3, ev(30, "a")), (5, ev(50, "a"))],
+        ));
+        let seg_b = Arc::new(Segment::build(2, &[(2, ev(20, "b")), (4, ev(40, "b"))]));
+        let mem = vec![(6u64, ev(25, "m")), (7u64, ev(60, "m"))];
+        let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg_a.cursor(), seg_b.cursor()]);
+        let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
+        assert_eq!(times, vec![10, 20, 25, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn same_timestamp_orders_by_sequence() {
+        let seg = Arc::new(Segment::build(1, &[(5, ev(10, "a"))]));
+        let mem = vec![(2u64, ev(10, "m")), (9u64, ev(10, "m"))];
+        let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg.cursor()]);
+        let hosts: Vec<String> = iter.map(|e| e.host).collect();
+        assert_eq!(hosts, vec!["m", "a", "m"]); // seq 2, 5, 9
+    }
+
+    #[test]
+    fn filters_and_to_bound_apply_inside_segments() {
+        let batch: Vec<(u64, Event)> = (0..20)
+            .map(|i| (i, ev(i, if i % 2 == 0 { "even" } else { "odd" })))
+            .collect();
+        let seg = Arc::new(Segment::build(1, &batch));
+        let q = TsdbQuery::all()
+            .between(Timestamp::from_secs(4), Timestamp::from_secs(15))
+            .host("even");
+        let iter = ScanIter::new(q, Vec::new(), vec![seg.cursor()]);
+        let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
+        assert_eq!(times, vec![4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn empty_scan_yields_nothing() {
+        let iter = ScanIter::new(TsdbQuery::all(), Vec::new(), Vec::new());
+        assert_eq!(iter.count(), 0);
+    }
+}

@@ -1,0 +1,653 @@
+//! Immutable sorted segments and their compressed on-disk format.
+//!
+//! A segment is a batch of events sorted by `(timestamp, sequence)`, frozen
+//! when the memtable seals.  The encoding is built for monitoring streams:
+//!
+//! * **delta-of-delta timestamps** — sensors emit at near-regular periods,
+//!   so the second difference of consecutive timestamps is usually 0 or
+//!   tiny, and a zigzag varint makes it one byte;
+//! * **varint values** — counters and sizes are unsigned varints, signed
+//!   readings are zigzag varints, only genuine floats pay eight bytes;
+//! * **a per-segment string dictionary** — hosts, programs, event types,
+//!   field keys and repeated string values are stored once and referenced
+//!   by varint index.
+//!
+//! Each segment carries a [`SegmentCatalog`] (min/max timestamp, host and
+//! event-type sets, per-series counts) that the store consults to *prune*
+//! segments from a range scan without touching their data, and decoding is
+//! cursor-based so a scan streams events out of the compressed buffer one
+//! at a time instead of materializing the segment.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use jamm_ulm::{binary, Event, Timestamp, Value};
+
+use crate::codec::{
+    fnv64, get_bytes, get_ivarint, get_str, get_uvarint, put_ivarint, put_str, put_uvarint,
+};
+use crate::query::TsdbQuery;
+use crate::{Result, TsdbError};
+
+/// Magic bytes opening a segment file.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"JSG1";
+
+/// File extension of segment files inside a store directory.
+pub const SEGMENT_EXT: &str = "jseg";
+
+const TAG_UINT: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// What a segment contains, without reading its data: the pruning index
+/// for range scans and the unit of the archiver's per-segment directory
+/// publication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentCatalog {
+    /// Segment identifier (unique within a store, monotonically assigned).
+    pub id: u64,
+    /// Number of events in the segment.
+    pub event_count: usize,
+    /// Smallest event timestamp.
+    pub min_ts: Timestamp,
+    /// Largest event timestamp.
+    pub max_ts: Timestamp,
+    /// Hosts present, with per-host event counts.
+    pub hosts: BTreeMap<String, usize>,
+    /// Event types present, with per-type event counts.
+    pub event_types: BTreeMap<String, usize>,
+    /// Per-series `(host, event type)` event counts.
+    pub series: BTreeMap<(String, String), usize>,
+}
+
+impl SegmentCatalog {
+    /// True when a query could match events in this segment; the store
+    /// skips (prunes) segments for which this is false without decoding
+    /// any data.
+    pub fn overlaps(&self, q: &TsdbQuery) -> bool {
+        if let Some(from) = q.from {
+            if self.max_ts < from {
+                return false;
+            }
+        }
+        if let Some(to) = q.to {
+            if self.min_ts >= to {
+                return false;
+            }
+        }
+        if let Some(host) = &q.host {
+            if !self.hosts.contains_key(host) {
+                return false;
+            }
+        }
+        if let Some(ty) = &q.event_type {
+            if !self.event_types.contains_key(ty) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An immutable sorted run of compressed events.
+#[derive(Debug)]
+pub struct Segment {
+    catalog: SegmentCatalog,
+    /// Smallest sequence number in the segment.  Together with `max_seq`
+    /// this identifies the segment's generation: live segments have
+    /// pairwise-disjoint sequence ranges, so an overlap found at open
+    /// marks a crash leftover to reconcile.
+    min_seq: u64,
+    /// Largest sequence number in the segment (restart continues after it).
+    max_seq: u64,
+    /// String dictionary referenced by the data stream.
+    dict: Vec<String>,
+    /// The compressed event stream.
+    data: Vec<u8>,
+}
+
+impl Segment {
+    /// Freeze a batch of `(sequence, event)` pairs, **already sorted** by
+    /// `(timestamp, sequence)`, into a segment.  Panics on an empty batch —
+    /// the store never seals an empty memtable.
+    pub fn build(id: u64, sorted: &[(u64, Event)]) -> Segment {
+        assert!(!sorted.is_empty(), "segments are never empty");
+        // First pass: build the string dictionary.
+        let mut dict = Vec::new();
+        let mut owned_index: BTreeMap<String, u64> = BTreeMap::new();
+        let collect = |s: &str, dict: &mut Vec<String>, index: &mut BTreeMap<String, u64>| {
+            if !index.contains_key(s) {
+                index.insert(s.to_string(), dict.len() as u64);
+                dict.push(s.to_string());
+            }
+        };
+        for (_, e) in sorted {
+            collect(&e.host, &mut dict, &mut owned_index);
+            collect(&e.program, &mut dict, &mut owned_index);
+            collect(&e.event_type, &mut dict, &mut owned_index);
+            for (k, v) in &e.fields {
+                collect(k, &mut dict, &mut owned_index);
+                if let Value::Str(s) = v {
+                    collect(s, &mut dict, &mut owned_index);
+                }
+            }
+        }
+
+        let mut data = Vec::new();
+        let mut prev_ts = 0u64;
+        let mut prev_delta = 0u64;
+        let mut prev_seq = 0u64;
+        let mut min_seq = u64::MAX;
+        let mut max_seq = 0u64;
+        let mut hosts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
+        let mut series: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (i, (seq, e)) in sorted.iter().enumerate() {
+            let ts = e.timestamp.as_micros();
+            match i {
+                0 => put_uvarint(&mut data, ts),
+                1 => {
+                    let delta = ts.wrapping_sub(prev_ts);
+                    put_uvarint(&mut data, delta);
+                    prev_delta = delta;
+                }
+                _ => {
+                    let delta = ts.wrapping_sub(prev_ts);
+                    put_ivarint(&mut data, delta.wrapping_sub(prev_delta) as i64);
+                    prev_delta = delta;
+                }
+            }
+            prev_ts = ts;
+            put_ivarint(&mut data, seq.wrapping_sub(prev_seq) as i64);
+            prev_seq = *seq;
+            min_seq = min_seq.min(*seq);
+            max_seq = max_seq.max(*seq);
+            data.push(binary::level_code(e.level));
+            put_uvarint(&mut data, owned_index[&e.host]);
+            put_uvarint(&mut data, owned_index[&e.program]);
+            put_uvarint(&mut data, owned_index[&e.event_type]);
+            put_uvarint(&mut data, e.fields.len() as u64);
+            for (k, v) in &e.fields {
+                put_uvarint(&mut data, owned_index[k]);
+                match v {
+                    Value::UInt(u) => {
+                        data.push(TAG_UINT);
+                        put_uvarint(&mut data, *u);
+                    }
+                    Value::Int(s) => {
+                        data.push(TAG_INT);
+                        put_ivarint(&mut data, *s);
+                    }
+                    Value::Float(f) => {
+                        data.push(TAG_FLOAT);
+                        data.extend_from_slice(&f.to_le_bytes());
+                    }
+                    Value::Bool(b) => {
+                        data.push(TAG_BOOL);
+                        data.push(*b as u8);
+                    }
+                    Value::Str(s) => {
+                        data.push(TAG_STR);
+                        put_uvarint(&mut data, owned_index[s]);
+                    }
+                }
+            }
+            *hosts.entry(e.host.clone()).or_insert(0) += 1;
+            *event_types.entry(e.event_type.clone()).or_insert(0) += 1;
+            *series
+                .entry((e.host.clone(), e.event_type.clone()))
+                .or_insert(0) += 1;
+        }
+
+        Segment {
+            catalog: SegmentCatalog {
+                id,
+                event_count: sorted.len(),
+                min_ts: sorted.first().expect("non-empty").1.timestamp,
+                max_ts: sorted.last().expect("non-empty").1.timestamp,
+                hosts,
+                event_types,
+                series,
+            },
+            min_seq,
+            max_seq,
+            dict,
+            data,
+        }
+    }
+
+    /// The segment's pruning catalog.
+    pub fn catalog(&self) -> &SegmentCatalog {
+        &self.catalog
+    }
+
+    /// Segment identifier.
+    pub fn id(&self) -> u64 {
+        self.catalog.id
+    }
+
+    /// Number of events in the segment.
+    pub fn len(&self) -> usize {
+        self.catalog.event_count
+    }
+
+    /// Segments are never empty, so this is always false; present for API
+    /// symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.event_count == 0
+    }
+
+    /// Smallest sequence number stored in the segment.
+    pub fn min_seq(&self) -> u64 {
+        self.min_seq
+    }
+
+    /// Largest sequence number stored in the segment.
+    pub fn max_seq(&self) -> u64 {
+        self.max_seq
+    }
+
+    /// Size in bytes of the compressed event stream (excluding dictionary
+    /// and catalog).
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Serialize the segment to its file form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(self.data.len() + 256);
+        put_uvarint(&mut body, self.catalog.id);
+        put_uvarint(&mut body, self.min_seq);
+        put_uvarint(&mut body, self.max_seq);
+        put_uvarint(&mut body, self.catalog.event_count as u64);
+        put_uvarint(&mut body, self.catalog.min_ts.as_micros());
+        put_uvarint(&mut body, self.catalog.max_ts.as_micros());
+        put_uvarint(&mut body, self.catalog.hosts.len() as u64);
+        for (h, n) in &self.catalog.hosts {
+            put_str(&mut body, h);
+            put_uvarint(&mut body, *n as u64);
+        }
+        put_uvarint(&mut body, self.catalog.event_types.len() as u64);
+        for (t, n) in &self.catalog.event_types {
+            put_str(&mut body, t);
+            put_uvarint(&mut body, *n as u64);
+        }
+        put_uvarint(&mut body, self.catalog.series.len() as u64);
+        for ((h, t), n) in &self.catalog.series {
+            put_str(&mut body, h);
+            put_str(&mut body, t);
+            put_uvarint(&mut body, *n as u64);
+        }
+        put_uvarint(&mut body, self.dict.len() as u64);
+        for s in &self.dict {
+            put_str(&mut body, s);
+        }
+        put_uvarint(&mut body, self.data.len() as u64);
+        body.extend_from_slice(&self.data);
+
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(SEGMENT_MAGIC);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv64(&body).to_le_bytes());
+        out
+    }
+
+    /// Deserialize a segment from its file form, verifying magic and
+    /// checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Segment> {
+        if bytes.len() < 12 || &bytes[..4] != SEGMENT_MAGIC {
+            return Err(TsdbError::Corrupt("bad segment magic"));
+        }
+        let body = &bytes[4..bytes.len() - 8];
+        let stored = u64::from_le_bytes(
+            bytes[bytes.len() - 8..]
+                .try_into()
+                .expect("8 checksum bytes"),
+        );
+        if fnv64(body) != stored {
+            return Err(TsdbError::Corrupt("segment checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let id = get_uvarint(body, &mut pos)?;
+        let min_seq = get_uvarint(body, &mut pos)?;
+        let max_seq = get_uvarint(body, &mut pos)?;
+        let event_count = get_uvarint(body, &mut pos)? as usize;
+        let min_ts = Timestamp::from_micros(get_uvarint(body, &mut pos)?);
+        let max_ts = Timestamp::from_micros(get_uvarint(body, &mut pos)?);
+        let mut hosts = BTreeMap::new();
+        for _ in 0..get_uvarint(body, &mut pos)? {
+            let h = get_str(body, &mut pos)?;
+            hosts.insert(h, get_uvarint(body, &mut pos)? as usize);
+        }
+        let mut event_types = BTreeMap::new();
+        for _ in 0..get_uvarint(body, &mut pos)? {
+            let t = get_str(body, &mut pos)?;
+            event_types.insert(t, get_uvarint(body, &mut pos)? as usize);
+        }
+        let mut series = BTreeMap::new();
+        for _ in 0..get_uvarint(body, &mut pos)? {
+            let h = get_str(body, &mut pos)?;
+            let t = get_str(body, &mut pos)?;
+            series.insert((h, t), get_uvarint(body, &mut pos)? as usize);
+        }
+        let dict_len = get_uvarint(body, &mut pos)? as usize;
+        let mut dict = Vec::with_capacity(dict_len.min(1 << 16));
+        for _ in 0..dict_len {
+            dict.push(get_str(body, &mut pos)?);
+        }
+        let data_len = get_uvarint(body, &mut pos)? as usize;
+        if body.len() - pos != data_len {
+            return Err(TsdbError::Corrupt("segment data length mismatch"));
+        }
+        Ok(Segment {
+            catalog: SegmentCatalog {
+                id,
+                event_count,
+                min_ts,
+                max_ts,
+                hosts,
+                event_types,
+                series,
+            },
+            min_seq,
+            max_seq,
+            dict,
+            data: body[pos..].to_vec(),
+        })
+    }
+
+    /// Write the segment to `dir` as `seg-<id>.jseg`, atomically (write to
+    /// a temp name, fsync, rename) so a crash never leaves a half-written
+    /// segment with a valid name.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf> {
+        let path = dir.join(Segment::file_name(self.catalog.id));
+        let tmp = dir.join(format!("seg-{:08}.tmp", self.catalog.id));
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp).map_err(TsdbError::from)?;
+            f.write_all(&self.to_bytes()).map_err(TsdbError::from)?;
+            f.sync_all().map_err(TsdbError::from)?;
+        }
+        std::fs::rename(&tmp, &path).map_err(TsdbError::from)?;
+        Ok(path)
+    }
+
+    /// Load a segment file.
+    pub fn read_from_file(path: &Path) -> Result<Segment> {
+        let bytes = std::fs::read(path).map_err(TsdbError::from)?;
+        Segment::from_bytes(&bytes)
+    }
+
+    /// Canonical file name of a segment id.
+    pub fn file_name(id: u64) -> String {
+        format!("seg-{id:08}.{SEGMENT_EXT}")
+    }
+
+    /// A cursor decoding the segment's events one at a time.
+    pub fn cursor(self: &std::sync::Arc<Self>) -> SegmentCursor {
+        SegmentCursor {
+            seg: std::sync::Arc::clone(self),
+            state: CursorState::default(),
+        }
+    }
+}
+
+/// Streaming decoder over one segment's compressed data.  Yields events in
+/// `(timestamp, sequence)` order without materializing the segment.
+#[derive(Debug)]
+pub struct SegmentCursor {
+    seg: std::sync::Arc<Segment>,
+    state: CursorState,
+}
+
+/// Mutable decode position and delta-decoding state, split from the
+/// segment handle so the hot decode loop borrows the two disjointly (no
+/// per-event `Arc` clone).
+#[derive(Debug, Default)]
+struct CursorState {
+    pos: usize,
+    decoded: usize,
+    prev_ts: u64,
+    prev_delta: u64,
+    prev_seq: u64,
+}
+
+impl SegmentCursor {
+    /// Decode the next event; `None` at the end of the segment.  Corrupt
+    /// in-memory data is unreachable (segments are checksummed at load),
+    /// so decode errors surface as `Some(Err)` only for defensive depth.
+    pub fn next_event(&mut self) -> Option<Result<(u64, Event)>> {
+        if self.state.decoded >= self.seg.len() {
+            return None;
+        }
+        Some(decode_event(&self.seg, &mut self.state))
+    }
+}
+
+/// Decode one event from the segment's compressed stream, advancing the
+/// cursor state only on success.
+fn decode_event(seg: &Segment, st: &mut CursorState) -> Result<(u64, Event)> {
+    let data: &[u8] = &seg.data;
+    let mut pos = st.pos;
+    let ts = match st.decoded {
+        0 => get_uvarint(data, &mut pos)?,
+        1 => {
+            let delta = get_uvarint(data, &mut pos)?;
+            st.prev_delta = delta;
+            st.prev_ts.wrapping_add(delta)
+        }
+        _ => {
+            let dod = get_ivarint(data, &mut pos)?;
+            let delta = st.prev_delta.wrapping_add(dod as u64);
+            st.prev_delta = delta;
+            st.prev_ts.wrapping_add(delta)
+        }
+    };
+    st.prev_ts = ts;
+    let dseq = get_ivarint(data, &mut pos)?;
+    let seq = st.prev_seq.wrapping_add(dseq as u64);
+    st.prev_seq = seq;
+    let level = *data.get(pos).ok_or(TsdbError::Corrupt("truncated level"))?;
+    pos += 1;
+    let level = binary::level_from_code(level).map_err(|_| TsdbError::Corrupt("bad level code"))?;
+    let host = dict_str(seg, data, &mut pos)?;
+    let program = dict_str(seg, data, &mut pos)?;
+    let event_type = dict_str(seg, data, &mut pos)?;
+    let n_fields = get_uvarint(data, &mut pos)? as usize;
+    let mut fields = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let key = dict_str(seg, data, &mut pos)?;
+        let tag = *data.get(pos).ok_or(TsdbError::Corrupt("truncated tag"))?;
+        pos += 1;
+        let value = match tag {
+            TAG_UINT => Value::UInt(get_uvarint(data, &mut pos)?),
+            TAG_INT => Value::Int(get_ivarint(data, &mut pos)?),
+            TAG_FLOAT => Value::Float(f64::from_le_bytes(get_bytes::<8>(data, &mut pos)?)),
+            TAG_BOOL => {
+                let b = *data.get(pos).ok_or(TsdbError::Corrupt("truncated bool"))?;
+                pos += 1;
+                Value::Bool(b != 0)
+            }
+            TAG_STR => Value::Str(dict_str(seg, data, &mut pos)?),
+            _ => return Err(TsdbError::Corrupt("unknown value tag")),
+        };
+        fields.push((key, value));
+    }
+    st.pos = pos;
+    st.decoded += 1;
+    Ok((
+        seq,
+        Event {
+            timestamp: Timestamp::from_micros(ts),
+            host,
+            program,
+            level,
+            event_type,
+            fields,
+        },
+    ))
+}
+
+/// Resolve a dictionary reference from the data stream.
+fn dict_str(seg: &Segment, data: &[u8], pos: &mut usize) -> Result<String> {
+    let idx = get_uvarint(data, pos)? as usize;
+    seg.dict
+        .get(idx)
+        .cloned()
+        .ok_or(TsdbError::Corrupt("dictionary index out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::Level;
+    use std::sync::Arc;
+
+    fn ev(host: &str, ty: &str, t_micros: u64, v: f64) -> Event {
+        Event::builder("vmstat", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_micros(t_micros))
+            .value(v)
+            .field("COUNT", 42u64)
+            .field("DELTA", -7i64)
+            .field("UP", true)
+            .field("PEER", "mems.cairn.net")
+            .build()
+    }
+
+    fn sorted_batch(n: u64) -> Vec<(u64, Event)> {
+        (0..n)
+            .map(|i| {
+                (
+                    i + 1,
+                    ev(
+                        if i % 3 == 0 { "h1" } else { "h2" },
+                        if i % 2 == 0 { "CPU_TOTAL" } else { "MEM_FREE" },
+                        1_000_000 + i * 250_000, // regular 250ms period
+                        i as f64,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_cursor_round_trip() {
+        let batch = sorted_batch(200);
+        let seg = Arc::new(Segment::build(9, &batch));
+        assert_eq!(seg.len(), 200);
+        assert_eq!(seg.min_seq(), 1);
+        assert_eq!(seg.max_seq(), 200);
+        let mut cur = seg.cursor();
+        for (seq, e) in &batch {
+            let (got_seq, got) = cur.next_event().unwrap().unwrap();
+            assert_eq!(got_seq, *seq);
+            assert_eq!(&got, e);
+        }
+        assert!(cur.next_event().is_none());
+    }
+
+    #[test]
+    fn catalog_counts_and_bounds() {
+        let batch = sorted_batch(30);
+        let seg = Segment::build(1, &batch);
+        let c = seg.catalog();
+        assert_eq!(c.event_count, 30);
+        assert_eq!(c.min_ts, Timestamp::from_micros(1_000_000));
+        assert_eq!(c.max_ts, Timestamp::from_micros(1_000_000 + 29 * 250_000));
+        assert_eq!(c.hosts.len(), 2);
+        assert_eq!(c.event_types.len(), 2);
+        assert_eq!(c.hosts.values().sum::<usize>(), 30);
+        assert_eq!(c.series.values().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn overlaps_prunes_time_host_and_type() {
+        let seg = Segment::build(1, &sorted_batch(10));
+        let c = seg.catalog().clone();
+        assert!(c.overlaps(&TsdbQuery::default()));
+        assert!(!c.overlaps(
+            &TsdbQuery::default().between(Timestamp::from_secs(100), Timestamp::from_secs(200))
+        ));
+        assert!(!c.overlaps(
+            &TsdbQuery::default().between(Timestamp::EPOCH, Timestamp::from_micros(1_000_000))
+        ));
+        assert!(!c.overlaps(&TsdbQuery::default().host("nowhere")));
+        assert!(c.overlaps(&TsdbQuery::default().host("h1")));
+        assert!(!c.overlaps(&TsdbQuery::default().event_type("DISK_IO")));
+    }
+
+    #[test]
+    fn file_round_trip_and_checksum() {
+        let seg = Segment::build(3, &sorted_batch(50));
+        let bytes = seg.to_bytes();
+        let back = Segment::from_bytes(&bytes).unwrap();
+        assert_eq!(back.catalog(), seg.catalog());
+        assert_eq!(back.min_seq(), seg.min_seq());
+        assert_eq!(back.max_seq(), seg.max_seq());
+        let mut a = Arc::new(seg).cursor();
+        let mut b = Arc::new(back).cursor();
+        while let Some(x) = a.next_event() {
+            assert_eq!(x.unwrap(), b.next_event().unwrap().unwrap());
+        }
+
+        let mut corrupted = bytes.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        assert!(matches!(
+            Segment::from_bytes(&corrupted),
+            Err(TsdbError::Corrupt(_))
+        ));
+        assert!(Segment::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn compression_beats_binary_frames_on_regular_streams() {
+        let batch = sorted_batch(1_000);
+        let seg = Segment::build(1, &batch);
+        let frames: usize = batch.iter().map(|(_, e)| binary::encode(e).len()).sum();
+        let compressed = seg.to_bytes().len();
+        assert!(
+            compressed * 3 < frames,
+            "expected >3x compression, got {frames} -> {compressed}"
+        );
+    }
+
+    #[test]
+    fn irregular_timestamps_still_round_trip() {
+        // Jittery, repeated and out-of-pattern timestamps (still sorted).
+        let ts = [
+            0u64,
+            0,
+            1,
+            1_000_000,
+            1_000_001,
+            1_000_001,
+            u32::MAX as u64 * 3,
+        ];
+        let batch: Vec<(u64, Event)> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as u64 + 10, ev("h", "X", t, 0.0)))
+            .collect();
+        let seg = Arc::new(Segment::build(1, &batch));
+        let mut cur = seg.cursor();
+        for (seq, e) in &batch {
+            let (got_seq, got) = cur.next_event().unwrap().unwrap();
+            assert_eq!((got_seq, got.timestamp), (*seq, e.timestamp));
+        }
+    }
+
+    #[test]
+    fn write_and_read_dir() {
+        let dir = crate::test_util::TempDir::new("segment-io");
+        let seg = Segment::build(12, &sorted_batch(20));
+        let path = seg.write_to_dir(dir.path()).unwrap();
+        assert!(path.ends_with("seg-00000012.jseg"));
+        let back = Segment::read_from_file(&path).unwrap();
+        assert_eq!(back.catalog(), seg.catalog());
+    }
+}

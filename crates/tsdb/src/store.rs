@@ -1,0 +1,895 @@
+//! [`Tsdb`]: the storage engine tying WAL, memtable and segments together.
+//!
+//! Data is organized in tiers by age, the shape the paper's archive needs
+//! for "historical analysis of system performance" at scale: appends land
+//! in the WAL (durability) and the memtable (the hot tier); a full
+//! memtable **seals** into an immutable compressed segment (the warm
+//! tier); `compact()` merges runs of small segments; `retain()` drops the
+//! expired tier entirely.  Range scans prune whole segments via their
+//! catalogs before touching any data, and the [`TsdbStats`] counters make
+//! that pruning observable (and testable).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jamm_core::sync::RwLock;
+use jamm_ulm::{Event, Timestamp};
+
+use crate::memtable::MemTable;
+use crate::query::{ScanIter, TsdbQuery};
+use crate::segment::{Segment, SegmentCatalog, SEGMENT_EXT};
+use crate::wal::Wal;
+use crate::Result;
+
+/// Tuning knobs for a [`Tsdb`].
+#[derive(Debug, Clone)]
+pub struct TsdbOptions {
+    /// Seal the memtable into a segment once it holds this many events.
+    pub memtable_max_events: usize,
+    /// `compact()` merges runs of two or more consecutive segments that
+    /// are each smaller than this.
+    pub small_segment_events: usize,
+    /// Fsync the WAL on every append (durable but slow; off by default —
+    /// the OS page cache already survives process death, the sync only
+    /// matters for whole-machine crashes).
+    pub sync_wal: bool,
+}
+
+impl Default for TsdbOptions {
+    fn default() -> Self {
+        TsdbOptions {
+            memtable_max_events: 4_096,
+            small_segment_events: 4_096,
+            sync_wal: false,
+        }
+    }
+}
+
+/// Monotonic observability counters for one store.
+#[derive(Debug, Default)]
+pub struct TsdbStats {
+    appended: AtomicU64,
+    sealed_segments: AtomicU64,
+    compactions: AtomicU64,
+    segments_scanned: AtomicU64,
+    segments_pruned: AtomicU64,
+    expired_events: AtomicU64,
+    wal_recovered_events: AtomicU64,
+    wal_torn_bytes: AtomicU64,
+}
+
+impl TsdbStats {
+    /// Events appended since open.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Memtable seals performed (segments created by sealing).
+    pub fn sealed_segments(&self) -> u64 {
+        self.sealed_segments.load(Ordering::Relaxed)
+    }
+
+    /// Compaction merges performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Segments whose data a scan actually read.
+    pub fn segments_scanned(&self) -> u64 {
+        self.segments_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Segments skipped by catalog pruning (non-overlapping time range,
+    /// absent host or absent event type).
+    pub fn segments_pruned(&self) -> u64 {
+        self.segments_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by retention cuts.
+    pub fn expired_events(&self) -> u64 {
+        self.expired_events.load(Ordering::Relaxed)
+    }
+
+    /// Events recovered from the WAL at open.
+    pub fn wal_recovered_events(&self) -> u64 {
+        self.wal_recovered_events.load(Ordering::Relaxed)
+    }
+
+    /// Torn-tail bytes discarded from the WAL at open.
+    pub fn wal_torn_bytes(&self) -> u64 {
+        self.wal_torn_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregate description of a whole store (every segment plus the
+/// memtable) — the data behind the archive's directory catalog entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreCatalog {
+    /// Total stored events.
+    pub event_count: usize,
+    /// Earliest stored timestamp.
+    pub earliest: Option<Timestamp>,
+    /// Latest stored timestamp.
+    pub latest: Option<Timestamp>,
+    /// Hosts present, with event counts.
+    pub hosts: BTreeMap<String, usize>,
+    /// Event types present, with event counts.
+    pub event_types: BTreeMap<String, usize>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mem: MemTable,
+    segments: Vec<Arc<Segment>>,
+    wal: Option<Wal>,
+    next_seq: u64,
+    next_segment_id: u64,
+}
+
+/// An embedded time-series store of ULM events.
+#[derive(Debug)]
+pub struct Tsdb {
+    inner: RwLock<Inner>,
+    dir: Option<PathBuf>,
+    opts: TsdbOptions,
+    stats: TsdbStats,
+}
+
+impl Tsdb {
+    /// A volatile store: no WAL, no segment files, everything else (seal,
+    /// compact, retain, pruning) identical.  This is what `EventArchive::
+    /// new()` uses.
+    pub fn in_memory() -> Tsdb {
+        Tsdb::in_memory_with(TsdbOptions::default())
+    }
+
+    /// In-memory store with explicit options.
+    pub fn in_memory_with(opts: TsdbOptions) -> Tsdb {
+        Tsdb {
+            inner: RwLock::new(Inner {
+                mem: MemTable::new(),
+                segments: Vec::new(),
+                wal: None,
+                next_seq: 1,
+                next_segment_id: 1,
+            }),
+            dir: None,
+            opts,
+            stats: TsdbStats::default(),
+        }
+    }
+
+    /// Open (creating if needed) a persistent store in `dir`: load every
+    /// segment file, replay the WAL into the memtable, and continue
+    /// sequence numbering where the previous process stopped.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Tsdb> {
+        Tsdb::open_with(dir, TsdbOptions::default())
+    }
+
+    /// Open a persistent store with explicit options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: TsdbOptions) -> Result<Tsdb> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(crate::TsdbError::from)?;
+        let mut segments = Vec::new();
+        for entry in std::fs::read_dir(&dir).map_err(crate::TsdbError::from)? {
+            let path = entry.map_err(crate::TsdbError::from)?.path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some(SEGMENT_EXT) => segments.push(Arc::new(Segment::read_from_file(&path)?)),
+                // A crash mid-write leaves `.tmp` files behind (segment
+                // writes and WAL rewrites both go through write-then-
+                // rename); they are dead weight, clean them up.
+                Some("tmp") => {
+                    let _ = std::fs::remove_file(&path);
+                }
+                _ => {}
+            }
+        }
+        segments.sort_by_key(|s| s.id());
+        let next_segment_id = segments.iter().map(|s| s.id()).max().unwrap_or(0) + 1;
+        let seg_max_seq = segments.iter().map(|s| s.max_seq()).max().unwrap_or(0);
+        let mut next_seq = seg_max_seq + 1;
+
+        // Crash reconciliation.  A crash between writing a replacement
+        // segment (compaction merge, retention rewrite) and deleting its
+        // inputs leaves both generations on disk.  Normal operation gives
+        // segments pairwise-disjoint sequence ranges, so any overlap
+        // identifies such a leftover — and the higher id is always the
+        // newer, complete replacement.  Keep it, drop the older file.
+        let mut reconciled: Vec<Arc<Segment>> = Vec::with_capacity(segments.len());
+        let mut stale: Vec<u64> = Vec::new();
+        for seg in segments.into_iter().rev() {
+            let overlaps = reconciled
+                .iter()
+                .any(|kept| seg.min_seq() <= kept.max_seq() && kept.min_seq() <= seg.max_seq());
+            if overlaps {
+                stale.push(seg.id());
+            } else {
+                reconciled.push(seg);
+            }
+        }
+        reconciled.reverse();
+        let segments = reconciled;
+        for id in stale {
+            let _ = std::fs::remove_file(dir.join(Segment::file_name(id)));
+        }
+
+        let (recovered, torn) = Wal::replay(&dir)?;
+        let stats = TsdbStats::default();
+        stats.wal_torn_bytes.store(torn, Ordering::Relaxed);
+        let mut mem = MemTable::new();
+        let mut recovered_count = 0u64;
+        for (seq, event) in recovered {
+            next_seq = next_seq.max(seq + 1);
+            // A crash between sealing a segment and resetting the WAL
+            // leaves the sealed events in both places; records already
+            // durable in a segment are skipped, not duplicated.
+            if seq <= seg_max_seq {
+                continue;
+            }
+            mem.insert(seq, event);
+            recovered_count += 1;
+        }
+        stats
+            .wal_recovered_events
+            .store(recovered_count, Ordering::Relaxed);
+        let wal = Wal::open(&dir, opts.sync_wal)?;
+        Ok(Tsdb {
+            inner: RwLock::new(Inner {
+                mem,
+                segments,
+                wal: Some(wal),
+                next_seq,
+                next_segment_id,
+            }),
+            dir: Some(dir),
+            opts,
+            stats,
+        })
+    }
+
+    /// The store's directory (`None` for an in-memory store).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The store's options.
+    pub fn options(&self) -> &TsdbOptions {
+        &self.opts
+    }
+
+    /// The store's observability counters.
+    pub fn stats(&self) -> &TsdbStats {
+        &self.stats
+    }
+
+    /// Append one event; returns its sequence number.  Seals the memtable
+    /// automatically when it reaches the configured bound.  As with
+    /// [`Tsdb::try_append_batch`], once the event is accepted (WAL write
+    /// succeeded) a failing auto-seal is not an error — the event is
+    /// durable, and reporting failure would make a retrying caller store
+    /// it twice.
+    pub fn append(&self, event: Event) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        if let Some(wal) = &mut inner.wal {
+            wal.append(seq, &event)?;
+        }
+        inner.next_seq += 1;
+        inner.mem.insert(seq, event);
+        self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        if inner.mem.len() >= self.opts.memtable_max_events {
+            let _ = self.seal_inner(&mut inner);
+        }
+        Ok(seq)
+    }
+
+    /// Append a batch under one lock acquisition and (for persistent
+    /// stores) one WAL write.  Returns how many events were appended.
+    pub fn append_batch(&self, events: Vec<Event>) -> Result<usize> {
+        self.try_append_batch(events).map_err(|(e, _)| e)
+    }
+
+    /// Like [`Tsdb::append_batch`], but hands the batch back on failure so
+    /// the caller can retry it later instead of losing the events.  Once
+    /// the batch is accepted (WAL write succeeded), a failing *auto-seal*
+    /// is not an error: the events are already durable, and the seal
+    /// retries on the next append or explicit [`Tsdb::seal`].
+    pub fn try_append_batch(
+        &self,
+        events: Vec<Event>,
+    ) -> std::result::Result<usize, (crate::TsdbError, Vec<Event>)> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.write();
+        let first_seq = inner.next_seq;
+        if let Some(wal) = &mut inner.wal {
+            if let Err(e) = wal.append_batch(first_seq, &events) {
+                return Err((e, events));
+            }
+        }
+        let n = events.len();
+        for (i, event) in events.into_iter().enumerate() {
+            inner.mem.insert(first_seq + i as u64, event);
+        }
+        inner.next_seq += n as u64;
+        self.stats.appended.fetch_add(n as u64, Ordering::Relaxed);
+        while inner.mem.len() >= self.opts.memtable_max_events {
+            if !matches!(self.seal_inner(&mut inner), Ok(Some(_))) {
+                break;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Seal the memtable into a new immutable segment now.  Returns the
+    /// new segment's catalog, or `None` when the memtable was empty.
+    pub fn seal(&self) -> Result<Option<SegmentCatalog>> {
+        let mut inner = self.inner.write();
+        self.seal_inner(&mut inner)
+    }
+
+    fn seal_inner(&self, inner: &mut Inner) -> Result<Option<SegmentCatalog>> {
+        if inner.mem.is_empty() {
+            return Ok(None);
+        }
+        let batch = inner.mem.drain_sorted();
+        let id = inner.next_segment_id;
+        let seg = Segment::build(id, &batch);
+        if let Some(dir) = &self.dir {
+            if let Err(e) = seg.write_to_dir(dir) {
+                // Keep the data: put the batch back so nothing is lost and
+                // a later seal can retry.
+                for (seq, event) in batch {
+                    inner.mem.insert(seq, event);
+                }
+                return Err(e);
+            }
+        }
+        inner.next_segment_id += 1;
+        let catalog = seg.catalog().clone();
+        // Commit the segment to the in-memory list *before* touching the
+        // WAL: the data is durable at this point, and it must not vanish
+        // from the live store if the WAL reset below fails.
+        inner.segments.push(Arc::new(seg));
+        self.stats.sealed_segments.fetch_add(1, Ordering::Relaxed);
+        // The segment is durable; the WAL's copy of these events is now
+        // redundant.  A failing reset is tolerated: replay skips records
+        // whose sequence is covered by a segment, so a stale WAL merely
+        // wastes space until the next successful seal.
+        if let Some(wal) = &mut inner.wal {
+            let _ = wal.reset();
+        }
+        Ok(Some(catalog))
+    }
+
+    /// Merge every run of two or more consecutive segments that are each
+    /// smaller than [`TsdbOptions::small_segment_events`].  Returns the
+    /// net number of segments removed.
+    ///
+    /// The replacement list is built entirely on the side and only
+    /// committed once every merged segment is durable, so an I/O error
+    /// leaves the store exactly as it was.
+    pub fn compact(&self) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let threshold = self.opts.small_segment_events;
+        let before = inner.segments.len();
+        let mut result: Vec<Arc<Segment>> = Vec::with_capacity(before);
+        let mut run: Vec<Arc<Segment>> = Vec::new();
+        let mut stale_ids: Vec<u64> = Vec::new();
+        let mut next_id = inner.next_segment_id;
+        let mut merges = 0u64;
+
+        let flush_run = |run: &mut Vec<Arc<Segment>>,
+                         result: &mut Vec<Arc<Segment>>,
+                         next_id: &mut u64,
+                         stale_ids: &mut Vec<u64>,
+                         merges: &mut u64|
+         -> Result<()> {
+            if run.len() < 2 {
+                result.append(run);
+                return Ok(());
+            }
+            let mut merged: Vec<(u64, Event)> = Vec::new();
+            for seg in run.iter() {
+                let mut cursor = seg.cursor();
+                while let Some(item) = cursor.next_event() {
+                    let (seq, event) = item?;
+                    merged.push((seq, event));
+                }
+            }
+            merged.sort_by_key(|(seq, e)| (e.timestamp, *seq));
+            let seg = Segment::build(*next_id, &merged);
+            if let Some(dir) = &self.dir {
+                seg.write_to_dir(dir)?;
+            }
+            *next_id += 1;
+            *merges += 1;
+            stale_ids.extend(run.iter().map(|s| s.id()));
+            run.clear();
+            result.push(Arc::new(seg));
+            Ok(())
+        };
+
+        for seg in &inner.segments {
+            if seg.len() < threshold {
+                run.push(Arc::clone(seg));
+            } else {
+                flush_run(
+                    &mut run,
+                    &mut result,
+                    &mut next_id,
+                    &mut stale_ids,
+                    &mut merges,
+                )?;
+                result.push(Arc::clone(seg));
+            }
+        }
+        flush_run(
+            &mut run,
+            &mut result,
+            &mut next_id,
+            &mut stale_ids,
+            &mut merges,
+        )?;
+
+        // Commit point: every merged segment is on disk.
+        inner.next_segment_id = next_id;
+        inner.segments = result;
+        self.stats.compactions.fetch_add(merges, Ordering::Relaxed);
+        self.remove_segment_files(&stale_ids);
+        Ok(before - inner.segments.len())
+    }
+
+    /// Drop every event with timestamp strictly before `cutoff` (retention
+    /// cut).  Whole expired segments are dropped without decoding;
+    /// straddling segments are rewritten.  Returns events removed.
+    ///
+    /// Like [`Tsdb::compact`], the new segment list is committed only
+    /// after every rewritten segment is durable; an I/O error leaves the
+    /// store untouched.  A crash before the stale files are unlinked can
+    /// resurrect already-expired whole segments at the next open — that
+    /// is over-retention, not data loss, and the next retention pass drops
+    /// them again.
+    pub fn retain(&self, cutoff: Timestamp) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let mut kept: Vec<Arc<Segment>> = Vec::with_capacity(inner.segments.len());
+        let mut stale_ids: Vec<u64> = Vec::new();
+        let mut removed = 0usize;
+        let mut next_id = inner.next_segment_id;
+        for seg in &inner.segments {
+            let c = seg.catalog();
+            if c.max_ts < cutoff {
+                removed += seg.len();
+                stale_ids.push(seg.id());
+            } else if c.min_ts >= cutoff {
+                kept.push(Arc::clone(seg));
+            } else {
+                // Straddles the cutoff: rewrite the surviving suffix.
+                let mut survivors: Vec<(u64, Event)> = Vec::new();
+                let mut cursor = seg.cursor();
+                while let Some(item) = cursor.next_event() {
+                    let (seq, event) = item?;
+                    if event.timestamp >= cutoff {
+                        survivors.push((seq, event));
+                    }
+                }
+                removed += seg.len() - survivors.len();
+                survivors.sort_by_key(|(seq, e)| (e.timestamp, *seq));
+                let new_seg = Segment::build(next_id, &survivors);
+                if let Some(dir) = &self.dir {
+                    new_seg.write_to_dir(dir)?;
+                }
+                next_id += 1;
+                stale_ids.push(seg.id());
+                kept.push(Arc::new(new_seg));
+            }
+        }
+        // Commit point: every rewritten segment is on disk.
+        inner.next_segment_id = next_id;
+        inner.segments = kept;
+        self.remove_segment_files(&stale_ids);
+
+        let mem_removed = inner.mem.prune_before(cutoff);
+        removed += mem_removed;
+        if mem_removed > 0 {
+            // Rewrite the WAL to match the pruned memtable, else replay
+            // would resurrect expired events.  The rewrite is atomic
+            // (write-new-then-rename), so a crash leaves either the old or
+            // the new log — never a torn mix that loses acknowledged
+            // events.
+            let survivors = inner.mem.snapshot();
+            if let Some(wal) = &mut inner.wal {
+                wal.rewrite(&survivors)?;
+            }
+        }
+        self.stats
+            .expired_events
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        Ok(removed)
+    }
+
+    fn remove_segment_files(&self, ids: &[u64]) {
+        if let Some(dir) = &self.dir {
+            for &id in ids {
+                let _ = std::fs::remove_file(dir.join(Segment::file_name(id)));
+            }
+        }
+    }
+
+    /// Stream every event matching `query`, in `(timestamp, sequence)`
+    /// order.  Segments whose catalog cannot match are pruned without
+    /// reading data (observable via [`TsdbStats::segments_pruned`]); the
+    /// rest decode lazily as the iterator is consumed.
+    pub fn scan(&self, query: &TsdbQuery) -> ScanIter {
+        let inner = self.inner.read();
+        let mem = inner.mem.matching(query);
+        let mut cursors = Vec::new();
+        let mut scanned = 0u64;
+        let mut pruned = 0u64;
+        for seg in &inner.segments {
+            if seg.catalog().overlaps(query) {
+                scanned += 1;
+                cursors.push(seg.cursor());
+            } else {
+                pruned += 1;
+            }
+        }
+        self.stats
+            .segments_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.stats
+            .segments_pruned
+            .fetch_add(pruned, Ordering::Relaxed);
+        ScanIter::new(query.clone(), mem, cursors)
+    }
+
+    /// Total number of stored events (memtable plus every segment).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.read();
+        inner.mem.len() + inner.segments.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.inner.read().segments.len()
+    }
+
+    /// Number of events in the hot (memtable) tier.
+    pub fn memtable_len(&self) -> usize {
+        self.inner.read().mem.len()
+    }
+
+    /// Per-segment catalogs, in segment order (what the archiver publishes
+    /// in the directory).
+    pub fn segment_catalogs(&self) -> Vec<SegmentCatalog> {
+        self.inner
+            .read()
+            .segments
+            .iter()
+            .map(|s| s.catalog().clone())
+            .collect()
+    }
+
+    /// Aggregate catalog over every tier.
+    pub fn catalog(&self) -> StoreCatalog {
+        let inner = self.inner.read();
+        let mut out = StoreCatalog::default();
+        for seg in &inner.segments {
+            let c = seg.catalog();
+            out.event_count += c.event_count;
+            out.earliest = Some(match out.earliest {
+                Some(e) => e.min(c.min_ts),
+                None => c.min_ts,
+            });
+            out.latest = Some(match out.latest {
+                Some(l) => l.max(c.max_ts),
+                None => c.max_ts,
+            });
+            for (h, n) in &c.hosts {
+                *out.hosts.entry(h.clone()).or_insert(0) += n;
+            }
+            for (t, n) in &c.event_types {
+                *out.event_types.entry(t.clone()).or_insert(0) += n;
+            }
+        }
+        for e in inner.mem.iter() {
+            out.event_count += 1;
+            *out.hosts.entry(e.host.clone()).or_insert(0) += 1;
+            *out.event_types.entry(e.event_type.clone()).or_insert(0) += 1;
+        }
+        if let Some(min) = inner.mem.min_ts() {
+            out.earliest = Some(out.earliest.map_or(min, |e| e.min(min)));
+        }
+        if let Some(max) = inner.mem.max_ts() {
+            out.latest = Some(out.latest.map_or(max, |l| l.max(max)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+    use jamm_ulm::Level;
+
+    fn ev(host: &str, ty: &str, t: u64) -> Event {
+        Event::builder("sensor", host)
+            .level(Level::Usage)
+            .event_type(ty)
+            .timestamp(Timestamp::from_secs(t))
+            .value(t as f64)
+            .build()
+    }
+
+    fn small_opts(memtable: usize) -> TsdbOptions {
+        TsdbOptions {
+            memtable_max_events: memtable,
+            small_segment_events: memtable,
+            sync_wal: false,
+        }
+    }
+
+    #[test]
+    fn append_seal_scan_round_trip() {
+        let db = Tsdb::in_memory_with(small_opts(10));
+        for t in 0..35 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        // 3 auto-seals at 10/20/30 events, 5 left hot.
+        assert_eq!(db.segment_count(), 3);
+        assert_eq!(db.memtable_len(), 5);
+        assert_eq!(db.len(), 35);
+        let all: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert_eq!(all.len(), 35);
+        let times: Vec<u64> = all.iter().map(|e| e.timestamp.as_secs()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn batch_append_is_equivalent_to_singles() {
+        let a = Tsdb::in_memory_with(small_opts(8));
+        let b = Tsdb::in_memory_with(small_opts(8));
+        let events: Vec<Event> = (0..20).map(|t| ev("h", "X", t)).collect();
+        for e in events.clone() {
+            a.append(e).unwrap();
+        }
+        b.append_batch(events).unwrap();
+        let ea: Vec<Event> = a.scan(&TsdbQuery::all()).collect();
+        let eb: Vec<Event> = b.scan(&TsdbQuery::all()).collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn scan_prunes_non_overlapping_segments() {
+        let db = Tsdb::in_memory_with(small_opts(10));
+        // Three segments covering [0,10), [100,110), [200,210).
+        for base in [0u64, 100, 200] {
+            for t in 0..10 {
+                db.append(ev("h", "X", base + t)).unwrap();
+            }
+            db.seal().unwrap();
+        }
+        assert_eq!(db.segment_count(), 3);
+        let hits: Vec<Event> = db
+            .scan(&TsdbQuery::all().between(Timestamp::from_secs(100), Timestamp::from_secs(110)))
+            .collect();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(db.stats().segments_scanned(), 1);
+        assert_eq!(db.stats().segments_pruned(), 2);
+    }
+
+    #[test]
+    fn host_and_type_pruning() {
+        let db = Tsdb::in_memory_with(small_opts(4));
+        for t in 0..4 {
+            db.append(ev("alpha", "CPU", t)).unwrap();
+        }
+        db.seal().unwrap();
+        for t in 4..8 {
+            db.append(ev("beta", "MEM", t)).unwrap();
+        }
+        db.seal().unwrap();
+        let hits: Vec<Event> = db.scan(&TsdbQuery::all().host("beta")).collect();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(db.stats().segments_pruned(), 1);
+        let hits: Vec<Event> = db.scan(&TsdbQuery::all().event_type("CPU")).collect();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(db.stats().segments_pruned(), 2);
+    }
+
+    #[test]
+    fn compact_merges_small_segment_runs() {
+        let db = Tsdb::in_memory_with(small_opts(100));
+        for round in 0..6u64 {
+            for t in 0..5 {
+                db.append(ev("h", "X", round * 5 + t)).unwrap();
+            }
+            db.seal().unwrap();
+        }
+        assert_eq!(db.segment_count(), 6);
+        let before: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        let removed = db.compact().unwrap();
+        assert_eq!(removed, 5, "six small segments merge into one");
+        assert_eq!(db.segment_count(), 1);
+        let after: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert_eq!(before, after, "compaction preserves contents and order");
+        assert_eq!(db.stats().compactions(), 1);
+    }
+
+    #[test]
+    fn compact_leaves_large_segments_alone() {
+        let db = Tsdb::in_memory_with(TsdbOptions {
+            memtable_max_events: 100,
+            small_segment_events: 3,
+            sync_wal: false,
+        });
+        for t in 0..10 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        db.seal().unwrap(); // 10 events >= threshold 3: not small
+        for t in 10..12 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        db.seal().unwrap(); // small, but a run of one
+        assert_eq!(db.compact().unwrap(), 0);
+        assert_eq!(db.segment_count(), 2);
+    }
+
+    #[test]
+    fn retain_drops_and_rewrites() {
+        let db = Tsdb::in_memory_with(small_opts(10));
+        for t in 0..30 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        // Segments [0,10), [10,20), memtable [20,30).
+        assert_eq!(db.segment_count(), 3); // auto-seal at 10, 20, 30
+        let removed = db.retain(Timestamp::from_secs(15)).unwrap();
+        assert_eq!(removed, 15);
+        assert_eq!(db.len(), 15);
+        let all: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert!(all.iter().all(|e| e.timestamp >= Timestamp::from_secs(15)));
+        assert_eq!(db.stats().expired_events(), 15);
+    }
+
+    #[test]
+    fn catalog_aggregates_all_tiers() {
+        let db = Tsdb::in_memory_with(small_opts(5));
+        for t in 0..5 {
+            db.append(ev("a", "CPU", t)).unwrap(); // seals at 5
+        }
+        for t in 5..8 {
+            db.append(ev("b", "MEM", t)).unwrap(); // stays hot
+        }
+        let c = db.catalog();
+        assert_eq!(c.event_count, 8);
+        assert_eq!(c.earliest, Some(Timestamp::from_secs(0)));
+        assert_eq!(c.latest, Some(Timestamp::from_secs(7)));
+        assert_eq!(c.hosts.get("a"), Some(&5));
+        assert_eq!(c.hosts.get("b"), Some(&3));
+        assert_eq!(c.event_types.len(), 2);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let dir = TempDir::new("store-reopen");
+        {
+            let db = Tsdb::open_with(dir.path(), small_opts(10)).unwrap();
+            for t in 0..25 {
+                db.append(ev("h", "X", t)).unwrap();
+            }
+            assert_eq!(db.segment_count(), 2);
+            assert_eq!(db.memtable_len(), 5);
+            // No graceful shutdown: drop with 5 events only in the WAL.
+        }
+        let db = Tsdb::open_with(dir.path(), small_opts(10)).unwrap();
+        assert_eq!(db.len(), 25);
+        assert_eq!(db.segment_count(), 2);
+        assert_eq!(db.memtable_len(), 5);
+        assert_eq!(db.stats().wal_recovered_events(), 5);
+        // Sequence numbering continues: appending and sealing stays ordered.
+        db.append(ev("h", "X", 25)).unwrap();
+        let all: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert_eq!(all.len(), 26);
+    }
+
+    #[test]
+    fn reopen_after_retention_does_not_resurrect() {
+        let dir = TempDir::new("store-retain-reopen");
+        {
+            let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+            for t in 0..20 {
+                db.append(ev("h", "X", t)).unwrap();
+            }
+            db.retain(Timestamp::from_secs(10)).unwrap();
+            assert_eq!(db.len(), 10);
+        }
+        let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+        assert_eq!(db.len(), 10, "expired events must not come back");
+        let all: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert!(all.iter().all(|e| e.timestamp >= Timestamp::from_secs(10)));
+    }
+
+    #[test]
+    fn crash_between_seal_and_wal_reset_does_not_duplicate() {
+        let dir = TempDir::new("store-seal-crash");
+        let wal_path = dir.path().join(crate::wal::WAL_FILE);
+        let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+        for t in 0..10 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        let wal_backup = std::fs::read(&wal_path).unwrap();
+        db.seal().unwrap();
+        drop(db);
+        // Simulate a crash between the segment rename and the WAL reset:
+        // the pre-seal WAL reappears alongside the sealed segment.
+        std::fs::write(&wal_path, &wal_backup).unwrap();
+        let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+        assert_eq!(db.len(), 10, "sealed events must not be replayed twice");
+        assert_eq!(db.stats().wal_recovered_events(), 0);
+        let all: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn crash_between_compact_and_stale_delete_does_not_duplicate() {
+        let dir = TempDir::new("store-compact-crash");
+        let seg_files = |dir: &std::path::Path| -> Vec<std::path::PathBuf> {
+            let mut v: Vec<_> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXT))
+                .collect();
+            v.sort();
+            v
+        };
+        let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+        for t in 0..5 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        db.seal().unwrap();
+        for t in 5..10 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        db.seal().unwrap();
+        let backups: Vec<(std::path::PathBuf, Vec<u8>)> = seg_files(dir.path())
+            .into_iter()
+            .map(|p| (p.clone(), std::fs::read(&p).unwrap()))
+            .collect();
+        assert_eq!(backups.len(), 2);
+        assert_eq!(db.compact().unwrap(), 1);
+        drop(db);
+        // Simulate a crash after the merged segment was written but before
+        // its inputs were deleted: all three generations are on disk.
+        for (p, bytes) in &backups {
+            std::fs::write(p, bytes).unwrap();
+        }
+        assert_eq!(seg_files(dir.path()).len(), 3);
+        let db = Tsdb::open_with(dir.path(), small_opts(100)).unwrap();
+        assert_eq!(db.len(), 10, "merged events must not appear twice");
+        assert_eq!(db.segment_count(), 1);
+        assert_eq!(
+            seg_files(dir.path()).len(),
+            1,
+            "stale crash leftovers are deleted at open"
+        );
+    }
+
+    #[test]
+    fn seal_empty_memtable_is_a_noop() {
+        let db = Tsdb::in_memory();
+        assert!(db.seal().unwrap().is_none());
+        assert!(db.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: under random interleavings of inserts, seals,
+//! compactions and retention cuts, the engine's query results must be
+//! byte-identical to a naive in-memory model — and for persistent stores,
+//! must survive an abrupt kill (drop without shutdown) and reopen.
+
+use jamm_core::check::{forall, Gen};
+use jamm_tsdb::test_util::TempDir;
+use jamm_tsdb::{Tsdb, TsdbOptions, TsdbQuery};
+use jamm_ulm::{Event, Level, Timestamp, Value};
+
+const HOSTS: [&str; 3] = ["dpss1.lbl.gov", "mems.cairn.net", "portnoy.lbl.gov"];
+const TYPES: [&str; 3] = ["CPU_TOTAL", "TCPD_RETRANSMITS", "MEM_FREE"];
+
+/// The naive reference: a growing list of `(insertion sequence, event)`.
+#[derive(Default)]
+struct Model {
+    events: Vec<(u64, Event)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn insert(&mut self, event: Event) {
+        self.next_seq += 1;
+        self.events.push((self.next_seq, event));
+    }
+
+    fn retain(&mut self, cutoff: Timestamp) {
+        self.events.retain(|(_, e)| e.timestamp >= cutoff);
+    }
+
+    fn query(&self, q: &TsdbQuery) -> Vec<Event> {
+        let mut hits: Vec<(u64, Event)> = self
+            .events
+            .iter()
+            .filter(|(_, e)| q.matches(e))
+            .cloned()
+            .collect();
+        hits.sort_by_key(|(seq, e)| (e.timestamp, *seq));
+        hits.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+fn random_event(g: &mut Gen) -> Event {
+    let t = Timestamp::from_micros(g.u64(120) * 500_000); // 0..60s, 0.5s grid
+    let mut b = Event::builder("sensor", g.choice(&HOSTS))
+        .level(if g.bool(0.1) {
+            Level::Warning
+        } else {
+            Level::Usage
+        })
+        .event_type(g.choice(&TYPES))
+        .timestamp(t)
+        .value(g.f64_in(0.0, 100.0));
+    if g.bool(0.3) {
+        b = b.field("NOTE", Value::Str(g.printable_string(12)));
+    }
+    if g.bool(0.3) {
+        b = b.field("DELTA", g.any_i64() % 1_000);
+    }
+    b.build()
+}
+
+fn random_query(g: &mut Gen) -> TsdbQuery {
+    let mut q = TsdbQuery::all();
+    if g.bool(0.7) {
+        let from = g.u64(120) * 500_000;
+        let to = from + g.u64(60_000_000);
+        q = q.between(Timestamp::from_micros(from), Timestamp::from_micros(to));
+    }
+    if g.bool(0.4) {
+        q = q.host(g.choice(&HOSTS));
+    }
+    if g.bool(0.4) {
+        q = q.event_type(g.choice(&TYPES));
+    }
+    q
+}
+
+/// Drive one random schedule of operations against both the engine and the
+/// model, checking equivalence after every few steps.
+fn drive(g: &mut Gen, db: &Tsdb, model: &mut Model) {
+    let steps = g.usize_in(20, 120);
+    for _ in 0..steps {
+        match g.u64(100) {
+            // Mostly inserts, batched or single.
+            0..=69 => {
+                if g.bool(0.5) {
+                    let n = g.usize_in(1, 8);
+                    let batch: Vec<Event> = (0..n).map(|_| random_event(g)).collect();
+                    for e in &batch {
+                        model.insert(e.clone());
+                    }
+                    db.append_batch(batch).unwrap();
+                } else {
+                    let e = random_event(g);
+                    model.insert(e.clone());
+                    db.append(e).unwrap();
+                }
+            }
+            70..=79 => {
+                db.seal().unwrap();
+            }
+            80..=89 => {
+                db.compact().unwrap();
+            }
+            _ => {
+                let cutoff = Timestamp::from_micros(g.u64(120) * 500_000);
+                model.retain(cutoff);
+                db.retain(cutoff).unwrap();
+            }
+        }
+    }
+    assert_eq!(db.len(), model.events.len(), "store/model cardinality");
+    for _ in 0..4 {
+        let q = random_query(g);
+        let got: Vec<Event> = db.scan(&q).collect();
+        let want = model.query(&q);
+        assert_eq!(got, want, "scan mismatch for {q:?}");
+    }
+    let c = db.catalog();
+    assert_eq!(c.event_count, model.events.len());
+}
+
+#[test]
+fn in_memory_store_matches_naive_model() {
+    forall("tsdb ≡ model (in-memory)", 40, |g| {
+        // Small memtable so schedules cross the seal boundary constantly.
+        let db = Tsdb::in_memory_with(TsdbOptions {
+            memtable_max_events: g.usize_in(2, 16),
+            small_segment_events: g.usize_in(2, 32),
+            sync_wal: false,
+        });
+        let mut model = Model::default();
+        drive(g, &db, &mut model);
+    });
+}
+
+#[test]
+fn persistent_store_matches_model_and_survives_kill() {
+    forall("tsdb ≡ model (persistent, kill + recover)", 12, |g| {
+        let dir = TempDir::new("prop-kill-recover");
+        let opts = TsdbOptions {
+            memtable_max_events: g.usize_in(2, 16),
+            small_segment_events: g.usize_in(2, 32),
+            sync_wal: false,
+        };
+        let mut model = Model::default();
+        {
+            let db = Tsdb::open_with(dir.path(), opts.clone()).unwrap();
+            drive(g, &db, &mut model);
+            // Kill: drop without seal/flush — unsealed events exist only in
+            // the WAL now.
+        }
+        let db = Tsdb::open_with(dir.path(), opts).unwrap();
+        assert_eq!(db.len(), model.events.len(), "recovery cardinality");
+        let got: Vec<Event> = db.scan(&TsdbQuery::all()).collect();
+        assert_eq!(got, model.query(&TsdbQuery::all()), "recovery contents");
+        // The reopened store keeps working: another schedule on top.
+        drive(g, &db, &mut model);
+    });
+}

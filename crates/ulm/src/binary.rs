@@ -36,43 +36,56 @@ const TAG_STR: u8 = 4;
 
 /// Encode an event into a self-delimiting binary frame.
 pub fn encode(event: &Event) -> Vec<u8> {
-    let mut body = Vec::with_capacity(event.approx_size() + 16);
-    body.push(VERSION);
-    body.extend_from_slice(&event.timestamp.as_micros().to_le_bytes());
-    body.push(level_to_u8(event.level));
-    put_str(&mut body, &event.host);
-    put_str(&mut body, &event.program);
-    put_str(&mut body, &event.event_type);
-    body.extend_from_slice(&(event.fields.len() as u16).to_le_bytes());
+    let mut frame = Vec::with_capacity(event.approx_size() + 20);
+    encode_into(&mut frame, event);
+    frame
+}
+
+/// Append an event's self-delimiting binary frame to an existing buffer.
+///
+/// This is the allocation-free building block `encode` wraps: the frame is
+/// encoded directly into the caller's buffer (the length prefix is
+/// back-patched once the body size is known), so callers that batch many
+/// frames into one buffer — the archive's write-ahead log, the RMI bridge
+/// — pay no per-event allocation.
+pub fn encode_into(frame: &mut Vec<u8>, event: &Event) {
+    let len_pos = frame.len();
+    frame.extend_from_slice(&[0u8; 4]); // length prefix, patched below
+    let body_start = frame.len();
+    frame.push(VERSION);
+    frame.extend_from_slice(&event.timestamp.as_micros().to_le_bytes());
+    frame.push(level_to_u8(event.level));
+    put_str(frame, &event.host);
+    put_str(frame, &event.program);
+    put_str(frame, &event.event_type);
+    frame.extend_from_slice(&(event.fields.len() as u16).to_le_bytes());
     for (k, v) in &event.fields {
-        put_str(&mut body, k);
+        put_str(frame, k);
         match v {
             Value::UInt(u) => {
-                body.push(TAG_UINT);
-                body.extend_from_slice(&u.to_le_bytes());
+                frame.push(TAG_UINT);
+                frame.extend_from_slice(&u.to_le_bytes());
             }
             Value::Int(i) => {
-                body.push(TAG_INT);
-                body.extend_from_slice(&i.to_le_bytes());
+                frame.push(TAG_INT);
+                frame.extend_from_slice(&i.to_le_bytes());
             }
             Value::Float(f) => {
-                body.push(TAG_FLOAT);
-                body.extend_from_slice(&f.to_le_bytes());
+                frame.push(TAG_FLOAT);
+                frame.extend_from_slice(&f.to_le_bytes());
             }
             Value::Bool(b) => {
-                body.push(TAG_BOOL);
-                body.push(*b as u8);
+                frame.push(TAG_BOOL);
+                frame.push(*b as u8);
             }
             Value::Str(s) => {
-                body.push(TAG_STR);
-                put_str(&mut body, s);
+                frame.push(TAG_STR);
+                put_str(frame, s);
             }
         }
     }
-    let mut frame = Vec::with_capacity(body.len() + 4);
-    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&body);
-    frame
+    let body_len = (frame.len() - body_start) as u32;
+    frame[len_pos..body_start].copy_from_slice(&body_len.to_le_bytes());
 }
 
 /// Decode one binary frame (including the leading length word).
@@ -180,6 +193,17 @@ fn get_str(buf: &mut &[u8]) -> Result<String> {
     Ok(s)
 }
 
+/// The stable one-byte discriminant of a level, shared by every binary
+/// format in the workspace (this frame codec and the jamm-tsdb segments).
+pub fn level_code(level: Level) -> u8 {
+    level_to_u8(level)
+}
+
+/// Inverse of [`level_code`]; errors on an unknown discriminant.
+pub fn level_from_code(v: u8) -> Result<Level> {
+    level_from_u8(v)
+}
+
 fn level_to_u8(level: Level) -> u8 {
     match level {
         Level::Emergency => 0,
@@ -245,6 +269,25 @@ mod tests {
             .build();
         let (back, _) = decode(&encode(&ev)).unwrap();
         assert_eq!(back.field("D"), Some(&Value::Int(-12345)));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_concatenates() {
+        let mut buf = Vec::new();
+        encode_into(&mut buf, &sample(1));
+        assert_eq!(buf, encode(&sample(1)));
+        encode_into(&mut buf, &sample(2));
+        let events = decode_all(&buf).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1], sample(2));
+    }
+
+    #[test]
+    fn level_codes_round_trip() {
+        for lvl in [Level::Emergency, Level::Warning, Level::Usage] {
+            assert_eq!(level_from_code(level_code(lvl)).unwrap(), lvl);
+        }
+        assert!(level_from_code(200).is_err());
     }
 
     #[test]
