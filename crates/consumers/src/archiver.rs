@@ -74,6 +74,28 @@ impl ArchiverAgent {
         Ok(())
     }
 
+    /// Subscribe to a gateway constrained to the given event types (plus
+    /// any further filters).  A typed subscription registers only in the
+    /// sharded router's buckets for those types — an archiver that keeps,
+    /// say, `TCPD_RETRANSMITS` and `PROC_DIED` is never even looked at
+    /// when the high-rate CPU/memory readings are published.
+    ///
+    /// An **empty** `event_types` list matches nothing (it is a type
+    /// constraint satisfied by no event, not the absence of one): the
+    /// subscription opens but never receives.  Use
+    /// [`ArchiverAgent::subscribe`] for an unconstrained subscription.
+    pub fn subscribe_types(
+        &mut self,
+        registry: &GatewayRegistry,
+        gateway_name: &str,
+        event_types: Vec<String>,
+        extra_filters: Vec<EventFilter>,
+    ) -> Result<(), SubscribeError> {
+        let mut filters = vec![EventFilter::EventTypes(event_types)];
+        filters.extend(extra_filters);
+        self.subscribe(registry, gateway_name, filters)
+    }
+
     /// Drain pending events into the archive.  All subscriptions drain
     /// into one batch that is stored under a single archive lock (and, for
     /// a persistent archive, one WAL write).  If the store fails (e.g. a
@@ -264,6 +286,25 @@ mod tests {
         assert_eq!(agent.poll(), 2);
         assert_eq!(agent.archive().len(), 2);
         assert_eq!(agent.poll(), 0, "nothing new");
+    }
+
+    #[test]
+    fn typed_subscription_archives_only_the_named_types() {
+        let (reg, gw, mut agent, _) = setup();
+        agent
+            .subscribe_types(
+                &reg,
+                "gw1",
+                vec!["TCPD_RETRANSMITS".into(), "PROC_DIED".into()],
+                vec![EventFilter::MinLevel(Level::Warning)],
+            )
+            .unwrap();
+        gw.publish(&ev("h", "CPU_TOTAL", 1, Level::Usage));
+        gw.publish(&ev("h", "TCPD_RETRANSMITS", 2, Level::Warning));
+        gw.publish(&ev("h", "PROC_DIED", 3, Level::Error));
+        gw.publish(&ev("h", "PROC_DIED", 4, Level::Usage)); // below floor
+        assert_eq!(agent.poll(), 2);
+        assert_eq!(agent.archive().len(), 2);
     }
 
     #[test]

@@ -139,15 +139,34 @@ impl EventCollector {
         }
     }
 
-    /// Drain every subscription channel into the collected log.  Returns the
-    /// number of new events.
+    /// Subscribe to one named gateway constrained to the given event types.
+    /// The type constraint is what the gateway's sharded router indexes
+    /// subscriptions by: a typed subscription lives only in the routing
+    /// buckets for its types, so it costs the gateway nothing when other
+    /// traffic is published.  Returns whether the subscription opened.
+    ///
+    /// An **empty** `event_types` list matches nothing (a type constraint
+    /// satisfied by no event): the subscription opens but never receives.
+    /// Use [`EventCollector::subscribe_gateway`] for an unconstrained
+    /// subscription.
+    pub fn subscribe_gateway_typed(
+        &mut self,
+        registry: &GatewayRegistry,
+        gateway_name: &str,
+        event_types: Vec<String>,
+        extra_filters: Vec<EventFilter>,
+    ) -> bool {
+        let mut filters = vec![EventFilter::EventTypes(event_types)];
+        filters.extend(extra_filters);
+        self.subscribe_gateway(registry, gateway_name, filters)
+    }
+
+    /// Drain every subscription channel into the collected log (one batched
+    /// drain per subscription).  Returns the number of new events.
     pub fn poll(&mut self) -> usize {
         let mut new = 0;
-        for (_, sub) in &self.subscriptions {
-            for event in sub.events.try_iter() {
-                self.collected.push(event);
-                new += 1;
-            }
+        for (_, sub) in &mut self.subscriptions {
+            new += sub.drain_into(&mut self.collected);
         }
         new
     }
@@ -311,6 +330,31 @@ mod tests {
         let reg = GatewayRegistry::new();
         assert_eq!(collector.subscribe_all(&reg, vec![]), 0);
         assert_eq!(collector.poll(), 0);
+    }
+
+    #[test]
+    fn typed_subscription_is_routed_by_event_type() {
+        let (_, reg, gw1, _) = setup();
+        let mut collector = EventCollector::new("c");
+        assert!(collector.subscribe_gateway_typed(
+            &reg,
+            "gw1",
+            vec!["DPSS_SERV_IN".into()],
+            vec![],
+        ));
+        gw1.publish(&ev("h", "DPSS_SERV_IN", 1));
+        gw1.publish(&ev("h", "CPU_TOTAL", 2));
+        gw1.publish(&ev("h", "DPSS_SERV_IN", 3));
+        collector.poll();
+        assert_eq!(collector.events().len(), 2);
+        assert!(collector
+            .events()
+            .iter()
+            .all(|e| e.event_type == "DPSS_SERV_IN"));
+        // The typed subscription occupies exactly one routing shard (the
+        // one owning DPSS_SERV_IN), not all of them.
+        let occupied: usize = gw1.shard_report().iter().map(|s| s.subscriptions).sum();
+        assert_eq!(occupied, 1, "typed subscription confined to one shard");
     }
 
     #[test]

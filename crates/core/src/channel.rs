@@ -195,6 +195,62 @@ impl<T> Sender<T> {
         Ok(evicted)
     }
 
+    /// Queue a whole batch under **one** lock acquisition, evicting the
+    /// oldest queued items as needed to respect the capacity bound (the
+    /// batched form of [`Sender::send_overwriting`]).  The final queue
+    /// content is exactly what a sequence of per-item overwriting sends
+    /// would leave behind; the returned count is how many items (queued or
+    /// from the batch itself) were evicted.  Fails with the whole batch
+    /// handed back when every receiver is gone.
+    pub fn send_batch_overwriting(&self, items: Vec<T>) -> Result<usize, SendError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.chan.lock();
+        if s.receivers == 0 {
+            return Err(SendError(items));
+        }
+        s.queue.extend(items);
+        let mut evicted = 0;
+        if let Some(cap) = s.capacity {
+            while s.queue.len() > cap {
+                s.queue.pop_front();
+                evicted += 1;
+            }
+        }
+        drop(s);
+        self.chan.not_empty.notify_all();
+        Ok(evicted)
+    }
+
+    /// Queue as much of a batch as fits without blocking, under one lock
+    /// acquisition (the batched form of [`Sender::try_send`] for a
+    /// drop-newest hop).  Returns `(accepted, rejected)`: the first
+    /// `accepted` items were queued in order, the rest were discarded.
+    /// Fails with the whole batch handed back when every receiver is gone.
+    pub fn try_send_batch(&self, mut items: Vec<T>) -> Result<(usize, usize), SendError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok((0, 0));
+        }
+        let mut s = self.chan.lock();
+        if s.receivers == 0 {
+            return Err(SendError(items));
+        }
+        let room = match s.capacity {
+            Some(cap) => cap.saturating_sub(s.queue.len()),
+            None => items.len(),
+        };
+        let accepted = items.len().min(room);
+        let rejected = items.len() - accepted;
+        items.truncate(accepted);
+        s.queue.extend(items);
+        drop(s);
+        if accepted > 0 {
+            self.chan.not_empty.notify_all();
+        }
+        Ok((accepted, rejected))
+    }
+
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
         self.chan.lock().queue.len()
@@ -348,6 +404,33 @@ mod tests {
         tx.try_send(3).unwrap();
         let rest: Vec<u32> = rx.try_iter().collect();
         assert_eq!(rest, vec![2, 3]);
+    }
+
+    #[test]
+    fn batch_sends_match_per_item_semantics() {
+        // Overwriting batch: final queue is the freshest `cap` items.
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_send(0).unwrap();
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.send_batch_overwriting((2..8).collect()).unwrap(), 4);
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![4, 5, 6, 7]);
+        // A batch larger than the capacity evicts its own head.
+        assert_eq!(tx.send_batch_overwriting((0..6).collect()).unwrap(), 2);
+        assert_eq!(rx.try_iter().collect::<Vec<u32>>(), vec![2, 3, 4, 5]);
+        // Drop-newest batch: prefix fits, tail is rejected.
+        tx.try_send(9).unwrap();
+        assert_eq!(tx.try_send_batch((0..5).collect()).unwrap(), (3, 2));
+        assert_eq!(rx.try_iter().collect::<Vec<u32>>(), vec![9, 0, 1, 2]);
+        // Empty batches are no-ops; disconnection hands the batch back.
+        assert_eq!(tx.send_batch_overwriting(Vec::new()).unwrap(), 0);
+        assert_eq!(tx.try_send_batch(Vec::new()).unwrap(), (0, 0));
+        drop(rx);
+        assert_eq!(
+            tx.send_batch_overwriting(vec![1, 2]),
+            Err(SendError(vec![1, 2]))
+        );
+        assert_eq!(tx.try_send_batch(vec![3]), Err(SendError(vec![3])));
     }
 
     #[test]

@@ -97,6 +97,14 @@ impl DeliveryCounters {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record `n` deliveries totalling `bytes` payload bytes (the batched
+    /// fan-out path updates the counters once per flushed batch, not once
+    /// per event).
+    pub fn record_delivered_n(&self, n: u64, bytes: u64) {
+        self.delivered.fetch_add(n, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Record `n` dropped events.
     pub fn record_dropped(&self, n: u64) {
         self.dropped.fetch_add(n, Ordering::Relaxed);

@@ -19,8 +19,8 @@
 //!
 //! Because the build environment has no crate registry, this crate also
 //! carries the small std-only stand-ins the workspace would otherwise pull
-//! from crates.io: [`sync`] (poison-transparent locks), [`json`] (a JSON
-//! value type, parser and `json!` macro), [`rng`] (a seeded SplitMix64),
+//! from crates.io: [`sync`] (poison-transparent locks), [`mod@json`] (a
+//! JSON value type, parser and `json!` macro), [`rng`] (a seeded SplitMix64),
 //! and [`check`] (a miniature property-testing harness).
 
 #![forbid(unsafe_code)]

@@ -92,6 +92,37 @@ impl FilterChain {
         &self.filters
     }
 
+    /// The event types this chain can ever pass, if the chain constrains
+    /// them: the intersection of every [`EventFilter::EventTypes`]
+    /// predicate.  `None` means the chain passes events of any type.
+    ///
+    /// This is what the sharded router indexes subscriptions by — a
+    /// subscription whose chain names explicit event types is registered
+    /// only in the routing buckets for those types and is never even
+    /// *looked at* when other traffic is published.
+    ///
+    /// `Some(vec![])` (an empty `EventTypes` list, or a disjoint
+    /// intersection) means the chain passes **nothing**: the subscription
+    /// is registered in no bucket, which is exactly what its filters
+    /// would deliver anyway.
+    pub fn routed_types(&self) -> Option<Vec<String>> {
+        let mut acc: Option<Vec<String>> = None;
+        for f in &self.filters {
+            if let EventFilter::EventTypes(types) = f {
+                acc = Some(match acc {
+                    None => {
+                        let mut t = types.clone();
+                        t.sort_unstable();
+                        t.dedup();
+                        t
+                    }
+                    Some(prev) => prev.into_iter().filter(|t| types.contains(t)).collect(),
+                });
+            }
+        }
+        acc
+    }
+
     /// Evaluate the chain against an event, updating change-tracking state.
     ///
     /// The previous-reading state is updated whenever the event carries a

@@ -11,6 +11,13 @@
 //! host" with "N consumers hitting one gateway" (E7) and measure how much
 //! the filters reduce delivered volume (E10).
 //!
+//! The publish hot path runs on the sharded fan-out engine in
+//! [`crate::routing`]: subscriptions are indexed by event type across
+//! [`GatewayConfig::shards`] routing shards, each shard's table is an
+//! immutable snapshot swapped on the cold path, and delivery optionally
+//! moves to [`GatewayConfig::delivery_workers`] background threads
+//! draining the shards in parallel.
+//!
 //! Consumers subscribe with the fluent [`SubscriptionBuilder`]:
 //!
 //! ```
@@ -31,19 +38,27 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use jamm_core::channel::{bounded, Receiver, Sender, TrySendError};
+use jamm_core::channel::{bounded, Receiver, Sender};
 use jamm_core::flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
-use jamm_core::sync::{Mutex, RwLock};
+use jamm_core::sync::RwLock;
 use jamm_ulm::{Event, Timestamp};
 
 use jamm_auth::acl::{AccessControlList, Action};
 
-use crate::filter::{EventFilter, FilterChain};
-use crate::summary::{SummaryEngine, SummaryWindow};
+use crate::filter::EventFilter;
+use crate::routing::{RouteOutcome, ShardReport, ShardedRouter, DEFAULT_GATEWAY_SHARDS};
+use crate::summary::{ShardedSummaryEngine, SummaryWindow};
 use crate::{GatewayError, Result};
 
 /// Default bound on a subscription's in-flight event queue.
 pub const DEFAULT_SUBSCRIPTION_CAPACITY: usize = 4_096;
+
+/// Bound on each delivery worker's ingest queue, counted in handoffs (one
+/// per `publish`, one per worker per batched publish).  Publishing blocks
+/// (rather than drops) when a worker falls this far behind, so worker mode
+/// trades bounded publisher back-pressure for parallel fan-out — events
+/// are never lost between the publisher and the router.
+pub const DELIVERY_WORKER_QUEUE_CAPACITY: usize = 8_192;
 
 /// A live streaming subscription handle returned to the consumer.
 ///
@@ -61,6 +76,18 @@ pub struct Subscription {
 }
 
 impl Subscription {
+    pub(crate) fn from_parts(
+        id: u64,
+        events: Receiver<Event>,
+        counters: Arc<DeliveryCounters>,
+    ) -> Self {
+        Subscription {
+            id,
+            events,
+            counters,
+        }
+    }
+
     /// Events the gateway delivered into this subscription's queue.
     pub fn delivered(&self) -> u64 {
         self.counters.delivered()
@@ -92,6 +119,24 @@ impl EventSource<Event> for Subscription {
 
 /// Fluent builder for a streaming subscription, returned by
 /// [`EventGateway::subscribe`].
+///
+/// ```
+/// use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, OverflowPolicy};
+///
+/// let gw = EventGateway::new(GatewayConfig::open("gw1"));
+/// let sub = gw
+///     .subscribe()
+///     .stream()
+///     .filter(EventFilter::EventTypes(vec!["CPU_TOTAL".into()]))
+///     .filter(EventFilter::Above(50.0))
+///     .as_consumer("ops")
+///     .capacity(1_024)
+///     .on_overflow(OverflowPolicy::DropNewest)
+///     .open()
+///     .unwrap();
+/// assert_eq!(gw.subscriber_count(), 1);
+/// gw.unsubscribe(sub.id).unwrap();
+/// ```
 #[must_use = "call .open() to register the subscription"]
 #[derive(Debug)]
 pub struct SubscriptionBuilder<'gw> {
@@ -151,15 +196,6 @@ impl<'gw> SubscriptionBuilder<'gw> {
     }
 }
 
-struct ActiveSubscription {
-    id: u64,
-    consumer: String,
-    chain: FilterChain,
-    tx: Sender<Event>,
-    overflow: OverflowPolicy,
-    counters: Arc<DeliveryCounters>,
-}
-
 /// Gateway configuration.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
@@ -171,6 +207,17 @@ pub struct GatewayConfig {
     pub acl: Option<AccessControlList>,
     /// Summary windows the gateway maintains.
     pub summary_windows: Vec<SummaryWindow>,
+    /// Routing (and summary) shards the fan-out engine is split across.
+    /// More shards mean less contention between publisher threads carrying
+    /// different event types; one shard serializes everything.  Clamped to
+    /// at least 1.
+    pub shards: usize,
+    /// Background delivery-worker threads.  `0` (the default) delivers
+    /// synchronously inside [`EventGateway::publish`]; with `N > 0`
+    /// workers, publish hands the event to the owning shard's worker and
+    /// returns immediately — call [`EventGateway::quiesce`] to wait for
+    /// in-flight deliveries before reading counters.
+    pub delivery_workers: usize,
 }
 
 impl GatewayConfig {
@@ -180,16 +227,29 @@ impl GatewayConfig {
             name: name.into(),
             acl: None,
             summary_windows: SummaryWindow::all().to_vec(),
+            shards: DEFAULT_GATEWAY_SHARDS,
+            delivery_workers: 0,
         }
     }
 
     /// A gateway enforcing the given ACL.
     pub fn with_acl(name: impl Into<String>, acl: AccessControlList) -> Self {
         GatewayConfig {
-            name: name.into(),
             acl: Some(acl),
-            summary_windows: SummaryWindow::all().to_vec(),
+            ..GatewayConfig::open(name)
         }
+    }
+
+    /// Set the number of routing/summary shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the number of background delivery workers (0 = synchronous).
+    pub fn with_delivery_workers(mut self, workers: usize) -> Self {
+        self.delivery_workers = workers;
+        self
     }
 }
 
@@ -208,6 +268,15 @@ pub struct GatewayStats {
     pub queries: AtomicU64,
 }
 
+impl GatewayStats {
+    fn apply(&self, out: &RouteOutcome) {
+        self.events_out.fetch_add(out.delivered, Ordering::Relaxed);
+        self.events_dropped
+            .fetch_add(out.dropped, Ordering::Relaxed);
+        self.bytes_out.fetch_add(out.bytes, Ordering::Relaxed);
+    }
+}
+
 /// One row of [`EventGateway::delivery_report`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeliveryReport {
@@ -223,36 +292,111 @@ pub struct DeliveryReport {
     pub bytes: u64,
 }
 
+/// One background delivery worker: its ingest queue (carrying batches, so
+/// a batched publish hands a worker all its events in one send) plus the
+/// join handle used for clean shutdown when the gateway is dropped.
+struct DeliveryWorker {
+    tx: Option<Sender<Vec<Event>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
 /// The JAMM event gateway.
 pub struct EventGateway {
     config: GatewayConfig,
-    subscriptions: Mutex<Vec<ActiveSubscription>>,
-    latest: RwLock<HashMap<(String, String), Event>>,
-    summaries: Mutex<SummaryEngine>,
-    stats: GatewayStats,
+    router: Arc<ShardedRouter>,
+    /// The query cache, sharded by series key like the summary engine so
+    /// parallel publishers do not serialize on one write lock.
+    latest: Vec<RwLock<HashMap<(String, String), Event>>>,
+    summaries: ShardedSummaryEngine,
+    stats: Arc<GatewayStats>,
     next_id: AtomicU64,
+    workers: Vec<DeliveryWorker>,
+    /// Events handed to a worker but not yet routed (see
+    /// [`EventGateway::quiesce`]).
+    in_flight: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for EventGateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventGateway")
             .field("name", &self.config.name)
-            .field("subscribers", &self.subscriptions.lock().len())
+            .field("shards", &self.router.shard_count())
+            .field("workers", &self.workers.len())
+            .field("subscribers", &self.router.live_count())
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for EventGateway {
+    fn drop(&mut self) {
+        // Dropping the senders disconnects the worker queues; each worker
+        // drains what it already holds and exits.
+        for w in &mut self.workers {
+            w.tx.take();
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
 impl EventGateway {
     /// Create a gateway.
     pub fn new(config: GatewayConfig) -> Self {
+        let shards = config.shards.max(1);
+        let router = Arc::new(ShardedRouter::new(shards));
+        let stats = Arc::new(GatewayStats::default());
+        let in_flight = Arc::new(AtomicU64::new(0));
+        // More workers than shards would leave the excess idle: a shard's
+        // traffic is pinned to one worker to preserve per-type ordering.
+        let worker_count = config.delivery_workers.min(shards);
+        let workers = (0..worker_count)
+            .map(|_| {
+                let (tx, rx) = bounded::<Vec<Event>>(DELIVERY_WORKER_QUEUE_CAPACITY);
+                let router = Arc::clone(&router);
+                let stats = Arc::clone(&stats);
+                let in_flight = Arc::clone(&in_flight);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        let out = match batch.as_slice() {
+                            [event] => router.route(event),
+                            _ => {
+                                let refs: Vec<&Event> = batch.iter().collect();
+                                router.route_batch(&refs)
+                            }
+                        };
+                        stats.apply(&out);
+                        in_flight.fetch_sub(batch.len() as u64, Ordering::Release);
+                    }
+                });
+                DeliveryWorker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
         EventGateway {
+            summaries: ShardedSummaryEngine::new(shards),
             config,
-            subscriptions: Mutex::new(Vec::new()),
-            latest: RwLock::new(HashMap::new()),
-            summaries: Mutex::new(SummaryEngine::new()),
-            stats: GatewayStats::default(),
+            router,
+            latest: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            stats,
             next_id: AtomicU64::new(1),
+            workers,
+            in_flight,
         }
+    }
+
+    /// The query-cache shard owning a (host, event type) series.
+    fn latest_shard(
+        &self,
+        host: &str,
+        event_type: &str,
+    ) -> &RwLock<HashMap<(String, String), Event>> {
+        let idx = (crate::hash::fnv1a_series(host, event_type) % self.latest.len() as u64) as usize;
+        &self.latest[idx]
     }
 
     /// The gateway's name.
@@ -263,6 +407,16 @@ impl EventGateway {
     /// Cumulative statistics.
     pub fn stats(&self) -> &GatewayStats {
         &self.stats
+    }
+
+    /// Number of routing (and summary) shards.
+    pub fn shard_count(&self) -> usize {
+        self.router.shard_count()
+    }
+
+    /// Number of background delivery workers (0 = synchronous delivery).
+    pub fn delivery_worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     fn check(&self, consumer: &str, action: Action) -> Result<()> {
@@ -293,105 +447,141 @@ impl EventGateway {
         overflow: OverflowPolicy,
     ) -> Result<Subscription> {
         self.check(&consumer, Action::SubscribeStream)?;
-        let (tx, rx) = bounded(capacity);
-        let counters = Arc::new(DeliveryCounters::new());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.subscriptions.lock().push(ActiveSubscription {
-            id,
-            consumer,
-            chain: FilterChain::new(filters),
-            tx,
-            overflow,
-            counters: Arc::clone(&counters),
-        });
-        Ok(Subscription {
-            id,
-            events: rx,
-            counters,
-        })
+        Ok(self
+            .router
+            .insert(id, consumer, filters, capacity, overflow))
     }
 
     /// Cancel a streaming subscription.
+    ///
+    /// Publishes racing this call (or already handed to a delivery
+    /// worker) may still deliver a final few events into the
+    /// subscription's queue after it returns; drop the [`Subscription`]
+    /// handle when a hard delivery cutoff is needed — a send to a dropped
+    /// receiver always fails.
     pub fn unsubscribe(&self, id: u64) -> Result<()> {
-        let mut subs = self.subscriptions.lock();
-        let before = subs.len();
-        subs.retain(|s| s.id != id);
-        if subs.len() == before {
-            Err(GatewayError::NoSuchSubscription(id))
-        } else {
+        if self.router.remove(id) {
             Ok(())
+        } else {
+            Err(GatewayError::NoSuchSubscription(id))
         }
     }
 
     /// Number of live streaming subscriptions.
     pub fn subscriber_count(&self) -> usize {
-        self.subscriptions.lock().len()
+        self.router.live_count()
+    }
+
+    /// Record an event in the query cache and the summary engine (the
+    /// parts of publish that always run synchronously, so query mode and
+    /// summaries stay ordered even when fan-out is asynchronous).
+    fn observe(&self, event: &Event) {
+        self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+        self.latest_shard(&event.host, &event.event_type)
+            .write()
+            .insert(
+                (event.host.clone(), event.event_type.clone()),
+                event.clone(),
+            );
+        self.summaries.record(event);
     }
 
     /// Publish one event into the gateway (called by the sensor manager).
     ///
-    /// Returns the number of consumers the event was delivered to.
+    /// With synchronous delivery (the default), returns the number of
+    /// consumers the event was delivered to.  With delivery workers
+    /// configured, the event is handed to the owning shard's worker and the
+    /// return value is 1 (accepted); delivery counts accumulate in
+    /// [`EventGateway::stats`] and are exact after
+    /// [`EventGateway::quiesce`].
     pub fn publish(&self, event: &Event) -> usize {
-        self.stats.events_in.fetch_add(1, Ordering::Relaxed);
-        // Most-recent cache for query mode.
-        self.latest.write().insert(
-            (event.host.clone(), event.event_type.clone()),
-            event.clone(),
-        );
-        // Summaries.
-        self.summaries.lock().record(event);
-        // Fan out to streaming subscribers.
-        let size = event.approx_size() as u64;
-        let mut delivered = 0u64;
-        let mut dropped = 0u64;
-        let mut subs = self.subscriptions.lock();
-        subs.retain_mut(|sub| {
-            if !sub.chain.accept(event) {
-                return true;
-            }
-            let pushed = match sub.overflow {
-                OverflowPolicy::DropOldest => match sub.tx.send_overwriting(event.clone()) {
-                    Ok(evicted) => {
-                        if evicted {
-                            sub.counters.record_dropped(1);
-                            dropped += 1;
-                        }
-                        true
-                    }
-                    // Consumer went away; drop the subscription.
-                    Err(_) => return false,
-                },
-                OverflowPolicy::DropNewest => match sub.tx.try_send(event.clone()) {
-                    Ok(()) => true,
-                    Err(TrySendError::Full(_)) => {
-                        sub.counters.record_dropped(1);
-                        dropped += 1;
-                        false
-                    }
-                    Err(TrySendError::Disconnected(_)) => return false,
-                },
-            };
-            if pushed {
-                sub.counters.record_delivered(size);
-                delivered += 1;
-            }
-            true
-        });
-        self.stats
-            .events_out
-            .fetch_add(delivered, Ordering::Relaxed);
-        self.stats
-            .events_dropped
-            .fetch_add(dropped, Ordering::Relaxed);
-        self.stats
-            .bytes_out
-            .fetch_add(delivered * size, Ordering::Relaxed);
-        delivered as usize
+        self.observe(event);
+        if self.workers.is_empty() {
+            let out = self.router.route(event);
+            self.stats.apply(&out);
+            return out.delivered as usize;
+        }
+        let widx = self.router.shard_of(&event.event_type) % self.workers.len();
+        self.hand_to_worker(widx, vec![event.clone()])
+    }
+
+    /// Hand a batch to one worker's queue, keeping the in-flight count
+    /// exact whether or not the worker is still accepting.
+    fn hand_to_worker(&self, widx: usize, batch: Vec<Event>) -> usize {
+        let n = batch.len();
+        let tx = self.workers[widx].tx.as_ref().expect("worker running");
+        self.in_flight.fetch_add(n as u64, Ordering::Acquire);
+        if tx.send(batch).is_err() {
+            self.in_flight.fetch_sub(n as u64, Ordering::Release);
+            return 0;
+        }
+        n
+    }
+
+    /// The shared batched publish path behind [`EventGateway::publish_batch`]
+    /// and [`EventGateway::publish_all`].
+    fn publish_refs(&self, refs: &[&Event]) -> usize {
+        if refs.is_empty() {
+            return 0;
+        }
+        for event in refs {
+            self.observe(event);
+        }
+        if self.workers.is_empty() {
+            let out = self.router.route_batch(refs);
+            self.stats.apply(&out);
+            return out.delivered as usize;
+        }
+        // Group by owning worker (publish order preserved within a group,
+        // and a type always maps to the same worker, so per-type order
+        // survives) and hand each worker its whole sub-batch in one send.
+        let mut groups: Vec<Vec<Event>> = (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for event in refs {
+            let widx = self.router.shard_of(&event.event_type) % self.workers.len();
+            groups[widx].push((*event).clone());
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(widx, g)| self.hand_to_worker(widx, g))
+            .sum()
+    }
+
+    /// Publish a batch of events through the batched fan-out path: filters
+    /// are still evaluated per event in order, but each subscription's
+    /// queue is locked once per batch instead of once per event (and under
+    /// worker delivery each worker receives its whole sub-batch in one
+    /// queue handoff).  Returns total deliveries (accepted events under
+    /// worker delivery, as with [`EventGateway::publish`]).
+    pub fn publish_batch(&self, events: &[Event]) -> usize {
+        let refs: Vec<&Event> = events.iter().collect();
+        self.publish_refs(&refs)
     }
 
     /// Publish a batch of events.
     pub fn publish_all<'a>(&self, events: impl IntoIterator<Item = &'a Event>) -> usize {
-        events.into_iter().map(|e| self.publish(e)).sum()
+        let refs: Vec<&Event> = events.into_iter().collect();
+        self.publish_refs(&refs)
+    }
+
+    /// Wait until every event handed to a delivery worker has been routed.
+    /// A no-op under synchronous delivery.  After this returns (with no
+    /// concurrent publishers), [`EventGateway::stats`] and the
+    /// per-subscription counters are exact.
+    pub fn quiesce(&self) {
+        // Yield while the drain is short, then back off to short sleeps so
+        // a long drain does not burn a core the workers could be using.
+        let mut spins = 0u32;
+        while self.in_flight.load(Ordering::Acquire) > 0 {
+            spins += 1;
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
     }
 
     /// Query mode: the most recent event of `event_type` from `host`.
@@ -399,7 +589,7 @@ impl EventGateway {
         self.check(consumer, Action::Query)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         Ok(self
-            .latest
+            .latest_shard(host, event_type)
             .read()
             .get(&(host.to_string(), event_type.to_string()))
             .cloned())
@@ -409,27 +599,22 @@ impl EventGateway {
     /// prefers them): one synthetic event per tracked series per window.
     pub fn summaries(&self, consumer: &str, now: Timestamp) -> Result<Vec<Event>> {
         self.check(consumer, Action::Summary)?;
-        Ok(self.summaries.lock().summary_events(
-            &self.config.summary_windows,
-            now,
-            &self.config.name,
-        ))
+        Ok(self
+            .summaries
+            .summary_events(&self.config.summary_windows, now, &self.config.name))
     }
 
     /// Per-subscription delivery/drop counts — used by the experiments and
     /// the status GUI.
     pub fn delivery_report(&self) -> Vec<DeliveryReport> {
-        self.subscriptions
-            .lock()
-            .iter()
-            .map(|s| DeliveryReport {
-                id: s.id,
-                consumer: s.consumer.clone(),
-                delivered: s.counters.delivered(),
-                dropped: s.counters.dropped(),
-                bytes: s.counters.bytes(),
-            })
-            .collect()
+        self.router.delivery_report()
+    }
+
+    /// Per-shard routing statistics: how traffic and deliveries distribute
+    /// across the fan-out engine's shards.  Feeds the facade's admin stats
+    /// and the gateway-tuning guidance in `docs/ARCHITECTURE.md`.
+    pub fn shard_report(&self) -> Vec<ShardReport> {
+        self.router.shard_reports()
     }
 }
 
@@ -439,6 +624,10 @@ impl EventGateway {
 impl EventSink<Event> for EventGateway {
     fn accept(&self, event: &Event) -> std::result::Result<usize, SinkError> {
         Ok(self.publish(event))
+    }
+
+    fn accept_batch(&self, events: &[Event]) -> std::result::Result<usize, SinkError> {
+        Ok(self.publish_batch(events))
     }
 }
 
@@ -593,6 +782,158 @@ mod tests {
         let batch = [ev("h", "X", 2.0, 2), ev("h", "Y", 3.0, 3)];
         assert_eq!(sink.accept_batch(&batch).unwrap(), 2);
         assert_eq!(sub.events.try_iter().count(), 3);
+    }
+
+    #[test]
+    fn batch_publish_matches_per_event_publish() {
+        let make_subs = |gw: &EventGateway| {
+            vec![
+                gw.subscribe().as_consumer("all").open().unwrap(),
+                gw.subscribe()
+                    .filter(EventFilter::EventTypes(vec!["CPU_TOTAL".into()]))
+                    .filter(EventFilter::OnChange)
+                    .as_consumer("cpu-changes")
+                    .open()
+                    .unwrap(),
+                gw.subscribe()
+                    .as_consumer("tiny")
+                    .capacity(3)
+                    .on_overflow(OverflowPolicy::DropNewest)
+                    .open()
+                    .unwrap(),
+            ]
+        };
+        let events: Vec<Event> = (0..40u64)
+            .map(|i| {
+                let ty = if i % 3 == 0 { "CPU_TOTAL" } else { "MEM_FREE" };
+                ev("h", ty, (i % 4) as f64, i)
+            })
+            .collect();
+        let one = EventGateway::new(GatewayConfig::open("one"));
+        let one_subs = make_subs(&one);
+        for e in &events {
+            one.publish(e);
+        }
+        let batch = EventGateway::new(GatewayConfig::open("batch"));
+        let mut batch_subs = make_subs(&batch);
+        batch.publish_batch(&events);
+        for (a, b) in one_subs.into_iter().zip(batch_subs.iter_mut()) {
+            let left: Vec<Event> = a.events.try_iter().collect();
+            let right: Vec<Event> = b.drain();
+            assert_eq!(left, right, "same deliveries either way");
+            assert_eq!(a.delivered(), b.delivered());
+            assert_eq!(a.dropped(), b.dropped());
+            assert_eq!(a.bytes(), b.bytes());
+        }
+        assert_eq!(
+            one.stats().events_out.load(Ordering::Relaxed),
+            batch.stats().events_out.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn shard_report_accounts_for_routed_traffic() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1").with_shards(4));
+        assert_eq!(gw.shard_count(), 4);
+        let _all = gw.subscribe().as_consumer("all").open().unwrap();
+        let _cpu = gw
+            .subscribe()
+            .filter(EventFilter::EventTypes(vec!["CPU_TOTAL".into()]))
+            .as_consumer("cpu")
+            .open()
+            .unwrap();
+        for i in 0..20u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", 1.0, i));
+            gw.publish(&ev("h", "MEM_FREE", 2.0, i));
+        }
+        let report = gw.shard_report();
+        assert_eq!(report.len(), 4);
+        let events_in: u64 = report.iter().map(|r| r.events_in).sum();
+        assert_eq!(events_in, 40, "each event routed to exactly one shard");
+        let delivered: u64 = report.iter().map(|r| r.delivered).sum();
+        assert_eq!(
+            delivered,
+            gw.stats().events_out.load(Ordering::Relaxed),
+            "shard rows add up to the gateway total"
+        );
+        // The wildcard subscription is reachable from every shard; the
+        // typed one only from the shard owning CPU_TOTAL.
+        assert!(report.iter().all(|r| r.subscriptions >= 1));
+        assert!(report.iter().any(|r| r.subscriptions == 2));
+    }
+
+    #[test]
+    fn delivery_workers_fan_out_in_parallel() {
+        let gw = std::sync::Arc::new(EventGateway::new(
+            GatewayConfig::open("gw1")
+                .with_shards(4)
+                .with_delivery_workers(2),
+        ));
+        assert_eq!(gw.delivery_worker_count(), 2);
+        let sub = gw.subscribe().as_consumer("c").open().unwrap();
+        let publishers: Vec<_> = (0..4)
+            .map(|p| {
+                let gw = std::sync::Arc::clone(&gw);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        gw.publish(&ev("h", &format!("TYPE_{p}"), i as f64, i));
+                    }
+                })
+            })
+            .collect();
+        for h in publishers {
+            h.join().unwrap();
+        }
+        gw.quiesce();
+        assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 1_000);
+        assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 1_000);
+        assert_eq!(sub.delivered(), 1_000);
+        let mut got: Vec<Event> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 1_000);
+        // Per-type ordering survives parallel delivery: a type is pinned to
+        // one shard, a shard to one worker.
+        got.sort_by_key(|e| e.timestamp);
+        for ty in ["TYPE_0", "TYPE_1", "TYPE_2", "TYPE_3"] {
+            let times: Vec<u64> = got
+                .iter()
+                .filter(|e| e.event_type == ty)
+                .map(|e| e.timestamp.as_secs())
+                .collect();
+            assert_eq!(times, (0..250).collect::<Vec<_>>(), "{ty} stayed ordered");
+        }
+    }
+
+    #[test]
+    fn batch_publish_through_workers_delivers_everything_in_type_order() {
+        let gw = EventGateway::new(
+            GatewayConfig::open("gw1")
+                .with_shards(4)
+                .with_delivery_workers(2),
+        );
+        let sub = gw.subscribe().as_consumer("c").open().unwrap();
+        let events: Vec<Event> = (0..300u64)
+            .map(|i| ev("h", &format!("TYPE_{}", i % 3), i as f64, i))
+            .collect();
+        // One grouped handoff per worker per chunk, not one send per event.
+        for chunk in events.chunks(50) {
+            assert_eq!(gw.publish_batch(chunk), 50, "all accepted");
+        }
+        gw.quiesce();
+        assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 300);
+        assert_eq!(sub.delivered(), 300);
+        let got: Vec<Event> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 300);
+        for ty in ["TYPE_0", "TYPE_1", "TYPE_2"] {
+            let times: Vec<u64> = got
+                .iter()
+                .filter(|e| e.event_type == ty)
+                .map(|e| e.timestamp.as_secs())
+                .collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted, "{ty} stayed in publish order");
+            assert_eq!(times.len(), 100);
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Crate-private FNV-1a, the one hash both sharding decisions use: stable
+//! across runs (routing and summary placement are reproducible in tests)
+//! and fast on the short strings it is fed.
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, b| (h ^ u64::from(*b)).wrapping_mul(PRIME))
+}
+
+/// Hash an event type (the routing table's shard key).
+pub(crate) fn fnv1a_str(s: &str) -> u64 {
+    fnv1a(OFFSET, s.as_bytes())
+}
+
+/// Hash a (host, event type) series key (the summary engine's shard key),
+/// NUL-separated so ("ab", "c") and ("a", "bc") differ.
+pub(crate) fn fnv1a_series(host: &str, event_type: &str) -> u64 {
+    fnv1a(
+        fnv1a(fnv1a(OFFSET, host.as_bytes()), &[0]),
+        event_type.as_bytes(),
+    )
+}

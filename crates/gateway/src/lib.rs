@@ -10,26 +10,36 @@
 //!
 //! * [`filter`] — per-subscription event filters: event-type selection,
 //!   on-change delivery, absolute and relative thresholds, severity floors;
-//! * [`summary`] — 1/10/60-minute windowed averages of numeric readings;
+//! * [`summary`] — 1/10/60-minute windowed averages of numeric readings,
+//!   shardable by series key ([`summary::ShardedSummaryEngine`]);
+//! * [`routing`] — the sharded fan-out engine: an event-type-indexed
+//!   routing table split across N shards, each an immutable snapshot
+//!   swapped on the cold path so publish fans out without holding a lock
+//!   (plus [`routing::FlatFanout`], the original flat-list reference the
+//!   property tests and the `e14_gateway_fanout` bench compare against);
 //! * [`gateway`] — the [`EventGateway`] itself: publish (as a
 //!   [`jamm_core::flow::EventSink`]), the fluent [`SubscriptionBuilder`]
 //!   for bounded streaming subscriptions, query (most recent event),
-//!   access control and per-subscription delivery/drop accounting.
+//!   access control, per-subscription and per-shard delivery/drop
+//!   accounting, and optional parallel delivery workers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod filter;
 pub mod gateway;
+mod hash;
+pub mod routing;
 pub mod summary;
 
 pub use filter::EventFilter;
 pub use gateway::{
-    DeliveryReport, EventGateway, GatewayConfig, Subscription, SubscriptionBuilder,
+    DeliveryReport, EventGateway, GatewayConfig, GatewayStats, Subscription, SubscriptionBuilder,
     DEFAULT_SUBSCRIPTION_CAPACITY,
 };
 pub use jamm_core::flow::OverflowPolicy;
-pub use summary::{SummaryEngine, SummaryWindow};
+pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
+pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
 
 /// Errors returned by gateway operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

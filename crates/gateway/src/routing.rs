@@ -1,0 +1,646 @@
+//! The sharded fan-out engine behind [`crate::EventGateway`].
+//!
+//! The paper's scalability claim is that "added consumers load the gateway
+//! rather than the monitored host" (§2.3) — which only holds if the gateway
+//! itself does not collapse as subscriptions accumulate.  The first
+//! implementation kept every subscription in one `Mutex<Vec<_>>` and
+//! scanned the whole list under the lock for every published event, so the
+//! hot path was O(subscribers) with a global serialization point exactly
+//! where the paper promises linear scaling.
+//!
+//! This module replaces that list with a routing table:
+//!
+//! * subscriptions are **indexed by event type** — a subscription whose
+//!   filter chain names explicit event types (see
+//!   [`crate::filter::FilterChain::routed_types`]) is registered only in
+//!   the buckets for those types; only subscriptions with no type
+//!   constraint sit in the per-shard wildcard list;
+//! * the table is split across **N shards** by a hash of the event type,
+//!   so two publisher threads carrying different event types touch
+//!   different shards;
+//! * each shard's table is an immutable [`Arc`] snapshot behind a
+//!   reader/writer lock.  Publishing clones the `Arc` (a refcount bump
+//!   under a briefly-held read lock) and fans out **without any lock
+//!   held**; subscribing, unsubscribing and dead-consumer collection
+//!   rebuild the snapshot and swap the `Arc` on the cold path;
+//! * delivery into a subscription's bounded queue goes through the batch
+//!   send primitives of `jamm_core::channel` when events are published in
+//!   batches, so a burst costs one queue-lock acquisition per subscription
+//!   instead of one per event.
+//!
+//! [`FlatFanout`] preserves the original flat-list algorithm as a reference
+//! implementation: the property tests assert the sharded router delivers
+//! exactly the same event sets, and the `e14_gateway_fanout` bench records
+//! it as the baseline the sharded engine is compared against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jamm_core::channel::{bounded, Sender, TrySendError};
+use jamm_core::flow::{DeliveryCounters, OverflowPolicy};
+use jamm_core::sync::{Mutex, RwLock};
+use jamm_ulm::Event;
+
+use crate::filter::{EventFilter, FilterChain};
+use crate::gateway::{DeliveryReport, Subscription};
+use crate::hash::fnv1a_str as fnv1a;
+
+/// Default number of routing (and summary) shards a gateway runs with.
+pub const DEFAULT_GATEWAY_SHARDS: usize = 8;
+
+/// Where a subscription is registered in the routing table.
+#[derive(Debug, Clone)]
+enum RouteKeys {
+    /// No type constraint: present in every shard's wildcard list.
+    Wildcard,
+    /// Constrained to these event types (the intersection of the chain's
+    /// `EventTypes` predicates): present only in those types' buckets.
+    Types(Vec<String>),
+}
+
+/// One live subscription as the router sees it.
+///
+/// Shared (`Arc`) between the routing snapshots that reference it and the
+/// router's own registry; the filter chain sits behind a mutex because
+/// stateful predicates (on-change, crosses, relative-change) mutate
+/// per-series state on every evaluation, and parallel delivery workers may
+/// evaluate the same wildcard subscription concurrently.
+pub(crate) struct RouteEntry {
+    id: u64,
+    consumer: String,
+    chain: Mutex<FilterChain>,
+    routes: RouteKeys,
+    tx: Sender<Event>,
+    overflow: OverflowPolicy,
+    counters: Arc<DeliveryCounters>,
+    /// Set once the consumer side is observed gone; the entry is skipped
+    /// thereafter and physically removed by the next garbage collection.
+    closed: AtomicBool,
+}
+
+/// What delivering one event to one subscription did.
+enum Delivery {
+    /// Pushed into the queue; `true` when an older event was evicted.
+    Sent { evicted: bool },
+    /// Rejected by the subscription's drop-newest bound.
+    Dropped,
+    /// The filter chain did not pass the event.
+    Filtered,
+    /// The consumer is gone; the entry was marked closed.
+    Closed,
+}
+
+impl RouteEntry {
+    fn new(
+        id: u64,
+        consumer: String,
+        filters: Vec<EventFilter>,
+        tx: Sender<Event>,
+        overflow: OverflowPolicy,
+        counters: Arc<DeliveryCounters>,
+    ) -> Self {
+        let chain = FilterChain::new(filters);
+        let routes = match chain.routed_types() {
+            Some(types) => RouteKeys::Types(types),
+            None => RouteKeys::Wildcard,
+        };
+        RouteEntry {
+            id,
+            consumer,
+            chain: Mutex::new(chain),
+            routes,
+            tx,
+            overflow,
+            counters,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Evaluate the chain and push one event.
+    fn deliver(&self, event: &Event, size: u64) -> Delivery {
+        if self.closed.load(Ordering::Relaxed) {
+            return Delivery::Closed;
+        }
+        if !self.chain.lock().accept(event) {
+            return Delivery::Filtered;
+        }
+        match self.overflow {
+            OverflowPolicy::DropOldest => match self.tx.send_overwriting(event.clone()) {
+                Ok(evicted) => {
+                    if evicted {
+                        self.counters.record_dropped(1);
+                    }
+                    self.counters.record_delivered(size);
+                    Delivery::Sent { evicted }
+                }
+                Err(_) => {
+                    self.closed.store(true, Ordering::Relaxed);
+                    Delivery::Closed
+                }
+            },
+            OverflowPolicy::DropNewest => match self.tx.try_send(event.clone()) {
+                Ok(()) => {
+                    self.counters.record_delivered(size);
+                    Delivery::Sent { evicted: false }
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.counters.record_dropped(1);
+                    Delivery::Dropped
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.closed.store(true, Ordering::Relaxed);
+                    Delivery::Closed
+                }
+            },
+        }
+    }
+}
+
+/// An immutable routing snapshot for one shard.
+#[derive(Default)]
+struct ShardTable {
+    /// Subscriptions constrained to an event type owned by this shard.
+    by_type: HashMap<String, Vec<Arc<RouteEntry>>>,
+    /// Subscriptions with no type constraint (present in every shard).
+    wildcard: Vec<Arc<RouteEntry>>,
+}
+
+impl ShardTable {
+    /// Distinct live subscriptions this shard can deliver to.
+    fn subscription_count(&self) -> usize {
+        let mut ids: Vec<u64> = self
+            .by_type
+            .values()
+            .flatten()
+            .chain(self.wildcard.iter())
+            .map(|e| e.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// Per-shard monotonic delivery counters, readable without any lock.
+#[derive(Debug, Default)]
+struct ShardStats {
+    events_in: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// One row of [`crate::EventGateway::shard_report`]: what one routing shard
+/// has seen and done since the gateway started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index, `0..gateway_shards`.
+    pub shard: usize,
+    /// Distinct subscriptions currently routable in this shard.
+    pub subscriptions: usize,
+    /// Events routed into this shard (each event hits exactly one shard).
+    pub events_in: u64,
+    /// Event copies delivered to subscriptions from this shard.
+    pub delivered: u64,
+    /// Event copies dropped (queue overflow) from this shard.
+    pub dropped: u64,
+    /// Approximate payload bytes delivered from this shard.
+    pub bytes: u64,
+}
+
+/// Aggregate result of routing one event (or one batch).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Event copies pushed into subscription queues.
+    pub delivered: u64,
+    /// Event copies dropped on full queues (including evictions).
+    pub dropped: u64,
+    /// Approximate payload bytes delivered.
+    pub bytes: u64,
+}
+
+struct Shard {
+    table: RwLock<Arc<ShardTable>>,
+    stats: ShardStats,
+}
+
+/// The event-type-indexed, sharded routing table.
+pub(crate) struct ShardedRouter {
+    shards: Vec<Shard>,
+    /// Registry of every live entry in subscription order — the source of
+    /// truth the per-shard snapshots are rebuilt from on the cold path.
+    entries: Mutex<Vec<Arc<RouteEntry>>>,
+}
+
+impl ShardedRouter {
+    pub(crate) fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedRouter {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    table: RwLock::new(Arc::new(ShardTable::default())),
+                    stats: ShardStats::default(),
+                })
+                .collect(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns an event type.
+    pub(crate) fn shard_of(&self, event_type: &str) -> usize {
+        (fnv1a(event_type) % self.shards.len() as u64) as usize
+    }
+
+    /// Shards an entry is registered in.
+    fn shards_of_entry(&self, entry: &RouteEntry) -> Vec<usize> {
+        match &entry.routes {
+            RouteKeys::Wildcard => (0..self.shards.len()).collect(),
+            RouteKeys::Types(types) => {
+                let mut idxs: Vec<usize> = types.iter().map(|t| self.shard_of(t)).collect();
+                idxs.sort_unstable();
+                idxs.dedup();
+                idxs
+            }
+        }
+    }
+
+    /// Rebuild one shard's snapshot from the registry and swap it in.
+    /// Caller holds the registry lock, so rebuilds are serialized.
+    fn rebuild_shard(&self, idx: usize, entries: &[Arc<RouteEntry>]) {
+        let mut table = ShardTable::default();
+        for entry in entries {
+            if entry.closed.load(Ordering::Relaxed) {
+                continue;
+            }
+            match &entry.routes {
+                RouteKeys::Wildcard => table.wildcard.push(Arc::clone(entry)),
+                RouteKeys::Types(types) => {
+                    for t in types {
+                        if self.shard_of(t) == idx {
+                            table
+                                .by_type
+                                .entry(t.clone())
+                                .or_default()
+                                .push(Arc::clone(entry));
+                        }
+                    }
+                }
+            }
+        }
+        *self.shards[idx].table.write() = Arc::new(table);
+    }
+
+    /// Register a new subscription, returning the consumer-side handle.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert(
+        &self,
+        id: u64,
+        consumer: String,
+        filters: Vec<EventFilter>,
+        capacity: usize,
+        overflow: OverflowPolicy,
+    ) -> Subscription {
+        let (tx, rx) = bounded(capacity);
+        let counters = Arc::new(DeliveryCounters::new());
+        let entry = Arc::new(RouteEntry::new(
+            id,
+            consumer,
+            filters,
+            tx,
+            overflow,
+            Arc::clone(&counters),
+        ));
+        let mut entries = self.entries.lock();
+        let affected = self.shards_of_entry(&entry);
+        entries.push(entry);
+        for idx in affected {
+            self.rebuild_shard(idx, &entries);
+        }
+        Subscription::from_parts(id, rx, counters)
+    }
+
+    /// Remove a subscription by id.  Returns whether it existed.
+    ///
+    /// Removal is cutoff-eventual, not immediate: a publish racing this
+    /// call may hold an older shard snapshot (or have already buffered a
+    /// batch) and still deliver into the subscription's queue after this
+    /// returns.  The old flat list serialized publish and unsubscribe on
+    /// one mutex and so gave a hard cutoff — the sharded engine trades
+    /// that for a lock-free publish path.  Dropping the `Subscription`
+    /// (its receiver) is the hard cutoff: every subsequent send fails.
+    pub(crate) fn remove(&self, id: u64) -> bool {
+        let mut entries = self.entries.lock();
+        let Some(pos) = entries.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        let entry = entries.remove(pos);
+        entry.closed.store(true, Ordering::Relaxed);
+        for idx in self.shards_of_entry(&entry) {
+            self.rebuild_shard(idx, &entries);
+        }
+        true
+    }
+
+    /// Drop every entry marked closed (dead consumers observed during
+    /// delivery) and rebuild the shards they were registered in.
+    fn gc(&self) {
+        let mut entries = self.entries.lock();
+        let mut affected: Vec<usize> = Vec::new();
+        entries.retain(|e| {
+            if e.closed.load(Ordering::Relaxed) {
+                affected.extend(self.shards_of_entry(e));
+                false
+            } else {
+                true
+            }
+        });
+        affected.sort_unstable();
+        affected.dedup();
+        for idx in affected {
+            self.rebuild_shard(idx, &entries);
+        }
+    }
+
+    /// Live subscriptions.
+    pub(crate) fn live_count(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Per-subscription accounting rows, in subscription order.
+    pub(crate) fn delivery_report(&self) -> Vec<DeliveryReport> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| DeliveryReport {
+                id: e.id,
+                consumer: e.consumer.clone(),
+                delivered: e.counters.delivered(),
+                dropped: e.counters.dropped(),
+                bytes: e.counters.bytes(),
+            })
+            .collect()
+    }
+
+    /// Per-shard accounting rows.
+    pub(crate) fn shard_reports(&self) -> Vec<ShardReport> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let table = s.table.read().clone();
+                ShardReport {
+                    shard: i,
+                    subscriptions: table.subscription_count(),
+                    events_in: s.stats.events_in.load(Ordering::Relaxed),
+                    delivered: s.stats.delivered.load(Ordering::Relaxed),
+                    dropped: s.stats.dropped.load(Ordering::Relaxed),
+                    bytes: s.stats.bytes.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Route one event: snapshot the owning shard's table and deliver to
+    /// the type bucket plus the wildcard list, with no lock held during
+    /// delivery.
+    pub(crate) fn route(&self, event: &Event) -> RouteOutcome {
+        let size = event.approx_size() as u64;
+        let idx = self.shard_of(&event.event_type);
+        let shard = &self.shards[idx];
+        shard.stats.events_in.fetch_add(1, Ordering::Relaxed);
+        let table = shard.table.read().clone();
+        let mut out = RouteOutcome::default();
+        let mut saw_closed = false;
+        let typed = table.by_type.get(&event.event_type);
+        for entry in typed.into_iter().flatten().chain(table.wildcard.iter()) {
+            match entry.deliver(event, size) {
+                Delivery::Sent { evicted } => {
+                    out.delivered += 1;
+                    out.bytes += size;
+                    if evicted {
+                        out.dropped += 1;
+                    }
+                }
+                Delivery::Dropped => out.dropped += 1,
+                Delivery::Filtered => {}
+                Delivery::Closed => saw_closed = true,
+            }
+        }
+        shard
+            .stats
+            .delivered
+            .fetch_add(out.delivered, Ordering::Relaxed);
+        shard
+            .stats
+            .dropped
+            .fetch_add(out.dropped, Ordering::Relaxed);
+        shard.stats.bytes.fetch_add(out.bytes, Ordering::Relaxed);
+        if saw_closed {
+            self.gc();
+        }
+        out
+    }
+
+    /// Route a batch: filters are evaluated per event **in publish order**
+    /// (so stateful predicates behave exactly as under per-event routing),
+    /// but queue pushes are buffered per subscription and flushed with one
+    /// batched send each.
+    pub(crate) fn route_batch(&self, events: &[&Event]) -> RouteOutcome {
+        /// One buffered delivery: the owning shard, payload size, event.
+        type Buffered = (usize, u64, Event);
+        let mut snapshots: Vec<Option<Arc<ShardTable>>> = vec![None; self.shards.len()];
+        // Per-subscription buffers of (shard, size, event), in first-match
+        // order; `index` maps subscription id -> buffer slot.
+        let mut buffers: Vec<(Arc<RouteEntry>, Vec<Buffered>)> = Vec::new();
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut saw_closed = false;
+        for event in events {
+            let size = event.approx_size() as u64;
+            let idx = self.shard_of(&event.event_type);
+            self.shards[idx]
+                .stats
+                .events_in
+                .fetch_add(1, Ordering::Relaxed);
+            let table = snapshots[idx]
+                .get_or_insert_with(|| self.shards[idx].table.read().clone())
+                .clone();
+            let typed = table.by_type.get(&event.event_type);
+            for entry in typed.into_iter().flatten().chain(table.wildcard.iter()) {
+                if entry.closed.load(Ordering::Relaxed) {
+                    saw_closed = true;
+                    continue;
+                }
+                if !entry.chain.lock().accept(event) {
+                    continue;
+                }
+                let slot = *index.entry(entry.id).or_insert_with(|| {
+                    buffers.push((Arc::clone(entry), Vec::new()));
+                    buffers.len() - 1
+                });
+                buffers[slot].1.push((idx, size, (*event).clone()));
+            }
+        }
+        let mut out = RouteOutcome::default();
+        // Per-shard (delivered, bytes, dropped), accumulated locally and
+        // flushed with one atomic RMW per counter per shard at the end —
+        // not one per delivered event.
+        let mut shard_acc: Vec<(u64, u64, u64)> = vec![(0, 0, 0); self.shards.len()];
+        for (entry, buffered) in buffers {
+            let shard_idxs: Vec<usize> = buffered.iter().map(|(i, _, _)| *i).collect();
+            let sizes: Vec<u64> = buffered.iter().map(|(_, s, _)| *s).collect();
+            let batch: Vec<Event> = buffered.into_iter().map(|(_, _, e)| e).collect();
+            match entry.overflow {
+                OverflowPolicy::DropOldest => match entry.tx.send_batch_overwriting(batch) {
+                    Ok(evicted) => {
+                        let n = shard_idxs.len() as u64;
+                        let bytes: u64 = sizes.iter().sum();
+                        entry.counters.record_delivered_n(n, bytes);
+                        entry.counters.record_dropped(evicted as u64);
+                        out.delivered += n;
+                        out.bytes += bytes;
+                        out.dropped += evicted as u64;
+                        for (pos, idx) in shard_idxs.iter().enumerate() {
+                            shard_acc[*idx].0 += 1;
+                            shard_acc[*idx].1 += sizes[pos];
+                        }
+                        // Evicted events may span earlier batches; attribute
+                        // the drops to the shard of the first buffered event.
+                        if evicted > 0 {
+                            shard_acc[shard_idxs[0]].2 += evicted as u64;
+                        }
+                    }
+                    Err(_) => {
+                        entry.closed.store(true, Ordering::Relaxed);
+                        saw_closed = true;
+                    }
+                },
+                OverflowPolicy::DropNewest => match entry.tx.try_send_batch(batch) {
+                    Ok((accepted, rejected)) => {
+                        let bytes: u64 = sizes[..accepted].iter().sum();
+                        entry.counters.record_delivered_n(accepted as u64, bytes);
+                        entry.counters.record_dropped(rejected as u64);
+                        out.delivered += accepted as u64;
+                        out.bytes += bytes;
+                        out.dropped += rejected as u64;
+                        for (pos, idx) in shard_idxs.iter().enumerate() {
+                            if pos < accepted {
+                                shard_acc[*idx].0 += 1;
+                                shard_acc[*idx].1 += sizes[pos];
+                            } else {
+                                shard_acc[*idx].2 += 1;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        entry.closed.store(true, Ordering::Relaxed);
+                        saw_closed = true;
+                    }
+                },
+            }
+        }
+        for (idx, (delivered, bytes, dropped)) in shard_acc.into_iter().enumerate() {
+            let stats = &self.shards[idx].stats;
+            if delivered > 0 {
+                stats.delivered.fetch_add(delivered, Ordering::Relaxed);
+                stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            if dropped > 0 {
+                stats.dropped.fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+        if saw_closed {
+            self.gc();
+        }
+        out
+    }
+}
+
+/// The original flat-list fan-out, kept as the reference implementation.
+///
+/// Every subscription lives in one mutex-guarded vector that is scanned
+/// linearly — under the lock — for every published event: O(subscribers)
+/// work and a global serialization point per event.  The property tests
+/// assert the sharded router delivers exactly the same event sets as this
+/// list, and the `e14_gateway_fanout` bench records it as the baseline the
+/// sharded engine's scaling is measured against.
+#[derive(Default)]
+pub struct FlatFanout {
+    subs: Mutex<Vec<Arc<RouteEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl FlatFanout {
+    /// An empty flat fan-out list.
+    pub fn new() -> Self {
+        FlatFanout {
+            subs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Open a subscription with the given filters, queue bound and
+    /// overflow policy (the flat-list equivalent of
+    /// `EventGateway::subscribe`).
+    pub fn subscribe(
+        &self,
+        filters: Vec<EventFilter>,
+        capacity: usize,
+        overflow: OverflowPolicy,
+    ) -> Subscription {
+        let (tx, rx) = bounded(capacity.max(1));
+        let counters = Arc::new(DeliveryCounters::new());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().push(Arc::new(RouteEntry::new(
+            id,
+            "flat".to_string(),
+            filters,
+            tx,
+            overflow,
+            Arc::clone(&counters),
+        )));
+        Subscription::from_parts(id, rx, counters)
+    }
+
+    /// Publish one event to every matching subscription, scanning the whole
+    /// list under the lock.  Returns the aggregate outcome.
+    pub fn publish(&self, event: &Event) -> RouteOutcome {
+        let size = event.approx_size() as u64;
+        let mut out = RouteOutcome::default();
+        let mut subs = self.subs.lock();
+        subs.retain(|entry| match entry.deliver(event, size) {
+            Delivery::Sent { evicted } => {
+                out.delivered += 1;
+                out.bytes += size;
+                if evicted {
+                    out.dropped += 1;
+                }
+                true
+            }
+            Delivery::Dropped => {
+                out.dropped += 1;
+                true
+            }
+            Delivery::Filtered => true,
+            Delivery::Closed => false,
+        });
+        out
+    }
+
+    /// Live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().len()
+    }
+}
+
+impl std::fmt::Debug for FlatFanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatFanout")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}

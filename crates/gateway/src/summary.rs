@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use jamm_core::sync::Mutex;
 use jamm_ulm::{keys, Event, Level, Timestamp};
 
 /// A summary window length.
@@ -66,6 +67,33 @@ pub struct Summary {
 }
 
 /// Maintains sliding-window summaries of numeric readings.
+///
+/// A window covers `[now - length, now]`, both edges inclusive: a reading
+/// exactly one window-length old still counts, a reading exactly at `now`
+/// counts, and a reading after `now` (clock skew) is ignored.
+///
+/// ```
+/// use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
+/// use jamm_ulm::{Event, Level, Timestamp};
+///
+/// let mut engine = SummaryEngine::new();
+/// for i in 0..6u64 {
+///     engine.record(
+///         &Event::builder("vmstat", "h1")
+///             .level(Level::Usage)
+///             .event_type("CPU_TOTAL")
+///             .timestamp(Timestamp::from_secs(1_000 + i * 10))
+///             .value(40.0 + i as f64 * 4.0)
+///             .build(),
+///     );
+/// }
+/// let s = engine
+///     .summary("h1", "CPU_TOTAL", SummaryWindow::OneMinute, Timestamp::from_secs(1_050))
+///     .unwrap();
+/// assert_eq!(s.count, 6);
+/// assert_eq!(s.mean, 50.0);
+/// assert_eq!((s.min, s.max), (40.0, 60.0));
+/// ```
 #[derive(Debug, Default)]
 pub struct SummaryEngine {
     series: HashMap<(String, String), VecDeque<(Timestamp, f64)>>,
@@ -78,14 +106,26 @@ impl SummaryEngine {
     }
 
     /// Record an event's numeric reading (events without a `VAL` are ignored).
+    ///
+    /// Readings are kept in timestamp order even when events arrive out of
+    /// order (sensors on different hosts feed one gateway, so modest
+    /// reordering is normal); the common in-order case is a plain append.
     pub fn record(&mut self, event: &Event) {
         let Some(value) = event.value() else { return };
         let key = (event.host.clone(), event.event_type.clone());
         let series = self.series.entry(key).or_default();
-        series.push_back((event.timestamp, value));
-        // Prune anything older than the longest window to bound memory.
+        if series.back().is_some_and(|(t, _)| *t > event.timestamp) {
+            let pos = series.partition_point(|(t, _)| *t <= event.timestamp);
+            series.insert(pos, (event.timestamp, value));
+        } else {
+            series.push_back((event.timestamp, value));
+        }
+        // Prune anything older than the longest window to bound memory —
+        // relative to the *newest* reading, so a late arrival never
+        // truncates fresher data.
         let horizon = SummaryWindow::OneHour.micros();
-        let cutoff = event.timestamp.sub_micros(horizon);
+        let newest = series.back().map(|(t, _)| *t).unwrap_or(event.timestamp);
+        let cutoff = newest.sub_micros(horizon);
         while series.front().is_some_and(|(t, _)| *t < cutoff) {
             series.pop_front();
         }
@@ -141,33 +181,162 @@ impl SummaryEngine {
         now: Timestamp,
         gateway_name: &str,
     ) -> Vec<Event> {
-        let mut out = Vec::new();
-        let mut keys_sorted: Vec<&(String, String)> = self.series.keys().collect();
-        keys_sorted.sort();
-        for (host, event_type) in keys_sorted {
-            for window in windows {
-                if let Some(s) = self.summary(host, event_type, *window, now) {
-                    out.push(
-                        Event::builder(gateway_name, host.clone())
-                            .level(Level::Usage)
-                            .event_type(format!("{event_type}_{}", window.suffix()))
-                            .timestamp(now)
-                            .field(keys::SENSOR, "summary")
-                            .value(s.mean)
-                            .field("MIN", s.min)
-                            .field("MAX", s.max)
-                            .field("COUNT", s.count as u64)
-                            .build(),
-                    );
-                }
-            }
-        }
-        out
+        let mut rows = self.summary_rows(windows, now, gateway_name);
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.into_iter().flat_map(|(_, events)| events).collect()
+    }
+
+    /// One row per tracked series, unsorted: the series key plus its
+    /// summary events for the requested windows (in window order).  The
+    /// sharded engine collects these under one lock per shard and
+    /// merge-sorts across shards.
+    fn summary_rows(
+        &self,
+        windows: &[SummaryWindow],
+        now: Timestamp,
+        gateway_name: &str,
+    ) -> Vec<((String, String), Vec<Event>)> {
+        self.series
+            .keys()
+            .map(|key| {
+                let events = windows
+                    .iter()
+                    .filter_map(|w| {
+                        self.summary(&key.0, &key.1, *w, now)
+                            .map(|s| summary_event(gateway_name, &key.0, &key.1, &s, now))
+                    })
+                    .collect();
+                (key.clone(), events)
+            })
+            .collect()
     }
 
     /// Number of (host, event type) series being tracked.
     pub fn series_count(&self) -> usize {
         self.series.len()
+    }
+}
+
+/// A [`SummaryEngine`] split across N shards by series key, so concurrent
+/// publishers (or parallel delivery workers) recording readings for
+/// different (host, event type) series do not serialize on one lock.
+///
+/// One series always lands in one shard, so per-series computations are
+/// exactly those of a single [`SummaryEngine`]; only the cross-series
+/// aggregation ([`ShardedSummaryEngine::summary_events`]) has to merge.
+///
+/// ```
+/// use jamm_gateway::summary::{ShardedSummaryEngine, SummaryWindow};
+/// use jamm_ulm::{Event, Level, Timestamp};
+///
+/// let engine = ShardedSummaryEngine::new(4);
+/// engine.record(
+///     &Event::builder("vmstat", "h1")
+///         .level(Level::Usage)
+///         .event_type("CPU_TOTAL")
+///         .timestamp(Timestamp::from_secs(1_000))
+///         .value(42.0)
+///         .build(),
+/// );
+/// let s = engine
+///     .summary("h1", "CPU_TOTAL", SummaryWindow::OneMinute, Timestamp::from_secs(1_000))
+///     .unwrap();
+/// assert_eq!((s.count, s.mean), (1, 42.0));
+/// ```
+#[derive(Debug)]
+pub struct ShardedSummaryEngine {
+    shards: Vec<Mutex<SummaryEngine>>,
+}
+
+/// Build the synthetic ULM event carrying one series' window summary —
+/// the one event shape both the flat and the sharded engine emit (the
+/// sharded == flat property test depends on them agreeing byte for byte).
+fn summary_event(
+    gateway_name: &str,
+    host: &str,
+    event_type: &str,
+    s: &Summary,
+    now: Timestamp,
+) -> Event {
+    Event::builder(gateway_name, host)
+        .level(Level::Usage)
+        .event_type(format!("{event_type}_{}", s.window.suffix()))
+        .timestamp(now)
+        .field(keys::SENSOR, "summary")
+        .value(s.mean)
+        .field("MIN", s.min)
+        .field("MAX", s.max)
+        .field("COUNT", s.count as u64)
+        .build()
+}
+
+use crate::hash::fnv1a_series as series_hash;
+
+impl ShardedSummaryEngine {
+    /// Create an engine split across `shards` locks (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedSummaryEngine {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(SummaryEngine::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, host: &str, event_type: &str) -> &Mutex<SummaryEngine> {
+        let idx = (series_hash(host, event_type) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Record an event's numeric reading (see [`SummaryEngine::record`]).
+    /// Takes `&self`: only the owning shard's lock is held, briefly.
+    pub fn record(&self, event: &Event) {
+        self.shard_of(&event.host, &event.event_type)
+            .lock()
+            .record(event);
+    }
+
+    /// Compute one series' summary over one window ending at `now` (see
+    /// [`SummaryEngine::summary`]).
+    pub fn summary(
+        &self,
+        host: &str,
+        event_type: &str,
+        window: SummaryWindow,
+        now: Timestamp,
+    ) -> Option<Summary> {
+        self.shard_of(host, event_type)
+            .lock()
+            .summary(host, event_type, window, now)
+    }
+
+    /// Produce summary events for every tracked series and every requested
+    /// window, across all shards, ordered by (host, event type) with the
+    /// windows in the order requested — the same output a single
+    /// [`SummaryEngine::summary_events`] fed the same readings produces.
+    /// Each shard is locked exactly once.
+    pub fn summary_events(
+        &self,
+        windows: &[SummaryWindow],
+        now: Timestamp,
+        gateway_name: &str,
+    ) -> Vec<Event> {
+        let mut rows: Vec<((String, String), Vec<Event>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().summary_rows(windows, now, gateway_name))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.into_iter().flat_map(|(_, events)| events).collect()
+    }
+
+    /// Total (host, event type) series tracked across all shards.
+    pub fn series_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().series_count()).sum()
     }
 }
 
@@ -249,6 +418,120 @@ mod tests {
             .get(&("h".to_string(), "CPU_TOTAL".to_string()))
             .unwrap();
         assert!(series.len() <= 62, "len = {}", series.len());
+    }
+
+    #[test]
+    fn window_edges_are_inclusive() {
+        // A window covers [now - length, now]: a reading exactly one
+        // window-length old still counts, a reading exactly at `now` counts.
+        let mut eng = SummaryEngine::new();
+        eng.record(&reading("h", "CPU_TOTAL", 1_000, 10.0)); // == now - 60
+        eng.record(&reading("h", "CPU_TOTAL", 1_001, 20.0)); // just inside
+        eng.record(&reading("h", "CPU_TOTAL", 1_060, 30.0)); // == now
+        let now = Timestamp::from_secs(1_060);
+        let s = eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, now)
+            .unwrap();
+        assert_eq!(s.count, 3, "both edges inclusive");
+        assert_eq!((s.min, s.max), (10.0, 30.0));
+        // One microsecond past the trailing edge the reading ages out, for
+        // each of the paper's three windows.
+        for (w, secs) in [
+            (SummaryWindow::OneMinute, 60u64),
+            (SummaryWindow::TenMinutes, 600),
+            (SummaryWindow::OneHour, 3_600),
+        ] {
+            let mut eng = SummaryEngine::new();
+            eng.record(&reading("h", "X", 10_000, 1.0));
+            let on_edge = Timestamp::from_secs(10_000 + secs);
+            assert_eq!(
+                eng.summary("h", "X", w, on_edge).unwrap().count,
+                1,
+                "reading exactly on the {secs}s trailing edge still counts"
+            );
+            let past_edge = Timestamp::from_micros((10_000 + secs) * 1_000_000 + 1);
+            assert!(
+                eng.summary("h", "X", w, past_edge).is_none(),
+                "one microsecond past the {secs}s edge it has aged out"
+            );
+        }
+        // Readings *after* `now` (clock skew between hosts) are ignored.
+        let early = Timestamp::from_secs(1_001);
+        let s = eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, early)
+            .unwrap();
+        assert_eq!(s.count, 2, "the t=1060 reading is in the future of `now`");
+        assert_eq!((s.min, s.max), (10.0, 20.0));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_integrated_in_timestamp_order() {
+        let mut in_order = SummaryEngine::new();
+        let mut reordered = SummaryEngine::new();
+        let times = [1_000u64, 1_010, 1_020, 1_030, 1_040];
+        for &t in &times {
+            in_order.record(&reading("h", "CPU_TOTAL", t, t as f64));
+        }
+        // The same readings arriving shuffled (a late sensor catching up).
+        for &t in &[1_020u64, 1_000, 1_040, 1_010, 1_030] {
+            reordered.record(&reading("h", "CPU_TOTAL", t, t as f64));
+        }
+        let now = Timestamp::from_secs(1_040);
+        for w in SummaryWindow::all() {
+            assert_eq!(
+                in_order.summary("h", "CPU_TOTAL", w, now),
+                reordered.summary("h", "CPU_TOTAL", w, now),
+                "summaries are arrival-order independent"
+            );
+        }
+        // A late arrival never truncates fresher data: pruning is relative
+        // to the newest reading, not the last-recorded one.
+        let mut eng = SummaryEngine::new();
+        eng.record(&reading("h", "X", 10_000, 1.0));
+        eng.record(&reading("h", "X", 5_000, 2.0)); // 83 min late
+        let s = eng
+            .summary(
+                "h",
+                "X",
+                SummaryWindow::OneMinute,
+                Timestamp::from_secs(10_000),
+            )
+            .unwrap();
+        assert_eq!(s.count, 1, "fresh reading survives the late arrival");
+    }
+
+    #[test]
+    fn empty_window_rollover_recovers_when_data_resumes() {
+        let mut eng = SummaryEngine::new();
+        eng.record(&reading("h", "CPU_TOTAL", 1_000, 50.0));
+        // The 1-minute window empties while the 10-minute one still holds
+        // the reading...
+        let now = Timestamp::from_secs(1_200);
+        assert!(eng
+            .summary("h", "CPU_TOTAL", SummaryWindow::OneMinute, now)
+            .is_none());
+        assert_eq!(
+            eng.summary("h", "CPU_TOTAL", SummaryWindow::TenMinutes, now)
+                .unwrap()
+                .count,
+            1
+        );
+        // ...and summary_events emits only the non-empty windows.
+        let events = eng.summary_events(&SummaryWindow::all(), now, "gw");
+        assert_eq!(events.len(), 2, "10- and 60-minute only");
+        assert!(events.iter().all(|e| !e.event_type.ends_with("AVG_1MIN")));
+        // When readings resume, the rolled-over window fills again with
+        // only the new data.
+        eng.record(&reading("h", "CPU_TOTAL", 1_201, 80.0));
+        let s = eng
+            .summary(
+                "h",
+                "CPU_TOTAL",
+                SummaryWindow::OneMinute,
+                Timestamp::from_secs(1_201),
+            )
+            .unwrap();
+        assert_eq!((s.count, s.mean), (1, 80.0));
     }
 
     #[test]

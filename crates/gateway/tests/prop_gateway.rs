@@ -4,8 +4,8 @@
 //! computation.
 
 use jamm_core::check::{forall, Gen};
-use jamm_gateway::summary::{SummaryEngine, SummaryWindow};
-use jamm_gateway::{EventFilter, EventGateway, GatewayConfig, OverflowPolicy};
+use jamm_gateway::summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
+use jamm_gateway::{EventFilter, EventGateway, FlatFanout, GatewayConfig, OverflowPolicy};
 use jamm_ulm::{Event, Level, Timestamp};
 
 const TYPES: [&str; 3] = ["CPU_TOTAL", "VMSTAT_FREE_MEMORY", "NETSTAT_RETRANS"];
@@ -197,5 +197,116 @@ fn summary_mean_matches_direct_computation() {
         assert!((s.mean - mean).abs() < 1e-6);
         assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
         assert_eq!(s.count, values.len());
+    });
+}
+
+/// The sharded router — under any shard count, any filter mix (typed and
+/// wildcard), any queue bound, either overflow policy, and both the
+/// per-event and batched publish paths — delivers exactly the same event
+/// sequences, with the same per-subscription counters, as the original
+/// flat-list fan-out.
+#[test]
+fn sharded_routing_is_equivalent_to_the_flat_list() {
+    forall("sharded == flat", 64, |g| {
+        let events: Vec<Event> = (0..g.usize_in(1, 160)).map(|_| arb_event(g)).collect();
+        let shards = g.choice(&[1usize, 2, 4, 7, 16]);
+        let n_subs = g.usize_in(1, 6);
+        let specs: Vec<(Vec<EventFilter>, usize, OverflowPolicy)> = (0..n_subs)
+            .map(|_| {
+                let mut filters = arb_filters(g);
+                // Bias toward typed subscriptions so the by-type buckets
+                // (not just the wildcard list) are exercised.
+                if g.bool(0.5) {
+                    let mut tys: Vec<String> = (0..g.usize_in(1, 2))
+                        .map(|_| g.choice(&TYPES).to_string())
+                        .collect();
+                    tys.dedup();
+                    filters.push(EventFilter::EventTypes(tys));
+                }
+                let capacity = g.usize_in(1, 64);
+                let policy = if g.bool(0.5) {
+                    OverflowPolicy::DropOldest
+                } else {
+                    OverflowPolicy::DropNewest
+                };
+                (filters, capacity, policy)
+            })
+            .collect();
+
+        let flat = FlatFanout::new();
+        let flat_subs: Vec<_> = specs
+            .iter()
+            .map(|(f, cap, pol)| flat.subscribe(f.clone(), *cap, *pol))
+            .collect();
+        let gw = EventGateway::new(GatewayConfig::open("gw").with_shards(shards));
+        let gw_subs: Vec<_> = specs
+            .iter()
+            .map(|(f, cap, pol)| {
+                gw.subscribe()
+                    .filters(f.iter().cloned())
+                    .capacity(*cap)
+                    .on_overflow(*pol)
+                    .as_consumer("c")
+                    .open()
+                    .unwrap()
+            })
+            .collect();
+
+        // Feed both engines the same stream, the gateway via a random mix
+        // of per-event and batched publishes.
+        let mut i = 0;
+        while i < events.len() {
+            if g.bool(0.5) {
+                gw.publish(&events[i]);
+                i += 1;
+            } else {
+                let run = g.usize_in(1, 12).min(events.len() - i);
+                gw.publish_batch(&events[i..i + run]);
+                i += run;
+            }
+        }
+        for e in &events {
+            flat.publish(e);
+        }
+
+        for (a, b) in flat_subs.iter().zip(gw_subs.iter()) {
+            let left: Vec<Event> = a.events.try_iter().collect();
+            let right: Vec<Event> = b.events.try_iter().collect();
+            assert_eq!(left, right, "same delivered sequence either way");
+            assert_eq!(a.delivered(), b.delivered());
+            assert_eq!(a.dropped(), b.dropped());
+            assert_eq!(a.bytes(), b.bytes());
+        }
+        // The per-shard rows decompose the gateway totals exactly.
+        let report = gw.shard_report();
+        assert_eq!(report.len(), shards);
+        assert_eq!(
+            report.iter().map(|s| s.events_in).sum::<u64>() as usize,
+            events.len()
+        );
+        let delivered: u64 = gw_subs.iter().map(|s| s.delivered()).sum();
+        assert_eq!(report.iter().map(|s| s.delivered).sum::<u64>(), delivered);
+    });
+}
+
+/// The sharded summary engine computes exactly what one flat engine fed
+/// the same readings computes, for any shard count and interleaving.
+#[test]
+fn sharded_summaries_match_the_flat_engine() {
+    forall("sharded summaries", 48, |g| {
+        let events: Vec<Event> = (0..g.usize_in(1, 120)).map(|_| arb_event(g)).collect();
+        let sharded = ShardedSummaryEngine::new(g.choice(&[1usize, 3, 8]));
+        let mut flat = SummaryEngine::new();
+        for e in &events {
+            sharded.record(e);
+            flat.record(e);
+        }
+        assert_eq!(sharded.series_count(), flat.series_count());
+        let now = Timestamp::from_secs(10_000 + 121);
+        assert_eq!(
+            sharded.summary_events(&SummaryWindow::all(), now, "gw"),
+            flat.summary_events(&SummaryWindow::all(), now, "gw"),
+            "identical summary events, identical order"
+        );
     });
 }

@@ -76,6 +76,8 @@ pub struct JammBuilder {
     archiver: Option<(String, String)>,
     archive_dir: Option<std::path::PathBuf>,
     retention_micros: Option<u64>,
+    gateway_shards: Option<usize>,
+    delivery_workers: Option<usize>,
 }
 
 impl JammBuilder {
@@ -137,6 +139,27 @@ impl JammBuilder {
         self.retention_micros(secs * 1_000_000)
     }
 
+    /// Deployment-wide fan-out tuning: split every gateway's routing table
+    /// (and summary engine) across `shards` shards.  More shards mean less
+    /// contention between publisher threads carrying different event
+    /// types; the default is `jamm_gateway::DEFAULT_GATEWAY_SHARDS`.
+    /// Applies to every gateway in the deployment, including ones added
+    /// with [`JammBuilder::gateway_config`].
+    pub fn gateway_shards(mut self, shards: usize) -> Self {
+        self.gateway_shards = Some(shards.max(1));
+        self
+    }
+
+    /// Deployment-wide fan-out tuning: give every gateway `workers`
+    /// background delivery threads (0, the default, delivers synchronously
+    /// inside publish).  Call [`JammSystem::quiesce`] before reading
+    /// delivery counters when workers are enabled.  Applies to every
+    /// gateway in the deployment.
+    pub fn delivery_workers(mut self, workers: usize) -> Self {
+        self.delivery_workers = Some(workers);
+        self
+    }
+
     /// Wire everything.
     pub fn build(self) -> Result<JammSystem, BuildError> {
         if self.gateways.is_empty() {
@@ -153,7 +176,13 @@ impl JammBuilder {
         ));
         let mut registry = GatewayRegistry::new();
         let mut gateways = Vec::new();
-        for config in self.gateways {
+        for mut config in self.gateways {
+            if let Some(shards) = self.gateway_shards {
+                config = config.with_shards(shards);
+            }
+            if let Some(workers) = self.delivery_workers {
+                config = config.with_delivery_workers(workers);
+            }
             let name = config.name.clone();
             let gw = Arc::new(EventGateway::new(config));
             registry.register(name, Arc::clone(&gw));
@@ -334,6 +363,41 @@ impl JammSystem {
         }
     }
 
+    /// Wait until every gateway's delivery workers have routed what they
+    /// were handed (a no-op under synchronous delivery).  Call before
+    /// reading [`JammSystem::admin_stats`] when
+    /// [`JammBuilder::delivery_workers`] is non-zero.
+    pub fn quiesce(&self) {
+        for gw in &self.gateways {
+            gw.quiesce();
+        }
+    }
+
+    /// Administrative statistics: one row per gateway with its cumulative
+    /// totals **and** the per-shard delivered/dropped/bytes breakdown from
+    /// the fan-out engine (per-subscription totals alone cannot show a hot
+    /// shard or a skewed event-type distribution).
+    pub fn admin_stats(&self) -> Vec<GatewayAdminStats> {
+        use std::sync::atomic::Ordering;
+        self.gateways
+            .iter()
+            .map(|gw| {
+                let stats = gw.stats();
+                GatewayAdminStats {
+                    name: gw.name().to_string(),
+                    events_in: stats.events_in.load(Ordering::Relaxed),
+                    events_out: stats.events_out.load(Ordering::Relaxed),
+                    events_dropped: stats.events_dropped.load(Ordering::Relaxed),
+                    bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+                    queries: stats.queries.load(Ordering::Relaxed),
+                    delivery_workers: gw.delivery_worker_count(),
+                    shards: gw.shard_report(),
+                    subscriptions: gw.delivery_report(),
+                }
+            })
+            .collect()
+    }
+
     /// Replay an archived range through a named gateway, so current
     /// subscribers (collectors, nlv-style analysis) see the historical run
     /// as a live stream.  Returns events delivered into the gateway, or 0
@@ -344,6 +408,30 @@ impl JammSystem {
         };
         jamm_archive::ReplaySource::new(&self.archive, query).pump(gw.as_ref())
     }
+}
+
+/// One gateway's row of [`JammSystem::admin_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayAdminStats {
+    /// Gateway name.
+    pub name: String,
+    /// Events published into the gateway.
+    pub events_in: u64,
+    /// Event copies delivered to streaming consumers.
+    pub events_out: u64,
+    /// Event copies dropped on full subscription queues.
+    pub events_dropped: u64,
+    /// Approximate payload bytes delivered.
+    pub bytes_out: u64,
+    /// Query-mode requests served.
+    pub queries: u64,
+    /// Background delivery workers (0 = synchronous delivery).
+    pub delivery_workers: usize,
+    /// Per-shard routing breakdown: how traffic, deliveries, drops and
+    /// bytes distribute across the fan-out engine's shards.
+    pub shards: Vec<jamm_gateway::ShardReport>,
+    /// Per-subscription delivery totals.
+    pub subscriptions: Vec<jamm_gateway::DeliveryReport>,
 }
 
 /// What one [`JammSystem::archive_maintenance`] pass did.
@@ -462,6 +550,47 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(jamm.archive.len(), 10);
+    }
+
+    #[test]
+    fn fanout_knobs_and_admin_stats_expose_per_shard_counters() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .gateway("gw2")
+            .collector("ops")
+            .gateway_shards(4)
+            .delivery_workers(2)
+            .build()
+            .unwrap();
+        assert!(jamm
+            .gateways
+            .iter()
+            .all(|gw| gw.shard_count() == 4 && gw.delivery_worker_count() == 2));
+        jamm.connect_collectors(vec![]);
+        for t in 0..40u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, t));
+        }
+        jamm.quiesce();
+        let stats = jamm.admin_stats();
+        assert_eq!(stats.len(), 2);
+        let gw1 = &stats[0];
+        assert_eq!(gw1.name, "gw1");
+        assert_eq!(gw1.events_in, 40);
+        assert_eq!(gw1.events_out, 40);
+        assert_eq!(gw1.delivery_workers, 2);
+        assert_eq!(gw1.shards.len(), 4);
+        // The shard rows decompose the gateway totals.
+        assert_eq!(gw1.shards.iter().map(|s| s.events_in).sum::<u64>(), 40);
+        assert_eq!(gw1.shards.iter().map(|s| s.delivered).sum::<u64>(), 40);
+        assert_eq!(
+            gw1.shards.iter().map(|s| s.bytes).sum::<u64>(),
+            gw1.bytes_out
+        );
+        assert_eq!(gw1.subscriptions.len(), 1);
+        assert_eq!(gw1.subscriptions[0].delivered, 40);
+        // The idle gateway's rows are all zero but still present.
+        assert_eq!(stats[1].events_in, 0);
+        assert_eq!(stats[1].shards.len(), 4);
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub mod builder;
 pub mod cluster;
 pub mod deployment;
 
-pub use builder::{ArchiveMaintenanceReport, BuildError, JammBuilder, JammSystem};
+pub use builder::{
+    ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem,
+};
 pub use deployment::{DeploymentConfig, JammDeployment};
 
 // Re-export the sub-crates under predictable names so downstream users need

@@ -19,7 +19,7 @@
 //!   directory service.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod manager;
