@@ -32,7 +32,7 @@ use std::path::Path;
 use jamm_core::flow::{EventSink, SinkError};
 use jamm_core::sync::RwLock;
 use jamm_tsdb::{ScanIter, SegmentCatalog, Tsdb, TsdbError, TsdbOptions, TsdbQuery, TsdbStats};
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 /// A label attached to a stored span of events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +224,22 @@ impl EventArchive {
     /// Store one event, surfacing storage errors.
     pub fn try_store(&self, event: Event) -> Result<(), TsdbError> {
         self.db.append(event).map(|_| ())
+    }
+
+    /// Store one already-shared event: the archive keeps the same `Arc`
+    /// the gateway fanned out — archiving is a refcount bump.  Errors are
+    /// swallowed as in [`EventArchive::store`].
+    pub fn store_shared(&self, event: SharedEvent) {
+        let _ = self.db.append_shared(event);
+    }
+
+    /// Store a batch of shared events under a single storage-engine lock
+    /// (and, for persistent archives, one WAL write) without copying any
+    /// event.  The caller keeps its buffer — the archiver agent drains
+    /// subscriptions into one reusable scratch vector, stores from it, and
+    /// clears it, so its steady state allocates nothing per poll.
+    pub fn try_store_shared_batch(&self, events: &[SharedEvent]) -> Result<usize, TsdbError> {
+        self.db.append_shared_batch(events)
     }
 
     /// Store a batch under a single storage-engine lock acquisition and —
@@ -453,6 +469,24 @@ impl EventSink<Event> for EventArchive {
     fn accept_batch(&self, events: &[Event]) -> Result<usize, SinkError> {
         self.db
             .append_batch(events.to_vec())
+            .map_err(|e| SinkError::Rejected(e.to_string()))
+    }
+}
+
+/// The zero-copy sink: accepting a [`SharedEvent`] stores the caller's
+/// `Arc` directly (a replayed or fanned-out event is archived without any
+/// copy).
+impl EventSink<SharedEvent> for EventArchive {
+    fn accept(&self, event: &SharedEvent) -> Result<usize, SinkError> {
+        self.db
+            .append_shared(SharedEvent::clone(event))
+            .map(|_| 1)
+            .map_err(|e| SinkError::Rejected(e.to_string()))
+    }
+
+    fn accept_batch(&self, events: &[SharedEvent]) -> Result<usize, SinkError> {
+        self.db
+            .append_shared_batch(events)
             .map_err(|e| SinkError::Rejected(e.to_string()))
     }
 }

@@ -8,7 +8,7 @@
 //! collectors / nlv-style analysis that watched it live.
 
 use jamm_core::flow::{EventSink, EventSource};
-use jamm_ulm::Event;
+use jamm_ulm::SharedEvent;
 
 use crate::{ArchiveQuery, ArchiveScan, EventArchive};
 
@@ -16,6 +16,9 @@ use crate::{ArchiveQuery, ArchiveScan, EventArchive};
 ///
 /// The source owns its scan (segment data decodes lazily), so it stays
 /// valid after the archive borrow ends and never materializes the range.
+/// Each decoded event is wrapped once as a [`SharedEvent`]; pumping it
+/// into a gateway then fans it out to every subscriber by refcount, so a
+/// replayed run costs the same per-event work as the live run did.
 #[derive(Debug)]
 pub struct ReplaySource {
     scan: ArchiveScan,
@@ -23,7 +26,7 @@ pub struct ReplaySource {
     replayed: usize,
     /// An event a sink rejected in [`ReplaySource::pump`], staged so the
     /// next pump or drain retries it instead of losing it.
-    unsent: Option<Event>,
+    unsent: Option<SharedEvent>,
 }
 
 impl ReplaySource {
@@ -55,9 +58,13 @@ impl ReplaySource {
     /// the sink rejects an event — the rejected event stays staged and a
     /// later pump (or drain) retries it, so nothing is skipped.  Returns
     /// how many were delivered to the sink.
-    pub fn pump(&mut self, sink: &dyn EventSink<Event>) -> usize {
+    pub fn pump(&mut self, sink: &dyn EventSink<SharedEvent>) -> usize {
         let mut n = 0;
-        while let Some(event) = self.unsent.take().or_else(|| self.scan.next()) {
+        while let Some(event) = self
+            .unsent
+            .take()
+            .or_else(|| self.scan.next().map(SharedEvent::new))
+        {
             if sink.accept(&event).is_err() {
                 self.unsent = Some(event);
                 break;
@@ -69,8 +76,8 @@ impl ReplaySource {
     }
 }
 
-impl EventSource<Event> for ReplaySource {
-    fn drain_into(&mut self, out: &mut Vec<Event>) -> usize {
+impl EventSource<SharedEvent> for ReplaySource {
+    fn drain_into(&mut self, out: &mut Vec<SharedEvent>) -> usize {
         let before = out.len();
         let limit = if self.batch == 0 {
             usize::MAX
@@ -82,7 +89,7 @@ impl EventSource<Event> for ReplaySource {
         }
         while out.len() - before < limit {
             match self.scan.next() {
-                Some(event) => out.push(event),
+                Some(event) => out.push(SharedEvent::new(event)),
                 None => break,
             }
         }
@@ -97,7 +104,7 @@ mod tests {
     use super::*;
     use jamm_core::flow::SinkError;
     use jamm_core::sync::Mutex;
-    use jamm_ulm::{Level, Timestamp};
+    use jamm_ulm::{Event, Level, Timestamp};
 
     fn ev(t: u64) -> Event {
         Event::builder("p", "h")
@@ -134,10 +141,10 @@ mod tests {
 
     #[test]
     fn pump_pushes_into_a_sink() {
-        struct Collect(Mutex<Vec<Event>>);
-        impl EventSink<Event> for Collect {
-            fn accept(&self, event: &Event) -> Result<usize, SinkError> {
-                self.0.lock().push(event.clone());
+        struct Collect(Mutex<Vec<SharedEvent>>);
+        impl EventSink<SharedEvent> for Collect {
+            fn accept(&self, event: &SharedEvent) -> Result<usize, SinkError> {
+                self.0.lock().push(SharedEvent::clone(event));
                 Ok(1)
             }
         }
@@ -152,19 +159,19 @@ mod tests {
     #[test]
     fn pump_retries_the_rejected_event() {
         struct Flaky {
-            accepted: Mutex<Vec<Event>>,
+            accepted: Mutex<Vec<SharedEvent>>,
             reject_after: usize,
             rejecting: std::sync::atomic::AtomicBool,
         }
-        impl EventSink<Event> for Flaky {
-            fn accept(&self, event: &Event) -> Result<usize, SinkError> {
+        impl EventSink<SharedEvent> for Flaky {
+            fn accept(&self, event: &SharedEvent) -> Result<usize, SinkError> {
                 let mut accepted = self.accepted.lock();
                 if accepted.len() >= self.reject_after
                     && self.rejecting.load(std::sync::atomic::Ordering::Relaxed)
                 {
                     return Err(SinkError::Rejected("queue full".into()));
                 }
-                accepted.push(event.clone());
+                accepted.push(SharedEvent::clone(event));
                 Ok(1)
             }
         }

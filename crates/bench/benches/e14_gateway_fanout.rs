@@ -68,8 +68,8 @@ fn flat_round(subscribers: usize) -> f64 {
     let subs: Vec<_> = (0..subscribers)
         .map(|i| flat.subscribe(type_filter(i), QUEUE_CAPACITY, OverflowPolicy::DropOldest))
         .collect();
-    let events: Vec<Event> = (0..EVENTS_PER_ROUND)
-        .map(|i| publish_event(i, subscribers))
+    let events: Vec<jamm_ulm::SharedEvent> = (0..EVENTS_PER_ROUND)
+        .map(|i| std::sync::Arc::new(publish_event(i, subscribers)))
         .collect();
     let (_, secs) = time(|| {
         for e in &events {

@@ -12,7 +12,7 @@ use jamm_core::flow::{EventSink, EventSource, SinkError};
 use jamm_directory::{DirectoryServer, Dn, Entry};
 use jamm_gateway::{EventFilter, Subscription};
 use jamm_tsdb::SegmentCatalog;
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use crate::{GatewayRegistry, SubscribeError};
 
@@ -26,10 +26,12 @@ pub struct ArchiverAgent {
     /// Segment ids whose directory entries we have published, so stale
     /// entries can be deleted when segments are compacted or expired.
     published_segments: std::collections::BTreeSet<u64>,
-    /// Events drained from subscriptions but not yet accepted by the
-    /// archive (a failed store hands the batch back here for retry, so a
-    /// transient disk error never loses drained events).
-    pending: Vec<Event>,
+    /// Reusable drain scratch: subscriptions drain shared events into this
+    /// buffer, the archive stores straight from it, and `clear()` keeps
+    /// the capacity — the steady-state poll loop allocates nothing.  After
+    /// a failed store the drained batch simply stays here for retry, so a
+    /// transient disk error never loses events.
+    batch: Vec<SharedEvent>,
 }
 
 impl ArchiverAgent {
@@ -42,7 +44,7 @@ impl ArchiverAgent {
             subscriptions: Vec::new(),
             catalog_dn,
             published_segments: std::collections::BTreeSet::new(),
-            pending: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -97,48 +99,39 @@ impl ArchiverAgent {
     }
 
     /// Drain pending events into the archive.  All subscriptions drain
-    /// into one batch that is stored under a single archive lock (and, for
-    /// a persistent archive, one WAL write).  If the store fails (e.g. a
-    /// transient disk error under a persistent archive) the batch is kept
-    /// and retried on the next poll rather than lost; while a retry batch
-    /// is outstanding no further draining happens, so the held batch is
-    /// bounded and the *subscriptions'* bounded queues (with their
-    /// overflow policy) absorb the backlog.  Returns how many were
-    /// stored.
+    /// into one reused scratch buffer whose shared events are stored under
+    /// a single archive lock (and, for a persistent archive, one WAL
+    /// write) without copying any event.  If the store fails (e.g. a
+    /// transient disk error under a persistent archive) the batch stays in
+    /// the scratch buffer and is retried on the next poll rather than
+    /// lost; while a retry batch is outstanding no further draining
+    /// happens, so the held batch is bounded and the *subscriptions'*
+    /// bounded queues (with their overflow policy) absorb the backlog.
+    /// Returns how many were stored.
     pub fn poll(&mut self) -> usize {
-        let mut stored = 0;
-        if !self.pending.is_empty() {
-            match self
-                .archive
-                .try_store_all(std::mem::take(&mut self.pending))
-            {
-                Ok(n) => stored += n,
-                Err((_, batch)) => {
-                    self.pending = batch;
-                    return 0;
-                }
+        if self.batch.is_empty() {
+            for sub in &mut self.subscriptions {
+                sub.drain_into(&mut self.batch);
             }
         }
-        let mut batch = Vec::new();
-        for sub in &mut self.subscriptions {
-            sub.drain_into(&mut batch);
+        if self.batch.is_empty() {
+            return 0;
         }
-        if batch.is_empty() {
-            return stored;
-        }
-        match self.archive.try_store_all(batch) {
-            Ok(n) => stored + n,
-            Err((_, batch)) => {
-                self.pending = batch;
-                stored
+        match self.archive.try_store_shared_batch(&self.batch) {
+            Ok(n) => {
+                // Keep the capacity: the next poll drains into the same
+                // allocation.
+                self.batch.clear();
+                n
             }
+            Err(_) => 0,
         }
     }
 
     /// Events drained from subscriptions but still awaiting a successful
     /// store (non-zero only after a storage error).
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.batch.len()
     }
 
     /// Flush the archive's hot tier: seal the memtable into an immutable
@@ -228,6 +221,14 @@ impl ArchiverAgent {
 impl EventSink<Event> for ArchiverAgent {
     fn accept(&self, event: &Event) -> Result<usize, SinkError> {
         self.archive.store(event.clone());
+        Ok(1)
+    }
+}
+
+/// Shared events pushed straight at the archiver are stored by refcount.
+impl EventSink<SharedEvent> for ArchiverAgent {
+    fn accept(&self, event: &SharedEvent) -> Result<usize, SinkError> {
+        self.archive.store_shared(SharedEvent::clone(event));
         Ok(1)
     }
 }

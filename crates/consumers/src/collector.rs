@@ -12,7 +12,7 @@ use std::sync::Arc;
 use jamm_core::flow::EventSource;
 use jamm_directory::{DirectoryServer, Dn, Filter, Scope};
 use jamm_gateway::{EventFilter, Subscription};
-use jamm_ulm::Event;
+use jamm_ulm::SharedEvent;
 
 use crate::GatewayRegistry;
 
@@ -33,7 +33,9 @@ pub struct DiscoveredSensor {
 pub struct EventCollector {
     consumer: String,
     subscriptions: Vec<(String, Subscription)>,
-    collected: Vec<Event>,
+    /// Collected events, shared with the gateway that delivered them —
+    /// collecting is a refcount transfer, not a copy.
+    collected: Vec<SharedEvent>,
     discovered: Vec<DiscoveredSensor>,
 }
 
@@ -177,12 +179,13 @@ impl EventCollector {
     }
 
     /// Events collected so far, in arrival order.
-    pub fn events(&self) -> &[Event] {
+    pub fn events(&self) -> &[SharedEvent] {
         &self.collected
     }
 
-    /// The merged, time-sorted log (what gets handed to `nlv`).
-    pub fn merged_log(&self) -> Vec<Event> {
+    /// The merged, time-sorted log (what gets handed to `nlv`).  Sorting
+    /// shuffles `Arc` handles; the events themselves are not copied.
+    pub fn merged_log(&self) -> Vec<SharedEvent> {
         let mut log = self.collected.clone();
         log.sort_by_key(|e| e.timestamp);
         log
@@ -194,11 +197,12 @@ impl EventCollector {
         self.subscriptions.iter().map(|(_, s)| s.dropped()).sum()
     }
 
-    /// Serialise the merged log as ULM text.
+    /// Serialise the merged log as ULM text (encoded straight into one
+    /// output buffer — no per-event line allocations).
     pub fn merged_ulm(&self) -> String {
         let mut out = String::new();
         for e in self.merged_log() {
-            out.push_str(&jamm_ulm::text::encode(&e));
+            jamm_ulm::text::encode_into(&mut out, &e);
             out.push('\n');
         }
         out
@@ -208,8 +212,8 @@ impl EventCollector {
 /// Draining the collector moves its collected log out (after pulling
 /// whatever is pending on the gateway subscriptions), so a downstream
 /// stage can treat the collector itself as just another event source.
-impl EventSource<Event> for EventCollector {
-    fn drain_into(&mut self, out: &mut Vec<Event>) -> usize {
+impl EventSource<SharedEvent> for EventCollector {
+    fn drain_into(&mut self, out: &mut Vec<SharedEvent>) -> usize {
         self.poll();
         let drained = std::mem::take(&mut self.collected);
         let n = drained.len();
@@ -222,7 +226,7 @@ impl EventSource<Event> for EventCollector {
 mod tests {
     use super::*;
     use jamm_gateway::{EventGateway, GatewayConfig};
-    use jamm_ulm::{Level, Timestamp};
+    use jamm_ulm::{Event, Level, Timestamp};
 
     fn sensor_entry(host: &str, sensor: &str, gateway: &str) -> jamm_directory::Entry {
         jamm_directory::Entry::new(
@@ -235,7 +239,7 @@ mod tests {
         .with("status", "running")
     }
 
-    fn ev(host: &str, ty: &str, t: u64) -> Event {
+    fn ev(host: &str, ty: &str, t: u64) -> jamm_ulm::Event {
         Event::builder("prog", host)
             .level(Level::Usage)
             .event_type(ty)

@@ -106,7 +106,7 @@ impl OverviewMonitor {
 
     /// Process pending events and return any newly raised alerts.
     pub fn poll(&mut self) -> Vec<OverviewAlert> {
-        let events: Vec<Event> = self
+        let events: Vec<jamm_ulm::SharedEvent> = self
             .subscriptions
             .iter()
             .flat_map(|s| s.events.try_iter().collect::<Vec<_>>())

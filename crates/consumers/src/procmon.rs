@@ -5,7 +5,7 @@
 //! processes, send email to a system administrator, or call a pager." (§2.2)
 
 use jamm_gateway::{EventFilter, Subscription};
-use jamm_ulm::{keys, Event};
+use jamm_ulm::{keys, SharedEvent};
 
 use crate::GatewayRegistry;
 
@@ -29,8 +29,9 @@ pub struct TriggeredAction {
     pub host: String,
     /// The process concerned.
     pub process: String,
-    /// The event that triggered the action.
-    pub trigger: Event,
+    /// The event that triggered the action (shared with every other
+    /// consumer of the same delivery).
+    pub trigger: SharedEvent,
 }
 
 /// One watch rule: process (on an optional specific host) → actions.
@@ -117,7 +118,7 @@ impl ProcessMonitorConsumer {
                                 action: action.clone(),
                                 host: event.host.clone(),
                                 process: process.to_string(),
-                                trigger: event.clone(),
+                                trigger: SharedEvent::clone(&event),
                             });
                         }
                     }
@@ -138,7 +139,7 @@ impl ProcessMonitorConsumer {
 mod tests {
     use super::*;
     use jamm_gateway::{EventGateway, GatewayConfig};
-    use jamm_ulm::{Level, Timestamp};
+    use jamm_ulm::{Event, Level, Timestamp};
     use std::sync::Arc;
 
     fn died(host: &str, process: &str) -> Event {

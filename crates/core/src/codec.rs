@@ -22,6 +22,15 @@ pub trait Codec {
     /// Encode one item as a self-delimiting frame.
     fn encode(&self, item: &Self::Item) -> Vec<u8>;
 
+    /// Append one item's frame to an existing buffer — the hot-path form:
+    /// callers on steady-state write loops keep one scratch buffer,
+    /// `clear()` it between frames, and reuse its capacity.  The default
+    /// delegates to [`Codec::encode`]; codecs with an in-place encoder
+    /// override it to skip the intermediate allocation.
+    fn encode_to(&self, out: &mut Vec<u8>, item: &Self::Item) {
+        out.extend_from_slice(&self.encode(item));
+    }
+
     /// Decode one frame produced by [`Codec::encode`].
     fn decode(&self, bytes: &[u8]) -> Result<Self::Item, Self::Error>;
 

@@ -15,7 +15,10 @@
 //!   the sensor manager's push path and the RMI event bridge;
 //! * [`channel`] — the **bounded** MPMC channel the pipeline runs on, with
 //!   an explicit overflow policy instead of unbounded growth;
-//! * [`flow::DeliveryCounters`] — per-sink delivered/dropped/byte counters.
+//! * [`flow::DeliveryCounters`] — per-sink delivered/dropped/byte counters;
+//! * [`intern::Sym`] — interned identifier strings, so the hot paths key
+//!   routing tables, summary series and dictionaries by `u32` instead of
+//!   hashing and cloning `String`s per event.
 //!
 //! Because the build environment has no crate registry, this crate also
 //! carries the small std-only stand-ins the workspace would otherwise pull
@@ -30,6 +33,7 @@ pub mod channel;
 pub mod check;
 pub mod codec;
 pub mod flow;
+pub mod intern;
 pub mod json;
 pub mod rng;
 pub mod sync;
@@ -37,3 +41,4 @@ pub mod sync;
 pub use channel::{bounded, unbounded, Receiver, Sender};
 pub use codec::Codec;
 pub use flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
+pub use intern::Sym;

@@ -40,8 +40,9 @@ use std::sync::Arc;
 
 use jamm_core::channel::{bounded, Receiver, Sender};
 use jamm_core::flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
+use jamm_core::intern::Sym;
 use jamm_core::sync::RwLock;
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use jamm_auth::acl::{AccessControlList, Action};
 
@@ -70,15 +71,17 @@ pub const DELIVERY_WORKER_QUEUE_CAPACITY: usize = 8_192;
 pub struct Subscription {
     /// Subscription identifier (used to unsubscribe).
     pub id: u64,
-    /// Channel on which matching events arrive.
-    pub events: Receiver<Event>,
+    /// Channel on which matching events arrive.  Events are shared
+    /// ([`SharedEvent`]): the gateway bumps a refcount per delivery
+    /// instead of copying the event per subscriber.
+    pub events: Receiver<SharedEvent>,
     counters: Arc<DeliveryCounters>,
 }
 
 impl Subscription {
     pub(crate) fn from_parts(
         id: u64,
-        events: Receiver<Event>,
+        events: Receiver<SharedEvent>,
         counters: Arc<DeliveryCounters>,
     ) -> Self {
         Subscription {
@@ -104,13 +107,13 @@ impl Subscription {
     }
 
     /// Drain everything currently queued.
-    pub fn drain(&mut self) -> Vec<Event> {
+    pub fn drain(&mut self) -> Vec<SharedEvent> {
         self.events.try_iter().collect()
     }
 }
 
-impl EventSource<Event> for Subscription {
-    fn drain_into(&mut self, out: &mut Vec<Event>) -> usize {
+impl EventSource<SharedEvent> for Subscription {
+    fn drain_into(&mut self, out: &mut Vec<SharedEvent>) -> usize {
         let before = out.len();
         out.extend(self.events.try_iter());
         out.len() - before
@@ -296,7 +299,7 @@ pub struct DeliveryReport {
 /// a batched publish hands a worker all its events in one send) plus the
 /// join handle used for clean shutdown when the gateway is dropped.
 struct DeliveryWorker {
-    tx: Option<Sender<Vec<Event>>>,
+    tx: Option<Sender<Vec<SharedEvent>>>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -305,8 +308,10 @@ pub struct EventGateway {
     config: GatewayConfig,
     router: Arc<ShardedRouter>,
     /// The query cache, sharded by series key like the summary engine so
-    /// parallel publishers do not serialize on one write lock.
-    latest: Vec<RwLock<HashMap<(String, String), Event>>>,
+    /// parallel publishers do not serialize on one write lock.  Keys are
+    /// interned and values shared: caching the latest event of a series
+    /// is a refcount bump, not a deep copy plus two string clones.
+    latest: Vec<RwLock<HashMap<(Sym, Sym), SharedEvent>>>,
     summaries: ShardedSummaryEngine,
     stats: Arc<GatewayStats>,
     next_id: AtomicU64,
@@ -354,21 +359,22 @@ impl EventGateway {
         let worker_count = config.delivery_workers.min(shards);
         let workers = (0..worker_count)
             .map(|_| {
-                let (tx, rx) = bounded::<Vec<Event>>(DELIVERY_WORKER_QUEUE_CAPACITY);
+                let (tx, rx) = bounded::<Vec<SharedEvent>>(DELIVERY_WORKER_QUEUE_CAPACITY);
                 let router = Arc::clone(&router);
                 let stats = Arc::clone(&stats);
                 let in_flight = Arc::clone(&in_flight);
                 let handle = std::thread::spawn(move || {
-                    while let Ok(batch) = rx.recv() {
-                        let out = match batch.as_slice() {
-                            [event] => router.route(event),
-                            _ => {
-                                let refs: Vec<&Event> = batch.iter().collect();
-                                router.route_batch(&refs)
-                            }
+                    while let Ok(mut batch) = rx.recv() {
+                        let n = batch.len() as u64;
+                        let out = if batch.len() == 1 {
+                            let event = batch.pop().expect("len checked");
+                            let ty = Sym::intern(&event.event_type);
+                            router.route(ty, event)
+                        } else {
+                            router.route_batch(&batch)
                         };
                         stats.apply(&out);
-                        in_flight.fetch_sub(batch.len() as u64, Ordering::Release);
+                        in_flight.fetch_sub(n, Ordering::Release);
                     }
                 });
                 DeliveryWorker {
@@ -389,13 +395,13 @@ impl EventGateway {
         }
     }
 
-    /// The query-cache shard owning a (host, event type) series.
+    /// The query-cache shard owning an interned (host, event type) series.
     fn latest_shard(
         &self,
-        host: &str,
-        event_type: &str,
-    ) -> &RwLock<HashMap<(String, String), Event>> {
-        let idx = (crate::hash::fnv1a_series(host, event_type) % self.latest.len() as u64) as usize;
+        host: Sym,
+        event_type: Sym,
+    ) -> &RwLock<HashMap<(Sym, Sym), SharedEvent>> {
+        let idx = (crate::hash::sym_series(host, event_type) % self.latest.len() as u64) as usize;
         &self.latest[idx]
     }
 
@@ -475,19 +481,28 @@ impl EventGateway {
 
     /// Record an event in the query cache and the summary engine (the
     /// parts of publish that always run synchronously, so query mode and
-    /// summaries stay ordered even when fan-out is asynchronous).
-    fn observe(&self, event: &Event) {
+    /// summaries stay ordered even when fan-out is asynchronous).  The
+    /// series identity is interned once here and shared by both consumers
+    /// — and the event-type handle is returned so the publish paths route
+    /// and pin workers without hashing the string again.
+    fn observe(&self, event: &SharedEvent) -> Sym {
         self.stats.events_in.fetch_add(1, Ordering::Relaxed);
-        self.latest_shard(&event.host, &event.event_type)
+        let host = Sym::intern(&event.host);
+        let ty = Sym::intern(&event.event_type);
+        self.latest_shard(host, ty)
             .write()
-            .insert(
-                (event.host.clone(), event.event_type.clone()),
-                event.clone(),
-            );
-        self.summaries.record(event);
+            .insert((host, ty), SharedEvent::clone(event));
+        self.summaries.record_interned(host, ty, event);
+        ty
     }
 
     /// Publish one event into the gateway (called by the sensor manager).
+    ///
+    /// Copies the event into a fresh [`SharedEvent`] allocation — the one
+    /// allocation of its pipeline life; fan-out, summaries, caching and
+    /// archiving all share it.  Producers that already hold a
+    /// `SharedEvent` should call [`EventGateway::publish_shared`], which
+    /// copies nothing at all.
     ///
     /// With synchronous delivery (the default), returns the number of
     /// consumers the event was delivered to.  With delivery workers
@@ -496,19 +511,26 @@ impl EventGateway {
     /// [`EventGateway::stats`] and are exact after
     /// [`EventGateway::quiesce`].
     pub fn publish(&self, event: &Event) -> usize {
-        self.observe(event);
+        self.publish_shared(Arc::new(event.clone()))
+    }
+
+    /// Publish an already-shared event: the zero-copy entry point.  The
+    /// gateway performs no event copy on any path reachable from here —
+    /// delivery to N subscribers is N-1 refcount bumps plus one move.
+    pub fn publish_shared(&self, event: SharedEvent) -> usize {
+        let ty = self.observe(&event);
         if self.workers.is_empty() {
-            let out = self.router.route(event);
+            let out = self.router.route(ty, event);
             self.stats.apply(&out);
             return out.delivered as usize;
         }
-        let widx = self.router.shard_of(&event.event_type) % self.workers.len();
-        self.hand_to_worker(widx, vec![event.clone()])
+        let widx = self.router.shard_of_sym(ty) % self.workers.len();
+        self.hand_to_worker(widx, vec![event])
     }
 
     /// Hand a batch to one worker's queue, keeping the in-flight count
     /// exact whether or not the worker is still accepting.
-    fn hand_to_worker(&self, widx: usize, batch: Vec<Event>) -> usize {
+    fn hand_to_worker(&self, widx: usize, batch: Vec<SharedEvent>) -> usize {
         let n = batch.len();
         let tx = self.workers[widx].tx.as_ref().expect("worker running");
         self.in_flight.fetch_add(n as u64, Ordering::Acquire);
@@ -519,27 +541,36 @@ impl EventGateway {
         n
     }
 
-    /// The shared batched publish path behind [`EventGateway::publish_batch`]
-    /// and [`EventGateway::publish_all`].
-    fn publish_refs(&self, refs: &[&Event]) -> usize {
-        if refs.is_empty() {
+    /// Publish a batch of already-shared events through the batched
+    /// fan-out path: filters are still evaluated per event in order, but
+    /// each subscription's queue is locked once per batch instead of once
+    /// per event (and under worker delivery each worker receives its whole
+    /// sub-batch in one queue handoff).  Returns total deliveries
+    /// (accepted events under worker delivery, as with
+    /// [`EventGateway::publish`]).
+    pub fn publish_shared_batch(&self, events: &[SharedEvent]) -> usize {
+        if events.is_empty() {
             return 0;
         }
-        for event in refs {
-            self.observe(event);
-        }
         if self.workers.is_empty() {
-            let out = self.router.route_batch(refs);
+            for event in events {
+                self.observe(event);
+            }
+            let out = self.router.route_batch(events);
             self.stats.apply(&out);
             return out.delivered as usize;
         }
         // Group by owning worker (publish order preserved within a group,
         // and a type always maps to the same worker, so per-type order
         // survives) and hand each worker its whole sub-batch in one send.
-        let mut groups: Vec<Vec<Event>> = (0..self.workers.len()).map(|_| Vec::new()).collect();
-        for event in refs {
-            let widx = self.router.shard_of(&event.event_type) % self.workers.len();
-            groups[widx].push((*event).clone());
+        // Grouping bumps refcounts — it never copies events — and reuses
+        // the event-type handle observe() already interned.
+        let mut groups: Vec<Vec<SharedEvent>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for event in events {
+            let ty = self.observe(event);
+            let widx = self.router.shard_of_sym(ty) % self.workers.len();
+            groups[widx].push(SharedEvent::clone(event));
         }
         groups
             .into_iter()
@@ -549,21 +580,18 @@ impl EventGateway {
             .sum()
     }
 
-    /// Publish a batch of events through the batched fan-out path: filters
-    /// are still evaluated per event in order, but each subscription's
-    /// queue is locked once per batch instead of once per event (and under
-    /// worker delivery each worker receives its whole sub-batch in one
-    /// queue handoff).  Returns total deliveries (accepted events under
-    /// worker delivery, as with [`EventGateway::publish`]).
+    /// Publish a batch of by-value events (each is copied once into its
+    /// shared allocation; see [`EventGateway::publish_shared_batch`] for
+    /// the zero-copy form).
     pub fn publish_batch(&self, events: &[Event]) -> usize {
-        let refs: Vec<&Event> = events.iter().collect();
-        self.publish_refs(&refs)
+        let shared: Vec<SharedEvent> = events.iter().map(|e| Arc::new(e.clone())).collect();
+        self.publish_shared_batch(&shared)
     }
 
     /// Publish a batch of events.
     pub fn publish_all<'a>(&self, events: impl IntoIterator<Item = &'a Event>) -> usize {
-        let refs: Vec<&Event> = events.into_iter().collect();
-        self.publish_refs(&refs)
+        let shared: Vec<SharedEvent> = events.into_iter().map(|e| Arc::new(e.clone())).collect();
+        self.publish_shared_batch(&shared)
     }
 
     /// Wait until every event handed to a delivery worker has been routed.
@@ -585,14 +613,21 @@ impl EventGateway {
     }
 
     /// Query mode: the most recent event of `event_type` from `host`.
-    pub fn query(&self, consumer: &str, host: &str, event_type: &str) -> Result<Option<Event>> {
+    /// The returned handle shares the cached event — queries do not copy.
+    pub fn query(
+        &self,
+        consumer: &str,
+        host: &str,
+        event_type: &str,
+    ) -> Result<Option<SharedEvent>> {
         self.check(consumer, Action::Query)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(self
-            .latest_shard(host, event_type)
-            .read()
-            .get(&(host.to_string(), event_type.to_string()))
-            .cloned())
+        // A series the gateway never saw has no interned identity; asking
+        // for it must not grow the intern table.
+        let (Some(host), Some(ty)) = (Sym::lookup(host), Sym::lookup(event_type)) else {
+            return Ok(None);
+        };
+        Ok(self.latest_shard(host, ty).read().get(&(host, ty)).cloned())
     }
 
     /// Summary data for consumers entitled to summaries only (or anyone who
@@ -620,7 +655,9 @@ impl EventGateway {
 
 /// The gateway is the canonical event sink: the sensor manager (or any
 /// other producer) pushes events through `&dyn EventSink<Event>` without
-/// knowing it is talking to a gateway.
+/// knowing it is talking to a gateway.  Each accepted event is copied once
+/// into its shared allocation; producers that can hand over
+/// [`SharedEvent`]s should use the `EventSink<SharedEvent>` impl instead.
 impl EventSink<Event> for EventGateway {
     fn accept(&self, event: &Event) -> std::result::Result<usize, SinkError> {
         Ok(self.publish(event))
@@ -628,6 +665,19 @@ impl EventSink<Event> for EventGateway {
 
     fn accept_batch(&self, events: &[Event]) -> std::result::Result<usize, SinkError> {
         Ok(self.publish_batch(events))
+    }
+}
+
+/// The zero-copy sink: accepting a [`SharedEvent`] bumps its refcount and
+/// fans it out without any event copy.  This is the hop the sensor
+/// manager's push path uses.
+impl EventSink<SharedEvent> for EventGateway {
+    fn accept(&self, event: &SharedEvent) -> std::result::Result<usize, SinkError> {
+        Ok(self.publish_shared(SharedEvent::clone(event)))
+    }
+
+    fn accept_batch(&self, events: &[SharedEvent]) -> std::result::Result<usize, SinkError> {
+        Ok(self.publish_shared_batch(events))
     }
 }
 
@@ -660,7 +710,7 @@ mod tests {
         gw.publish(&ev("h1", "CPU_TOTAL", 10.0, 1));
         gw.publish(&ev("h1", "VMSTAT_FREE_MEMORY", 999.0, 1));
         gw.publish(&ev("h2", "CPU_TOTAL", 20.0, 2));
-        let got: Vec<Event> = sub.events.try_iter().collect();
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
         assert_eq!(got.len(), 2);
         assert!(got.iter().all(|e| e.event_type == "CPU_TOTAL"));
         assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 3);
@@ -741,7 +791,7 @@ mod tests {
         for i in 0..25u64 {
             gw.publish(&ev("h", "CPU_TOTAL", i as f64, i));
         }
-        let got: Vec<Event> = sub.events.try_iter().collect();
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
         assert_eq!(got.len(), 10, "queue bounded at 10");
         // The oldest were evicted: what remains is the freshest tail.
         let times: Vec<u64> = got.iter().map(|e| e.timestamp.as_secs()).collect();
@@ -766,7 +816,7 @@ mod tests {
         for i in 0..25u64 {
             gw.publish(&ev("h", "CPU_TOTAL", i as f64, i));
         }
-        let got: Vec<Event> = sub.events.try_iter().collect();
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
         let times: Vec<u64> = got.iter().map(|e| e.timestamp.as_secs()).collect();
         assert_eq!(times, (0..10).collect::<Vec<_>>());
         assert_eq!(sub.dropped(), 15);
@@ -818,8 +868,8 @@ mod tests {
         let mut batch_subs = make_subs(&batch);
         batch.publish_batch(&events);
         for (a, b) in one_subs.into_iter().zip(batch_subs.iter_mut()) {
-            let left: Vec<Event> = a.events.try_iter().collect();
-            let right: Vec<Event> = b.drain();
+            let left: Vec<SharedEvent> = a.events.try_iter().collect();
+            let right: Vec<SharedEvent> = b.drain();
             assert_eq!(left, right, "same deliveries either way");
             assert_eq!(a.delivered(), b.delivered());
             assert_eq!(a.dropped(), b.dropped());
@@ -888,7 +938,7 @@ mod tests {
         assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 1_000);
         assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 1_000);
         assert_eq!(sub.delivered(), 1_000);
-        let mut got: Vec<Event> = sub.events.try_iter().collect();
+        let mut got: Vec<SharedEvent> = sub.events.try_iter().collect();
         assert_eq!(got.len(), 1_000);
         // Per-type ordering survives parallel delivery: a type is pinned to
         // one shard, a shard to one worker.
@@ -921,7 +971,7 @@ mod tests {
         gw.quiesce();
         assert_eq!(gw.stats().events_out.load(Ordering::Relaxed), 300);
         assert_eq!(sub.delivered(), 300);
-        let got: Vec<Event> = sub.events.try_iter().collect();
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
         assert_eq!(got.len(), 300);
         for ty in ["TYPE_0", "TYPE_1", "TYPE_2"] {
             let times: Vec<u64> = got

@@ -1,26 +1,22 @@
-//! Crate-private FNV-1a, the one hash both sharding decisions use: stable
-//! across runs (routing and summary placement are reproducible in tests)
-//! and fast on the short strings it is fed.
+//! Crate-private hashing for the sharding decisions.
+//!
+//! Every shard key is derived from interned [`jamm_core::intern::Sym`]
+//! handles, mixed through [`mix64`] so consecutive intern indexes spread
+//! across shards — no string bytes are hashed per published event.
+//! Placement is stable for the life of the process (intern order), which
+//! is all the tests and reports rely on.
 
-const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
-    bytes
-        .iter()
-        .fold(h, |h, b| (h ^ u64::from(*b)).wrapping_mul(PRIME))
+/// SplitMix64 finalizer: a few integer ops that turn dense intern indexes
+/// into well-spread shard keys.  Stable for the life of the process.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
-/// Hash an event type (the routing table's shard key).
-pub(crate) fn fnv1a_str(s: &str) -> u64 {
-    fnv1a(OFFSET, s.as_bytes())
-}
-
-/// Hash a (host, event type) series key (the summary engine's shard key),
-/// NUL-separated so ("ab", "c") and ("a", "bc") differ.
-pub(crate) fn fnv1a_series(host: &str, event_type: &str) -> u64 {
-    fnv1a(
-        fnv1a(fnv1a(OFFSET, host.as_bytes()), &[0]),
-        event_type.as_bytes(),
-    )
+/// Shard key of an interned (host, event type) series — integer mixing
+/// only, used by the summary engine and the gateway query cache.
+pub(crate) fn sym_series(host: jamm_core::intern::Sym, event_type: jamm_core::intern::Sym) -> u64 {
+    mix64(((host.index() as u64) << 32) | event_type.index() as u64)
 }

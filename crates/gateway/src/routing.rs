@@ -39,12 +39,12 @@ use std::sync::Arc;
 
 use jamm_core::channel::{bounded, Sender, TrySendError};
 use jamm_core::flow::{DeliveryCounters, OverflowPolicy};
+use jamm_core::intern::Sym;
 use jamm_core::sync::{Mutex, RwLock};
-use jamm_ulm::Event;
+use jamm_ulm::SharedEvent;
 
 use crate::filter::{EventFilter, FilterChain};
 use crate::gateway::{DeliveryReport, Subscription};
-use crate::hash::fnv1a_str as fnv1a;
 
 /// Default number of routing (and summary) shards a gateway runs with.
 pub const DEFAULT_GATEWAY_SHARDS: usize = 8;
@@ -55,8 +55,9 @@ enum RouteKeys {
     /// No type constraint: present in every shard's wildcard list.
     Wildcard,
     /// Constrained to these event types (the intersection of the chain's
-    /// `EventTypes` predicates): present only in those types' buckets.
-    Types(Vec<String>),
+    /// `EventTypes` predicates, interned): present only in those types'
+    /// buckets.
+    Types(Vec<Sym>),
 }
 
 /// One live subscription as the router sees it.
@@ -71,7 +72,7 @@ pub(crate) struct RouteEntry {
     consumer: String,
     chain: Mutex<FilterChain>,
     routes: RouteKeys,
-    tx: Sender<Event>,
+    tx: Sender<SharedEvent>,
     overflow: OverflowPolicy,
     counters: Arc<DeliveryCounters>,
     /// Set once the consumer side is observed gone; the entry is skipped
@@ -96,13 +97,13 @@ impl RouteEntry {
         id: u64,
         consumer: String,
         filters: Vec<EventFilter>,
-        tx: Sender<Event>,
+        tx: Sender<SharedEvent>,
         overflow: OverflowPolicy,
         counters: Arc<DeliveryCounters>,
     ) -> Self {
         let chain = FilterChain::new(filters);
         let routes = match chain.routed_types() {
-            Some(types) => RouteKeys::Types(types),
+            Some(types) => RouteKeys::Types(types.iter().map(|t| Sym::intern(t)).collect()),
             None => RouteKeys::Wildcard,
         };
         RouteEntry {
@@ -117,16 +118,20 @@ impl RouteEntry {
         }
     }
 
-    /// Evaluate the chain and push one event.
-    fn deliver(&self, event: &Event, size: u64) -> Delivery {
+    /// Evaluate the chain and push one event.  Takes the event by value:
+    /// queuing it is a move of the `Arc`, never a copy of the event — the
+    /// caller bumps the refcount for all but its last delivery, so a
+    /// single-subscriber fan-out moves the published `Arc` straight into
+    /// the queue.
+    fn deliver(&self, event: SharedEvent, size: u64) -> Delivery {
         if self.closed.load(Ordering::Relaxed) {
             return Delivery::Closed;
         }
-        if !self.chain.lock().accept(event) {
+        if !self.chain.lock().accept(&event) {
             return Delivery::Filtered;
         }
         match self.overflow {
-            OverflowPolicy::DropOldest => match self.tx.send_overwriting(event.clone()) {
+            OverflowPolicy::DropOldest => match self.tx.send_overwriting(event) {
                 Ok(evicted) => {
                     if evicted {
                         self.counters.record_dropped(1);
@@ -139,7 +144,7 @@ impl RouteEntry {
                     Delivery::Closed
                 }
             },
-            OverflowPolicy::DropNewest => match self.tx.try_send(event.clone()) {
+            OverflowPolicy::DropNewest => match self.tx.try_send(event) {
                 Ok(()) => {
                     self.counters.record_delivered(size);
                     Delivery::Sent { evicted: false }
@@ -160,8 +165,10 @@ impl RouteEntry {
 /// An immutable routing snapshot for one shard.
 #[derive(Default)]
 struct ShardTable {
-    /// Subscriptions constrained to an event type owned by this shard.
-    by_type: HashMap<String, Vec<Arc<RouteEntry>>>,
+    /// Subscriptions constrained to an event type owned by this shard,
+    /// keyed by the interned type: the per-publish lookup hashes a `u32`,
+    /// not the event-type string.
+    by_type: HashMap<Sym, Vec<Arc<RouteEntry>>>,
     /// Subscriptions with no type constraint (present in every shard).
     wildcard: Vec<Arc<RouteEntry>>,
 }
@@ -251,9 +258,10 @@ impl ShardedRouter {
         self.shards.len()
     }
 
-    /// The shard that owns an event type.
-    pub(crate) fn shard_of(&self, event_type: &str) -> usize {
-        (fnv1a(event_type) % self.shards.len() as u64) as usize
+    /// The shard that owns an interned event type: pure integer
+    /// arithmetic, no string hashing.
+    pub(crate) fn shard_of_sym(&self, ty: Sym) -> usize {
+        (crate::hash::mix64(ty.index() as u64) % self.shards.len() as u64) as usize
     }
 
     /// Shards an entry is registered in.
@@ -261,7 +269,7 @@ impl ShardedRouter {
         match &entry.routes {
             RouteKeys::Wildcard => (0..self.shards.len()).collect(),
             RouteKeys::Types(types) => {
-                let mut idxs: Vec<usize> = types.iter().map(|t| self.shard_of(t)).collect();
+                let mut idxs: Vec<usize> = types.iter().map(|t| self.shard_of_sym(*t)).collect();
                 idxs.sort_unstable();
                 idxs.dedup();
                 idxs
@@ -281,12 +289,8 @@ impl ShardedRouter {
                 RouteKeys::Wildcard => table.wildcard.push(Arc::clone(entry)),
                 RouteKeys::Types(types) => {
                     for t in types {
-                        if self.shard_of(t) == idx {
-                            table
-                                .by_type
-                                .entry(t.clone())
-                                .or_default()
-                                .push(Arc::clone(entry));
+                        if self.shard_of_sym(*t) == idx {
+                            table.by_type.entry(*t).or_default().push(Arc::clone(entry));
                         }
                     }
                 }
@@ -407,18 +411,31 @@ impl ShardedRouter {
 
     /// Route one event: snapshot the owning shard's table and deliver to
     /// the type bucket plus the wildcard list, with no lock held during
-    /// delivery.
-    pub(crate) fn route(&self, event: &Event) -> RouteOutcome {
+    /// delivery.  Each delivery bumps the `Arc` refcount; the final
+    /// candidate receives the owned `Arc` itself, so routing to N
+    /// subscribers performs exactly N-1 refcount bumps and zero event
+    /// copies.
+    pub(crate) fn route(&self, ty: Sym, event: SharedEvent) -> RouteOutcome {
         let size = event.approx_size() as u64;
-        let idx = self.shard_of(&event.event_type);
+        let idx = self.shard_of_sym(ty);
         let shard = &self.shards[idx];
         shard.stats.events_in.fetch_add(1, Ordering::Relaxed);
         let table = shard.table.read().clone();
         let mut out = RouteOutcome::default();
         let mut saw_closed = false;
-        let typed = table.by_type.get(&event.event_type);
-        for entry in typed.into_iter().flatten().chain(table.wildcard.iter()) {
-            match entry.deliver(event, size) {
+        let typed = table.by_type.get(&ty);
+        let mut candidates = typed.into_iter().flatten().chain(table.wildcard.iter());
+        let mut current = candidates.next();
+        let mut event = Some(event);
+        while let Some(entry) = current {
+            current = candidates.next();
+            // The last candidate takes the owned Arc — no refcount
+            // round-trip for the single-subscriber (or final) delivery.
+            let ev = match current {
+                Some(_) => SharedEvent::clone(event.as_ref().expect("event held until last")),
+                None => event.take().expect("event held until last"),
+            };
+            match entry.deliver(ev, size) {
                 Delivery::Sent { evicted } => {
                     out.delivered += 1;
                     out.bytes += size;
@@ -449,10 +466,11 @@ impl ShardedRouter {
     /// Route a batch: filters are evaluated per event **in publish order**
     /// (so stateful predicates behave exactly as under per-event routing),
     /// but queue pushes are buffered per subscription and flushed with one
-    /// batched send each.
-    pub(crate) fn route_batch(&self, events: &[&Event]) -> RouteOutcome {
+    /// batched send each.  Buffering an event for a subscription is an
+    /// `Arc` refcount bump, never a copy.
+    pub(crate) fn route_batch(&self, events: &[SharedEvent]) -> RouteOutcome {
         /// One buffered delivery: the owning shard, payload size, event.
-        type Buffered = (usize, u64, Event);
+        type Buffered = (usize, u64, SharedEvent);
         let mut snapshots: Vec<Option<Arc<ShardTable>>> = vec![None; self.shards.len()];
         // Per-subscription buffers of (shard, size, event), in first-match
         // order; `index` maps subscription id -> buffer slot.
@@ -461,15 +479,16 @@ impl ShardedRouter {
         let mut saw_closed = false;
         for event in events {
             let size = event.approx_size() as u64;
-            let idx = self.shard_of(&event.event_type);
+            let ty = Sym::intern(&event.event_type);
+            let idx = self.shard_of_sym(ty);
             self.shards[idx]
                 .stats
                 .events_in
                 .fetch_add(1, Ordering::Relaxed);
-            let table = snapshots[idx]
-                .get_or_insert_with(|| self.shards[idx].table.read().clone())
-                .clone();
-            let typed = table.by_type.get(&event.event_type);
+            // Borrow the cached snapshot in place — no per-event Arc
+            // refcount round-trip on the table itself.
+            let table = snapshots[idx].get_or_insert_with(|| self.shards[idx].table.read().clone());
+            let typed = table.by_type.get(&ty);
             for entry in typed.into_iter().flatten().chain(table.wildcard.iter()) {
                 if entry.closed.load(Ordering::Relaxed) {
                     saw_closed = true;
@@ -482,7 +501,7 @@ impl ShardedRouter {
                     buffers.push((Arc::clone(entry), Vec::new()));
                     buffers.len() - 1
                 });
-                buffers[slot].1.push((idx, size, (*event).clone()));
+                buffers[slot].1.push((idx, size, SharedEvent::clone(event)));
             }
         }
         let mut out = RouteOutcome::default();
@@ -493,7 +512,7 @@ impl ShardedRouter {
         for (entry, buffered) in buffers {
             let shard_idxs: Vec<usize> = buffered.iter().map(|(i, _, _)| *i).collect();
             let sizes: Vec<u64> = buffered.iter().map(|(_, s, _)| *s).collect();
-            let batch: Vec<Event> = buffered.into_iter().map(|(_, _, e)| e).collect();
+            let batch: Vec<SharedEvent> = buffered.into_iter().map(|(_, _, e)| e).collect();
             match entry.overflow {
                 OverflowPolicy::DropOldest => match entry.tx.send_batch_overwriting(batch) {
                     Ok(evicted) => {
@@ -608,26 +627,28 @@ impl FlatFanout {
 
     /// Publish one event to every matching subscription, scanning the whole
     /// list under the lock.  Returns the aggregate outcome.
-    pub fn publish(&self, event: &Event) -> RouteOutcome {
+    pub fn publish(&self, event: &SharedEvent) -> RouteOutcome {
         let size = event.approx_size() as u64;
         let mut out = RouteOutcome::default();
         let mut subs = self.subs.lock();
-        subs.retain(|entry| match entry.deliver(event, size) {
-            Delivery::Sent { evicted } => {
-                out.delivered += 1;
-                out.bytes += size;
-                if evicted {
-                    out.dropped += 1;
+        subs.retain(
+            |entry| match entry.deliver(SharedEvent::clone(event), size) {
+                Delivery::Sent { evicted } => {
+                    out.delivered += 1;
+                    out.bytes += size;
+                    if evicted {
+                        out.dropped += 1;
+                    }
+                    true
                 }
-                true
-            }
-            Delivery::Dropped => {
-                out.dropped += 1;
-                true
-            }
-            Delivery::Filtered => true,
-            Delivery::Closed => false,
-        });
+                Delivery::Dropped => {
+                    out.dropped += 1;
+                    true
+                }
+                Delivery::Filtered => true,
+                Delivery::Closed => false,
+            },
+        );
         out
     }
 

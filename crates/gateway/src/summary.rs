@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use jamm_core::intern::Sym;
 use jamm_core::sync::Mutex;
 use jamm_ulm::{keys, Event, Level, Timestamp};
 
@@ -96,7 +97,10 @@ pub struct Summary {
 /// ```
 #[derive(Debug, Default)]
 pub struct SummaryEngine {
-    series: HashMap<(String, String), VecDeque<(Timestamp, f64)>>,
+    /// Series keyed by interned (host, event type): recording a reading
+    /// hashes two `u32`s and allocates nothing, where the string-keyed map
+    /// used to clone both strings on every lookup-or-insert.
+    series: HashMap<(Sym, Sym), VecDeque<(Timestamp, f64)>>,
 }
 
 impl SummaryEngine {
@@ -111,9 +115,19 @@ impl SummaryEngine {
     /// order (sensors on different hosts feed one gateway, so modest
     /// reordering is normal); the common in-order case is a plain append.
     pub fn record(&mut self, event: &Event) {
+        self.record_interned(
+            Sym::intern(&event.host),
+            Sym::intern(&event.event_type),
+            event,
+        );
+    }
+
+    /// Record with pre-interned series identity — the gateway interns
+    /// host/type once per publish and shares the handles with the query
+    /// cache, so recording is pure integer work.
+    pub(crate) fn record_interned(&mut self, host: Sym, event_type: Sym, event: &Event) {
         let Some(value) = event.value() else { return };
-        let key = (event.host.clone(), event.event_type.clone());
-        let series = self.series.entry(key).or_default();
+        let series = self.series.entry((host, event_type)).or_default();
         if series.back().is_some_and(|(t, _)| *t > event.timestamp) {
             let pos = series.partition_point(|(t, _)| *t <= event.timestamp);
             series.insert(pos, (event.timestamp, value));
@@ -140,36 +154,23 @@ impl SummaryEngine {
         window: SummaryWindow,
         now: Timestamp,
     ) -> Option<Summary> {
-        let series = self
-            .series
-            .get(&(host.to_string(), event_type.to_string()))?;
-        let cutoff = now.sub_micros(window.micros());
-        let mut count = 0usize;
-        let mut sum = 0.0;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for (t, v) in series.iter().rev() {
-            if *t < cutoff || *t > now {
-                if *t < cutoff {
-                    break;
-                }
-                continue;
-            }
-            count += 1;
-            sum += v;
-            min = min.min(*v);
-            max = max.max(*v);
-        }
-        if count == 0 {
-            return None;
-        }
-        Some(Summary {
-            window,
-            count,
-            mean: sum / count as f64,
-            min,
-            max,
-        })
+        // Query path: a never-recorded series has no interned identity;
+        // `lookup` avoids growing the intern table for probes.
+        let (host, event_type) = (Sym::lookup(host)?, Sym::lookup(event_type)?);
+        self.summary_interned(host, event_type, window, now)
+    }
+
+    /// Compute one series' summary from already-resolved handles (shared
+    /// by the sharded engine so a query resolves each string once).
+    pub(crate) fn summary_interned(
+        &self,
+        host: Sym,
+        event_type: Sym,
+        window: SummaryWindow,
+        now: Timestamp,
+    ) -> Option<Summary> {
+        let series = self.series.get(&(host, event_type))?;
+        summarize(series, window, now)
     }
 
     /// Produce summary *events* for every tracked series and every requested
@@ -186,27 +187,30 @@ impl SummaryEngine {
         rows.into_iter().flat_map(|(_, events)| events).collect()
     }
 
-    /// One row per tracked series, unsorted: the series key plus its
-    /// summary events for the requested windows (in window order).  The
-    /// sharded engine collects these under one lock per shard and
-    /// merge-sorts across shards.
+    /// One row per tracked series, unsorted: the resolved series key plus
+    /// its summary events for the requested windows (in window order).
+    /// The sharded engine collects these under one lock per shard and
+    /// merge-sorts across shards.  Keys are resolved to strings here (the
+    /// cold path) so the cross-shard ordering matches the seed-era
+    /// string-keyed output exactly.
     fn summary_rows(
         &self,
         windows: &[SummaryWindow],
         now: Timestamp,
         gateway_name: &str,
-    ) -> Vec<((String, String), Vec<Event>)> {
+    ) -> Vec<((&'static str, &'static str), Vec<Event>)> {
         self.series
-            .keys()
-            .map(|key| {
+            .iter()
+            .map(|((host, ty), series)| {
+                let (host, ty) = (host.as_str(), ty.as_str());
                 let events = windows
                     .iter()
                     .filter_map(|w| {
-                        self.summary(&key.0, &key.1, *w, now)
-                            .map(|s| summary_event(gateway_name, &key.0, &key.1, &s, now))
+                        summarize(series, *w, now)
+                            .map(|s| summary_event(gateway_name, host, ty, &s, now))
                     })
                     .collect();
-                (key.clone(), events)
+                ((host, ty), events)
             })
             .collect()
     }
@@ -248,6 +252,41 @@ pub struct ShardedSummaryEngine {
     shards: Vec<Mutex<SummaryEngine>>,
 }
 
+/// Compute one window's statistics over a time-ordered reading series.
+fn summarize(
+    series: &VecDeque<(Timestamp, f64)>,
+    window: SummaryWindow,
+    now: Timestamp,
+) -> Option<Summary> {
+    let cutoff = now.sub_micros(window.micros());
+    let mut count = 0usize;
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (t, v) in series.iter().rev() {
+        if *t < cutoff || *t > now {
+            if *t < cutoff {
+                break;
+            }
+            continue;
+        }
+        count += 1;
+        sum += v;
+        min = min.min(*v);
+        max = max.max(*v);
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(Summary {
+        window,
+        count,
+        mean: sum / count as f64,
+        min,
+        max,
+    })
+}
+
 /// Build the synthetic ULM event carrying one series' window summary —
 /// the one event shape both the flat and the sharded engine emit (the
 /// sharded == flat property test depends on them agreeing byte for byte).
@@ -270,7 +309,7 @@ fn summary_event(
         .build()
 }
 
-use crate::hash::fnv1a_series as series_hash;
+use crate::hash::sym_series;
 
 impl ShardedSummaryEngine {
     /// Create an engine split across `shards` locks (clamped to at least 1).
@@ -287,17 +326,27 @@ impl ShardedSummaryEngine {
         self.shards.len()
     }
 
-    fn shard_of(&self, host: &str, event_type: &str) -> &Mutex<SummaryEngine> {
-        let idx = (series_hash(host, event_type) % self.shards.len() as u64) as usize;
+    fn shard_of(&self, host: Sym, event_type: Sym) -> &Mutex<SummaryEngine> {
+        let idx = (sym_series(host, event_type) % self.shards.len() as u64) as usize;
         &self.shards[idx]
     }
 
     /// Record an event's numeric reading (see [`SummaryEngine::record`]).
     /// Takes `&self`: only the owning shard's lock is held, briefly.
     pub fn record(&self, event: &Event) {
-        self.shard_of(&event.host, &event.event_type)
+        self.record_interned(
+            Sym::intern(&event.host),
+            Sym::intern(&event.event_type),
+            event,
+        );
+    }
+
+    /// Record with pre-interned series identity (the gateway's publish
+    /// path): shard selection and the series lookup are integer-only.
+    pub(crate) fn record_interned(&self, host: Sym, event_type: Sym, event: &Event) {
+        self.shard_of(host, event_type)
             .lock()
-            .record(event);
+            .record_interned(host, event_type, event);
     }
 
     /// Compute one series' summary over one window ending at `now` (see
@@ -309,9 +358,10 @@ impl ShardedSummaryEngine {
         window: SummaryWindow,
         now: Timestamp,
     ) -> Option<Summary> {
-        self.shard_of(host, event_type)
+        let (h, t) = (Sym::lookup(host)?, Sym::lookup(event_type)?);
+        self.shard_of(h, t)
             .lock()
-            .summary(host, event_type, window, now)
+            .summary_interned(h, t, window, now)
     }
 
     /// Produce summary events for every tracked series and every requested
@@ -325,7 +375,7 @@ impl ShardedSummaryEngine {
         now: Timestamp,
         gateway_name: &str,
     ) -> Vec<Event> {
-        let mut rows: Vec<((String, String), Vec<Event>)> = self
+        let mut rows: Vec<((&'static str, &'static str), Vec<Event>)> = self
             .shards
             .iter()
             .flat_map(|s| s.lock().summary_rows(windows, now, gateway_name))
@@ -415,7 +465,7 @@ mod tests {
         // Only about an hour's worth (60 one-minute-spaced readings) remains.
         let series = eng
             .series
-            .get(&("h".to_string(), "CPU_TOTAL".to_string()))
+            .get(&(Sym::intern("h"), Sym::intern("CPU_TOTAL")))
             .unwrap();
         assert!(series.len() <= 62, "len = {}", series.len());
     }

@@ -56,10 +56,10 @@ fn delivery_is_a_filtered_subset() {
         for e in &events {
             gw.publish(e);
         }
-        let delivered: Vec<Event> = sub.events.try_iter().collect();
+        let delivered: Vec<jamm_ulm::SharedEvent> = sub.events.try_iter().collect();
         assert!(delivered.len() <= events.len());
         for d in &delivered {
-            assert!(events.contains(d), "gateway must not invent events");
+            assert!(events.contains(&**d), "gateway must not invent events");
             for f in &filters {
                 match f {
                     EventFilter::EventTypes(tys) => assert!(tys.contains(&d.event_type)),
@@ -266,12 +266,12 @@ fn sharded_routing_is_equivalent_to_the_flat_list() {
             }
         }
         for e in &events {
-            flat.publish(e);
+            flat.publish(&std::sync::Arc::new(e.clone()));
         }
 
         for (a, b) in flat_subs.iter().zip(gw_subs.iter()) {
-            let left: Vec<Event> = a.events.try_iter().collect();
-            let right: Vec<Event> = b.events.try_iter().collect();
+            let left: Vec<jamm_ulm::SharedEvent> = a.events.try_iter().collect();
+            let right: Vec<jamm_ulm::SharedEvent> = b.events.try_iter().collect();
             assert_eq!(left, right, "same delivered sequence either way");
             assert_eq!(a.delivered(), b.delivered());
             assert_eq!(a.dropped(), b.dropped());

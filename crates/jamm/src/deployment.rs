@@ -330,7 +330,7 @@ impl JammDeployment {
     /// collector gathered, time-ordered.
     pub fn merged_log(&self) -> Vec<Event> {
         let mut all: Vec<Event> = self.scenario.trace.events().to_vec();
-        all.extend(self.collector.events().iter().cloned());
+        all.extend(self.collector.events().iter().map(|e| (**e).clone()));
         all.sort_by_key(|e| e.timestamp);
         all
     }

@@ -74,6 +74,7 @@ pub use builder::{
     ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem,
 };
 pub use deployment::{DeploymentConfig, JammDeployment};
+pub use jamm_ulm::SharedEvent;
 
 // Re-export the sub-crates under predictable names so downstream users need
 // only one dependency.

@@ -19,7 +19,7 @@ use jamm_sensors::network::SnmpSensor;
 use jamm_sensors::process::ProcessSensor;
 use jamm_sensors::tcp::{NetstatCounterSensor, TcpSensor};
 use jamm_sensors::{SampleContext, Sensor, StatsSource};
-use jamm_ulm::Event;
+use jamm_ulm::SharedEvent;
 use jamm_ulm::Timestamp;
 
 use crate::config::{ConfigProvider, ManagerConfig, RunPolicy, SensorTemplate};
@@ -229,14 +229,16 @@ impl SensorManager {
     /// 3. sample every running sensor whose period has elapsed;
     /// 4. push the events into the sink (normally the host's event
     ///    gateway, but any [`EventSink`] — a remote bridge, an archive, a
-    ///    test probe — works);
+    ///    test probe — works).  Each sampled event is wrapped once as a
+    ///    [`SharedEvent`] at the push boundary: the publish side of the
+    ///    pipeline never copies it again;
     /// 5. refresh the sensor directory.
     pub fn tick(
         &mut self,
         now: Timestamp,
         stats: &dyn StatsSource,
         ports: &dyn PortActivitySource,
-        sink: &dyn EventSink<Event>,
+        sink: &dyn EventSink<SharedEvent>,
         directory: Option<&Arc<DirectoryServer>>,
     ) -> u64 {
         // 1. Port activity.
@@ -277,7 +279,12 @@ impl SensorManager {
                 timestamp: now,
                 source: stats,
             };
-            let events = s.sensor.sample(&ctx);
+            let events: Vec<SharedEvent> = s
+                .sensor
+                .sample(&ctx)
+                .into_iter()
+                .map(SharedEvent::new)
+                .collect();
             s.events_emitted += events.len() as u64;
             // A failing sink is not the manager's failure: the sensors keep
             // running, and the whole batch is counted as lost (the default

@@ -123,6 +123,9 @@ pub struct NetLogger {
     /// Fixed timestamp override used by tests and the simulator; `None`
     /// means stamp with wall-clock time.
     clock_override: Option<Timestamp>,
+    /// Reused encode scratch for the file sinks: one line/frame buffer
+    /// amortized over the stream instead of an allocation per write.
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for NetLogger {
@@ -155,6 +158,7 @@ impl NetLogger {
             auto_flush_at: 1_024,
             written: 0,
             clock_override: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -233,7 +237,13 @@ impl NetLogger {
                 Ok(())
             }
             Some(OpenSink::File(w)) => {
-                writeln!(w, "{}", text::encode(&event))?;
+                self.scratch.clear();
+                let mut line = String::from_utf8(std::mem::take(&mut self.scratch))
+                    .expect("scratch holds previously encoded UTF-8");
+                text::encode_into(&mut line, &event);
+                line.push('\n');
+                w.write_all(line.as_bytes())?;
+                self.scratch = line.into_bytes();
                 self.written += 1;
                 Ok(())
             }
@@ -243,7 +253,9 @@ impl NetLogger {
                 Ok(())
             }
             Some(OpenSink::EncodedFile { writer, codec }) => {
-                writer.write_all(&codec.encode(&event))?;
+                self.scratch.clear();
+                codec.encode_to(&mut self.scratch, &event);
+                writer.write_all(&self.scratch)?;
                 // Binary frames are self-delimiting; the text and JSON
                 // formats are one-document-per-line and need the separator
                 // (TextCodec::encode emits no trailing newline).

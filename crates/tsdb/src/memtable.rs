@@ -7,14 +7,18 @@
 
 use std::collections::BTreeMap;
 
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use crate::query::TsdbQuery;
 
 /// Sorted in-memory buffer of not-yet-sealed events.
+///
+/// Events are held as [`SharedEvent`]s: the archiver's ingest path hands
+/// the same `Arc`s the gateway fanned out straight into the buffer, so
+/// archiving costs a refcount bump per event instead of a deep copy.
 #[derive(Debug, Default)]
 pub struct MemTable {
-    events: BTreeMap<(Timestamp, u64), Event>,
+    events: BTreeMap<(Timestamp, u64), SharedEvent>,
     approx_bytes: usize,
 }
 
@@ -25,7 +29,7 @@ impl MemTable {
     }
 
     /// Insert one event under its sequence number.
-    pub fn insert(&mut self, seq: u64, event: Event) {
+    pub fn insert(&mut self, seq: u64, event: SharedEvent) {
         self.approx_bytes += event.approx_size();
         self.events.insert((event.timestamp, seq), event);
     }
@@ -57,7 +61,7 @@ impl MemTable {
 
     /// Move everything out in `(timestamp, sequence)` order, leaving the
     /// memtable empty.  This is the seal path.
-    pub fn drain_sorted(&mut self) -> Vec<(u64, Event)> {
+    pub fn drain_sorted(&mut self) -> Vec<(u64, SharedEvent)> {
         self.approx_bytes = 0;
         std::mem::take(&mut self.events)
             .into_iter()
@@ -68,7 +72,7 @@ impl MemTable {
     /// Snapshot the events matching `query`, in order, as `(seq, event)`
     /// pairs.  The snapshot is bounded by the memtable's seal threshold, so
     /// this is the only place a scan materializes anything.
-    pub fn matching(&self, query: &TsdbQuery) -> Vec<(u64, Event)> {
+    pub fn matching(&self, query: &TsdbQuery) -> Vec<(u64, SharedEvent)> {
         let lower = query.from.map(|t| (t, 0)).unwrap_or((Timestamp::EPOCH, 0));
         let mut out = Vec::new();
         for ((ts, seq), e) in self.events.range(lower..) {
@@ -78,7 +82,8 @@ impl MemTable {
                 }
             }
             if query.matches(e) {
-                out.push((*seq, e.clone()));
+                // A snapshot entry is a refcount bump, not an event copy.
+                out.push((*seq, SharedEvent::clone(e)));
             }
         }
         out
@@ -86,7 +91,7 @@ impl MemTable {
 
     /// Iterate all buffered events in order (for catalog aggregation).
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.events.values()
+        self.events.values().map(|e| &**e)
     }
 
     /// Drop events strictly older than `cutoff`; returns how many were
@@ -95,16 +100,16 @@ impl MemTable {
         let keep = self.events.split_off(&(cutoff, 0));
         let removed = self.events.len();
         self.events = keep;
-        self.approx_bytes = self.events.values().map(Event::approx_size).sum();
+        self.approx_bytes = self.events.values().map(|e| e.approx_size()).sum();
         removed
     }
 
     /// The surviving `(seq, event)` pairs in order (used to rewrite the WAL
     /// after a retention cut).
-    pub fn snapshot(&self) -> Vec<(u64, Event)> {
+    pub fn snapshot(&self) -> Vec<(u64, SharedEvent)> {
         self.events
             .iter()
-            .map(|((_, seq), e)| (*seq, e.clone()))
+            .map(|((_, seq), e)| (*seq, SharedEvent::clone(e)))
             .collect()
     }
 }
@@ -114,13 +119,15 @@ mod tests {
     use super::*;
     use jamm_ulm::Level;
 
-    fn ev(host: &str, ty: &str, t: u64) -> Event {
-        Event::builder("p", host)
-            .level(Level::Usage)
-            .event_type(ty)
-            .timestamp(Timestamp::from_secs(t))
-            .value(1.0)
-            .build()
+    fn ev(host: &str, ty: &str, t: u64) -> SharedEvent {
+        SharedEvent::new(
+            Event::builder("p", host)
+                .level(Level::Usage)
+                .event_type(ty)
+                .timestamp(Timestamp::from_secs(t))
+                .value(1.0)
+                .build(),
+        )
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! sequence)` order while decoding segment data lazily — the whole match
 //! set is never materialized.
 
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use crate::segment::SegmentCursor;
 
@@ -77,7 +77,7 @@ impl TsdbQuery {
 /// One merge source: either the (pre-filtered, pre-sorted) memtable
 /// snapshot or a lazily decoding segment cursor with the query applied.
 enum Source {
-    Mem(std::vec::IntoIter<(u64, Event)>),
+    Mem(std::vec::IntoIter<(u64, SharedEvent)>),
     Seg(SegmentCursor),
 }
 
@@ -93,8 +93,10 @@ impl Peeked {
         self.head = loop {
             match &mut self.source {
                 Source::Mem(iter) => {
-                    // Already filtered and ordered.
-                    break iter.next().map(|(seq, e)| (e.timestamp, seq, e));
+                    // Already filtered and ordered.  Yielding an owned
+                    // event deep-copies from the shared snapshot here —
+                    // the scan (cold) path, never the ingest path.
+                    break iter.next().map(|(seq, e)| (e.timestamp, seq, (*e).clone()));
                 }
                 Source::Seg(cursor) => match cursor.next_event() {
                     None => break None,
@@ -131,7 +133,7 @@ pub struct ScanIter {
 impl ScanIter {
     pub(crate) fn new(
         query: TsdbQuery,
-        mem: Vec<(u64, Event)>,
+        mem: Vec<(u64, SharedEvent)>,
         cursors: Vec<SegmentCursor>,
     ) -> ScanIter {
         let mut sources = Vec::with_capacity(cursors.len() + 1);
@@ -209,7 +211,10 @@ mod tests {
             &[(1, ev(10, "a")), (3, ev(30, "a")), (5, ev(50, "a"))],
         ));
         let seg_b = Arc::new(Segment::build(2, &[(2, ev(20, "b")), (4, ev(40, "b"))]));
-        let mem = vec![(6u64, ev(25, "m")), (7u64, ev(60, "m"))];
+        let mem = vec![
+            (6u64, std::sync::Arc::new(ev(25, "m"))),
+            (7u64, std::sync::Arc::new(ev(60, "m"))),
+        ];
         let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg_a.cursor(), seg_b.cursor()]);
         let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
         assert_eq!(times, vec![10, 20, 25, 30, 40, 50, 60]);
@@ -218,7 +223,10 @@ mod tests {
     #[test]
     fn same_timestamp_orders_by_sequence() {
         let seg = Arc::new(Segment::build(1, &[(5, ev(10, "a"))]));
-        let mem = vec![(2u64, ev(10, "m")), (9u64, ev(10, "m"))];
+        let mem = vec![
+            (2u64, std::sync::Arc::new(ev(10, "m"))),
+            (9u64, std::sync::Arc::new(ev(10, "m"))),
+        ];
         let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg.cursor()]);
         let hosts: Vec<String> = iter.map(|e| e.host).collect();
         assert_eq!(hosts, vec!["m", "a", "m"]); // seq 2, 5, 9

@@ -18,9 +18,10 @@
 //! cursor-based so a scan streams events out of the compressed buffer one
 //! at a time instead of materializing the segment.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
+use jamm_core::intern::Sym;
 use jamm_ulm::{binary, Event, Timestamp, Value};
 
 use crate::codec::{
@@ -112,29 +113,30 @@ impl Segment {
     /// Freeze a batch of `(sequence, event)` pairs, **already sorted** by
     /// `(timestamp, sequence)`, into a segment.  Panics on an empty batch —
     /// the store never seals an empty memtable.
-    pub fn build(id: u64, sorted: &[(u64, Event)]) -> Segment {
+    ///
+    /// Generic over `Borrow<Event>`: the seal path hands the memtable's
+    /// shared (`Arc<Event>`) batch in without copying any event, while
+    /// compaction and retention rewrites pass owned decoded events.
+    pub fn build<B: std::borrow::Borrow<Event>>(id: u64, sorted: &[(u64, B)]) -> Segment {
         assert!(!sorted.is_empty(), "segments are never empty");
-        // First pass: build the string dictionary.
-        let mut dict = Vec::new();
-        let mut owned_index: BTreeMap<String, u64> = BTreeMap::new();
-        let collect = |s: &str, dict: &mut Vec<String>, index: &mut BTreeMap<String, u64>| {
-            if !index.contains_key(s) {
-                index.insert(s.to_string(), dict.len() as u64);
+        // The string dictionary, built in one pass over the batch.  The
+        // *identifier* strings (hosts, programs, event types, field keys)
+        // repeat thousands of times and come from a bounded set, so their
+        // index is keyed by interned `Sym` — each repeat lookup hashes a
+        // u32 instead of a string.  String *values* are unbounded payload
+        // data and must never reach the leaking interner (see
+        // `jamm_core::intern`); they go through a borrowed-str index local
+        // to this build.
+        let mut dict: Vec<String> = Vec::new();
+        let mut sym_index: HashMap<Sym, u64> = HashMap::new();
+        let collect = |s: &str, dict: &mut Vec<String>, index: &mut HashMap<Sym, u64>| -> u64 {
+            let sym = Sym::intern(s);
+            *index.entry(sym).or_insert_with(|| {
                 dict.push(s.to_string());
-            }
+                dict.len() as u64 - 1
+            })
         };
-        for (_, e) in sorted {
-            collect(&e.host, &mut dict, &mut owned_index);
-            collect(&e.program, &mut dict, &mut owned_index);
-            collect(&e.event_type, &mut dict, &mut owned_index);
-            for (k, v) in &e.fields {
-                collect(k, &mut dict, &mut owned_index);
-                if let Value::Str(s) = v {
-                    collect(s, &mut dict, &mut owned_index);
-                }
-            }
-        }
-
+        let mut value_index: HashMap<&str, u64> = HashMap::new();
         let mut data = Vec::new();
         let mut prev_ts = 0u64;
         let mut prev_delta = 0u64;
@@ -145,6 +147,7 @@ impl Segment {
         let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
         let mut series: BTreeMap<(String, String), usize> = BTreeMap::new();
         for (i, (seq, e)) in sorted.iter().enumerate() {
+            let e = e.borrow();
             let ts = e.timestamp.as_micros();
             match i {
                 0 => put_uvarint(&mut data, ts),
@@ -165,12 +168,16 @@ impl Segment {
             min_seq = min_seq.min(*seq);
             max_seq = max_seq.max(*seq);
             data.push(binary::level_code(e.level));
-            put_uvarint(&mut data, owned_index[&e.host]);
-            put_uvarint(&mut data, owned_index[&e.program]);
-            put_uvarint(&mut data, owned_index[&e.event_type]);
+            let host_ix = collect(&e.host, &mut dict, &mut sym_index);
+            put_uvarint(&mut data, host_ix);
+            let prog_ix = collect(&e.program, &mut dict, &mut sym_index);
+            put_uvarint(&mut data, prog_ix);
+            let ty_ix = collect(&e.event_type, &mut dict, &mut sym_index);
+            put_uvarint(&mut data, ty_ix);
             put_uvarint(&mut data, e.fields.len() as u64);
             for (k, v) in &e.fields {
-                put_uvarint(&mut data, owned_index[k]);
+                let key_ix = collect(k, &mut dict, &mut sym_index);
+                put_uvarint(&mut data, key_ix);
                 match v {
                     Value::UInt(u) => {
                         data.push(TAG_UINT);
@@ -190,7 +197,19 @@ impl Segment {
                     }
                     Value::Str(s) => {
                         data.push(TAG_STR);
-                        put_uvarint(&mut data, owned_index[s]);
+                        // Reuse an identifier's slot when the value is the
+                        // same string (e.g. a PEER=host field) — `lookup`
+                        // never inserts, so payload values still cannot
+                        // reach the leaking interner.
+                        let identifier_slot =
+                            Sym::lookup(s).and_then(|sym| sym_index.get(&sym).copied());
+                        let str_ix = identifier_slot.unwrap_or_else(|| {
+                            *value_index.entry(s.as_str()).or_insert_with(|| {
+                                dict.push(s.clone());
+                                dict.len() as u64 - 1
+                            })
+                        });
+                        put_uvarint(&mut data, str_ix);
                     }
                 }
             }
@@ -205,8 +224,8 @@ impl Segment {
             catalog: SegmentCatalog {
                 id,
                 event_count: sorted.len(),
-                min_ts: sorted.first().expect("non-empty").1.timestamp,
-                max_ts: sorted.last().expect("non-empty").1.timestamp,
+                min_ts: sorted.first().expect("non-empty").1.borrow().timestamp,
+                max_ts: sorted.last().expect("non-empty").1.borrow().timestamp,
                 hosts,
                 event_types,
                 series,

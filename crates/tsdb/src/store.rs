@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use jamm_core::sync::RwLock;
-use jamm_ulm::{Event, Timestamp};
+use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use crate::memtable::MemTable;
 use crate::query::{ScanIter, TsdbQuery};
@@ -228,7 +228,7 @@ impl Tsdb {
             if seq <= seg_max_seq {
                 continue;
             }
-            mem.insert(seq, event);
+            mem.insert(seq, Arc::new(event));
             recovered_count += 1;
         }
         stats
@@ -271,6 +271,12 @@ impl Tsdb {
     /// durable, and reporting failure would make a retrying caller store
     /// it twice.
     pub fn append(&self, event: Event) -> Result<u64> {
+        self.append_shared(Arc::new(event))
+    }
+
+    /// Append one already-shared event: the zero-copy ingest path.  The
+    /// memtable keeps the caller's `Arc`; the WAL encodes from a borrow.
+    pub fn append_shared(&self, event: SharedEvent) -> Result<u64> {
         let mut inner = self.inner.write();
         let seq = inner.next_seq;
         if let Some(wal) = &mut inner.wal {
@@ -283,6 +289,35 @@ impl Tsdb {
             let _ = self.seal_inner(&mut inner);
         }
         Ok(seq)
+    }
+
+    /// Append a batch of shared events under one lock acquisition and (for
+    /// persistent stores) one WAL write, without copying any event: the
+    /// memtable takes refcounted handles.  The caller keeps its slice (and
+    /// its buffer capacity) — this is the archiver's scratch-reuse path.
+    pub fn append_shared_batch(&self, events: &[SharedEvent]) -> Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.write();
+        let first_seq = inner.next_seq;
+        if let Some(wal) = &mut inner.wal {
+            wal.append_batch(first_seq, events)?;
+        }
+        let n = events.len();
+        for (i, event) in events.iter().enumerate() {
+            inner
+                .mem
+                .insert(first_seq + i as u64, SharedEvent::clone(event));
+        }
+        inner.next_seq += n as u64;
+        self.stats.appended.fetch_add(n as u64, Ordering::Relaxed);
+        while inner.mem.len() >= self.opts.memtable_max_events {
+            if !matches!(self.seal_inner(&mut inner), Ok(Some(_))) {
+                break;
+            }
+        }
+        Ok(n)
     }
 
     /// Append a batch under one lock acquisition and (for persistent
@@ -300,28 +335,19 @@ impl Tsdb {
         &self,
         events: Vec<Event>,
     ) -> std::result::Result<usize, (crate::TsdbError, Vec<Event>)> {
-        if events.is_empty() {
-            return Ok(0);
+        let shared: Vec<SharedEvent> = events.into_iter().map(Arc::new).collect();
+        match self.append_shared_batch(&shared) {
+            Ok(n) => Ok(n),
+            // Hand the batch back by unwrapping the (sole) handles; no
+            // deep copy happens on this path.
+            Err(e) => Err((
+                e,
+                shared
+                    .into_iter()
+                    .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+                    .collect(),
+            )),
         }
-        let mut inner = self.inner.write();
-        let first_seq = inner.next_seq;
-        if let Some(wal) = &mut inner.wal {
-            if let Err(e) = wal.append_batch(first_seq, &events) {
-                return Err((e, events));
-            }
-        }
-        let n = events.len();
-        for (i, event) in events.into_iter().enumerate() {
-            inner.mem.insert(first_seq + i as u64, event);
-        }
-        inner.next_seq += n as u64;
-        self.stats.appended.fetch_add(n as u64, Ordering::Relaxed);
-        while inner.mem.len() >= self.opts.memtable_max_events {
-            if !matches!(self.seal_inner(&mut inner), Ok(Some(_))) {
-                break;
-            }
-        }
-        Ok(n)
     }
 
     /// Seal the memtable into a new immutable segment now.  Returns the

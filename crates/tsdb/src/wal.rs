@@ -71,13 +71,20 @@ impl Wal {
         self.write_record_bytes(&record)
     }
 
-    /// Append a batch of event records with a single write.
-    pub fn append_batch(&mut self, first_seq: u64, events: &[Event]) -> Result<()> {
-        let mut buf = Vec::with_capacity(events.iter().map(|e| e.approx_size() + 24).sum());
+    /// Append a batch of event records with a single write.  Generic over
+    /// `Borrow<Event>` so both owned batches and the archiver's shared
+    /// (`Arc<Event>`) batches encode without copying an event first.
+    pub fn append_batch<B: std::borrow::Borrow<Event>>(
+        &mut self,
+        first_seq: u64,
+        events: &[B],
+    ) -> Result<()> {
+        let mut buf =
+            Vec::with_capacity(events.iter().map(|e| e.borrow().approx_size() + 24).sum());
         for (i, event) in events.iter().enumerate() {
             let start = buf.len();
             buf.extend_from_slice(&(first_seq + i as u64).to_le_bytes());
-            binary::encode_into(&mut buf, event);
+            binary::encode_into(&mut buf, event.borrow());
             let sum = fnv64(&buf[start..]);
             buf.extend_from_slice(&sum.to_le_bytes());
         }
@@ -112,13 +119,13 @@ impl Wal {
     /// new log is written to a temporary file, synced, and renamed over
     /// the old one, so a crash leaves either the old or the new log —
     /// never a mix.  Used by retention cuts.
-    pub fn rewrite(&mut self, records: &[(u64, Event)]) -> Result<()> {
+    pub fn rewrite<B: std::borrow::Borrow<Event>>(&mut self, records: &[(u64, B)]) -> Result<()> {
         let tmp = self.path.with_extension("log.tmp");
         let mut buf = Vec::new();
         for (seq, event) in records {
             let start = buf.len();
             buf.extend_from_slice(&seq.to_le_bytes());
-            binary::encode_into(&mut buf, event);
+            binary::encode_into(&mut buf, event.borrow());
             let sum = fnv64(&buf[start..]);
             buf.extend_from_slice(&sum.to_le_bytes());
         }

@@ -53,7 +53,7 @@ impl Codec for TextCodec {
     fn encode_batch(&self, events: &[Event]) -> Vec<u8> {
         let mut out = String::new();
         for e in events {
-            out.push_str(&text::encode(e));
+            text::encode_into(&mut out, e);
             out.push('\n');
         }
         out.into_bytes()
@@ -83,6 +83,10 @@ impl Codec for BinaryCodec {
 
     fn encode(&self, event: &Event) -> Vec<u8> {
         binary::encode(event)
+    }
+
+    fn encode_to(&self, out: &mut Vec<u8>, event: &Event) {
+        binary::encode_into(out, event);
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<Event> {

@@ -1,8 +1,40 @@
 //! The in-memory ULM / NetLogger event model.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::keys;
 use crate::timestamp::Timestamp;
 use crate::value::Value;
+
+/// A reference-counted, immutable event — the unit the pipeline's hot hops
+/// pass around.  Publishing an event allocates (at most) once; fanning it
+/// out to N subscribers, summarizing it, caching it for query mode and
+/// archiving it all share the same allocation by bumping the refcount.
+pub type SharedEvent = Arc<Event>;
+
+/// Deep copies of [`Event`] made since process start (see
+/// [`deep_clone_count`]).
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+/// Heap bytes copied by those deep clones (string payloads; the fixed-size
+/// struct body is excluded).
+static DEEP_CLONE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times an [`Event`] has been deep-cloned (its `Clone` impl run)
+/// since the process started.  The zero-copy pipeline's invariant — fan-out
+/// bumps refcounts instead of copying — is asserted against this counter by
+/// the `e15_zero_copy` bench and the pipeline property tests: publishing a
+/// [`SharedEvent`] to N subscribers must not move it.
+pub fn deep_clone_count() -> u64 {
+    DEEP_CLONES.load(Ordering::Relaxed)
+}
+
+/// Heap bytes copied by [`Event`] deep clones since process start (the
+/// string payloads each clone duplicated).  Together with
+/// [`deep_clone_count`] this is the bench's bytes-copied-per-event meter.
+pub fn deep_clone_bytes() -> u64 {
+    DEEP_CLONE_BYTES.load(Ordering::Relaxed)
+}
 
 /// Severity / class of a ULM event (the `LVL` field).
 ///
@@ -47,21 +79,30 @@ impl Level {
         }
     }
 
-    /// Parse a level, case-insensitively.
+    /// Parse a level, case-insensitively.  Sits on the text-decode hot
+    /// path, so it compares in place instead of allocating a lowercased
+    /// copy of every `LVL` token.
     pub fn parse(s: &str) -> crate::Result<Level> {
-        let l = s.to_ascii_lowercase();
-        Ok(match l.as_str() {
-            "emergency" | "emerg" => Level::Emergency,
-            "alert" => Level::Alert,
-            "critical" | "crit" => Level::Critical,
-            "error" | "err" => Level::Error,
-            "warning" | "warn" => Level::Warning,
-            "notice" => Level::Notice,
-            "info" => Level::Info,
-            "debug" => Level::Debug,
-            "usage" => Level::Usage,
-            _ => return Err(crate::UlmError::BadLevel(s.to_string())),
-        })
+        const SPELLINGS: [(&str, Level); 13] = [
+            ("emergency", Level::Emergency),
+            ("emerg", Level::Emergency),
+            ("alert", Level::Alert),
+            ("critical", Level::Critical),
+            ("crit", Level::Critical),
+            ("error", Level::Error),
+            ("err", Level::Error),
+            ("warning", Level::Warning),
+            ("warn", Level::Warning),
+            ("notice", Level::Notice),
+            ("info", Level::Info),
+            ("debug", Level::Debug),
+            ("usage", Level::Usage),
+        ];
+        SPELLINGS
+            .iter()
+            .find(|(name, _)| s.eq_ignore_ascii_case(name))
+            .map(|(_, lvl)| *lvl)
+            .ok_or_else(|| crate::UlmError::BadLevel(s.to_string()))
     }
 
     /// True for levels that indicate a problem (`Warning` and above).
@@ -85,7 +126,7 @@ impl std::fmt::Display for Level {
 /// program, level) plus the NetLogger event-type name, and an ordered list of
 /// user-defined fields.  Field order is preserved because the ULM text format
 /// is ordered and analysis tools (and humans) expect stable output.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Event {
     /// Event timestamp (`DATE`), microsecond precision.
     pub timestamp: Timestamp,
@@ -99,6 +140,26 @@ pub struct Event {
     pub event_type: String,
     /// Ordered user-defined fields.
     pub fields: Vec<(String, Value)>,
+}
+
+/// Cloning an event copies every string it carries.  The pipeline is built
+/// so this never happens per subscriber (fan-out shares one
+/// [`SharedEvent`]); the global [`deep_clone_count`] / [`deep_clone_bytes`]
+/// meters exist so benches and tests can *prove* that, instead of trusting
+/// the type signatures.
+impl Clone for Event {
+    fn clone(&self) -> Event {
+        DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+        DEEP_CLONE_BYTES.fetch_add(self.heap_bytes() as u64, Ordering::Relaxed);
+        Event {
+            timestamp: self.timestamp,
+            host: self.host.clone(),
+            program: self.program.clone(),
+            level: self.level,
+            event_type: self.event_type.clone(),
+            fields: self.fields.clone(),
+        }
+    }
 }
 
 impl Event {
@@ -149,7 +210,10 @@ impl Event {
     }
 
     /// Approximate encoded size of the event in ULM text form, in bytes.
-    /// Used by the gateway and archive for accounting data volume.
+    /// Used by the gateway and archive for accounting data volume.  Runs
+    /// once per published event, so it must not allocate: numeric field
+    /// widths are measured with a counting writer instead of formatting
+    /// into temporary strings.
     pub fn approx_size(&self) -> usize {
         let mut n = 26
             + 6
@@ -161,7 +225,19 @@ impl Event {
             + 9
             + self.event_type.len();
         for (k, v) in &self.fields {
-            n += 1 + k.len() + 1 + v.to_ulm_string().len();
+            n += 1 + k.len() + 1 + v.ulm_len();
+        }
+        n
+    }
+
+    /// Heap bytes held by the event's strings (what a deep clone copies).
+    fn heap_bytes(&self) -> usize {
+        let mut n = self.host.len() + self.program.len() + self.event_type.len();
+        for (k, v) in &self.fields {
+            n += k.len();
+            if let Value::Str(s) = v {
+                n += s.len();
+            }
         }
         n
     }

@@ -51,7 +51,7 @@ pub mod timestamp;
 pub mod value;
 
 pub use codec::{BinaryCodec, JsonCodec, TextCodec};
-pub use event::{Event, EventBuilder, Level};
+pub use event::{deep_clone_bytes, deep_clone_count, Event, EventBuilder, Level, SharedEvent};
 pub use timestamp::Timestamp;
 pub use value::Value;
 

@@ -23,25 +23,55 @@ use crate::{Result, UlmError};
 /// Encode a single event as one ULM text line (no trailing newline).
 pub fn encode(event: &Event) -> String {
     let mut out = String::with_capacity(event.approx_size());
-    push_pair(&mut out, keys::DATE, &event.timestamp.to_ulm_date());
-    push_pair(&mut out, keys::HOST, &event.host);
-    push_pair(&mut out, keys::PROG, &event.program);
-    push_pair(&mut out, keys::LVL, event.level.as_str());
-    if !event.event_type.is_empty() {
-        push_pair(&mut out, keys::NL_EVNT, &event.event_type);
-    }
-    for (k, v) in &event.fields {
-        push_pair(&mut out, k, &v.to_ulm_string());
-    }
+    encode_into(&mut out, event);
     out
 }
 
-fn push_pair(out: &mut String, key: &str, value: &str) {
-    if !out.is_empty() {
+/// Append one event's ULM text line to `out` (no trailing newline),
+/// mirroring [`crate::binary::encode_into`]: callers on the hot path keep
+/// one scratch `String`, `clear()` it between events, and reuse its
+/// capacity instead of allocating a fresh line per event.  Timestamps and
+/// numeric field values are formatted directly into `out` — no
+/// per-event/per-field temporaries.  Output is byte-identical to
+/// [`encode`].
+pub fn encode_into(out: &mut String, event: &Event) {
+    use std::fmt::Write;
+    let start = out.len();
+    push_key(out, start, keys::DATE);
+    event
+        .timestamp
+        .write_ulm_date(out)
+        .expect("String writes cannot fail");
+    push_pair(out, start, keys::HOST, &event.host);
+    push_pair(out, start, keys::PROG, &event.program);
+    push_pair(out, start, keys::LVL, event.level.as_str());
+    if !event.event_type.is_empty() {
+        push_pair(out, start, keys::NL_EVNT, &event.event_type);
+    }
+    for (k, v) in &event.fields {
+        match v {
+            // Strings are the only values that can need quoting.
+            Value::Str(s) => push_pair(out, start, k, s),
+            _ => {
+                push_key(out, start, k);
+                write!(out, "{v}").expect("String writes cannot fail");
+            }
+        }
+    }
+}
+
+/// Append ` KEY=` (the separator is skipped at the start of the line,
+/// which begins at byte offset `start` of the shared buffer).
+fn push_key(out: &mut String, start: usize, key: &str) {
+    if out.len() > start {
         out.push(' ');
     }
     out.push_str(key);
     out.push('=');
+}
+
+fn push_pair(out: &mut String, start: usize, key: &str, value: &str) {
+    push_key(out, start, key);
     if needs_quoting(value) {
         out.push('"');
         for c in value.chars() {
@@ -173,19 +203,26 @@ impl<'a> Iterator for TokenIter<'a> {
 pub struct UlmWriter<W: Write> {
     inner: W,
     written: u64,
+    /// Reused line buffer: one allocation amortized over the stream.
+    line: String,
 }
 
 impl<W: Write> UlmWriter<W> {
     /// Wrap a writer (file, socket, `Vec<u8>`...).
     pub fn new(inner: W) -> Self {
-        UlmWriter { inner, written: 0 }
+        UlmWriter {
+            inner,
+            written: 0,
+            line: String::new(),
+        }
     }
 
     /// Write one event followed by a newline.
     pub fn write_event(&mut self, event: &Event) -> io::Result<()> {
-        let line = encode(event);
-        self.inner.write_all(line.as_bytes())?;
-        self.inner.write_all(b"\n")?;
+        self.line.clear();
+        encode_into(&mut self.line, event);
+        self.line.push('\n');
+        self.inner.write_all(self.line.as_bytes())?;
         self.written += 1;
         Ok(())
     }
@@ -290,6 +327,31 @@ mod tests {
             "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage \
              NL.EVNT=WriteData SEND.SZ=49332"
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        let ev1 = sample();
+        let ev2 = Event::builder("p2", "h2")
+            .event_type("MSG")
+            .timestamp(Timestamp::from_secs(77))
+            .field("TEXT", "two words")
+            .field("N", -3i64)
+            .field("F", 2.5)
+            .field("B", true)
+            .build();
+        let mut buf = String::new();
+        encode_into(&mut buf, &ev1);
+        assert_eq!(buf, encode(&ev1));
+        // Reuse without clearing appends; with clearing, capacity persists.
+        encode_into(&mut buf, &ev2);
+        assert_eq!(buf, format!("{}{}", encode(&ev1), encode(&ev2)));
+        let cap = buf.capacity();
+        buf.clear();
+        encode_into(&mut buf, &ev2);
+        assert_eq!(buf, encode(&ev2));
+        assert_eq!(buf.capacity(), cap, "no reallocation on reuse");
+        assert_eq!(decode(&buf).unwrap(), ev2);
     }
 
     #[test]

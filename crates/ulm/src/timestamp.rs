@@ -87,8 +87,19 @@ impl Timestamp {
 
     /// Format as the ULM `DATE` value, e.g. `20000330112320.957943`.
     pub fn to_ulm_date(self) -> String {
+        let mut out = String::with_capacity(21);
+        self.write_ulm_date(&mut out)
+            .expect("String writes cannot fail");
+        out
+    }
+
+    /// Write the ULM `DATE` rendering into `w` without allocating a
+    /// temporary string — the hot-path form of [`Timestamp::to_ulm_date`]
+    /// used by the reusable text encoder.
+    pub fn write_ulm_date<W: std::fmt::Write>(self, w: &mut W) -> std::fmt::Result {
         let (y, mo, d, h, mi, s) = self.to_civil();
-        format!(
+        write!(
+            w,
             "{y:04}{mo:02}{d:02}{h:02}{mi:02}{s:02}.{:06}",
             self.subsec_micros()
         )
@@ -156,7 +167,7 @@ impl Timestamp {
 
 impl std::fmt::Display for Timestamp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.to_ulm_date())
+        self.write_ulm_date(f)
     }
 }
 

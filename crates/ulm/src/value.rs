@@ -64,12 +64,37 @@ impl Value {
 
     /// Render the value exactly as it appears in a ULM line (no quoting).
     pub fn to_ulm_string(&self) -> String {
+        let mut out = String::new();
+        self.write_ulm(&mut out).expect("String writes cannot fail");
+        out
+    }
+
+    /// Write the ULM rendering into `w` without allocating temporaries —
+    /// the hot-path form of [`Value::to_ulm_string`] used by the reusable
+    /// text encoder.  Output is byte-identical to `to_ulm_string`.
+    pub fn write_ulm<W: std::fmt::Write>(&self, w: &mut W) -> std::fmt::Result {
         match self {
-            Value::UInt(v) => v.to_string(),
-            Value::Int(v) => v.to_string(),
-            Value::Float(v) => format_float(*v),
-            Value::Bool(b) => if *b { "true" } else { "false" }.to_string(),
-            Value::Str(s) => s.clone(),
+            Value::UInt(v) => write!(w, "{v}"),
+            Value::Int(v) => write!(w, "{v}"),
+            Value::Float(v) => write_float(w, *v),
+            Value::Bool(b) => w.write_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => w.write_str(s),
+        }
+    }
+
+    /// Exact length of the ULM rendering in bytes, computed without
+    /// allocating (a counting writer absorbs the formatted digits).
+    pub fn ulm_len(&self) -> usize {
+        match self {
+            // The common case, a borrowed string, skips formatting
+            // machinery entirely.
+            Value::Str(s) => s.len(),
+            _ => {
+                let mut counter = CountingWriter(0);
+                self.write_ulm(&mut counter)
+                    .expect("counting writes cannot fail");
+                counter.0
+            }
         }
     }
 
@@ -103,13 +128,24 @@ impl Value {
 
 /// Format a float the way the ULM tools expect: no exponent for the ranges
 /// sensors produce, and no trailing leftover precision noise.
-fn format_float(v: f64) -> String {
+fn write_float<W: std::fmt::Write>(w: &mut W, v: f64) -> std::fmt::Result {
     if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
         // Keep a ".0" so the value re-parses as a float, not an integer,
         // preserving the producer's declared type.
-        format!("{v:.1}")
+        write!(w, "{v:.1}")
     } else {
-        format!("{v}")
+        write!(w, "{v}")
+    }
+}
+
+/// A `fmt::Write` sink that only counts bytes — how exact rendered widths
+/// are measured on paths that must not allocate.
+struct CountingWriter(usize);
+
+impl std::fmt::Write for CountingWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0 += s.len();
+        Ok(())
     }
 }
 
@@ -166,7 +202,7 @@ impl From<String> for Value {
 
 impl std::fmt::Display for Value {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.to_ulm_string())
+        self.write_ulm(f)
     }
 }
 
@@ -200,6 +236,25 @@ mod tests {
         );
         // A bare word containing 'e' must stay a string, not parse as float.
         assert_eq!(Value::infer("WriteData"), Value::Str("WriteData".into()));
+    }
+
+    #[test]
+    fn ulm_len_matches_rendered_length() {
+        for v in [
+            Value::UInt(0),
+            Value::UInt(49_332),
+            Value::Int(-17),
+            Value::Float(50.0),
+            Value::Float(1.25),
+            Value::Float(f64::NAN),
+            Value::Float(1e300),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Str("dpss1.lbl.gov".into()),
+            Value::Str(String::new()),
+        ] {
+            assert_eq!(v.ulm_len(), v.to_ulm_string().len(), "{v:?}");
+        }
     }
 
     #[test]

@@ -186,7 +186,11 @@ fn archived_run_replays_through_gateway_into_nlv_analysis() {
     jamm.poll();
 
     // Subscription filters applied to the replayed stream as if live.
-    let events = jamm.collectors[0].events().to_vec();
+    let events: Vec<Event> = jamm.collectors[0]
+        .events()
+        .iter()
+        .map(|e| (**e).clone())
+        .collect();
     assert_eq!(events.len(), 25);
 
     // And the replayed log drives nlv analysis.

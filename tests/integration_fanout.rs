@@ -43,7 +43,7 @@ fn workload() -> Vec<Event> {
 #[test]
 fn tuned_and_default_deployments_deliver_the_same_events() {
     let events = workload();
-    let mut collected: Vec<Vec<Event>> = Vec::new();
+    let mut collected: Vec<Vec<jamm::SharedEvent>> = Vec::new();
     for tuned in [false, true] {
         let mut b = JammBuilder::new().gateway("gw").collector("ops");
         if tuned {
@@ -115,8 +115,8 @@ fn parallel_publishers_scale_across_shards_and_workers() {
     assert_eq!(gw.subscriptions.len(), 1);
     assert_eq!(gw.subscriptions[0].delivered, 2_000);
 
-    let got: Vec<Event> = {
-        let mut v: Vec<Event> = Vec::new();
+    let got: Vec<jamm::SharedEvent> = {
+        let mut v: Vec<jamm::SharedEvent> = Vec::new();
         while let Ok(e) = sub.events.try_recv() {
             v.push(e);
         }
