@@ -30,8 +30,9 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use jamm_core::flow::{EventSink, SinkError};
+use jamm_core::query::{ParseError, Plan, Predicate};
 use jamm_core::sync::RwLock;
-use jamm_tsdb::{ScanIter, SegmentCatalog, Tsdb, TsdbError, TsdbOptions, TsdbQuery, TsdbStats};
+use jamm_tsdb::{ScanIter, SegmentCatalog, Tsdb, TsdbError, TsdbOptions, TsdbStats};
 use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 /// A label attached to a stored span of events.
@@ -89,15 +90,32 @@ impl ArchiveQuery {
         self
     }
 
-    /// The storage-engine query this archive query pushes down (everything
-    /// except the result limit, which the iterator applies).
-    fn to_tsdb(&self) -> TsdbQuery {
-        TsdbQuery {
-            from: self.from,
-            to: self.to,
-            host: self.host.clone(),
-            event_type: self.event_type.clone(),
+    /// Lower into the unified query-plane IR, limit included — the whole
+    /// query (time range, host, type, limit) pushes down to the storage
+    /// engine's plan-driven scan.
+    pub fn to_predicate(&self) -> Predicate {
+        let mut parts = Vec::new();
+        if self.from.is_some() || self.to.is_some() {
+            parts.push(Predicate::TimeRange {
+                from_micros: self.from.map(|t| t.as_micros()),
+                to_micros: self.to.map(|t| t.as_micros()),
+            });
         }
+        if let Some(host) = &self.host {
+            parts.push(Predicate::Hosts(vec![host.clone()]));
+        }
+        if let Some(ty) = &self.event_type {
+            parts.push(Predicate::EventTypes(vec![ty.clone()]));
+        }
+        if self.limit > 0 {
+            parts.push(Predicate::Limit(self.limit));
+        }
+        Predicate::And(parts)
+    }
+
+    /// Compile into an executable plan.
+    pub fn to_plan(&self) -> Plan {
+        self.to_predicate().compile()
     }
 }
 
@@ -120,28 +138,11 @@ pub struct ArchiveCatalog {
 
 /// A streaming, time-ordered iterator over query results.
 ///
-/// Owns its segment handles, so it can outlive the archive borrow it was
-/// created from; segment data decodes lazily as it is consumed.
-#[derive(Debug)]
-pub struct ArchiveScan {
-    inner: ScanIter,
-    remaining: usize,
-    unlimited: bool,
-}
-
-impl Iterator for ArchiveScan {
-    type Item = Event;
-
-    fn next(&mut self) -> Option<Event> {
-        if !self.unlimited {
-            if self.remaining == 0 {
-                return None;
-            }
-            self.remaining -= 1;
-        }
-        self.inner.next()
-    }
-}
+/// This is the storage engine's plan-driven [`ScanIter`]: it owns its
+/// segment handles (so it can outlive the archive borrow it was created
+/// from), decodes lazily, and stops the k-way merge — releasing every
+/// remaining segment handle — as soon as a pushed-down limit is reached.
+pub type ArchiveScan = ScanIter;
 
 /// Name of the sidecar file persisting operation labels in a store
 /// directory (one `from to label` line per span).
@@ -332,19 +333,39 @@ impl EventArchive {
     }
 
     /// Stream matching events in time order without materializing the
-    /// match set.  Non-overlapping segments are pruned via their catalogs
-    /// (see [`EventArchive::stats`]).
+    /// match set.  Segments that cannot satisfy the query's pushdown facts
+    /// — time window, hosts, event types, per-series counts, severity
+    /// floor — are pruned via their catalogs (see [`EventArchive::stats`]),
+    /// and the limit stops the merge early.
     pub fn scan(&self, query: &ArchiveQuery) -> ArchiveScan {
-        ArchiveScan {
-            inner: self.db.scan(&query.to_tsdb()),
-            remaining: query.limit,
-            unlimited: query.limit == 0,
-        }
+        self.db.scan_plan(&query.to_plan())
+    }
+
+    /// Stream every event a compiled query-plane [`Plan`] matches — the
+    /// same plans gateway subscriptions and directory searches run.  The
+    /// scan evaluates through its own clone of the plan (fresh stateful
+    /// memory), so e.g. an `(onchange)` historical query de-duplicates
+    /// within this scan only.
+    pub fn scan_plan(&self, plan: &Plan) -> ArchiveScan {
+        self.db.scan_plan(plan)
+    }
+
+    /// Parse a query string in the unified grammar (e.g.
+    /// `"(&(host=dpss1.lbl.gov)(level>=warning)(limit=100))"`) and stream
+    /// the matching history.
+    pub fn scan_str(&self, query: &str) -> Result<ArchiveScan, ParseError> {
+        Ok(self.scan_plan(&Predicate::parse(query)?.compile()))
     }
 
     /// Run a query; results are in time order.
     pub fn query(&self, query: &ArchiveQuery) -> Vec<Event> {
         self.scan(query).collect()
+    }
+
+    /// Run a query string in the unified grammar; results are in time
+    /// order.
+    pub fn query_str(&self, query: &str) -> Result<Vec<Event>, ParseError> {
+        Ok(self.scan_str(query)?.collect())
     }
 
     /// Build the catalog entry describing the archive's contents.

@@ -32,8 +32,27 @@ pub struct ReplaySource {
 impl ReplaySource {
     /// Replay every event matching `query`, in time order.
     pub fn new(archive: &EventArchive, query: &ArchiveQuery) -> ReplaySource {
+        Self::from_scan(archive.scan(query))
+    }
+
+    /// Replay every event a compiled query-plane plan matches (the
+    /// builder-style predicate path).
+    pub fn from_plan(archive: &EventArchive, plan: &jamm_core::query::Plan) -> ReplaySource {
+        Self::from_scan(archive.scan_plan(plan))
+    }
+
+    /// Replay every event matching a query string in the unified grammar,
+    /// e.g. `"(&(type=CPU_TOTAL)(time>=5s)(time<15s))"`.
+    pub fn from_query(
+        archive: &EventArchive,
+        query: &str,
+    ) -> Result<ReplaySource, jamm_core::query::ParseError> {
+        Ok(Self::from_scan(archive.scan_str(query)?))
+    }
+
+    fn from_scan(scan: ArchiveScan) -> ReplaySource {
         ReplaySource {
-            scan: archive.scan(query),
+            scan,
             batch: 0,
             replayed: 0,
             unsent: None,

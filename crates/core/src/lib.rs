@@ -18,7 +18,12 @@
 //! * [`flow::DeliveryCounters`] — per-sink delivered/dropped/byte counters;
 //! * [`intern::Sym`] — interned identifier strings, so the hot paths key
 //!   routing tables, summary series and dictionaries by `u32` instead of
-//!   hashing and cloning `String`s per event.
+//!   hashing and cloning `String`s per event;
+//! * [`query`] — the unified query plane: one predicate IR
+//!   ([`query::Predicate`]) with a text grammar, compiled
+//!   ([`query::Plan`]) into an allocation-free evaluator plus pushdown
+//!   facts, shared by gateway subscription filters, archive / tsdb scans
+//!   and directory searches.
 //!
 //! Because the build environment has no crate registry, this crate also
 //! carries the small std-only stand-ins the workspace would otherwise pull
@@ -35,6 +40,8 @@ pub mod codec;
 pub mod flow;
 pub mod intern;
 pub mod json;
+#[deny(missing_docs)]
+pub mod query;
 pub mod rng;
 pub mod sync;
 
@@ -42,3 +49,4 @@ pub use channel::{bounded, unbounded, Receiver, Sender};
 pub use codec::Codec;
 pub use flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
 pub use intern::Sym;
+pub use query::{Facts, Plan, Predicate, Record};

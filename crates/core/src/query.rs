@@ -1,0 +1,1492 @@
+//! The unified query plane: one predicate IR for every consumer intent.
+//!
+//! The paper's consumers express the same intent three ways — streaming
+//! subscription filters at a gateway (event type / on-change / threshold,
+//! §2.2), query-mode requests against archived history, and LDAP-style
+//! directory searches.  This module gives all of them one language:
+//!
+//! * [`Predicate`] — a boolean IR (`And`/`Or`/`Not` over typed leaves)
+//!   with a text grammar ([`Predicate::parse`], a superset of the
+//!   directory's LDAP-ish filter syntax) and a round-trippable
+//!   [`std::fmt::Display`] form;
+//! * [`Predicate::compile`] — produces a [`Plan`]: an allocation-free
+//!   evaluator over anything implementing [`Record`] (events, directory
+//!   entries), plus extracted pushdown [`Facts`] (event-type and host
+//!   sets, severity floor, time bounds, result limit) that the routing
+//!   and storage layers use to skip work *before* touching data;
+//! * [`Record`] — the evaluation surface a record type exposes, so one
+//!   compiled plan answers against live events and directory entries
+//!   alike.
+//!
+//! Identifier leaves (event types, hosts, attribute names) are interned
+//! ([`Sym`]) at compile time, so steady-state evaluation hashes `u32`s and
+//! allocates nothing per record.
+//!
+//! # Grammar
+//!
+//! Parenthesised prefix syntax, as in LDAP:
+//!
+//! | Form | Meaning |
+//! |---|---|
+//! | `(&(f1)(f2)...)` | conjunction (empty `(&)` matches everything) |
+//! | `(\|(f1)(f2)...)` | disjunction (empty `(\|)` matches nothing) |
+//! | `(!(f))` | negation |
+//! | `(type=CPU_TOTAL)` / `(eventtype=...)` | exact event-type selection (feeds routing and pruning) |
+//! | `(host=dpss1.lbl.gov)` | exact host selection (feeds pruning) |
+//! | `(level>=warning)` | severity floor |
+//! | `(time>=N)` / `(time<N)` | half-open time bounds, microseconds (`Ns` = seconds) |
+//! | `(val>50)` `(val<50)` `(val>=..)` `(val<=..)` `(val=..)` `(val!=..)` | `VAL` reading comparisons |
+//! | `(onchange)` | pass only when the reading differs from the previous one of its series |
+//! | `(crosses=50)` | pass when the reading crosses the threshold in either direction |
+//! | `(relchange=0.2)` | pass when the reading changed by more than the fraction |
+//! | `(limit=100)` | result limit (a pushdown directive; always matches) |
+//! | `(attr=value)` | case-insensitive attribute equality (directory entries; event pseudo-attrs) |
+//! | `(attr~=value)` | case-insensitive equality on *any* attribute, including `host`/`type` (LDAP approximate match) |
+//! | `(attr=*)` | attribute presence |
+//! | `(attr=pa*ern)` | case-insensitive substring match (`*` wildcards) |
+//!
+//! Literal `(`, `)`, `*` and `\` inside values are escaped with a
+//! backslash; [`Predicate`]'s `Display` form re-escapes them, so
+//! parse → display → parse round-trips.
+//!
+//! `host=` / `type=` equality is **exact** (those leaves feed segment
+//! pruning, whose catalogs are exact string sets); every other attribute
+//! comparison is case-insensitive per LDAP convention.
+
+use std::collections::HashMap;
+
+use crate::intern::Sym;
+use crate::sync::Mutex;
+
+/// Canonical level names in severity order; index is the rank used by
+/// [`Predicate::MinLevel`] (0 = Usage ... 8 = Emergency).  Kept in sync
+/// with `jamm_ulm::Level::severity` (asserted by a test there).
+pub const LEVEL_NAMES: [&str; 9] = [
+    "Usage",
+    "Debug",
+    "Info",
+    "Notice",
+    "Warning",
+    "Error",
+    "Critical",
+    "Alert",
+    "Emergency",
+];
+
+/// The severity rank of a level name (case-insensitive), if known.
+pub fn level_rank(name: &str) -> Option<u8> {
+    LEVEL_NAMES
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case(name))
+        .map(|i| i as u8)
+}
+
+/// The canonical name of a severity rank (clamped to the table).
+pub fn level_name(rank: u8) -> &'static str {
+    LEVEL_NAMES[(rank as usize).min(LEVEL_NAMES.len() - 1)]
+}
+
+/// How a `VAL` reading is compared against a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueCmp {
+    /// Strictly greater than.
+    Gt,
+    /// Strictly less than.
+    Lt,
+    /// Greater than or equal.
+    Ge,
+    /// Less than or equal.
+    Le,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl ValueCmp {
+    fn apply(self, v: f64, t: f64) -> bool {
+        match self {
+            ValueCmp::Gt => v > t,
+            ValueCmp::Lt => v < t,
+            ValueCmp::Ge => v >= t,
+            ValueCmp::Le => v <= t,
+            ValueCmp::Eq => v == t,
+            ValueCmp::Ne => v != t,
+        }
+    }
+
+    fn op_str(self) -> &'static str {
+        match self {
+            ValueCmp::Gt => ">",
+            ValueCmp::Lt => "<",
+            ValueCmp::Ge => ">=",
+            ValueCmp::Le => "<=",
+            ValueCmp::Eq => "=",
+            ValueCmp::Ne => "!=",
+        }
+    }
+}
+
+/// The predicate IR: what a consumer wants, independent of which layer
+/// answers it.  Build one with the constructors, or parse the text grammar
+/// with [`Predicate::parse`]; [`Predicate::compile`] turns it into an
+/// executable [`Plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every record.
+    True,
+    /// All children must match.  `And(vec![])` matches everything.
+    And(Vec<Predicate>),
+    /// At least one child must match.  `Or(vec![])` matches nothing.
+    Or(Vec<Predicate>),
+    /// The child must not match.
+    Not(Box<Predicate>),
+    /// The record's event type is one of these (exact).  Feeds routing
+    /// buckets and segment pruning.  An empty list matches nothing.
+    EventTypes(Vec<String>),
+    /// The record's host is one of these (exact).  Feeds segment pruning.
+    Hosts(Vec<String>),
+    /// The record's severity rank is at least this (see [`level_rank`]).
+    MinLevel(u8),
+    /// Half-open time bounds in microseconds: `from <= t < to`.
+    TimeRange {
+        /// Inclusive lower bound (micros).
+        from_micros: Option<u64>,
+        /// Exclusive upper bound (micros).
+        to_micros: Option<u64>,
+    },
+    /// Compare the record's `VAL` reading against a threshold.  Records
+    /// without a numeric reading never match.
+    Value(ValueCmp, f64),
+    /// Stateful: pass when the reading differs from the previous reading
+    /// of the same `(host, event type)` series (first sighting passes).
+    OnChange,
+    /// Stateful: pass when the reading crosses the threshold in either
+    /// direction relative to the previous reading of its series.
+    Crosses(f64),
+    /// Stateful: pass when the reading changed by more than the given
+    /// fraction relative to the previous reading of its series.
+    RelativeChange(f64),
+    /// Case-insensitive attribute equality (`(attr=value)`).
+    Equals(String, String),
+    /// Attribute presence (`(attr=*)`).
+    Present(String),
+    /// Case-insensitive substring match: the parts are the literal
+    /// segments between `*` wildcards.
+    Substring(String, Vec<String>),
+    /// Result-limit directive: always matches; the limit is carried as a
+    /// pushdown fact for scans.
+    Limit(usize),
+}
+
+impl Predicate {
+    /// A predicate matching everything.
+    pub fn everything() -> Predicate {
+        Predicate::True
+    }
+
+    /// Conjunction.
+    pub fn and(children: Vec<Predicate>) -> Predicate {
+        Predicate::And(children)
+    }
+
+    /// Disjunction.
+    pub fn or(children: Vec<Predicate>) -> Predicate {
+        Predicate::Or(children)
+    }
+
+    /// Negation.
+    pub fn negate(child: Predicate) -> Predicate {
+        Predicate::Not(Box::new(child))
+    }
+
+    /// Exact event-type selection.
+    pub fn types<I: IntoIterator<Item = S>, S: Into<String>>(types: I) -> Predicate {
+        Predicate::EventTypes(types.into_iter().map(Into::into).collect())
+    }
+
+    /// Exact host selection.
+    pub fn hosts<I: IntoIterator<Item = S>, S: Into<String>>(hosts: I) -> Predicate {
+        Predicate::Hosts(hosts.into_iter().map(Into::into).collect())
+    }
+
+    /// Half-open time range `[from, to)` in microseconds.
+    pub fn between_micros(from: u64, to: u64) -> Predicate {
+        Predicate::TimeRange {
+            from_micros: Some(from),
+            to_micros: Some(to),
+        }
+    }
+
+    /// `VAL` comparison.
+    pub fn val(cmp: ValueCmp, threshold: f64) -> Predicate {
+        Predicate::Value(cmp, threshold)
+    }
+
+    /// Case-insensitive attribute equality (attribute name is lowercased).
+    pub fn attr_eq(attr: impl Into<String>, value: impl Into<String>) -> Predicate {
+        Predicate::Equals(attr.into().to_ascii_lowercase(), value.into())
+    }
+
+    /// Attribute presence (attribute name is lowercased).
+    pub fn attr_present(attr: impl Into<String>) -> Predicate {
+        Predicate::Present(attr.into().to_ascii_lowercase())
+    }
+
+    /// Parse the text grammar (see the module docs for the leaf table).
+    pub fn parse(input: &str) -> Result<Predicate, ParseError> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let f = p.parse_filter()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing input after filter"));
+        }
+        Ok(f)
+    }
+
+    /// Compile into an executable [`Plan`]: identifier leaves are
+    /// interned, pushdown [`Facts`] are extracted, and stateful leaves get
+    /// their per-series memory.
+    pub fn compile(&self) -> Plan {
+        let root = compile_node(self);
+        let mut facts = node_facts(&root);
+        facts.limit = predicate_limit(self);
+        let state = if node_is_stateful(&root) {
+            Some(Mutex::new(HashMap::new()))
+        } else {
+            None
+        };
+        Plan { root, facts, state }
+    }
+}
+
+/// Escape `\`, `(`, `)` and `*` in a value for the text form.
+fn escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        if matches!(c, '\\' | '(' | ')' | '*') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn leaf_list(
+            f: &mut std::fmt::Formatter<'_>,
+            attr: &str,
+            vals: &[String],
+        ) -> std::fmt::Result {
+            let one = |f: &mut std::fmt::Formatter<'_>, v: &String| {
+                let mut s = String::new();
+                escape_into(&mut s, v);
+                write!(f, "({attr}={s})")
+            };
+            match vals.len() {
+                0 => write!(f, "(|)"),
+                1 => one(f, &vals[0]),
+                _ => {
+                    write!(f, "(|")?;
+                    for v in vals {
+                        one(f, v)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        match self {
+            Predicate::True => write!(f, "(&)"),
+            Predicate::And(cs) => {
+                write!(f, "(&")?;
+                for c in cs {
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(cs) => {
+                write!(f, "(|")?;
+                for c in cs {
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(c) => write!(f, "(!{c})"),
+            Predicate::EventTypes(ts) => leaf_list(f, "type", ts),
+            Predicate::Hosts(hs) => leaf_list(f, "host", hs),
+            Predicate::MinLevel(r) => write!(f, "(level>={})", level_name(*r)),
+            Predicate::TimeRange {
+                from_micros,
+                to_micros,
+            } => match (from_micros, to_micros) {
+                (Some(a), Some(b)) => write!(f, "(&(time>={a})(time<{b}))"),
+                (Some(a), None) => write!(f, "(time>={a})"),
+                (None, Some(b)) => write!(f, "(time<{b})"),
+                (None, None) => write!(f, "(&)"),
+            },
+            Predicate::Value(cmp, t) => write!(f, "(val{}{t})", cmp.op_str()),
+            Predicate::OnChange => write!(f, "(onchange)"),
+            Predicate::Crosses(t) => write!(f, "(crosses={t})"),
+            Predicate::RelativeChange(r) => write!(f, "(relchange={r})"),
+            Predicate::Equals(a, v) => {
+                let mut s = String::new();
+                escape_into(&mut s, v);
+                // On attribute names the parser maps to typed exact leaves,
+                // plain '=' would change semantics on re-parse; '~=' is the
+                // grammar's case-insensitive equality and round-trips.
+                if matches!(a.as_str(), "host" | "type" | "eventtype") {
+                    write!(f, "({a}~={s})")
+                } else {
+                    write!(f, "({a}={s})")
+                }
+            }
+            Predicate::Present(a) => write!(f, "({a}=*)"),
+            Predicate::Substring(a, parts) => {
+                write!(f, "({a}=")?;
+                let mut s = String::new();
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        s.push('*');
+                    }
+                    escape_into(&mut s, part);
+                }
+                write!(f, "{s})")
+            }
+            Predicate::Limit(n) => write!(f, "(limit={n})"),
+        }
+    }
+}
+
+/// A parse failure: where in the input, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub pos: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.pos, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += self.input[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8);
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn parse_filter(&mut self) -> Result<Predicate, ParseError> {
+        self.expect('(')?;
+        let f = match self.peek() {
+            Some('&') => {
+                self.pos += 1;
+                Predicate::And(self.parse_list()?)
+            }
+            Some('|') => {
+                self.pos += 1;
+                Predicate::Or(self.parse_list()?)
+            }
+            Some('!') => {
+                self.pos += 1;
+                Predicate::Not(Box::new(self.parse_filter()?))
+            }
+            Some(_) => self.parse_simple()?,
+            None => return Err(self.err("unexpected end of input")),
+        };
+        self.expect(')')?;
+        Ok(f)
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut out = Vec::new();
+        while self.peek() == Some('(') {
+            out.push(self.parse_filter()?);
+        }
+        Ok(out)
+    }
+
+    /// Scan a simple leaf body up to (not including) the closing `)`,
+    /// honouring backslash escapes.  Returns the raw body slice.
+    fn scan_body(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        let mut chars = self.input[start..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    // Skip the escaped character (if the input ends here
+                    // the backslash is literal and the ')' check fails).
+                    let _ = chars.next();
+                }
+                ')' => {
+                    self.pos = start + i;
+                    return Ok(&self.input[start..start + i]);
+                }
+                _ => {}
+            }
+        }
+        self.pos = self.input.len();
+        Err(self.err("unterminated filter (missing ')')"))
+    }
+
+    fn parse_simple(&mut self) -> Result<Predicate, ParseError> {
+        let body = self.scan_body()?;
+        // Find the first unescaped comparator.
+        let mut op: Option<(usize, &'static str)> = None;
+        let bytes = body.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'>' | b'<' | b'!' | b'~' => {
+                    let two = i + 1 < bytes.len() && bytes[i + 1] == b'=';
+                    op = Some((
+                        i,
+                        match (bytes[i], two) {
+                            (b'>', true) => ">=",
+                            (b'>', false) => ">",
+                            (b'<', true) => "<=",
+                            (b'<', false) => "<",
+                            (b'!', true) => "!=",
+                            (b'~', true) => "~=",
+                            // A bare '!' or '~' is not a comparator; treat
+                            // as an ordinary character.
+                            (_, false) => {
+                                i += 1;
+                                continue;
+                            }
+                            _ => unreachable!(),
+                        },
+                    ));
+                    break;
+                }
+                b'=' => {
+                    op = Some((i, "="));
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let Some((op_idx, op)) = op else {
+            // Bare-word leaves.
+            if body.trim().eq_ignore_ascii_case("onchange") {
+                return Ok(Predicate::OnChange);
+            }
+            return Err(self.err(format!("missing comparator in leaf '{}'", body.trim())));
+        };
+        let attr = body[..op_idx].trim();
+        let value = body[op_idx + op.len()..].trim();
+        if attr.is_empty() {
+            return Err(self.err("empty attribute name"));
+        }
+        let attr_lower = attr.to_ascii_lowercase();
+        let num = |p: &Self| -> Result<f64, ParseError> {
+            value
+                .parse::<f64>()
+                .map_err(|_| p.err(format!("expected a number, got '{value}'")))
+        };
+        let eq_only = |p: &Self| -> Result<(), ParseError> {
+            if op == "=" {
+                Ok(())
+            } else {
+                Err(p.err(format!("attribute '{attr_lower}' supports '=' only")))
+            }
+        };
+        // Map an equality value to the exact / presence / substring leaf
+        // shape shared by typed and generic attributes.
+        enum Shape {
+            Exact(String),
+            Present,
+            Parts(Vec<String>),
+        }
+        let shape = |raw: &str| -> Shape {
+            if raw == "*" {
+                return Shape::Present;
+            }
+            let parts = split_unescaped_stars(raw);
+            if parts.len() > 1 {
+                Shape::Parts(parts.into_iter().map(unescape).collect())
+            } else {
+                Shape::Exact(unescape(raw))
+            }
+        };
+        Ok(match attr_lower.as_str() {
+            // `~=` is LDAP's approximate match: case-insensitive equality
+            // on any attribute — and the round-trippable `Display` form of
+            // an `Equals` leaf on an otherwise-typed attribute name.
+            "type" | "eventtype" => match op {
+                "~=" => Predicate::Equals("eventtype".into(), unescape(value)),
+                "=" => match shape(value) {
+                    Shape::Exact(v) => Predicate::EventTypes(vec![v]),
+                    Shape::Present => Predicate::Present("eventtype".into()),
+                    Shape::Parts(parts) => Predicate::Substring("eventtype".into(), parts),
+                },
+                _ => return Err(self.err("event type supports '=' and '~=' only")),
+            },
+            "host" => match op {
+                "~=" => Predicate::Equals("host".into(), unescape(value)),
+                "=" => match shape(value) {
+                    Shape::Exact(v) => Predicate::Hosts(vec![v]),
+                    Shape::Present => Predicate::Present("host".into()),
+                    Shape::Parts(parts) => Predicate::Substring("host".into(), parts),
+                },
+                _ => return Err(self.err("host supports '=' and '~=' only")),
+            },
+            "level" | "lvl" => match op {
+                ">=" => Predicate::MinLevel(
+                    level_rank(value)
+                        .ok_or_else(|| self.err(format!("unknown level '{value}'")))?,
+                ),
+                "=" => Predicate::Equals("level".into(), unescape(value)),
+                _ => return Err(self.err("level supports '>=' and '=' only")),
+            },
+            "time" => {
+                let micros = parse_time_micros(value)
+                    .ok_or_else(|| self.err(format!("expected a timestamp, got '{value}'")))?;
+                match op {
+                    ">=" => Predicate::TimeRange {
+                        from_micros: Some(micros),
+                        to_micros: None,
+                    },
+                    ">" => Predicate::TimeRange {
+                        from_micros: Some(micros.saturating_add(1)),
+                        to_micros: None,
+                    },
+                    "<" => Predicate::TimeRange {
+                        from_micros: None,
+                        to_micros: Some(micros),
+                    },
+                    "<=" => Predicate::TimeRange {
+                        from_micros: None,
+                        to_micros: Some(micros.saturating_add(1)),
+                    },
+                    "=" => Predicate::TimeRange {
+                        from_micros: Some(micros),
+                        to_micros: Some(micros.saturating_add(1)),
+                    },
+                    _ => return Err(self.err("time does not support '!='")),
+                }
+            }
+            "val" => {
+                if op == "=" && value == "*" {
+                    Predicate::Present("val".into())
+                } else {
+                    let cmp = match op {
+                        ">" => ValueCmp::Gt,
+                        "<" => ValueCmp::Lt,
+                        ">=" => ValueCmp::Ge,
+                        "<=" => ValueCmp::Le,
+                        "=" => ValueCmp::Eq,
+                        "!=" => ValueCmp::Ne,
+                        _ => unreachable!("comparator set is closed"),
+                    };
+                    Predicate::Value(cmp, num(self)?)
+                }
+            }
+            "crosses" => {
+                eq_only(self)?;
+                Predicate::Crosses(num(self)?)
+            }
+            "relchange" => {
+                eq_only(self)?;
+                Predicate::RelativeChange(num(self)?)
+            }
+            "limit" => {
+                eq_only(self)?;
+                Predicate::Limit(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| self.err(format!("expected a count, got '{value}'")))?,
+                )
+            }
+            _ => match op {
+                "~=" => Predicate::Equals(attr_lower, unescape(value)),
+                "=" => match shape(value) {
+                    Shape::Exact(v) => Predicate::Equals(attr_lower, v),
+                    Shape::Present => Predicate::Present(attr_lower),
+                    Shape::Parts(parts) => Predicate::Substring(attr_lower, parts),
+                },
+                _ => {
+                    return Err(self.err(format!(
+                        "attribute '{attr_lower}' supports '=' and '~=' only"
+                    )))
+                }
+            },
+        })
+    }
+}
+
+/// `"123"` → micros, `"123s"` → seconds.  Second values too large to
+/// express in microseconds are a parse error, not a silent wrap.
+fn parse_time_micros(s: &str) -> Option<u64> {
+    if let Some(secs) = s.strip_suffix(['s', 'S']) {
+        secs.trim()
+            .parse::<u64>()
+            .ok()
+            .and_then(|v| v.checked_mul(1_000_000))
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+/// Split on unescaped `*`, keeping escapes in the pieces.
+fn split_unescaped_stars(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'*' => {
+                out.push(&s[start..i]);
+                start = i + 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out.push(&s[start.min(s.len())..]);
+    out
+}
+
+/// Remove backslash escapes (a trailing backslash is kept literally).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some(esc) => out.push(esc),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Case-insensitive glob match where `parts` are the literal segments
+/// between `*` wildcards (empty leading/trailing segments anchor nothing).
+pub fn substring_match(value: &str, parts: &[String]) -> bool {
+    let value = value.to_ascii_lowercase();
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let p = part.to_ascii_lowercase();
+        if i == 0 {
+            if !value.starts_with(&p) {
+                return false;
+            }
+            pos = p.len();
+        } else if i == parts.len() - 1 {
+            return value.len() >= pos && value[pos..].ends_with(&p);
+        } else {
+            match value[pos..].find(&p) {
+                Some(found) => pos += found + p.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// The evaluation surface a record type exposes to a compiled [`Plan`].
+///
+/// Events implement the typed accessors; directory entries answer through
+/// the attribute methods (their `host()` / `event_type()` stay `None`, so
+/// typed leaves fall back to multi-valued attribute matching).
+pub trait Record {
+    /// The record's host identity, when it has a single canonical one.
+    fn host(&self) -> Option<&str> {
+        None
+    }
+
+    /// The record's event type, when it has a single canonical one.
+    fn event_type(&self) -> Option<&str> {
+        None
+    }
+
+    /// Severity rank (see [`level_rank`]), when the record has one.
+    fn level_rank(&self) -> Option<u8> {
+        None
+    }
+
+    /// Timestamp in microseconds, when the record has one.
+    fn time_micros(&self) -> Option<u64> {
+        None
+    }
+
+    /// The conventional numeric `VAL` reading, when present.
+    fn value(&self) -> Option<f64> {
+        None
+    }
+
+    /// Visit the values of a (lowercased) attribute; true when `f`
+    /// accepts any of them.
+    fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool;
+
+    /// True when the (lowercased) attribute is present.
+    fn attr_present(&self, attr: &str) -> bool;
+}
+
+/// The compiled evaluator node tree: identifier leaves are interned.
+#[derive(Debug, Clone)]
+enum Node {
+    True,
+    And(Vec<Node>),
+    Or(Vec<Node>),
+    Not(Box<Node>),
+    Types(Vec<Sym>),
+    Hosts(Vec<Sym>),
+    MinLevel(u8),
+    Time { from: Option<u64>, to: Option<u64> },
+    Value(ValueCmp, f64),
+    OnChange,
+    Crosses(f64),
+    RelativeChange(f64),
+    Equals(Sym, String),
+    Present(Sym),
+    Substring(Sym, Vec<String>),
+}
+
+fn compile_node(p: &Predicate) -> Node {
+    match p {
+        Predicate::True | Predicate::Limit(_) => Node::True,
+        Predicate::And(cs) => Node::And(cs.iter().map(compile_node).collect()),
+        Predicate::Or(cs) => Node::Or(cs.iter().map(compile_node).collect()),
+        Predicate::Not(c) => Node::Not(Box::new(compile_node(c))),
+        Predicate::EventTypes(ts) => {
+            let mut syms: Vec<Sym> = ts.iter().map(|t| Sym::intern(t)).collect();
+            syms.sort_unstable();
+            syms.dedup();
+            Node::Types(syms)
+        }
+        Predicate::Hosts(hs) => {
+            let mut syms: Vec<Sym> = hs.iter().map(|h| Sym::intern(h)).collect();
+            syms.sort_unstable();
+            syms.dedup();
+            Node::Hosts(syms)
+        }
+        Predicate::MinLevel(r) => Node::MinLevel(*r),
+        Predicate::TimeRange {
+            from_micros,
+            to_micros,
+        } => {
+            if from_micros.is_none() && to_micros.is_none() {
+                Node::True
+            } else {
+                Node::Time {
+                    from: *from_micros,
+                    to: *to_micros,
+                }
+            }
+        }
+        Predicate::Value(cmp, t) => Node::Value(*cmp, *t),
+        Predicate::OnChange => Node::OnChange,
+        Predicate::Crosses(t) => Node::Crosses(*t),
+        Predicate::RelativeChange(r) => Node::RelativeChange(*r),
+        Predicate::Equals(a, v) => Node::Equals(Sym::intern(a), v.clone()),
+        Predicate::Present(a) => Node::Present(Sym::intern(a)),
+        Predicate::Substring(a, parts) => Node::Substring(Sym::intern(a), parts.clone()),
+    }
+}
+
+fn node_is_stateful(n: &Node) -> bool {
+    match n {
+        Node::OnChange | Node::Crosses(_) | Node::RelativeChange(_) => true,
+        Node::And(cs) | Node::Or(cs) => cs.iter().any(node_is_stateful),
+        Node::Not(c) => node_is_stateful(c),
+        _ => false,
+    }
+}
+
+/// What a predicate guarantees about every record it matches — the
+/// pushdown surface.  The routing layer indexes subscriptions by `types`;
+/// the storage engine prunes whole segments whose catalogs cannot satisfy
+/// the facts; scans stop at `limit` results.
+///
+/// Facts are **sound, not complete**: a record matching the predicate
+/// always satisfies its facts, but facts alone may admit records the full
+/// predicate rejects (they are the cheap first tier, not the evaluator).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Facts {
+    /// Event types any match must carry (`None` = unconstrained;
+    /// `Some(vec![])` = nothing can match).
+    pub types: Option<Vec<Sym>>,
+    /// Hosts any match must carry.
+    pub hosts: Option<Vec<Sym>>,
+    /// Minimum severity rank of any match.
+    pub level_floor: Option<u8>,
+    /// Inclusive lower time bound (micros) of any match.
+    pub from_micros: Option<u64>,
+    /// Exclusive upper time bound (micros) of any match.
+    pub to_micros: Option<u64>,
+    /// Result limit requested by the predicate (`None` = unlimited).
+    pub limit: Option<usize>,
+}
+
+impl Facts {
+    /// Cheap first-tier check: could this record satisfy the facts?
+    /// (Used by scan sources to pre-filter before the full evaluation.)
+    pub fn admits<R: Record + ?Sized>(&self, rec: &R) -> bool {
+        if let Some(from) = self.from_micros {
+            if rec.time_micros().is_none_or(|t| t < from) {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_micros {
+            if rec.time_micros().is_none_or(|t| t >= to) {
+                return false;
+            }
+        }
+        if let Some(floor) = self.level_floor {
+            if rec.level_rank().is_none_or(|l| l < floor) {
+                return false;
+            }
+        }
+        if let Some(types) = &self.types {
+            let ok = rec
+                .event_type()
+                .and_then(Sym::lookup)
+                .is_some_and(|s| types.contains(&s));
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(hosts) = &self.hosts {
+            let ok = rec
+                .host()
+                .and_then(Sym::lookup)
+                .is_some_and(|s| hosts.contains(&s));
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn intersect_syms(a: Vec<Sym>, b: &[Sym]) -> Vec<Sym> {
+    a.into_iter().filter(|s| b.contains(s)).collect()
+}
+
+fn union_syms(mut a: Vec<Sym>, b: &[Sym]) -> Vec<Sym> {
+    for s in b {
+        if !a.contains(s) {
+            a.push(*s);
+        }
+    }
+    a.sort_unstable();
+    a
+}
+
+fn and_facts(mut acc: Facts, f: &Facts) -> Facts {
+    acc.types = match (acc.types, &f.types) {
+        (None, t) => t.clone(),
+        (t, None) => t,
+        (Some(a), Some(b)) => Some(intersect_syms(a, b)),
+    };
+    acc.hosts = match (acc.hosts, &f.hosts) {
+        (None, h) => h.clone(),
+        (h, None) => h,
+        (Some(a), Some(b)) => Some(intersect_syms(a, b)),
+    };
+    acc.level_floor = match (acc.level_floor, f.level_floor) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    };
+    acc.from_micros = match (acc.from_micros, f.from_micros) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    };
+    acc.to_micros = match (acc.to_micros, f.to_micros) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    acc.limit = match (acc.limit, f.limit) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    acc
+}
+
+/// Disjunction keeps only facts every branch guarantees (a match may come
+/// from any branch), widening bounds instead of narrowing them.
+fn or_facts(acc: Facts, f: &Facts) -> Facts {
+    Facts {
+        types: match (acc.types, &f.types) {
+            (Some(a), Some(b)) => Some(union_syms(a, b)),
+            _ => None,
+        },
+        hosts: match (acc.hosts, &f.hosts) {
+            (Some(a), Some(b)) => Some(union_syms(a, b)),
+            _ => None,
+        },
+        level_floor: match (acc.level_floor, f.level_floor) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        },
+        from_micros: match (acc.from_micros, f.from_micros) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        },
+        to_micros: match (acc.to_micros, f.to_micros) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        },
+        limit: None,
+    }
+}
+
+/// The most constrained facts: what an empty disjunction (match nothing)
+/// guarantees.  Identity element of the or-fold.
+fn bottom_facts() -> Facts {
+    Facts {
+        types: Some(Vec::new()),
+        hosts: Some(Vec::new()),
+        level_floor: Some(u8::MAX),
+        from_micros: Some(u64::MAX),
+        to_micros: Some(0),
+        limit: None,
+    }
+}
+
+fn node_facts(n: &Node) -> Facts {
+    match n {
+        Node::And(cs) => cs
+            .iter()
+            .map(node_facts)
+            .fold(Facts::default(), |acc, f| and_facts(acc, &f)),
+        Node::Or(cs) => cs
+            .iter()
+            .map(node_facts)
+            .fold(bottom_facts(), |acc, f| or_facts(acc, &f)),
+        Node::Types(ts) => Facts {
+            types: Some(ts.clone()),
+            ..Facts::default()
+        },
+        Node::Hosts(hs) => Facts {
+            hosts: Some(hs.clone()),
+            ..Facts::default()
+        },
+        Node::MinLevel(r) => Facts {
+            level_floor: Some(*r),
+            ..Facts::default()
+        },
+        Node::Time { from, to } => Facts {
+            from_micros: *from,
+            to_micros: *to,
+            ..Facts::default()
+        },
+        // Negation, stateful leaves and attribute matching guarantee
+        // nothing pushdown-safe.
+        _ => Facts::default(),
+    }
+}
+
+/// Limits are directives, not filters: they survive only through
+/// conjunctions on the way to the root.
+fn predicate_limit(p: &Predicate) -> Option<usize> {
+    match p {
+        Predicate::Limit(n) => Some(*n),
+        Predicate::And(cs) => cs.iter().filter_map(predicate_limit).min(),
+        _ => None,
+    }
+}
+
+/// A compiled, executable predicate: the one evaluator every layer runs.
+///
+/// * [`Plan::eval`] answers "does this record match", allocation-free in
+///   steady state (identifier membership is interned-`u32` comparison;
+///   stateful per-series memory is `Sym`-keyed).
+/// * [`Plan::facts`] exposes the extracted pushdown facts.
+///
+/// Stateful predicates (on-change, crosses, relative-change) keep their
+/// per-series previous readings inside the plan behind a mutex, so `eval`
+/// takes `&self` and a plan can sit in a routing table evaluated by
+/// parallel delivery workers.  Cloning a plan starts **fresh** stateful
+/// memory (a clone is "the same question asked anew", e.g. a new scan).
+#[derive(Debug)]
+pub struct Plan {
+    root: Node,
+    facts: Facts,
+    /// Per-series previous readings, present only for stateful plans.
+    state: Option<Mutex<HashMap<(Sym, Sym), f64>>>,
+}
+
+impl Clone for Plan {
+    fn clone(&self) -> Plan {
+        Plan {
+            root: self.root.clone(),
+            facts: self.facts.clone(),
+            state: self.state.as_ref().map(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl Plan {
+    /// The pushdown facts extracted at compile time.
+    pub fn facts(&self) -> &Facts {
+        &self.facts
+    }
+
+    /// The event types this plan can ever match, if constrained — what
+    /// the gateway's sharded router indexes subscriptions by.
+    pub fn routed_types(&self) -> Option<&[Sym]> {
+        self.facts.types.as_deref()
+    }
+
+    /// The result limit pushed down by the predicate, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.facts.limit
+    }
+
+    /// Whether the plan carries per-series memory (on-change / crosses /
+    /// relative-change leaves).
+    pub fn is_stateful(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Evaluate the plan against a record, updating per-series memory.
+    ///
+    /// Matching the legacy filter-chain semantics, the previous-reading
+    /// memory is updated whenever the record carries a numeric reading —
+    /// whether or not the record ultimately matches — so "on change" and
+    /// "crosses" behave correctly even when another conjunct rejects a
+    /// particular record.
+    pub fn eval<R: Record + ?Sized>(&self, rec: &R) -> bool {
+        let value = rec.value();
+        // Resolve the record's interned identity once; a leaf then
+        // compares u32s.  `lookup` (never `intern`) keeps never-seen
+        // payload identifiers out of the leaking intern table — a leaf's
+        // own strings were interned at compile time, so "not interned"
+        // already means "matches no leaf".
+        let host_sym = rec.host().and_then(Sym::lookup);
+        let ty_sym = rec.event_type().and_then(Sym::lookup);
+        let (prev, key) = match &self.state {
+            Some(state) => match (rec.host(), rec.event_type()) {
+                (Some(h), Some(t)) => {
+                    // Stateful series keys must exist even on first
+                    // sighting; hosts/types are bounded, so interning
+                    // here is safe.
+                    let key = (
+                        host_sym.unwrap_or_else(|| Sym::intern(h)),
+                        ty_sym.unwrap_or_else(|| Sym::intern(t)),
+                    );
+                    (state.lock().get(&key).copied(), Some(key))
+                }
+                _ => (None, None),
+            },
+            None => (None, None),
+        };
+        let ctx = Ctx {
+            value,
+            prev,
+            host_sym,
+            ty_sym,
+        };
+        let pass = eval_node(&self.root, rec, &ctx);
+        if let (Some(state), Some(key), Some(v)) = (&self.state, key, value) {
+            state.lock().insert(key, v);
+        }
+        pass
+    }
+}
+
+/// Per-evaluation context resolved once up front.
+struct Ctx {
+    value: Option<f64>,
+    prev: Option<f64>,
+    host_sym: Option<Sym>,
+    ty_sym: Option<Sym>,
+}
+
+fn eval_node<R: Record + ?Sized>(n: &Node, rec: &R, ctx: &Ctx) -> bool {
+    match n {
+        Node::True => true,
+        Node::And(cs) => cs.iter().all(|c| eval_node(c, rec, ctx)),
+        Node::Or(cs) => cs.iter().any(|c| eval_node(c, rec, ctx)),
+        Node::Not(c) => !eval_node(c, rec, ctx),
+        Node::Types(ts) => match rec.event_type() {
+            Some(_) => ctx.ty_sym.is_some_and(|s| ts.contains(&s)),
+            None => rec.attr_any("eventtype", &mut |v| ts.iter().any(|t| t.as_str() == v)),
+        },
+        Node::Hosts(hs) => match rec.host() {
+            Some(_) => ctx.host_sym.is_some_and(|s| hs.contains(&s)),
+            None => rec.attr_any("host", &mut |v| hs.iter().any(|h| h.as_str() == v)),
+        },
+        Node::MinLevel(r) => rec.level_rank().is_some_and(|l| l >= *r),
+        Node::Time { from, to } => rec
+            .time_micros()
+            .is_some_and(|t| from.is_none_or(|f| t >= f) && to.is_none_or(|b| t < b)),
+        Node::Value(cmp, t) => ctx.value.is_some_and(|v| cmp.apply(v, *t)),
+        Node::OnChange => match (ctx.value, ctx.prev) {
+            (Some(v), Some(p)) => v != p,
+            (Some(_), None) => true,
+            (None, _) => true,
+        },
+        Node::Crosses(t) => match (ctx.value, ctx.prev) {
+            (Some(v), Some(p)) => (p <= *t && v > *t) || (p >= *t && v < *t),
+            (Some(v), None) => v > *t,
+            (None, _) => false,
+        },
+        Node::RelativeChange(frac) => match (ctx.value, ctx.prev) {
+            (Some(v), Some(p)) if p.abs() > f64::EPSILON => ((v - p) / p).abs() > *frac,
+            (Some(_), _) => true,
+            (None, _) => false,
+        },
+        Node::Equals(a, v) => rec.attr_any(a.as_str(), &mut |x| x.eq_ignore_ascii_case(v)),
+        Node::Present(a) => rec.attr_present(a.as_str()),
+        Node::Substring(a, parts) => rec.attr_any(a.as_str(), &mut |x| substring_match(x, parts)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal event-like record for core-level tests (the real Event
+    /// lives in jamm-ulm, which depends on this crate).
+    struct Rec {
+        host: &'static str,
+        ty: &'static str,
+        level: u8,
+        time: u64,
+        value: Option<f64>,
+    }
+
+    impl Record for Rec {
+        fn host(&self) -> Option<&str> {
+            Some(self.host)
+        }
+        fn event_type(&self) -> Option<&str> {
+            Some(self.ty)
+        }
+        fn level_rank(&self) -> Option<u8> {
+            Some(self.level)
+        }
+        fn time_micros(&self) -> Option<u64> {
+            Some(self.time)
+        }
+        fn value(&self) -> Option<f64> {
+            self.value
+        }
+        fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool {
+            match attr {
+                "host" => f(self.host),
+                "eventtype" | "type" => f(self.ty),
+                "level" => f(level_name(self.level)),
+                _ => false,
+            }
+        }
+        fn attr_present(&self, attr: &str) -> bool {
+            matches!(attr, "host" | "eventtype" | "type" | "level")
+        }
+    }
+
+    fn rec(host: &'static str, ty: &'static str, value: Option<f64>) -> Rec {
+        Rec {
+            host,
+            ty,
+            level: 0,
+            time: 1_000_000,
+            value,
+        }
+    }
+
+    #[test]
+    fn parse_ldap_subset_and_superset_leaves() {
+        let p =
+            Predicate::parse("(&(type=CPU_TOTAL)(host=dpss1)(level>=warning)(val>50))").unwrap();
+        let plan = p.compile();
+        assert!(plan.facts().types.is_some());
+        assert!(plan.facts().hosts.is_some());
+        assert_eq!(plan.facts().level_floor, Some(4));
+        assert!(plan.eval(&Rec {
+            host: "dpss1",
+            ty: "CPU_TOTAL",
+            level: 5,
+            time: 0,
+            value: Some(60.0),
+        }));
+        assert!(!plan.eval(&Rec {
+            host: "dpss1",
+            ty: "CPU_TOTAL",
+            level: 5,
+            time: 0,
+            value: Some(40.0),
+        }));
+        assert!(!plan.eval(&Rec {
+            host: "dpss1",
+            ty: "CPU_TOTAL",
+            level: 0,
+            time: 0,
+            value: Some(60.0),
+        }));
+    }
+
+    #[test]
+    fn parse_time_and_limit() {
+        let p = Predicate::parse("(&(time>=5s)(time<10s)(limit=7))").unwrap();
+        let plan = p.compile();
+        assert_eq!(plan.facts().from_micros, Some(5_000_000));
+        assert_eq!(plan.facts().to_micros, Some(10_000_000));
+        assert_eq!(plan.limit(), Some(7));
+        let mut r = rec("h", "X", None);
+        r.time = 5_000_000;
+        assert!(plan.eval(&r));
+        r.time = 10_000_000;
+        assert!(!plan.eval(&r));
+    }
+
+    #[test]
+    fn stateful_leaves_track_per_series() {
+        let plan = Predicate::parse("(onchange)").unwrap().compile();
+        assert!(plan.is_stateful());
+        assert!(plan.eval(&rec("h", "X", Some(5.0))));
+        assert!(!plan.eval(&rec("h", "X", Some(5.0))));
+        assert!(plan.eval(&rec("h", "X", Some(6.0))));
+        // A different series is tracked independently.
+        assert!(plan.eval(&rec("h2", "X", Some(6.0))));
+        // A clone starts fresh.
+        let clone = plan.clone();
+        assert!(clone.eval(&rec("h", "X", Some(6.0))));
+    }
+
+    #[test]
+    fn crosses_and_relative_change() {
+        let plan = Predicate::parse("(crosses=50)").unwrap().compile();
+        assert!(!plan.eval(&rec("h", "C", Some(30.0))));
+        assert!(plan.eval(&rec("h", "C", Some(60.0))));
+        assert!(!plan.eval(&rec("h", "C", Some(70.0))));
+        assert!(plan.eval(&rec("h", "C", Some(40.0))));
+
+        let plan = Predicate::parse("(relchange=0.2)").unwrap().compile();
+        assert!(plan.eval(&rec("h", "R", Some(50.0))));
+        assert!(!plan.eval(&rec("h", "R", Some(55.0))));
+        assert!(plan.eval(&rec("h", "R", Some(70.0))));
+    }
+
+    #[test]
+    fn or_facts_union_and_not_facts_drop() {
+        let p = Predicate::parse("(|(type=A)(type=B))").unwrap();
+        let f = p.compile();
+        let types = f.facts().types.clone().unwrap();
+        assert_eq!(types.len(), 2);
+        // A disjunction with an unconstrained branch constrains nothing.
+        let p = Predicate::parse("(|(type=A)(val>5))").unwrap();
+        assert!(p.compile().facts().types.is_none());
+        // Negation constrains nothing.
+        let p = Predicate::parse("(!(type=A))").unwrap();
+        assert!(p.compile().facts().types.is_none());
+        // Conjunction intersects.
+        let p = Predicate::parse("(&(|(type=A)(type=B))(type=B))").unwrap();
+        let types = p.compile().facts().types.clone().unwrap();
+        assert_eq!(types.len(), 1);
+        assert_eq!(types[0].as_str(), "B");
+    }
+
+    #[test]
+    fn display_round_trips_with_escaping() {
+        for text in [
+            "(&(type=CPU_TOTAL)(host=dpss1.lbl.gov))",
+            "(|(objectclass=sensor)(objectclass=gateway))",
+            "(!(status=stopped))",
+            "(name=weird \\(value\\) with \\* and \\\\)",
+            "(name=prefix*)",
+            "(name=*mid*)",
+            "(level>=Warning)",
+            "(val>50)",
+            "(val!=0)",
+            "(onchange)",
+            "(crosses=50)",
+            "(relchange=0.2)",
+            "(limit=100)",
+            "(&)",
+            "(|)",
+        ] {
+            let p = Predicate::parse(text).unwrap();
+            let shown = p.to_string();
+            let again =
+                Predicate::parse(&shown).unwrap_or_else(|e| panic!("reparse of {shown:?}: {e}"));
+            assert_eq!(again.to_string(), shown, "display fixed point for {text:?}");
+            assert_eq!(again, p, "structure round-trips for {text:?}");
+        }
+    }
+
+    #[test]
+    fn approx_equality_is_case_insensitive_and_round_trips_typed_attrs() {
+        // `~=` parses to a CI Equals leaf on any attribute, including the
+        // ones plain `=` maps to typed exact leaves.
+        let p = Predicate::parse("(host~=DPSS1.LBL.GOV)").unwrap();
+        assert_eq!(p, Predicate::Equals("host".into(), "DPSS1.LBL.GOV".into()));
+        struct Lower;
+        impl Record for Lower {
+            fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool {
+                attr == "host" && f("dpss1.lbl.gov")
+            }
+            fn attr_present(&self, attr: &str) -> bool {
+                attr == "host"
+            }
+        }
+        assert!(p.compile().eval(&Lower));
+        // A builder-constructed CI host equality displays as `~=` and so
+        // re-parses to the same structure (the plain `=` form would have
+        // become the exact-match Hosts leaf).
+        let built = Predicate::attr_eq("host", "DPSS1.LBL.GOV");
+        let shown = built.to_string();
+        assert_eq!(shown, "(host~=DPSS1.LBL.GOV)");
+        assert_eq!(Predicate::parse(&shown).unwrap(), built);
+        assert_eq!(
+            Predicate::parse("(type~=cpu_total)").unwrap(),
+            Predicate::Equals("eventtype".into(), "cpu_total".into())
+        );
+    }
+
+    #[test]
+    fn oversized_second_timestamps_are_a_parse_error_not_a_wrap() {
+        // u64::MAX seconds cannot be expressed in micros; must error, not
+        // overflow (debug panic) or wrap (silent wrong bound in release).
+        let err = Predicate::parse("(time>=18446744073709551615s)").expect_err("overflow");
+        assert!(err.reason.contains("expected a timestamp"), "{err}");
+        // The largest expressible value still parses.
+        let max_secs = u64::MAX / 1_000_000;
+        let p = Predicate::parse(&format!("(time>={max_secs}s)")).unwrap();
+        assert_eq!(
+            p,
+            Predicate::TimeRange {
+                from_micros: Some(max_secs * 1_000_000),
+                to_micros: None
+            }
+        );
+    }
+
+    #[test]
+    fn escaped_values_match_literally() {
+        struct Star;
+        impl Record for Star {
+            fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool {
+                attr == "name" && f("a*b")
+            }
+            fn attr_present(&self, attr: &str) -> bool {
+                attr == "name"
+            }
+        }
+        let exact = Predicate::parse("(name=a\\*b)").unwrap();
+        assert_eq!(exact, Predicate::Equals("name".into(), "a*b".into()));
+        assert!(exact.compile().eval(&Star));
+        let wild = Predicate::parse("(name=a*b)").unwrap();
+        assert!(matches!(wild, Predicate::Substring(..)));
+        assert!(wild.compile().eval(&Star));
+    }
+
+    #[test]
+    fn parse_errors_carry_position_and_reason() {
+        for (bad, reason) in [
+            ("", "expected '('"),
+            ("(", "unexpected end of input"),
+            ("(a=b", "unterminated"),
+            ("()", "missing comparator"),
+            ("(a)", "missing comparator"),
+            ("(&(a=b)", "expected ')'"),
+            ("(a=b))", "trailing input"),
+            ("junk", "expected '('"),
+            ("(=x)", "empty attribute name"),
+            ("(val>abc)", "expected a number"),
+            ("(level>=loud)", "unknown level"),
+            ("(limit=many)", "expected a count"),
+            ("(type>=X)", "supports '='"),
+        ] {
+            let err = Predicate::parse(bad).expect_err(bad);
+            assert!(
+                err.reason.contains(reason),
+                "{bad:?}: got {:?}, wanted {reason:?}",
+                err.reason
+            );
+            assert!(err.to_string().contains("parse error at byte"));
+        }
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_input() {
+        crate::check::forall("query parser total", 256, |g| {
+            let s = g.printable_string(60);
+            let _ = Predicate::parse(&s);
+        });
+    }
+
+    #[test]
+    fn facts_admit_is_sound_for_matches() {
+        crate::check::forall("facts sound", 128, |g| {
+            let hosts = ["h1", "h2", "h3"];
+            let types = ["A", "B", "C"];
+            let preds = [
+                "(&)",
+                "(host=h1)",
+                "(|(type=A)(type=B))",
+                "(&(host=h2)(type=C)(level>=error))",
+                "(&(time>=1000000)(time<2000000))",
+                "(!(host=h1))",
+                "(|(host=h1)(val>0.5))",
+            ];
+            let p = Predicate::parse(g.choice(&preds)).unwrap();
+            let plan = p.compile();
+            let r = Rec {
+                host: g.choice(&hosts),
+                ty: g.choice(&types),
+                level: g.u64(9) as u8,
+                time: g.u64(3_000_000),
+                value: if g.bool(0.5) {
+                    Some(g.f64_in(0.0, 1.0))
+                } else {
+                    None
+                },
+            };
+            if plan.eval(&r) {
+                assert!(
+                    plan.facts().admits(&r),
+                    "facts must admit every record the plan matches"
+                );
+            }
+        });
+    }
+}

@@ -91,6 +91,19 @@ impl Entry {
     }
 }
 
+/// Entries answer the unified query plane through their attributes: the
+/// typed accessors stay `None`, so `host=` / `type=` leaves match against
+/// the (possibly multi-valued) `host` / `eventtype` attributes.
+impl jamm_core::query::Record for Entry {
+    fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool {
+        self.get_all(attr).iter().any(|v| f(v))
+    }
+
+    fn attr_present(&self, attr: &str) -> bool {
+        self.has(attr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

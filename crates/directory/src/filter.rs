@@ -1,190 +1,103 @@
-//! LDAP-style search filters.
+//! LDAP-style search filters, answered by the unified query plane.
 //!
-//! Supports the subset JAMM needs: equality, presence, substring (leading /
-//! trailing `*`), and the boolean combinators, with the standard
-//! parenthesised prefix syntax, e.g.
-//! `(&(objectclass=sensor)(host=dpss*)(!(status=stopped)))`.
+//! The directory's filter syntax — equality, presence, substring
+//! (`*` wildcards) and the parenthesised boolean combinators, e.g.
+//! `(&(objectclass=sensor)(host=dpss*)(!(status=stopped)))` — is a subset
+//! of the workspace-wide query grammar in [`jamm_core::query`].  Since the
+//! query-plane refactor a [`Filter`] is a thin wrapper around a parsed
+//! [`Predicate`] compiled once into a [`Plan`]; evaluation against an
+//! [`Entry`] runs through exactly the same evaluator the event gateway and
+//! the archive use.
+//!
+//! Two semantic notes inherited from the shared grammar:
+//!
+//! * `host=` and `type=`/`eventtype=` equality leaves are **exact** string
+//!   matches (they feed routing and storage pruning); every other
+//!   attribute matches case-insensitively, as LDAP does.  Wildcarded and
+//!   presence forms of any attribute stay case-insensitive.
+//! * Values may escape literal `(`, `)`, `*` and `\` with a backslash,
+//!   and [`Filter`]'s `Display` form re-escapes them, so
+//!   parse → display → parse round-trips.
+
+use jamm_core::query::{Plan, Predicate};
 
 use crate::entry::Entry;
 use crate::DirectoryError;
 
-/// A search filter.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Filter {
-    /// `(attr=value)` — case-insensitive equality.
-    Equals(String, String),
-    /// `(attr=*)` — attribute present.
-    Present(String),
-    /// `(attr=pattern)` where pattern contains `*` wildcards.
-    Substring(String, Vec<String>),
-    /// `(&(f1)(f2)...)` — all must match.  An empty AND matches everything.
-    And(Vec<Filter>),
-    /// `(|(f1)(f2)...)` — at least one must match.
-    Or(Vec<Filter>),
-    /// `(!(f))` — negation.
-    Not(Box<Filter>),
+/// A search filter: a parsed query-plane predicate plus its compiled
+/// evaluation plan.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    pred: Predicate,
+    plan: Plan,
+}
+
+impl PartialEq for Filter {
+    fn eq(&self, other: &Filter) -> bool {
+        self.pred == other.pred
+    }
+}
+
+impl std::fmt::Display for Filter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.pred)
+    }
+}
+
+impl From<Predicate> for Filter {
+    fn from(pred: Predicate) -> Filter {
+        let plan = pred.compile();
+        Filter { pred, plan }
+    }
 }
 
 impl Filter {
     /// A filter that matches every entry.
     pub fn everything() -> Filter {
-        Filter::And(Vec::new())
+        Predicate::And(Vec::new()).into()
     }
 
-    /// Convenience: equality filter.
+    /// Convenience: case-insensitive equality filter.
     pub fn eq(attr: impl Into<String>, value: impl Into<String>) -> Filter {
-        Filter::Equals(attr.into().to_ascii_lowercase(), value.into())
+        Predicate::attr_eq(attr, value).into()
     }
 
     /// Convenience: presence filter.
     pub fn present(attr: impl Into<String>) -> Filter {
-        Filter::Present(attr.into().to_ascii_lowercase())
+        Predicate::attr_present(attr).into()
     }
 
     /// Convenience: conjunction.
     pub fn and(filters: Vec<Filter>) -> Filter {
-        Filter::And(filters)
+        Predicate::And(filters.into_iter().map(|f| f.pred).collect()).into()
     }
 
     /// Convenience: disjunction.
     pub fn or(filters: Vec<Filter>) -> Filter {
-        Filter::Or(filters)
+        Predicate::Or(filters.into_iter().map(|f| f.pred).collect()).into()
     }
 
-    /// Evaluate the filter against an entry.
+    /// Convenience: negation.
+    pub fn negate(filter: Filter) -> Filter {
+        Predicate::Not(Box::new(filter.pred)).into()
+    }
+
+    /// The underlying query-plane predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.pred
+    }
+
+    /// Evaluate the filter against an entry through the compiled plan.
     pub fn matches(&self, entry: &Entry) -> bool {
-        match self {
-            Filter::Equals(attr, value) => entry.has_value(attr, value),
-            Filter::Present(attr) => entry.has(attr),
-            Filter::Substring(attr, parts) => entry
-                .get_all(attr)
-                .iter()
-                .any(|v| substring_match(v, parts)),
-            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
-            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
-            Filter::Not(f) => !f.matches(entry),
-        }
+        self.plan.eval(entry)
     }
 
-    /// Parse the textual filter syntax.
+    /// Parse the textual filter syntax.  The error message carries the
+    /// offending input and the parser's position/reason.
     pub fn parse(s: &str) -> crate::Result<Filter> {
-        let s = s.trim();
-        let mut parser = Parser { input: s, pos: 0 };
-        let f = parser.parse_filter()?;
-        parser.skip_ws();
-        if parser.pos != parser.input.len() {
-            return Err(DirectoryError::InvalidFilter(s.to_string()));
-        }
-        Ok(f)
-    }
-}
-
-/// Case-insensitive glob match where `parts` are the literal segments between
-/// `*` wildcards (empty leading/trailing segments anchor nothing).
-fn substring_match(value: &str, parts: &[String]) -> bool {
-    let value = value.to_ascii_lowercase();
-    let mut pos = 0usize;
-    for (i, part) in parts.iter().enumerate() {
-        if part.is_empty() {
-            continue;
-        }
-        let p = part.to_ascii_lowercase();
-        if i == 0 {
-            if !value.starts_with(&p) {
-                return false;
-            }
-            pos = p.len();
-        } else if i == parts.len() - 1 {
-            return value.len() >= pos && value[pos..].ends_with(&p);
-        } else {
-            match value[pos..].find(&p) {
-                Some(found) => pos += found + p.len(),
-                None => return false,
-            }
-        }
-    }
-    true
-}
-
-struct Parser<'a> {
-    input: &'a str,
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self) -> DirectoryError {
-        DirectoryError::InvalidFilter(self.input.to_string())
-    }
-
-    fn skip_ws(&mut self) {
-        while self.input[self.pos..].starts_with(char::is_whitespace) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: char) -> crate::Result<()> {
-        self.skip_ws();
-        if self.input[self.pos..].starts_with(c) {
-            self.pos += c.len_utf8();
-            Ok(())
-        } else {
-            Err(self.err())
-        }
-    }
-
-    fn peek(&mut self) -> Option<char> {
-        self.skip_ws();
-        self.input[self.pos..].chars().next()
-    }
-
-    fn parse_filter(&mut self) -> crate::Result<Filter> {
-        self.expect('(')?;
-        let f = match self.peek() {
-            Some('&') => {
-                self.pos += 1;
-                Filter::And(self.parse_list()?)
-            }
-            Some('|') => {
-                self.pos += 1;
-                Filter::Or(self.parse_list()?)
-            }
-            Some('!') => {
-                self.pos += 1;
-                Filter::Not(Box::new(self.parse_filter()?))
-            }
-            Some(_) => self.parse_simple()?,
-            None => return Err(self.err()),
-        };
-        self.expect(')')?;
-        Ok(f)
-    }
-
-    fn parse_list(&mut self) -> crate::Result<Vec<Filter>> {
-        let mut out = Vec::new();
-        while self.peek() == Some('(') {
-            out.push(self.parse_filter()?);
-        }
-        Ok(out)
-    }
-
-    fn parse_simple(&mut self) -> crate::Result<Filter> {
-        let rest = &self.input[self.pos..];
-        let end = rest.find(')').ok_or_else(|| self.err())?;
-        let body = &rest[..end];
-        self.pos += end;
-        let (attr, value) = body.split_once('=').ok_or_else(|| self.err())?;
-        let attr = attr.trim();
-        let value = value.trim();
-        if attr.is_empty() {
-            return Err(self.err());
-        }
-        if value == "*" {
-            Ok(Filter::Present(attr.to_ascii_lowercase()))
-        } else if value.contains('*') {
-            let parts: Vec<String> = value.split('*').map(|p| p.to_string()).collect();
-            Ok(Filter::Substring(attr.to_ascii_lowercase(), parts))
-        } else {
-            Ok(Filter::Equals(attr.to_ascii_lowercase(), value.to_string()))
+        match Predicate::parse(s) {
+            Ok(pred) => Ok(pred.into()),
+            Err(e) => Err(DirectoryError::InvalidFilter(format!("{s:?}: {e}"))),
         }
     }
 }
@@ -205,10 +118,15 @@ mod tests {
     #[test]
     fn equality_and_presence() {
         let e = entry();
-        assert!(Filter::eq("host", "DPSS1.LBL.GOV").matches(&e));
-        assert!(!Filter::eq("host", "other").matches(&e));
+        // Generic attributes stay case-insensitive...
+        assert!(Filter::eq("status", "RUNNING").matches(&e));
+        assert!(!Filter::eq("status", "stopped").matches(&e));
         assert!(Filter::present("status").matches(&e));
         assert!(!Filter::present("gateway").matches(&e));
+        // ...while parsed host= equality is exact (it feeds pruning).
+        assert!(Filter::parse("(host=dpss1.lbl.gov)").unwrap().matches(&e));
+        assert!(!Filter::parse("(host=other)").unwrap().matches(&e));
+        assert!(Filter::parse("(eventtype=CPU_TOTAL)").unwrap().matches(&e));
     }
 
     #[test]
@@ -216,7 +134,7 @@ mod tests {
         let e = entry();
         let f = Filter::and(vec![
             Filter::eq("objectclass", "sensor"),
-            Filter::Not(Box::new(Filter::eq("status", "stopped"))),
+            Filter::negate(Filter::eq("status", "stopped")),
         ]);
         assert!(f.matches(&e));
         let g = Filter::or(vec![
@@ -225,7 +143,7 @@ mod tests {
         ]);
         assert!(g.matches(&e));
         assert!(Filter::everything().matches(&e));
-        assert!(!Filter::Or(vec![]).matches(&e), "empty OR matches nothing");
+        assert!(!Filter::or(vec![]).matches(&e), "empty OR matches nothing");
     }
 
     #[test]
@@ -250,9 +168,21 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        for bad in ["", "(", "()", "(a)", "(&(a=b)", "(a=b))", "junk", "(=x)"] {
-            assert!(Filter::parse(bad).is_err(), "{bad:?}");
+    fn parse_rejects_garbage_with_a_reason() {
+        for (bad, reason) in [
+            ("", "expected '('"),
+            ("(", "unexpected end of input"),
+            ("()", "missing comparator"),
+            ("(a)", "missing comparator"),
+            ("(&(a=b)", "expected ')'"),
+            ("(a=b))", "trailing input"),
+            ("junk", "expected '('"),
+            ("(=x)", "empty attribute name"),
+        ] {
+            let err = Filter::parse(bad).expect_err(bad);
+            let msg = err.to_string();
+            assert!(msg.contains("invalid filter"), "{bad:?}: {msg}");
+            assert!(msg.contains(reason), "{bad:?}: {msg} missing {reason:?}");
         }
     }
 
@@ -260,5 +190,52 @@ mod tests {
     fn parse_whitespace_tolerant() {
         let f = Filter::parse(" ( & ( objectclass=sensor ) ( status=* ) ) ").unwrap();
         assert!(f.matches(&entry()));
+    }
+
+    #[test]
+    fn display_parse_round_trips_including_escaping() {
+        for text in [
+            "(objectclass=sensor)",
+            "(&(objectclass=sensor)(host=dpss*)(!(status=stopped)))",
+            "(|(host=a)(host=b))",
+            "(status=*)",
+            "(name=*mid*dle*)",
+            "(name=literal\\*star)",
+            "(name=parens \\(and\\) backslash \\\\)",
+            "(&)",
+            "(|)",
+        ] {
+            let parsed = Filter::parse(text).unwrap();
+            let shown = parsed.to_string();
+            let again =
+                Filter::parse(&shown).unwrap_or_else(|e| panic!("reparse of {shown:?}: {e}"));
+            assert_eq!(again, parsed, "structure round-trips for {text:?}");
+            assert_eq!(again.to_string(), shown, "display fixed point for {text:?}");
+        }
+    }
+
+    #[test]
+    fn builder_host_equality_round_trips_without_changing_semantics() {
+        // Filter::eq is case-insensitive even on `host`; its text form
+        // uses the grammar's `~=` approximate match, so serializing and
+        // re-parsing keeps matching the same entries.
+        let e = entry();
+        let f = Filter::eq("host", "DPSS1.LBL.GOV");
+        assert!(f.matches(&e));
+        let shown = f.to_string();
+        assert_eq!(shown, "(host~=DPSS1.LBL.GOV)");
+        let reparsed = Filter::parse(&shown).unwrap();
+        assert_eq!(reparsed, f);
+        assert!(reparsed.matches(&e), "round-trip preserves CI matching");
+    }
+
+    #[test]
+    fn escaped_wildcards_match_literally() {
+        let e = Entry::new(Dn::parse("x=y,o=lbl").unwrap()).with("name", "a*b");
+        assert!(Filter::parse("(name=a\\*b)").unwrap().matches(&e));
+        assert!(Filter::parse("(name=a*b)").unwrap().matches(&e));
+        let plain = Entry::new(Dn::parse("x=z,o=lbl").unwrap()).with("name", "axxb");
+        assert!(!Filter::parse("(name=a\\*b)").unwrap().matches(&plain));
+        assert!(Filter::parse("(name=a*b)").unwrap().matches(&plain));
     }
 }

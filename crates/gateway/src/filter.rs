@@ -7,12 +7,22 @@
 //! also request that an event be sent only if its value crosses a certain
 //! threshold.  Examples of such a threshold would be if CPU load becomes
 //! greater than 50%, or if load changes by more than 20%." (§2.2)
+//!
+//! [`EventFilter`] is the builder-style surface consumers compose; since
+//! the query-plane refactor a [`FilterChain`] lowers the filters into one
+//! [`jamm_core::query::Predicate`] and evaluates events through its
+//! compiled [`Plan`] — the same evaluator the archive's historical scans
+//! and the directory's searches run.  Stateful predicates (on-change,
+//! crosses, relative-change) keep their per-series memory inside the plan,
+//! keyed by interned [`jamm_core::intern::Sym`] pairs, so the hot path
+//! allocates nothing per event.
 
-use std::collections::HashMap;
-
+use jamm_core::query::{Plan, Predicate, ValueCmp};
+use jamm_core::Sym;
 use jamm_ulm::{Event, Level};
-/// A single filter predicate.  A subscription carries a list of filters that
-/// must all pass ([`FilterChain`]).
+
+/// A single filter predicate.  A subscription carries a list of filters
+/// that must all pass ([`FilterChain`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventFilter {
     /// Pass every event.
@@ -42,85 +52,87 @@ pub enum EventFilter {
 }
 
 impl EventFilter {
-    /// Whether this filter needs to remember previous readings.
-    fn is_stateful(&self) -> bool {
-        matches!(
-            self,
-            EventFilter::OnChange | EventFilter::Crosses(_) | EventFilter::RelativeChange(_)
-        )
+    /// Lower this builder-style filter into the query-plane IR.
+    pub fn to_predicate(&self) -> Predicate {
+        match self {
+            EventFilter::All => Predicate::True,
+            EventFilter::EventTypes(types) => Predicate::EventTypes(types.clone()),
+            EventFilter::Hosts(hosts) => Predicate::Hosts(hosts.clone()),
+            EventFilter::MinLevel(min) => Predicate::MinLevel(min.severity()),
+            EventFilter::OnChange => Predicate::OnChange,
+            EventFilter::Above(t) => Predicate::Value(ValueCmp::Gt, *t),
+            EventFilter::Below(t) => Predicate::Value(ValueCmp::Lt, *t),
+            EventFilter::Crosses(t) => Predicate::Crosses(*t),
+            EventFilter::RelativeChange(frac) => Predicate::RelativeChange(*frac),
+        }
     }
 }
 
-/// Severity ordering helper: is `lvl` at least as severe as `min`?
-fn at_least(lvl: Level, min: Level) -> bool {
-    severity(lvl) >= severity(min)
-}
-
-fn severity(l: Level) -> u8 {
-    match l {
-        Level::Usage => 0,
-        Level::Debug => 1,
-        Level::Info => 2,
-        Level::Notice => 3,
-        Level::Warning => 4,
-        Level::Error => 5,
-        Level::Critical => 6,
-        Level::Alert => 7,
-        Level::Emergency => 8,
-    }
-}
-
-/// A conjunction of filters with the per-(host, event-type) state the
-/// stateful predicates need.
-#[derive(Debug, Clone, Default)]
+/// A subscription's filter conjunction, compiled to a query-plane
+/// [`Plan`].
+///
+/// Cloning a chain clones the predicate but starts **fresh** stateful
+/// memory (a clone is a new subscription's view, not a fork of another
+/// subscriber's change-tracking).
+#[derive(Debug, Clone)]
 pub struct FilterChain {
-    filters: Vec<EventFilter>,
-    last_value: HashMap<(String, String), f64>,
+    pred: Predicate,
+    plan: Plan,
+}
+
+impl Default for FilterChain {
+    fn default() -> Self {
+        FilterChain::new(Vec::new())
+    }
 }
 
 impl FilterChain {
     /// Build a chain from a list of filters (empty list passes everything).
     pub fn new(filters: Vec<EventFilter>) -> Self {
-        FilterChain {
-            filters,
-            last_value: HashMap::new(),
-        }
+        FilterChain::from_predicate(Predicate::And(
+            filters.iter().map(EventFilter::to_predicate).collect(),
+        ))
     }
 
-    /// The filters in the chain.
-    pub fn filters(&self) -> &[EventFilter] {
-        &self.filters
+    /// Build a chain from an arbitrary query-plane predicate (e.g. a
+    /// parsed query string).
+    pub fn from_predicate(pred: Predicate) -> Self {
+        let plan = pred.compile();
+        FilterChain { pred, plan }
+    }
+
+    /// The chain's predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.pred
+    }
+
+    /// The compiled plan the chain evaluates through.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
     }
 
     /// The event types this chain can ever pass, if the chain constrains
-    /// them: the intersection of every [`EventFilter::EventTypes`]
-    /// predicate.  `None` means the chain passes events of any type.
+    /// them: the compiled plan's pushdown fact.  `None` means the chain
+    /// passes events of any type.
     ///
     /// This is what the sharded router indexes subscriptions by — a
     /// subscription whose chain names explicit event types is registered
     /// only in the routing buckets for those types and is never even
     /// *looked at* when other traffic is published.
     ///
-    /// `Some(vec![])` (an empty `EventTypes` list, or a disjoint
+    /// `Some(&[])` (an empty `EventTypes` list, or a disjoint
     /// intersection) means the chain passes **nothing**: the subscription
     /// is registered in no bucket, which is exactly what its filters
     /// would deliver anyway.
+    pub fn routed_syms(&self) -> Option<&[Sym]> {
+        self.plan.routed_types()
+    }
+
+    /// [`FilterChain::routed_syms`] resolved to owned strings (kept for
+    /// introspection and tests; the router itself uses the `Sym` form).
     pub fn routed_types(&self) -> Option<Vec<String>> {
-        let mut acc: Option<Vec<String>> = None;
-        for f in &self.filters {
-            if let EventFilter::EventTypes(types) = f {
-                acc = Some(match acc {
-                    None => {
-                        let mut t = types.clone();
-                        t.sort_unstable();
-                        t.dedup();
-                        t
-                    }
-                    Some(prev) => prev.into_iter().filter(|t| types.contains(t)).collect(),
-                });
-            }
-        }
-        acc
+        self.routed_syms()
+            .map(|syms| syms.iter().map(|s| s.as_str().to_string()).collect())
     }
 
     /// Evaluate the chain against an event, updating change-tracking state.
@@ -129,48 +141,8 @@ impl FilterChain {
     /// numeric `VAL`, whether or not the event ultimately passes, so "on
     /// change" and "crosses" behave like the paper describes even when other
     /// predicates in the chain reject a particular event.
-    pub fn accept(&mut self, event: &Event) -> bool {
-        let key = (event.host.clone(), event.event_type.clone());
-        let value = event.value();
-        let prev = self.last_value.get(&key).copied();
-
-        let mut pass = true;
-        for f in &self.filters {
-            let ok = match f {
-                EventFilter::All => true,
-                EventFilter::EventTypes(types) => types.contains(&event.event_type),
-                EventFilter::Hosts(hosts) => hosts.contains(&event.host),
-                EventFilter::MinLevel(min) => at_least(event.level, *min),
-                EventFilter::OnChange => match (value, prev) {
-                    (Some(v), Some(p)) => v != p,
-                    (Some(_), None) => true,
-                    (None, _) => true,
-                },
-                EventFilter::Above(t) => value.is_some_and(|v| v > *t),
-                EventFilter::Below(t) => value.is_some_and(|v| v < *t),
-                EventFilter::Crosses(t) => match (value, prev) {
-                    (Some(v), Some(p)) => (p <= *t && v > *t) || (p >= *t && v < *t),
-                    (Some(v), None) => v > *t,
-                    (None, _) => false,
-                },
-                EventFilter::RelativeChange(frac) => match (value, prev) {
-                    (Some(v), Some(p)) if p.abs() > f64::EPSILON => ((v - p) / p).abs() > *frac,
-                    (Some(_), _) => true,
-                    (None, _) => false,
-                },
-            };
-            if !ok {
-                pass = false;
-                break;
-            }
-        }
-
-        if let Some(v) = value {
-            if self.filters.iter().any(EventFilter::is_stateful) {
-                self.last_value.insert(key, v);
-            }
-        }
-        pass
+    pub fn accept(&self, event: &Event) -> bool {
+        self.plan.eval(event)
     }
 }
 
@@ -192,7 +164,7 @@ mod tests {
 
     #[test]
     fn event_type_and_host_selection() {
-        let mut c = FilterChain::new(vec![
+        let c = FilterChain::new(vec![
             EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
             EventFilter::Hosts(vec!["a".into(), "b".into()]),
         ]);
@@ -203,7 +175,7 @@ mod tests {
 
     #[test]
     fn min_level_floor() {
-        let mut c = FilterChain::new(vec![EventFilter::MinLevel(Level::Warning)]);
+        let c = FilterChain::new(vec![EventFilter::MinLevel(Level::Warning)]);
         assert!(c.accept(&ev("h", "X", Level::Error, None)));
         assert!(c.accept(&ev("h", "X", Level::Warning, None)));
         assert!(!c.accept(&ev("h", "X", Level::Info, None)));
@@ -212,7 +184,7 @@ mod tests {
 
     #[test]
     fn on_change_suppresses_repeats_per_host_and_type() {
-        let mut c = FilterChain::new(vec![EventFilter::OnChange]);
+        let c = FilterChain::new(vec![EventFilter::OnChange]);
         assert!(c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
         assert!(!c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
         assert!(!c.accept(&ev("h", "NETSTAT_RETRANS", Level::Usage, Some(5.0))));
@@ -223,7 +195,7 @@ mod tests {
 
     #[test]
     fn paper_example_cpu_above_50() {
-        let mut c = FilterChain::new(vec![
+        let c = FilterChain::new(vec![
             EventFilter::EventTypes(vec!["CPU_TOTAL".into()]),
             EventFilter::Above(50.0),
         ]);
@@ -233,7 +205,7 @@ mod tests {
 
     #[test]
     fn crossing_fires_on_both_directions_but_not_within_a_side() {
-        let mut c = FilterChain::new(vec![EventFilter::Crosses(50.0)]);
+        let c = FilterChain::new(vec![EventFilter::Crosses(50.0)]);
         assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(30.0))));
         assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(60.0)))); // up-cross
         assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(70.0)))); // still above
@@ -243,7 +215,7 @@ mod tests {
 
     #[test]
     fn paper_example_load_changes_by_20_percent() {
-        let mut c = FilterChain::new(vec![EventFilter::RelativeChange(0.2)]);
+        let c = FilterChain::new(vec![EventFilter::RelativeChange(0.2)]);
         assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(50.0)))); // first
         assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(55.0)))); // +10%
         assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(70.0)))); // +27%
@@ -253,10 +225,10 @@ mod tests {
 
     #[test]
     fn below_filter_and_empty_chain() {
-        let mut below = FilterChain::new(vec![EventFilter::Below(1_000.0)]);
+        let below = FilterChain::new(vec![EventFilter::Below(1_000.0)]);
         assert!(below.accept(&ev("h", "VMSTAT_FREE_MEMORY", Level::Usage, Some(500.0))));
         assert!(!below.accept(&ev("h", "VMSTAT_FREE_MEMORY", Level::Usage, Some(5_000.0))));
-        let mut all = FilterChain::new(vec![]);
+        let all = FilterChain::new(vec![]);
         assert!(all.accept(&ev("h", "ANYTHING", Level::Usage, None)));
     }
 
@@ -264,7 +236,7 @@ mod tests {
     fn stateful_filters_track_even_when_other_predicates_reject() {
         // Host filter rejects h2 events, but the change tracking for h1 is
         // unaffected by them.
-        let mut c = FilterChain::new(vec![
+        let c = FilterChain::new(vec![
             EventFilter::Hosts(vec!["h1".into()]),
             EventFilter::OnChange,
         ]);
@@ -275,5 +247,33 @@ mod tests {
             "unchanged"
         );
         assert!(c.accept(&ev("h1", "X", Level::Usage, Some(3.0))));
+    }
+
+    #[test]
+    fn routed_types_is_the_event_types_intersection() {
+        let c = FilterChain::new(vec![
+            EventFilter::EventTypes(vec!["A".into(), "B".into()]),
+            EventFilter::EventTypes(vec!["B".into(), "C".into()]),
+        ]);
+        assert_eq!(c.routed_types(), Some(vec!["B".to_string()]));
+        let open = FilterChain::new(vec![EventFilter::Above(1.0)]);
+        assert_eq!(open.routed_types(), None);
+        let closed = FilterChain::new(vec![EventFilter::EventTypes(vec![])]);
+        assert_eq!(closed.routed_types(), Some(vec![]));
+    }
+
+    #[test]
+    fn chains_accept_parsed_query_predicates() {
+        let c = FilterChain::from_predicate(
+            Predicate::parse("(&(type=CPU_TOTAL)(val>50)(onchange))").unwrap(),
+        );
+        assert_eq!(c.routed_types(), Some(vec!["CPU_TOTAL".to_string()]));
+        assert!(c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(75.0))));
+        assert!(
+            !c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(75.0))),
+            "unchanged"
+        );
+        assert!(!c.accept(&ev("h", "CPU_TOTAL", Level::Usage, Some(30.0))));
+        assert!(!c.accept(&ev("h", "MEM_FREE", Level::Usage, Some(99.0))));
     }
 }

@@ -45,8 +45,9 @@ use jamm_core::sync::RwLock;
 use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use jamm_auth::acl::{AccessControlList, Action};
+use jamm_core::query::{Plan, Predicate};
 
-use crate::filter::EventFilter;
+use crate::filter::{EventFilter, FilterChain};
 use crate::routing::{RouteOutcome, ShardReport, ShardedRouter, DEFAULT_GATEWAY_SHARDS};
 use crate::summary::{ShardedSummaryEngine, SummaryWindow};
 use crate::{GatewayError, Result};
@@ -145,7 +146,8 @@ impl EventSource<SharedEvent> for Subscription {
 pub struct SubscriptionBuilder<'gw> {
     gateway: &'gw EventGateway,
     consumer: String,
-    filters: Vec<EventFilter>,
+    predicates: Vec<Predicate>,
+    queries: Vec<String>,
     capacity: usize,
     overflow: OverflowPolicy,
 }
@@ -159,13 +161,31 @@ impl<'gw> SubscriptionBuilder<'gw> {
 
     /// Add one filter to the conjunction.
     pub fn filter(mut self, filter: EventFilter) -> Self {
-        self.filters.push(filter);
+        self.predicates.push(filter.to_predicate());
         self
     }
 
     /// Add several filters.
     pub fn filters(mut self, filters: impl IntoIterator<Item = EventFilter>) -> Self {
-        self.filters.extend(filters);
+        self.predicates
+            .extend(filters.into_iter().map(|f| f.to_predicate()));
+        self
+    }
+
+    /// Add a raw query-plane predicate to the conjunction.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicates.push(predicate);
+        self
+    }
+
+    /// Filter with a query string in the unified grammar, e.g.
+    /// `"(&(type=CPU_TOTAL)(val>50))"` — the same language the archive
+    /// and the directory answer.  And-combined with any builder-style
+    /// filters and with previous `matching` calls; a malformed query
+    /// surfaces as [`crate::GatewayError::BadQuery`] from
+    /// [`SubscriptionBuilder::open`].
+    pub fn matching(mut self, query: &str) -> Self {
+        self.queries.push(query.to_string());
         self
     }
 
@@ -192,10 +212,18 @@ impl<'gw> SubscriptionBuilder<'gw> {
 
     /// Register the subscription with the gateway, returning the live
     /// handle.  Fails if the site policy denies this consumer streaming
-    /// access.
+    /// access, or if a [`SubscriptionBuilder::matching`] query string does
+    /// not parse.
     pub fn open(self) -> Result<Subscription> {
+        let mut predicates = self.predicates;
+        for query in &self.queries {
+            let parsed =
+                Predicate::parse(query).map_err(|e| GatewayError::BadQuery(e.to_string()))?;
+            predicates.push(parsed);
+        }
+        let chain = FilterChain::from_predicate(Predicate::And(predicates));
         self.gateway
-            .open_subscription(self.consumer, self.filters, self.capacity, self.overflow)
+            .open_subscription(self.consumer, chain, self.capacity, self.overflow)
     }
 }
 
@@ -439,7 +467,8 @@ impl EventGateway {
         SubscriptionBuilder {
             gateway: self,
             consumer: "anonymous".to_string(),
-            filters: Vec::new(),
+            predicates: Vec::new(),
+            queries: Vec::new(),
             capacity: DEFAULT_SUBSCRIPTION_CAPACITY,
             overflow: OverflowPolicy::default(),
         }
@@ -448,15 +477,13 @@ impl EventGateway {
     fn open_subscription(
         &self,
         consumer: String,
-        filters: Vec<EventFilter>,
+        chain: FilterChain,
         capacity: usize,
         overflow: OverflowPolicy,
     ) -> Result<Subscription> {
         self.check(&consumer, Action::SubscribeStream)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        Ok(self
-            .router
-            .insert(id, consumer, filters, capacity, overflow))
+        Ok(self.router.insert(id, consumer, chain, capacity, overflow))
     }
 
     /// Cancel a streaming subscription.
@@ -628,6 +655,28 @@ impl EventGateway {
             return Ok(None);
         };
         Ok(self.latest_shard(host, ty).read().get(&(host, ty)).cloned())
+    }
+
+    /// Query mode over the whole cache: every cached latest-event that a
+    /// compiled query-plane [`Plan`] accepts, in `(host, type)` order.
+    /// This is the gateway's leg of the facade's unified query endpoint —
+    /// one plan answers the live cache here, the summaries, and the
+    /// archive's historical scan.  Returned handles share the cached
+    /// events; nothing is copied.
+    pub fn query_matching(&self, consumer: &str, plan: &Plan) -> Result<Vec<SharedEvent>> {
+        self.check(consumer, Action::Query)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut out: Vec<SharedEvent> = Vec::new();
+        for shard in &self.latest {
+            let shard = shard.read();
+            for event in shard.values() {
+                if plan.eval(&**event) {
+                    out.push(SharedEvent::clone(event));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.host, &a.event_type).cmp(&(&b.host, &b.event_type)));
+        Ok(out)
     }
 
     /// Summary data for consumers entitled to summaries only (or anyone who
@@ -1025,6 +1074,83 @@ mod tests {
             .expect("1-minute summary present");
         assert_eq!(one_min.value(), Some(60.0));
         assert_eq!(one_min.program, "gw1");
+    }
+
+    #[test]
+    fn query_string_subscriptions_route_and_filter_like_builders() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1").with_shards(4));
+        let by_text = gw
+            .subscribe()
+            .stream()
+            .matching("(&(type=CPU_TOTAL)(val>50))")
+            .as_consumer("text")
+            .open()
+            .unwrap();
+        let by_builder = gw
+            .subscribe()
+            .stream()
+            .filter(EventFilter::EventTypes(vec!["CPU_TOTAL".into()]))
+            .filter(EventFilter::Above(50.0))
+            .as_consumer("builder")
+            .open()
+            .unwrap();
+        // Both are typed: together they occupy exactly one routing shard
+        // slot each (the shard owning CPU_TOTAL), not every shard.
+        let occupied: usize = gw.shard_report().iter().map(|s| s.subscriptions).sum();
+        assert_eq!(occupied, 2, "query-string subscription is routed by type");
+        for i in 0..40u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", (i % 10) as f64 * 10.0, i));
+            gw.publish(&ev("h", "MEM_FREE", 99.0, i));
+        }
+        let text_events: Vec<SharedEvent> = by_text.events.try_iter().collect();
+        let builder_events: Vec<SharedEvent> = by_builder.events.try_iter().collect();
+        assert_eq!(text_events, builder_events, "same plan either way");
+        assert!(!text_events.is_empty());
+        // A malformed query surfaces as an error, not a panic.
+        assert!(matches!(
+            gw.subscribe().matching("(type=").as_consumer("bad").open(),
+            Err(GatewayError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_matching_calls_and_combine() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        let sub = gw
+            .subscribe()
+            .matching("(type=CPU_TOTAL)")
+            .matching("(val>50)")
+            .as_consumer("c")
+            .open()
+            .unwrap();
+        gw.publish(&ev("h", "CPU_TOTAL", 80.0, 1)); // passes both
+        gw.publish(&ev("h", "CPU_TOTAL", 10.0, 2)); // fails the second
+        gw.publish(&ev("h", "MEM_FREE", 80.0, 3)); // fails the first
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 1, "both query strings constrain the stream");
+        assert_eq!(got[0].value(), Some(80.0));
+        assert_eq!(got[0].event_type, "CPU_TOTAL");
+    }
+
+    #[test]
+    fn query_matching_answers_a_plan_over_the_whole_cache() {
+        use jamm_core::query::Predicate;
+        let gw = EventGateway::new(GatewayConfig::open("gw1"));
+        for i in 0..10u64 {
+            gw.publish(&ev("h1", "CPU_TOTAL", i as f64, i));
+            gw.publish(&ev("h2", "CPU_TOTAL", 90.0, i));
+            gw.publish(&ev("h1", "MEM_FREE", 5.0, i));
+        }
+        let plan = Predicate::parse("(&(type=CPU_TOTAL)(val>50))")
+            .unwrap()
+            .compile();
+        let hits = gw.query_matching("c", &plan).unwrap();
+        assert_eq!(hits.len(), 1, "only h2's latest CPU reading is >50");
+        assert_eq!(hits[0].host, "h2");
+        let all = gw
+            .query_matching("c", &Predicate::everything().compile())
+            .unwrap();
+        assert_eq!(all.len(), 3, "one latest event per live series");
     }
 
     #[test]

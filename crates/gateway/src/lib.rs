@@ -32,12 +32,13 @@ mod hash;
 pub mod routing;
 pub mod summary;
 
-pub use filter::EventFilter;
+pub use filter::{EventFilter, FilterChain};
 pub use gateway::{
     DeliveryReport, EventGateway, GatewayConfig, GatewayStats, Subscription, SubscriptionBuilder,
     DEFAULT_SUBSCRIPTION_CAPACITY,
 };
 pub use jamm_core::flow::OverflowPolicy;
+pub use jamm_core::query::{Plan, Predicate};
 pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
 pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
 
@@ -48,6 +49,8 @@ pub enum GatewayError {
     AccessDenied(String),
     /// The referenced subscription does not exist.
     NoSuchSubscription(u64),
+    /// A subscription query string did not parse.
+    BadQuery(String),
 }
 
 impl std::fmt::Display for GatewayError {
@@ -55,6 +58,7 @@ impl std::fmt::Display for GatewayError {
         match self {
             GatewayError::AccessDenied(what) => write!(f, "access denied: {what}"),
             GatewayError::NoSuchSubscription(id) => write!(f, "no such subscription: {id}"),
+            GatewayError::BadQuery(what) => write!(f, "bad query: {what}"),
         }
     }
 }

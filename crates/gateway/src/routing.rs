@@ -63,14 +63,14 @@ enum RouteKeys {
 /// One live subscription as the router sees it.
 ///
 /// Shared (`Arc`) between the routing snapshots that reference it and the
-/// router's own registry; the filter chain sits behind a mutex because
-/// stateful predicates (on-change, crosses, relative-change) mutate
-/// per-series state on every evaluation, and parallel delivery workers may
-/// evaluate the same wildcard subscription concurrently.
+/// router's own registry.  The filter chain's compiled plan carries its
+/// own (Sym-keyed, mutex-guarded) per-series memory for stateful
+/// predicates, so parallel delivery workers evaluate the same wildcard
+/// subscription concurrently through `&FilterChain` with no outer lock.
 pub(crate) struct RouteEntry {
     id: u64,
     consumer: String,
-    chain: Mutex<FilterChain>,
+    chain: FilterChain,
     routes: RouteKeys,
     tx: Sender<SharedEvent>,
     overflow: OverflowPolicy,
@@ -96,20 +96,21 @@ impl RouteEntry {
     fn new(
         id: u64,
         consumer: String,
-        filters: Vec<EventFilter>,
+        chain: FilterChain,
         tx: Sender<SharedEvent>,
         overflow: OverflowPolicy,
         counters: Arc<DeliveryCounters>,
     ) -> Self {
-        let chain = FilterChain::new(filters);
-        let routes = match chain.routed_types() {
-            Some(types) => RouteKeys::Types(types.iter().map(|t| Sym::intern(t)).collect()),
+        // The compiled plan already interned the routed types; registering
+        // the subscription is a copy of the Sym slice, no re-hashing.
+        let routes = match chain.routed_syms() {
+            Some(types) => RouteKeys::Types(types.to_vec()),
             None => RouteKeys::Wildcard,
         };
         RouteEntry {
             id,
             consumer,
-            chain: Mutex::new(chain),
+            chain,
             routes,
             tx,
             overflow,
@@ -127,7 +128,7 @@ impl RouteEntry {
         if self.closed.load(Ordering::Relaxed) {
             return Delivery::Closed;
         }
-        if !self.chain.lock().accept(&event) {
+        if !self.chain.accept(&event) {
             return Delivery::Filtered;
         }
         match self.overflow {
@@ -300,12 +301,11 @@ impl ShardedRouter {
     }
 
     /// Register a new subscription, returning the consumer-side handle.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn insert(
         &self,
         id: u64,
         consumer: String,
-        filters: Vec<EventFilter>,
+        chain: FilterChain,
         capacity: usize,
         overflow: OverflowPolicy,
     ) -> Subscription {
@@ -314,7 +314,7 @@ impl ShardedRouter {
         let entry = Arc::new(RouteEntry::new(
             id,
             consumer,
-            filters,
+            chain,
             tx,
             overflow,
             Arc::clone(&counters),
@@ -494,7 +494,7 @@ impl ShardedRouter {
                     saw_closed = true;
                     continue;
                 }
-                if !entry.chain.lock().accept(event) {
+                if !entry.chain.accept(event) {
                     continue;
                 }
                 let slot = *index.entry(entry.id).or_insert_with(|| {
@@ -617,7 +617,7 @@ impl FlatFanout {
         self.subs.lock().push(Arc::new(RouteEntry::new(
             id,
             "flat".to_string(),
-            filters,
+            FilterChain::new(filters),
             tx,
             overflow,
             Arc::clone(&counters),

@@ -11,8 +11,11 @@ use jamm_archive::EventArchive;
 use jamm_consumers::archiver::ArchiverAgent;
 use jamm_consumers::collector::EventCollector;
 use jamm_consumers::GatewayRegistry;
+use jamm_core::query::{Facts, Predicate};
+use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
 use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
+use jamm_ulm::{Event, SharedEvent};
 
 /// Errors from [`JammBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -408,7 +411,117 @@ impl JammSystem {
         };
         jamm_archive::ReplaySource::new(&self.archive, query).pump(gw.as_ref())
     }
+
+    /// The unified query endpoint: one query string, answered by every
+    /// tier the deployment has.
+    ///
+    /// The text parses into a single query-plane predicate
+    /// ([`jamm_core::query::Predicate::parse`]) whose compiled plan is
+    /// evaluated against:
+    ///
+    /// * **live state** — every gateway's query cache (the most recent
+    ///   event per series), via the same plan the gateways route with;
+    /// * **summaries** — each gateway's windowed averages, filtered by
+    ///   the plan's host/type pushdown facts (a summary for `CPU_TOTAL`
+    ///   answers a `(type=CPU_TOTAL)` query even though its synthetic
+    ///   event type is `CPU_TOTAL_AVG_1MIN`);
+    /// * **history** — a plan-driven archive scan with full segment
+    ///   pruning and limit pushdown.
+    ///
+    /// Access control applies per gateway exactly as for direct queries
+    /// and summary requests.
+    pub fn query(
+        &self,
+        consumer: &str,
+        query: &str,
+        now: jamm_ulm::Timestamp,
+    ) -> Result<QueryAnswer, QueryError> {
+        let pred = Predicate::parse(query).map_err(|e| QueryError::BadQuery(e.to_string()))?;
+        let plan = pred.compile();
+        let mut live = Vec::new();
+        let mut summaries = Vec::new();
+        for gw in &self.gateways {
+            live.extend(
+                gw.query_matching(consumer, &plan)
+                    .map_err(|e| QueryError::Denied(e.to_string()))?,
+            );
+            summaries.extend(
+                gw.summaries(consumer, now)
+                    .map_err(|e| QueryError::Denied(e.to_string()))?
+                    .into_iter()
+                    .filter(|s| summary_admitted(plan.facts(), s)),
+            );
+        }
+        // The historical scan runs through its own plan clone (fresh
+        // stateful memory), with segment pruning and limit pushdown.
+        let history: Vec<Event> = self.archive.scan_plan(&plan).collect();
+        Ok(QueryAnswer {
+            live,
+            summaries,
+            history,
+        })
+    }
 }
+
+/// Does a synthetic summary event answer a query's pushdown facts?  The
+/// summary's event type is `{base}_AVG_{window}`, so the type fact matches
+/// against the base series type; the host fact matches directly.  Time
+/// bounds and severity floors are about raw events, not rollups, and are
+/// not applied here.
+fn summary_admitted(facts: &Facts, summary: &Event) -> bool {
+    if let Some(hosts) = &facts.hosts {
+        let ok = Sym::lookup(&summary.host).is_some_and(|h| hosts.contains(&h));
+        if !ok {
+            return false;
+        }
+    }
+    if let Some(types) = &facts.types {
+        let ok = types.iter().any(|t| {
+            summary
+                .event_type
+                .strip_prefix(t.as_str())
+                .is_some_and(|rest| rest.starts_with("_AVG_"))
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// What [`JammSystem::query`] returns: the same question answered by each
+/// tier of the deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Most recent matching event per live series, from every gateway's
+    /// query cache (shared handles; nothing is copied).
+    pub live: Vec<SharedEvent>,
+    /// Windowed summary events whose series the query selects.
+    pub summaries: Vec<Event>,
+    /// Matching archived history, in time order (limit applied by the
+    /// storage engine's scan).
+    pub history: Vec<Event>,
+}
+
+/// Errors from [`JammSystem::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query string did not parse.
+    BadQuery(String),
+    /// A gateway's access policy rejected the consumer.
+    Denied(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::BadQuery(e) => write!(f, "bad query: {e}"),
+            QueryError::Denied(e) => write!(f, "query denied: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One gateway's row of [`JammSystem::admin_stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -591,6 +704,68 @@ mod tests {
         // The idle gateway's rows are all zero but still present.
         assert_eq!(stats[1].events_in, 0);
         assert_eq!(stats[1].shards.len(), 4);
+    }
+
+    #[test]
+    fn unified_query_answers_from_cache_summaries_and_archive() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .archiver("archiver", "archive=main,o=grid")
+            .build()
+            .unwrap();
+        jamm.connect_archiver(vec![]);
+        for t in 0..30u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, 1_000 + t));
+            jamm.publish(
+                "gw1",
+                &Event::builder("sensor", "h2")
+                    .level(Level::Warning)
+                    .event_type("MEM_FREE")
+                    .timestamp(Timestamp::from_secs(1_000 + t))
+                    .value(t as f64)
+                    .build(),
+            );
+        }
+        jamm.poll();
+
+        let answer = jamm
+            .query(
+                "ops",
+                "(&(type=CPU_TOTAL)(host=h1))",
+                Timestamp::from_secs(1_030),
+            )
+            .unwrap();
+        // Live: the cached latest CPU reading for h1 only.
+        assert_eq!(answer.live.len(), 1);
+        assert_eq!(answer.live[0].event_type, "CPU_TOTAL");
+        assert_eq!(answer.live[0].timestamp, Timestamp::from_secs(1_029));
+        // Summaries: the CPU series' windows, not MEM_FREE's.
+        assert!(!answer.summaries.is_empty());
+        assert!(answer
+            .summaries
+            .iter()
+            .all(|s| s.event_type.starts_with("CPU_TOTAL_AVG")));
+        // History: all 30 archived CPU events, in time order.
+        assert_eq!(answer.history.len(), 30);
+        assert!(answer.history.iter().all(|e| e.event_type == "CPU_TOTAL"));
+
+        // The same endpoint takes richer predicates: severity floor plus
+        // limit pushdown against the archive.
+        let warn = jamm
+            .query(
+                "ops",
+                "(&(level>=warning)(limit=5))",
+                Timestamp::from_secs(1_030),
+            )
+            .unwrap();
+        assert_eq!(warn.history.len(), 5);
+        assert!(warn.history.iter().all(|e| e.event_type == "MEM_FREE"));
+
+        // Parse errors surface, not panic.
+        assert!(matches!(
+            jamm.query("ops", "(nonsense", Timestamp::from_secs(0)),
+            Err(QueryError::BadQuery(_))
+        ));
     }
 
     #[test]

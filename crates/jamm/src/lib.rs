@@ -71,7 +71,8 @@ pub mod cluster;
 pub mod deployment;
 
 pub use builder::{
-    ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem,
+    ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem, QueryAnswer,
+    QueryError,
 };
 pub use deployment::{DeploymentConfig, JammDeployment};
 pub use jamm_ulm::SharedEvent;

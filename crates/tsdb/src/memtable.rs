@@ -7,9 +7,8 @@
 
 use std::collections::BTreeMap;
 
+use jamm_core::query::Facts;
 use jamm_ulm::{Event, SharedEvent, Timestamp};
-
-use crate::query::TsdbQuery;
 
 /// Sorted in-memory buffer of not-yet-sealed events.
 ///
@@ -69,19 +68,24 @@ impl MemTable {
             .collect()
     }
 
-    /// Snapshot the events matching `query`, in order, as `(seq, event)`
-    /// pairs.  The snapshot is bounded by the memtable's seal threshold, so
-    /// this is the only place a scan materializes anything.
-    pub fn matching(&self, query: &TsdbQuery) -> Vec<(u64, SharedEvent)> {
-        let lower = query.from.map(|t| (t, 0)).unwrap_or((Timestamp::EPOCH, 0));
+    /// Snapshot the events a query's pushdown [`Facts`] admit, in order,
+    /// as `(seq, event)` pairs.  The snapshot is bounded by the memtable's
+    /// seal threshold, so this is the only place a scan materializes
+    /// anything.  Only the cheap facts apply here; the full plan runs
+    /// post-merge inside the scan iterator.
+    pub fn matching(&self, facts: &Facts) -> Vec<(u64, SharedEvent)> {
+        let lower = facts
+            .from_micros
+            .map(|t| (Timestamp::from_micros(t), 0))
+            .unwrap_or((Timestamp::EPOCH, 0));
         let mut out = Vec::new();
         for ((ts, seq), e) in self.events.range(lower..) {
-            if let Some(to) = query.to {
-                if *ts >= to {
+            if let Some(to) = facts.to_micros {
+                if ts.as_micros() >= to {
                     break;
                 }
             }
-            if query.matches(e) {
+            if facts.admits(&**e) {
                 // A snapshot entry is a refcount bump, not an event copy.
                 out.push((*seq, SharedEvent::clone(e)));
             }
@@ -151,10 +155,11 @@ mod tests {
         for t in 0..10 {
             m.insert(t, ev(if t % 2 == 0 { "a" } else { "b" }, "X", t));
         }
-        let q = TsdbQuery::default()
+        let plan = crate::query::TsdbQuery::default()
             .between(Timestamp::from_secs(2), Timestamp::from_secs(8))
-            .host("a");
-        let hits = m.matching(&q);
+            .host("a")
+            .to_plan();
+        let hits = m.matching(plan.facts());
         assert_eq!(hits.len(), 3); // t = 2, 4, 6
         assert!(hits.iter().all(|(_, e)| e.host == "a"));
     }

@@ -1,16 +1,30 @@
-//! Range queries and the streaming scan iterator.
+//! Plan-driven range scans and the streaming scan iterator.
 //!
-//! [`TsdbQuery`] names what to read (half-open time range, optional host /
-//! event-type restriction); [`ScanIter`] merges the memtable snapshot with
-//! a cursor per surviving segment, yielding events in `(timestamp,
-//! sequence)` order while decoding segment data lazily — the whole match
-//! set is never materialized.
+//! Since the query-plane refactor the storage engine answers compiled
+//! [`Plan`]s from `jamm_core::query`: the plan's pushdown [`Facts`] prune
+//! segments (via their catalogs) and pre-filter the merge sources, and the
+//! plan itself is the row-level matcher — the same evaluator the gateway's
+//! subscription filters and the directory's searches run.  [`TsdbQuery`]
+//! remains as a thin builder for the classic host / event-type / time-range
+//! shape; it compiles into a plan.
+//!
+//! [`ScanIter`] merges the memtable snapshot with a cursor per surviving
+//! segment, yielding events in `(timestamp, sequence)` order while decoding
+//! segment data lazily — the whole match set is never materialized.  A
+//! pushed-down result limit (`(limit=N)` in query text, or
+//! `ArchiveQuery::limit`) stops the merge as soon as `N` events have been
+//! yielded: the remaining sources — segment handles and the memtable
+//! snapshot — are dropped immediately instead of being decoded and
+//! truncated afterwards.
 
+use jamm_core::query::{Facts, Plan, Predicate};
 use jamm_ulm::{Event, SharedEvent, Timestamp};
 
 use crate::segment::SegmentCursor;
 
-/// A range query against a [`crate::Tsdb`].
+/// A builder for the classic range-query shape (half-open time range,
+/// optional host / event-type restriction).  Compiles into a query-plane
+/// [`Plan`]; matching itself happens only there.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TsdbQuery {
     /// Inclusive lower bound on event time.
@@ -48,34 +62,32 @@ impl TsdbQuery {
         self
     }
 
-    /// Does an event satisfy every restriction?
-    pub fn matches(&self, event: &Event) -> bool {
-        if let Some(from) = self.from {
-            if event.timestamp < from {
-                return false;
-            }
-        }
-        if let Some(to) = self.to {
-            if event.timestamp >= to {
-                return false;
-            }
+    /// Lower into the unified query-plane IR.
+    pub fn to_predicate(&self) -> Predicate {
+        let mut parts = Vec::new();
+        if self.from.is_some() || self.to.is_some() {
+            parts.push(Predicate::TimeRange {
+                from_micros: self.from.map(|t| t.as_micros()),
+                to_micros: self.to.map(|t| t.as_micros()),
+            });
         }
         if let Some(host) = &self.host {
-            if &event.host != host {
-                return false;
-            }
+            parts.push(Predicate::Hosts(vec![host.clone()]));
         }
         if let Some(ty) = &self.event_type {
-            if &event.event_type != ty {
-                return false;
-            }
+            parts.push(Predicate::EventTypes(vec![ty.clone()]));
         }
-        true
+        Predicate::And(parts)
+    }
+
+    /// Compile into an executable plan.
+    pub fn to_plan(&self) -> Plan {
+        self.to_predicate().compile()
     }
 }
 
-/// One merge source: either the (pre-filtered, pre-sorted) memtable
-/// snapshot or a lazily decoding segment cursor with the query applied.
+/// One merge source: either the (facts-pre-filtered, pre-sorted) memtable
+/// snapshot or a lazily decoding segment cursor.
 enum Source {
     Mem(std::vec::IntoIter<(u64, SharedEvent)>),
     Seg(SegmentCursor),
@@ -89,7 +101,10 @@ struct Peeked {
 }
 
 impl Peeked {
-    fn advance(&mut self, query: &TsdbQuery) {
+    /// Stage the source's next facts-admissible event.  Only the cheap
+    /// pushdown facts apply here — the full plan (which may carry
+    /// per-series state) runs post-merge, in global time order.
+    fn advance(&mut self, facts: &Facts) {
         self.head = loop {
             match &mut self.source {
                 Source::Mem(iter) => {
@@ -105,13 +120,13 @@ impl Peeked {
                     // truncating a historical analysis.
                     Some(Err(e)) => panic!("segment decode failed mid-scan: {e}"),
                     Some(Ok((seq, e))) => {
-                        if let Some(to) = query.to {
-                            if e.timestamp >= to {
+                        if let Some(to) = facts.to_micros {
+                            if e.timestamp.as_micros() >= to {
                                 // Sorted: nothing later can match.
                                 break None;
                             }
                         }
-                        if query.matches(&e) {
+                        if facts.admits(&e) {
                             break Some((e.timestamp, seq, e));
                         }
                     }
@@ -123,16 +138,20 @@ impl Peeked {
 
 /// Streaming, ordered iterator over a scan's results.
 ///
-/// Owns everything it needs (`Arc` segment handles, a memtable snapshot),
-/// so it is `'static` and can outlive the store lock it was created under.
+/// Owns everything it needs (`Arc` segment handles, a memtable snapshot,
+/// its own plan clone with fresh stateful memory), so it is `'static` and
+/// can outlive the store lock it was created under.
 pub struct ScanIter {
-    query: TsdbQuery,
+    plan: Plan,
     sources: Vec<Peeked>,
+    /// Results still allowed out under the plan's limit fact (`None` =
+    /// unlimited).  Hitting zero drops every remaining source.
+    remaining: Option<usize>,
 }
 
 impl ScanIter {
     pub(crate) fn new(
-        query: TsdbQuery,
+        plan: Plan,
         mem: Vec<(u64, SharedEvent)>,
         cursors: Vec<SegmentCursor>,
     ) -> ScanIter {
@@ -148,10 +167,19 @@ impl ScanIter {
             });
         }
         for s in &mut sources {
-            s.advance(&query);
+            s.advance(plan.facts());
         }
         sources.retain(|s| s.head.is_some());
-        ScanIter { query, sources }
+        let remaining = plan.limit();
+        let mut iter = ScanIter {
+            plan,
+            sources,
+            remaining,
+        };
+        if iter.remaining == Some(0) {
+            iter.sources.clear();
+        }
+        iter
     }
 }
 
@@ -159,31 +187,49 @@ impl Iterator for ScanIter {
     type Item = Event;
 
     fn next(&mut self) -> Option<Event> {
-        // K is the number of live sources (segments + memtable) — small, so
-        // a linear min scan beats heap bookkeeping.
-        let min = self
-            .sources
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| {
-                let (ts, seq, _) = s.head.as_ref().expect("exhausted sources are dropped");
-                (*ts, *seq)
-            })
-            .map(|(i, _)| i)?;
-        let item = self.sources[min].head.take().expect("staged head");
-        self.sources[min].advance(&self.query);
-        if self.sources[min].head.is_none() {
-            self.sources.swap_remove(min);
+        loop {
+            // K is the number of live sources (segments + memtable) —
+            // small, so a linear min scan beats heap bookkeeping.
+            let min = self
+                .sources
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| {
+                    let (ts, seq, _) = s.head.as_ref().expect("exhausted sources are dropped");
+                    (*ts, *seq)
+                })
+                .map(|(i, _)| i)?;
+            let item = self.sources[min].head.take().expect("staged head");
+            self.sources[min].advance(self.plan.facts());
+            if self.sources[min].head.is_none() {
+                self.sources.swap_remove(min);
+            }
+            // The full plan runs post-merge so stateful predicates (e.g. an
+            // on-change replay query) see the stream in global time order.
+            if !self.plan.eval(&item.2) {
+                continue;
+            }
+            if let Some(remaining) = &mut self.remaining {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    // Limit reached: release every segment handle and the
+                    // memtable snapshot now; nothing more will be decoded.
+                    self.sources.clear();
+                    self.remaining = Some(0);
+                    return Some(item.2);
+                }
+            }
+            return Some(item.2);
         }
-        Some(item.2)
     }
 }
 
 impl std::fmt::Debug for ScanIter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanIter")
-            .field("query", &self.query)
+            .field("facts", self.plan.facts())
             .field("live_sources", &self.sources.len())
+            .field("remaining", &self.remaining)
             .finish()
     }
 }
@@ -215,7 +261,11 @@ mod tests {
             (6u64, std::sync::Arc::new(ev(25, "m"))),
             (7u64, std::sync::Arc::new(ev(60, "m"))),
         ];
-        let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg_a.cursor(), seg_b.cursor()]);
+        let iter = ScanIter::new(
+            TsdbQuery::all().to_plan(),
+            mem,
+            vec![seg_a.cursor(), seg_b.cursor()],
+        );
         let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
         assert_eq!(times, vec![10, 20, 25, 30, 40, 50, 60]);
     }
@@ -227,7 +277,7 @@ mod tests {
             (2u64, std::sync::Arc::new(ev(10, "m"))),
             (9u64, std::sync::Arc::new(ev(10, "m"))),
         ];
-        let iter = ScanIter::new(TsdbQuery::all(), mem, vec![seg.cursor()]);
+        let iter = ScanIter::new(TsdbQuery::all().to_plan(), mem, vec![seg.cursor()]);
         let hosts: Vec<String> = iter.map(|e| e.host).collect();
         assert_eq!(hosts, vec!["m", "a", "m"]); // seq 2, 5, 9
     }
@@ -241,14 +291,37 @@ mod tests {
         let q = TsdbQuery::all()
             .between(Timestamp::from_secs(4), Timestamp::from_secs(15))
             .host("even");
-        let iter = ScanIter::new(q, Vec::new(), vec![seg.cursor()]);
+        let iter = ScanIter::new(q.to_plan(), Vec::new(), vec![seg.cursor()]);
         let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
         assert_eq!(times, vec![4, 6, 8, 10, 12, 14]);
     }
 
     #[test]
+    fn arbitrary_predicates_apply_post_merge() {
+        let batch: Vec<(u64, Event)> = (0..20).map(|i| (i, ev(i, "h"))).collect();
+        let seg = Arc::new(Segment::build(1, &batch));
+        let plan = Predicate::parse("(val>=15)").unwrap().compile();
+        let iter = ScanIter::new(plan, Vec::new(), vec![seg.cursor()]);
+        let times: Vec<u64> = iter.map(|e| e.timestamp.as_secs()).collect();
+        assert_eq!(times, vec![15, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn limit_stops_the_merge_and_releases_sources() {
+        let batch: Vec<(u64, Event)> = (0..100).map(|i| (i, ev(i, "h"))).collect();
+        let seg = Arc::new(Segment::build(1, &batch));
+        let plan = Predicate::parse("(limit=3)").unwrap().compile();
+        let mut iter = ScanIter::new(plan, Vec::new(), vec![seg.cursor()]);
+        assert_eq!(iter.next().map(|e| e.timestamp.as_secs()), Some(0));
+        assert_eq!(iter.next().map(|e| e.timestamp.as_secs()), Some(1));
+        assert_eq!(iter.next().map(|e| e.timestamp.as_secs()), Some(2));
+        assert_eq!(iter.sources.len(), 0, "sources dropped at the limit");
+        assert_eq!(iter.next(), None);
+    }
+
+    #[test]
     fn empty_scan_yields_nothing() {
-        let iter = ScanIter::new(TsdbQuery::all(), Vec::new(), Vec::new());
+        let iter = ScanIter::new(TsdbQuery::all().to_plan(), Vec::new(), Vec::new());
         assert_eq!(iter.count(), 0);
     }
 }

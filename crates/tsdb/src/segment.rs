@@ -22,16 +22,23 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
 use jamm_core::intern::Sym;
+use jamm_core::query::Facts;
 use jamm_ulm::{binary, Event, Timestamp, Value};
 
 use crate::codec::{
     fnv64, get_bytes, get_ivarint, get_str, get_uvarint, put_ivarint, put_str, put_uvarint,
 };
-use crate::query::TsdbQuery;
 use crate::{Result, TsdbError};
 
-/// Magic bytes opening a segment file.
-pub const SEGMENT_MAGIC: &[u8; 4] = b"JSG1";
+/// Magic bytes opening a segment file.  `JSG2` added the catalog's
+/// maximum severity rank (level-floor pruning); `JSG1` files predate it
+/// and are still readable ([`Segment::from_bytes`] treats them as
+/// containing every level, so they are never level-pruned).
+pub const SEGMENT_MAGIC: &[u8; 4] = b"JSG2";
+
+/// Previous-generation magic: identical layout minus the catalog's
+/// `max_level` byte.
+pub const SEGMENT_MAGIC_V1: &[u8; 4] = b"JSG1";
 
 /// File extension of segment files inside a store directory.
 pub const SEGMENT_EXT: &str = "jseg";
@@ -61,30 +68,59 @@ pub struct SegmentCatalog {
     pub event_types: BTreeMap<String, usize>,
     /// Per-series `(host, event type)` event counts.
     pub series: BTreeMap<(String, String), usize>,
+    /// Highest severity rank present (see `jamm_ulm::Level::severity`),
+    /// so a `level>=` query can skip segments of routine readings.
+    pub max_level: u8,
 }
 
 impl SegmentCatalog {
-    /// True when a query could match events in this segment; the store
-    /// skips (prunes) segments for which this is false without decoding
-    /// any data.
-    pub fn overlaps(&self, q: &TsdbQuery) -> bool {
-        if let Some(from) = q.from {
-            if self.max_ts < from {
+    /// True when a query's pushdown [`Facts`] could be satisfied by events
+    /// in this segment; the store skips (prunes) segments for which this
+    /// is false without decoding any data.  The tiers, cheapest first:
+    ///
+    /// 1. **time** — the segment's `[min_ts, max_ts]` window misses the
+    ///    query's half-open range;
+    /// 2. **level** — the query's severity floor exceeds every event's;
+    /// 3. **host / type sets** — none of the required hosts (or event
+    ///    types) occurs in the segment;
+    /// 4. **per-series counts** — hosts *and* types are both constrained
+    ///    but no required `(host, type)` series exists here (a segment can
+    ///    contain `h1` and `CPU_TOTAL` without containing `h1`'s
+    ///    `CPU_TOTAL` readings).
+    pub fn overlaps(&self, facts: &Facts) -> bool {
+        if let Some(from) = facts.from_micros {
+            if self.max_ts.as_micros() < from {
                 return false;
             }
         }
-        if let Some(to) = q.to {
-            if self.min_ts >= to {
+        if let Some(to) = facts.to_micros {
+            if self.min_ts.as_micros() >= to {
                 return false;
             }
         }
-        if let Some(host) = &q.host {
-            if !self.hosts.contains_key(host) {
+        if let Some(floor) = facts.level_floor {
+            if self.max_level < floor {
                 return false;
             }
         }
-        if let Some(ty) = &q.event_type {
-            if !self.event_types.contains_key(ty) {
+        if let Some(hosts) = &facts.hosts {
+            if !hosts.iter().any(|h| self.hosts.contains_key(h.as_str())) {
+                return false;
+            }
+        }
+        if let Some(types) = &facts.types {
+            if !types
+                .iter()
+                .any(|t| self.event_types.contains_key(t.as_str()))
+            {
+                return false;
+            }
+        }
+        if let (Some(hosts), Some(types)) = (&facts.hosts, &facts.types) {
+            let series_hit = self.series.keys().any(|(h, t)| {
+                hosts.iter().any(|hs| hs.as_str() == h) && types.iter().any(|ts| ts.as_str() == t)
+            });
+            if !series_hit {
                 return false;
             }
         }
@@ -146,6 +182,7 @@ impl Segment {
         let mut hosts: BTreeMap<String, usize> = BTreeMap::new();
         let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
         let mut series: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut max_level = 0u8;
         for (i, (seq, e)) in sorted.iter().enumerate() {
             let e = e.borrow();
             let ts = e.timestamp.as_micros();
@@ -218,6 +255,7 @@ impl Segment {
             *series
                 .entry((e.host.clone(), e.event_type.clone()))
                 .or_insert(0) += 1;
+            max_level = max_level.max(e.level.severity());
         }
 
         Segment {
@@ -229,6 +267,7 @@ impl Segment {
                 hosts,
                 event_types,
                 series,
+                max_level,
             },
             min_seq,
             max_seq,
@@ -283,6 +322,7 @@ impl Segment {
         put_uvarint(&mut body, self.catalog.event_count as u64);
         put_uvarint(&mut body, self.catalog.min_ts.as_micros());
         put_uvarint(&mut body, self.catalog.max_ts.as_micros());
+        body.push(self.catalog.max_level);
         put_uvarint(&mut body, self.catalog.hosts.len() as u64);
         for (h, n) in &self.catalog.hosts {
             put_str(&mut body, h);
@@ -314,9 +354,15 @@ impl Segment {
     }
 
     /// Deserialize a segment from its file form, verifying magic and
-    /// checksum.
+    /// checksum.  `JSG1` files (written before the catalog carried a
+    /// maximum severity rank) load with `max_level = u8::MAX`, so an old
+    /// store stays readable and is simply never level-pruned.
     pub fn from_bytes(bytes: &[u8]) -> Result<Segment> {
-        if bytes.len() < 12 || &bytes[..4] != SEGMENT_MAGIC {
+        if bytes.len() < 12 {
+            return Err(TsdbError::Corrupt("bad segment magic"));
+        }
+        let v1 = &bytes[..4] == SEGMENT_MAGIC_V1;
+        if !v1 && &bytes[..4] != SEGMENT_MAGIC {
             return Err(TsdbError::Corrupt("bad segment magic"));
         }
         let body = &bytes[4..bytes.len() - 8];
@@ -335,6 +381,17 @@ impl Segment {
         let event_count = get_uvarint(body, &mut pos)? as usize;
         let min_ts = Timestamp::from_micros(get_uvarint(body, &mut pos)?);
         let max_ts = Timestamp::from_micros(get_uvarint(body, &mut pos)?);
+        let max_level = if v1 {
+            // Unknown in the old format: assume every level is present so
+            // level-floor pruning never skips a legacy segment.
+            u8::MAX
+        } else {
+            let lvl = *body
+                .get(pos)
+                .ok_or(TsdbError::Corrupt("truncated max level"))?;
+            pos += 1;
+            lvl
+        };
         let mut hosts = BTreeMap::new();
         for _ in 0..get_uvarint(body, &mut pos)? {
             let h = get_str(body, &mut pos)?;
@@ -369,6 +426,7 @@ impl Segment {
                 hosts,
                 event_types,
                 series,
+                max_level,
             },
             min_seq,
             max_seq,
@@ -587,16 +645,55 @@ mod tests {
     fn overlaps_prunes_time_host_and_type() {
         let seg = Segment::build(1, &sorted_batch(10));
         let c = seg.catalog().clone();
-        assert!(c.overlaps(&TsdbQuery::default()));
-        assert!(!c.overlaps(
+        let facts = |q: &crate::query::TsdbQuery| q.to_plan().facts().clone();
+        use crate::query::TsdbQuery;
+        assert!(c.overlaps(&facts(&TsdbQuery::default())));
+        assert!(!c.overlaps(&facts(
             &TsdbQuery::default().between(Timestamp::from_secs(100), Timestamp::from_secs(200))
-        ));
-        assert!(!c.overlaps(
+        )));
+        assert!(!c.overlaps(&facts(
             &TsdbQuery::default().between(Timestamp::EPOCH, Timestamp::from_micros(1_000_000))
-        ));
-        assert!(!c.overlaps(&TsdbQuery::default().host("nowhere")));
-        assert!(c.overlaps(&TsdbQuery::default().host("h1")));
-        assert!(!c.overlaps(&TsdbQuery::default().event_type("DISK_IO")));
+        )));
+        assert!(!c.overlaps(&facts(&TsdbQuery::default().host("nowhere"))));
+        assert!(c.overlaps(&facts(&TsdbQuery::default().host("h1"))));
+        assert!(!c.overlaps(&facts(&TsdbQuery::default().event_type("DISK_IO"))));
+    }
+
+    #[test]
+    fn overlaps_prunes_by_level_floor_and_series_counts() {
+        use jamm_core::query::Predicate;
+        let seg = Segment::build(1, &sorted_batch(10)); // all Usage events
+        let c = seg.catalog().clone();
+        assert_eq!(c.max_level, Level::Usage.severity());
+        let warnings = Predicate::parse("(level>=warning)").unwrap().compile();
+        assert!(!c.overlaps(warnings.facts()), "no warnings stored here");
+        let usage = Predicate::parse("(level>=usage)").unwrap().compile();
+        assert!(c.overlaps(usage.facts()));
+
+        // h1 only ever emits CPU_TOTAL (i % 3 == 0 implies i % 2 == 0 is
+        // not guaranteed — check the batch invariant first).
+        assert!(c
+            .series
+            .contains_key(&("h1".to_string(), "CPU_TOTAL".to_string())));
+        // The segment has host h2 and type CPU_TOTAL, but if a particular
+        // (host, type) pairing is absent the series tier prunes it.
+        let absent = c
+            .hosts
+            .keys()
+            .flat_map(|h| c.event_types.keys().map(move |t| (h.clone(), t.clone())))
+            .find(|pair| !c.series.contains_key(pair));
+        if let Some((h, t)) = absent {
+            let q = Predicate::parse(&format!("(&(host={h})(type={t}))"))
+                .unwrap()
+                .compile();
+            assert!(!c.overlaps(q.facts()), "series tier must prune ({h}, {t})");
+        }
+        // A mixed-level batch records the max.
+        let mut batch = sorted_batch(4);
+        batch[2].1.level = Level::Error;
+        let seg = Segment::build(2, &batch);
+        assert_eq!(seg.catalog().max_level, Level::Error.severity());
+        assert!(seg.catalog().overlaps(warnings.facts()));
     }
 
     #[test]
@@ -621,6 +718,41 @@ mod tests {
             Err(TsdbError::Corrupt(_))
         ));
         assert!(Segment::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn legacy_jsg1_segments_still_load_and_are_never_level_pruned() {
+        use jamm_core::query::Predicate;
+        let seg = Segment::build(7, &sorted_batch(25)); // all Usage level
+        let bytes = seg.to_bytes();
+        // Re-encode as the previous generation: JSG1 magic, no max_level
+        // byte (it sits right after the sixth leading varint), fresh
+        // checksum.
+        let body = &bytes[4..bytes.len() - 8];
+        let mut pos = 0usize;
+        for _ in 0..6 {
+            get_uvarint(body, &mut pos).unwrap(); // id..max_ts
+        }
+        let mut v1_body = body[..pos].to_vec();
+        v1_body.extend_from_slice(&body[pos + 1..]); // skip max_level
+        let mut v1 = Vec::with_capacity(v1_body.len() + 12);
+        v1.extend_from_slice(SEGMENT_MAGIC_V1);
+        v1.extend_from_slice(&v1_body);
+        v1.extend_from_slice(&fnv64(&v1_body).to_le_bytes());
+
+        let back = Segment::from_bytes(&v1).expect("JSG1 stays readable");
+        assert_eq!(back.len(), seg.len());
+        assert_eq!(back.catalog().hosts, seg.catalog().hosts);
+        assert_eq!(back.catalog().max_level, u8::MAX, "unknown = all levels");
+        // Unknown level data must never be pruned by a severity floor...
+        let errors = Predicate::parse("(level>=error)").unwrap().compile();
+        assert!(back.catalog().overlaps(errors.facts()));
+        // ...and the events themselves still decode identically.
+        let mut a = Arc::new(seg).cursor();
+        let mut b = Arc::new(back).cursor();
+        while let Some(x) = a.next_event() {
+            assert_eq!(x.unwrap(), b.next_event().unwrap().unwrap());
+        }
     }
 
     #[test]

@@ -546,17 +546,29 @@ impl Tsdb {
     }
 
     /// Stream every event matching `query`, in `(timestamp, sequence)`
-    /// order.  Segments whose catalog cannot match are pruned without
-    /// reading data (observable via [`TsdbStats::segments_pruned`]); the
-    /// rest decode lazily as the iterator is consumed.
+    /// order (the classic host/type/range shape; compiled to a query-plane
+    /// plan internally).
     pub fn scan(&self, query: &TsdbQuery) -> ScanIter {
+        self.scan_plan(&query.to_plan())
+    }
+
+    /// Stream every event a compiled query-plane [`jamm_core::query::Plan`]
+    /// matches, in `(timestamp, sequence)` order.  Segments whose catalog
+    /// cannot satisfy the plan's pushdown facts — time window, host and
+    /// event-type sets, per-series counts, severity floor — are pruned
+    /// without reading data (observable via [`TsdbStats::segments_pruned`]);
+    /// the rest decode lazily as the iterator is consumed, and a pushed-down
+    /// limit stops the merge early.  The iterator evaluates through its own
+    /// clone of the plan (fresh stateful memory per scan).
+    pub fn scan_plan(&self, plan: &jamm_core::query::Plan) -> ScanIter {
+        let plan = plan.clone();
         let inner = self.inner.read();
-        let mem = inner.mem.matching(query);
+        let mem = inner.mem.matching(plan.facts());
         let mut cursors = Vec::new();
         let mut scanned = 0u64;
         let mut pruned = 0u64;
         for seg in &inner.segments {
-            if seg.catalog().overlaps(query) {
+            if seg.catalog().overlaps(plan.facts()) {
                 scanned += 1;
                 cursors.push(seg.cursor());
             } else {
@@ -569,7 +581,7 @@ impl Tsdb {
         self.stats
             .segments_pruned
             .fetch_add(pruned, Ordering::Relaxed);
-        ScanIter::new(query.clone(), mem, cursors)
+        ScanIter::new(plan, mem, cursors)
     }
 
     /// Total number of stored events (memtable plus every segment).
@@ -733,6 +745,83 @@ mod tests {
         let hits: Vec<Event> = db.scan(&TsdbQuery::all().event_type("CPU")).collect();
         assert_eq!(hits.len(), 4);
         assert_eq!(db.stats().segments_pruned(), 2);
+    }
+
+    #[test]
+    fn level_floor_pruning_skips_routine_segments() {
+        use jamm_core::query::Predicate;
+        let db = Tsdb::in_memory_with(small_opts(4));
+        for t in 0..4 {
+            db.append(ev("h", "X", t)).unwrap(); // Usage-level segment
+        }
+        db.seal().unwrap();
+        for t in 4..8 {
+            let mut e = ev("h", "X", t);
+            e.level = jamm_ulm::Level::Error;
+            db.append(e).unwrap();
+        }
+        db.seal().unwrap();
+        let plan = Predicate::parse("(level>=warning)").unwrap().compile();
+        let hits: Vec<Event> = db.scan_plan(&plan).collect();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(db.stats().segments_scanned(), 1);
+        assert_eq!(
+            db.stats().segments_pruned(),
+            1,
+            "the Usage segment is skipped"
+        );
+    }
+
+    #[test]
+    fn series_count_pruning_skips_absent_host_type_pairs() {
+        use jamm_core::query::Predicate;
+        let db = Tsdb::in_memory_with(small_opts(4));
+        // Segment 1 holds (alpha, CPU) and (beta, MEM); segment 2 holds
+        // (alpha, MEM) and (beta, CPU).  Host-only or type-only pruning
+        // cannot separate them — the per-series counts can.
+        for t in 0..2 {
+            db.append(ev("alpha", "CPU", t)).unwrap();
+            db.append(ev("beta", "MEM", t)).unwrap();
+        }
+        db.seal().unwrap();
+        for t in 2..4 {
+            db.append(ev("alpha", "MEM", t)).unwrap();
+            db.append(ev("beta", "CPU", t)).unwrap();
+        }
+        db.seal().unwrap();
+        let plan = Predicate::parse("(&(host=alpha)(type=CPU))")
+            .unwrap()
+            .compile();
+        let hits: Vec<Event> = db.scan_plan(&plan).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits
+            .iter()
+            .all(|e| e.host == "alpha" && e.event_type == "CPU"));
+        assert_eq!(db.stats().segments_scanned(), 1);
+        assert_eq!(
+            db.stats().segments_pruned(),
+            1,
+            "series-count tier prunes the segment lacking (alpha, CPU)"
+        );
+    }
+
+    #[test]
+    fn limit_pushdown_stops_the_scan_early() {
+        use jamm_core::query::Predicate;
+        let db = Tsdb::in_memory_with(small_opts(10));
+        for t in 0..30 {
+            db.append(ev("h", "X", t)).unwrap();
+        }
+        let plan = Predicate::parse("(limit=5)").unwrap().compile();
+        let hits: Vec<Event> = db.scan_plan(&plan).collect();
+        assert_eq!(hits.len(), 5);
+        assert_eq!(
+            hits.iter()
+                .map(|e| e.timestamp.as_secs())
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "the limit takes the earliest events, not an arbitrary subset"
+        );
     }
 
     #[test]

@@ -32,12 +32,39 @@ impl Model {
         let mut hits: Vec<(u64, Event)> = self
             .events
             .iter()
-            .filter(|(_, e)| q.matches(e))
+            .filter(|(_, e)| naive_matches(q, e))
             .cloned()
             .collect();
         hits.sort_by_key(|(seq, e)| (e.timestamp, *seq));
         hits.into_iter().map(|(_, e)| e).collect()
     }
+}
+
+/// The naive matcher the engine's plan-driven scan must agree with — the
+/// pre-query-plane `TsdbQuery::matches` semantics, kept here as the
+/// independent oracle.
+fn naive_matches(q: &TsdbQuery, event: &Event) -> bool {
+    if let Some(from) = q.from {
+        if event.timestamp < from {
+            return false;
+        }
+    }
+    if let Some(to) = q.to {
+        if event.timestamp >= to {
+            return false;
+        }
+    }
+    if let Some(host) = &q.host {
+        if &event.host != host {
+            return false;
+        }
+    }
+    if let Some(ty) = &q.event_type {
+        if &event.event_type != ty {
+            return false;
+        }
+    }
+    true
 }
 
 fn random_event(g: &mut Gen) -> Event {

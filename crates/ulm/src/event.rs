@@ -112,6 +112,23 @@ impl Level {
             Level::Emergency | Level::Alert | Level::Critical | Level::Error | Level::Warning
         )
     }
+
+    /// Severity rank: 0 (`Usage`) through 8 (`Emergency`).  This is the
+    /// ordering used by "at least this severe" filters, and matches the
+    /// query plane's [`jamm_core::query::level_rank`] table.
+    pub fn severity(self) -> u8 {
+        match self {
+            Level::Usage => 0,
+            Level::Debug => 1,
+            Level::Info => 2,
+            Level::Notice => 3,
+            Level::Warning => 4,
+            Level::Error => 5,
+            Level::Critical => 6,
+            Level::Alert => 7,
+            Level::Emergency => 8,
+        }
+    }
 }
 
 impl std::fmt::Display for Level {
@@ -243,6 +260,59 @@ impl Event {
     }
 }
 
+/// Events answer the unified query plane directly: typed leaves read the
+/// ULM header fields, attribute leaves see `host` / `type` (`eventtype`) /
+/// `prog` (`program`) / `level` as pseudo-attributes plus every user
+/// field by (case-insensitive) key.  String field values match in place;
+/// non-string values match by their ULM text rendering.
+impl jamm_core::query::Record for Event {
+    fn host(&self) -> Option<&str> {
+        Some(&self.host)
+    }
+
+    fn event_type(&self) -> Option<&str> {
+        Some(&self.event_type)
+    }
+
+    fn level_rank(&self) -> Option<u8> {
+        Some(self.level.severity())
+    }
+
+    fn time_micros(&self) -> Option<u64> {
+        Some(self.timestamp.as_micros())
+    }
+
+    fn value(&self) -> Option<f64> {
+        Event::value(self)
+    }
+
+    fn attr_any(&self, attr: &str, f: &mut dyn FnMut(&str) -> bool) -> bool {
+        match attr {
+            "host" => f(&self.host),
+            "type" | "eventtype" => f(&self.event_type),
+            "prog" | "program" => f(&self.program),
+            "level" | "lvl" => f(self.level.as_str()),
+            _ => self.fields.iter().any(|(k, v)| {
+                k.eq_ignore_ascii_case(attr)
+                    && match v {
+                        Value::Str(s) => f(s),
+                        other => f(&other.to_ulm_string()),
+                    }
+            }),
+        }
+    }
+
+    fn attr_present(&self, attr: &str) -> bool {
+        matches!(
+            attr,
+            "host" | "type" | "eventtype" | "prog" | "program" | "level" | "lvl"
+        ) || self
+            .fields
+            .iter()
+            .any(|(k, _)| k.eq_ignore_ascii_case(attr))
+    }
+}
+
 /// Builder for [`Event`].
 #[derive(Debug, Clone)]
 pub struct EventBuilder {
@@ -367,6 +437,55 @@ mod tests {
         assert!(Level::parse("bogus").is_err());
         assert!(Level::Error.is_problem());
         assert!(!Level::Usage.is_problem());
+    }
+
+    #[test]
+    fn severity_matches_the_query_plane_rank_table() {
+        for lvl in [
+            Level::Usage,
+            Level::Debug,
+            Level::Info,
+            Level::Notice,
+            Level::Warning,
+            Level::Error,
+            Level::Critical,
+            Level::Alert,
+            Level::Emergency,
+        ] {
+            assert_eq!(
+                jamm_core::query::level_rank(lvl.as_str()),
+                Some(lvl.severity()),
+                "{lvl:?}"
+            );
+            assert_eq!(
+                jamm_core::query::level_name(lvl.severity()),
+                lvl.as_str(),
+                "{lvl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_answer_the_record_interface() {
+        use jamm_core::query::Record;
+        let ev = Event::builder("vmstat", "dpss1.lbl.gov")
+            .level(Level::Warning)
+            .event_type("CPU_TOTAL")
+            .timestamp(Timestamp::from_micros(123))
+            .value(42.5)
+            .field("PEER", "mems.cairn.net")
+            .build();
+        assert_eq!(Record::host(&ev), Some("dpss1.lbl.gov"));
+        assert_eq!(Record::event_type(&ev), Some("CPU_TOTAL"));
+        assert_eq!(ev.level_rank(), Some(4));
+        assert_eq!(ev.time_micros(), Some(123));
+        assert_eq!(Record::value(&ev), Some(42.5));
+        assert!(ev.attr_any("peer", &mut |v| v == "mems.cairn.net"));
+        assert!(ev.attr_any("val", &mut |v| v == "42.5"));
+        assert!(ev.attr_any("level", &mut |v| v == "Warning"));
+        assert!(ev.attr_present("prog"));
+        assert!(ev.attr_present("PEER"));
+        assert!(!ev.attr_present("missing"));
     }
 
     #[test]

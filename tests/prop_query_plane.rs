@@ -1,0 +1,433 @@
+//! Property tests for the unified query plane: the one compiled
+//! [`jamm_core::query::Plan`] evaluator must be behaviorally identical to
+//! the three matchers it replaced — the gateway's `FilterChain`, the
+//! storage engine's `TsdbQuery::matches`, and the directory's recursive
+//! `Filter::matches` — and catalog pruning must never drop a matching
+//! event (a pruned scan equals a scan with pruning defeated).
+
+use jamm::jamm_archive::{ArchiveQuery, EventArchive};
+use jamm::jamm_core::check::{forall, Gen};
+use jamm::jamm_core::query::Predicate;
+use jamm::jamm_directory::{Dn, Entry, Filter};
+use jamm::jamm_gateway::{EventFilter, FilterChain};
+use jamm::jamm_tsdb::TsdbOptions;
+use jamm_ulm::{Event, Level, Timestamp, Value};
+use std::collections::HashMap;
+
+const HOSTS: [&str; 4] = ["dpss1.lbl.gov", "mems.cairn.net", "portnoy.lbl.gov", "h4"];
+const TYPES: [&str; 4] = ["CPU_TOTAL", "TCPD_RETRANSMITS", "MEM_FREE", "PROC_DIED"];
+const LEVELS: [Level; 4] = [Level::Usage, Level::Info, Level::Warning, Level::Error];
+
+fn random_event(g: &mut Gen) -> Event {
+    let mut b = Event::builder("sensor", g.choice(&HOSTS))
+        .level(g.choice(&LEVELS))
+        .event_type(g.choice(&TYPES))
+        .timestamp(Timestamp::from_micros(g.u64(60) * 500_000));
+    if g.bool(0.8) {
+        // A small value domain makes repeats (on-change suppression) and
+        // threshold crossings common.
+        b = b.value((g.u64(8) as f64) * 10.0);
+    }
+    b.build()
+}
+
+fn random_filter(g: &mut Gen) -> EventFilter {
+    match g.u64(9) {
+        0 => EventFilter::All,
+        1 => {
+            let n = g.usize_in(0, 3);
+            EventFilter::EventTypes((0..n).map(|_| g.choice(&TYPES).to_string()).collect())
+        }
+        2 => {
+            let n = g.usize_in(1, 3);
+            EventFilter::Hosts((0..n).map(|_| g.choice(&HOSTS).to_string()).collect())
+        }
+        3 => EventFilter::MinLevel(g.choice(&LEVELS)),
+        4 => EventFilter::OnChange,
+        5 => EventFilter::Above(g.u64(8) as f64 * 10.0),
+        6 => EventFilter::Below(g.u64(8) as f64 * 10.0),
+        7 => EventFilter::Crosses(g.u64(8) as f64 * 10.0 + 5.0),
+        _ => EventFilter::RelativeChange(g.f64_in(0.05, 0.9)),
+    }
+}
+
+/// The pre-query-plane `FilterChain` matcher, verbatim: a conjunction over
+/// a `(host, type)`-keyed previous-reading memory, updated after every
+/// event that carries a value (pass or fail) when any filter is stateful.
+struct LegacyChain {
+    filters: Vec<EventFilter>,
+    last_value: HashMap<(String, String), f64>,
+}
+
+impl LegacyChain {
+    fn new(filters: Vec<EventFilter>) -> Self {
+        LegacyChain {
+            filters,
+            last_value: HashMap::new(),
+        }
+    }
+
+    fn accept(&mut self, event: &Event) -> bool {
+        fn severity(l: Level) -> u8 {
+            l.severity()
+        }
+        let key = (event.host.clone(), event.event_type.clone());
+        let value = event.value();
+        let prev = self.last_value.get(&key).copied();
+        let mut pass = true;
+        for f in &self.filters {
+            let ok = match f {
+                EventFilter::All => true,
+                EventFilter::EventTypes(types) => types.contains(&event.event_type),
+                EventFilter::Hosts(hosts) => hosts.contains(&event.host),
+                EventFilter::MinLevel(min) => severity(event.level) >= severity(*min),
+                EventFilter::OnChange => match (value, prev) {
+                    (Some(v), Some(p)) => v != p,
+                    (Some(_), None) => true,
+                    (None, _) => true,
+                },
+                EventFilter::Above(t) => value.is_some_and(|v| v > *t),
+                EventFilter::Below(t) => value.is_some_and(|v| v < *t),
+                EventFilter::Crosses(t) => match (value, prev) {
+                    (Some(v), Some(p)) => (p <= *t && v > *t) || (p >= *t && v < *t),
+                    (Some(v), None) => v > *t,
+                    (None, _) => false,
+                },
+                EventFilter::RelativeChange(frac) => match (value, prev) {
+                    (Some(v), Some(p)) if p.abs() > f64::EPSILON => ((v - p) / p).abs() > *frac,
+                    (Some(_), _) => true,
+                    (None, _) => false,
+                },
+            };
+            if !ok {
+                pass = false;
+                break;
+            }
+        }
+        if let Some(v) = value {
+            let stateful = self.filters.iter().any(|f| {
+                matches!(
+                    f,
+                    EventFilter::OnChange
+                        | EventFilter::Crosses(_)
+                        | EventFilter::RelativeChange(_)
+                )
+            });
+            if stateful {
+                self.last_value.insert(key, v);
+            }
+        }
+        pass
+    }
+}
+
+/// The compiled plan behind `FilterChain` accepts exactly the events the
+/// legacy stateful matcher accepted, over long random streams.
+#[test]
+fn plan_eval_matches_legacy_filter_chain() {
+    forall("plan ≡ legacy FilterChain", 96, |g| {
+        let filters: Vec<EventFilter> = (0..g.usize_in(0, 4)).map(|_| random_filter(g)).collect();
+        let chain = FilterChain::new(filters.clone());
+        let mut legacy = LegacyChain::new(filters.clone());
+        for _ in 0..g.usize_in(10, 60) {
+            let e = random_event(g);
+            assert_eq!(
+                chain.accept(&e),
+                legacy.accept(&e),
+                "filters {filters:?} disagree on {e:?}"
+            );
+        }
+    });
+}
+
+/// The pre-query-plane `TsdbQuery::matches` semantics, as the oracle for
+/// the classic host/type/range query shape.
+fn legacy_tsdb_matches(
+    from: Option<Timestamp>,
+    to: Option<Timestamp>,
+    host: &Option<String>,
+    ty: &Option<String>,
+    e: &Event,
+) -> bool {
+    if let Some(from) = from {
+        if e.timestamp < from {
+            return false;
+        }
+    }
+    if let Some(to) = to {
+        if e.timestamp >= to {
+            return false;
+        }
+    }
+    if let Some(host) = host {
+        if &e.host != host {
+            return false;
+        }
+    }
+    if let Some(ty) = ty {
+        if &e.event_type != ty {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn plan_eval_matches_legacy_tsdb_query() {
+    forall("plan ≡ legacy TsdbQuery", 96, |g| {
+        let from = g
+            .bool(0.6)
+            .then(|| Timestamp::from_micros(g.u64(60) * 500_000));
+        let to = g
+            .bool(0.6)
+            .then(|| Timestamp::from_micros(g.u64(60) * 500_000 + 1));
+        let host = g.bool(0.5).then(|| g.choice(&HOSTS).to_string());
+        let ty = g.bool(0.5).then(|| g.choice(&TYPES).to_string());
+        let mut q = jamm::jamm_tsdb::TsdbQuery::all();
+        q.from = from;
+        q.to = to;
+        q.host = host.clone();
+        q.event_type = ty.clone();
+        let plan = q.to_plan();
+        for _ in 0..20 {
+            let e = random_event(g);
+            assert_eq!(
+                plan.eval(&e),
+                legacy_tsdb_matches(from, to, &host, &ty, &e),
+                "{q:?} disagrees on {e:?}"
+            );
+        }
+    });
+}
+
+/// The pre-query-plane recursive directory matcher, as the oracle for
+/// parsed LDAP-subset filters.
+#[derive(Debug)]
+enum LegacyFilter {
+    Equals(String, String),
+    Present(String),
+    Substring(String, Vec<String>),
+    And(Vec<LegacyFilter>),
+    Or(Vec<LegacyFilter>),
+    Not(Box<LegacyFilter>),
+}
+
+impl LegacyFilter {
+    fn matches(&self, entry: &Entry) -> bool {
+        fn substring_match(value: &str, parts: &[String]) -> bool {
+            jamm::jamm_core::query::substring_match(value, parts)
+        }
+        match self {
+            LegacyFilter::Equals(attr, value) => entry.has_value(attr, value),
+            LegacyFilter::Present(attr) => entry.has(attr),
+            LegacyFilter::Substring(attr, parts) => entry
+                .get_all(attr)
+                .iter()
+                .any(|v| substring_match(v, parts)),
+            LegacyFilter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            LegacyFilter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            LegacyFilter::Not(f) => !f.matches(entry),
+        }
+    }
+
+    fn text(&self) -> String {
+        match self {
+            LegacyFilter::Equals(a, v) => format!("({a}={v})"),
+            LegacyFilter::Present(a) => format!("({a}=*)"),
+            LegacyFilter::Substring(a, parts) => format!("({a}={})", parts.join("*")),
+            LegacyFilter::And(fs) => format!(
+                "(&{})",
+                fs.iter().map(LegacyFilter::text).collect::<String>()
+            ),
+            LegacyFilter::Or(fs) => format!(
+                "(|{})",
+                fs.iter().map(LegacyFilter::text).collect::<String>()
+            ),
+            LegacyFilter::Not(f) => format!("(!{})", f.text()),
+        }
+    }
+}
+
+const ATTRS: [&str; 4] = ["objectclass", "status", "gateway", "frequency"];
+const VALUES: [&str; 4] = ["sensor", "running", "stopped", "gw1"];
+
+fn random_legacy_filter(g: &mut Gen, depth: usize) -> LegacyFilter {
+    // `host=` / `type=` equality became exact-match under the unified
+    // grammar (documented change), so the equivalence oracle draws from
+    // the generic attributes where semantics are unchanged.
+    let leaf = depth == 0 || g.bool(0.5);
+    if leaf {
+        match g.u64(3) {
+            0 => LegacyFilter::Equals(g.choice(&ATTRS).into(), g.choice(&VALUES).into()),
+            1 => LegacyFilter::Present(g.choice(&ATTRS).into()),
+            _ => {
+                let n = g.usize_in(2, 3);
+                LegacyFilter::Substring(
+                    g.choice(&ATTRS).into(),
+                    (0..n)
+                        .map(|_| {
+                            let len = g.usize_in(0, 3);
+                            g.string_from("abcdefgrstuvwxyz", len)
+                        })
+                        .collect(),
+                )
+            }
+        }
+    } else {
+        match g.u64(3) {
+            0 => LegacyFilter::And(
+                (0..g.usize_in(0, 3))
+                    .map(|_| random_legacy_filter(g, depth - 1))
+                    .collect(),
+            ),
+            1 => LegacyFilter::Or(
+                (0..g.usize_in(0, 3))
+                    .map(|_| random_legacy_filter(g, depth - 1))
+                    .collect(),
+            ),
+            _ => LegacyFilter::Not(Box::new(random_legacy_filter(g, depth - 1))),
+        }
+    }
+}
+
+fn random_entry(g: &mut Gen) -> Entry {
+    let mut e = Entry::new(Dn::parse("x=y,o=grid").unwrap());
+    for _ in 0..g.usize_in(0, 5) {
+        e.add(g.choice(&ATTRS), g.choice(&VALUES));
+    }
+    if g.bool(0.5) {
+        let len = g.usize_in(1, 8);
+        e.add("status", g.string_from("abcdefgrstuvwxyz", len));
+    }
+    e
+}
+
+#[test]
+fn plan_eval_matches_legacy_directory_filter() {
+    forall("plan ≡ legacy directory Filter", 128, |g| {
+        let legacy = random_legacy_filter(g, 3);
+        let parsed = Filter::parse(&legacy.text())
+            .unwrap_or_else(|e| panic!("oracle text {:?} must parse: {e}", legacy.text()));
+        for _ in 0..10 {
+            let entry = random_entry(g);
+            assert_eq!(
+                parsed.matches(&entry),
+                legacy.matches(&entry),
+                "filter {} disagrees on {entry:?}",
+                legacy.text()
+            );
+        }
+    });
+}
+
+/// Catalog pruning must never drop a matching event: for random archives
+/// (many small sealed segments) and random queries, the pruned scan is
+/// identical to brute-force filtering the full contents — and the pruning
+/// counters account for every segment.
+#[test]
+fn pruned_scan_equals_full_scan() {
+    forall("pruned scan ≡ full scan", 48, |g| {
+        let archive = EventArchive::in_memory_with(TsdbOptions {
+            memtable_max_events: g.usize_in(4, 12),
+            small_segment_events: 8,
+            sync_wal: false,
+        });
+        let n = g.usize_in(30, 120);
+        let mut all: Vec<Event> = Vec::new();
+        for _ in 0..n {
+            let e = random_event(g);
+            archive.store(e.clone());
+            all.push(e);
+        }
+        // Time-sort the oracle the way scans yield (ties by insertion).
+        let mut all_sorted = all.clone();
+        all_sorted.sort_by_key(|e| e.timestamp);
+
+        let segments = archive.tsdb().segment_count() as u64;
+
+        let queries = [
+            "(&)",
+            "(host=dpss1.lbl.gov)",
+            "(type=CPU_TOTAL)",
+            "(&(host=mems.cairn.net)(type=MEM_FREE))",
+            "(level>=warning)",
+            "(&(time>=5000000)(time<20000000))",
+            "(&(host=portnoy.lbl.gov)(level>=error)(time>=1000000))",
+            "(|(type=PROC_DIED)(type=TCPD_RETRANSMITS))",
+            "(val>=40)",
+        ];
+        let text = g.choice(&queries);
+        let pred = Predicate::parse(text).unwrap();
+
+        let scanned_before = archive.stats().segments_scanned();
+        let pruned_before = archive.stats().segments_pruned();
+        let got: Vec<Event> = archive.scan_plan(&pred.compile()).collect();
+        let scanned = archive.stats().segments_scanned() - scanned_before;
+        let pruned = archive.stats().segments_pruned() - pruned_before;
+        assert_eq!(
+            scanned + pruned,
+            segments,
+            "every segment is either scanned or pruned"
+        );
+
+        let oracle = pred.compile();
+        let want: Vec<Event> = all_sorted
+            .iter()
+            .filter(|e| oracle.eval(*e))
+            .cloned()
+            .collect();
+        // Timestamp ties can reorder between oracle sort and scan seq
+        // order; compare as multisets keyed by full event identity.
+        let key = |e: &Event| format!("{:?}", e);
+        let mut got_keys: Vec<String> = got.iter().map(key).collect();
+        let mut want_keys: Vec<String> = want.iter().map(key).collect();
+        got_keys.sort();
+        want_keys.sort();
+        assert_eq!(
+            got_keys, want_keys,
+            "query {text} dropped or invented events"
+        );
+    });
+}
+
+/// Limit pushdown returns exactly the first `k` of the unlimited scan.
+#[test]
+fn limit_pushdown_is_a_prefix_of_the_full_result() {
+    forall("limit ≡ prefix", 32, |g| {
+        let archive = EventArchive::in_memory_with(TsdbOptions {
+            memtable_max_events: 8,
+            small_segment_events: 8,
+            sync_wal: false,
+        });
+        for _ in 0..g.usize_in(20, 60) {
+            archive.store(random_event(g));
+        }
+        let full: Vec<Event> = archive.query(&ArchiveQuery::all());
+        let k = g.usize_in(1, full.len());
+        let limited: Vec<Event> = archive.query(&ArchiveQuery::all().limit(k));
+        assert_eq!(limited.as_slice(), &full[..k]);
+        let by_text: Vec<Event> = archive.query_str(&format!("(limit={k})")).unwrap();
+        assert_eq!(by_text.as_slice(), &full[..k]);
+    });
+}
+
+/// Field-carrying events keep matching attribute leaves through the
+/// unified grammar (string values in place, numeric by ULM rendering).
+#[test]
+fn attribute_leaves_match_event_fields() {
+    let e = Event::builder("netstat", "h1")
+        .level(Level::Usage)
+        .event_type("TCPD_RETRANSMITS")
+        .timestamp(Timestamp::from_secs(1))
+        .value(7.0)
+        .field("PEER", Value::Str("mems.cairn.net".into()))
+        .build();
+    let hit = Predicate::parse("(peer=mems.cairn.net)").unwrap().compile();
+    assert!(hit.eval(&e));
+    let miss = Predicate::parse("(peer=elsewhere)").unwrap().compile();
+    assert!(!miss.eval(&e));
+    let glob = Predicate::parse("(peer=*.cairn.net)").unwrap().compile();
+    assert!(glob.eval(&e));
+    let present = Predicate::parse("(peer=*)").unwrap().compile();
+    assert!(present.eval(&e));
+}
