@@ -1,0 +1,428 @@
+//! E17 — the reactor network edge at scale.
+//!
+//! The paper's gateway architecture rests on the claim that "added
+//! consumers load the gateway rather than the monitored host" (§2.3) —
+//! which only holds if the gateway's network edge itself scales with
+//! consumer count.  PR 6 replaced thread-per-connection with a single
+//! `poll(2)` event loop (`jamm-reactor`) and an encode-once/write-N
+//! broadcast transport (`jamm_rmi::edge::EventEdge`).  This bench drives
+//! that edge with real TCP subscribers on a connection sweep 100 → 10,000
+//! and records delivered kev/s and the p99 publish-to-client delivery
+//! latency at each point.
+//!
+//! Layout: the reactor, gateway and edge run in this process; the
+//! subscriber fleet runs in a re-exec'd child process
+//! (`JAMM_E17_CLIENT=1`), because the container caps `RLIMIT_NOFILE` at
+//! 20,000 — 10k server sockets plus 10k client sockets do not fit in one
+//! process.  The child connects N sockets, drains all of them
+//! nonblockingly, decodes frames on one probe connection to sample
+//! delivery latency (both processes share the host clock), and reports
+//! JSON on stdout.
+//!
+//! Deterministic assertions (always enforced):
+//!   * every subscriber receives the complete byte stream;
+//!   * zero deep event clones across publish + encode + broadcast;
+//!   * zero dropped frames, zero refused accepts;
+//!   * the 10,000-connection point is held by ONE reactor thread.
+//!
+//! Wall-clock assertion (downgradeable with JAMM_BENCH_NO_ASSERT):
+//! delivered throughput at 10k connections stays within 2x of the
+//! 100-connection point.  Baseline recorded in BENCH_e17.json
+//! (JAMM_BENCH_JSON=BENCH_e17.json cargo bench --bench e17_reactor_edge);
+//! with JAMM_BENCH_BASELINE set, a >2x drop against the recorded numbers
+//! fails the run.
+
+use jamm_bench::{compare_row, data_row, header};
+use jamm_core::json::{Json, Map};
+use jamm_gateway::{EventGateway, GatewayConfig};
+use jamm_reactor::{Reactor, ReactorConfig};
+use jamm_rmi::edge::{EdgeConfig, EventEdge};
+use jamm_ulm::{binary, deep_clone_count, Event, Level, SharedEvent, Timestamp};
+use std::io::Read;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SWEEP: [usize; 4] = [100, 1_000, 4_000, 10_000];
+/// At least 2M delivered event copies per sweep point, and at least 1,000
+/// events per connection so every point amortizes encode and write costs
+/// over comparably sized frames; the per-connection stream stays well
+/// under the outbox budget at every point.
+fn events_for(conns: usize) -> u64 {
+    (2_000_000 / conns as u64).max(1_000)
+}
+
+const PUBLISH_CHUNK: usize = 64;
+
+fn sample(i: u64) -> Event {
+    Event::builder("dpss_master", "dpss1.lbl.gov")
+        .level(Level::Usage)
+        .event_type(["DPSS_SERV_IN", "DPSS_START_WRITE", "CPU_TOTAL"][(i % 3) as usize])
+        .timestamp(Timestamp::now())
+        .value((i % 100) as f64)
+        .field("BLOCK.ID", i)
+        .build()
+}
+
+fn kevps(n: u64, secs: f64) -> f64 {
+    n as f64 / secs.max(1e-9) / 1_000.0
+}
+
+// ---------------------------------------------------------------------
+// Child process: the subscriber fleet.
+// ---------------------------------------------------------------------
+
+fn client_main(addr: &str, conns: usize) {
+    use jamm_reactor::{Backend, Interest, Poller, Readiness, Source};
+    use std::io::ErrorKind;
+    use std::net::TcpStream;
+
+    let mut socks: Vec<Option<TcpStream>> = Vec::with_capacity(conns);
+    // The fleet drains its sockets through the same readiness API the
+    // server loop uses — scanning 10k idle sockets with speculative reads
+    // would burn the CPU the single reactor thread needs.
+    let mut poller = Poller::new(Backend::native());
+    for i in 0..conns {
+        let s = TcpStream::connect(addr).expect("connect to edge");
+        s.set_nonblocking(true).expect("nonblocking");
+        poller.register(i as u64, Source::new(&s), Interest::READ);
+        socks.push(Some(s));
+    }
+
+    let mut bytes = vec![0u64; conns];
+    let mut probe_buf: Vec<u8> = Vec::new();
+    let mut probe_off = 0usize;
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut open = conns;
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut readiness: Vec<Readiness> = Vec::new();
+
+    while open > 0 {
+        poller
+            .poll(Duration::from_millis(200), &mut readiness)
+            .expect("client poll");
+        for r in &readiness {
+            let i = r.token as usize;
+            let Some(s) = &mut socks[i] else { continue };
+            loop {
+                match s.read(&mut scratch) {
+                    Ok(0) => {
+                        poller.deregister(r.token);
+                        socks[i] = None;
+                        open -= 1;
+                        break;
+                    }
+                    Ok(n) => {
+                        bytes[i] += n as u64;
+                        if i == 0 {
+                            probe_buf.extend_from_slice(&scratch[..n]);
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        poller.deregister(r.token);
+                        socks[i] = None;
+                        open -= 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Sample delivery latency on the probe connection: the publisher
+        // stamped each event with the shared host clock.
+        while let Ok((ev, used)) = binary::decode(&probe_buf[probe_off..]) {
+            probe_off += used;
+            let now = Timestamp::now().as_micros();
+            latencies_us.push(now.saturating_sub(ev.timestamp.as_micros()));
+        }
+    }
+
+    latencies_us.sort_unstable();
+    let p99 = if latencies_us.is_empty() {
+        0
+    } else {
+        latencies_us[(latencies_us.len() - 1) * 99 / 100]
+    };
+    let mut doc = Map::new();
+    doc.insert("total_bytes".into(), Json::from(bytes.iter().sum::<u64>()));
+    doc.insert(
+        "min_conn_bytes".into(),
+        Json::from(bytes.iter().copied().min().unwrap_or(0)),
+    );
+    doc.insert(
+        "max_conn_bytes".into(),
+        Json::from(bytes.iter().copied().max().unwrap_or(0)),
+    );
+    doc.insert("p99_latency_us".into(), Json::from(p99));
+    doc.insert(
+        "latency_samples".into(),
+        Json::from(latencies_us.len() as u64),
+    );
+    println!("{}", Json::Object(doc));
+}
+
+// ---------------------------------------------------------------------
+// Parent process: reactor + gateway + edge, one sweep point at a time.
+// ---------------------------------------------------------------------
+
+struct PointResult {
+    conns: usize,
+    events: u64,
+    kev_per_s: f64,
+    p99_latency_us: u64,
+    deep_clones: u64,
+}
+
+fn run_point(conns: usize) -> PointResult {
+    let events = events_for(conns);
+    let reactor = Arc::new(
+        Reactor::start(ReactorConfig {
+            max_connections: conns + 64,
+            ..ReactorConfig::default()
+        })
+        .expect("start reactor"),
+    );
+    let gateway = Arc::new(EventGateway::new(GatewayConfig::open("e17")));
+    let mut edge = EventEdge::open(
+        Arc::clone(&reactor),
+        Arc::clone(&gateway),
+        EdgeConfig {
+            capacity: events as usize + PUBLISH_CHUNK,
+            ..EdgeConfig::default()
+        },
+    )
+    .expect("open edge");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let child = std::process::Command::new(exe)
+        .env("JAMM_E17_CLIENT", "1")
+        .env("JAMM_E17_ADDR", edge.addr().to_string())
+        .env("JAMM_E17_CONNS", conns.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn subscriber fleet");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while edge.subscribers() < conns {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {conns} subscribers connected",
+            edge.subscribers()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let clones0 = deep_clone_count();
+    let t0 = Instant::now();
+    let mut published = 0u64;
+    while published < events {
+        let n = PUBLISH_CHUNK.min((events - published) as usize);
+        // Stamped at publish time so the child can measure delivery
+        // latency against the shared host clock.
+        let chunk: Vec<SharedEvent> = (0..n as u64)
+            .map(|j| SharedEvent::new(sample(published + j)))
+            .collect();
+        gateway.publish_shared_batch(&chunk);
+        published += n as u64;
+    }
+
+    // Completion: the pump has encoded every event, every conn has
+    // written the full stream, and nothing is left queued.
+    let drained = |edge: &EventEdge| {
+        if edge.stats().events < events {
+            return false;
+        }
+        let encoded = edge.stats().encoded_bytes;
+        let rows = edge.socket_stats();
+        rows.len() == conns
+            && rows
+                .iter()
+                .all(|r| r.stats.queued_bytes == 0 && r.stats.bytes_out == encoded)
+    };
+    // Coarse drain polling: snapshotting 10k socket rows is itself O(N),
+    // so don't let the check steal the single core from the loop thread.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !drained(&edge) {
+        assert!(Instant::now() < deadline, "broadcast never drained");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let deep_clones = deep_clone_count() - clones0;
+
+    let rows = edge.socket_stats();
+    let dropped: u64 = rows.iter().map(|r| r.stats.dropped_frames).sum();
+    assert_eq!(dropped, 0, "no frame was dropped at {conns} conns");
+    assert_eq!(reactor.refused(), 0, "no accept was refused");
+    let encoded = edge.stats().encoded_bytes;
+
+    edge.stop();
+    let out = child.wait_with_output().expect("child exit");
+    assert!(out.status.success(), "subscriber fleet failed");
+    let report =
+        Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("child report is valid JSON");
+    let report = report.as_object().expect("child report object");
+    let num = |k: &str| {
+        report
+            .get(k)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("missing child field {k}")) as u64
+    };
+    assert_eq!(
+        num("total_bytes"),
+        encoded * conns as u64,
+        "every subscriber received the complete stream"
+    );
+    assert_eq!(
+        num("min_conn_bytes"),
+        num("max_conn_bytes"),
+        "no subscriber was short-changed"
+    );
+    assert_eq!(num("latency_samples"), events, "probe decoded every event");
+
+    reactor.shutdown();
+    PointResult {
+        conns,
+        events,
+        kev_per_s: kevps(events * conns as u64, secs),
+        p99_latency_us: num("p99_latency_us"),
+        deep_clones,
+    }
+}
+
+fn main() {
+    if std::env::var_os("JAMM_E17_CLIENT").is_some() {
+        let addr = std::env::var("JAMM_E17_ADDR").expect("JAMM_E17_ADDR");
+        let conns: usize = std::env::var("JAMM_E17_CONNS")
+            .expect("JAMM_E17_CONNS")
+            .parse()
+            .expect("numeric JAMM_E17_CONNS");
+        client_main(&addr, conns);
+        return;
+    }
+
+    header(
+        "E17: reactor network edge — one event loop, 100 to 10,000 TCP subscribers",
+        "section 2.3 scalability: the gateway edge must absorb added consumers",
+    );
+
+    println!("\nconnection sweep (delivered kev/s = events x conns / wall time):\n");
+    data_row(&[
+        format!("{:>11}", "connections"),
+        format!("{:>10}", "events"),
+        format!("{:>16}", "delivered kev/s"),
+        format!("{:>12}", "p99 latency"),
+        format!("{:>12}", "deep clones"),
+    ]);
+    let mut results: Vec<PointResult> = Vec::new();
+    for &conns in &SWEEP {
+        let r = run_point(conns);
+        data_row(&[
+            format!("{:>11}", r.conns),
+            format!("{:>10}", r.events),
+            format!("{:>16.0}", r.kev_per_s),
+            format!("{:>9.1} ms", r.p99_latency_us as f64 / 1_000.0),
+            format!("{:>12}", r.deep_clones),
+        ]);
+        assert_eq!(
+            r.deep_clones, 0,
+            "broadcast to {conns} subscribers must deep-clone nothing"
+        );
+        results.push(r);
+    }
+
+    let base = &results[0];
+    let top = &results[results.len() - 1];
+    println!("\npaper vs measured:\n");
+    compare_row(
+        "subscriber connections on one reactor thread",
+        "gateways absorb added consumers",
+        &format!("{} concurrent, single loop thread", top.conns),
+    );
+    compare_row(
+        "throughput at 10k conns vs 100 conns",
+        "within 2x",
+        &format!(
+            "{:.0} vs {:.0} kev/s ({:.2}x)",
+            top.kev_per_s,
+            base.kev_per_s,
+            base.kev_per_s / top.kev_per_s.max(1e-9)
+        ),
+    );
+    compare_row(
+        "event copies per broadcast",
+        "0 (encode once, write N)",
+        &format!("{} deep clones at every sweep point", top.deep_clones),
+    );
+    println!();
+
+    // ---- scaling assertion (wall-clock; JAMM_BENCH_NO_ASSERT downgrades)
+    let no_assert = std::env::var_os("JAMM_BENCH_NO_ASSERT").is_some();
+    assert!(
+        no_assert || top.kev_per_s * 2.0 >= base.kev_per_s,
+        "throughput at {} conns ({:.0} kev/s) fell more than 2x below the \
+         {}-connection point ({:.0} kev/s)",
+        top.conns,
+        top.kev_per_s,
+        base.conns,
+        base.kev_per_s
+    );
+
+    // ---- regression guard vs the committed baseline -------------------
+    if let Ok(path) = std::env::var("JAMM_BENCH_BASELINE") {
+        let root_relative = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(&path);
+        let doc = std::fs::read_to_string(&path)
+            .or_else(|_| std::fs::read_to_string(&root_relative))
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let json = Json::parse(&doc).expect("baseline is valid JSON");
+        let obj = json.as_object().expect("baseline is an object");
+        let num = |v: &Json| v.as_f64().expect("numeric baseline field");
+        let mut checked = 0;
+        if let Some(rows) = obj.get("results").and_then(|r| r.as_array()) {
+            for row in rows {
+                let row = row.as_object().expect("result row");
+                let conns = num(row.get("connections").expect("connections field")) as usize;
+                let Some(r) = results.iter().find(|r| r.conns == conns) else {
+                    continue;
+                };
+                let baseline = num(row.get("kev_per_s").expect("kev_per_s field"));
+                checked += 1;
+                println!(
+                    "  guard broadcast @ {conns:>6} conns   baseline {baseline:>10.0} kev/s   \
+                     measured {:>10.0} kev/s",
+                    r.kev_per_s
+                );
+                assert!(
+                    no_assert || r.kev_per_s * 2.0 >= baseline,
+                    "broadcast @ {conns} conns: measured {:.0} kev/s is more than 2x \
+                     below the committed baseline {baseline:.0} kev/s ({path})",
+                    r.kev_per_s
+                );
+            }
+        }
+        assert!(checked > 0, "baseline {path} had no comparable fields");
+        println!("\n  regression guard: {checked} checks within 2x of baseline\n");
+    }
+
+    if let Ok(path) = std::env::var("JAMM_BENCH_JSON") {
+        let round1 = |v: f64| (v * 10.0).round() / 10.0;
+        let mut doc = Map::new();
+        doc.insert("target".into(), Json::from("e17_reactor_edge"));
+        doc.insert("publish_chunk".into(), Json::from(PUBLISH_CHUNK as u64));
+        let mut rows = Vec::new();
+        for r in &results {
+            let mut row = Map::new();
+            row.insert("connections".into(), Json::from(r.conns as u64));
+            row.insert("events".into(), Json::from(r.events));
+            row.insert("kev_per_s".into(), Json::from(round1(r.kev_per_s)));
+            row.insert("p99_latency_us".into(), Json::from(r.p99_latency_us));
+            row.insert("deep_clones".into(), Json::from(r.deep_clones));
+            rows.push(Json::Object(row));
+        }
+        doc.insert("results".into(), Json::Array(rows));
+        std::fs::write(&path, Json::Object(doc).to_string())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

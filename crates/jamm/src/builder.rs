@@ -15,6 +15,8 @@ use jamm_core::query::{Facts, Predicate};
 use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
 use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
+use jamm_reactor::{Reactor, ReactorConfig, SocketRow};
+use jamm_rmi::edge::{EdgeConfig, EventEdge};
 use jamm_ulm::{Event, SharedEvent};
 
 /// Errors from [`JammBuilder::build`].
@@ -26,6 +28,9 @@ pub enum BuildError {
     NoGateways,
     /// The persistent archive directory could not be opened.
     Archive(String),
+    /// The network edge (reactor or a gateway's broadcast listener) could
+    /// not be brought up.
+    Edge(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -34,6 +39,7 @@ impl std::fmt::Display for BuildError {
             BuildError::BadDn(dn) => write!(f, "invalid DN: {dn}"),
             BuildError::NoGateways => write!(f, "deployment declares no event gateway"),
             BuildError::Archive(e) => write!(f, "cannot open archive store: {e}"),
+            BuildError::Edge(e) => write!(f, "cannot start network edge: {e}"),
         }
     }
 }
@@ -81,6 +87,9 @@ pub struct JammBuilder {
     retention_micros: Option<u64>,
     gateway_shards: Option<usize>,
     delivery_workers: Option<usize>,
+    network_edge: bool,
+    edge_max_connections: Option<usize>,
+    edge_write_budget: Option<usize>,
 }
 
 impl JammBuilder {
@@ -163,6 +172,32 @@ impl JammBuilder {
         self
     }
 
+    /// Give the deployment a network edge: one reactor thread runs a TCP
+    /// broadcast listener per gateway ([`jamm_rmi::edge::EventEdge`]), so
+    /// remote subscribers receive each gateway's stream as encoded ULM
+    /// frames with encode-once/write-N fan-out.  Listener addresses come
+    /// from [`JammSystem::edge_addr`]; per-socket backpressure counters
+    /// appear in [`JammSystem::admin_stats`].
+    pub fn network_edge(mut self, enabled: bool) -> Self {
+        self.network_edge = enabled;
+        self
+    }
+
+    /// Edge tuning: most simultaneous subscriber connections across the
+    /// deployment's reactor (accepts beyond this are refused).
+    pub fn edge_max_connections(mut self, conns: usize) -> Self {
+        self.edge_max_connections = Some(conns.max(1));
+        self
+    }
+
+    /// Edge tuning: most outbound bytes the reactor writes per connection
+    /// per flush — bounds how long one fast socket can monopolise the
+    /// loop thread.
+    pub fn edge_write_budget(mut self, bytes: usize) -> Self {
+        self.edge_write_budget = Some(bytes.max(1));
+        self
+    }
+
     /// Wire everything.
     pub fn build(self) -> Result<JammSystem, BuildError> {
         if self.gateways.is_empty() {
@@ -209,6 +244,30 @@ impl JammBuilder {
             }
             None => None,
         };
+        let (reactor, edges) = if self.network_edge {
+            let mut config = ReactorConfig {
+                thread_name: "jamm-edge".to_string(),
+                ..ReactorConfig::default()
+            };
+            if let Some(conns) = self.edge_max_connections {
+                config.max_connections = conns;
+            }
+            if let Some(bytes) = self.edge_write_budget {
+                config.write_budget = bytes;
+            }
+            let reactor =
+                Arc::new(Reactor::start(config).map_err(|e| BuildError::Edge(e.to_string()))?);
+            let mut edges = Vec::with_capacity(gateways.len());
+            for gw in &gateways {
+                edges.push(
+                    EventEdge::open(Arc::clone(&reactor), Arc::clone(gw), EdgeConfig::default())
+                        .map_err(|e| BuildError::Edge(e.to_string()))?,
+                );
+            }
+            (Some(reactor), edges)
+        } else {
+            (None, Vec::new())
+        };
         Ok(JammSystem {
             directory,
             suffix: suffix_dn,
@@ -218,6 +277,8 @@ impl JammBuilder {
             archiver,
             archive,
             retention_micros: self.retention_micros,
+            edges,
+            reactor,
         })
     }
 }
@@ -240,6 +301,11 @@ pub struct JammSystem {
     pub archive: Arc<EventArchive>,
     /// Retention policy applied by [`JammSystem::archive_maintenance`].
     pub retention_micros: Option<u64>,
+    /// One broadcast edge per gateway when [`JammBuilder::network_edge`]
+    /// is on (declared before `reactor` so edges stop before the loop).
+    pub edges: Vec<EventEdge>,
+    /// The shared reactor running every edge listener, if enabled.
+    pub reactor: Option<Arc<Reactor>>,
 }
 
 impl std::fmt::Debug for JammSystem {
@@ -248,6 +314,7 @@ impl std::fmt::Debug for JammSystem {
             .field("gateways", &self.gateways.len())
             .field("collectors", &self.collectors.len())
             .field("archiver", &self.archiver.is_some())
+            .field("edges", &self.edges.len())
             .finish_non_exhaustive()
     }
 }
@@ -396,9 +463,38 @@ impl JammSystem {
                     delivery_workers: gw.delivery_worker_count(),
                     shards: gw.shard_report(),
                     subscriptions: gw.delivery_report(),
+                    sockets: self
+                        .edges
+                        .iter()
+                        .find(|e| e.gateway_name() == gw.name())
+                        .map(|e| e.socket_stats())
+                        .unwrap_or_default(),
                 }
             })
             .collect()
+    }
+
+    /// The TCP address remote subscribers connect to for a gateway's
+    /// stream, when the deployment has a network edge.
+    pub fn edge_addr(&self, gateway: &str) -> Option<std::net::SocketAddr> {
+        self.edges
+            .iter()
+            .find(|e| e.gateway_name() == gateway)
+            .map(|e| e.addr())
+    }
+
+    /// Stop every edge listener (subscriber connections are flushed and
+    /// closed) and shut the reactor down.  Called automatically on drop;
+    /// explicit shutdown makes teardown deterministic for tests and
+    /// orderly restarts.
+    pub fn shutdown_edges(&mut self) {
+        for edge in &mut self.edges {
+            edge.stop();
+        }
+        self.edges.clear();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
     }
 
     /// Replay an archived range through a named gateway, so current
@@ -545,6 +641,9 @@ pub struct GatewayAdminStats {
     pub shards: Vec<jamm_gateway::ShardReport>,
     /// Per-subscription delivery totals.
     pub subscriptions: Vec<jamm_gateway::DeliveryReport>,
+    /// Per-socket rows of the gateway's network edge (queued bytes, drops,
+    /// stalls per remote subscriber); empty when no edge is running.
+    pub sockets: Vec<SocketRow>,
 }
 
 /// What one [`JammSystem::archive_maintenance`] pass did.
@@ -704,6 +803,68 @@ mod tests {
         // The idle gateway's rows are all zero but still present.
         assert_eq!(stats[1].events_in, 0);
         assert_eq!(stats[1].shards.len(), 4);
+    }
+
+    #[test]
+    fn network_edge_broadcasts_to_remote_subscribers() {
+        use std::io::Read as _;
+        use std::time::{Duration, Instant};
+
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .collector("ops")
+            .network_edge(true)
+            .edge_max_connections(64)
+            .edge_write_budget(64 * 1024)
+            .build()
+            .unwrap();
+        let addr = jamm.edge_addr("gw1").unwrap();
+        assert!(jamm.edge_addr("missing").is_none());
+        jamm.connect_collectors(vec![]);
+
+        let mut sub = std::net::TcpStream::connect(addr).unwrap();
+        sub.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while jamm.edges[0].subscribers() < 1 {
+            assert!(Instant::now() < deadline, "subscriber never registered");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let events: Vec<Event> = (0..8).map(|t| ev("h1", Level::Usage, t)).collect();
+        for e in &events {
+            jamm.publish("gw1", e);
+        }
+
+        // The remote subscriber sees the same stream local consumers get,
+        // as binary ULM frames.
+        let codec = jamm_ulm::codec::codec_for(jamm_ulm::codec::BINARY).unwrap();
+        let expected: usize = events.iter().map(|e| codec.encode(e).len()).sum();
+        let mut got = vec![0u8; expected];
+        sub.read_exact(&mut got).unwrap();
+        assert_eq!(codec.decode_batch(&got).unwrap(), events);
+        jamm.poll();
+        assert_eq!(jamm.collectors[0].events().len(), 8);
+
+        // admin_stats carries the per-socket backpressure rows.  The loop
+        // thread's counters are eventually consistent with the bytes the
+        // client has read.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = jamm.admin_stats();
+            let rows = &stats[0].sockets;
+            if rows.len() == 1 && rows[0].stats.bytes_out as usize >= expected {
+                assert_eq!(rows[0].stats.dropped_frames, 0);
+                break;
+            }
+            assert!(Instant::now() < deadline, "socket row never converged");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        jamm.shutdown_edges();
+        assert!(jamm.admin_stats()[0].sockets.is_empty());
+        let mut rest = Vec::new();
+        sub.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "edge shutdown flushed then closed");
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub enum Sink {
     /// Push events into any pipeline sink: a local gateway, an archive, or
     /// a remote gateway behind an RMI event bridge.
     Pipeline(Arc<dyn EventSink<Event>>),
+    /// Stream frames to a remote collector over a nonblocking TCP socket
+    /// owned by a reactor — the paper's `open("dolly.lbl.gov", 14830)`
+    /// with real wire bytes.  Write stalls land in the reactor outbox,
+    /// never on the instrumented thread.
+    Socket(Arc<crate::socket::SocketSink>),
 }
 
 impl std::fmt::Debug for Sink {
@@ -60,6 +65,7 @@ impl std::fmt::Debug for Sink {
                 write!(f, "Sink::EncodedFile({}, {content_type})", path.display())
             }
             Sink::Pipeline(_) => write!(f, "Sink::Pipeline(..)"),
+            Sink::Socket(s) => write!(f, "Sink::Socket(conn {})", s.conn()),
         }
     }
 }
@@ -181,6 +187,9 @@ impl NetLogger {
                 }
             }
             Sink::Pipeline(sink) => OpenSink::Pipeline(sink),
+            // The socket sink is pipeline-shaped: encode + enqueue on the
+            // reactor, no blocking I/O on this thread.
+            Sink::Socket(sink) => OpenSink::Pipeline(sink),
         });
         Ok(())
     }

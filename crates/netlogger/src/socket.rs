@@ -1,0 +1,245 @@
+//! A nonblocking socket destination for event streams.
+//!
+//! The paper's NetLogger writes to "a remote host on port 14830"; the
+//! seed code stood that in with an in-process channel ([`Sink::Net`]).
+//! [`SocketSink`] closes the gap with a real TCP destination that never
+//! blocks the caller: `accept` encodes the event and hands the frame to a
+//! [`Reactor`], whose event-loop thread owns the socket and absorbs all
+//! write stalls in the connection's bounded outbox.  That makes it safe
+//! to drive from latency-sensitive threads — an application's
+//! instrumentation path, or `ReplaySource::pump` replaying an archive to
+//! a remote consumer — because a slow or dead collector costs an enqueue,
+//! never a syscall wait.
+//!
+//! The sink implements both `EventSink<Event>` and
+//! `EventSink<SharedEvent>`, so it plugs into [`Sink::Pipeline`], gateway
+//! fan-out consumers, and archive replay unchanged.
+//!
+//! [`Sink::Net`]: crate::api::Sink::Net
+//! [`Sink::Pipeline`]: crate::api::Sink::Pipeline
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jamm_core::flow::{EventSink, SinkError};
+use jamm_reactor::{ConnHandler, ConnId, ConnIo, Reactor, SocketStats};
+use jamm_ulm::codec::{codec_for, EventCodec, BINARY};
+use jamm_ulm::{Event, SharedEvent};
+
+/// Inbound bytes from a collector are not part of the protocol; discard
+/// them, and remember when the peer goes away.
+struct CollectorConn {
+    closed: Arc<AtomicBool>,
+}
+
+impl ConnHandler for CollectorConn {
+    fn on_data(&mut self, _io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+        buf.len()
+    }
+
+    fn on_close(&mut self, _id: ConnId, _reason: &jamm_reactor::CloseReason) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// A reactor-backed TCP event destination.
+///
+/// Frames are encoded once on the calling thread and queued on the
+/// reactor connection; the loop thread writes them as the socket drains.
+/// Under sustained backpressure the connection's outbox policy decides
+/// which frames survive — the drop shows up in [`SocketSink::stats`], the
+/// caller is never blocked.
+pub struct SocketSink {
+    reactor: Arc<Reactor>,
+    conn: ConnId,
+    codec: EventCodec,
+    newline_framed: bool,
+    closed: Arc<AtomicBool>,
+    sent: AtomicU64,
+}
+
+impl std::fmt::Debug for SocketSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketSink")
+            .field("conn", &self.conn)
+            .field("content_type", &self.codec.content_type())
+            .field("closed", &self.closed.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketSink {
+    /// Connect to a collector at `addr` and hand the socket to `reactor`.
+    ///
+    /// `content_type` picks the wire format (a [`jamm_ulm::codec`]
+    /// content type); text and JSON frames are newline-delimited, binary
+    /// frames are self-delimiting — the same convention as the
+    /// `EncodedFile` sink.
+    pub fn connect(
+        reactor: Arc<Reactor>,
+        addr: &str,
+        content_type: &str,
+    ) -> io::Result<SocketSink> {
+        let codec = codec_for(content_type).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no codec for content type {content_type:?}"),
+            )
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        let closed = Arc::new(AtomicBool::new(false));
+        let conn = reactor.adopt(
+            stream,
+            Box::new(CollectorConn {
+                closed: Arc::clone(&closed),
+            }),
+        )?;
+        Ok(SocketSink {
+            reactor,
+            conn,
+            newline_framed: content_type.trim() != BINARY,
+            codec,
+            closed,
+            sent: AtomicU64::new(0),
+        })
+    }
+
+    /// The reactor connection id (for correlation with
+    /// `Reactor::socket_stats` rows).
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// True once the collector connection is gone.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Events handed to the reactor so far (drops, if any, are counted at
+    /// the socket — see [`SocketSink::stats`]).
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Socket-level counters for this connection, if it is still live.
+    pub fn stats(&self) -> Option<SocketStats> {
+        self.reactor
+            .socket_stats()
+            .into_iter()
+            .find(|r| r.conn == self.conn)
+            .map(|r| r.stats)
+    }
+
+    /// Flush queued frames and close the connection.
+    pub fn close(&self) {
+        self.reactor.close(self.conn);
+    }
+
+    fn push(&self, event: &Event) -> Result<usize, SinkError> {
+        if self.is_closed() {
+            return Err(SinkError::Closed);
+        }
+        let mut frame = Vec::with_capacity(128);
+        self.codec.encode_to(&mut frame, event);
+        if self.newline_framed {
+            frame.push(b'\n');
+        }
+        self.reactor.send(self.conn, Arc::new(frame));
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(1)
+    }
+}
+
+impl Drop for SocketSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl EventSink<Event> for SocketSink {
+    fn accept(&self, event: &Event) -> Result<usize, SinkError> {
+        self.push(event)
+    }
+}
+
+impl EventSink<SharedEvent> for SocketSink {
+    fn accept(&self, event: &SharedEvent) -> Result<usize, SinkError> {
+        self.push(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_reactor::ReactorConfig;
+    use jamm_ulm::{Level, Timestamp};
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    fn sample(i: u64) -> Event {
+        Event::builder("testProg", "dpss1.lbl.gov")
+            .level(Level::Usage)
+            .event_type("WriteData")
+            .timestamp(Timestamp::from_micros(954_415_400_000_000 + i))
+            .field("SEND.SZ", i)
+            .build()
+    }
+
+    #[test]
+    fn events_arrive_at_the_collector_socket() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let sink = SocketSink::connect(Arc::clone(&reactor), &addr.to_string(), BINARY).unwrap();
+        let (mut collector, _) = listener.accept().unwrap();
+        collector
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        let events: Vec<Event> = (0..20).map(sample).collect();
+        for e in &events {
+            EventSink::<Event>::accept(&sink, e).unwrap();
+        }
+
+        let codec = codec_for(BINARY).unwrap();
+        let expected: usize = events.iter().map(|e| codec.encode(e).len()).sum();
+        let mut got = vec![0u8; expected];
+        collector.read_exact(&mut got).unwrap();
+        assert_eq!(codec.decode_batch(&got).unwrap(), events);
+        assert_eq!(sink.sent(), 20);
+
+        drop(sink);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn a_dead_collector_surfaces_as_closed_not_a_hang() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let sink = SocketSink::connect(Arc::clone(&reactor), &addr.to_string(), BINARY).unwrap();
+        let (collector, _) = listener.accept().unwrap();
+        drop(collector);
+        drop(listener);
+
+        // The reactor notices the hangup; until then writes are enqueued
+        // (never blocked).  Eventually accept reports Closed.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let ev = sample(0);
+        loop {
+            match EventSink::<Event>::accept(&sink, &ev) {
+                Err(SinkError::Closed) => break,
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "close was never observed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        reactor.shutdown();
+    }
+}

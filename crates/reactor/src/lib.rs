@@ -1,0 +1,40 @@
+//! # jamm-reactor — std-only nonblocking I/O core for the network edge
+//!
+//! The paper's central scaling claim is that adding consumers loads the
+//! *gateway*, not the monitored host.  A thread-per-connection edge caps a
+//! gateway at hundreds of subscriber sockets; this crate replaces it with a
+//! single-threaded reactor that drives tens of thousands:
+//!
+//! * [`poller::Poller`] — readiness via a thin `poll(2)` shim (the crate's
+//!   only `unsafe`, confined to `sys.rs`), with a pure-std sweep fallback
+//!   so the crate builds and tests anywhere;
+//! * [`poller::Waker`] — cross-thread wakeup over a loopback UDP socket
+//!   pair, the std-only stand-in for a self-pipe;
+//! * [`timer::TimerWheel`] — hashed-wheel timeouts for idle connections;
+//! * [`conn::Conn`] / [`conn::Outbox`] — per-connection state with a
+//!   frame-aligned outbound queue mapped onto the pipeline's own
+//!   [`OverflowPolicy`](jamm_core::flow::OverflowPolicy) (`DropOldest` /
+//!   `DropNewest`) and per-connection counters (bytes, queued, dropped,
+//!   stalls) for observing slow consumers;
+//! * [`reactor::Reactor`] — the event loop itself: accept, read, dispatch
+//!   to [`reactor::ConnHandler`]s, flush outboxes under a write budget, and
+//!   broadcast `Arc`-shared frames (encode once, write N).
+//!
+//! In the same discipline as the rest of the workspace, the crate depends
+//! on nothing but `jamm-core` and std.
+
+#![deny(missing_docs)]
+
+pub mod conn;
+pub mod poller;
+pub mod reactor;
+mod sys;
+pub mod timer;
+
+pub use conn::{Conn, Flush, Outbox, PushOutcome, SocketCounters, SocketStats};
+pub use poller::{Backend, Interest, Poller, Readiness, Source, Waker};
+pub use reactor::{
+    Acceptor, CloseReason, ConnHandler, ConnId, ConnIo, ListenerId, Reactor, ReactorConfig,
+    SocketRow,
+};
+pub use timer::TimerWheel;

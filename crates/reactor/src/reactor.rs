@@ -1,0 +1,1009 @@
+//! The event loop: one thread driving every socket of the network edge.
+//!
+//! A [`Reactor`] owns a [`Poller`], a [`TimerWheel`] and a set of
+//! connections, all serviced by a single loop thread.  Other threads talk
+//! to the loop through a command queue paired with a [`Waker`], so every
+//! handle method is nonblocking:
+//!
+//! ```text
+//!            Reactor handle (any thread)
+//!   listen / adopt / send / broadcast / close / shutdown
+//!                    │  commands + wakeup
+//!                    ▼
+//!   ┌─────────────── event-loop thread ────────────────┐
+//!   │ poll ─► accept ─► read ─► handler ─► outbox ─► … │
+//!   │   ▲                 timer wheel (idle timeouts)  │
+//!   └───┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! Handlers run on the loop thread and must not block; they consume
+//! inbound bytes and queue outbound frames through [`ConnIo`].  Outbound
+//! frames are `Arc<Vec<u8>>`, so a broadcast enqueues one allocation on
+//! every subscriber — encode once, write N.
+
+use crate::conn::{Conn, PushOutcome, SocketCounters, SocketStats};
+use crate::poller::{drain_wakeups, Backend, Interest, Poller, Readiness, Source, Waker};
+use crate::timer::TimerWheel;
+use jamm_core::channel::{unbounded, Receiver, Sender};
+use jamm_core::sync::Mutex;
+use jamm_core::OverflowPolicy;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifies a connection on a reactor (also its poller token).
+pub type ConnId = u64;
+
+/// Identifies a listening socket on a reactor.
+pub type ListenerId = u64;
+
+/// Why a connection was closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed or reset the stream.
+    PeerClosed,
+    /// No byte progress in either direction within the idle timeout.
+    IdleTimeout,
+    /// A handler or handle asked for the close.
+    Requested,
+    /// The reactor shut down (after draining queued frames).
+    Drained,
+    /// An I/O error on the socket.
+    Error(String),
+}
+
+/// Tuning for [`Reactor::start`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Readiness backend (defaults to the platform's best).
+    pub backend: Backend,
+    /// Most simultaneous connections; accepts beyond this are refused.
+    pub max_connections: usize,
+    /// Most outbound bytes written per connection per flush.
+    pub write_budget: usize,
+    /// Byte budget of each connection's outbound queue.
+    pub outbox_capacity: usize,
+    /// What a full outbound queue does to new frames.
+    pub overflow: OverflowPolicy,
+    /// Close connections with no byte progress for this long.
+    pub idle_timeout: Option<Duration>,
+    /// How long shutdown waits for queued frames to drain.
+    pub drain_timeout: Duration,
+    /// Name of the loop thread.
+    pub thread_name: String,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            backend: Backend::native(),
+            max_connections: 16_384,
+            write_budget: 256 * 1024,
+            outbox_capacity: 4 * 1024 * 1024,
+            overflow: OverflowPolicy::DropOldest,
+            idle_timeout: None,
+            drain_timeout: Duration::from_secs(2),
+            thread_name: "jamm-reactor".to_string(),
+        }
+    }
+}
+
+/// Callbacks for one connection, invoked on the loop thread.
+///
+/// Handlers must not block: they consume inbound bytes, queue outbound
+/// frames and return.
+pub trait ConnHandler: Send {
+    /// The connection is registered and writable state is fresh.
+    fn on_open(&mut self, _io: &mut ConnIo<'_>) {}
+
+    /// Buffered inbound bytes are available.  Return how many bytes of
+    /// `buf` were consumed; the rest is kept and re-presented (with more
+    /// data appended) on the next read.
+    fn on_data(&mut self, io: &mut ConnIo<'_>, buf: &[u8]) -> usize;
+
+    /// The connection is gone.  Always the last callback.
+    fn on_close(&mut self, _id: ConnId, _reason: &CloseReason) {}
+}
+
+/// Builds a [`ConnHandler`] for each connection a listener accepts.
+pub trait Acceptor: Send {
+    /// Called on the loop thread for every accepted connection.
+    fn accept(&mut self, id: ConnId, peer: &str) -> Box<dyn ConnHandler>;
+}
+
+impl<F> Acceptor for F
+where
+    F: FnMut(ConnId, &str) -> Box<dyn ConnHandler> + Send,
+{
+    fn accept(&mut self, id: ConnId, peer: &str) -> Box<dyn ConnHandler> {
+        self(id, peer)
+    }
+}
+
+/// Handler-side view of the connection being serviced.
+pub struct ConnIo<'a> {
+    conn: &'a mut Conn,
+}
+
+impl ConnIo<'_> {
+    /// The connection id.
+    pub fn id(&self) -> ConnId {
+        self.conn.id()
+    }
+
+    /// The peer address.
+    pub fn peer(&self) -> &str {
+        self.conn.peer()
+    }
+
+    /// Queue one encoded frame; the loop flushes it after the handler
+    /// returns.
+    pub fn send(&mut self, frame: Arc<Vec<u8>>) -> PushOutcome {
+        self.conn.enqueue(frame)
+    }
+
+    /// Request a graceful close: queued frames are flushed first.
+    pub fn close(&mut self) {
+        self.conn.begin_close();
+    }
+
+    /// The connection's shared counters.
+    pub fn counters(&self) -> &Arc<SocketCounters> {
+        self.conn.counters()
+    }
+}
+
+/// One row of [`Reactor::socket_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketRow {
+    /// Connection id.
+    pub conn: ConnId,
+    /// Peer address.
+    pub peer: String,
+    /// The listener that accepted it, or `None` for adopted (outbound)
+    /// connections.
+    pub listener: Option<ListenerId>,
+    /// Counter snapshot.
+    pub stats: SocketStats,
+}
+
+enum Cmd {
+    Listen {
+        id: ListenerId,
+        listener: TcpListener,
+        acceptor: Box<dyn Acceptor>,
+    },
+    Adopt {
+        id: ConnId,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    },
+    Send {
+        conn: ConnId,
+        frame: Arc<Vec<u8>>,
+    },
+    Broadcast {
+        listener: ListenerId,
+        frame: Arc<Vec<u8>>,
+    },
+    Close {
+        conn: ConnId,
+    },
+    Unlisten {
+        listener: ListenerId,
+        close_conns: bool,
+    },
+    Shutdown,
+}
+
+struct RegEntry {
+    peer: String,
+    listener: Option<ListenerId>,
+    counters: Arc<SocketCounters>,
+}
+
+#[derive(Default)]
+struct Shared {
+    registry: Mutex<HashMap<ConnId, RegEntry>>,
+    conn_count: AtomicUsize,
+    refused: AtomicU64,
+    next_id: AtomicU64,
+}
+
+/// Handle to a running reactor.  All methods are nonblocking except
+/// [`Reactor::shutdown`]; the handle is `Send + Sync` and usable behind an
+/// `Arc` from any number of threads.
+pub struct Reactor {
+    cmds: Sender<Cmd>,
+    waker: Waker,
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("connections", &self.connections())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Spawn the event-loop thread.
+    pub fn start(config: ReactorConfig) -> io::Result<Reactor> {
+        let (tx, rx) = unbounded();
+        let (waker, wake_rx) = Waker::pair()?;
+        let shared = Arc::new(Shared {
+            // Token 0 is reserved for the waker.
+            next_id: AtomicU64::new(1),
+            ..Shared::default()
+        });
+        let name = config.thread_name.clone();
+        let lp = EventLoop::new(config, rx, wake_rx, Arc::clone(&shared));
+        let thread = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || lp.run())?;
+        Ok(Reactor {
+            cmds: tx,
+            waker,
+            shared,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    fn submit(&self, cmd: Cmd) {
+        if self.cmds.send(cmd).is_ok() {
+            self.waker.wake();
+        }
+    }
+
+    /// Register a listening socket; `acceptor` builds a handler for every
+    /// connection it accepts.
+    pub fn listen(
+        &self,
+        listener: TcpListener,
+        acceptor: Box<dyn Acceptor>,
+    ) -> io::Result<ListenerId> {
+        listener.set_nonblocking(true)?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit(Cmd::Listen {
+            id,
+            listener,
+            acceptor,
+        });
+        Ok(id)
+    }
+
+    /// Hand an already-connected stream to the loop (the outbound/client
+    /// side of the edge).
+    pub fn adopt(&self, stream: TcpStream, handler: Box<dyn ConnHandler>) -> io::Result<ConnId> {
+        stream.set_nonblocking(true)?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit(Cmd::Adopt {
+            id,
+            stream,
+            handler,
+        });
+        Ok(id)
+    }
+
+    /// Queue one encoded frame on one connection.
+    pub fn send(&self, conn: ConnId, frame: Arc<Vec<u8>>) {
+        self.submit(Cmd::Send { conn, frame });
+    }
+
+    /// Queue the same encoded frame on every connection accepted by
+    /// `listener` — encode once, write N.
+    pub fn broadcast(&self, listener: ListenerId, frame: Arc<Vec<u8>>) {
+        self.submit(Cmd::Broadcast { listener, frame });
+    }
+
+    /// Request a graceful close of one connection.
+    pub fn close(&self, conn: ConnId) {
+        self.submit(Cmd::Close { conn });
+    }
+
+    /// Stop accepting on one listener.  With `close_conns`, also gracefully
+    /// close (flush, then drop) every connection it accepted — other
+    /// listeners and adopted connections are untouched, so several edges
+    /// can share one reactor and tear down independently.
+    pub fn unlisten(&self, listener: ListenerId, close_conns: bool) {
+        self.submit(Cmd::Unlisten {
+            listener,
+            close_conns,
+        });
+    }
+
+    /// Live connection count.
+    pub fn connections(&self) -> usize {
+        self.shared.conn_count.load(Ordering::Relaxed)
+    }
+
+    /// Accepts refused because `max_connections` was reached.
+    pub fn refused(&self) -> u64 {
+        self.shared.refused.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot of every live connection, ordered by id.
+    pub fn socket_stats(&self) -> Vec<SocketRow> {
+        let reg = self.shared.registry.lock();
+        let mut rows: Vec<SocketRow> = reg
+            .iter()
+            .map(|(&conn, e)| SocketRow {
+                conn,
+                peer: e.peer.clone(),
+                listener: e.listener,
+                stats: e.counters.snapshot(),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.conn);
+        rows
+    }
+
+    /// Drain outbound queues, close every connection and stop the loop.
+    /// Blocks until the loop thread exits; idempotent.
+    pub fn shutdown(&self) {
+        let handle = self.thread.lock().take();
+        if let Some(handle) = handle {
+            self.submit(Cmd::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+const WAKE_TOKEN: u64 = 0;
+const TIMER_TICK: Duration = Duration::from_millis(25);
+const TIMER_SLOTS: usize = 512;
+const IDLE_POLL: Duration = Duration::from_millis(250);
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+struct LoopConn {
+    conn: Conn,
+    handler: Box<dyn ConnHandler>,
+    listener: Option<ListenerId>,
+    interest: Interest,
+}
+
+struct EventLoop {
+    cfg: ReactorConfig,
+    poller: Poller,
+    timers: TimerWheel,
+    cmds: Receiver<Cmd>,
+    wake_rx: UdpSocket,
+    shared: Arc<Shared>,
+    listeners: HashMap<u64, (TcpListener, Box<dyn Acceptor>)>,
+    conns: HashMap<u64, LoopConn>,
+    draining: Option<Instant>,
+    scratch: Vec<u8>,
+    scratch_ids: Vec<u64>,
+}
+
+impl EventLoop {
+    fn new(
+        cfg: ReactorConfig,
+        cmds: Receiver<Cmd>,
+        wake_rx: UdpSocket,
+        shared: Arc<Shared>,
+    ) -> EventLoop {
+        let mut poller = Poller::new(cfg.backend);
+        poller.register(WAKE_TOKEN, Source::new(&wake_rx), Interest::READ);
+        EventLoop {
+            cfg,
+            poller,
+            timers: TimerWheel::new(TIMER_TICK, TIMER_SLOTS),
+            cmds,
+            wake_rx,
+            shared,
+            listeners: HashMap::new(),
+            conns: HashMap::new(),
+            draining: None,
+            scratch: vec![0u8; 64 * 1024],
+            scratch_ids: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        let mut readiness: Vec<Readiness> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        loop {
+            if let Some(deadline) = self.draining {
+                // Draining: close flushed connections, force the rest once
+                // the deadline passes.
+                self.scratch_ids.clear();
+                let force = Instant::now() >= deadline;
+                for (&id, lc) in &self.conns {
+                    if force || !lc.conn.wants_write() {
+                        self.scratch_ids.push(id);
+                    }
+                }
+                let ids = std::mem::take(&mut self.scratch_ids);
+                for id in &ids {
+                    self.close_conn(*id, CloseReason::Drained);
+                }
+                self.scratch_ids = ids;
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            let timeout = self.poll_timeout();
+            if self.poller.poll(timeout, &mut readiness).is_err() {
+                // A poll-level error (e.g. a racing close left a bad fd) is
+                // not actionable per-connection; back off briefly.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let events = std::mem::take(&mut readiness);
+            for &r in &events {
+                if r.token == WAKE_TOKEN {
+                    drain_wakeups(&self.wake_rx);
+                } else if self.listeners.contains_key(&r.token) {
+                    self.accept_ready(r.token);
+                } else {
+                    self.conn_ready(r);
+                }
+            }
+            readiness = events;
+            self.drain_cmds();
+            expired.clear();
+            self.timers.collect_expired(Instant::now(), &mut expired);
+            for &token in &expired {
+                self.timer_fired(token);
+            }
+        }
+        // Loop exit: everything is already closed (draining loop above).
+    }
+
+    fn poll_timeout(&self) -> Duration {
+        let base = if self.draining.is_some() {
+            DRAIN_POLL
+        } else {
+            IDLE_POLL
+        };
+        match self.timers.next_timeout(Instant::now()) {
+            Some(t) => t.min(base).max(Duration::from_millis(1)),
+            None => base,
+        }
+    }
+
+    fn accept_ready(&mut self, token: u64) {
+        loop {
+            let accepted = {
+                let Some((listener, acceptor)) = self.listeners.get_mut(&token) else {
+                    return;
+                };
+                match listener.accept() {
+                    Ok((stream, addr)) => {
+                        if self.conns.len() >= self.cfg.max_connections {
+                            self.shared.refused.fetch_add(1, Ordering::Relaxed);
+                            drop(stream);
+                            continue;
+                        }
+                        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+                        let peer = addr.to_string();
+                        let handler = acceptor.accept(id, &peer);
+                        Some((id, stream, peer, handler))
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Transient accept failure (EMFILE, aborted
+                        // handshake): count it and let the next readiness
+                        // event retry.
+                        self.shared.refused.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            };
+            match accepted {
+                Some((id, stream, peer, handler)) => {
+                    self.install_conn(id, stream, peer, handler, Some(token));
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn install_conn(
+        &mut self,
+        id: ConnId,
+        stream: TcpStream,
+        peer: String,
+        handler: Box<dyn ConnHandler>,
+        listener: Option<ListenerId>,
+    ) {
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.refused.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn = Conn::new(
+            id,
+            stream,
+            peer.clone(),
+            self.cfg.outbox_capacity,
+            self.cfg.overflow,
+        );
+        self.poller
+            .register(id, conn.poller_source(), Interest::READ);
+        self.shared.registry.lock().insert(
+            id,
+            RegEntry {
+                peer,
+                listener,
+                counters: Arc::clone(conn.counters()),
+            },
+        );
+        self.shared.conn_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(idle) = self.cfg.idle_timeout {
+            self.timers.schedule(id, Instant::now(), idle);
+        }
+        self.conns.insert(
+            id,
+            LoopConn {
+                conn,
+                handler,
+                listener,
+                interest: Interest::READ,
+            },
+        );
+        let lc = self.conns.get_mut(&id).expect("just inserted");
+        lc.handler.on_open(&mut ConnIo { conn: &mut lc.conn });
+        self.after_io(id);
+    }
+
+    fn conn_ready(&mut self, r: Readiness) {
+        let mut close: Option<CloseReason> = None;
+        {
+            let Some(lc) = self.conns.get_mut(&r.token) else {
+                return;
+            };
+            if r.readable && !lc.conn.is_closing() {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let read = lc.conn.fill_inbuf(&mut scratch);
+                self.scratch = scratch;
+                match read {
+                    Ok((n, eof)) => {
+                        if n > 0 {
+                            let buf = lc.conn.take_inbuf();
+                            let consumed = lc
+                                .handler
+                                .on_data(&mut ConnIo { conn: &mut lc.conn }, &buf)
+                                .min(buf.len());
+                            let mut buf = buf;
+                            if consumed > 0 {
+                                buf.drain(..consumed);
+                            }
+                            lc.conn.restore_inbuf(buf);
+                        }
+                        if eof {
+                            close = Some(CloseReason::PeerClosed);
+                        }
+                    }
+                    Err(e) => close = Some(close_reason_for(&e)),
+                }
+            } else if r.hangup && !lc.conn.wants_write() {
+                // Error/hangup on a connection we are not reading from.
+                close = Some(CloseReason::PeerClosed);
+            }
+        }
+        if let Some(reason) = close {
+            self.close_conn(r.token, reason);
+        } else {
+            self.flush_conn(r.token);
+        }
+    }
+
+    /// Flush pending output and settle the connection's state: close it if
+    /// flushing failed or a graceful close finished, otherwise refresh its
+    /// poller interest.
+    fn flush_conn(&mut self, id: ConnId) {
+        let mut close: Option<CloseReason> = None;
+        if let Some(lc) = self.conns.get_mut(&id) {
+            if lc.conn.wants_write() {
+                if let Err(e) = lc.conn.flush(self.cfg.write_budget) {
+                    close = Some(close_reason_for(&e));
+                }
+            }
+        } else {
+            return;
+        }
+        if let Some(reason) = close {
+            self.close_conn(id, reason);
+        } else {
+            self.after_io(id);
+        }
+    }
+
+    fn after_io(&mut self, id: ConnId) {
+        let Some(lc) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if lc.conn.is_closing() && !lc.conn.wants_write() {
+            self.close_conn(id, CloseReason::Requested);
+            return;
+        }
+        let want = Interest {
+            read: !lc.conn.is_closing(),
+            write: lc.conn.wants_write(),
+        };
+        if want != lc.interest {
+            lc.interest = want;
+            self.poller.set_interest(id, want);
+        }
+    }
+
+    fn close_conn(&mut self, id: ConnId, reason: CloseReason) {
+        if let Some(mut lc) = self.conns.remove(&id) {
+            lc.handler.on_close(id, &reason);
+            self.poller.deregister(id);
+            self.timers.cancel(id);
+            self.shared.registry.lock().remove(&id);
+            self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+            // Dropping `lc.conn` closes the stream.
+        }
+    }
+
+    fn timer_fired(&mut self, token: u64) {
+        let Some(idle) = self.cfg.idle_timeout else {
+            return;
+        };
+        let Some(lc) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let elapsed = lc.conn.last_activity().elapsed();
+        if elapsed >= idle {
+            self.close_conn(token, CloseReason::IdleTimeout);
+        } else {
+            self.timers.schedule(token, Instant::now(), idle - elapsed);
+        }
+    }
+
+    fn deliver(&mut self, id: ConnId, frame: Arc<Vec<u8>>) {
+        {
+            let Some(lc) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if lc.conn.is_closing() {
+                return;
+            }
+            lc.conn.enqueue(frame);
+        }
+        // Eager flush keeps broadcast latency low and frees the queue slot
+        // before the next batch.
+        self.flush_conn(id);
+    }
+
+    fn drain_cmds(&mut self) {
+        while let Ok(cmd) = self.cmds.try_recv() {
+            match cmd {
+                Cmd::Listen {
+                    id,
+                    listener,
+                    acceptor,
+                } => {
+                    if self.draining.is_some() {
+                        continue;
+                    }
+                    self.poller
+                        .register(id, Source::new(&listener), Interest::READ);
+                    self.listeners.insert(id, (listener, acceptor));
+                    // Connections may already be queued on the backlog.
+                    self.accept_ready(id);
+                }
+                Cmd::Adopt {
+                    id,
+                    mut handler,
+                    stream,
+                } => {
+                    if self.draining.is_some() || self.conns.len() >= self.cfg.max_connections {
+                        self.shared.refused.fetch_add(1, Ordering::Relaxed);
+                        handler.on_close(id, &CloseReason::Error("connection refused".into()));
+                        continue;
+                    }
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "?".to_string());
+                    self.install_conn(id, stream, peer, handler, None);
+                }
+                Cmd::Send { conn, frame } => self.deliver(conn, frame),
+                Cmd::Broadcast { listener, frame } => {
+                    self.scratch_ids.clear();
+                    for (&id, lc) in &self.conns {
+                        if lc.listener == Some(listener) {
+                            self.scratch_ids.push(id);
+                        }
+                    }
+                    let ids = std::mem::take(&mut self.scratch_ids);
+                    for &id in &ids {
+                        self.deliver(id, Arc::clone(&frame));
+                    }
+                    self.scratch_ids = ids;
+                }
+                Cmd::Close { conn } => {
+                    if let Some(lc) = self.conns.get_mut(&conn) {
+                        lc.conn.begin_close();
+                    }
+                    self.flush_conn(conn);
+                }
+                Cmd::Unlisten {
+                    listener,
+                    close_conns,
+                } => {
+                    if self.listeners.remove(&listener).is_some() {
+                        self.poller.deregister(listener);
+                    }
+                    if close_conns {
+                        self.scratch_ids.clear();
+                        for (&id, lc) in &mut self.conns {
+                            if lc.listener == Some(listener) {
+                                lc.conn.begin_close();
+                                self.scratch_ids.push(id);
+                            }
+                        }
+                        let ids = std::mem::take(&mut self.scratch_ids);
+                        for &id in &ids {
+                            self.flush_conn(id);
+                        }
+                        self.scratch_ids = ids;
+                    }
+                }
+                Cmd::Shutdown => {
+                    if self.draining.is_none() {
+                        self.draining = Some(Instant::now() + self.cfg.drain_timeout);
+                        for &id in self.listeners.keys() {
+                            self.scratch_ids.push(id);
+                        }
+                        let ids = std::mem::take(&mut self.scratch_ids);
+                        for &id in &ids {
+                            self.poller.deregister(id);
+                            self.listeners.remove(&id);
+                        }
+                        self.scratch_ids = ids;
+                        self.scratch_ids.clear();
+                        // Stop reading; what remains is flush-and-close.
+                        for (&id, lc) in &mut self.conns {
+                            lc.conn.begin_close();
+                            let want = Interest {
+                                read: false,
+                                write: lc.conn.wants_write(),
+                            };
+                            lc.interest = want;
+                            self.poller.set_interest(id, want);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn close_reason_for(e: &io::Error) -> CloseReason {
+    match e.kind() {
+        io::ErrorKind::BrokenPipe | io::ErrorKind::ConnectionReset => CloseReason::PeerClosed,
+        _ => CloseReason::Error(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::AtomicBool;
+
+    /// Echoes every byte back and records close reasons.
+    struct Echo {
+        closed: Arc<AtomicBool>,
+    }
+
+    impl ConnHandler for Echo {
+        fn on_data(&mut self, io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+            io.send(Arc::new(buf.to_vec()));
+            buf.len()
+        }
+
+        fn on_close(&mut self, _id: ConnId, _reason: &CloseReason) {
+            self.closed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn echo_acceptor(closed: Arc<AtomicBool>) -> Box<dyn Acceptor> {
+        Box::new(move |_id: ConnId, _peer: &str| {
+            Box::new(Echo {
+                closed: Arc::clone(&closed),
+            }) as Box<dyn ConnHandler>
+        })
+    }
+
+    fn start_with(backend: Backend, tweak: impl FnOnce(&mut ReactorConfig)) -> Reactor {
+        let mut cfg = ReactorConfig {
+            backend,
+            ..ReactorConfig::default()
+        };
+        tweak(&mut cfg);
+        Reactor::start(cfg).unwrap()
+    }
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Poll, Backend::Sweep]
+        } else {
+            vec![Backend::Sweep]
+        }
+    }
+
+    #[test]
+    fn echo_round_trip_on_every_backend() {
+        for backend in backends() {
+            let reactor = start_with(backend, |_| {});
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            reactor
+                .listen(listener, echo_acceptor(Arc::new(AtomicBool::new(false))))
+                .unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(b"ping pong").unwrap();
+            let mut back = [0u8; 9];
+            client
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            client.read_exact(&mut back).unwrap();
+            assert_eq!(&back, b"ping pong", "{backend:?}");
+            reactor.shutdown();
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_subscriber() {
+        let reactor = start_with(Backend::native(), |_| {});
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        struct Quiet;
+        impl ConnHandler for Quiet {
+            fn on_data(&mut self, _io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+                buf.len()
+            }
+        }
+        let lid = reactor
+            .listen(
+                listener,
+                Box::new(|_id: ConnId, _peer: &str| Box::new(Quiet) as Box<dyn ConnHandler>),
+            )
+            .unwrap();
+        let mut clients: Vec<TcpStream> =
+            (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.connections() < 8 {
+            assert!(Instant::now() < deadline, "subscribers never registered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let frame = Arc::new(b"broadcast-frame".to_vec());
+        reactor.broadcast(lid, frame);
+        for c in &mut clients {
+            c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut got = [0u8; 15];
+            c.read_exact(&mut got).unwrap();
+            assert_eq!(&got, b"broadcast-frame");
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_by_the_timer() {
+        let closed = Arc::new(AtomicBool::new(false));
+        let reactor = start_with(Backend::native(), |cfg| {
+            cfg.idle_timeout = Some(Duration::from_millis(60));
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor
+            .listen(listener, echo_acceptor(Arc::clone(&closed)))
+            .unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // The idle server side should close; our read then sees EOF.
+        let mut buf = [0u8; 1];
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "expected EOF from idle-timeout close");
+        assert!(closed.load(Ordering::SeqCst));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_frames_and_closes_every_conn() {
+        let closed = Arc::new(AtomicBool::new(false));
+        let reactor = start_with(Backend::native(), |_| {});
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lid = reactor
+            .listen(listener, echo_acceptor(Arc::clone(&closed)))
+            .unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.connections() < 1 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let payload = Arc::new(vec![7u8; 128 * 1024]);
+        reactor.broadcast(lid, Arc::clone(&payload));
+        reactor.shutdown();
+        assert_eq!(reactor.connections(), 0, "shutdown left live connections");
+        assert!(closed.load(Ordering::SeqCst), "on_close never ran");
+        // Every queued byte arrived before the close.
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got.len(), payload.len());
+        assert!(got.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn max_connections_refuses_the_overflow() {
+        let reactor = start_with(Backend::native(), |cfg| {
+            cfg.max_connections = 2;
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor
+            .listen(listener, echo_acceptor(Arc::new(AtomicBool::new(false))))
+            .unwrap();
+        let _keep: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.refused() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "refused = {}, connections = {}",
+                reactor.refused(),
+                reactor.connections()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(reactor.connections(), 2);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn socket_stats_expose_per_connection_counters() {
+        let reactor = start_with(Backend::native(), |_| {});
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor
+            .listen(listener, echo_acceptor(Arc::new(AtomicBool::new(false))))
+            .unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"0123456789").unwrap();
+        let mut back = [0u8; 10];
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        client.read_exact(&mut back).unwrap();
+        // The loop thread updates counters just after the write syscall, so
+        // give the (eventually consistent) stats a moment to catch up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let rows = reactor.socket_stats();
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0].listener.is_some());
+            if rows[0].stats.bytes_in == 10 && rows[0].stats.bytes_out == 10 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "counters stuck at {rows:?}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        reactor.shutdown();
+    }
+}

@@ -1,0 +1,59 @@
+//! Platform syscall shim for readiness polling.
+//!
+//! The only `unsafe` in the crate lives here: a direct `extern "C"`
+//! declaration of `poll(2)` (std already links libc on unix targets, so no
+//! external crate is needed).  On non-Linux targets this module compiles to
+//! nothing and [`crate::poller::Poller`] falls back to its pure-std sweep
+//! backend.
+
+#[cfg(target_os = "linux")]
+pub(crate) mod linux {
+    use std::io;
+
+    /// Readable data (or a pending accept) is available.
+    pub const POLLIN: i16 = 0x001;
+    /// The socket can be written without blocking.
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (output only).
+    pub const POLLERR: i16 = 0x008;
+    /// The peer hung up (output only).
+    pub const POLLHUP: i16 = 0x010;
+    /// The descriptor is not open (output only).
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// Mirror of the kernel's `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        /// The file descriptor to watch.
+        pub fd: i32,
+        /// Requested events (`POLLIN` / `POLLOUT`).
+        pub events: i16,
+        /// Returned events, filled in by the kernel.
+        pub revents: i16,
+    }
+
+    extern "C" {
+        // `nfds_t` is `unsigned long` on Linux, which matches `usize` on
+        // every Linux target this workspace builds for.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    /// Poll the whole slice, retrying on `EINTR`.  Returns the number of
+    /// descriptors with non-zero `revents`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // `repr(C)` pollfd records and `nfds` is its exact length; the
+            // kernel writes only the `revents` words inside that slice.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}

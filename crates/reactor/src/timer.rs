@@ -1,0 +1,187 @@
+//! A hashed timer wheel for connection timeouts.
+//!
+//! The wheel divides time into fixed ticks and hashes each deadline into
+//! `slots[deadline_tick % slots]`.  Scheduling and cancelling are O(1)
+//! (cancellation is lazy: the authoritative deadline lives in a map, and a
+//! stale slot entry is dropped when its slot is next visited).  Collecting
+//! expired timers walks only the slots the clock has passed since the last
+//! collection, so an idle wheel costs nothing.
+//!
+//! Tokens are caller-defined — the reactor uses connection ids — and a
+//! token has at most one pending deadline: rescheduling replaces.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A hashed timer wheel with lazy cancellation.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<u64>>,
+    /// token → absolute deadline tick (the authoritative record).
+    deadlines: HashMap<u64, u64>,
+    start: Instant,
+    /// The next tick whose slot has not been collected yet.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    /// Create a wheel with the given expiry granularity and slot count.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(!tick.is_zero(), "timer tick must be non-zero");
+        TimerWheel {
+            tick,
+            slots: vec![Vec::new(); slots.max(1)],
+            deadlines: HashMap::new(),
+            start: Instant::now(),
+            cursor: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let from_start = at.saturating_duration_since(self.start);
+        (from_start.as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Schedule (or reschedule) `token` to fire `after` from `now`.
+    ///
+    /// The deadline is rounded *up* to the next tick so a timer never fires
+    /// early.
+    pub fn schedule(&mut self, token: u64, now: Instant, after: Duration) {
+        let from_start = now.saturating_duration_since(self.start) + after;
+        let nanos = from_start.as_nanos();
+        let tick = self.tick.as_nanos();
+        let deadline = (nanos.div_ceil(tick) as u64).max(self.cursor);
+        self.deadlines.insert(token, deadline);
+        let idx = (deadline % self.slots.len() as u64) as usize;
+        self.slots[idx].push(token);
+    }
+
+    /// Cancel a pending timer.  Firing is suppressed lazily; unknown tokens
+    /// are ignored.
+    pub fn cancel(&mut self, token: u64) {
+        self.deadlines.remove(&token);
+    }
+
+    /// Time until the earliest pending deadline, or `None` when idle.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let earliest = *self.deadlines.values().min()?;
+        let offset = Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(earliest));
+        Some((self.start + offset).saturating_duration_since(now))
+    }
+
+    /// Append every token whose deadline has passed to `out`.
+    pub fn collect_expired(&mut self, now: Instant, out: &mut Vec<u64>) {
+        if self.deadlines.is_empty() {
+            self.cursor = self.tick_of(now) + 1;
+            return;
+        }
+        let now_tick = self.tick_of(now);
+        let len = self.slots.len() as u64;
+        // If the loop slept for more than a full revolution, every slot has
+        // been passed at least once; one pass over the wheel covers them.
+        let first = if now_tick >= self.cursor + len {
+            now_tick + 1 - len
+        } else {
+            self.cursor
+        };
+        for t in first..=now_tick {
+            let idx = (t % len) as usize;
+            if self.slots[idx].is_empty() {
+                continue;
+            }
+            let bucket = std::mem::take(&mut self.slots[idx]);
+            for token in bucket {
+                match self.deadlines.get(&token) {
+                    Some(&d) if d <= now_tick => {
+                        self.deadlines.remove(&token);
+                        out.push(token);
+                    }
+                    // A later round of the wheel: keep it in its slot.
+                    Some(_) => self.slots[idx].push(token),
+                    // Cancelled or rescheduled away: drop the stale entry.
+                    None => {}
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// Number of pending timers.
+    pub fn pending(&self) -> usize {
+        self.deadlines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(1), 8)
+    }
+
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(1, t0, Duration::from_millis(10));
+        let mut out = Vec::new();
+        w.collect_expired(t0 + Duration::from_millis(2), &mut out);
+        assert!(out.is_empty(), "fired early");
+        w.collect_expired(t0 + Duration::from_millis(20), &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_suppresses_firing() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(1, t0, Duration::from_millis(5));
+        w.schedule(2, t0, Duration::from_millis(5));
+        w.cancel(1);
+        let mut out = Vec::new();
+        w.collect_expired(t0 + Duration::from_millis(50), &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn reschedule_replaces_deadline() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        w.schedule(1, t0, Duration::from_millis(3));
+        w.schedule(1, t0, Duration::from_millis(40));
+        let mut out = Vec::new();
+        w.collect_expired(t0 + Duration::from_millis(10), &mut out);
+        assert!(out.is_empty(), "old deadline fired after reschedule");
+        w.collect_expired(t0 + Duration::from_millis(60), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn survives_sleeping_past_a_full_revolution() {
+        let mut w = wheel(); // 8 slots × 1ms tick = 8ms revolution
+        let t0 = Instant::now();
+        w.schedule(1, t0, Duration::from_millis(2));
+        w.schedule(2, t0, Duration::from_millis(90));
+        let mut out = Vec::new();
+        w.collect_expired(t0 + Duration::from_millis(100), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_earliest() {
+        let mut w = wheel();
+        let t0 = Instant::now();
+        assert!(w.next_timeout(t0).is_none());
+        w.schedule(1, t0, Duration::from_millis(50));
+        w.schedule(2, t0, Duration::from_millis(10));
+        let next = w.next_timeout(t0).unwrap();
+        assert!(next <= Duration::from_millis(11), "next = {next:?}");
+        w.cancel(2);
+        let next = w.next_timeout(t0).unwrap();
+        assert!(next >= Duration::from_millis(40), "next = {next:?}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Stress: one reactor thread serving 1,000 concurrent echo connections.
+//!
+//! Every client writes a distinct payload and must read exactly its own
+//! bytes back — so this catches cross-connection buffer mixups, lost
+//! wakeups and accept starvation, not just throughput.
+
+use jamm_reactor::{Acceptor, Backend, ConnHandler, ConnId, ConnIo, Reactor, ReactorConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CONNS: usize = 1_000;
+const PAYLOAD: usize = 256;
+
+struct Echo;
+
+impl ConnHandler for Echo {
+    fn on_data(&mut self, io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+        io.send(Arc::new(buf.to_vec()));
+        buf.len()
+    }
+}
+
+fn echo_acceptor() -> Box<dyn Acceptor> {
+    Box::new(|_id: ConnId, _peer: &str| Box::new(Echo) as Box<dyn ConnHandler>)
+}
+
+fn payload_for(i: usize) -> Vec<u8> {
+    // Distinct, position-dependent bytes per connection.
+    (0..PAYLOAD)
+        .map(|j| ((i * 31 + j * 7) % 251) as u8)
+        .collect()
+}
+
+#[test]
+fn one_thousand_concurrent_echo_connections() {
+    let reactor = Reactor::start(ReactorConfig {
+        backend: Backend::native(),
+        max_connections: CONNS + 16,
+        ..ReactorConfig::default()
+    })
+    .unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    reactor.listen(listener, echo_acceptor()).unwrap();
+
+    let mut clients = Vec::with_capacity(CONNS);
+    for _ in 0..CONNS {
+        let c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        clients.push(c);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while reactor.connections() < CONNS {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {CONNS} connections registered",
+            reactor.connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // All payloads in flight at once, then collect every echo.
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.write_all(&payload_for(i)).unwrap();
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let mut back = vec![0u8; PAYLOAD];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload_for(i), "echo mismatch on connection {i}");
+    }
+
+    // A second wave over the same (now warm) connections.
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.write_all(&payload_for(i + CONNS)).unwrap();
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let mut back = vec![0u8; PAYLOAD];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload_for(i + CONNS), "second echo mismatch on {i}");
+    }
+
+    let stats = reactor.socket_stats();
+    assert_eq!(stats.len(), CONNS);
+    let total_in: u64 = stats.iter().map(|r| r.stats.bytes_in).sum();
+    assert_eq!(total_in as usize, CONNS * PAYLOAD * 2);
+
+    reactor.shutdown();
+    assert_eq!(reactor.connections(), 0, "shutdown left connections behind");
+}

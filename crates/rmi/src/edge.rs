@@ -1,0 +1,398 @@
+//! The reactor-backed gateway subscriber transport.
+//!
+//! An [`EventEdge`] is the network face of one gateway: subscribers open a
+//! plain TCP connection and receive the gateway's event stream as encoded
+//! ULM frames.  The paper's scaling claim — adding consumers loads the
+//! gateway, not the monitored host — lives or dies here, so the edge is
+//! built around two invariants:
+//!
+//! * **Encode once, write N.**  A pump thread drains the gateway
+//!   subscription in batches and encodes each batch exactly once into one
+//!   buffer; the reactor then queues that same `Arc<Vec<u8>>` on every
+//!   subscriber connection.  A thousand subscribers cost a thousand
+//!   refcount bumps and `write` calls, not a thousand encodes.
+//! * **Zero event copies.**  Events travel as
+//!   [`SharedEvent`](jamm_ulm::SharedEvent) `Arc`s from the gateway's
+//!   fan-out to the encoder; nothing in this path deep-clones an event
+//!   (`jamm_ulm::deep_clone_count()` is flat across a broadcast, asserted
+//!   by the `e17_reactor_edge` bench).
+//!
+//! Backpressure is per connection: each subscriber socket has a bounded
+//! outbox mapped onto the pipeline's `DropOldest`/`DropNewest` policies,
+//! so one slow consumer stalls — and, if it stays slow, loses — only its
+//! own frames.  The per-socket counters surface through
+//! [`EventEdge::socket_stats`] and `JammSystem::admin_stats`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jamm_core::OverflowPolicy;
+use jamm_gateway::EventGateway;
+use jamm_reactor::{ConnHandler, ConnId, ConnIo, ListenerId, Reactor, SocketRow};
+use jamm_ulm::codec::{codec_for, BINARY};
+
+/// Configuration for [`EventEdge::open`].
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Address to bind the subscriber listener on.
+    pub bind: String,
+    /// Wire format for broadcast frames (a `jamm_ulm::codec` content type;
+    /// text and JSON frames are newline-delimited like `EncodedFile` logs).
+    pub content_type: String,
+    /// Most events encoded into one broadcast frame.
+    pub batch_max: usize,
+    /// How long the pump waits for a first event before re-checking stop.
+    pub poll_interval: Duration,
+    /// Gateway subscription queue capacity (events).
+    pub capacity: usize,
+    /// Overflow policy for the gateway subscription queue.
+    pub overflow: OverflowPolicy,
+    /// Consumer principal the subscription is authorized and accounted as.
+    pub consumer: String,
+    /// Optional query-plane filter for the subscription (same grammar as
+    /// `SubscriptionBuilder::matching`).
+    pub query: Option<String>,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            content_type: BINARY.to_string(),
+            batch_max: 512,
+            poll_interval: Duration::from_millis(20),
+            capacity: 8192,
+            overflow: OverflowPolicy::DropOldest,
+            consumer: "edge".to_string(),
+            query: None,
+        }
+    }
+}
+
+/// Errors opening an edge.
+#[derive(Debug)]
+pub enum EdgeError {
+    /// Socket setup failed.
+    Io(io::Error),
+    /// The gateway refused the subscription (policy or bad query).
+    Gateway(String),
+    /// The configured content type has no codec.
+    UnknownContentType(String),
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::Io(e) => write!(f, "edge I/O error: {e}"),
+            EdgeError::Gateway(e) => write!(f, "edge subscription refused: {e}"),
+            EdgeError::UnknownContentType(ct) => write!(f, "no codec for content type {ct:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+impl From<io::Error> for EdgeError {
+    fn from(e: io::Error) -> Self {
+        EdgeError::Io(e)
+    }
+}
+
+/// Pump-side counters (broadcast work, not per-socket I/O).
+#[derive(Debug, Default)]
+struct EdgeCounters {
+    batches: AtomicU64,
+    events: AtomicU64,
+    encoded_bytes: AtomicU64,
+}
+
+/// Point-in-time copy of the edge's broadcast counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Batches encoded and broadcast.
+    pub batches: u64,
+    /// Events those batches carried.
+    pub events: u64,
+    /// Bytes encoded (once per batch, regardless of subscriber count).
+    pub encoded_bytes: u64,
+}
+
+/// Subscriber connections never speak; whatever arrives is discarded.
+struct EdgeSubscriber;
+
+impl ConnHandler for EdgeSubscriber {
+    fn on_data(&mut self, _io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+        buf.len()
+    }
+}
+
+/// The reactor-backed subscriber transport of one gateway.
+pub struct EventEdge {
+    addr: SocketAddr,
+    reactor: Arc<Reactor>,
+    listener: ListenerId,
+    gateway: Arc<EventGateway>,
+    subscription_id: u64,
+    stop: Arc<AtomicBool>,
+    counters: Arc<EdgeCounters>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EventEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventEdge({} -> {})", self.gateway.name(), self.addr)
+    }
+}
+
+impl EventEdge {
+    /// Subscribe to `gateway` and start broadcasting its stream to every
+    /// TCP connection accepted on `config.bind`.
+    pub fn open(
+        reactor: Arc<Reactor>,
+        gateway: Arc<EventGateway>,
+        config: EdgeConfig,
+    ) -> Result<EventEdge, EdgeError> {
+        let codec = codec_for(&config.content_type)
+            .ok_or_else(|| EdgeError::UnknownContentType(config.content_type.clone()))?;
+        let newline_framed = config.content_type != BINARY;
+
+        let mut builder = gateway
+            .subscribe()
+            .stream()
+            .capacity(config.capacity)
+            .on_overflow(config.overflow)
+            .as_consumer(&config.consumer);
+        if let Some(q) = &config.query {
+            builder = builder.matching(q);
+        }
+        let subscription = builder
+            .open()
+            .map_err(|e| EdgeError::Gateway(e.to_string()))?;
+        let subscription_id = subscription.id;
+
+        let listener_sock = TcpListener::bind(&config.bind)?;
+        let addr = listener_sock.local_addr()?;
+        let listener = reactor.listen(
+            listener_sock,
+            Box::new(|_id: ConnId, _peer: &str| Box::new(EdgeSubscriber) as Box<dyn ConnHandler>),
+        )?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(EdgeCounters::default());
+        let pump = {
+            let reactor = Arc::clone(&reactor);
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let batch_max = config.batch_max.max(1);
+            let poll_interval = config.poll_interval;
+            std::thread::Builder::new()
+                .name("jamm-edge-pump".to_string())
+                .spawn(move || {
+                    let mut batch = Vec::with_capacity(batch_max);
+                    // Capacity hint carried between batches: the encode
+                    // buffer is allocated once per batch at roughly the
+                    // right size, then handed to the reactor as the one
+                    // shared copy of the bytes.
+                    let mut size_hint = 4096usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        batch.clear();
+                        match subscription.events.recv_timeout(poll_interval) {
+                            Ok(ev) => batch.push(ev),
+                            Err(_) => continue,
+                        }
+                        while batch.len() < batch_max {
+                            match subscription.events.try_recv() {
+                                Ok(ev) => batch.push(ev),
+                                Err(_) => break,
+                            }
+                        }
+                        let mut buf = Vec::with_capacity(size_hint);
+                        for ev in &batch {
+                            // &SharedEvent derefs to &Event: no deep clone.
+                            codec.encode_to(&mut buf, ev);
+                            if newline_framed {
+                                buf.push(b'\n');
+                            }
+                        }
+                        size_hint = size_hint.max(buf.len());
+                        counters.batches.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .events
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        counters
+                            .encoded_bytes
+                            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        // One Arc, N outboxes: encode once, write N.
+                        reactor.broadcast(listener, Arc::new(buf));
+                    }
+                })
+                .expect("spawn edge pump")
+        };
+
+        Ok(EventEdge {
+            addr,
+            reactor,
+            listener,
+            gateway,
+            subscription_id,
+            stop,
+            counters,
+            pump: Some(pump),
+        })
+    }
+
+    /// The address subscribers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The name of the gateway this edge broadcasts.
+    pub fn gateway_name(&self) -> &str {
+        self.gateway.name()
+    }
+
+    /// The listener id on the shared reactor.
+    pub fn listener(&self) -> ListenerId {
+        self.listener
+    }
+
+    /// Live subscriber connections.
+    pub fn subscribers(&self) -> usize {
+        self.reactor
+            .socket_stats()
+            .iter()
+            .filter(|r| r.listener == Some(self.listener))
+            .count()
+    }
+
+    /// Per-subscriber socket counters (queued bytes, drops, stalls) — the
+    /// slow-consumer observability rows of `admin_stats`.
+    pub fn socket_stats(&self) -> Vec<SocketRow> {
+        self.reactor
+            .socket_stats()
+            .into_iter()
+            .filter(|r| r.listener == Some(self.listener))
+            .collect()
+    }
+
+    /// Broadcast-side counters.
+    pub fn stats(&self) -> EdgeStats {
+        EdgeStats {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            events: self.counters.events.load(Ordering::Relaxed),
+            encoded_bytes: self.counters.encoded_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the pump, unsubscribe from the gateway, and close every
+    /// subscriber connection (flushing queued frames first).
+    pub fn stop(&mut self) {
+        if let Some(pump) = self.pump.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = pump.join();
+            let _ = self.gateway.unsubscribe(self.subscription_id);
+            self.reactor.unlisten(self.listener, true);
+        }
+    }
+}
+
+impl Drop for EventEdge {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_gateway::GatewayConfig;
+    use jamm_reactor::ReactorConfig;
+    use jamm_ulm::{Event, Level, SharedEvent, Timestamp};
+    use std::io::Read;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    fn sample(i: u64) -> SharedEvent {
+        Arc::new(
+            Event::builder("dpss_master", "dpss1.lbl.gov")
+                .level(Level::Usage)
+                .event_type("DPSS_SERV_IN")
+                .timestamp(Timestamp::from_micros(954_415_400_000_000 + i))
+                .field("BLOCK.ID", i)
+                .build(),
+        )
+    }
+
+    fn wait_for(cond: impl Fn() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn subscribers_receive_broadcast_frames() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let gateway = Arc::new(EventGateway::new(GatewayConfig::open("edge-test")));
+        let mut edge = EventEdge::open(
+            Arc::clone(&reactor),
+            Arc::clone(&gateway),
+            EdgeConfig::default(),
+        )
+        .unwrap();
+
+        let mut subs: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(edge.addr()).unwrap())
+            .collect();
+        wait_for(|| edge.subscribers() == 3, "subscribers to register");
+
+        let events: Vec<SharedEvent> = (0..10).map(sample).collect();
+        gateway.publish_shared_batch(&events);
+
+        let codec = codec_for(BINARY).unwrap();
+        let expected: usize = events.iter().map(|e| codec.encode(e).len()).sum();
+        for s in &mut subs {
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut got = vec![0u8; expected];
+            s.read_exact(&mut got).unwrap();
+            let decoded = codec.decode_batch(&got).unwrap();
+            assert_eq!(decoded.len(), 10);
+            assert_eq!(decoded[0], *events[0]);
+        }
+        let stats = edge.stats();
+        assert_eq!(stats.events, 10);
+        // Encoded once per batch, not once per subscriber.
+        assert_eq!(stats.encoded_bytes as usize, expected);
+
+        edge.stop();
+        wait_for(|| edge.subscribers() == 0, "subscribers to close");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn edge_and_rmi_share_one_reactor() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let gateway = Arc::new(EventGateway::new(GatewayConfig::open("shared")));
+        let mut edge = EventEdge::open(
+            Arc::clone(&reactor),
+            Arc::clone(&gateway),
+            EdgeConfig::default(),
+        )
+        .unwrap();
+        let _sub = TcpStream::connect(edge.addr()).unwrap();
+        wait_for(|| edge.subscribers() == 1, "subscriber");
+        gateway.publish_shared(sample(1));
+        wait_for(|| edge.stats().events >= 1, "broadcast");
+        // Tearing down the edge must not disturb other users of the
+        // reactor.
+        edge.stop();
+        wait_for(|| edge.subscribers() == 0, "edge teardown");
+        assert_eq!(reactor.connections(), 0);
+        reactor.shutdown();
+    }
+}

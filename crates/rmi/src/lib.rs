@@ -16,6 +16,9 @@
 //! * [`tcp`] — a TCP transport that exposes a bus to remote callers with
 //!   length-prefixed JSON frames, so agents on different hosts can invoke
 //!   each other exactly like local ones;
+//! * [`edge`] — the reactor-backed subscriber transport: one event loop
+//!   broadcasting a gateway's stream to many TCP consumers with
+//!   encode-once/write-N framing and per-socket backpressure;
 //! * [`bridge`] — monitoring events over the substrate: any
 //!   [`jamm_core::flow::EventSink`] exposed as a service, with ULM codec
 //!   negotiation between producer and sink.
@@ -26,10 +29,12 @@
 pub mod activation;
 pub mod bridge;
 pub mod bus;
+pub mod edge;
 pub mod message;
 pub mod tcp;
 
 pub use activation::ActivationRegistry;
 pub use bridge::{BridgeService, RemoteEventSink};
 pub use bus::{MessageBus, Service};
+pub use edge::{EdgeConfig, EdgeError, EdgeStats, EventEdge};
 pub use message::{MethodCall, RmiError, RmiResult};

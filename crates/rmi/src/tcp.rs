@@ -2,25 +2,45 @@
 //!
 //! Frames are a 4-byte little-endian length followed by a JSON document —
 //! a `MethodCall` in the request direction, a `WireResponse` coming back.
-//! One thread per connection; connections are persistent so an agent can
-//! issue many calls over one socket, like RMI does.
+//! Connections are persistent so an agent can issue many calls over one
+//! socket, like RMI does.
+//!
+//! The server runs on a [`jamm_reactor::Reactor`]: one event-loop thread
+//! accepts and serves every connection (the old thread-per-connection
+//! design capped a server at hundreds of sockets and orphaned live
+//! connection threads on shutdown).  [`RmiServer::shutdown`] now drains
+//! queued responses and closes every connection deterministically before
+//! returning.  [`RmiClient`] stays a plain blocking socket — a synchronous
+//! call blocks by definition and holds no threads — while
+//! [`ReactorClient`] multiplexes calls over a shared reactor for agents
+//! that already run one.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
+use jamm_core::channel::{unbounded, Receiver, Sender};
 use jamm_core::json::Json;
+use jamm_core::OverflowPolicy;
+use jamm_reactor::{
+    CloseReason, ConnHandler, ConnId, ConnIo, PushOutcome, Reactor, ReactorConfig, SocketRow,
+};
 
 use crate::bus::MessageBus;
 use crate::message::{MethodCall, RmiError, RmiResult, WireResponse};
 
-/// A server exposing a [`MessageBus`] on a TCP socket.
+/// Frames larger than this are treated as a protocol error.
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// How long [`ReactorClient::invoke`] waits for a response.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A server exposing a [`MessageBus`] on a TCP socket, served by a single
+/// reactor thread.
 pub struct RmiServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -29,39 +49,40 @@ impl std::fmt::Debug for RmiServer {
     }
 }
 
+/// Reactor tuning appropriate for request/response RMI traffic: responses
+/// must never be dropped (a lost frame desyncs the protocol), so the
+/// outbox rejects new work (`DropNewest`) at a capacity comfortably above
+/// the largest legal frame, and the handler closes the connection if that
+/// ever happens.
+fn rmi_reactor_config() -> ReactorConfig {
+    ReactorConfig {
+        overflow: OverflowPolicy::DropNewest,
+        outbox_capacity: 4 * MAX_FRAME,
+        thread_name: "jamm-rmi".to_string(),
+        ..ReactorConfig::default()
+    }
+}
+
 impl RmiServer {
     /// Bind to `127.0.0.1:0` (an ephemeral port) and start serving the bus.
     pub fn start(bus: MessageBus) -> std::io::Result<Self> {
+        Self::start_with(bus, rmi_reactor_config())
+    }
+
+    /// Like [`RmiServer::start`] with explicit reactor tuning.
+    pub fn start_with(bus: MessageBus, config: ReactorConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = Arc::clone(&shutdown);
-        let accept_thread = std::thread::spawn(move || {
-            while !shutdown_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        // A generous read timeout so connection threads never
-                        // outlive their clients by much; they are detached and
-                        // exit when the peer closes or the timeout fires.
-                        stream
-                            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-                            .ok();
-                        let bus = bus.clone();
-                        std::thread::spawn(move || serve_connection(stream, bus));
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
+        let reactor = Reactor::start(config)?;
+        reactor.listen(
+            listener,
+            Box::new(move |_id: ConnId, _peer: &str| {
+                Box::new(ServerConn { bus: bus.clone() }) as Box<dyn ConnHandler>
+            }),
+        )?;
         Ok(RmiServer {
             addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            reactor: Some(reactor),
         })
     }
 
@@ -70,11 +91,24 @@ impl RmiServer {
         self.addr
     }
 
-    /// Stop accepting connections and wait for the accept loop to exit.
+    /// Live connections being served.
+    pub fn connections(&self) -> usize {
+        self.reactor.as_ref().map_or(0, Reactor::connections)
+    }
+
+    /// Per-connection socket counters (bytes, queued, drops, stalls).
+    pub fn socket_stats(&self) -> Vec<SocketRow> {
+        self.reactor
+            .as_ref()
+            .map_or_else(Vec::new, Reactor::socket_stats)
+    }
+
+    /// Stop accepting, flush queued responses, close every live connection
+    /// and join the loop thread.  Unlike the old thread-per-connection
+    /// design, no connection state survives this call.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
     }
 }
@@ -85,20 +119,69 @@ impl Drop for RmiServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, bus: MessageBus) {
-    loop {
-        let call = match read_frame(&mut stream) {
-            Ok(Some(doc)) => match MethodCall::from_json(&doc) {
+/// Per-connection server state: parse calls, dispatch, queue responses.
+struct ServerConn {
+    bus: MessageBus,
+}
+
+impl ConnHandler for ServerConn {
+    fn on_data(&mut self, io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+        let mut consumed = 0;
+        while let Some((body, frame_len)) = match next_frame(&buf[consumed..]) {
+            Ok(f) => f,
+            Err(_) => {
+                // Oversized or malformed framing: the stream is poisoned.
+                io.close();
+                return buf.len();
+            }
+        } {
+            let call = Json::parse_slice(body)
+                .map_err(|e| RmiError::Transport(e.to_string()))
+                .and_then(|doc| MethodCall::from_json(&doc));
+            let call = match call {
                 Ok(call) => call,
-                Err(_) => return,
-            },
-            _ => return,
-        };
-        let response: WireResponse = bus.invoke(&call).into();
-        if write_frame(&mut stream, &response.to_json()).is_err() {
-            return;
+                Err(_) => {
+                    io.close();
+                    return buf.len();
+                }
+            };
+            consumed += frame_len;
+            let response: WireResponse = self.bus.invoke(&call).into();
+            let frame = encode_frame(&response.to_json());
+            if io.send(Arc::new(frame)) == PushOutcome::Rejected {
+                // The outbox would have to drop a response to accept this
+                // one; closing is the only protocol-safe move.
+                io.close();
+                return buf.len();
+            }
         }
+        consumed
     }
+}
+
+/// Split the next `len || body` frame off `buf`.  Returns `Ok(None)` while
+/// incomplete, `Err` when the header is illegal.
+fn next_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ()> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(());
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..4 + len], 4 + len)))
+}
+
+/// Encode one `len || body` frame.
+fn encode_frame(value: &Json) -> Vec<u8> {
+    let body = value.to_vec();
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
 }
 
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Json>> {
@@ -109,7 +192,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Json>> {
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len > 16 * 1024 * 1024 {
+    if len > MAX_FRAME {
         return Err(std::io::Error::other("frame too large"));
     }
     let mut body = vec![0u8; len];
@@ -120,13 +203,11 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Json>> {
 }
 
 fn write_frame(stream: &mut TcpStream, value: &Json) -> std::io::Result<()> {
-    let body = value.to_vec();
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(&body)?;
+    stream.write_all(&encode_frame(value))?;
     stream.flush()
 }
 
-/// A client connection to a remote bus.
+/// A blocking client connection to a remote bus.
 #[derive(Debug)]
 pub struct RmiClient {
     stream: TcpStream,
@@ -152,10 +233,98 @@ impl RmiClient {
     }
 }
 
+/// A client whose socket lives on a shared [`Reactor`] instead of holding
+/// its own blocking I/O: requests are queued to the loop, responses come
+/// back over a channel.  Useful for agents that already run a reactor and
+/// want many client connections without any extra threads.
+pub struct ReactorClient {
+    reactor: Arc<Reactor>,
+    conn: ConnId,
+    responses: Receiver<Json>,
+}
+
+impl std::fmt::Debug for ReactorClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReactorClient(conn {})", self.conn)
+    }
+}
+
+/// Client-side handler: reassemble response frames, hand them to the
+/// waiting caller.
+struct ClientConn {
+    responses: Sender<Json>,
+}
+
+impl ConnHandler for ClientConn {
+    fn on_data(&mut self, io: &mut ConnIo<'_>, buf: &[u8]) -> usize {
+        let mut consumed = 0;
+        while let Some((body, frame_len)) = match next_frame(&buf[consumed..]) {
+            Ok(f) => f,
+            Err(_) => {
+                io.close();
+                return buf.len();
+            }
+        } {
+            consumed += frame_len;
+            match Json::parse_slice(body) {
+                Ok(doc) => {
+                    if self.responses.send(doc).is_err() {
+                        // Caller dropped the client; nothing to deliver to.
+                        io.close();
+                        return buf.len();
+                    }
+                }
+                Err(_) => {
+                    io.close();
+                    return buf.len();
+                }
+            }
+        }
+        consumed
+    }
+
+    fn on_close(&mut self, _id: ConnId, _reason: &CloseReason) {
+        // Dropping the sender makes any waiting `invoke` fail fast instead
+        // of timing out.
+    }
+}
+
+impl ReactorClient {
+    /// Connect to a server and serve the socket on `reactor`.
+    pub fn connect(reactor: Arc<Reactor>, addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let (tx, rx) = unbounded();
+        let conn = reactor.adopt(stream, Box::new(ClientConn { responses: tx }))?;
+        Ok(ReactorClient {
+            reactor,
+            conn,
+            responses: rx,
+        })
+    }
+
+    /// Invoke a remote method.  Calls are serialized per connection (one
+    /// outstanding request at a time), mirroring [`RmiClient`].
+    pub fn invoke(&mut self, call: &MethodCall) -> RmiResult {
+        self.reactor
+            .send(self.conn, Arc::new(encode_frame(&call.to_json())));
+        match self.responses.recv_timeout(CLIENT_TIMEOUT) {
+            Ok(doc) => WireResponse::from_json(&doc)?.into(),
+            Err(_) => Err(RmiError::Transport("connection closed or timed out".into())),
+        }
+    }
+}
+
+impl Drop for ReactorClient {
+    fn drop(&mut self) {
+        self.reactor.close(self.conn);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use jamm_core::json::json;
+    use std::time::Instant;
 
     fn bus() -> MessageBus {
         let bus = MessageBus::new();
@@ -246,5 +415,78 @@ mod tests {
                 assert!(matches!(e, RmiError::Transport(_)));
             }
         }
+    }
+
+    #[test]
+    fn reactor_client_round_trip_over_shared_reactor() {
+        let server = RmiServer::start(bus()).unwrap();
+        let reactor = Arc::new(
+            Reactor::start(ReactorConfig {
+                thread_name: "rmi-client-test".to_string(),
+                ..rmi_reactor_config()
+            })
+            .unwrap(),
+        );
+        let mut a = ReactorClient::connect(Arc::clone(&reactor), server.addr()).unwrap();
+        let mut b = ReactorClient::connect(Arc::clone(&reactor), server.addr()).unwrap();
+        for client in [&mut a, &mut b] {
+            let r = client
+                .invoke(&MethodCall::new(
+                    "sensor-manager@dpss1",
+                    "status",
+                    json!(null),
+                ))
+                .unwrap();
+            assert_eq!(r["sensors"][1], "memory");
+        }
+        drop(a);
+        drop(b);
+        reactor.shutdown();
+    }
+
+    /// The old transport orphaned live connection threads on `stop()`;
+    /// the reactor port must drain and close every connection
+    /// deterministically.
+    #[test]
+    fn shutdown_closes_all_live_connections_deterministically() {
+        let mut server = RmiServer::start(bus()).unwrap();
+        let addr = server.addr();
+        // Park several live connections mid-session (no call in flight).
+        let mut clients: Vec<RmiClient> =
+            (0..8).map(|_| RmiClient::connect(addr).unwrap()).collect();
+        for c in &mut clients {
+            let r = c
+                .invoke(&MethodCall::new(
+                    "sensor-manager@dpss1",
+                    "status",
+                    json!(null),
+                ))
+                .unwrap();
+            assert_eq!(r["sensors"][0], "cpu");
+        }
+        assert_eq!(server.connections(), 8);
+        server.shutdown();
+        // After shutdown returns — not eventually, *now* — every server-side
+        // connection is gone and every client sees a clean EOF.
+        assert_eq!(server.connections(), 0);
+        for c in &mut clients {
+            c.stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut byte = [0u8; 1];
+            let n = c.stream.read(&mut byte).unwrap();
+            assert_eq!(n, 0, "expected EOF after server shutdown");
+        }
+        // And the port is closed: a fresh connect must fail or be reset.
+        let start = Instant::now();
+        if let Ok(mut late) = RmiClient::connect(addr) {
+            let r = late.invoke(&MethodCall::new(
+                "sensor-manager@dpss1",
+                "status",
+                json!(null),
+            ));
+            assert!(r.is_err(), "server still serving after shutdown");
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }
