@@ -88,6 +88,7 @@ pub use jamm_gateway;
 pub use jamm_manager;
 pub use jamm_netlogger;
 pub use jamm_netsim;
+pub use jamm_reactor;
 pub use jamm_rmi;
 pub use jamm_sensors;
 pub use jamm_tsdb;

@@ -185,6 +185,7 @@ enum Cmd {
     Send {
         conn: ConnId,
         frame: Arc<Vec<u8>>,
+        strict: bool,
     },
     Broadcast {
         listener: ListenerId,
@@ -291,9 +292,28 @@ impl Reactor {
         Ok(id)
     }
 
-    /// Queue one encoded frame on one connection.
+    /// Queue one encoded frame on one connection.  A full outbox applies
+    /// the configured overflow policy (frames may be dropped, counted in
+    /// the connection's [`SocketStats`]).
     pub fn send(&self, conn: ConnId, frame: Arc<Vec<u8>>) {
-        self.submit(Cmd::Send { conn, frame });
+        self.submit(Cmd::Send {
+            conn,
+            frame,
+            strict: false,
+        });
+    }
+
+    /// Like [`Reactor::send`], but a frame the outbox cannot take without
+    /// dropping anything closes the connection (flush what is queued,
+    /// then drop) instead of applying the overflow policy.  For
+    /// request/response protocols where a lost frame desyncs the peer,
+    /// closing is the only safe overflow behavior.
+    pub fn send_strict(&self, conn: ConnId, frame: Arc<Vec<u8>>) {
+        self.submit(Cmd::Send {
+            conn,
+            frame,
+            strict: true,
+        });
     }
 
     /// Queue the same encoded frame on every connection accepted by
@@ -517,11 +537,12 @@ impl EventLoop {
         id: ConnId,
         stream: TcpStream,
         peer: String,
-        handler: Box<dyn ConnHandler>,
+        mut handler: Box<dyn ConnHandler>,
         listener: Option<ListenerId>,
     ) {
-        if stream.set_nonblocking(true).is_err() {
+        if let Err(e) = stream.set_nonblocking(true) {
             self.shared.refused.fetch_add(1, Ordering::Relaxed);
+            handler.on_close(id, &CloseReason::Error(e.to_string()));
             return;
         }
         let _ = stream.set_nodelay(true);
@@ -667,7 +688,7 @@ impl EventLoop {
         }
     }
 
-    fn deliver(&mut self, id: ConnId, frame: Arc<Vec<u8>>) {
+    fn deliver(&mut self, id: ConnId, frame: Arc<Vec<u8>>, strict: bool) {
         {
             let Some(lc) = self.conns.get_mut(&id) else {
                 return;
@@ -675,7 +696,12 @@ impl EventLoop {
             if lc.conn.is_closing() {
                 return;
             }
-            lc.conn.enqueue(frame);
+            if lc.conn.enqueue(frame) != PushOutcome::Queued && strict {
+                // A strict sender's frame was rejected or displaced older
+                // queued frames; either way the peer's stream is desynced,
+                // so flush what remains and close.
+                lc.conn.begin_close();
+            }
         }
         // Eager flush keeps broadcast latency low and frees the queue slot
         // before the next batch.
@@ -715,7 +741,11 @@ impl EventLoop {
                         .unwrap_or_else(|_| "?".to_string());
                     self.install_conn(id, stream, peer, handler, None);
                 }
-                Cmd::Send { conn, frame } => self.deliver(conn, frame),
+                Cmd::Send {
+                    conn,
+                    frame,
+                    strict,
+                } => self.deliver(conn, frame, strict),
                 Cmd::Broadcast { listener, frame } => {
                     self.scratch_ids.clear();
                     for (&id, lc) in &self.conns {
@@ -725,7 +755,7 @@ impl EventLoop {
                     }
                     let ids = std::mem::take(&mut self.scratch_ids);
                     for &id in &ids {
-                        self.deliver(id, Arc::clone(&frame));
+                        self.deliver(id, Arc::clone(&frame), false);
                     }
                     self.scratch_ids = ids;
                 }
@@ -760,6 +790,10 @@ impl EventLoop {
                 Cmd::Shutdown => {
                     if self.draining.is_none() {
                         self.draining = Some(Instant::now() + self.cfg.drain_timeout);
+                        // scratch_ids may hold connection ids left over
+                        // from a Broadcast/Unlisten restore; deregistering
+                        // those would strand their queued frames.
+                        self.scratch_ids.clear();
                         for &id in self.listeners.keys() {
                             self.scratch_ids.push(id);
                         }
@@ -769,7 +803,6 @@ impl EventLoop {
                             self.listeners.remove(&id);
                         }
                         self.scratch_ids = ids;
-                        self.scratch_ids.clear();
                         // Stop reading; what remains is flush-and-close.
                         for (&id, lc) in &mut self.conns {
                             lc.conn.begin_close();
@@ -949,6 +982,56 @@ mod tests {
         client.read_to_end(&mut got).unwrap();
         assert_eq!(got.len(), payload.len());
         assert!(got.iter().all(|&b| b == 7));
+    }
+
+    /// Regression: `Cmd::Broadcast` parks connection ids in `scratch_ids`
+    /// and restores them after the fan-out.  `Cmd::Shutdown` must clear
+    /// that scratch before collecting listener ids — reusing the stale
+    /// contents deregistered live connections, so their still-queued
+    /// frames never got another writable event and were force-dropped at
+    /// the drain deadline.  Broadcast-then-shutdown with more queued
+    /// bytes than the kernel socket buffers take must still deliver
+    /// everything, quickly.
+    #[test]
+    fn broadcast_then_shutdown_drains_stalled_connections() {
+        let reactor = start_with(Backend::native(), |cfg| {
+            cfg.outbox_capacity = 64 * 1024 * 1024;
+            cfg.drain_timeout = Duration::from_secs(10);
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lid = reactor
+            .listen(listener, echo_acceptor(Arc::new(AtomicBool::new(false))))
+            .unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.connections() < 1 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Far more than loopback socket buffering: the connection still
+        // wants_write when Shutdown lands right after Broadcast.
+        let payload = Arc::new(vec![9u8; 16 * 1024 * 1024]);
+        let reader = std::thread::spawn(move || {
+            let mut client = client;
+            client
+                .set_read_timeout(Some(Duration::from_secs(8)))
+                .unwrap();
+            let mut got = Vec::new();
+            client.read_to_end(&mut got).unwrap();
+            got
+        });
+        reactor.broadcast(lid, Arc::clone(&payload));
+        let start = Instant::now();
+        reactor.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown stalled to the drain deadline: {:?}",
+            start.elapsed()
+        );
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), payload.len(), "queued frames were dropped");
+        assert!(got.iter().all(|&b| b == 9));
     }
 
     #[test]

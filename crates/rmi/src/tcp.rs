@@ -8,24 +8,28 @@
 //! The server runs on a [`jamm_reactor::Reactor`]: one event-loop thread
 //! accepts and serves every connection (the old thread-per-connection
 //! design capped a server at hundreds of sockets and orphaned live
-//! connection threads on shutdown).  [`RmiServer::shutdown`] now drains
-//! queued responses and closes every connection deterministically before
-//! returning.  [`RmiClient`] stays a plain blocking socket — a synchronous
-//! call blocks by definition and holds no threads — while
-//! [`ReactorClient`] multiplexes calls over a shared reactor for agents
-//! that already run one.
+//! connection threads on shutdown).  Method dispatch does NOT run on the
+//! loop thread — the reactor contract forbids blocking handlers, and bus
+//! methods are arbitrary user code — so parsed calls are handed to a
+//! small invoke-worker pool, pinned per connection to preserve response
+//! order, and responses come back through [`Reactor::send_strict`].  A
+//! slow method therefore stalls only the connections pinned to its
+//! worker, never accepts/reads/flushes on the loop.
+//! [`RmiServer::shutdown`] drains queued responses and closes every
+//! connection deterministically before returning.  [`RmiClient`] stays a
+//! plain blocking socket — a synchronous call blocks by definition and
+//! holds no threads — while [`ReactorClient`] multiplexes calls over a
+//! shared reactor for agents that already run one.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use jamm_core::channel::{unbounded, Receiver, Sender};
+use jamm_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jamm_core::json::Json;
 use jamm_core::OverflowPolicy;
-use jamm_reactor::{
-    CloseReason, ConnHandler, ConnId, ConnIo, PushOutcome, Reactor, ReactorConfig, SocketRow,
-};
+use jamm_reactor::{CloseReason, ConnHandler, ConnId, ConnIo, Reactor, ReactorConfig, SocketRow};
 
 use crate::bus::MessageBus;
 use crate::message::{MethodCall, RmiError, RmiResult, WireResponse};
@@ -36,11 +40,23 @@ const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// How long [`ReactorClient::invoke`] waits for a response.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A server exposing a [`MessageBus`] on a TCP socket, served by a single
-/// reactor thread.
+/// Invoke-worker threads per server.  Each connection is pinned to one
+/// worker (by connection id), so responses stay in request order and a
+/// slow method only delays connections sharing its worker.
+const INVOKE_WORKERS: usize = 4;
+
+/// One parsed call waiting for an invoke worker.
+struct Job {
+    conn: ConnId,
+    call: MethodCall,
+}
+
+/// A server exposing a [`MessageBus`] on a TCP socket: one reactor thread
+/// for all socket I/O, a small worker pool for method dispatch.
 pub struct RmiServer {
     addr: SocketAddr,
-    reactor: Option<Reactor>,
+    reactor: Option<Arc<Reactor>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -73,16 +89,40 @@ impl RmiServer {
     pub fn start_with(bus: MessageBus, config: ReactorConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let reactor = Reactor::start(config)?;
+        let reactor = Arc::new(Reactor::start(config)?);
+        let mut senders: Vec<Sender<Job>> = Vec::with_capacity(INVOKE_WORKERS);
+        let mut workers = Vec::with_capacity(INVOKE_WORKERS);
+        for i in 0..INVOKE_WORKERS {
+            let (tx, rx) = unbounded::<Job>();
+            let bus = bus.clone();
+            let reactor = Arc::clone(&reactor);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("jamm-rmi-invoke-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let response: WireResponse = bus.invoke(&job.call).into();
+                            let frame = encode_frame(&response.to_json());
+                            // Strict: an outbox that cannot take a response
+                            // without dropping one closes the connection —
+                            // a lost response desyncs the protocol.
+                            reactor.send_strict(job.conn, Arc::new(frame));
+                        }
+                    })?,
+            );
+            senders.push(tx);
+        }
         reactor.listen(
             listener,
-            Box::new(move |_id: ConnId, _peer: &str| {
-                Box::new(ServerConn { bus: bus.clone() }) as Box<dyn ConnHandler>
+            Box::new(move |id: ConnId, _peer: &str| {
+                let jobs = senders[(id as usize) % senders.len()].clone();
+                Box::new(ServerConn { jobs }) as Box<dyn ConnHandler>
             }),
         )?;
         Ok(RmiServer {
             addr,
             reactor: Some(reactor),
+            workers,
         })
     }
 
@@ -93,22 +133,31 @@ impl RmiServer {
 
     /// Live connections being served.
     pub fn connections(&self) -> usize {
-        self.reactor.as_ref().map_or(0, Reactor::connections)
+        self.reactor.as_ref().map_or(0, |r| r.connections())
     }
 
     /// Per-connection socket counters (bytes, queued, drops, stalls).
     pub fn socket_stats(&self) -> Vec<SocketRow> {
         self.reactor
             .as_ref()
-            .map_or_else(Vec::new, Reactor::socket_stats)
+            .map_or_else(Vec::new, |r| r.socket_stats())
     }
 
     /// Stop accepting, flush queued responses, close every live connection
-    /// and join the loop thread.  Unlike the old thread-per-connection
-    /// design, no connection state survives this call.
+    /// and join the loop and invoke-worker threads.  Unlike the old
+    /// thread-per-connection design, no connection state survives this
+    /// call.  Calls still being invoked when shutdown starts lose their
+    /// response (the peer sees a clean EOF instead).
     pub fn shutdown(&mut self) {
         if let Some(reactor) = self.reactor.take() {
             reactor.shutdown();
+            // The loop thread has exited, dropping the acceptor and every
+            // handler — and with them the last job senders — so the
+            // workers drain their queues and stop.
+            drop(reactor);
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -119,9 +168,11 @@ impl Drop for RmiServer {
     }
 }
 
-/// Per-connection server state: parse calls, dispatch, queue responses.
+/// Per-connection server state: parse calls, hand them to the pinned
+/// invoke worker.  Runs on the loop thread, so it never blocks — dispatch
+/// and response encoding happen on the worker.
 struct ServerConn {
-    bus: MessageBus,
+    jobs: Sender<Job>,
 }
 
 impl ConnHandler for ServerConn {
@@ -146,11 +197,12 @@ impl ConnHandler for ServerConn {
                 }
             };
             consumed += frame_len;
-            let response: WireResponse = self.bus.invoke(&call).into();
-            let frame = encode_frame(&response.to_json());
-            if io.send(Arc::new(frame)) == PushOutcome::Rejected {
-                // The outbox would have to drop a response to accept this
-                // one; closing is the only protocol-safe move.
+            let job = Job {
+                conn: io.id(),
+                call,
+            };
+            if self.jobs.send(job).is_err() {
+                // The worker is gone (server shutting down).
                 io.close();
                 return buf.len();
             }
@@ -241,6 +293,8 @@ pub struct ReactorClient {
     reactor: Arc<Reactor>,
     conn: ConnId,
     responses: Receiver<Json>,
+    timeout: Duration,
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for ReactorClient {
@@ -299,17 +353,42 @@ impl ReactorClient {
             reactor,
             conn,
             responses: rx,
+            timeout: CLIENT_TIMEOUT,
+            poisoned: false,
         })
+    }
+
+    /// How long [`ReactorClient::invoke`] waits before giving up on a
+    /// response (default 30 s).  A timed-out call poisons the client.
+    pub fn set_invoke_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
     }
 
     /// Invoke a remote method.  Calls are serialized per connection (one
     /// outstanding request at a time), mirroring [`RmiClient`].
+    ///
+    /// A call that times out poisons the client: the connection is closed
+    /// and every later `invoke` fails fast.  The alternative — leaving the
+    /// connection open — would let the late response surface as the
+    /// answer to the *next* call, silently returning wrong data.
     pub fn invoke(&mut self, call: &MethodCall) -> RmiResult {
+        if self.poisoned {
+            return Err(RmiError::Transport(
+                "connection poisoned by an earlier timeout".into(),
+            ));
+        }
         self.reactor
-            .send(self.conn, Arc::new(encode_frame(&call.to_json())));
-        match self.responses.recv_timeout(CLIENT_TIMEOUT) {
+            .send_strict(self.conn, Arc::new(encode_frame(&call.to_json())));
+        match self.responses.recv_timeout(self.timeout) {
             Ok(doc) => WireResponse::from_json(&doc)?.into(),
-            Err(_) => Err(RmiError::Transport("connection closed or timed out".into())),
+            Err(RecvTimeoutError::Timeout) => {
+                self.poisoned = true;
+                self.reactor.close(self.conn);
+                Err(RmiError::Transport("invoke timed out".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(RmiError::Transport("connection closed".into()))
+            }
         }
     }
 }
@@ -441,6 +520,106 @@ mod tests {
         }
         drop(a);
         drop(b);
+        reactor.shutdown();
+    }
+
+    fn slow_fast_bus(slow_for: Duration) -> MessageBus {
+        let bus = MessageBus::new();
+        bus.register_fn("svc", move |method, _args| match method {
+            "slow" => {
+                std::thread::sleep(slow_for);
+                Ok(json!("slept"))
+            }
+            "fast" => Ok(json!("quick")),
+            m => Err(RmiError::NoSuchMethod(m.to_string())),
+        });
+        bus
+    }
+
+    /// Dispatch runs on the worker pool, not the loop thread: a blocking
+    /// method on one connection must not delay calls on another.
+    #[test]
+    fn a_slow_method_does_not_stall_other_connections() {
+        let mut server = RmiServer::start(slow_fast_bus(Duration::from_millis(800))).unwrap();
+        let addr = server.addr();
+        let slow = std::thread::spawn(move || {
+            let mut c = RmiClient::connect(addr).unwrap();
+            c.invoke(&MethodCall::new("svc", "slow", json!(null)))
+                .unwrap()
+        });
+        // Let the slow call reach its worker before the fast one starts.
+        std::thread::sleep(Duration::from_millis(150));
+        let mut c = RmiClient::connect(addr).unwrap();
+        let start = Instant::now();
+        let r = c
+            .invoke(&MethodCall::new("svc", "fast", json!(null)))
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(r.as_str(), Some("quick"));
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "fast call stalled {elapsed:?} behind the slow one"
+        );
+        assert_eq!(slow.join().unwrap().as_str(), Some("slept"));
+        server.shutdown();
+    }
+
+    /// Connections are pinned to one worker, so pipelined calls get their
+    /// responses back in request order.
+    #[test]
+    fn pipelined_calls_get_responses_in_request_order() {
+        let bus = MessageBus::new();
+        bus.register_fn("svc", |method, args| match method {
+            "echo" => Ok(args.clone()),
+            m => Err(RmiError::NoSuchMethod(m.to_string())),
+        });
+        let mut server = RmiServer::start(bus).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..16i64 {
+            let call = MethodCall::new("svc", "echo", Json::from(i));
+            batch.extend_from_slice(&encode_frame(&call.to_json()));
+        }
+        stream.write_all(&batch).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for i in 0..16i64 {
+            let doc = read_frame(&mut stream).unwrap().unwrap();
+            match WireResponse::from_json(&doc).unwrap() {
+                WireResponse::Ok(v) => assert_eq!(v.as_i64(), Some(i), "response out of order"),
+                WireResponse::Err(e) => panic!("echo {i} failed: {e:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    /// A timed-out `invoke` must not leave the late response queued where
+    /// the next call would read it as its own answer; the client poisons
+    /// itself instead.
+    #[test]
+    fn reactor_client_timeout_poisons_the_connection() {
+        let server = RmiServer::start(slow_fast_bus(Duration::from_millis(300))).unwrap();
+        let reactor = Arc::new(
+            Reactor::start(ReactorConfig {
+                thread_name: "rmi-poison-test".to_string(),
+                ..rmi_reactor_config()
+            })
+            .unwrap(),
+        );
+        let mut c = ReactorClient::connect(Arc::clone(&reactor), server.addr()).unwrap();
+        c.set_invoke_timeout(Duration::from_millis(50));
+        let r = c.invoke(&MethodCall::new("svc", "slow", json!(null)));
+        assert!(matches!(r, Err(RmiError::Transport(_))), "got {r:?}");
+        // Wait long enough for the late response to arrive — it must be
+        // discarded, not handed to the next call.
+        std::thread::sleep(Duration::from_millis(500));
+        match c.invoke(&MethodCall::new("svc", "fast", json!(null))) {
+            Err(RmiError::Transport(msg)) => {
+                assert!(msg.contains("poisoned"), "unexpected error: {msg}")
+            }
+            other => panic!("poisoned client returned {other:?}"),
+        }
         reactor.shutdown();
     }
 
