@@ -1,0 +1,312 @@
+//! E18 — what the observability plane itself costs.
+//!
+//! PR 7 gave JAMM a self-instrumentation plane: a unified metrics
+//! registry every hot path reports through, and sampled self-lifelines
+//! traced end to end.  A monitoring system whose own monitoring slows it
+//! down has failed at its one job, so this bench measures the pipeline's
+//! publish-and-drain throughput under three configurations and guards the
+//! plane's two promises:
+//!
+//! 1. **tracing off** — route timing disabled, no tracer: the bare
+//!    pipeline (the baseline);
+//! 2. **metrics only** — the default deployment: routing latency
+//!    histograms and all counters live, no lifeline tracer.  Must stay
+//!    within 5% of the baseline;
+//! 3. **sampled lifelines** — a 1-in-64 `PipelineTracer` attached, the
+//!    production self-monitoring configuration;
+//!
+//! plus a direct assertion that the steady-state metric record path
+//! (counter inc, gauge set, histogram record, unwatched-event ring scan)
+//! performs **zero heap allocations**, measured with a counting global
+//! allocator — never disabled, even under JAMM_BENCH_NO_ASSERT.
+//!
+//! Baseline recorded in BENCH_e18.json
+//! (JAMM_BENCH_JSON=BENCH_e18.json cargo bench --bench e18_observability);
+//! JAMM_BENCH_BASELINE=BENCH_e18.json enables the >2x regression guard
+//! and JAMM_BENCH_NO_ASSERT downgrades the wall-clock comparisons.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jamm::jamm_core::json::{Json, Map};
+use jamm::jamm_core::obs::MetricsRegistry;
+use jamm::jamm_core::EventSource;
+use jamm::jamm_gateway::{EventGateway, GatewayConfig, PipelineTracer};
+use jamm_bench::{compare_row, data_row, header};
+use jamm_ulm::{Event, Level, SharedEvent, Timestamp};
+
+/// Counts every heap allocation so the zero-allocation claim is measured,
+/// not asserted from type signatures.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic increment on the side.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const HOSTS: [&str; 4] = [
+    "dpss1.lbl.gov",
+    "dpss2.lbl.gov",
+    "mems.cairn.net",
+    "portnoy.lbl.gov",
+];
+const TYPES: [&str; 4] = [
+    "CPU_TOTAL",
+    "MEM_FREE",
+    "TCPD_RETRANSMITS",
+    "MPLAY_END_READ_FRAME",
+];
+
+fn sample(i: u64) -> Event {
+    Event::builder("vmstat", HOSTS[(i % 4) as usize])
+        .level(Level::Usage)
+        .event_type(TYPES[(i % 4) as usize])
+        .timestamp(Timestamp::from_micros(1_000_000_000 + i * 1_000))
+        .value((i % 100) as f64)
+        .build()
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn kevps(n: u64, secs: f64) -> f64 {
+    n as f64 / secs.max(1e-9) / 1_000.0
+}
+
+/// Publish every event through a fresh gateway under `config` and drain
+/// them from one streaming subscription; returns throughput in k events/s.
+/// `drained` is reused across runs so its capacity is not re-grown inside
+/// the timed region.
+fn publish_drain(
+    config: GatewayConfig,
+    events: &[SharedEvent],
+    drained: &mut Vec<SharedEvent>,
+) -> f64 {
+    let gw = EventGateway::new(config);
+    let mut sub = gw
+        .subscribe()
+        .stream()
+        .capacity(4_096)
+        .as_consumer("bench")
+        .open()
+        .expect("subscription opens");
+    drained.clear();
+    let (_, secs) = time(|| {
+        for chunk in events.chunks(1_024) {
+            gw.publish_shared_batch(chunk);
+            sub.drain_into(drained);
+        }
+    });
+    assert_eq!(drained.len(), events.len(), "nothing dropped");
+    kevps(events.len() as u64, secs)
+}
+
+/// Best of `runs` measurements (the usual guard against scheduler noise
+/// when two wall-clock numbers are compared within a few percent).
+fn best_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..runs).map(|_| f()).fold(0.0, f64::max)
+}
+
+fn main() {
+    header(
+        "E18: observability overhead — metrics registry and sampled lifelines",
+        "the monitor monitored: self-instrumentation must cost ~nothing",
+    );
+
+    let n: u64 = 200_000;
+    let events: Vec<SharedEvent> = (0..n).map(|i| Arc::new(sample(i))).collect();
+    let mut drained: Vec<SharedEvent> = Vec::with_capacity(events.len());
+    let runs = 3;
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    // --- 1. tracing off: the bare pipeline ---
+    let off = best_of(runs, || {
+        publish_drain(
+            GatewayConfig::open("e18").with_route_timing(false),
+            &events,
+            &mut drained,
+        )
+    });
+    results.push(("publish_drain_off_kev_per_s", off));
+
+    // --- 2. metrics only: the default deployment ---
+    let metrics_on = best_of(runs, || {
+        publish_drain(GatewayConfig::open("e18"), &events, &mut drained)
+    });
+    results.push(("publish_drain_metrics_kev_per_s", metrics_on));
+
+    // --- 3. sampled lifelines, 1 in 64 ---
+    let sink = Arc::new(EventGateway::new(GatewayConfig::open("_jamm")));
+    let mut trace_sub = sink
+        .subscribe()
+        .stream()
+        .capacity(65_536)
+        .as_consumer("_monitor")
+        .open()
+        .expect("trace subscription opens");
+    let tracer = PipelineTracer::new(Arc::clone(&sink), "bench-host", 64);
+    let mut trace_log: Vec<SharedEvent> = Vec::new();
+    let traced = best_of(runs, || {
+        let t = publish_drain(
+            GatewayConfig::open("e18").with_tracer(Arc::clone(&tracer)),
+            &events,
+            &mut drained,
+        );
+        trace_sub.drain_into(&mut trace_log);
+        t
+    });
+    results.push(("publish_drain_traced64_kev_per_s", traced));
+    let overhead_metrics = (1.0 - metrics_on / off) * 100.0;
+    let overhead_traced = (1.0 - traced / off) * 100.0;
+    results.push(("metrics_overhead_pct", overhead_metrics));
+    results.push(("traced64_overhead_pct", overhead_traced));
+    results.push(("trace_points", trace_log.len() as f64));
+    assert!(
+        tracer.sampled_count() >= (runs as u64) * n / 64,
+        "the tracer actually sampled ({} lifelines)",
+        tracer.sampled_count()
+    );
+    assert!(
+        !trace_log.is_empty(),
+        "sampled lifelines produced trace points"
+    );
+
+    // --- 4. the record path allocates nothing in steady state ---
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("e18_ops");
+    let gauge = registry.gauge("e18_level");
+    let hist = registry.histogram("e18_us");
+    let unwatched = Arc::new(sample(7));
+    // Warm-up covers first-touch effects; the measured window must be clean.
+    for i in 0..1_000u64 {
+        counter.inc();
+        hist.record(i);
+    }
+    let rounds: u64 = 1_000_000;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let (_, rec_secs) = time(|| {
+        for i in 0..rounds {
+            counter.inc();
+            gauge.set(i as f64);
+            hist.record(i & 0xFFFF);
+            // The per-event tracer check every pipeline stage performs on
+            // the (vastly more common) unwatched path.
+            std::hint::black_box(tracer.trace_id(&unwatched));
+        }
+    });
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state metric recording must not allocate (saw {allocs})"
+    );
+    results.push(("record_mops_per_s", kevps(rounds, rec_secs) / 1_000.0));
+    results.push(("record_allocations", allocs as f64));
+
+    println!("\nmeasured ({n} events/run, best of {runs}):\n");
+    data_row(&[format!("{:<34}", "metric"), format!("{:>14}", "value")]);
+    for (k, v) in &results {
+        data_row(&[format!("{k:<34}"), format!("{v:>14.1}")]);
+    }
+    println!();
+    compare_row(
+        "metrics on vs tracing off",
+        "<= 5% overhead",
+        &format!("{overhead_metrics:+.1}% at {metrics_on:.0}k ev/s"),
+    );
+    compare_row(
+        "1-in-64 lifelines vs tracing off",
+        "sampling amortizes the cost",
+        &format!("{overhead_traced:+.1}% at {traced:.0}k ev/s"),
+    );
+    compare_row(
+        "metric record path",
+        "0 allocations",
+        &format!("{allocs} allocations over {rounds} rounds"),
+    );
+    println!();
+
+    let no_assert = std::env::var_os("JAMM_BENCH_NO_ASSERT").is_some();
+    assert!(
+        no_assert || metrics_on >= 0.95 * off,
+        "metrics-only throughput {metrics_on:.1}k ev/s fell more than 5% below \
+         the untimed baseline {off:.1}k ev/s"
+    );
+
+    // --- regression guard against the committed baseline ---
+    if let Ok(path) = std::env::var("JAMM_BENCH_BASELINE") {
+        let root_relative = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(&path);
+        let doc = std::fs::read_to_string(&path)
+            .or_else(|_| std::fs::read_to_string(&root_relative))
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let json = Json::parse(&doc).expect("baseline is valid JSON");
+        let obj = json.as_object().expect("baseline is an object");
+        let rows = obj
+            .get("results")
+            .and_then(|r| r.as_object())
+            .expect("results object");
+        let mut checked = 0;
+        for name in [
+            "publish_drain_off_kev_per_s",
+            "publish_drain_metrics_kev_per_s",
+            "publish_drain_traced64_kev_per_s",
+            "record_mops_per_s",
+        ] {
+            let baseline = rows
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("baseline missing {name}"));
+            let measured = results
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .expect("measured");
+            checked += 1;
+            println!("  guard {name:<36} baseline {baseline:>10.1}   measured {measured:>10.1}");
+            assert!(
+                no_assert || measured * 2.0 >= baseline,
+                "{name}: measured {measured:.1} is more than 2x below the \
+                 committed baseline {baseline:.1} ({path})"
+            );
+        }
+        println!("\n  regression guard: {checked} checks within 2x of baseline\n");
+    }
+
+    if let Ok(path) = std::env::var("JAMM_BENCH_JSON") {
+        let mut doc = Map::new();
+        doc.insert("target".into(), Json::from("e18_observability"));
+        doc.insert("events".into(), Json::from(n));
+        doc.insert("runs".into(), Json::from(runs as u64));
+        let mut rows = Map::new();
+        for (k, v) in &results {
+            rows.insert((*k).into(), Json::from((v * 10.0).round() / 10.0));
+        }
+        doc.insert("results".into(), Json::Object(rows));
+        if let Err(e) = std::fs::write(&path, Json::Object(doc).to_pretty() + "\n") {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+}

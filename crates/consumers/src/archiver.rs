@@ -10,7 +10,7 @@ use std::sync::Arc;
 use jamm_archive::EventArchive;
 use jamm_core::flow::{EventSink, EventSource, SinkError};
 use jamm_directory::{DirectoryServer, Dn, Entry};
-use jamm_gateway::{EventFilter, Subscription};
+use jamm_gateway::{EventFilter, PipelineTracer, Subscription};
 use jamm_tsdb::SegmentCatalog;
 use jamm_ulm::{Event, SharedEvent, Timestamp};
 
@@ -32,6 +32,9 @@ pub struct ArchiverAgent {
     /// a failed store the drained batch simply stays here for retry, so a
     /// transient disk error never loses events.
     batch: Vec<SharedEvent>,
+    /// Self-lifeline tracer: watched events get a `JAMM_ARCHIVE_APPEND`
+    /// trace point once their batch is durably stored.
+    tracer: Option<Arc<PipelineTracer>>,
 }
 
 impl ArchiverAgent {
@@ -45,7 +48,14 @@ impl ArchiverAgent {
             catalog_dn,
             published_segments: std::collections::BTreeSet::new(),
             batch: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Attach the self-lifeline tracer: every watched event this archiver
+    /// stores gets a `JAMM_ARCHIVE_APPEND` trace point.
+    pub fn set_tracer(&mut self, tracer: Arc<PipelineTracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// The archive being written.
@@ -119,6 +129,13 @@ impl ArchiverAgent {
         }
         match self.archive.try_store_shared_batch(&self.batch) {
             Ok(n) => {
+                if let Some(tracer) = &self.tracer {
+                    // Trace points only after the store succeeded: an
+                    // `ARCHIVE_APPEND` on a lifeline means durably kept.
+                    for event in &self.batch {
+                        tracer.stage(event, jamm_ulm::keys::jamm::ARCHIVE_APPEND, &self.consumer);
+                    }
+                }
                 // Keep the capacity: the next poll drains into the same
                 // allocation.
                 self.batch.clear();

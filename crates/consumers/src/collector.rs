@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use jamm_core::flow::EventSource;
 use jamm_directory::{DirectoryServer, Dn, Filter, Scope};
-use jamm_gateway::{EventFilter, Subscription};
+use jamm_gateway::{EventFilter, PipelineTracer, Subscription};
 use jamm_ulm::SharedEvent;
 
 use crate::GatewayRegistry;
@@ -37,6 +37,9 @@ pub struct EventCollector {
     /// collecting is a refcount transfer, not a copy.
     collected: Vec<SharedEvent>,
     discovered: Vec<DiscoveredSensor>,
+    /// Self-lifeline tracer: drained events it is watching get a
+    /// `JAMM_SUB_DRAIN` trace point stamped with this consumer's name.
+    tracer: Option<Arc<PipelineTracer>>,
 }
 
 impl EventCollector {
@@ -47,7 +50,19 @@ impl EventCollector {
             subscriptions: Vec::new(),
             collected: Vec::new(),
             discovered: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// The consumer principal this collector acts as.
+    pub fn consumer(&self) -> &str {
+        &self.consumer
+    }
+
+    /// Attach the self-lifeline tracer: every watched event this collector
+    /// drains gets a `JAMM_SUB_DRAIN` trace point.
+    pub fn set_tracer(&mut self, tracer: Arc<PipelineTracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Query the directory for sensors matching `filter` under `base`.
@@ -166,9 +181,17 @@ impl EventCollector {
     /// Drain every subscription channel into the collected log (one batched
     /// drain per subscription).  Returns the number of new events.
     pub fn poll(&mut self) -> usize {
+        let start = self.collected.len();
         let mut new = 0;
         for (_, sub) in &mut self.subscriptions {
             new += sub.drain_into(&mut self.collected);
+        }
+        if let Some(tracer) = &self.tracer {
+            // Only the newly drained tail is scanned, and each scan is a
+            // handful of atomic loads against the tracer's watched ring.
+            for event in &self.collected[start..] {
+                tracer.stage(event, jamm_ulm::keys::jamm::SUB_DRAIN, &self.consumer);
+            }
         }
         new
     }

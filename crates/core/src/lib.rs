@@ -23,7 +23,10 @@
 //!   ([`query::Predicate`]) with a text grammar, compiled
 //!   ([`query::Plan`]) into an allocation-free evaluator plus pushdown
 //!   facts, shared by gateway subscription filters, archive / tsdb scans
-//!   and directory searches.
+//!   and directory searches;
+//! * [`obs`] — the self-instrumentation plane: named counters / gauges,
+//!   log-bucketed latency histograms whose hot-path record is one atomic
+//!   add, and the [`obs::MetricsRegistry`] every layer reports into.
 //!
 //! Because the build environment has no crate registry, this crate also
 //! carries the small std-only stand-ins the workspace would otherwise pull
@@ -40,6 +43,8 @@ pub mod codec;
 pub mod flow;
 pub mod intern;
 pub mod json;
+#[deny(missing_docs)]
+pub mod obs;
 #[deny(missing_docs)]
 pub mod query;
 pub mod rng;

@@ -42,7 +42,7 @@ use jamm_core::channel::{bounded, Receiver, Sender};
 use jamm_core::flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
 use jamm_core::intern::Sym;
 use jamm_core::sync::RwLock;
-use jamm_ulm::{Event, SharedEvent, Timestamp};
+use jamm_ulm::{keys, Event, SharedEvent, Timestamp};
 
 use jamm_auth::acl::{AccessControlList, Action};
 use jamm_core::query::{Plan, Predicate};
@@ -249,6 +249,17 @@ pub struct GatewayConfig {
     /// returns immediately — call [`EventGateway::quiesce`] to wait for
     /// in-flight deliveries before reading counters.
     pub delivery_workers: usize,
+    /// Record per-publish routing latency into
+    /// [`GatewayStats::route_us`] (two clock reads plus one atomic add
+    /// per publish call).  On by default; switch off to reproduce the
+    /// uninstrumented hot path (the `e18_observability` bench's
+    /// baseline row).
+    pub route_timing: bool,
+    /// Self-lifeline tracer: when set, a sampled fraction of published
+    /// events is followed through the pipeline with NetLogger-style
+    /// trace points (see [`crate::trace::PipelineTracer`]).  The
+    /// tracer's own sink gateway must be left untraced.
+    pub tracer: Option<Arc<crate::trace::PipelineTracer>>,
 }
 
 impl GatewayConfig {
@@ -260,6 +271,8 @@ impl GatewayConfig {
             summary_windows: SummaryWindow::all().to_vec(),
             shards: DEFAULT_GATEWAY_SHARDS,
             delivery_workers: 0,
+            route_timing: true,
+            tracer: None,
         }
     }
 
@@ -282,6 +295,19 @@ impl GatewayConfig {
         self.delivery_workers = workers;
         self
     }
+
+    /// Enable or disable per-publish route-latency recording.
+    pub fn with_route_timing(mut self, on: bool) -> Self {
+        self.route_timing = on;
+        self
+    }
+
+    /// Attach a self-lifeline tracer (see
+    /// [`crate::trace::PipelineTracer`]).
+    pub fn with_tracer(mut self, tracer: Arc<crate::trace::PipelineTracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
 }
 
 /// Cumulative gateway statistics.
@@ -297,6 +323,10 @@ pub struct GatewayStats {
     pub bytes_out: AtomicU64,
     /// Query-mode requests served.
     pub queries: AtomicU64,
+    /// Latency distribution of routing (fan-out) per publish call,
+    /// microseconds.  Recorded only while
+    /// [`GatewayConfig::route_timing`] is on.
+    pub route_us: jamm_core::obs::Histogram,
 }
 
 impl GatewayStats {
@@ -379,7 +409,7 @@ impl EventGateway {
     /// Create a gateway.
     pub fn new(config: GatewayConfig) -> Self {
         let shards = config.shards.max(1);
-        let router = Arc::new(ShardedRouter::new(shards));
+        let router = Arc::new(ShardedRouter::new(shards, config.tracer.clone()));
         let stats = Arc::new(GatewayStats::default());
         let in_flight = Arc::new(AtomicU64::new(0));
         // More workers than shards would leave the excess idle: a shard's
@@ -391,9 +421,19 @@ impl EventGateway {
                 let router = Arc::clone(&router);
                 let stats = Arc::clone(&stats);
                 let in_flight = Arc::clone(&in_flight);
+                let tracer = config.tracer.clone();
+                let gw_name = config.name.clone();
+                let timing = config.route_timing;
                 let handle = std::thread::spawn(move || {
                     while let Ok(mut batch) = rx.recv() {
                         let n = batch.len() as u64;
+                        // Watched-event ids must be taken before routing
+                        // moves the batch's `Arc`s into the queues.
+                        let traced: Vec<u64> = match &tracer {
+                            Some(t) => batch.iter().filter_map(|e| t.trace_id(e)).collect(),
+                            None => Vec::new(),
+                        };
+                        let start = timing.then(std::time::Instant::now);
                         let out = if batch.len() == 1 {
                             let event = batch.pop().expect("len checked");
                             let ty = Sym::intern(&event.event_type);
@@ -401,6 +441,14 @@ impl EventGateway {
                         } else {
                             router.route_batch(&batch)
                         };
+                        if let Some(start) = start {
+                            stats.route_us.record_micros(start.elapsed());
+                        }
+                        if let Some(t) = &tracer {
+                            for id in traced {
+                                t.stage_id(id, jamm_ulm::keys::jamm::GW_ROUTED, &gw_name);
+                            }
+                        }
                         stats.apply(&out);
                         in_flight.fetch_sub(n, Ordering::Release);
                     }
@@ -441,6 +489,17 @@ impl EventGateway {
     /// Cumulative statistics.
     pub fn stats(&self) -> &GatewayStats {
         &self.stats
+    }
+
+    /// A shareable handle to the cumulative statistics (for metrics
+    /// collectors that outlive a borrow of the gateway).
+    pub fn stats_handle(&self) -> Arc<GatewayStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The self-lifeline tracer attached to this gateway, if any.
+    pub fn tracer(&self) -> Option<&Arc<crate::trace::PipelineTracer>> {
+        self.config.tracer.as_ref()
     }
 
     /// Number of routing (and summary) shards.
@@ -546,8 +605,23 @@ impl EventGateway {
     /// delivery to N subscribers is N-1 refcount bumps plus one move.
     pub fn publish_shared(&self, event: SharedEvent) -> usize {
         let ty = self.observe(&event);
+        if let Some(tracer) = &self.config.tracer {
+            tracer.on_publish(&event, &self.config.name);
+        }
         if self.workers.is_empty() {
+            let traced = self
+                .config
+                .tracer
+                .as_deref()
+                .and_then(|t| t.trace_id(&event));
+            let start = self.config.route_timing.then(std::time::Instant::now);
             let out = self.router.route(ty, event);
+            if let Some(start) = start {
+                self.stats.route_us.record_micros(start.elapsed());
+            }
+            if let (Some(tracer), Some(id)) = (&self.config.tracer, traced) {
+                tracer.stage_id(id, keys::jamm::GW_ROUTED, &self.config.name);
+            }
             self.stats.apply(&out);
             return out.delivered as usize;
         }
@@ -582,8 +656,24 @@ impl EventGateway {
         if self.workers.is_empty() {
             for event in events {
                 self.observe(event);
+                if let Some(tracer) = &self.config.tracer {
+                    tracer.on_publish(event, &self.config.name);
+                }
             }
+            let traced: Vec<u64> = match &self.config.tracer {
+                Some(t) => events.iter().filter_map(|e| t.trace_id(e)).collect(),
+                None => Vec::new(),
+            };
+            let start = self.config.route_timing.then(std::time::Instant::now);
             let out = self.router.route_batch(events);
+            if let Some(start) = start {
+                self.stats.route_us.record_micros(start.elapsed());
+            }
+            if let Some(tracer) = &self.config.tracer {
+                for id in traced {
+                    tracer.stage_id(id, keys::jamm::GW_ROUTED, &self.config.name);
+                }
+            }
             self.stats.apply(&out);
             return out.delivered as usize;
         }
@@ -596,6 +686,9 @@ impl EventGateway {
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         for event in events {
             let ty = self.observe(event);
+            if let Some(tracer) = &self.config.tracer {
+                tracer.on_publish(event, &self.config.name);
+            }
             let widx = self.router.shard_of_sym(ty) % self.workers.len();
             groups[widx].push(SharedEvent::clone(event));
         }

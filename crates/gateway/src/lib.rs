@@ -31,6 +31,7 @@ pub mod gateway;
 mod hash;
 pub mod routing;
 pub mod summary;
+pub mod trace;
 
 pub use filter::{EventFilter, FilterChain};
 pub use gateway::{
@@ -41,6 +42,7 @@ pub use jamm_core::flow::OverflowPolicy;
 pub use jamm_core::query::{Plan, Predicate};
 pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
 pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
+pub use trace::{PipelineTracer, DEFAULT_SAMPLE_EVERY};
 
 /// Errors returned by gateway operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

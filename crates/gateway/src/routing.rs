@@ -239,10 +239,14 @@ pub(crate) struct ShardedRouter {
     /// Registry of every live entry in subscription order — the source of
     /// truth the per-shard snapshots are rebuilt from on the cold path.
     entries: Mutex<Vec<Arc<RouteEntry>>>,
+    /// Self-lifeline tracer: watched events emit a
+    /// [`jamm_ulm::keys::jamm::SUB_DELIVER`] point per subscription queue
+    /// they are pushed into.
+    tracer: Option<Arc<crate::trace::PipelineTracer>>,
 }
 
 impl ShardedRouter {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, tracer: Option<Arc<crate::trace::PipelineTracer>>) -> Self {
         let shards = shards.max(1);
         ShardedRouter {
             shards: (0..shards)
@@ -252,6 +256,7 @@ impl ShardedRouter {
                 })
                 .collect(),
             entries: Mutex::new(Vec::new()),
+            tracer,
         }
     }
 
@@ -423,6 +428,8 @@ impl ShardedRouter {
         let table = shard.table.read().clone();
         let mut out = RouteOutcome::default();
         let mut saw_closed = false;
+        // One watched-ring scan per event, not one per candidate.
+        let traced = self.tracer.as_ref().and_then(|t| t.trace_id(&event));
         let typed = table.by_type.get(&ty);
         let mut candidates = typed.into_iter().flatten().chain(table.wildcard.iter());
         let mut current = candidates.next();
@@ -437,6 +444,9 @@ impl ShardedRouter {
             };
             match entry.deliver(ev, size) {
                 Delivery::Sent { evicted } => {
+                    if let (Some(tracer), Some(id)) = (&self.tracer, traced) {
+                        tracer.stage_id(id, jamm_ulm::keys::jamm::SUB_DELIVER, &entry.consumer);
+                    }
                     out.delivered += 1;
                     out.bytes += size;
                     if evicted {
@@ -513,9 +523,28 @@ impl ShardedRouter {
             let shard_idxs: Vec<usize> = buffered.iter().map(|(i, _, _)| *i).collect();
             let sizes: Vec<u64> = buffered.iter().map(|(_, s, _)| *s).collect();
             let batch: Vec<SharedEvent> = buffered.into_iter().map(|(_, _, e)| e).collect();
+            // (position, correlation id) of watched events, resolved
+            // before the batched send moves the `Arc`s away.
+            let traced: Vec<(usize, u64)> = match &self.tracer {
+                Some(t) => batch
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| t.trace_id(e).map(|id| (i, id)))
+                    .collect(),
+                None => Vec::new(),
+            };
             match entry.overflow {
                 OverflowPolicy::DropOldest => match entry.tx.send_batch_overwriting(batch) {
                     Ok(evicted) => {
+                        if let Some(tracer) = &self.tracer {
+                            for (_, id) in &traced {
+                                tracer.stage_id(
+                                    *id,
+                                    jamm_ulm::keys::jamm::SUB_DELIVER,
+                                    &entry.consumer,
+                                );
+                            }
+                        }
                         let n = shard_idxs.len() as u64;
                         let bytes: u64 = sizes.iter().sum();
                         entry.counters.record_delivered_n(n, bytes);
@@ -540,6 +569,17 @@ impl ShardedRouter {
                 },
                 OverflowPolicy::DropNewest => match entry.tx.try_send_batch(batch) {
                     Ok((accepted, rejected)) => {
+                        if let Some(tracer) = &self.tracer {
+                            for (pos, id) in &traced {
+                                if *pos < accepted {
+                                    tracer.stage_id(
+                                        *id,
+                                        jamm_ulm::keys::jamm::SUB_DELIVER,
+                                        &entry.consumer,
+                                    );
+                                }
+                            }
+                        }
                         let bytes: u64 = sizes[..accepted].iter().sum();
                         entry.counters.record_delivered_n(accepted as u64, bytes);
                         entry.counters.record_dropped(rejected as u64);

@@ -1,13 +1,97 @@
-//! Administrative-effort accounting (experiment E9).
+//! Administrative views of a running deployment.
 //!
-//! The paper closes its results section with an effort argument: "One would
-//! need to have an account on every system, with superuser privileges (to
-//! run the tcpdump sensor), and log into every system (13 in this example)
-//! and start every sensor by hand, and then copy the results to one place
-//! for analysis. ...  Using JAMM, all that is required is for the
-//! application user to start up a consumer and subscribe to the relevant
-//! sensor data."  This module turns that narrative into a counted model so
-//! the comparison can be reported as numbers.
+//! Two things live here:
+//!
+//! * [`gateway_admin_stats`] — the one aggregation that turns a
+//!   deployment's live atomic counters (gateway stats, per-shard and
+//!   per-subscription reports, edge socket rows, the reactor's loop
+//!   saturation) into [`GatewayAdminStats`] rows.  `JammSystem::admin_stats`
+//!   and the metrics exposition both read through the same underlying
+//!   counters, so an operator comparing the two views always sees the same
+//!   numbers.
+//! * [`AdminEffort`] — the administrative-effort accounting of experiment
+//!   E9.  The paper closes its results section with an effort argument:
+//!   "One would need to have an account on every system, with superuser
+//!   privileges (to run the tcpdump sensor), and log into every system (13
+//!   in this example) and start every sensor by hand, and then copy the
+//!   results to one place for analysis. ...  Using JAMM, all that is
+//!   required is for the application user to start up a consumer and
+//!   subscribe to the relevant sensor data."  This module turns that
+//!   narrative into a counted model so the comparison can be reported as
+//!   numbers.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use jamm_gateway::EventGateway;
+use jamm_reactor::{LoopStats, Reactor, SocketRow};
+use jamm_rmi::edge::EventEdge;
+
+/// One gateway's row of `JammSystem::admin_stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayAdminStats {
+    /// Gateway name.
+    pub name: String,
+    /// Events published into the gateway.
+    pub events_in: u64,
+    /// Event copies delivered to streaming consumers.
+    pub events_out: u64,
+    /// Event copies dropped on full subscription queues.
+    pub events_dropped: u64,
+    /// Approximate payload bytes delivered.
+    pub bytes_out: u64,
+    /// Query-mode requests served.
+    pub queries: u64,
+    /// Routing (fan-out) latency distribution per publish, microseconds.
+    pub route_us: jamm_core::obs::HistogramSnapshot,
+    /// Background delivery workers (0 = synchronous delivery).
+    pub delivery_workers: usize,
+    /// Per-shard routing breakdown: how traffic, deliveries, drops and
+    /// bytes distribute across the fan-out engine's shards.
+    pub shards: Vec<jamm_gateway::ShardReport>,
+    /// Per-subscription delivery totals.
+    pub subscriptions: Vec<jamm_gateway::DeliveryReport>,
+    /// Per-socket rows of the gateway's network edge (queued bytes, drops,
+    /// stalls per remote subscriber); empty when no edge is running.
+    pub sockets: Vec<SocketRow>,
+    /// The shared reactor's loop-saturation counters (poll-wait vs
+    /// dispatch time), present when this gateway has a network edge.
+    /// `loop_stats.saturation()` near 1.0 means the single loop thread is
+    /// the bottleneck.
+    pub loop_stats: Option<LoopStats>,
+}
+
+/// Build the admin rows for a set of gateways from their live counters.
+/// This is the single aggregation both `JammSystem::admin_stats` and the
+/// metrics exposition trust; the numbers come straight from the same
+/// atomics the hot paths increment.
+pub fn gateway_admin_stats(
+    gateways: &[Arc<EventGateway>],
+    edges: &[EventEdge],
+    reactor: Option<&Reactor>,
+) -> Vec<GatewayAdminStats> {
+    gateways
+        .iter()
+        .map(|gw| {
+            let stats = gw.stats();
+            let edge = edges.iter().find(|e| e.gateway_name() == gw.name());
+            GatewayAdminStats {
+                name: gw.name().to_string(),
+                events_in: stats.events_in.load(Ordering::Relaxed),
+                events_out: stats.events_out.load(Ordering::Relaxed),
+                events_dropped: stats.events_dropped.load(Ordering::Relaxed),
+                bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+                queries: stats.queries.load(Ordering::Relaxed),
+                route_us: stats.route_us.snapshot(),
+                delivery_workers: gw.delivery_worker_count(),
+                shards: gw.shard_report(),
+                subscriptions: gw.delivery_report(),
+                sockets: edge.map(|e| e.socket_stats()).unwrap_or_default(),
+                loop_stats: edge.and(reactor).map(|r| r.loop_stats()),
+            }
+        })
+        .collect()
+}
 
 /// The administrative operations needed to run one monitored analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,13 +11,21 @@ use jamm_archive::EventArchive;
 use jamm_consumers::archiver::ArchiverAgent;
 use jamm_consumers::collector::EventCollector;
 use jamm_consumers::GatewayRegistry;
+use jamm_core::obs::{MetricsRegistry, MetricsSnapshot, Sample};
 use jamm_core::query::{Facts, Predicate};
 use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
-use jamm_gateway::{EventFilter, EventGateway, GatewayConfig};
-use jamm_reactor::{Reactor, ReactorConfig, SocketRow};
+use jamm_gateway::{
+    EventFilter, EventGateway, GatewayConfig, PipelineTracer, Subscription, DEFAULT_SAMPLE_EVERY,
+};
+use jamm_reactor::{Reactor, ReactorConfig};
 use jamm_rmi::edge::{EdgeConfig, EventEdge};
 use jamm_ulm::{Event, SharedEvent};
+
+pub use crate::admin::GatewayAdminStats;
+
+/// Name of the internal gateway self-lifeline trace events flow through.
+pub const SELF_GATEWAY: &str = "_jamm";
 
 /// Errors from [`JammBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +39,9 @@ pub enum BuildError {
     /// The network edge (reactor or a gateway's broadcast listener) could
     /// not be brought up.
     Edge(String),
+    /// The self-monitoring plane (internal `_jamm` gateway subscription)
+    /// could not be wired.
+    SelfMonitor(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -40,6 +51,7 @@ impl std::fmt::Display for BuildError {
             BuildError::NoGateways => write!(f, "deployment declares no event gateway"),
             BuildError::Archive(e) => write!(f, "cannot open archive store: {e}"),
             BuildError::Edge(e) => write!(f, "cannot start network edge: {e}"),
+            BuildError::SelfMonitor(e) => write!(f, "cannot wire self-monitoring: {e}"),
         }
     }
 }
@@ -90,6 +102,7 @@ pub struct JammBuilder {
     network_edge: bool,
     edge_max_connections: Option<usize>,
     edge_write_budget: Option<usize>,
+    self_monitor: Option<u64>,
 }
 
 impl JammBuilder {
@@ -198,6 +211,25 @@ impl JammBuilder {
         self
     }
 
+    /// Monitor the monitor: sample one in every `sample_every` published
+    /// events (rounded to a power of two) and follow it through the
+    /// pipeline as a NetLogger lifeline — publish, route, subscription
+    /// delivery and drain, edge encode and broadcast, archive append —
+    /// emitted as ULM events (`PROG=_jamm`) into an internal [`SELF_GATEWAY`]
+    /// gateway.  Drain them with `JammSystem::drain_self_events` and feed
+    /// them to `jamm_netlogger::analysis::diagnose` to localise the slow
+    /// stage.  Use [`jamm_gateway::DEFAULT_SAMPLE_EVERY`] for the default
+    /// rate.
+    pub fn self_monitor(mut self, sample_every: u64) -> Self {
+        self.self_monitor = Some(sample_every);
+        self
+    }
+
+    /// [`JammBuilder::self_monitor`] at the default 1-in-64 sample rate.
+    pub fn self_monitor_default(self) -> Self {
+        self.self_monitor(DEFAULT_SAMPLE_EVERY)
+    }
+
     /// Wire everything.
     pub fn build(self) -> Result<JammSystem, BuildError> {
         if self.gateways.is_empty() {
@@ -212,6 +244,18 @@ impl JammBuilder {
                 .unwrap_or_else(|| "ldap://directory".to_string()),
             suffix_dn.clone(),
         ));
+        // The self-monitoring plane: an internal, untraced gateway the
+        // tracer emits lifeline events into (untraced, so tracing the
+        // trace stream cannot recurse), plus the tracer all pipeline
+        // stages share.
+        let (self_gateway, tracer) = match self.self_monitor {
+            Some(every) => {
+                let sink = Arc::new(EventGateway::new(GatewayConfig::open(SELF_GATEWAY)));
+                let tracer = PipelineTracer::new(Arc::clone(&sink), "jamm-monitor", every);
+                (Some(sink), Some(tracer))
+            }
+            None => (None, None),
+        };
         let mut registry = GatewayRegistry::new();
         let mut gateways = Vec::new();
         for mut config in self.gateways {
@@ -221,16 +265,24 @@ impl JammBuilder {
             if let Some(workers) = self.delivery_workers {
                 config = config.with_delivery_workers(workers);
             }
+            if let Some(t) = &tracer {
+                config = config.with_tracer(Arc::clone(t));
+            }
             let name = config.name.clone();
             let gw = Arc::new(EventGateway::new(config));
             registry.register(name, Arc::clone(&gw));
             gateways.push(gw);
         }
-        let collectors = self
+        let mut collectors: Vec<EventCollector> = self
             .collectors
             .into_iter()
             .map(EventCollector::new)
             .collect();
+        if let Some(t) = &tracer {
+            for c in &mut collectors {
+                c.set_tracer(Arc::clone(t));
+            }
+        }
         let archive = match &self.archive_dir {
             Some(dir) => {
                 Arc::new(EventArchive::open(dir).map_err(|e| BuildError::Archive(e.to_string()))?)
@@ -240,7 +292,11 @@ impl JammBuilder {
         let archiver = match self.archiver {
             Some((consumer, catalog_dn)) => {
                 let dn = Dn::parse(&catalog_dn).map_err(|_| BuildError::BadDn(catalog_dn))?;
-                Some(ArchiverAgent::new(consumer, Arc::clone(&archive), dn))
+                let mut agent = ArchiverAgent::new(consumer, Arc::clone(&archive), dn);
+                if let Some(t) = &tracer {
+                    agent.set_tracer(Arc::clone(t));
+                }
+                Some(agent)
             }
             None => None,
         };
@@ -268,6 +324,28 @@ impl JammBuilder {
         } else {
             (None, Vec::new())
         };
+        // A generously bounded subscription on the self-gateway buffers
+        // lifeline events until the operator drains them.
+        let self_sub = match &self_gateway {
+            Some(gw) => Some(
+                gw.subscribe()
+                    .stream()
+                    .capacity(65_536)
+                    .as_consumer("_monitor")
+                    .open()
+                    .map_err(|e| BuildError::SelfMonitor(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let metrics = Arc::new(MetricsRegistry::new());
+        register_metric_collectors(
+            &metrics,
+            &gateways,
+            &edges,
+            reactor.as_ref(),
+            &archive,
+            tracer.as_ref(),
+        );
         Ok(JammSystem {
             directory,
             suffix: suffix_dn,
@@ -279,7 +357,188 @@ impl JammBuilder {
             retention_micros: self.retention_micros,
             edges,
             reactor,
+            self_gateway,
+            tracer,
+            self_sub,
+            self_log: Arc::new(jamm_core::sync::Mutex::new(Vec::new())),
+            metrics,
         })
+    }
+}
+
+/// Register one collector per observable component: each closure captures
+/// only cheap `Arc` handles to the live atomic counters, so a snapshot
+/// reads exactly the numbers `admin_stats` reads.
+fn register_metric_collectors(
+    metrics: &MetricsRegistry,
+    gateways: &[Arc<EventGateway>],
+    edges: &[EventEdge],
+    reactor: Option<&Arc<Reactor>>,
+    archive: &Arc<EventArchive>,
+    tracer: Option<&Arc<PipelineTracer>>,
+) {
+    use jamm_core::obs::SampleValue;
+    for gw in gateways {
+        let gw = Arc::clone(gw);
+        metrics.register_collector(Box::new(move |out: &mut Vec<Sample>| {
+            use std::sync::atomic::Ordering;
+            let name = gw.name().to_string();
+            let stats = gw.stats();
+            let with_gw = |s: Sample| s.with_label("gateway", name.clone());
+            out.push(with_gw(Sample::counter(
+                "jamm_gateway_events_in",
+                stats.events_in.load(Ordering::Relaxed),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_gateway_events_out",
+                stats.events_out.load(Ordering::Relaxed),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_gateway_events_dropped",
+                stats.events_dropped.load(Ordering::Relaxed),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_gateway_bytes_out",
+                stats.bytes_out.load(Ordering::Relaxed),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_gateway_queries",
+                stats.queries.load(Ordering::Relaxed),
+            )));
+            out.push(with_gw(Sample {
+                name: "jamm_gateway_route_us".to_string(),
+                labels: Vec::new(),
+                value: SampleValue::Histogram(stats.route_us.snapshot()),
+            }));
+            for report in gw.delivery_report() {
+                let with_sub = |s: Sample| {
+                    s.with_label("gateway", name.clone())
+                        .with_label("consumer", report.consumer.clone())
+                        .with_label("subscription", report.id.to_string())
+                };
+                out.push(with_sub(Sample::counter(
+                    "jamm_subscription_delivered",
+                    report.delivered,
+                )));
+                out.push(with_sub(Sample::counter(
+                    "jamm_subscription_dropped",
+                    report.dropped,
+                )));
+                out.push(with_sub(Sample::counter(
+                    "jamm_subscription_bytes",
+                    report.bytes,
+                )));
+            }
+        }));
+    }
+    if let Some(reactor) = reactor {
+        let reactor = Arc::clone(reactor);
+        metrics.register_collector(Box::new(move |out: &mut Vec<Sample>| {
+            let ls = reactor.loop_stats();
+            out.push(Sample::counter("jamm_reactor_ticks", ls.ticks));
+            out.push(Sample::counter(
+                "jamm_reactor_poll_wait_ns",
+                ls.poll_wait_ns,
+            ));
+            out.push(Sample::counter("jamm_reactor_dispatch_ns", ls.dispatch_ns));
+            out.push(Sample::gauge("jamm_reactor_saturation", ls.saturation()));
+            out.push(Sample::gauge(
+                "jamm_reactor_connections",
+                reactor.connections() as f64,
+            ));
+        }));
+    }
+    for edge in edges {
+        let name = edge.gateway_name().to_string();
+        let handle = edge.stats_handle();
+        let listener = edge.listener();
+        let Some(reactor) = reactor.map(Arc::clone) else {
+            continue;
+        };
+        metrics.register_collector(Box::new(move |out: &mut Vec<Sample>| {
+            let stats = handle.stats();
+            let with_gw = |s: Sample| s.with_label("gateway", name.clone());
+            out.push(with_gw(Sample::counter("jamm_edge_batches", stats.batches)));
+            out.push(with_gw(Sample::counter("jamm_edge_events", stats.events)));
+            out.push(with_gw(Sample::counter(
+                "jamm_edge_encoded_bytes",
+                stats.encoded_bytes,
+            )));
+            let rows: Vec<_> = reactor
+                .socket_stats()
+                .into_iter()
+                .filter(|r| r.listener == Some(listener))
+                .collect();
+            out.push(with_gw(Sample::gauge(
+                "jamm_edge_subscribers",
+                rows.len() as f64,
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_edge_socket_bytes_out",
+                rows.iter().map(|r| r.stats.bytes_out).sum(),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_edge_socket_dropped_frames",
+                rows.iter().map(|r| r.stats.dropped_frames).sum(),
+            )));
+            out.push(with_gw(Sample::counter(
+                "jamm_edge_socket_stalls",
+                rows.iter().map(|r| r.stats.stalls).sum(),
+            )));
+        }));
+    }
+    {
+        let archive = Arc::clone(archive);
+        metrics.register_collector(Box::new(move |out: &mut Vec<Sample>| {
+            let stats = archive.stats();
+            out.push(Sample::counter("jamm_tsdb_appended", stats.appended()));
+            out.push(Sample::counter(
+                "jamm_tsdb_sealed_segments",
+                stats.sealed_segments(),
+            ));
+            out.push(Sample::counter(
+                "jamm_tsdb_compactions",
+                stats.compactions(),
+            ));
+            out.push(Sample::counter(
+                "jamm_tsdb_segments_scanned",
+                stats.segments_scanned(),
+            ));
+            out.push(Sample::counter(
+                "jamm_tsdb_segments_pruned",
+                stats.segments_pruned(),
+            ));
+            out.push(Sample::counter(
+                "jamm_tsdb_expired_events",
+                stats.expired_events(),
+            ));
+            for (name, h) in [
+                ("jamm_tsdb_append_us", stats.append_us()),
+                ("jamm_tsdb_seal_us", stats.seal_us()),
+                ("jamm_tsdb_compact_us", stats.compact_us()),
+                ("jamm_tsdb_scan_setup_us", stats.scan_setup_us()),
+            ] {
+                out.push(Sample {
+                    name: name.to_string(),
+                    labels: Vec::new(),
+                    value: SampleValue::Histogram(h.snapshot()),
+                });
+            }
+        }));
+    }
+    if let Some(tracer) = tracer {
+        let tracer = Arc::clone(tracer);
+        metrics.register_collector(Box::new(move |out: &mut Vec<Sample>| {
+            out.push(Sample::gauge(
+                "jamm_trace_sample_every",
+                tracer.sample_every() as f64,
+            ));
+            out.push(Sample::counter(
+                "jamm_trace_sampled",
+                tracer.sampled_count(),
+            ));
+            out.push(Sample::counter("jamm_trace_points", tracer.point_count()));
+        }));
     }
 }
 
@@ -306,6 +565,18 @@ pub struct JammSystem {
     pub edges: Vec<EventEdge>,
     /// The shared reactor running every edge listener, if enabled.
     pub reactor: Option<Arc<Reactor>>,
+    /// The internal gateway self-lifeline trace events flow through, when
+    /// [`JammBuilder::self_monitor`] is on.
+    pub self_gateway: Option<Arc<EventGateway>>,
+    /// The pipeline tracer every stage shares, when self-monitoring is on.
+    pub tracer: Option<Arc<PipelineTracer>>,
+    /// Bounded subscription buffering lifeline events until drained.
+    self_sub: Option<Subscription>,
+    /// Lifeline events drained so far, in arrival order — shared with the
+    /// RMI `admin.diagnose` closure.
+    self_log: Arc<jamm_core::sync::Mutex<Vec<SharedEvent>>>,
+    /// The metrics registry every component reports through.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for JammSystem {
@@ -444,34 +715,71 @@ impl JammSystem {
     }
 
     /// Administrative statistics: one row per gateway with its cumulative
-    /// totals **and** the per-shard delivered/dropped/bytes breakdown from
-    /// the fan-out engine (per-subscription totals alone cannot show a hot
-    /// shard or a skewed event-type distribution).
+    /// totals, routing latency, the per-shard delivered/dropped/bytes
+    /// breakdown from the fan-out engine (per-subscription totals alone
+    /// cannot show a hot shard or a skewed event-type distribution), edge
+    /// socket rows and the reactor's loop saturation.  The same counters
+    /// back [`JammSystem::metrics`], so both views always agree.
     pub fn admin_stats(&self) -> Vec<GatewayAdminStats> {
-        use std::sync::atomic::Ordering;
-        self.gateways
-            .iter()
-            .map(|gw| {
-                let stats = gw.stats();
-                GatewayAdminStats {
-                    name: gw.name().to_string(),
-                    events_in: stats.events_in.load(Ordering::Relaxed),
-                    events_out: stats.events_out.load(Ordering::Relaxed),
-                    events_dropped: stats.events_dropped.load(Ordering::Relaxed),
-                    bytes_out: stats.bytes_out.load(Ordering::Relaxed),
-                    queries: stats.queries.load(Ordering::Relaxed),
-                    delivery_workers: gw.delivery_worker_count(),
-                    shards: gw.shard_report(),
-                    subscriptions: gw.delivery_report(),
-                    sockets: self
-                        .edges
-                        .iter()
-                        .find(|e| e.gateway_name() == gw.name())
-                        .map(|e| e.socket_stats())
-                        .unwrap_or_default(),
-                }
-            })
-            .collect()
+        crate::admin::gateway_admin_stats(&self.gateways, &self.edges, self.reactor.as_deref())
+    }
+
+    /// Point-in-time reading of every metric the deployment exposes:
+    /// gateway and subscription counters, routing and storage latency
+    /// histograms, edge broadcast and socket totals, reactor loop
+    /// saturation, and the self-lifeline tracer's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The deployment's metrics in Prometheus-style text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.metrics().render_text()
+    }
+
+    /// The metrics registry itself, for registering extra collectors or
+    /// serving the exposition remotely.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Expose the deployment's observability plane on an RMI bus as the
+    /// `admin` service: method `metrics` returns the text exposition,
+    /// method `diagnose` runs [`jamm_netlogger::analysis::diagnose`] over
+    /// the lifelines drained so far and returns its report rendered as
+    /// text.  Call [`JammSystem::drain_self_events`] before invoking
+    /// `diagnose` remotely, or pass the lifelines explicitly.
+    pub fn register_admin_rmi(&self, bus: &jamm_rmi::MessageBus) {
+        let metrics = Arc::clone(&self.metrics);
+        let self_log = Arc::clone(&self.self_log);
+        bus.register_fn("admin", move |method, _args| match method {
+            "metrics" => Ok(jamm_core::json::Json::String(
+                metrics.snapshot().render_text(),
+            )),
+            "diagnose" => {
+                let log = self_log.lock();
+                let report = jamm_netlogger::analysis::diagnose(log.iter().map(|e| e.as_ref()));
+                Ok(jamm_core::json::Json::String(report.render_text()))
+            }
+            other => Err(jamm_rmi::RmiError::NoSuchMethod(other.to_string())),
+        });
+    }
+
+    /// Drain lifeline trace events from the self-monitoring gateway into
+    /// the retained log ([`JammSystem::self_events`]).  Returns how many
+    /// arrived.  A no-op without [`JammBuilder::self_monitor`].
+    pub fn drain_self_events(&mut self) -> usize {
+        use jamm_core::EventSource;
+        match &mut self.self_sub {
+            Some(sub) => sub.drain_into(&mut self.self_log.lock()),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of the self-lifeline trace events drained so far, in
+    /// arrival order — the input to `jamm_netlogger::analysis::diagnose`.
+    pub fn self_events(&self) -> Vec<SharedEvent> {
+        self.self_log.lock().clone()
     }
 
     /// The TCP address remote subscribers connect to for a gateway's
@@ -618,33 +926,6 @@ impl std::fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
-
-/// One gateway's row of [`JammSystem::admin_stats`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GatewayAdminStats {
-    /// Gateway name.
-    pub name: String,
-    /// Events published into the gateway.
-    pub events_in: u64,
-    /// Event copies delivered to streaming consumers.
-    pub events_out: u64,
-    /// Event copies dropped on full subscription queues.
-    pub events_dropped: u64,
-    /// Approximate payload bytes delivered.
-    pub bytes_out: u64,
-    /// Query-mode requests served.
-    pub queries: u64,
-    /// Background delivery workers (0 = synchronous delivery).
-    pub delivery_workers: usize,
-    /// Per-shard routing breakdown: how traffic, deliveries, drops and
-    /// bytes distribute across the fan-out engine's shards.
-    pub shards: Vec<jamm_gateway::ShardReport>,
-    /// Per-subscription delivery totals.
-    pub subscriptions: Vec<jamm_gateway::DeliveryReport>,
-    /// Per-socket rows of the gateway's network edge (queued bytes, drops,
-    /// stalls per remote subscriber); empty when no edge is running.
-    pub sockets: Vec<SocketRow>,
-}
 
 /// What one [`JammSystem::archive_maintenance`] pass did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -926,6 +1207,97 @@ mod tests {
         assert!(matches!(
             jamm.query("ops", "(nonsense", Timestamp::from_secs(0)),
             Err(QueryError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn self_monitoring_traces_lifelines_and_unifies_metrics() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .collector("ops")
+            .archiver("keeper", "archive=main,o=grid")
+            .self_monitor(1) // sample every published event
+            .build()
+            .unwrap();
+        jamm.connect_collectors(vec![]);
+        jamm.connect_archiver(vec![]);
+        for t in 0..16u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, t));
+        }
+        jamm.poll();
+        assert!(jamm.drain_self_events() > 0);
+
+        // The lifelines cover publish, route, delivery, drain and archive
+        // append, correlated by NL.OID and targeted per consumer.
+        let lifeline_log = jamm.self_events();
+        let stages: std::collections::BTreeSet<&str> =
+            lifeline_log.iter().map(|e| e.event_type.as_str()).collect();
+        for stage in [
+            jamm_ulm::keys::jamm::GW_PUBLISH,
+            jamm_ulm::keys::jamm::GW_ROUTED,
+            jamm_ulm::keys::jamm::SUB_DELIVER,
+            jamm_ulm::keys::jamm::SUB_DRAIN,
+            jamm_ulm::keys::jamm::ARCHIVE_APPEND,
+        ] {
+            assert!(stages.contains(stage), "missing stage {stage}: {stages:?}");
+        }
+        assert!(lifeline_log
+            .iter()
+            .all(|e| e.program == "_jamm" && e.object_id().is_some()));
+
+        // Metrics and admin_stats read the same atomics: identical numbers.
+        let snapshot = jamm.metrics();
+        let admin = jamm.admin_stats();
+        assert_eq!(
+            snapshot.counter_with("jamm_gateway_events_in", "gateway", "gw1"),
+            Some(admin[0].events_in)
+        );
+        assert_eq!(
+            snapshot
+                .counter_with("jamm_subscription_delivered", "consumer", "ops")
+                .unwrap(),
+            admin[0]
+                .subscriptions
+                .iter()
+                .find(|s| s.consumer == "ops")
+                .unwrap()
+                .delivered
+        );
+        assert_eq!(admin[0].route_us.count(), 16, "one routing sample/publish");
+        let text = jamm.render_metrics();
+        assert!(text.contains("jamm_gateway_events_in"));
+        assert!(text.contains("jamm_trace_sampled"));
+        assert!(text.contains("jamm_tsdb_appended"));
+
+        // The RMI admin method serves the same exposition remotely.
+        let bus = jamm_rmi::MessageBus::new();
+        jamm.register_admin_rmi(&bus);
+        let served = bus
+            .invoke(&jamm_rmi::MethodCall::new(
+                "admin",
+                "metrics",
+                jamm_core::json::Json::Null,
+            ))
+            .unwrap();
+        assert!(served.as_str().unwrap().contains("jamm_gateway_events_in"));
+        // ... and the diagnosis over the drained lifelines.
+        let report = bus
+            .invoke(&jamm_rmi::MethodCall::new(
+                "admin",
+                "diagnose",
+                jamm_core::json::Json::Null,
+            ))
+            .unwrap();
+        let report = report.as_str().unwrap();
+        assert!(report.contains("bottleneck:"), "{report}");
+        assert!(!report.contains("bottleneck: none"), "{report}");
+        assert!(matches!(
+            bus.invoke(&jamm_rmi::MethodCall::new(
+                "admin",
+                "nope",
+                jamm_core::json::Json::Null
+            )),
+            Err(jamm_rmi::RmiError::NoSuchMethod(_))
         ));
     }
 

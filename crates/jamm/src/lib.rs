@@ -72,7 +72,7 @@ pub mod deployment;
 
 pub use builder::{
     ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem, QueryAnswer,
-    QueryError,
+    QueryError, SELF_GATEWAY,
 };
 pub use deployment::{DeploymentConfig, JammDeployment};
 pub use jamm_ulm::SharedEvent;

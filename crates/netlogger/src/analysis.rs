@@ -200,6 +200,179 @@ pub fn two_cluster(readings: &[f64]) -> Option<TwoClusters> {
     })
 }
 
+/// One hop of the monitoring pipeline, aggregated across sampled
+/// self-lifelines: how long watched events took to get from stage `from`
+/// to stage `to` at component `target`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLatency {
+    /// Stage the hop starts at (a `JAMM_*` event type).
+    pub from: String,
+    /// Stage the hop ends at.
+    pub to: String,
+    /// `TARGET` of the destination stage point — the consumer, archiver,
+    /// gateway or edge the hop delivered to, i.e. the component to blame
+    /// if this hop dominates.
+    pub target: String,
+    /// Lifelines that contributed this hop.
+    pub count: usize,
+    /// Mean hop latency in microseconds.
+    pub mean_us: f64,
+    /// Worst observed hop latency in microseconds.
+    pub max_us: u64,
+}
+
+/// The automated bottleneck diagnosis over JAMM's own self-lifelines.
+///
+/// This is the §6 methodology turned on the monitoring system itself:
+/// instead of an analyst eyeballing an nlv chart of `_jamm` trace points,
+/// [`diagnose`] computes the per-stage latency breakdown and names the
+/// slowest hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Distinct sampled lifelines examined.
+    pub traces: usize,
+    /// Every observed (from, to, target) hop, sorted by descending mean
+    /// latency — `hops[0]` is the bottleneck.
+    pub hops: Vec<StageLatency>,
+}
+
+impl Diagnosis {
+    /// The slowest hop by mean latency, if any hop was observed.
+    pub fn bottleneck(&self) -> Option<&StageLatency> {
+        self.hops.first()
+    }
+
+    /// Human-readable report, bottleneck first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        match self.bottleneck() {
+            Some(b) => out.push_str(&format!(
+                "bottleneck: {} -> {} at {} (mean {:.0} us over {} lifelines, max {} us)\n",
+                b.from, b.to, b.target, b.mean_us, b.count, b.max_us
+            )),
+            None => out.push_str("bottleneck: none (no complete hops observed)\n"),
+        }
+        out.push_str(&format!("lifelines examined: {}\n", self.traces));
+        for h in &self.hops {
+            out.push_str(&format!(
+                "  {:>22} -> {:<22} {:<20} mean {:>10.1} us  max {:>8} us  n={}\n",
+                h.from, h.to, h.target, h.mean_us, h.max_us, h.count
+            ));
+        }
+        out
+    }
+}
+
+/// Which earlier stage each pipeline stage is measured against, in
+/// preference order; `true` means the predecessor must carry the same
+/// `TARGET` (drain and archive are per-consumer continuations of that
+/// consumer's own delivery point).
+fn hop_predecessors(stage: &str) -> &'static [(&'static str, bool)] {
+    use jamm_ulm::keys::jamm;
+    match stage {
+        s if s == jamm::GW_ROUTED => &[(jamm::GW_PUBLISH, false)],
+        s if s == jamm::SUB_DELIVER => &[(jamm::GW_ROUTED, false), (jamm::GW_PUBLISH, false)],
+        s if s == jamm::SUB_DRAIN => &[(jamm::SUB_DELIVER, true), (jamm::GW_ROUTED, false)],
+        s if s == jamm::ARCHIVE_APPEND => &[(jamm::SUB_DELIVER, true), (jamm::GW_ROUTED, false)],
+        s if s == jamm::EDGE_ENCODE => &[(jamm::GW_ROUTED, false), (jamm::GW_PUBLISH, false)],
+        s if s == jamm::EDGE_BROADCAST => &[(jamm::EDGE_ENCODE, false)],
+        _ => &[],
+    }
+}
+
+fn target_of(event: &Event) -> &str {
+    event
+        .field(jamm_ulm::keys::TARGET)
+        .and_then(jamm_ulm::Value::as_str)
+        .unwrap_or("?")
+}
+
+/// Compute the per-stage latency breakdown of the monitoring pipeline from
+/// its self-lifeline trace points (`_jamm` events, `JAMM_*` stage types)
+/// and localize the bottleneck.
+///
+/// Events are grouped by correlation id (`NL.OID`); within each lifeline,
+/// each stage point is paired with its most recent predecessor stage (see
+/// the module source for the stage graph: publish → route → deliver →
+/// {drain, archive-append}, route → encode → broadcast).  Hops are
+/// aggregated per `(from, to, target)` so a single slow consumer stands
+/// out from its healthy siblings; the hop with the largest mean latency is
+/// the diagnosis.
+///
+/// Accepts any iterator of events so both owned logs (`&[Event]`) and
+/// shared ones (`self_events().iter().map(|e| e.as_ref())`) work; non-JAMM
+/// events and points without a correlation id are ignored.
+pub fn diagnose<'a, I>(events: I) -> Diagnosis
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    use jamm_ulm::keys::jamm;
+    // Group stage points by correlation id, preserving discovery order.
+    let mut traces: Vec<(&str, Vec<&Event>)> = Vec::new();
+    for e in events {
+        if !jamm::STAGES.contains(&e.event_type.as_str()) {
+            continue;
+        }
+        let Some(oid) = e.object_id() else { continue };
+        match traces.iter_mut().find(|(o, _)| *o == oid) {
+            Some((_, points)) => points.push(e),
+            None => traces.push((oid, vec![e])),
+        }
+    }
+    // Accumulate (from, to, target) -> (sum_us, max_us, count).
+    let mut acc: Vec<(StageLatency, f64)> = Vec::new();
+    for (_, points) in &mut traces {
+        points.sort_by_key(|e| e.timestamp);
+        for (i, point) in points.iter().enumerate() {
+            let pred =
+                hop_predecessors(&point.event_type)
+                    .iter()
+                    .find_map(|&(stage, same_target)| {
+                        points[..i].iter().rev().find(|p| {
+                            p.event_type == stage
+                                && (!same_target || target_of(p) == target_of(point))
+                        })
+                    });
+            let Some(pred) = pred else { continue };
+            let us = (point.timestamp - pred.timestamp).max(0) as u64;
+            let target = target_of(point);
+            let slot = acc.iter_mut().find(|(h, _)| {
+                h.from == pred.event_type && h.to == point.event_type && h.target == target
+            });
+            match slot {
+                Some((h, sum)) => {
+                    *sum += us as f64;
+                    h.count += 1;
+                    h.max_us = h.max_us.max(us);
+                }
+                None => acc.push((
+                    StageLatency {
+                        from: pred.event_type.clone(),
+                        to: point.event_type.clone(),
+                        target: target.to_string(),
+                        count: 1,
+                        mean_us: 0.0,
+                        max_us: us,
+                    },
+                    us as f64,
+                )),
+            }
+        }
+    }
+    let mut hops: Vec<StageLatency> = acc
+        .into_iter()
+        .map(|(mut h, sum)| {
+            h.mean_us = sum / h.count as f64;
+            h
+        })
+        .collect();
+    hops.sort_by(|a, b| b.mean_us.total_cmp(&a.mean_us));
+    Diagnosis {
+        traces: traces.len(),
+        hops,
+    }
+}
+
 /// Throughput (bits/second) of a byte-counting event series over its span,
 /// where each event carries the byte count in `field`.
 pub fn throughput_bps(events: &[Event], event_type: &str, field: &str) -> f64 {
@@ -325,6 +498,118 @@ mod tests {
         assert!(two_cluster(&[]).is_none());
         assert!(two_cluster(&[5.0]).is_none());
         assert!(two_cluster(&[5.0, 5.0, 5.0]).is_none());
+    }
+
+    /// A `_jamm` self-lifeline stage point.
+    fn trace_point(oid: &str, stage: &str, us: u64, target: &str) -> Event {
+        Event::builder("_jamm", "jamm-monitor")
+            .level(Level::Usage)
+            .event_type(stage)
+            .timestamp(Timestamp::from_micros(us))
+            .field(keys::OBJECT_ID, oid.to_string())
+            .field(keys::TARGET, target.to_string())
+            .build()
+    }
+
+    #[test]
+    fn diagnose_localizes_the_slow_consumer_drain() {
+        use keys::jamm as j;
+        let mut log = Vec::new();
+        // Three lifelines: routing and delivery are fast everywhere, the
+        // "nlv" consumer drains promptly, but "mems.cairn.net" sits on its
+        // queue for ~80 ms before draining.
+        for (i, base) in [0u64, 1_000_000, 2_000_000].iter().enumerate() {
+            let oid = format!("jamm-{i}");
+            log.push(trace_point(&oid, j::GW_PUBLISH, *base, "gw"));
+            log.push(trace_point(&oid, j::GW_ROUTED, base + 120, "gw"));
+            log.push(trace_point(&oid, j::SUB_DELIVER, base + 200, "nlv"));
+            log.push(trace_point(
+                &oid,
+                j::SUB_DELIVER,
+                base + 210,
+                "mems.cairn.net",
+            ));
+            log.push(trace_point(&oid, j::SUB_DRAIN, base + 700, "nlv"));
+            log.push(trace_point(
+                &oid,
+                j::SUB_DRAIN,
+                base + 80_210,
+                "mems.cairn.net",
+            ));
+        }
+        // Noise that must be ignored: unrelated events and points with no id.
+        log.push(ev("MPLAY_END_READ_FRAME", 5, None));
+        log.push({
+            let mut e = ev(j::SUB_DRAIN, 9, None);
+            e.set_field(keys::TARGET, "anon");
+            e
+        });
+
+        let d = diagnose(&log);
+        assert_eq!(d.traces, 3);
+        let b = d.bottleneck().expect("hops observed");
+        assert_eq!(b.from, j::SUB_DELIVER);
+        assert_eq!(b.to, j::SUB_DRAIN);
+        assert_eq!(b.target, "mems.cairn.net");
+        assert_eq!(b.count, 3);
+        assert!((b.mean_us - 80_000.0).abs() < 1.0, "mean {}", b.mean_us);
+        assert_eq!(b.max_us, 80_000);
+        // The healthy consumer's drain hop is separate and much smaller.
+        let healthy = d
+            .hops
+            .iter()
+            .find(|h| h.to == j::SUB_DRAIN && h.target == "nlv")
+            .expect("fast consumer hop present");
+        assert!(healthy.mean_us < 1_000.0);
+        // Drains paired against the *same consumer's* delivery point, not
+        // whichever delivery came last.
+        assert_eq!(healthy.from, j::SUB_DELIVER);
+        let text = d.render_text();
+        assert!(
+            text.starts_with("bottleneck: JAMM_SUB_DELIVER -> JAMM_SUB_DRAIN at mems.cairn.net")
+        );
+        assert!(text.contains("lifelines examined: 3"));
+    }
+
+    #[test]
+    fn diagnose_covers_edge_and_archive_hops() {
+        use keys::jamm as j;
+        let log = vec![
+            trace_point("jamm-1", j::GW_PUBLISH, 0, "gw"),
+            trace_point("jamm-1", j::GW_ROUTED, 100, "gw"),
+            trace_point("jamm-1", j::SUB_DELIVER, 150, "keeper"),
+            trace_point("jamm-1", j::ARCHIVE_APPEND, 4_150, "keeper"),
+            trace_point("jamm-1", j::EDGE_ENCODE, 300, "gw"),
+            trace_point("jamm-1", j::EDGE_BROADCAST, 50_300, "gw"),
+        ];
+        let d = diagnose(&log);
+        assert_eq!(d.traces, 1);
+        let b = d.bottleneck().unwrap();
+        assert_eq!(
+            (b.from.as_str(), b.to.as_str()),
+            (j::EDGE_ENCODE, j::EDGE_BROADCAST)
+        );
+        assert_eq!(b.mean_us, 50_000.0);
+        let archive = d
+            .hops
+            .iter()
+            .find(|h| h.to == j::ARCHIVE_APPEND)
+            .expect("archive hop");
+        assert_eq!(archive.from, j::SUB_DELIVER);
+        assert_eq!(archive.mean_us, 4_000.0);
+        let encode = d.hops.iter().find(|h| h.to == j::EDGE_ENCODE).unwrap();
+        assert_eq!(encode.from, j::GW_ROUTED);
+    }
+
+    #[test]
+    fn diagnose_of_nothing_is_empty() {
+        let d = diagnose(&[]);
+        assert_eq!(d.traces, 0);
+        assert!(d.bottleneck().is_none());
+        assert!(d.render_text().contains("bottleneck: none"));
+        // Non-JAMM logs diagnose to nothing too.
+        let d = diagnose(&[ev("MPLAY_END_READ_FRAME", 0, None)]);
+        assert_eq!(d.traces, 0);
     }
 
     #[test]

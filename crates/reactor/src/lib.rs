@@ -34,7 +34,7 @@ pub mod timer;
 pub use conn::{Conn, Flush, Outbox, PushOutcome, SocketCounters, SocketStats};
 pub use poller::{Backend, Interest, Poller, Readiness, Source, Waker};
 pub use reactor::{
-    Acceptor, CloseReason, ConnHandler, ConnId, ConnIo, ListenerId, Reactor, ReactorConfig,
-    SocketRow,
+    Acceptor, CloseReason, ConnHandler, ConnId, ConnIo, ListenerId, LoopStats, Reactor,
+    ReactorConfig, SocketRow,
 };
 pub use timer::TimerWheel;

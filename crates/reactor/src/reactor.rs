@@ -213,6 +213,36 @@ struct Shared {
     conn_count: AtomicUsize,
     refused: AtomicU64,
     next_id: AtomicU64,
+    ticks: AtomicU64,
+    poll_wait_ns: AtomicU64,
+    dispatch_ns: AtomicU64,
+}
+
+/// Point-in-time copy of the event loop's saturation counters: how the
+/// loop thread's time divides between waiting in `poll(2)` and dispatching
+/// ready work.  A loop spending most of its time dispatching is the
+/// single-threaded edge's bottleneck signal — it has no headroom for more
+/// subscribers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Completed loop iterations.
+    pub ticks: u64,
+    /// Nanoseconds spent blocked in the poller waiting for readiness.
+    pub poll_wait_ns: u64,
+    /// Nanoseconds spent dispatching ready sockets, commands and timers.
+    pub dispatch_ns: u64,
+}
+
+impl LoopStats {
+    /// Fraction of loop time spent dispatching (0.0 = idle, 1.0 = saturated).
+    pub fn saturation(&self) -> f64 {
+        let total = self.poll_wait_ns + self.dispatch_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.dispatch_ns as f64 / total as f64
+        }
+    }
 }
 
 /// Handle to a running reactor.  All methods are nonblocking except
@@ -348,6 +378,15 @@ impl Reactor {
         self.shared.refused.load(Ordering::Relaxed)
     }
 
+    /// Saturation counters for the loop thread: poll-wait vs dispatch time.
+    pub fn loop_stats(&self) -> LoopStats {
+        LoopStats {
+            ticks: self.shared.ticks.load(Ordering::Relaxed),
+            poll_wait_ns: self.shared.poll_wait_ns.load(Ordering::Relaxed),
+            dispatch_ns: self.shared.dispatch_ns.load(Ordering::Relaxed),
+        }
+    }
+
     /// Counter snapshot of every live connection, ordered by id.
     pub fn socket_stats(&self) -> Vec<SocketRow> {
         let reg = self.shared.registry.lock();
@@ -456,11 +495,17 @@ impl EventLoop {
                 }
             }
             let timeout = self.poll_timeout();
+            let wait_start = Instant::now();
             if self.poller.poll(timeout, &mut readiness).is_err() {
                 // A poll-level error (e.g. a racing close left a bad fd) is
                 // not actionable per-connection; back off briefly.
                 std::thread::sleep(Duration::from_millis(1));
             }
+            let dispatch_start = Instant::now();
+            self.shared.poll_wait_ns.fetch_add(
+                (dispatch_start - wait_start).as_nanos() as u64,
+                Ordering::Relaxed,
+            );
             let events = std::mem::take(&mut readiness);
             for &r in &events {
                 if r.token == WAKE_TOKEN {
@@ -478,6 +523,11 @@ impl EventLoop {
             for &token in &expired {
                 self.timer_fired(token);
             }
+            self.shared.dispatch_ns.fetch_add(
+                dispatch_start.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            self.shared.ticks.fetch_add(1, Ordering::Relaxed);
         }
         // Loop exit: everything is already closed (draining loop above).
     }
@@ -865,6 +915,32 @@ mod tests {
         };
         tweak(&mut cfg);
         Reactor::start(cfg).unwrap()
+    }
+
+    #[test]
+    fn loop_stats_count_ticks_and_split_wait_from_dispatch() {
+        let closed = Arc::new(AtomicBool::new(false));
+        let reactor = start_with(Backend::native(), |_| {});
+        let listener = reactor
+            .listen(
+                TcpListener::bind("127.0.0.1:0").unwrap(),
+                echo_acceptor(closed),
+            )
+            .unwrap();
+        // Every submit wakes the loop, so a few broadcasts force ticks.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.loop_stats().ticks < 3 {
+            assert!(Instant::now() < deadline, "loop never ticked");
+            reactor.broadcast(listener, Arc::new(vec![0u8]));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = reactor.loop_stats();
+        assert!(stats.ticks >= 3);
+        assert!(stats.poll_wait_ns + stats.dispatch_ns > 0);
+        let s = stats.saturation();
+        assert!((0.0..=1.0).contains(&s), "saturation {s} out of range");
+        assert_eq!(LoopStats::default().saturation(), 0.0);
+        reactor.shutdown();
     }
 
     fn backends() -> Vec<Backend> {

@@ -110,6 +110,24 @@ struct EdgeCounters {
     encoded_bytes: AtomicU64,
 }
 
+/// Cloneable handle to an edge's broadcast counters: metric collectors
+/// read the pump's totals through this without borrowing the edge itself.
+#[derive(Debug, Clone)]
+pub struct EdgeStatsHandle {
+    counters: Arc<EdgeCounters>,
+}
+
+impl EdgeStatsHandle {
+    /// Current broadcast counters.
+    pub fn stats(&self) -> EdgeStats {
+        EdgeStats {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            events: self.counters.events.load(Ordering::Relaxed),
+            encoded_bytes: self.counters.encoded_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Point-in-time copy of the edge's broadcast counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgeStats {
@@ -189,6 +207,8 @@ impl EventEdge {
             let counters = Arc::clone(&counters);
             let batch_max = config.batch_max.max(1);
             let poll_interval = config.poll_interval;
+            let tracer = gateway.tracer().cloned();
+            let gw_name = gateway.name().to_string();
             std::thread::Builder::new()
                 .name("jamm-edge-pump".to_string())
                 .spawn(move || {
@@ -210,12 +230,21 @@ impl EventEdge {
                                 Err(_) => break,
                             }
                         }
+                        let traced: Vec<u64> = match &tracer {
+                            Some(t) => batch.iter().filter_map(|e| t.trace_id(e)).collect(),
+                            None => Vec::new(),
+                        };
                         let mut buf = Vec::with_capacity(size_hint);
                         for ev in &batch {
                             // &SharedEvent derefs to &Event: no deep clone.
                             codec.encode_to(&mut buf, ev);
                             if newline_framed {
                                 buf.push(b'\n');
+                            }
+                        }
+                        if let Some(t) = &tracer {
+                            for id in &traced {
+                                t.stage_id(*id, jamm_ulm::keys::jamm::EDGE_ENCODE, &gw_name);
                             }
                         }
                         size_hint = size_hint.max(buf.len());
@@ -228,6 +257,14 @@ impl EventEdge {
                             .fetch_add(buf.len() as u64, Ordering::Relaxed);
                         // One Arc, N outboxes: encode once, write N.
                         reactor.broadcast(listener, Arc::new(buf));
+                        if let Some(t) = &tracer {
+                            // The frame is now queued on every subscriber
+                            // outbox; socket writes happen on the loop
+                            // thread after this point.
+                            for id in &traced {
+                                t.stage_id(*id, jamm_ulm::keys::jamm::EDGE_BROADCAST, &gw_name);
+                            }
+                        }
                     }
                 })
                 .expect("spawn edge pump")
@@ -281,10 +318,13 @@ impl EventEdge {
 
     /// Broadcast-side counters.
     pub fn stats(&self) -> EdgeStats {
-        EdgeStats {
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            events: self.counters.events.load(Ordering::Relaxed),
-            encoded_bytes: self.counters.encoded_bytes.load(Ordering::Relaxed),
+        self.stats_handle().stats()
+    }
+
+    /// Cloneable handle to the broadcast counters (outlives this borrow).
+    pub fn stats_handle(&self) -> EdgeStatsHandle {
+        EdgeStatsHandle {
+            counters: Arc::clone(&self.counters),
         }
     }
 

@@ -36,5 +36,5 @@ pub mod tcp;
 pub use activation::ActivationRegistry;
 pub use bridge::{BridgeService, RemoteEventSink};
 pub use bus::{MessageBus, Service};
-pub use edge::{EdgeConfig, EdgeError, EdgeStats, EventEdge};
+pub use edge::{EdgeConfig, EdgeError, EdgeStats, EdgeStatsHandle, EventEdge};
 pub use message::{MethodCall, RmiError, RmiResult};

@@ -57,6 +57,7 @@ pub struct RmiServer {
     addr: SocketAddr,
     reactor: Option<Arc<Reactor>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    invoke_us: Arc<jamm_core::obs::Histogram>,
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -90,18 +91,22 @@ impl RmiServer {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let reactor = Arc::new(Reactor::start(config)?);
+        let invoke_us = Arc::new(jamm_core::obs::Histogram::new());
         let mut senders: Vec<Sender<Job>> = Vec::with_capacity(INVOKE_WORKERS);
         let mut workers = Vec::with_capacity(INVOKE_WORKERS);
         for i in 0..INVOKE_WORKERS {
             let (tx, rx) = unbounded::<Job>();
             let bus = bus.clone();
             let reactor = Arc::clone(&reactor);
+            let invoke_us = Arc::clone(&invoke_us);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("jamm-rmi-invoke-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
+                            let start = std::time::Instant::now();
                             let response: WireResponse = bus.invoke(&job.call).into();
+                            invoke_us.record_micros(start.elapsed());
                             let frame = encode_frame(&response.to_json());
                             // Strict: an outbox that cannot take a response
                             // without dropping one closes the connection —
@@ -123,6 +128,7 @@ impl RmiServer {
             addr,
             reactor: Some(reactor),
             workers,
+            invoke_us,
         })
     }
 
@@ -141,6 +147,12 @@ impl RmiServer {
         self.reactor
             .as_ref()
             .map_or_else(Vec::new, |r| r.socket_stats())
+    }
+
+    /// Microsecond latency of method dispatch (`bus.invoke`, excluding
+    /// socket I/O), across every invoke worker.
+    pub fn invoke_us(&self) -> &Arc<jamm_core::obs::Histogram> {
+        &self.invoke_us
     }
 
     /// Stop accepting, flush queued responses, close every live connection

@@ -58,6 +58,10 @@ pub struct TsdbStats {
     expired_events: AtomicU64,
     wal_recovered_events: AtomicU64,
     wal_torn_bytes: AtomicU64,
+    append_us: jamm_core::obs::Histogram,
+    seal_us: jamm_core::obs::Histogram,
+    compact_us: jamm_core::obs::Histogram,
+    scan_setup_us: jamm_core::obs::Histogram,
 }
 
 impl TsdbStats {
@@ -100,6 +104,28 @@ impl TsdbStats {
     /// Torn-tail bytes discarded from the WAL at open.
     pub fn wal_torn_bytes(&self) -> u64 {
         self.wal_torn_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Microsecond latency of append calls (WAL write + memtable insert;
+    /// one sample per call, batched or not).
+    pub fn append_us(&self) -> &jamm_core::obs::Histogram {
+        &self.append_us
+    }
+
+    /// Microsecond latency of memtable seals that produced a segment.
+    pub fn seal_us(&self) -> &jamm_core::obs::Histogram {
+        &self.seal_us
+    }
+
+    /// Microsecond latency of compaction passes.
+    pub fn compact_us(&self) -> &jamm_core::obs::Histogram {
+        &self.compact_us
+    }
+
+    /// Microsecond latency of scan planning (catalog pruning and cursor
+    /// setup; decoding is lazy and not included).
+    pub fn scan_setup_us(&self) -> &jamm_core::obs::Histogram {
+        &self.scan_setup_us
     }
 }
 
@@ -277,6 +303,7 @@ impl Tsdb {
     /// Append one already-shared event: the zero-copy ingest path.  The
     /// memtable keeps the caller's `Arc`; the WAL encodes from a borrow.
     pub fn append_shared(&self, event: SharedEvent) -> Result<u64> {
+        let start = std::time::Instant::now();
         let mut inner = self.inner.write();
         let seq = inner.next_seq;
         if let Some(wal) = &mut inner.wal {
@@ -285,6 +312,7 @@ impl Tsdb {
         inner.next_seq += 1;
         inner.mem.insert(seq, event);
         self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        self.stats.append_us.record_micros(start.elapsed());
         if inner.mem.len() >= self.opts.memtable_max_events {
             let _ = self.seal_inner(&mut inner);
         }
@@ -299,6 +327,7 @@ impl Tsdb {
         if events.is_empty() {
             return Ok(0);
         }
+        let start = std::time::Instant::now();
         let mut inner = self.inner.write();
         let first_seq = inner.next_seq;
         if let Some(wal) = &mut inner.wal {
@@ -312,6 +341,7 @@ impl Tsdb {
         }
         inner.next_seq += n as u64;
         self.stats.appended.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.append_us.record_micros(start.elapsed());
         while inner.mem.len() >= self.opts.memtable_max_events {
             if !matches!(self.seal_inner(&mut inner), Ok(Some(_))) {
                 break;
@@ -361,6 +391,7 @@ impl Tsdb {
         if inner.mem.is_empty() {
             return Ok(None);
         }
+        let start = std::time::Instant::now();
         let batch = inner.mem.drain_sorted();
         let id = inner.next_segment_id;
         let seg = Segment::build(id, &batch);
@@ -388,6 +419,7 @@ impl Tsdb {
         if let Some(wal) = &mut inner.wal {
             let _ = wal.reset();
         }
+        self.stats.seal_us.record_micros(start.elapsed());
         Ok(Some(catalog))
     }
 
@@ -399,6 +431,7 @@ impl Tsdb {
     /// committed once every merged segment is durable, so an I/O error
     /// leaves the store exactly as it was.
     pub fn compact(&self) -> Result<usize> {
+        let start = std::time::Instant::now();
         let mut inner = self.inner.write();
         let threshold = self.opts.small_segment_events;
         let before = inner.segments.len();
@@ -466,6 +499,7 @@ impl Tsdb {
         inner.segments = result;
         self.stats.compactions.fetch_add(merges, Ordering::Relaxed);
         self.remove_segment_files(&stale_ids);
+        self.stats.compact_us.record_micros(start.elapsed());
         Ok(before - inner.segments.len())
     }
 
@@ -561,6 +595,7 @@ impl Tsdb {
     /// limit stops the merge early.  The iterator evaluates through its own
     /// clone of the plan (fresh stateful memory per scan).
     pub fn scan_plan(&self, plan: &jamm_core::query::Plan) -> ScanIter {
+        let start = std::time::Instant::now();
         let plan = plan.clone();
         let inner = self.inner.read();
         let mem = inner.mem.matching(plan.facts());
@@ -581,6 +616,7 @@ impl Tsdb {
         self.stats
             .segments_pruned
             .fetch_add(pruned, Ordering::Relaxed);
+        self.stats.scan_setup_us.record_micros(start.elapsed());
         ScanIter::new(plan, mem, cursors)
     }
 

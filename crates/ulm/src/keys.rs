@@ -101,6 +101,43 @@ pub mod matisse {
     pub const DPSS_END_WRITE: &str = "DPSS_END_WRITE";
 }
 
+/// JAMM self-lifeline events: the monitoring pipeline instrumented with
+/// its own NetLogger trace points.  A sampled published event is followed
+/// through the pipeline by emitting one of these (sharing an `NL.OID`
+/// correlation id) at each stage it passes; `netlogger::analysis::diagnose`
+/// turns the resulting lifelines into per-stage latency breakdowns.
+pub mod jamm {
+    /// A sampled event entered a gateway (`publish`).
+    pub const GW_PUBLISH: &str = "JAMM_GW_PUBLISH";
+    /// The gateway finished routing the sampled event.
+    pub const GW_ROUTED: &str = "JAMM_GW_ROUTED";
+    /// The sampled event was pushed into a subscription queue
+    /// (`TARGET` = consumer).
+    pub const SUB_DELIVER: &str = "JAMM_SUB_DELIVER";
+    /// A consumer drained the sampled event from its subscription queue
+    /// (`TARGET` = consumer).
+    pub const SUB_DRAIN: &str = "JAMM_SUB_DRAIN";
+    /// The network edge encoded the sampled event for the wire.
+    pub const EDGE_ENCODE: &str = "JAMM_EDGE_ENCODE";
+    /// The network edge handed the sampled event's frame to the reactor
+    /// for broadcast (socket writes happen on the loop thread after this).
+    pub const EDGE_BROADCAST: &str = "JAMM_EDGE_BROADCAST";
+    /// The archiver stored the sampled event (`TARGET` = archiver).
+    pub const ARCHIVE_APPEND: &str = "JAMM_ARCHIVE_APPEND";
+
+    /// Canonical pipeline order of the self-lifeline stages, for nlv
+    /// charts and stage-pair analysis.
+    pub const STAGES: [&str; 7] = [
+        GW_PUBLISH,
+        GW_ROUTED,
+        SUB_DELIVER,
+        SUB_DRAIN,
+        EDGE_ENCODE,
+        EDGE_BROADCAST,
+        ARCHIVE_APPEND,
+    ];
+}
+
 /// All four required ULM field names, in canonical output order.
 pub const REQUIRED: [&str; 4] = [DATE, HOST, PROG, LVL];
 

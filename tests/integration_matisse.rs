@@ -2,7 +2,8 @@
 //! the paper reports must hold in the reproduction.
 
 use jamm::deployment::{DeploymentConfig, JammDeployment};
-use jamm_netlogger::analysis::{correlate_gaps, delivery_gaps, two_cluster};
+use jamm::JammBuilder;
+use jamm_netlogger::analysis::{correlate_gaps, delivery_gaps, diagnose, two_cluster};
 use jamm_netsim::scenario::matisse_iperf;
 use jamm_ulm::keys;
 
@@ -97,6 +98,79 @@ fn monitored_matisse_run_reproduces_figure7_correlations() {
         one.scenario.aggregate_mbps(),
         four.scenario.aggregate_mbps()
     );
+}
+
+/// The §4 methodology turned on JAMM itself: a self-monitored deployment
+/// serves two consumers, one of which is deliberately slow to drain its
+/// queue (the injected bottleneck, played by the paper's `mems.cairn.net`
+/// host).  The automated diagnosis over the sampled self-lifelines must
+/// localize the bottleneck to exactly that consumer's drain stage — not
+/// merely notice that something is slow.
+#[test]
+fn self_monitoring_diagnoses_an_injected_slow_consumer() {
+    let mut jamm = JammBuilder::new()
+        .gateway("gw-lbl")
+        .collector("nlv-analyst")
+        .collector("mems.cairn.net")
+        .self_monitor(1) // trace every publish: the test is short
+        .build()
+        .unwrap();
+    jamm.connect_collectors(vec![]);
+
+    // Two rounds of traffic.  The healthy consumer drains as soon as
+    // events arrive; the slow one sits on its full queue for ~80 ms
+    // first.  Rounds stay within the tracer's watched-ring capacity, so
+    // every lifeline completes.
+    for _ in 0..2 {
+        for _ in 0..4 {
+            let e = jamm_ulm::Event::builder("mplay", "client.lbl.gov")
+                .event_type(keys::matisse::END_READ_FRAME)
+                .build();
+            assert!(jamm.publish("gw-lbl", &e) > 0);
+        }
+        let fast = jamm
+            .collectors
+            .iter()
+            .position(|c| c.consumer() == "nlv-analyst")
+            .unwrap();
+        let slow = jamm
+            .collectors
+            .iter()
+            .position(|c| c.consumer() == "mems.cairn.net")
+            .unwrap();
+        jamm.collectors[fast].poll();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        jamm.collectors[slow].poll();
+    }
+    jamm.drain_self_events();
+
+    let lifelines = jamm.self_events();
+    let d = diagnose(lifelines.iter().map(|e| e.as_ref()));
+    assert_eq!(d.traces, 8, "every publish was sampled");
+
+    let b = d.bottleneck().expect("hops observed");
+    assert_eq!(b.from, keys::jamm::SUB_DELIVER, "wrong stage: {b:?}");
+    assert_eq!(b.to, keys::jamm::SUB_DRAIN, "wrong stage: {b:?}");
+    assert_eq!(b.target, "mems.cairn.net", "wrong host blamed: {b:?}");
+    assert!(
+        b.mean_us >= 40_000.0,
+        "the injected ~80 ms stall dominates: {b:?}"
+    );
+    // The healthy consumer's identical hop is far faster — the diagnosis
+    // separated the consumers rather than averaging them together.
+    let healthy = d
+        .hops
+        .iter()
+        .find(|h| h.to == keys::jamm::SUB_DRAIN && h.target == "nlv-analyst")
+        .expect("healthy consumer hop present");
+    assert!(
+        healthy.mean_us < b.mean_us / 4.0,
+        "healthy {:.0} us vs bottleneck {:.0} us",
+        healthy.mean_us,
+        b.mean_us
+    );
+    let text = d.render_text();
+    assert!(text.starts_with("bottleneck: JAMM_SUB_DELIVER -> JAMM_SUB_DRAIN at mems.cairn.net"));
 }
 
 /// Figure 3: the distribution of the player's `read()` sizes clusters around
