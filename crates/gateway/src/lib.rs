@@ -42,7 +42,7 @@ pub use jamm_core::flow::OverflowPolicy;
 pub use jamm_core::query::{Plan, Predicate};
 pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
 pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
-pub use trace::{PipelineTracer, DEFAULT_SAMPLE_EVERY};
+pub use trace::{PipelineTracer, TraceClock, DEFAULT_SAMPLE_EVERY};
 
 /// Errors returned by gateway operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

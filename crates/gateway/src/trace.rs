@@ -46,6 +46,38 @@ pub const TRACE_SLOTS: usize = 8;
 /// Default sampling rate: one publish in 64 is traced.
 pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
 
+/// Time source for trace points.
+///
+/// A live deployment stamps lifeline points with the wall clock; a
+/// simulated one (the netsim scenario engine) shares one cell holding
+/// simulated microseconds-since-epoch, so stage-to-stage durations are
+/// measured in *simulated* time and a run is reproducible bit-for-bit
+/// regardless of how fast the host machine executes it.
+#[derive(Clone, Debug, Default)]
+pub enum TraceClock {
+    /// Stamp points with [`Timestamp::now`] (the default).
+    #[default]
+    Wall,
+    /// Stamp points from a shared cell of microseconds since the Unix
+    /// epoch, advanced by whoever owns the simulation clock.
+    Shared(Arc<AtomicU64>),
+}
+
+impl TraceClock {
+    /// A shared-cell clock reading `cell` (microseconds since the epoch).
+    pub fn shared(cell: Arc<AtomicU64>) -> Self {
+        TraceClock::Shared(cell)
+    }
+
+    /// The current instant according to this clock.
+    pub fn now(&self) -> Timestamp {
+        match self {
+            TraceClock::Wall => Timestamp::now(),
+            TraceClock::Shared(cell) => Timestamp::from_micros(cell.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 struct TraceSlot {
     /// `Arc::as_ptr` of the watched event (0 = empty).  The slot's `keep`
     /// entry holds a clone of the event, so the pointer cannot be
@@ -65,6 +97,7 @@ struct TraceSlot {
 pub struct PipelineTracer {
     sink: Arc<EventGateway>,
     host: String,
+    clock: TraceClock,
     /// `sample_every - 1` for power-of-two rates (sampling is a mask
     /// test).
     mask: u64,
@@ -95,10 +128,24 @@ impl PipelineTracer {
     /// points with `host`, sampling one publish in `sample_every`
     /// (rounded up to a power of two, minimum 1).
     pub fn new(sink: Arc<EventGateway>, host: impl Into<String>, sample_every: u64) -> Arc<Self> {
+        Self::with_clock(sink, host, sample_every, TraceClock::Wall)
+    }
+
+    /// Like [`PipelineTracer::new`], but stamping trace points from the
+    /// given [`TraceClock`] instead of the wall clock — the hook the
+    /// simulated scenario engine uses to keep lifeline durations in
+    /// simulated time.
+    pub fn with_clock(
+        sink: Arc<EventGateway>,
+        host: impl Into<String>,
+        sample_every: u64,
+        clock: TraceClock,
+    ) -> Arc<Self> {
         let every = sample_every.max(1).next_power_of_two();
         Arc::new(PipelineTracer {
             sink,
             host: host.into(),
+            clock,
             mask: every - 1,
             publishes: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
@@ -201,7 +248,7 @@ impl PipelineTracer {
         let mut b = Event::builder("_jamm", self.host.clone())
             .level(Level::Usage)
             .event_type(stage)
-            .timestamp(Timestamp::now())
+            .timestamp(self.clock.now())
             .field(keys::OBJECT_ID, format!("jamm-{id}"))
             .field(keys::TARGET, target.to_string());
         if let Some(us) = value_us {
@@ -291,6 +338,28 @@ mod tests {
         assert_eq!(tracer.trace_id(&first), None, "oldest slot recycled");
         assert!(later.iter().all(|e| tracer.trace_id(e).is_some()));
         assert_eq!(tracer.sampled_count(), 1 + TRACE_SLOTS as u64);
+    }
+
+    #[test]
+    fn shared_clock_stamps_points_with_simulated_time() {
+        let sink = Arc::new(EventGateway::new(GatewayConfig::open("_jamm")));
+        let mut sub = sink
+            .subscribe()
+            .stream()
+            .as_consumer("monitor")
+            .open()
+            .unwrap();
+        let cell = Arc::new(AtomicU64::new(5_000_000));
+        let tracer =
+            PipelineTracer::with_clock(sink, "sim.host", 1, TraceClock::shared(cell.clone()));
+        let e = ev("X", 0);
+        tracer.on_publish(&e, "gw");
+        cell.store(5_080_000, Ordering::Relaxed);
+        tracer.stage(&e, keys::jamm::SUB_DELIVER, "nlv");
+        let mut points = Vec::new();
+        sub.drain_into(&mut points);
+        let stamps: Vec<u64> = points.iter().map(|p| p.timestamp.as_micros()).collect();
+        assert_eq!(stamps, vec![5_000_000, 5_080_000]);
     }
 
     #[test]

@@ -16,7 +16,8 @@ use jamm_core::query::{Facts, Predicate};
 use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
 use jamm_gateway::{
-    EventFilter, EventGateway, GatewayConfig, PipelineTracer, Subscription, DEFAULT_SAMPLE_EVERY,
+    EventFilter, EventGateway, GatewayConfig, PipelineTracer, Subscription, TraceClock,
+    DEFAULT_SAMPLE_EVERY,
 };
 use jamm_reactor::{Reactor, ReactorConfig};
 use jamm_rmi::edge::{EdgeConfig, EventEdge};
@@ -103,6 +104,7 @@ pub struct JammBuilder {
     edge_max_connections: Option<usize>,
     edge_write_budget: Option<usize>,
     self_monitor: Option<u64>,
+    self_monitor_clock: Option<TraceClock>,
 }
 
 impl JammBuilder {
@@ -230,6 +232,16 @@ impl JammBuilder {
         self.self_monitor(DEFAULT_SAMPLE_EVERY)
     }
 
+    /// Stamp self-lifeline trace points from the given clock instead of
+    /// the wall clock.  A simulation driving this deployment (the netsim
+    /// scenario engine) passes a [`TraceClock::Shared`] cell it advances
+    /// with its own simulated clock, so stage-to-stage durations in
+    /// `diagnose()` reflect simulated time and the run is reproducible.
+    pub fn self_monitor_clock(mut self, clock: TraceClock) -> Self {
+        self.self_monitor_clock = Some(clock);
+        self
+    }
+
     /// Wire everything.
     pub fn build(self) -> Result<JammSystem, BuildError> {
         if self.gateways.is_empty() {
@@ -251,7 +263,9 @@ impl JammBuilder {
         let (self_gateway, tracer) = match self.self_monitor {
             Some(every) => {
                 let sink = Arc::new(EventGateway::new(GatewayConfig::open(SELF_GATEWAY)));
-                let tracer = PipelineTracer::new(Arc::clone(&sink), "jamm-monitor", every);
+                let clock = self.self_monitor_clock.unwrap_or_default();
+                let tracer =
+                    PipelineTracer::with_clock(Arc::clone(&sink), "jamm-monitor", every, clock);
                 (Some(sink), Some(tracer))
             }
             None => (None, None),

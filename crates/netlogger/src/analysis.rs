@@ -613,6 +613,83 @@ mod tests {
     }
 
     #[test]
+    fn diagnose_with_zero_sampled_lifelines_is_empty_not_wrong() {
+        use keys::jamm as j;
+        // Stage-typed points that were never sampled into a lifeline (no
+        // correlation id) must not be grouped into a phantom trace.
+        let log = vec![
+            {
+                let mut e = ev(j::GW_PUBLISH, 0, None);
+                e.set_field(keys::TARGET, "gw");
+                e
+            },
+            {
+                let mut e = ev(j::SUB_DELIVER, 5_000, None);
+                e.set_field(keys::TARGET, "viz");
+                e
+            },
+        ];
+        let d = diagnose(&log);
+        assert_eq!(d.traces, 0);
+        assert!(d.bottleneck().is_none());
+        assert!(d.hops.is_empty());
+        assert!(d.render_text().contains("lifelines examined: 0"));
+    }
+
+    #[test]
+    fn diagnose_breaks_ties_between_equally_slow_hops_deterministically() {
+        use keys::jamm as j;
+        // Two consumers with *identical* drain latency: the sort is stable,
+        // so the first-observed hop stays first and repeated runs agree.
+        let mut log = Vec::new();
+        for (i, base) in [0u64, 1_000_000].iter().enumerate() {
+            let oid = format!("jamm-{i}");
+            log.push(trace_point(&oid, j::GW_PUBLISH, *base, "gw"));
+            log.push(trace_point(&oid, j::GW_ROUTED, base + 100, "gw"));
+            log.push(trace_point(&oid, j::SUB_DELIVER, base + 200, "alpha"));
+            log.push(trace_point(&oid, j::SUB_DELIVER, base + 250, "beta"));
+            log.push(trace_point(&oid, j::SUB_DRAIN, base + 40_200, "alpha"));
+            log.push(trace_point(&oid, j::SUB_DRAIN, base + 40_250, "beta"));
+        }
+        let d = diagnose(&log);
+        let drains: Vec<&StageLatency> = d.hops.iter().filter(|h| h.to == j::SUB_DRAIN).collect();
+        assert_eq!(drains.len(), 2);
+        assert_eq!(drains[0].mean_us, drains[1].mean_us, "an exact tie");
+        assert_eq!(drains[0].target, "alpha", "first observed wins the tie");
+        assert_eq!(drains[1].target, "beta");
+        assert_eq!(d.render_text(), diagnose(&log).render_text());
+    }
+
+    #[test]
+    fn orphaned_stage_points_contribute_traces_but_no_hops() {
+        use keys::jamm as j;
+        // A drain with no delivery and a routed point with no publish: real
+        // lifelines (they carry correlation ids) but with no predecessor
+        // stage to measure against — they must not fabricate hops.
+        let log = vec![
+            trace_point("jamm-a", j::SUB_DRAIN, 500, "viz"),
+            trace_point("jamm-b", j::GW_ROUTED, 900, "gw"),
+            // A lone publish is a legitimate lifeline head with nothing to
+            // pair backwards to either.
+            trace_point("jamm-c", j::GW_PUBLISH, 1_000, "gw"),
+        ];
+        let d = diagnose(&log);
+        assert_eq!(d.traces, 3);
+        assert!(d.hops.is_empty(), "no predecessor, no hop: {:?}", d.hops);
+        assert!(d.render_text().contains("bottleneck: none"));
+        // An orphan alongside a complete lifeline only adds its trace; the
+        // complete lifeline's hops are unaffected.
+        let mut log = log;
+        log.push(trace_point("jamm-d", j::GW_PUBLISH, 2_000, "gw"));
+        log.push(trace_point("jamm-d", j::GW_ROUTED, 2_300, "gw"));
+        let d = diagnose(&log);
+        assert_eq!(d.traces, 4);
+        assert_eq!(d.hops.len(), 1);
+        assert_eq!(d.hops[0].count, 1);
+        assert_eq!(d.hops[0].mean_us, 300.0);
+    }
+
+    #[test]
     fn throughput_from_byte_events() {
         let log = vec![
             {

@@ -20,7 +20,12 @@
 //! * [`player`] — the MEMS video frame player from the MATISSE demo;
 //! * [`iperf`] — the memory-to-memory throughput test used in §6;
 //! * [`scenario`] — canned topologies: the MATISSE WAN testbed and a LAN
-//!   variant, plus a generic monitored cluster.
+//!   variant, plus a generic monitored cluster;
+//! * [`engine`] — the declarative scenario engine: a parsed
+//!   [`engine::ScenarioSpec`] (topology + monitoring deployment + fault
+//!   timeline) compiled onto the simulator with a *real* gateway /
+//!   collector / archiver / directory deployment riding the simulated
+//!   clock, plus the [`engine::ScenarioReport`] result analyser.
 //!
 //! All randomness flows from a caller-supplied seed, so every experiment in
 //! the benchmark harness is reproducible bit-for-bit.
@@ -30,6 +35,7 @@
 
 pub mod clock;
 pub mod dpss;
+pub mod engine;
 pub mod host;
 pub mod iperf;
 pub mod link;
@@ -49,6 +55,7 @@ pub use trace::TraceLog;
 /// Convenient prelude for building simulations.
 pub mod prelude {
     pub use crate::clock::SimClock;
+    pub use crate::engine::{ScenarioEngine, ScenarioReport, ScenarioSpec};
     pub use crate::host::{Host, HostId, HostSpec};
     pub use crate::link::{Link, LinkId, LinkSpec};
     pub use crate::network::{FlowId, Network};

@@ -118,6 +118,12 @@ impl Network {
         &self.links[id.0]
     }
 
+    /// Mutable link accessor (fault injection: degrading or restoring a
+    /// link's bandwidth mid-run).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
     /// All links.
     pub fn links(&self) -> &[Link] {
         &self.links

@@ -70,87 +70,120 @@ pub struct MatisseTopology {
     pub viz_path: Vec<LinkId>,
 }
 
+/// Render the MATISSE testbed as scenario-spec text (topology only — the
+/// applications and any monitoring deployment are layered on by the
+/// caller).  [`matisse_topology`] compiles exactly this text, so the
+/// canned constructor and a hand-written `.scn` file that extends the
+/// same declarations stay in lockstep.
+///
+/// Declaration order matters and mirrors the original hand-built
+/// constructor: hosts `dpss1..n`, client, viz; then (WAN) the four shared
+/// links, the per-server uplinks, the viz edge, and the three routers —
+/// simulator IDs and the seeded RNG stream are identical to what the old
+/// code produced.
+pub fn matisse_spec_text(wan: bool, n_storage: usize, seed: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let name = if wan { "matisse-wan" } else { "matisse-lan" };
+    let _ = writeln!(s, "scenario {name}");
+    let _ = writeln!(s, "seed {seed}");
+    // Storage cluster at LBNL; the DPSS master lives on the first server.
+    for i in 1..=n_storage {
+        let _ = write!(
+            s,
+            "host dpss{i}.lbl.gov cpus=2 mem=512m pkt-cost=20 process=dpss_block_server"
+        );
+        if i == 1 {
+            let _ = write!(s, " process=dpss_master");
+        }
+        let _ = writeln!(s);
+    }
+    // Receiving compute-cluster head node at ISI East: single fast CPU, a
+    // gigabit card on a constrained I/O bus, and a driver that misbehaves
+    // when several sockets are active at once.
+    let _ = writeln!(
+        s,
+        "host mems.cairn.net cpus=1 mem=512m pkt-cost=50 socket-overhead=0.25 \
+         rcv-buffer=6m multi-socket-loss=0.00035 process=mplay"
+    );
+    let _ = writeln!(s, "host viz.cairn.net cpus=1 mem=256m pkt-cost=40");
+    if wan {
+        let _ = writeln!(s, "link lbl-oc12-access bw=622mbit delay=500us");
+        let _ = writeln!(s, "link supernet-oc48 bw=2400mbit delay=28ms");
+        let _ = writeln!(s, "link isi-cluster-gige bw=1gbit delay=150us");
+        // The client's gigabit card sits on a 32-bit PCI bus: ~250 Mbit/s
+        // of deliverable bandwidth no matter what the wire says.
+        let _ = writeln!(s, "link mems-gige-pci bw=250mbit delay=150us");
+        for i in 1..=n_storage {
+            let _ = writeln!(s, "link dpss{i}-uplink bw=1gbit delay=150us");
+        }
+        let _ = writeln!(s, "link viz-gige bw=1gbit delay=150us");
+        let _ = writeln!(
+            s,
+            "router lbl-border-router links=lbl-oc12-access,supernet-oc48"
+        );
+        let _ = writeln!(
+            s,
+            "router isi-border-router links=supernet-oc48,isi-cluster-gige"
+        );
+        let _ = writeln!(
+            s,
+            "router isi-cluster-switch links=isi-cluster-gige,mems-gige-pci"
+        );
+    } else {
+        let _ = writeln!(s, "link mems-gige-pci bw=250mbit delay=150us");
+        for i in 1..=n_storage {
+            let _ = writeln!(s, "link dpss{i}-uplink bw=1gbit delay=150us");
+        }
+        let _ = writeln!(s, "link viz-gige bw=1gbit delay=150us");
+        let _ = writeln!(s, "router lan-switch links=mems-gige-pci");
+    }
+    s
+}
+
 /// Build the MATISSE topology.
 ///
 /// `wan = true` puts the Supernet between storage and client (about 29 ms of
 /// one-way delay); `wan = false` puts everything behind one gigabit switch.
+///
+/// This is now a thin shim over the declarative scenario engine: the
+/// testbed is rendered by [`matisse_spec_text`], parsed as a
+/// [`crate::engine::ScenarioSpec`] and compiled by
+/// [`crate::engine::compile_topology`]; only the ID bookkeeping
+/// (`storage_paths`, `viz_path`) is recovered here by name.
 pub fn matisse_topology(wan: bool, n_storage: usize, seed: u64) -> MatisseTopology {
     assert!((1..=4).contains(&n_storage), "the DPSS had 1-4 servers");
-    let mut net = Network::new(SimClock::matisse(), seed);
-
-    // Storage cluster at LBNL.
-    let mut storage_hosts = Vec::new();
-    for i in 0..n_storage {
-        let h = net.add_host(
-            HostSpec::new(format!("dpss{}.lbl.gov", i + 1))
-                .cpus(2)
-                .memory_kb(512 * 1024)
-                .pkt_cost_us(20.0),
-        );
-        net.host_mut(h).register_process("dpss_block_server");
-        storage_hosts.push(h);
-    }
-    // DPSS master process lives on the first server.
-    net.host_mut(storage_hosts[0])
-        .register_process("dpss_master");
-
-    // Receiving compute-cluster head node at ISI East: single fast CPU, a
-    // gigabit card on a constrained I/O bus, and a driver that misbehaves
-    // when several sockets are active at once.
-    let client = net.add_host(
-        HostSpec::new("mems.cairn.net")
-            .cpus(1)
-            .memory_kb(512 * 1024)
-            .pkt_cost_us(50.0)
-            .socket_overhead(0.25)
-            .rcv_buffer_bytes(6 << 20)
-            .multi_socket_loss(0.00035),
-    );
-    net.host_mut(client).register_process("mplay");
-
-    // Visualisation workstation.
-    let viz = net.add_host(
-        HostSpec::new("viz.cairn.net")
-            .cpus(1)
-            .memory_kb(256 * 1024)
-            .pkt_cost_us(40.0),
-    );
-
-    // Links.  Only the storage -> client direction carries bulk data, so the
-    // topology is expressed as one path per storage host.
-    let mut storage_paths = Vec::new();
-    if wan {
-        let lbl_access = net.add_link(LinkSpec::oc12("lbl-oc12-access", 500));
-        let supernet = net.add_link(LinkSpec::oc48("supernet-oc48", 28_000));
-        let isi_edge = net.add_link(LinkSpec::gige("isi-cluster-gige"));
-        // The client's gigabit card sits on a 32-bit PCI bus: ~250 Mbit/s of
-        // deliverable bandwidth no matter what the wire says.
-        let client_nic = net.add_link(LinkSpec::new("mems-gige-pci", 250_000_000, 150));
-        for (i, _h) in storage_hosts.iter().enumerate() {
-            let uplink = net.add_link(LinkSpec::gige(format!("dpss{}-uplink", i + 1)));
-            storage_paths.push(vec![uplink, lbl_access, supernet, isi_edge, client_nic]);
-        }
-        net.add_router(Router::new("lbl-border-router", vec![lbl_access, supernet]));
-        net.add_router(Router::new("isi-border-router", vec![supernet, isi_edge]));
-        net.add_router(Router::new(
-            "isi-cluster-switch",
-            vec![isi_edge, client_nic],
-        ));
-    } else {
-        let client_nic = net.add_link(LinkSpec::new("mems-gige-pci", 250_000_000, 150));
-        for (i, _h) in storage_hosts.iter().enumerate() {
-            let uplink = net.add_link(LinkSpec::gige(format!("dpss{}-uplink", i + 1)));
-            storage_paths.push(vec![uplink, client_nic]);
-        }
-        net.add_router(Router::new("lan-switch", vec![client_nic]));
-    }
-
-    // Client -> visualisation workstation (always local gigabit).
-    let viz_link = net.add_link(LinkSpec::gige("viz-gige"));
-    let viz_path = vec![viz_link];
-
+    let text = matisse_spec_text(wan, n_storage, seed);
+    let spec = crate::engine::ScenarioSpec::parse(&text).expect("generated MATISSE spec parses");
+    let topo = crate::engine::compile_topology(&spec).expect("generated MATISSE spec compiles");
+    let storage_hosts: Vec<HostId> = (1..=n_storage)
+        .map(|i| {
+            topo.host_id(&format!("dpss{i}.lbl.gov"))
+                .expect("declared storage host")
+        })
+        .collect();
+    let client = topo.host_id("mems.cairn.net").expect("declared client");
+    let viz = topo.host_id("viz.cairn.net").expect("declared viz host");
+    let link = |name: &str| topo.link_id(name).expect("declared link");
+    let storage_paths: Vec<Vec<LinkId>> = (1..=n_storage)
+        .map(|i| {
+            let uplink = link(&format!("dpss{i}-uplink"));
+            if wan {
+                vec![
+                    uplink,
+                    link("lbl-oc12-access"),
+                    link("supernet-oc48"),
+                    link("isi-cluster-gige"),
+                    link("mems-gige-pci"),
+                ]
+            } else {
+                vec![uplink, link("mems-gige-pci")]
+            }
+        })
+        .collect();
+    let viz_path = vec![link("viz-gige")];
     MatisseTopology {
-        net,
+        net: topo.net,
         storage_hosts,
         client,
         viz,

@@ -1,0 +1,135 @@
+//! The asserted scenario suite: each test loads a declarative spec from
+//! `scenarios/`, runs it on the simulated clock, and chains at least
+//! three analyser assertions over the resulting report.  Several
+//! scenarios additionally require that the automated bottleneck analysis
+//! (`jamm_netlogger::analysis::diagnose`, fed from the monitoring
+//! plane's own self-lifelines) localizes the *injected* fault to the
+//! right stage pair and host — monitoring diagnosing itself, the
+//! paper's §5 workflow with no human in the loop.
+//!
+//! Everything here is driven by the simulated clock and a seed from the
+//! spec file; the determinism test at the bottom asserts that the entire
+//! rendered report is byte-identical across two runs.
+
+use jamm_netsim::engine::{ScenarioEngine, ScenarioReport};
+use jamm_ulm::keys::jamm;
+
+fn load(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn run(name: &str) -> ScenarioReport {
+    let engine =
+        ScenarioEngine::from_text(&load(name)).unwrap_or_else(|e| panic!("compile {name}: {e}"));
+    engine.run()
+}
+
+/// The MATISSE WAN collapse at 10x the paper's scale: forty parallel DPSS
+/// streams into one receive host.  Aggregate goodput must *collapse* (the
+/// magnitude assertion), and the self-lifeline diagnosis must name the
+/// receiving host: the consumer CPU-coupled to mems.cairn.net starves
+/// while the host's receive path thrashes, so the dominant stage gap is
+/// SUB_DELIVER -> SUB_DRAIN at mems.cairn.net.
+#[test]
+fn matisse_wan_collapse_at_10x_scale_is_diagnosed_to_the_receiving_host() {
+    let report = run("matisse_wan_10x.scn");
+    report
+        .expect()
+        // Early seconds still move real data...
+        .throughput_at_least_during(1, 2, 10.0)
+        // ...then 40 concurrent streams collapse the receiver: an order
+        // of magnitude below the 250 Mbit/s the NIC could deliver.
+        .throughput_at_most_during(10, 39, 10.0)
+        .events_delivered_at_least("mems.cairn.net", 900)
+        .delivery_p99_under("mems.cairn.net", 100_000)
+        .diagnosis_localizes(jamm::SUB_DELIVER, jamm::SUB_DRAIN, "mems.cairn.net")
+        .assert_ok();
+}
+
+/// Host churn with gateway failover: when the primary gateway's host
+/// crashes, the directory marks it down, sensors re-resolve to the
+/// standby, and delivery continues.  The archiver listens only on the
+/// standby gateway, so a filled archive is direct evidence the failover
+/// actually happened.
+#[test]
+fn host_churn_fails_over_through_the_directory() {
+    let report = run("host_churn_failover.scn");
+    report
+        .expect()
+        .events_delivered_at_least("ops", 2_300)
+        .no_drops_outside(1, 0) // empty window: lossless everywhere
+        .delivery_p99_under("ops", 20_000)
+        .archived_at_least("arch", 250)
+        .recovered_within(2) // data throughput back to baseline post-recover
+        .assert_ok();
+}
+
+/// Partition during archive replay: the live consumer is cut off while
+/// the whole archive is replayed through its gateway, so its bounded
+/// subscription queue overflows — but only inside the partition window.
+#[test]
+fn partition_during_replay_drops_only_inside_the_window() {
+    let report = run("partition_replay.scn");
+    report
+        .expect()
+        .drops_at_least(2_000)
+        .no_drops_outside(19, 31)
+        .events_delivered_at_least("live", 3_500)
+        .archived_at_least("arch", 6_000)
+        .assert_ok();
+}
+
+/// A flapping sensor is a data gap, not a pipeline fault: the plane must
+/// ride through stop/start churn losslessly with flat latency.
+#[test]
+fn flapping_sensor_does_not_disturb_the_pipeline() {
+    let report = run("flapping_sensor.scn");
+    report
+        .expect()
+        .events_delivered_at_least("ops", 700)
+        .no_drops_outside(1, 0)
+        .delivery_p99_under("ops", 10_000)
+        .throughput_at_least(300.0)
+        .assert_ok();
+}
+
+/// Bursty diurnal load: a 20x publish-rate burst for the middle third of
+/// the run must be absorbed losslessly by the bounded queues.
+#[test]
+fn diurnal_burst_is_absorbed_losslessly() {
+    let report = run("diurnal_burst.scn");
+    report
+        .expect()
+        .events_delivered_at_least("ops", 2_400)
+        .no_drops_outside(1, 0)
+        .delivery_p99_under("ops", 10_000)
+        .throughput_at_least(300.0)
+        .assert_ok();
+}
+
+/// Slow-consumer tier degradation: the viz subscriber's drain loop
+/// stalls to 80 ms per drain at 40s, and the self-lifeline analysis must
+/// localize the bottleneck to the SUB_DELIVER -> SUB_DRAIN gap at `viz`.
+#[test]
+fn slow_consumer_tier_degradation_is_diagnosed() {
+    let report = run("slow_consumer.scn");
+    report
+        .expect()
+        .events_delivered_at_least("viz", 2_000)
+        .no_drops_outside(1, 0)
+        .delivery_p99_under("viz", 200_000)
+        .diagnosis_localizes(jamm::SUB_DELIVER, jamm::SUB_DRAIN, "viz")
+        .assert_ok();
+}
+
+/// Same spec + same seed => byte-identical analyser report.  The whole
+/// pipeline — fluid TCP, fault injection, gateway routing, self-lifeline
+/// timestamps (via the shared TraceClock), the diagnosis text — must be
+/// free of wall-clock and iteration-order nondeterminism.
+#[test]
+fn same_spec_and_seed_render_byte_identical_reports() {
+    let a = run("partition_replay.scn").render_text();
+    let b = run("partition_replay.scn").render_text();
+    assert_eq!(a, b, "scenario runs diverged under a fixed seed");
+}
