@@ -47,6 +47,8 @@ pub mod json;
 pub mod obs;
 #[deny(missing_docs)]
 pub mod query;
+#[deny(missing_docs)]
+pub mod retry;
 pub mod rng;
 pub mod sync;
 
@@ -55,3 +57,4 @@ pub use codec::Codec;
 pub use flow::{DeliveryCounters, EventSink, EventSource, OverflowPolicy, SinkError};
 pub use intern::Sym;
 pub use query::{Facts, Plan, Predicate, Record};
+pub use retry::{Backoff, BreakerState, BreakerStats, CircuitBreaker};

@@ -349,6 +349,18 @@ impl MetricsSnapshot {
             })
     }
 
+    /// Value of the first gauge sample with this name and label pair.
+    pub fn gauge_with(&self, name: &str, key: &str, value: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .find(|s| s.labels.iter().any(|(k, v)| k == key && v == value))
+            .and_then(|s| match &s.value {
+                SampleValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
     /// Render the snapshot in a Prometheus-style text exposition format.
     ///
     /// Counters and gauges become one line each; histograms are rendered

@@ -48,6 +48,7 @@ use jamm_auth::acl::{AccessControlList, Action};
 use jamm_core::query::{Plan, Predicate};
 
 use crate::filter::{EventFilter, FilterChain};
+use crate::qos::{QosConfig, QosRuntime, QosSnapshot, Tier, TierRow};
 use crate::routing::{RouteOutcome, ShardReport, ShardedRouter, DEFAULT_GATEWAY_SHARDS};
 use crate::summary::{ShardedSummaryEngine, SummaryWindow};
 use crate::{GatewayError, Result};
@@ -260,6 +261,13 @@ pub struct GatewayConfig {
     /// trace points (see [`crate::trace::PipelineTracer`]).  The
     /// tracer's own sink gateway must be left untraced.
     pub tracer: Option<Arc<crate::trace::PipelineTracer>>,
+    /// Delivery QoS plane (see [`crate::qos`]): when set, subscriptions
+    /// are classified into drain-rate tiers with per-tier queue budgets,
+    /// the gateway sheds lowest-tier raw events under declared overload,
+    /// and (with worker delivery) each tier gets its own worker pool
+    /// sized by [`QosConfig::workers_per_tier`] — `delivery_workers`
+    /// then only selects worker mode (`> 0`) versus synchronous (`0`).
+    pub qos: Option<QosConfig>,
 }
 
 impl GatewayConfig {
@@ -273,6 +281,7 @@ impl GatewayConfig {
             delivery_workers: 0,
             route_timing: true,
             tracer: None,
+            qos: None,
         }
     }
 
@@ -306,6 +315,12 @@ impl GatewayConfig {
     /// [`crate::trace::PipelineTracer`]).
     pub fn with_tracer(mut self, tracer: Arc<crate::trace::PipelineTracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Enable the delivery QoS plane (see [`crate::qos`]).
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = Some(qos);
         self
     }
 }
@@ -351,6 +366,8 @@ pub struct DeliveryReport {
     pub dropped: u64,
     /// Approximate payload bytes delivered.
     pub bytes: u64,
+    /// Current delivery tier (always [`Tier::Fast`] without a QoS plane).
+    pub tier: Tier,
 }
 
 /// One background delivery worker: its ingest queue (carrying batches, so
@@ -377,6 +394,13 @@ pub struct EventGateway {
     /// Events handed to a worker but not yet routed (see
     /// [`EventGateway::quiesce`]).
     in_flight: Arc<AtomicU64>,
+    /// The QoS plane shared with the router, when configured.
+    qos: Option<Arc<QosRuntime>>,
+    /// `(offset, len)` into `workers` of each tier's pool, indexed by
+    /// tier — set only under QoS worker delivery.
+    tier_pools: Option<[(usize, usize); 3]>,
+    /// Publishes since the gateway opened, driving the re-tier cadence.
+    qos_publishes: AtomicU64,
 }
 
 impl std::fmt::Debug for EventGateway {
@@ -409,14 +433,39 @@ impl EventGateway {
     /// Create a gateway.
     pub fn new(config: GatewayConfig) -> Self {
         let shards = config.shards.max(1);
-        let router = Arc::new(ShardedRouter::new(shards, config.tracer.clone()));
+        let qos = config.qos.clone().map(|c| Arc::new(QosRuntime::new(c)));
+        let router = Arc::new(ShardedRouter::new(
+            shards,
+            config.tracer.clone(),
+            qos.clone(),
+        ));
         let stats = Arc::new(GatewayStats::default());
         let in_flight = Arc::new(AtomicU64::new(0));
-        // More workers than shards would leave the excess idle: a shard's
-        // traffic is pinned to one worker to preserve per-type ordering.
-        let worker_count = config.delivery_workers.min(shards);
-        let workers = (0..worker_count)
-            .map(|_| {
+        // Worker layout.  Without QoS: `delivery_workers` generic workers,
+        // capped at the shard count (a shard's traffic is pinned to one
+        // worker to preserve per-type ordering; more would sit idle).
+        // With QoS: one pool per tier sized by `workers_per_tier`, so a
+        // stalled probation consumer's delivery cost lands on the
+        // probation pool's threads alone.
+        let mut assignments: Vec<Option<Tier>> = Vec::new();
+        let mut tier_pools = None;
+        if config.delivery_workers > 0 {
+            match &qos {
+                None => assignments = vec![None; config.delivery_workers.min(shards)],
+                Some(q) => {
+                    let mut spans = [(0usize, 0usize); 3];
+                    for t in Tier::ALL {
+                        let n = q.config.workers_per_tier[t as usize].max(1);
+                        spans[t as usize] = (assignments.len(), n);
+                        assignments.extend(std::iter::repeat_n(Some(t), n));
+                    }
+                    tier_pools = Some(spans);
+                }
+            }
+        }
+        let workers = assignments
+            .into_iter()
+            .map(|tier_filter| {
                 let (tx, rx) = bounded::<Vec<SharedEvent>>(DELIVERY_WORKER_QUEUE_CAPACITY);
                 let router = Arc::clone(&router);
                 let stats = Arc::clone(&stats);
@@ -434,12 +483,14 @@ impl EventGateway {
                             None => Vec::new(),
                         };
                         let start = timing.then(std::time::Instant::now);
-                        let out = if batch.len() == 1 {
-                            let event = batch.pop().expect("len checked");
-                            let ty = Sym::intern(&event.event_type);
-                            router.route(ty, event)
-                        } else {
-                            router.route_batch(&batch)
+                        let out = match tier_filter {
+                            Some(tier) => router.route_batch_tier(&batch, tier),
+                            None if batch.len() == 1 => {
+                                let event = batch.pop().expect("len checked");
+                                let ty = Sym::intern(&event.event_type);
+                                router.route(ty, event)
+                            }
+                            None => router.route_batch(&batch),
                         };
                         if let Some(start) = start {
                             stats.route_us.record_micros(start.elapsed());
@@ -468,6 +519,9 @@ impl EventGateway {
             next_id: AtomicU64::new(1),
             workers,
             in_flight,
+            qos,
+            tier_pools,
+            qos_publishes: AtomicU64::new(0),
         }
     }
 
@@ -605,6 +659,7 @@ impl EventGateway {
     /// delivery to N subscribers is N-1 refcount bumps plus one move.
     pub fn publish_shared(&self, event: SharedEvent) -> usize {
         let ty = self.observe(&event);
+        self.maybe_retier(1);
         if let Some(tracer) = &self.config.tracer {
             tracer.on_publish(&event, &self.config.name);
         }
@@ -625,8 +680,26 @@ impl EventGateway {
             self.stats.apply(&out);
             return out.delivered as usize;
         }
-        let widx = self.router.shard_of_sym(ty) % self.workers.len();
-        self.hand_to_worker(widx, vec![event])
+        let base = self.router.shard_of_sym(ty);
+        match self.tier_pools {
+            None => self.hand_to_worker(base % self.workers.len(), vec![event]),
+            Some(spans) => {
+                // One worker per tier pool routes the event to its own
+                // tier's subscriptions; each hand-off bumps the refcount,
+                // the last takes the owned Arc.
+                let mut event = Some(event);
+                let mut accepted = 0;
+                for (i, (off, len)) in spans.iter().enumerate() {
+                    let ev = if i + 1 == spans.len() {
+                        event.take().expect("event held until last pool")
+                    } else {
+                        SharedEvent::clone(event.as_ref().expect("event held until last pool"))
+                    };
+                    accepted += self.hand_to_worker(off + base % len, vec![ev]).min(1);
+                }
+                usize::from(accepted > 0)
+            }
+        }
     }
 
     /// Hand a batch to one worker's queue, keeping the in-flight count
@@ -653,6 +726,7 @@ impl EventGateway {
         if events.is_empty() {
             return 0;
         }
+        self.maybe_retier(events.len() as u64);
         if self.workers.is_empty() {
             for event in events {
                 self.observe(event);
@@ -689,15 +763,42 @@ impl EventGateway {
             if let Some(tracer) = &self.config.tracer {
                 tracer.on_publish(event, &self.config.name);
             }
-            let widx = self.router.shard_of_sym(ty) % self.workers.len();
-            groups[widx].push(SharedEvent::clone(event));
+            let base = self.router.shard_of_sym(ty);
+            match self.tier_pools {
+                None => groups[base % self.workers.len()].push(SharedEvent::clone(event)),
+                Some(spans) => {
+                    // Every tier pool receives the event (a refcount bump
+                    // per pool); each pool delivers only to its own tier.
+                    for (off, len) in spans {
+                        groups[off + base % len].push(SharedEvent::clone(event));
+                    }
+                }
+            }
         }
-        groups
-            .into_iter()
-            .enumerate()
-            .filter(|(_, g)| !g.is_empty())
-            .map(|(widx, g)| self.hand_to_worker(widx, g))
-            .sum()
+        match self.tier_pools {
+            None => groups
+                .into_iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(widx, g)| self.hand_to_worker(widx, g))
+                .sum(),
+            Some(spans) => {
+                // Count each event once — via the fast pool's hand-offs —
+                // even though all three pools receive it.
+                let (foff, flen) = spans[Tier::Fast as usize];
+                let mut accepted = 0;
+                for (widx, g) in groups.into_iter().enumerate() {
+                    if g.is_empty() {
+                        continue;
+                    }
+                    let n = self.hand_to_worker(widx, g);
+                    if widx >= foff && widx < foff + flen {
+                        accepted += n;
+                    }
+                }
+                accepted
+            }
+        }
     }
 
     /// Publish a batch of by-value events (each is copied once into its
@@ -792,6 +893,53 @@ impl EventGateway {
     /// and the gateway-tuning guidance in `docs/ARCHITECTURE.md`.
     pub fn shard_report(&self) -> Vec<ShardReport> {
         self.router.shard_reports()
+    }
+
+    /// Advance the publish counter and run a re-tier pass whenever the
+    /// cadence boundary is crossed.  Counted in publishes rather than
+    /// wall time so simulated-clock runs stay deterministic.
+    fn maybe_retier(&self, n: u64) {
+        let Some(q) = &self.qos else { return };
+        let every = q.config.retier_every.max(1);
+        let prev = self.qos_publishes.fetch_add(n, Ordering::Relaxed);
+        if prev / every != (prev + n) / every {
+            self.retier_now();
+        }
+    }
+
+    /// Run one re-tier pass immediately: re-classify every subscription
+    /// from its queue fill and interval drop ratio, refresh the overload
+    /// state from the aggregate pressure, and return the new tier rows.
+    /// A no-op (empty) without a QoS plane.
+    pub fn retier_now(&self) -> Vec<TierRow> {
+        let Some(q) = &self.qos else {
+            return Vec::new();
+        };
+        let (rows, fill) = self.router.retier(q);
+        q.update_overload(fill);
+        rows
+    }
+
+    /// Current tier assignment per subscription, without advancing the
+    /// classifier (every row is [`Tier::Fast`] without a QoS plane).
+    pub fn tier_report(&self) -> Vec<TierRow> {
+        self.router.tier_rows()
+    }
+
+    /// Snapshot of the QoS plane — shed level, pressure, per-tier shed
+    /// and budget-drop counters.  `None` without a QoS plane.
+    pub fn qos_snapshot(&self) -> Option<QosSnapshot> {
+        self.qos.as_ref().map(|q| q.snapshot())
+    }
+
+    /// Feed an external saturation gauge (e.g. the network reactor's
+    /// event-loop saturation) into the overload machine; max-combined
+    /// with queue pressure at the next re-tier pass.  A no-op without a
+    /// QoS plane.
+    pub fn set_external_pressure(&self, saturation: f64) {
+        if let Some(q) = &self.qos {
+            q.set_external_pressure(saturation);
+        }
     }
 }
 
@@ -1244,6 +1392,129 @@ mod tests {
             .query_matching("c", &Predicate::everything().compile())
             .unwrap();
         assert_eq!(all.len(), 3, "one latest event per live series");
+    }
+
+    #[test]
+    fn qos_retier_moves_a_stalled_subscriber_to_probation_and_back() {
+        let gw = EventGateway::new(GatewayConfig::open("gw1").with_qos(QosConfig {
+            retier_every: u64::MAX, // driven manually below
+            ..QosConfig::default()
+        }));
+        let mut fast = gw
+            .subscribe()
+            .as_consumer("fast")
+            .capacity(64)
+            .open()
+            .unwrap();
+        let mut stalled = gw
+            .subscribe()
+            .as_consumer("stalled")
+            .capacity(64)
+            .open()
+            .unwrap();
+        for round in 0..6u64 {
+            for i in 0..64u64 {
+                gw.publish(&ev("h", "CPU_TOTAL", i as f64, round * 64 + i));
+            }
+            fast.drain();
+            gw.retier_now();
+        }
+        let tier_of =
+            |rows: &[TierRow], name: &str| rows.iter().find(|r| r.consumer == name).unwrap().tier;
+        let rows = gw.tier_report();
+        assert_eq!(tier_of(&rows, "fast"), Tier::Fast, "draining consumer");
+        assert_eq!(tier_of(&rows, "stalled"), Tier::Probation, "full queue");
+        assert!(
+            gw.delivery_report()
+                .iter()
+                .find(|r| r.consumer == "stalled")
+                .unwrap()
+                .dropped
+                > 0
+        );
+        // Once the consumer drains again, hysteresis walks it back down.
+        for round in 0..8u64 {
+            for i in 0..8u64 {
+                gw.publish(&ev("h", "CPU_TOTAL", i as f64, 1_000 + round * 8 + i));
+            }
+            fast.drain();
+            stalled.drain();
+            gw.retier_now();
+        }
+        assert_eq!(tier_of(&gw.tier_report(), "stalled"), Tier::Fast);
+    }
+
+    #[test]
+    fn overload_sheds_raw_events_but_never_summaries_or_lifelines() {
+        use crate::qos::{protected, ShedLevel};
+        let gw = EventGateway::new(GatewayConfig::open("gw1").with_qos(QosConfig {
+            retier_every: u64::MAX,
+            ..QosConfig::default()
+        }));
+        let sub = gw.subscribe().as_consumer("c").open().unwrap();
+        gw.set_external_pressure(1.0);
+        gw.retier_now();
+        assert_eq!(gw.qos_snapshot().unwrap().level, ShedLevel::All);
+        // A raw event is shed even to a fast-tier subscription...
+        gw.publish(&ev("h", "CPU_TOTAL", 1.0, 1));
+        // ...but the plane's own lifelines and summary events pass.
+        let lifeline = Event::builder("_jamm", "h")
+            .level(Level::Usage)
+            .event_type("JAMM_GW_PUB")
+            .timestamp(Timestamp::from_secs(2))
+            .build();
+        let summary = Event::builder("gw1", "h")
+            .level(Level::Usage)
+            .event_type("CPU_TOTAL_AVG_1MIN")
+            .timestamp(Timestamp::from_secs(3))
+            .value(1.0)
+            .build();
+        gw.publish(&lifeline);
+        gw.publish(&summary);
+        let got: Vec<SharedEvent> = sub.events.try_iter().collect();
+        assert_eq!(got.len(), 2, "only the protected streams survived");
+        assert!(got.iter().all(protected));
+        let snap = gw.qos_snapshot().unwrap();
+        assert_eq!(snap.shed[Tier::Fast as usize], 1);
+        assert_eq!(sub.dropped(), 1);
+        // Pressure released: de-escalation is one level per pass.
+        gw.set_external_pressure(0.0);
+        gw.retier_now();
+        assert_eq!(gw.qos_snapshot().unwrap().level, ShedLevel::Lagging);
+        gw.retier_now();
+        gw.retier_now();
+        assert_eq!(gw.qos_snapshot().unwrap().level, ShedLevel::None);
+        gw.publish(&ev("h", "CPU_TOTAL", 2.0, 4));
+        assert_eq!(sub.events.try_iter().count(), 1, "shedding stopped");
+    }
+
+    #[test]
+    fn tier_pools_deliver_each_event_exactly_once_per_subscription() {
+        let gw = EventGateway::new(
+            GatewayConfig::open("gw1")
+                .with_shards(4)
+                .with_delivery_workers(1)
+                .with_qos(QosConfig {
+                    retier_every: u64::MAX,
+                    ..QosConfig::default()
+                }),
+        );
+        // One pool per tier: 2 fast + 1 lagging + 1 probation workers.
+        assert_eq!(gw.delivery_worker_count(), 4);
+        let sub = gw.subscribe().as_consumer("c").open().unwrap();
+        for i in 0..100u64 {
+            gw.publish(&ev("h", "CPU_TOTAL", i as f64, i));
+        }
+        let events: Vec<Event> = (100..200u64)
+            .map(|i| ev("h", "MEM_FREE", i as f64, i))
+            .collect();
+        gw.publish_batch(&events);
+        gw.quiesce();
+        assert_eq!(sub.delivered(), 200, "fast pool delivers, others skip");
+        assert_eq!(sub.events.try_iter().count(), 200);
+        assert_eq!(gw.stats().events_in.load(Ordering::Relaxed), 200);
+        let ingest: u64 = gw.shard_report().iter().map(|r| r.events_in).sum();
+        assert_eq!(ingest, 200, "shard ingest counted once, not per pool");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   swapped on the cold path so publish fans out without holding a lock
 //!   (plus [`routing::FlatFanout`], the original flat-list reference the
 //!   property tests and the `e14_gateway_fanout` bench compare against);
+//! * [`qos`] — the delivery QoS plane: drain-rate tier classification
+//!   with hysteresis, per-tier queue budgets and worker pools, and
+//!   declared overload shedding that drops lowest-tier raw events first
+//!   while summaries and `_jamm` self-lifelines survive;
 //! * [`gateway`] — the [`EventGateway`] itself: publish (as a
 //!   [`jamm_core::flow::EventSink`]), the fluent [`SubscriptionBuilder`]
 //!   for bounded streaming subscriptions, query (most recent event),
@@ -29,6 +33,7 @@
 pub mod filter;
 pub mod gateway;
 mod hash;
+pub mod qos;
 pub mod routing;
 pub mod summary;
 pub mod trace;
@@ -40,6 +45,9 @@ pub use gateway::{
 };
 pub use jamm_core::flow::OverflowPolicy;
 pub use jamm_core::query::{Plan, Predicate};
+pub use qos::{
+    OverloadPolicy, QosConfig, QosRuntime, QosSnapshot, ShedLevel, Tier, TierPolicy, TierRow,
+};
 pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
 pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
 pub use trace::{PipelineTracer, TraceClock, DEFAULT_SAMPLE_EVERY};

@@ -34,7 +34,7 @@
 //! it as the baseline the sharded engine is compared against.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use jamm_core::channel::{bounded, Sender, TrySendError};
@@ -45,6 +45,7 @@ use jamm_ulm::SharedEvent;
 
 use crate::filter::{EventFilter, FilterChain};
 use crate::gateway::{DeliveryReport, Subscription};
+use crate::qos::{self, QosRuntime, Tier, TierRow, TierState};
 
 /// Default number of routing (and summary) shards a gateway runs with.
 pub const DEFAULT_GATEWAY_SHARDS: usize = 8;
@@ -78,6 +79,12 @@ pub(crate) struct RouteEntry {
     /// Set once the consumer side is observed gone; the entry is skipped
     /// thereafter and physically removed by the next garbage collection.
     closed: AtomicBool,
+    /// Current delivery tier as a `Tier` discriminant, read on the hot
+    /// path with one relaxed load; written by the re-tier pass.
+    tier: AtomicU8,
+    /// The tier classifier's EWMA state, touched only on the cold
+    /// re-tier cadence.
+    qos_state: Mutex<TierState>,
 }
 
 /// What delivering one event to one subscription did.
@@ -116,7 +123,44 @@ impl RouteEntry {
             overflow,
             counters,
             closed: AtomicBool::new(false),
+            tier: AtomicU8::new(Tier::Fast as u8),
+            qos_state: Mutex::new(TierState::default()),
         }
+    }
+
+    /// The tier the re-tier pass last assigned.
+    fn current_tier(&self) -> Tier {
+        Tier::from_u8(self.tier.load(Ordering::Relaxed))
+    }
+
+    /// QoS admission check, run after the filter chain accepts the
+    /// event: returns `true` when the delivery must be dropped before
+    /// queueing — shed under declared overload, or rejected by the
+    /// tier's reduced queue budget.  Protected streams (`_jamm`
+    /// self-lifelines, summary events) always pass.  `extra_queued`
+    /// accounts for deliveries already buffered for this entry in the
+    /// current batch but not yet in the queue.
+    fn qos_gate(&self, event: &SharedEvent, q: &QosRuntime, extra_queued: usize) -> bool {
+        if qos::protected(event) {
+            return false;
+        }
+        let tier = self.current_tier();
+        if q.shed_level().sheds(tier) {
+            q.stats.record_shed(tier);
+            self.counters.record_dropped(1);
+            return true;
+        }
+        if tier != Tier::Fast {
+            if let Some(cap) = self.tx.capacity() {
+                let budget = ((cap as f64) * q.budget(tier)) as usize;
+                if budget < cap && self.tx.len() + extra_queued >= budget.max(1) {
+                    q.stats.record_budget_drop(tier);
+                    self.counters.record_dropped(1);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Evaluate the chain and push one event.  Takes the event by value:
@@ -124,12 +168,17 @@ impl RouteEntry {
     /// caller bumps the refcount for all but its last delivery, so a
     /// single-subscriber fan-out moves the published `Arc` straight into
     /// the queue.
-    fn deliver(&self, event: SharedEvent, size: u64) -> Delivery {
+    fn deliver(&self, event: SharedEvent, size: u64, qos: Option<&QosRuntime>) -> Delivery {
         if self.closed.load(Ordering::Relaxed) {
             return Delivery::Closed;
         }
         if !self.chain.accept(&event) {
             return Delivery::Filtered;
+        }
+        if let Some(q) = qos {
+            if self.qos_gate(&event, q, 0) {
+                return Delivery::Dropped;
+            }
         }
         match self.overflow {
             OverflowPolicy::DropOldest => match self.tx.send_overwriting(event) {
@@ -243,10 +292,17 @@ pub(crate) struct ShardedRouter {
     /// [`jamm_ulm::keys::jamm::SUB_DELIVER`] point per subscription queue
     /// they are pushed into.
     tracer: Option<Arc<crate::trace::PipelineTracer>>,
+    /// The QoS plane, when the gateway was opened with one: deliveries
+    /// pass the shed/budget gate and the re-tier pass runs here.
+    qos: Option<Arc<QosRuntime>>,
 }
 
 impl ShardedRouter {
-    pub(crate) fn new(shards: usize, tracer: Option<Arc<crate::trace::PipelineTracer>>) -> Self {
+    pub(crate) fn new(
+        shards: usize,
+        tracer: Option<Arc<crate::trace::PipelineTracer>>,
+        qos: Option<Arc<QosRuntime>>,
+    ) -> Self {
         let shards = shards.max(1);
         ShardedRouter {
             shards: (0..shards)
@@ -257,6 +313,7 @@ impl ShardedRouter {
                 .collect(),
             entries: Mutex::new(Vec::new()),
             tracer,
+            qos,
         }
     }
 
@@ -391,8 +448,81 @@ impl ShardedRouter {
                 delivered: e.counters.delivered(),
                 dropped: e.counters.dropped(),
                 bytes: e.counters.bytes(),
+                tier: e.current_tier(),
             })
             .collect()
+    }
+
+    /// Current tier assignment rows, without advancing the classifier.
+    pub(crate) fn tier_rows(&self) -> Vec<TierRow> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| !e.closed.load(Ordering::Relaxed))
+            .map(|e| TierRow {
+                id: e.id,
+                consumer: e.consumer.clone(),
+                tier: e.current_tier(),
+                score: e.qos_state.lock().score,
+                queue_len: e.tx.len(),
+                capacity: e.tx.capacity().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// One re-tier pass: fold each subscription's queue fill and
+    /// interval drop ratio into its EWMA, re-classify with hysteresis,
+    /// and publish the new tier for the hot path's relaxed load.
+    /// Returns the new rows plus the aggregate queue-fill fraction (the
+    /// overload machine's internal pressure input).
+    pub(crate) fn retier(&self, q: &QosRuntime) -> (Vec<TierRow>, f64) {
+        let entries = self.entries.lock();
+        let mut rows = Vec::with_capacity(entries.len());
+        let mut queued_total = 0usize;
+        let mut cap_total = 0usize;
+        for e in entries.iter() {
+            if e.closed.load(Ordering::Relaxed) {
+                continue;
+            }
+            let queue_len = e.tx.len();
+            let capacity = e.tx.capacity().unwrap_or(0);
+            let delivered = e.counters.delivered();
+            let dropped = e.counters.dropped();
+            let mut st = e.qos_state.lock();
+            let d_del = delivered.saturating_sub(st.last_delivered);
+            let d_drop = dropped.saturating_sub(st.last_dropped);
+            st.last_delivered = delivered;
+            st.last_dropped = dropped;
+            let fill = if capacity > 0 {
+                queue_len as f64 / capacity as f64
+            } else {
+                0.0
+            };
+            let drop_ratio = if d_del + d_drop > 0 {
+                d_drop as f64 / (d_del + d_drop) as f64
+            } else {
+                0.0
+            };
+            let tier = st.observe(fill.max(drop_ratio), &q.config.tiers);
+            e.tier.store(tier as u8, Ordering::Relaxed);
+            queued_total += queue_len;
+            cap_total += capacity;
+            rows.push(TierRow {
+                id: e.id,
+                consumer: e.consumer.clone(),
+                tier,
+                score: st.score,
+                queue_len,
+                capacity,
+            });
+        }
+        q.stats.record_retier();
+        let fill = if cap_total > 0 {
+            queued_total as f64 / cap_total as f64
+        } else {
+            0.0
+        };
+        (rows, fill)
     }
 
     /// Per-shard accounting rows.
@@ -442,7 +572,7 @@ impl ShardedRouter {
                 Some(_) => SharedEvent::clone(event.as_ref().expect("event held until last")),
                 None => event.take().expect("event held until last"),
             };
-            match entry.deliver(ev, size) {
+            match entry.deliver(ev, size, self.qos.as_deref()) {
                 Delivery::Sent { evicted } => {
                     if let (Some(tracer), Some(id)) = (&self.tracer, traced) {
                         tracer.stage_id(id, jamm_ulm::keys::jamm::SUB_DELIVER, &entry.consumer);
@@ -479,6 +609,23 @@ impl ShardedRouter {
     /// batched send each.  Buffering an event for a subscription is an
     /// `Arc` refcount bump, never a copy.
     pub(crate) fn route_batch(&self, events: &[SharedEvent]) -> RouteOutcome {
+        self.route_batch_filtered(events, None)
+    }
+
+    /// Route a batch to subscriptions of one tier only.  The per-tier
+    /// delivery worker pools each call this with their own tier: a
+    /// publish fans out once per pool, but every subscription is
+    /// delivered by exactly one pool, so a stalled probation consumer's
+    /// queue churn is paid on the probation pool's thread alone.
+    pub(crate) fn route_batch_tier(&self, events: &[SharedEvent], tier: Tier) -> RouteOutcome {
+        self.route_batch_filtered(events, Some(tier))
+    }
+
+    fn route_batch_filtered(
+        &self,
+        events: &[SharedEvent],
+        tier_filter: Option<Tier>,
+    ) -> RouteOutcome {
         /// One buffered delivery: the owning shard, payload size, event.
         type Buffered = (usize, u64, SharedEvent);
         let mut snapshots: Vec<Option<Arc<ShardTable>>> = vec![None; self.shards.len()];
@@ -487,14 +634,24 @@ impl ShardedRouter {
         let mut buffers: Vec<(Arc<RouteEntry>, Vec<Buffered>)> = Vec::new();
         let mut index: HashMap<u64, usize> = HashMap::new();
         let mut saw_closed = false;
+        let mut out = RouteOutcome::default();
+        // Per-shard (delivered, bytes, dropped), accumulated locally and
+        // flushed with one atomic RMW per counter per shard at the end —
+        // not one per delivered event.
+        let mut shard_acc: Vec<(u64, u64, u64)> = vec![(0, 0, 0); self.shards.len()];
+        // When the tier pools each route the same batch, only the fast
+        // pool attributes shard ingest, so `events_in` stays per-event.
+        let count_ingest = tier_filter.is_none() || tier_filter == Some(Tier::Fast);
         for event in events {
             let size = event.approx_size() as u64;
             let ty = Sym::intern(&event.event_type);
             let idx = self.shard_of_sym(ty);
-            self.shards[idx]
-                .stats
-                .events_in
-                .fetch_add(1, Ordering::Relaxed);
+            if count_ingest {
+                self.shards[idx]
+                    .stats
+                    .events_in
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             // Borrow the cached snapshot in place — no per-event Arc
             // refcount round-trip on the table itself.
             let table = snapshots[idx].get_or_insert_with(|| self.shards[idx].table.read().clone());
@@ -504,8 +661,21 @@ impl ShardedRouter {
                     saw_closed = true;
                     continue;
                 }
+                if let Some(t) = tier_filter {
+                    if entry.current_tier() != t {
+                        continue;
+                    }
+                }
                 if !entry.chain.accept(event) {
                     continue;
+                }
+                if let Some(q) = self.qos.as_deref() {
+                    let queued = index.get(&entry.id).map_or(0, |s| buffers[*s].1.len());
+                    if entry.qos_gate(event, q, queued) {
+                        out.dropped += 1;
+                        shard_acc[idx].2 += 1;
+                        continue;
+                    }
                 }
                 let slot = *index.entry(entry.id).or_insert_with(|| {
                     buffers.push((Arc::clone(entry), Vec::new()));
@@ -514,11 +684,6 @@ impl ShardedRouter {
                 buffers[slot].1.push((idx, size, SharedEvent::clone(event)));
             }
         }
-        let mut out = RouteOutcome::default();
-        // Per-shard (delivered, bytes, dropped), accumulated locally and
-        // flushed with one atomic RMW per counter per shard at the end —
-        // not one per delivered event.
-        let mut shard_acc: Vec<(u64, u64, u64)> = vec![(0, 0, 0); self.shards.len()];
         for (entry, buffered) in buffers {
             let shard_idxs: Vec<usize> = buffered.iter().map(|(i, _, _)| *i).collect();
             let sizes: Vec<u64> = buffered.iter().map(|(_, s, _)| *s).collect();
@@ -672,7 +837,7 @@ impl FlatFanout {
         let mut out = RouteOutcome::default();
         let mut subs = self.subs.lock();
         subs.retain(
-            |entry| match entry.deliver(SharedEvent::clone(event), size) {
+            |entry| match entry.deliver(SharedEvent::clone(event), size, None) {
                 Delivery::Sent { evicted } => {
                     out.delivered += 1;
                     out.bytes += size;

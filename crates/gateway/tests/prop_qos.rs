@@ -1,0 +1,108 @@
+//! Property-based tests of the tier classifier: assignments are stable
+//! under hysteresis (scores oscillating inside a band never flap the
+//! tier) and monotone (a pointwise-slower consumer never lands in a
+//! faster tier than a faster one).
+
+use jamm_core::check::{forall, Gen};
+use jamm_gateway::qos::{Tier, TierPolicy, TierState};
+
+/// A random policy satisfying the ordering invariant
+/// `lag_exit <= lag_enter <= probation_exit <= probation_enter`.
+fn arb_policy(g: &mut Gen) -> TierPolicy {
+    let mut t = [
+        g.f64_in(0.01, 0.99),
+        g.f64_in(0.01, 0.99),
+        g.f64_in(0.01, 0.99),
+        g.f64_in(0.01, 0.99),
+    ];
+    t.sort_by(f64::total_cmp);
+    TierPolicy {
+        lag_exit: t[0],
+        lag_enter: t[1],
+        probation_exit: t[2],
+        probation_enter: t[3],
+        alpha: g.f64_in(0.05, 1.0),
+    }
+}
+
+/// A score inside a tier's hold region leaves the assignment unchanged:
+/// below `lag_enter` holds fast, `[lag_exit, probation_enter)` holds
+/// lagging, and at or above `probation_exit` holds probation.
+#[test]
+fn hold_regions_keep_the_current_tier() {
+    forall("hold regions", 64, |g| {
+        let p = arb_policy(g);
+        let fast_hold = p.lag_enter * g.f64_in(0.0, 0.999);
+        assert_eq!(p.classify(Tier::Fast, fast_hold), Tier::Fast);
+        let lag_hold = p.lag_exit + (p.probation_enter - p.lag_exit) * g.f64_in(0.0, 0.999);
+        assert_eq!(p.classify(Tier::Lagging, lag_hold), Tier::Lagging);
+        let prob_hold = p.probation_exit + (1.0 - p.probation_exit) * g.f64_in(0.0, 1.0);
+        assert_eq!(p.classify(Tier::Probation, prob_hold), Tier::Probation);
+    });
+}
+
+/// Raw observations oscillating anywhere inside one hysteresis band —
+/// `[lag_exit, lag_enter)` or `[probation_exit, probation_enter)` —
+/// cause at most one transition ever, from any starting tier: the EWMA
+/// is a convex combination so the score stays in the band, and the
+/// enter/exit split means no score in the band both enters and leaves a
+/// tier.
+#[test]
+fn no_flap_for_scores_oscillating_within_a_band() {
+    forall("hysteresis stability", 96, |g| {
+        let p = arb_policy(g);
+        let (lo, hi) = if g.bool(0.5) {
+            (p.lag_exit, p.lag_enter)
+        } else {
+            (p.probation_exit, p.probation_enter)
+        };
+        if hi - lo < 1e-9 {
+            return;
+        }
+        let mut st = TierState {
+            score: lo + (hi - lo) * g.f64_in(0.0, 0.999),
+            tier: g.choice(&Tier::ALL),
+            last_delivered: 0,
+            last_dropped: 0,
+        };
+        let mut prev = st.tier;
+        let mut changes = 0;
+        for _ in 0..g.usize_in(5, 60) {
+            let raw = lo + (hi - lo) * g.f64_in(0.0, 0.999);
+            let tier = st.observe(raw, &p);
+            if tier != prev {
+                changes += 1;
+                prev = tier;
+            }
+        }
+        assert!(
+            changes <= 1,
+            "tier flapped {changes} times inside [{lo:.3}, {hi:.3}) under {p:?}"
+        );
+    });
+}
+
+/// Feed two classifiers the same policy, one with a pointwise-greater
+/// raw-score sequence (the strictly slower consumer): at every step the
+/// slower consumer's tier is at least as bad.  Holds because the EWMA
+/// preserves pointwise ordering and `classify` is monotone in both the
+/// current tier and the score under the threshold-ordering invariant.
+#[test]
+fn strictly_slower_consumer_never_lands_in_a_faster_tier() {
+    forall("tier monotonicity", 96, |g| {
+        let p = arb_policy(g);
+        let mut quicker = TierState::default();
+        let mut slower = TierState::default();
+        for _ in 0..g.usize_in(1, 80) {
+            let a = g.f64_in(0.0, 1.0);
+            let b = g.f64_in(0.0, 1.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let t_quick = quicker.observe(lo, &p);
+            let t_slow = slower.observe(hi, &p);
+            assert!(
+                t_slow >= t_quick,
+                "slower consumer outranked the quicker one: {t_slow:?} < {t_quick:?} under {p:?}"
+            );
+        }
+    });
+}

@@ -28,7 +28,7 @@ use jamm_reactor::{LoopStats, Reactor, SocketRow};
 use jamm_rmi::edge::EventEdge;
 
 /// One gateway's row of `JammSystem::admin_stats`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GatewayAdminStats {
     /// Gateway name.
     pub name: String,
@@ -51,6 +51,14 @@ pub struct GatewayAdminStats {
     pub shards: Vec<jamm_gateway::ShardReport>,
     /// Per-subscription delivery totals.
     pub subscriptions: Vec<jamm_gateway::DeliveryReport>,
+    /// Per-subscription QoS tier assignments (current tier plus the
+    /// smoothed lag score behind it); empty when the gateway runs
+    /// without a QoS plane.
+    pub tiers: Vec<jamm_gateway::TierRow>,
+    /// Overload/shedding counters of the QoS plane, when enabled: the
+    /// declared shed level, current pressure, and per-tier shed and
+    /// budget-drop totals.
+    pub qos: Option<jamm_gateway::QosSnapshot>,
     /// Per-socket rows of the gateway's network edge (queued bytes, drops,
     /// stalls per remote subscriber); empty when no edge is running.
     pub sockets: Vec<SocketRow>,
@@ -86,6 +94,11 @@ pub fn gateway_admin_stats(
                 delivery_workers: gw.delivery_worker_count(),
                 shards: gw.shard_report(),
                 subscriptions: gw.delivery_report(),
+                tiers: gw
+                    .qos_snapshot()
+                    .map(|_| gw.tier_report())
+                    .unwrap_or_default(),
+                qos: gw.qos_snapshot(),
                 sockets: edge.map(|e| e.socket_stats()).unwrap_or_default(),
                 loop_stats: edge.and(reactor).map(|r| r.loop_stats()),
             }

@@ -16,8 +16,8 @@ use jamm_core::query::{Facts, Predicate};
 use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
 use jamm_gateway::{
-    EventFilter, EventGateway, GatewayConfig, PipelineTracer, Subscription, TraceClock,
-    DEFAULT_SAMPLE_EVERY,
+    EventFilter, EventGateway, GatewayConfig, PipelineTracer, QosConfig, Subscription, Tier,
+    TraceClock, DEFAULT_SAMPLE_EVERY,
 };
 use jamm_reactor::{Reactor, ReactorConfig};
 use jamm_rmi::edge::{EdgeConfig, EventEdge};
@@ -100,6 +100,7 @@ pub struct JammBuilder {
     retention_micros: Option<u64>,
     gateway_shards: Option<usize>,
     delivery_workers: Option<usize>,
+    gateway_qos: Option<QosConfig>,
     network_edge: bool,
     edge_max_connections: Option<usize>,
     edge_write_budget: Option<usize>,
@@ -184,6 +185,20 @@ impl JammBuilder {
     /// gateway in the deployment.
     pub fn delivery_workers(mut self, workers: usize) -> Self {
         self.delivery_workers = Some(workers);
+        self
+    }
+
+    /// Deployment-wide delivery QoS: give every gateway a tiering and
+    /// overload-shedding plane ([`jamm_gateway::qos`]).  Subscriptions are
+    /// classified `fast`/`lagging`/`probation` by observed drain rate,
+    /// laggards get reduced queue budgets (and, with delivery workers,
+    /// their own worker pool), and under declared overload raw events are
+    /// shed lowest tier first while summaries and `_jamm` self-lifelines
+    /// always survive.  Tier rows and shed counters appear in
+    /// [`JammSystem::admin_stats`], the metrics exposition, and the
+    /// `admin.qos` RMI method.
+    pub fn gateway_qos(mut self, qos: QosConfig) -> Self {
+        self.gateway_qos = Some(qos);
         self
     }
 
@@ -278,6 +293,9 @@ impl JammBuilder {
             }
             if let Some(workers) = self.delivery_workers {
                 config = config.with_delivery_workers(workers);
+            }
+            if let Some(qos) = &self.gateway_qos {
+                config = config.with_qos(qos.clone());
             }
             if let Some(t) = &tracer {
                 config = config.with_tracer(Arc::clone(t));
@@ -443,6 +461,37 @@ fn register_metric_collectors(
                     report.bytes,
                 )));
             }
+            if let Some(snap) = gw.qos_snapshot() {
+                out.push(with_gw(Sample::gauge(
+                    "jamm_gateway_overload_level",
+                    snap.level as u8 as f64,
+                )));
+                out.push(with_gw(Sample::gauge(
+                    "jamm_gateway_overload_pressure",
+                    snap.pressure,
+                )));
+                out.push(with_gw(Sample::counter(
+                    "jamm_gateway_retiers",
+                    snap.retiers,
+                )));
+                let tier_rows = gw.tier_report();
+                for tier in Tier::ALL {
+                    let with_tier =
+                        |s: Sample| with_gw(s).with_label("tier", tier.as_str().to_string());
+                    out.push(with_tier(Sample::counter(
+                        "jamm_gateway_shed_total",
+                        snap.shed[tier as usize],
+                    )));
+                    out.push(with_tier(Sample::counter(
+                        "jamm_gateway_budget_drops_total",
+                        snap.budget_drops[tier as usize],
+                    )));
+                    out.push(with_tier(Sample::gauge(
+                        "jamm_gateway_tier_subscriptions",
+                        tier_rows.iter().filter(|r| r.tier == tier).count() as f64,
+                    )));
+                }
+            }
         }));
     }
     if let Some(reactor) = reactor {
@@ -466,6 +515,10 @@ fn register_metric_collectors(
         let name = edge.gateway_name().to_string();
         let handle = edge.stats_handle();
         let listener = edge.listener();
+        let gw = gateways
+            .iter()
+            .find(|g| g.name() == edge.gateway_name())
+            .map(Arc::clone);
         let Some(reactor) = reactor.map(Arc::clone) else {
             continue;
         };
@@ -491,14 +544,36 @@ fn register_metric_collectors(
                 "jamm_edge_socket_bytes_out",
                 rows.iter().map(|r| r.stats.bytes_out).sum(),
             )));
+            let dropped_frames: u64 = rows.iter().map(|r| r.stats.dropped_frames).sum();
             out.push(with_gw(Sample::counter(
                 "jamm_edge_socket_dropped_frames",
-                rows.iter().map(|r| r.stats.dropped_frames).sum(),
+                dropped_frames,
             )));
             out.push(with_gw(Sample::counter(
                 "jamm_edge_socket_stalls",
                 rows.iter().map(|r| r.stats.stalls).sum(),
             )));
+            // With a QoS plane, the edge's socket frame drops are also
+            // attributed to the tier its gateway subscription currently
+            // sits in, so `admin.metrics` answers "is the network edge
+            // the laggard?" without scraping per-socket rows.
+            if let Some(gw) = &gw {
+                if gw.qos_snapshot().is_some() {
+                    let tier = gw
+                        .tier_report()
+                        .iter()
+                        .find(|r| r.consumer == "edge")
+                        .map(|r| r.tier)
+                        .unwrap_or(Tier::Fast);
+                    out.push(
+                        with_gw(Sample::counter(
+                            "jamm_edge_tier_dropped_frames",
+                            dropped_frames,
+                        ))
+                        .with_label("tier", tier.as_str().to_string()),
+                    );
+                }
+            }
         }));
     }
     {
@@ -761,22 +836,105 @@ impl JammSystem {
     /// `admin` service: method `metrics` returns the text exposition,
     /// method `diagnose` runs [`jamm_netlogger::analysis::diagnose`] over
     /// the lifelines drained so far and returns its report rendered as
-    /// text.  Call [`JammSystem::drain_self_events`] before invoking
-    /// `diagnose` remotely, or pass the lifelines explicitly.
+    /// text, and method `qos` returns each gateway's delivery-QoS state —
+    /// shed level, pressure, per-tier shed counters and the per-
+    /// subscription tier table — as a JSON document.  Call
+    /// [`JammSystem::drain_self_events`] before invoking `diagnose`
+    /// remotely, or pass the lifelines explicitly.
     pub fn register_admin_rmi(&self, bus: &jamm_rmi::MessageBus) {
+        use jamm_core::json::Json;
         let metrics = Arc::clone(&self.metrics);
         let self_log = Arc::clone(&self.self_log);
+        let gateways: Vec<Arc<EventGateway>> = self.gateways.iter().map(Arc::clone).collect();
         bus.register_fn("admin", move |method, _args| match method {
-            "metrics" => Ok(jamm_core::json::Json::String(
-                metrics.snapshot().render_text(),
-            )),
+            "metrics" => Ok(Json::String(metrics.snapshot().render_text())),
             "diagnose" => {
                 let log = self_log.lock();
                 let report = jamm_netlogger::analysis::diagnose(log.iter().map(|e| e.as_ref()));
-                Ok(jamm_core::json::Json::String(report.render_text()))
+                Ok(Json::String(report.render_text()))
+            }
+            "qos" => {
+                let rows = gateways
+                    .iter()
+                    .map(|gw| {
+                        let mut obj =
+                            vec![("gateway".to_string(), Json::from(gw.name().to_string()))];
+                        match gw.qos_snapshot() {
+                            Some(snap) => {
+                                obj.push(("level".to_string(), Json::from(snap.level.as_str())));
+                                obj.push(("pressure".to_string(), Json::from(snap.pressure)));
+                                obj.push(("retiers".to_string(), Json::from(snap.retiers)));
+                                for tier in Tier::ALL {
+                                    obj.push((
+                                        format!("shed_{tier}"),
+                                        Json::from(snap.shed[tier as usize]),
+                                    ));
+                                    obj.push((
+                                        format!("budget_drops_{tier}"),
+                                        Json::from(snap.budget_drops[tier as usize]),
+                                    ));
+                                }
+                                let tiers = gw
+                                    .tier_report()
+                                    .into_iter()
+                                    .map(|r| {
+                                        Json::Object(
+                                            [
+                                                ("id".to_string(), Json::from(r.id)),
+                                                (
+                                                    "consumer".to_string(),
+                                                    Json::from(r.consumer.clone()),
+                                                ),
+                                                ("tier".to_string(), Json::from(r.tier.as_str())),
+                                                ("score".to_string(), Json::from(r.score)),
+                                                (
+                                                    "queue_len".to_string(),
+                                                    Json::from(r.queue_len as u64),
+                                                ),
+                                                (
+                                                    "capacity".to_string(),
+                                                    Json::from(r.capacity as u64),
+                                                ),
+                                            ]
+                                            .into_iter()
+                                            .collect(),
+                                        )
+                                    })
+                                    .collect();
+                                obj.push(("subscriptions".to_string(), Json::Array(tiers)));
+                            }
+                            None => obj.push(("qos".to_string(), Json::from(false))),
+                        }
+                        Json::Object(obj.into_iter().collect())
+                    })
+                    .collect();
+                Ok(Json::Array(rows))
             }
             other => Err(jamm_rmi::RmiError::NoSuchMethod(other.to_string())),
         });
+    }
+
+    /// Feed the shared reactor's event-loop saturation into every
+    /// gateway's overload machine, so declared overload reflects network-
+    /// edge pressure as well as queue fill.  Call it on the same cadence
+    /// as metric scrapes (or from a maintenance loop); a no-op without a
+    /// network edge or without [`JammBuilder::gateway_qos`].
+    pub fn feed_reactor_pressure(&self) {
+        if let Some(reactor) = &self.reactor {
+            let saturation = reactor.loop_stats().saturation();
+            for gw in &self.gateways {
+                gw.set_external_pressure(saturation);
+            }
+        }
+    }
+
+    /// Re-classify every gateway's subscriptions now (instead of waiting
+    /// for the publish-count cadence) and refresh the declared overload
+    /// level.  A no-op without [`JammBuilder::gateway_qos`].
+    pub fn retier_now(&self) {
+        for gw in &self.gateways {
+            gw.retier_now();
+        }
     }
 
     /// Drain lifeline trace events from the self-monitoring gateway into
@@ -1313,6 +1471,94 @@ mod tests {
             )),
             Err(jamm_rmi::RmiError::NoSuchMethod(_))
         ));
+    }
+
+    #[test]
+    fn gateway_qos_surfaces_in_admin_stats_metrics_and_rmi() {
+        use jamm_gateway::ShedLevel;
+
+        let jamm = JammBuilder::new()
+            .gateway("gw1")
+            .gateway_qos(QosConfig {
+                retier_every: u64::MAX, // driven manually below
+                ..QosConfig::default()
+            })
+            .build()
+            .unwrap();
+        let gw = &jamm.gateways[0];
+        let mut fast = gw
+            .subscribe()
+            .as_consumer("fast")
+            .capacity(64)
+            .open()
+            .unwrap();
+        let _stalled = gw
+            .subscribe()
+            .as_consumer("stalled")
+            .capacity(64)
+            .open()
+            .unwrap();
+        for round in 0..6u64 {
+            for t in 0..64u64 {
+                jamm.publish("gw1", &ev("h1", Level::Usage, round * 64 + t));
+            }
+            fast.drain();
+            jamm.retier_now();
+        }
+
+        // admin_stats carries the tier table and the QoS snapshot.
+        let admin = jamm.admin_stats();
+        let tier_of = |name: &str| {
+            admin[0]
+                .tiers
+                .iter()
+                .find(|r| r.consumer == name)
+                .unwrap()
+                .tier
+        };
+        assert_eq!(tier_of("fast"), Tier::Fast);
+        assert_eq!(tier_of("stalled"), Tier::Probation);
+        assert!(admin[0].qos.is_some());
+
+        // Metrics expose the same tier census and the shed counters.
+        let snapshot = jamm.metrics();
+        assert_eq!(
+            snapshot.gauge_with("jamm_gateway_tier_subscriptions", "tier", "probation"),
+            Some(1.0)
+        );
+        let text = jamm.render_metrics();
+        assert!(text.contains("jamm_gateway_shed_total"));
+        assert!(text.contains("jamm_gateway_overload_level"));
+
+        // Declared overload sheds raw events; the RMI surface reports it.
+        jamm.gateways[0].set_external_pressure(1.0);
+        jamm.retier_now();
+        assert_eq!(
+            jamm.gateways[0].qos_snapshot().unwrap().level,
+            ShedLevel::All
+        );
+        jamm.publish("gw1", &ev("h1", Level::Usage, 1_000));
+        let bus = jamm_rmi::MessageBus::new();
+        jamm.register_admin_rmi(&bus);
+        let qos = bus
+            .invoke(&jamm_rmi::MethodCall::new(
+                "admin",
+                "qos",
+                jamm_core::json::Json::Null,
+            ))
+            .unwrap();
+        assert_eq!(qos[0]["gateway"].as_str(), Some("gw1"));
+        assert_eq!(qos[0]["level"].as_str(), Some("all"));
+        let shed: f64 = ["shed_fast", "shed_lagging", "shed_probation"]
+            .iter()
+            .filter_map(|k| qos[0][*k].as_f64())
+            .sum();
+        assert!(shed >= 1.0, "overload publish was not counted as shed");
+        assert!(qos[0]["subscriptions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|row| row["tier"].as_str() == Some("probation")));
     }
 
     #[test]

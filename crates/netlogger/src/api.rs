@@ -65,7 +65,7 @@ impl std::fmt::Debug for Sink {
                 write!(f, "Sink::EncodedFile({}, {content_type})", path.display())
             }
             Sink::Pipeline(_) => write!(f, "Sink::Pipeline(..)"),
-            Sink::Socket(s) => write!(f, "Sink::Socket(conn {})", s.conn()),
+            Sink::Socket(s) => write!(f, "Sink::Socket(conn {:?})", s.conn()),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! A nonblocking socket destination for event streams.
+//! A nonblocking, self-healing socket destination for event streams.
 //!
 //! The paper's NetLogger writes to "a remote host on port 14830"; the
 //! seed code stood that in with an in-process channel ([`Sink::Net`]).
@@ -11,6 +11,14 @@
 //! a remote consumer — because a slow or dead collector costs an enqueue,
 //! never a syscall wait.
 //!
+//! A collector hangup is no longer terminal: it opens a
+//! [`CircuitBreaker`], and once the jittered-exponential backoff deadline
+//! passes the next `accept` redials the collector inline.  While the
+//! breaker is open, `accept` fails fast with [`SinkError::Closed`] (one
+//! atomic load and a comparison — no syscall), so a permanently dead
+//! collector costs the caller a counted drop, never a busy-loop of
+//! connection attempts.
+//!
 //! The sink implements both `EventSink<Event>` and
 //! `EventSink<SharedEvent>`, so it plugs into [`Sink::Pipeline`], gateway
 //! fan-out consumers, and archive replay unchanged.
@@ -19,14 +27,24 @@
 //! [`Sink::Pipeline`]: crate::api::Sink::Pipeline
 
 use std::io;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use jamm_core::flow::{EventSink, SinkError};
+use jamm_core::sync::Mutex;
+use jamm_core::{Backoff, BreakerState, BreakerStats, CircuitBreaker};
 use jamm_reactor::{ConnHandler, ConnId, ConnIo, Reactor, SocketStats};
 use jamm_ulm::codec::{codec_for, EventCodec, BINARY};
 use jamm_ulm::{Event, SharedEvent};
+
+/// How long a (re)connect attempt may block the calling thread.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// First reconnect delay after a collector hangup.
+const RETRY_BASE: Duration = Duration::from_millis(250);
+/// Backoff ceiling for a collector that stays dead.
+const RETRY_MAX: Duration = Duration::from_secs(30);
 
 /// Inbound bytes from a collector are not part of the protocol; discard
 /// them, and remember when the peer goes away.
@@ -44,30 +62,58 @@ impl ConnHandler for CollectorConn {
     }
 }
 
-/// A reactor-backed TCP event destination.
+/// The current connection, if any.  A fresh `closed` flag is minted per
+/// dial so a stale hangup notification can never mark a newer connection
+/// dead.
+struct Link {
+    conn: Option<ConnId>,
+    closed: Arc<AtomicBool>,
+}
+
+/// A reactor-backed TCP event destination with reconnect.
 ///
 /// Frames are encoded once on the calling thread and queued on the
 /// reactor connection; the loop thread writes them as the socket drains.
 /// Under sustained backpressure the connection's outbox policy decides
 /// which frames survive — the drop shows up in [`SocketSink::stats`], the
-/// caller is never blocked.
+/// caller is never blocked.  A hangup opens the breaker; a later `accept`
+/// past the backoff deadline redials (a successful TCP connect counts as
+/// the probe's success — there is no response to await on a
+/// fire-and-forget sink).
 pub struct SocketSink {
     reactor: Arc<Reactor>,
-    conn: ConnId,
+    addr: String,
     codec: EventCodec,
     newline_framed: bool,
-    closed: Arc<AtomicBool>,
+    link: Mutex<Link>,
+    breaker: Mutex<CircuitBreaker>,
+    /// Epoch the breaker's microsecond clock counts from.
+    origin: Instant,
     sent: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl std::fmt::Debug for SocketSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocketSink")
-            .field("conn", &self.conn)
+            .field("addr", &self.addr)
+            .field("conn", &self.conn())
             .field("content_type", &self.codec.content_type())
-            .field("closed", &self.closed.load(Ordering::Acquire))
+            .field("breaker", &self.breaker_state())
             .finish_non_exhaustive()
     }
+}
+
+/// Resolve `addr` and connect with a bounded deadline, so a black-holed
+/// collector cannot park the calling thread indefinitely.
+fn dial(addr: &str) -> io::Result<TcpStream> {
+    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot resolve {addr:?}"),
+        )
+    })?;
+    TcpStream::connect_timeout(&sockaddr, CONNECT_TIMEOUT)
 }
 
 impl SocketSink {
@@ -88,7 +134,7 @@ impl SocketSink {
                 format!("no codec for content type {content_type:?}"),
             )
         })?;
-        let stream = TcpStream::connect(addr)?;
+        let stream = dial(addr)?;
         let closed = Arc::new(AtomicBool::new(false));
         let conn = reactor.adopt(
             stream,
@@ -96,25 +142,46 @@ impl SocketSink {
                 closed: Arc::clone(&closed),
             }),
         )?;
+        let seed = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
         Ok(SocketSink {
             reactor,
-            conn,
+            addr: addr.to_string(),
             newline_framed: content_type.trim() != BINARY,
             codec,
-            closed,
+            link: Mutex::new(Link {
+                conn: Some(conn),
+                closed,
+            }),
+            breaker: Mutex::new(CircuitBreaker::new(
+                1,
+                Backoff::new(
+                    RETRY_BASE.as_micros() as u64,
+                    RETRY_MAX.as_micros() as u64,
+                    seed,
+                ),
+            )),
+            origin: Instant::now(),
             sent: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         })
     }
 
     /// The reactor connection id (for correlation with
-    /// `Reactor::socket_stats` rows).
-    pub fn conn(&self) -> ConnId {
-        self.conn
+    /// `Reactor::socket_stats` rows), if currently connected.
+    pub fn conn(&self) -> Option<ConnId> {
+        self.link.lock().conn
     }
 
-    /// True once the collector connection is gone.
+    /// True while the collector connection is down (hangup observed, or
+    /// the last reconnect attempt failed).  A later [`accept`] past the
+    /// backoff deadline may bring it back.
+    ///
+    /// [`accept`]: EventSink::accept
     pub fn is_closed(&self) -> bool {
-        self.closed.load(Ordering::Acquire)
+        let link = self.link.lock();
+        link.conn.is_none() || link.closed.load(Ordering::Acquire)
     }
 
     /// Events handed to the reactor so far (drops, if any, are counted at
@@ -123,30 +190,107 @@ impl SocketSink {
         self.sent.load(Ordering::Relaxed)
     }
 
+    /// Successful redials since the sink was created.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// The reconnect breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().state()
+    }
+
+    /// The reconnect breaker's lifetime counters.
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.breaker.lock().stats()
+    }
+
+    /// Replace the reconnect backoff schedule (first delay and ceiling).
+    /// Resets the breaker to closed.
+    pub fn set_retry_backoff(&self, base: Duration, max: Duration) {
+        *self.breaker.lock() = CircuitBreaker::new(
+            1,
+            Backoff::new(base.as_micros() as u64, max.as_micros() as u64, 0),
+        );
+    }
+
     /// Socket-level counters for this connection, if it is still live.
     pub fn stats(&self) -> Option<SocketStats> {
+        let conn = self.conn()?;
         self.reactor
             .socket_stats()
             .into_iter()
-            .find(|r| r.conn == self.conn)
+            .find(|r| r.conn == conn)
             .map(|r| r.stats)
     }
 
-    /// Flush queued frames and close the connection.
+    /// Flush queued frames and close the connection.  The sink stays
+    /// usable: a later `accept` redials the collector (subject to the
+    /// breaker's backoff).
     pub fn close(&self) {
-        self.reactor.close(self.conn);
+        let mut link = self.link.lock();
+        if let Some(conn) = link.conn.take() {
+            self.reactor.close(conn);
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Redial the collector if the breaker allows it.  Returns `true`
+    /// with `link.conn` live on success.
+    fn try_reconnect(&self, link: &mut Link) -> bool {
+        let now = self.now_us();
+        let mut breaker = self.breaker.lock();
+        if !breaker.allow(now) {
+            return false;
+        }
+        let dialed = dial(&self.addr).and_then(|stream| {
+            let closed = Arc::new(AtomicBool::new(false));
+            let conn = self.reactor.adopt(
+                stream,
+                Box::new(CollectorConn {
+                    closed: Arc::clone(&closed),
+                }),
+            )?;
+            Ok((conn, closed))
+        });
+        match dialed {
+            Ok((conn, closed)) => {
+                link.conn = Some(conn);
+                link.closed = closed;
+                breaker.record_success();
+                self.reconnects.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                breaker.record_failure(self.now_us());
+                false
+            }
+        }
     }
 
     fn push(&self, event: &Event) -> Result<usize, SinkError> {
-        if self.is_closed() {
+        let mut link = self.link.lock();
+        if link.closed.load(Ordering::Acquire) {
+            // Hangup observed by the reactor: retire the connection and
+            // trip the breaker so redials follow the backoff schedule.
+            if let Some(conn) = link.conn.take() {
+                self.reactor.close(conn);
+                self.breaker.lock().record_failure(self.now_us());
+            }
+        }
+        if link.conn.is_none() && !self.try_reconnect(&mut link) {
             return Err(SinkError::Closed);
         }
+        let conn = link.conn.expect("reconnected above");
         let mut frame = Vec::with_capacity(128);
         self.codec.encode_to(&mut frame, event);
         if self.newline_framed {
             frame.push(b'\n');
         }
-        self.reactor.send(self.conn, Arc::new(frame));
+        self.reactor.send(conn, Arc::new(frame));
         self.sent.fetch_add(1, Ordering::Relaxed);
         Ok(1)
     }
@@ -240,6 +384,68 @@ mod tests {
             assert!(Instant::now() < deadline, "close was never observed");
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Nothing is listening, so the breaker stays open and every call
+        // fails fast instead of busy-dialing a dead address.
+        assert_eq!(sink.breaker_state(), BreakerState::Open);
+        assert!(sink.is_closed());
+        reactor.shutdown();
+    }
+
+    /// A collector crash opens the breaker; when the collector comes back
+    /// on the same address, an `accept` past the backoff deadline redials
+    /// it and the frame lands at the new collector.
+    #[test]
+    fn a_recovered_collector_is_redialed_after_backoff() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let sink = SocketSink::connect(Arc::clone(&reactor), &addr.to_string(), BINARY).unwrap();
+        sink.set_retry_backoff(Duration::from_millis(10), Duration::from_millis(50));
+        let (collector, _) = listener.accept().unwrap();
+        drop(collector);
+        drop(listener);
+
+        // Push until the hangup is observed.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match EventSink::<Event>::accept(&sink, &sample(0)) {
+                Err(SinkError::Closed) => break,
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "close was never observed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Collector comes back on the same port; keep pushing until a
+        // probe reconnects.
+        let listener = TcpListener::bind(addr).unwrap();
+        let ev = sample(7);
+        loop {
+            match EventSink::<Event>::accept(&sink, &ev) {
+                Ok(_) => break,
+                Err(SinkError::Closed) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "sink never reconnected");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(sink.reconnects() >= 1, "redial not counted");
+        assert_eq!(sink.breaker_state(), BreakerState::Closed);
+        assert!(sink.breaker_stats().revivals >= 1);
+
+        // The frame accepted after the redial lands at the new collector.
+        let (mut collector, _) = listener.accept().unwrap();
+        collector
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let codec = codec_for(BINARY).unwrap();
+        let mut got = vec![0u8; codec.encode(&ev).len()];
+        collector.read_exact(&mut got).unwrap();
+        assert_eq!(codec.decode_batch(&got).unwrap(), vec![ev]);
+
+        drop(sink);
         reactor.shutdown();
     }
 }

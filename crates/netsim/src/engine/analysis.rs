@@ -39,8 +39,41 @@ pub struct ConsumerReport {
     pub delivered: u64,
     /// Events lost to queue overflow in total.
     pub dropped: u64,
+    /// Delivered events of the protected summary stream (`*_AVG_*`).
+    pub delivered_summaries: u64,
     /// Per-event delivery latency (drain time minus event timestamp), µs.
     pub latencies_us: Vec<u64>,
+}
+
+/// End-of-run state of one gateway's QoS plane (present only for
+/// gateways declared with `qos=on`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayQosReport {
+    /// Gateway name.
+    pub gateway: String,
+    /// Declared shed level at the end of the run.
+    pub level: String,
+    /// Pressure reading of the last re-tier pass.
+    pub pressure: f64,
+    /// Events shed per tier under declared overload, indexed
+    /// fast/lagging/probation.
+    pub shed: [u64; 3],
+    /// Events dropped by per-tier queue budgets, same indexing.
+    pub budget_drops: [u64; 3],
+    /// Re-tier passes run.
+    pub retiers: u64,
+    /// Final `(consumer, tier)` assignment per subscription.
+    pub tiers: Vec<(String, String)>,
+}
+
+impl GatewayQosReport {
+    /// Shed counter for a tier named `fast`/`lagging`/`probation`.
+    pub fn shed_for(&self, tier: &str) -> Option<u64> {
+        ["fast", "lagging", "probation"]
+            .iter()
+            .position(|t| *t == tier)
+            .map(|i| self.shed[i])
+    }
 }
 
 impl ConsumerReport {
@@ -72,6 +105,15 @@ pub struct ScenarioReport {
     pub consumers: Vec<ConsumerReport>,
     /// (archiver name, events stored) pairs.
     pub archived: Vec<(String, u64)>,
+    /// QoS plane state per `qos=on` gateway (empty otherwise).
+    pub qos: Vec<GatewayQosReport>,
+    /// Events dropped from the monitoring plane's own self-lifeline
+    /// subscription — must stay 0 even under declared overload.
+    pub self_dropped: u64,
+    /// Summary (`*_AVG_*`) events emitted by `summaries=` sensor pumps.
+    pub summaries_published: u64,
+    /// (simulated µs, host) per sensor-breaker revival.
+    pub revivals: Vec<(u64, String)>,
     /// Self-lifeline events captured from the monitoring plane's tracer.
     pub self_events: Vec<SharedEvent>,
     /// (simulated µs, description) per applied fault.
@@ -92,6 +134,11 @@ impl ScenarioReport {
     /// Look up a consumer's totals by name.
     pub fn consumer(&self, name: &str) -> Option<&ConsumerReport> {
         self.consumers.iter().find(|c| c.name == name)
+    }
+
+    /// Look up a gateway's QoS report by name.
+    pub fn qos_for(&self, gateway: &str) -> Option<&GatewayQosReport> {
+        self.qos.iter().find(|q| q.gateway == gateway)
     }
 
     /// Mean data throughput (Mbit/s) over a closed range of simulated
@@ -156,6 +203,36 @@ impl ScenarioReport {
         }
         for (name, stored) in &self.archived {
             let _ = writeln!(out, "archiver {name}: stored={stored}");
+        }
+        for q in &self.qos {
+            let _ = writeln!(
+                out,
+                "qos {}: level={} pressure={:.3} retiers={} \
+                 shed=fast:{},lagging:{},probation:{} \
+                 budget=fast:{},lagging:{},probation:{}",
+                q.gateway,
+                q.level,
+                q.pressure,
+                q.retiers,
+                q.shed[0],
+                q.shed[1],
+                q.shed[2],
+                q.budget_drops[0],
+                q.budget_drops[1],
+                q.budget_drops[2],
+            );
+            for (consumer, tier) in &q.tiers {
+                let _ = writeln!(out, "  tier {consumer}: {tier}");
+            }
+        }
+        if self.summaries_published > 0 {
+            let _ = writeln!(out, "summaries published: {}", self.summaries_published);
+        }
+        if self.self_dropped > 0 {
+            let _ = writeln!(out, "self-lifelines dropped: {}", self.self_dropped);
+        }
+        for (at, host) in &self.revivals {
+            let _ = writeln!(out, "sensor {host} revived at {}s", at / 1_000_000);
         }
         let _ = writeln!(out, "faults:");
         for (at, desc) in &self.fault_log {
@@ -359,6 +436,121 @@ impl<'a> Expectations<'a> {
             ),
             None => self.check(false, format!("no archiver named {name}")),
         }
+    }
+
+    /// Gateway `gateway` ended the run with consumer `consumer` assigned
+    /// to tier `tier` (`fast`/`lagging`/`probation`).
+    pub fn tiered_as(self, gateway: &str, consumer: &str, tier: &str) -> Self {
+        match self.report.qos_for(gateway) {
+            Some(q) => match q.tiers.iter().find(|(c, _)| c == consumer) {
+                Some((_, got)) => self.check(
+                    got == tier,
+                    format!("{gateway}: consumer {consumer} in tier {got}, expected {tier}"),
+                ),
+                None => self.check(
+                    false,
+                    format!("{gateway}: no tier row for consumer {consumer}"),
+                ),
+            },
+            None => self.check(false, format!("no qos plane on gateway {gateway}")),
+        }
+    }
+
+    /// Every queue drop in the run belongs to consumer `name` — the
+    /// quarantine property: a misbehaving subscriber's losses stay its
+    /// own.
+    pub fn drops_only_for(self, name: &str) -> Self {
+        let offenders: Vec<String> = self
+            .report
+            .consumers
+            .iter()
+            .filter(|c| c.name != name && c.dropped > 0)
+            .map(|c| format!("{} dropped {}", c.name, c.dropped))
+            .collect();
+        self.check(
+            offenders.is_empty(),
+            format!("drops outside {name}: {}", offenders.join(", ")),
+        )
+    }
+
+    /// Gateway `gateway` shed at least `n` deliveries to tier `tier`.
+    pub fn shed_at_least(self, gateway: &str, tier: &str, n: u64) -> Self {
+        match self.report.qos_for(gateway).and_then(|q| q.shed_for(tier)) {
+            Some(got) => self.check(
+                got >= n,
+                format!("{gateway} shed {got} {tier}-tier events < expected {n}"),
+            ),
+            None => self.check(false, format!("no qos shed counter {gateway}/{tier}")),
+        }
+    }
+
+    /// Gateway `gateway` shed nothing to tier `tier` — the degradation
+    /// order: higher tiers survive while lower ones are cut.
+    pub fn shed_none(self, gateway: &str, tier: &str) -> Self {
+        match self.report.qos_for(gateway).and_then(|q| q.shed_for(tier)) {
+            Some(got) => self.check(
+                got == 0,
+                format!("{gateway} shed {got} {tier}-tier events, expected none"),
+            ),
+            None => self.check(false, format!("no qos shed counter {gateway}/{tier}")),
+        }
+    }
+
+    /// The monitoring plane's own self-lifeline stream lost nothing —
+    /// under overload the plane must stay diagnosable.
+    pub fn self_lifelines_lossless(self) -> Self {
+        let got = self.report.self_dropped;
+        self.check(got == 0, format!("self-lifeline stream dropped {got}"))
+    }
+
+    /// Consumer `name` received at least `n` protected summary
+    /// (`*_AVG_*`) events.
+    pub fn summaries_delivered_at_least(self, name: &str, n: u64) -> Self {
+        match self.report.consumer(name) {
+            Some(c) => {
+                let got = c.delivered_summaries;
+                self.check(
+                    got >= n,
+                    format!("consumer {name} got {got} summaries < expected {n}"),
+                )
+            }
+            None => self.check(false, format!("no consumer named {name}")),
+        }
+    }
+
+    /// At least `n` sensor breakers revived (a probe succeeded after the
+    /// breaker had opened).
+    pub fn revived_at_least(self, n: usize) -> Self {
+        let got = self.report.revivals.len();
+        self.check(got >= n, format!("{got} breaker revivals < expected {n}"))
+    }
+
+    /// Every breaker revival happened within `secs` simulated seconds of
+    /// the last timeline entry — the reconnect landed inside the backoff
+    /// envelope (and there was at least one revival to speak of).
+    pub fn revived_within(self, secs: u64) -> Self {
+        let Some(last) = self.report.last_fault_us() else {
+            return self.check(false, "revived_within on a faultless scenario".into());
+        };
+        if self.report.revivals.is_empty() {
+            return self.check(false, "no breaker revivals at all".into());
+        }
+        let deadline = last + secs * 1_000_000;
+        let late: Vec<String> = self
+            .report
+            .revivals
+            .iter()
+            .filter(|(at, _)| *at > deadline)
+            .map(|(at, host)| format!("{host} at {}s", at / 1_000_000))
+            .collect();
+        self.check(
+            late.is_empty(),
+            format!(
+                "revivals after the {}s backoff envelope: {}",
+                secs,
+                late.join(", ")
+            ),
+        )
     }
 
     /// How many assertions have been chained so far.

@@ -31,8 +31,11 @@ use std::sync::Arc;
 use jamm_consumers::archiver::ArchiverAgent;
 use jamm_consumers::collector::EventCollector;
 use jamm_consumers::GatewayRegistry;
+use jamm_core::{Backoff, CircuitBreaker};
 use jamm_directory::{DirectoryServer, Dn, Entry, Filter, Scope};
-use jamm_gateway::{EventGateway, GatewayConfig, PipelineTracer, Subscription, TraceClock};
+use jamm_gateway::{
+    EventGateway, GatewayConfig, PipelineTracer, QosConfig, Subscription, TraceClock,
+};
 use jamm_ulm::{keys, Event, Level, SharedEvent};
 
 use crate::host::HostId;
@@ -40,9 +43,9 @@ use crate::link::{LinkId, Router};
 use crate::network::Network;
 use crate::{clock::SimClock, host::HostSpec, link::LinkSpec, FlowId};
 
-pub use analysis::{ConsumerReport, Expectations, ScenarioReport, SecondSample};
+pub use analysis::{ConsumerReport, Expectations, GatewayQosReport, ScenarioReport, SecondSample};
 pub use faults::FaultInjector;
-pub use spec::{Fault, ScenarioSpec, SpecError, TimelineEntry};
+pub use spec::{Fault, QosDecl, ScenarioSpec, SpecError, TimelineEntry};
 
 /// Why a spec failed to compile or parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +181,41 @@ pub fn compile_topology(spec: &ScenarioSpec) -> Result<CompiledTopology, EngineE
 pub(crate) struct GatewayRt {
     pub name: String,
     pub host: String,
+    /// Does this gateway run a QoS plane (tiering + shedding)?
+    pub qos: bool,
+}
+
+/// Translate a spec's qos attributes onto the library defaults.
+fn qos_config(d: &spec::QosDecl) -> QosConfig {
+    let mut c = QosConfig::default();
+    if let Some(v) = d.retier {
+        c.retier_every = v.max(1);
+    }
+    if let Some(v) = d.lag_enter {
+        c.tiers.lag_enter = v;
+    }
+    if let Some(v) = d.lag_exit {
+        c.tiers.lag_exit = v;
+    }
+    if let Some(v) = d.probation_enter {
+        c.tiers.probation_enter = v;
+    }
+    if let Some(v) = d.probation_exit {
+        c.tiers.probation_exit = v;
+    }
+    if let Some(v) = d.shed_enter {
+        c.overload.enter = v;
+    }
+    if let Some(v) = d.shed_exit {
+        c.overload.exit = v;
+    }
+    if let Some(v) = d.budget_lagging {
+        c.budgets[1] = v;
+    }
+    if let Some(v) = d.budget_probation {
+        c.budgets[2] = v;
+    }
+    c
 }
 
 pub(crate) struct SubscriberRt {
@@ -239,6 +277,15 @@ pub(crate) struct SensorRt {
     /// partition): buffered locally, NetLogger-style, and flushed when a
     /// gateway becomes reachable again.
     pub pending: VecDeque<Event>,
+    /// Self-healing routing, when `backoff=` was declared: after a failed
+    /// resolution the breaker opens and the pump buffers without probing
+    /// the directory again until the (jittered, exponential, sim-clock)
+    /// retry time — the fail-fast discipline of the network clients.
+    pub breaker: Option<CircuitBreaker>,
+    /// Pumps run so far (drives the `summaries=` cadence).
+    pub pumps: u64,
+    /// Emit a `*_AVG_*` summary every n-th pump.
+    pub summary_every: Option<u64>,
 }
 
 pub(crate) struct FlowRt {
@@ -289,6 +336,11 @@ pub struct ScenarioEngine {
     pub(crate) saved_bw: Vec<(String, u64)>,
     injector: FaultInjector,
     pub(crate) published: u64,
+    /// Summary (`*_AVG_*`) events emitted by `summaries=` sensor pumps.
+    pub(crate) summaries_published: u64,
+    /// (simulated µs, host) per sensor-breaker revival (a probe that
+    /// succeeded after the breaker had opened).
+    pub(crate) revival_log: Vec<(u64, String)>,
     pub(crate) self_events: Vec<SharedEvent>,
     pub(crate) fault_log: Vec<(u64, String)>,
     seconds: Vec<SecondSample>,
@@ -383,9 +435,11 @@ impl ScenarioEngine {
         let mut gateways = Vec::new();
         for g in &spec.gateways {
             host_id(&g.host)?;
-            let gw = Arc::new(EventGateway::new(
-                GatewayConfig::open(&g.name).with_tracer(Arc::clone(&tracer)),
-            ));
+            let mut config = GatewayConfig::open(&g.name).with_tracer(Arc::clone(&tracer));
+            if let Some(q) = &g.qos {
+                config = config.with_qos(qos_config(q));
+            }
+            let gw = Arc::new(EventGateway::new(config));
             registry.register(&g.name, Arc::clone(&gw));
             let dn = Dn::parse(&format!("gw={},o=grid", g.name))
                 .map_err(|_| EngineError::Compile(format!("bad gateway name `{}`", g.name)))?;
@@ -401,6 +455,7 @@ impl ScenarioEngine {
             gateways.push(GatewayRt {
                 name: g.name.clone(),
                 host: g.host.clone(),
+                qos: g.qos.is_some(),
             });
         }
         let gateway_exists = |name: &str| gateways.iter().any(|g| g.name == name);
@@ -481,6 +536,17 @@ impl ScenarioEngine {
                     s.host, s.via
                 )));
             }
+            // Deterministic jitter stream: the spec seed folded with the
+            // host name, so runs of the same spec replay byte-identically.
+            let breaker = s.backoff_us.map(|base| {
+                let seed = s
+                    .host
+                    .bytes()
+                    .fold(spec.seed ^ 0xcbf2_9ce4_8422_2325, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                    });
+                CircuitBreaker::new(1, Backoff::new(base.max(1), base.max(1) * 8, seed))
+            });
             sensors.push(SensorRt {
                 host: s.host.clone(),
                 host_id: host_id(&s.host)?,
@@ -489,6 +555,9 @@ impl ScenarioEngine {
                 every_us: s.every_us.max(spec.tick_us),
                 next_at_us: s.every_us.max(spec.tick_us),
                 pending: VecDeque::new(),
+                breaker,
+                pumps: 0,
+                summary_every: s.summary_every.map(|n| n.max(1)),
             });
         }
 
@@ -512,6 +581,8 @@ impl ScenarioEngine {
             saved_bw: Vec::new(),
             injector,
             published: 0,
+            summaries_published: 0,
+            revival_log: Vec::new(),
             self_events: Vec::new(),
             fault_log: Vec::new(),
             seconds: Vec::new(),
@@ -601,6 +672,7 @@ impl ScenarioEngine {
             if !self.sensors[i].on || host_crashed {
                 continue;
             }
+            self.sensors[i].pumps += 1;
             // Read the simulated host and build the readings.
             let stats = *self.net.host(self.sensors[i].host_id).stats();
             let host = self.sensors[i].host.clone();
@@ -612,12 +684,49 @@ impl ScenarioEngine {
                     .value(v)
                     .build()
             };
-            let batch = [
+            let mut batch = vec![
                 mk(keys::cpu::TOTAL, stats.cpu_user_pct + stats.cpu_sys_pct),
                 mk(keys::mem::FREE, stats.mem_free_kb as f64),
                 mk(keys::tcp::RETRANSMITS, stats.tcp_retransmits as f64),
             ];
-            match self.route_gateway(&self.sensors[i].host, &self.sensors[i].via.clone()) {
+            // Every n-th pump also emits a summary reading — the
+            // protected (`_AVG_`) stream overload shedding never cuts.
+            if let Some(n) = self.sensors[i].summary_every {
+                if self.sensors[i].pumps.is_multiple_of(n) {
+                    batch.push(mk(
+                        &format!("{}_AVG_1M", keys::cpu::TOTAL),
+                        stats.cpu_user_pct + stats.cpu_sys_pct,
+                    ));
+                    self.summaries_published += 1;
+                }
+            }
+            // With a breaker, a pump whose last resolution failed does
+            // not touch the directory again until the retry time — it
+            // fails fast and buffers, exactly like an open-circuit
+            // network client.
+            let allowed = match &mut self.sensors[i].breaker {
+                Some(br) => br.allow(now),
+                None => true,
+            };
+            let routed = if allowed {
+                self.route_gateway(&self.sensors[i].host, &self.sensors[i].via.clone())
+            } else {
+                None
+            };
+            if allowed {
+                if let Some(br) = &mut self.sensors[i].breaker {
+                    if routed.is_some() {
+                        let before = br.stats().revivals;
+                        br.record_success();
+                        if br.stats().revivals > before {
+                            self.revival_log.push((now, self.sensors[i].host.clone()));
+                        }
+                    } else {
+                        br.record_failure(now);
+                    }
+                }
+            }
+            match routed {
                 Some(gw_name) => {
                     let gw = self
                         .registry
@@ -796,6 +905,16 @@ impl ScenarioEngine {
                 name: s.name.clone(),
                 delivered: s.delivered(),
                 dropped: s.dropped(),
+                delivered_summaries: s
+                    .collectors
+                    .iter()
+                    .map(|(_, c)| {
+                        c.events()
+                            .iter()
+                            .filter(|e| e.event_type.contains("_AVG_"))
+                            .count() as u64
+                    })
+                    .sum(),
                 latencies_us: s.latencies_us.clone(),
             })
             .collect();
@@ -804,6 +923,28 @@ impl ScenarioEngine {
             .iter()
             .map(|a| (a.name.clone(), a.agent.archive().len() as u64))
             .collect();
+        let qos = self
+            .gateways
+            .iter()
+            .filter(|g| g.qos)
+            .filter_map(|g| {
+                let gw = self.registry.resolve(&g.name)?;
+                let snap = gw.qos_snapshot()?;
+                Some(analysis::GatewayQosReport {
+                    gateway: g.name.clone(),
+                    level: snap.level.as_str().to_string(),
+                    pressure: snap.pressure,
+                    shed: snap.shed,
+                    budget_drops: snap.budget_drops,
+                    retiers: snap.retiers,
+                    tiers: gw
+                        .tier_report()
+                        .into_iter()
+                        .map(|r| (r.consumer, r.tier.as_str().to_string()))
+                        .collect(),
+                })
+            })
+            .collect();
         ScenarioReport {
             name: self.spec.name.clone(),
             seed: self.spec.seed,
@@ -811,6 +952,10 @@ impl ScenarioEngine {
             seconds: self.seconds,
             consumers,
             archived,
+            qos,
+            self_dropped: self.self_sub.dropped(),
+            summaries_published: self.summaries_published,
+            revivals: self.revival_log,
             self_events: self.self_events,
             fault_log: self.fault_log,
             published: self.published,

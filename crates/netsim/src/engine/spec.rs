@@ -119,13 +119,53 @@ pub struct FlowDecl {
     pub bytes: Option<u64>,
 }
 
-/// An event gateway (`gateway <name> on <host>`).
+/// An event gateway (`gateway <name> on <host> [qos=on ...]`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatewayDecl {
     /// Gateway name (what sensors and consumers reference).
     pub name: String,
     /// Host the gateway runs on (crashing it takes the gateway down).
     pub host: String,
+    /// Delivery-QoS plane configuration (`qos=on` plus optional
+    /// threshold overrides); `None` runs the gateway without tiers.
+    pub qos: Option<QosDecl>,
+}
+
+/// The QoS attributes of a gateway line.  Every field is optional and
+/// falls back to the `jamm_gateway::QosConfig` default; the mere
+/// presence of `qos=on` (or any qos attribute) enables the plane.
+///
+/// ```text
+/// gateway gw on mon qos=on retier=64 lag-enter=0.25 lag-exit=0.1
+///     prob-enter=0.6 prob-exit=0.35 shed-enter=0.75 shed-exit=0.4
+///     budget-lagging=0.5 budget-probation=0.25
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QosDecl {
+    /// Publishes between re-tier passes (`retier=`).
+    pub retier: Option<u64>,
+    /// Score at which a fast subscription becomes lagging (`lag-enter=`).
+    pub lag_enter: Option<f64>,
+    /// Score below which a lagging subscription returns to fast
+    /// (`lag-exit=`).
+    pub lag_exit: Option<f64>,
+    /// Score at which a lagging subscription enters probation
+    /// (`prob-enter=`).
+    pub probation_enter: Option<f64>,
+    /// Score below which a probation subscription returns to lagging
+    /// (`prob-exit=`).
+    pub probation_exit: Option<f64>,
+    /// Pressure at which the gateway declares overload (`shed-enter=`).
+    pub shed_enter: Option<f64>,
+    /// Pressure below which the shed level steps back down
+    /// (`shed-exit=`).
+    pub shed_exit: Option<f64>,
+    /// Queue-budget fraction of lagging subscriptions
+    /// (`budget-lagging=`).
+    pub budget_lagging: Option<f64>,
+    /// Queue-budget fraction of probation subscriptions
+    /// (`budget-probation=`).
+    pub budget_probation: Option<f64>,
 }
 
 /// A subscribing consumer (`subscriber <name> on <host> via=<gw>,...
@@ -160,11 +200,19 @@ pub struct ArchiverDecl {
     pub via: Vec<String>,
 }
 
-/// Per-host sensor pump (`sensors <host> every=<dur> via=<gw>`).
+/// Per-host sensor pump (`sensors <host> every=<dur> via=<gw>
+/// [backoff=<dur>] [summaries=<n>]`).
 ///
 /// The engine publishes CPU / memory / TCP readings for the host at the
 /// given period, through the named gateway (failing over via the
-/// directory when it is down or partitioned away).
+/// directory when it is down or partitioned away).  With `backoff=` the
+/// pump carries a circuit breaker: after a failed routing attempt it
+/// stops probing for a jittered exponential delay (base `backoff`,
+/// capped at 8x), buffering locally, instead of re-resolving the
+/// directory on every period — the self-healing-client discipline on
+/// the simulated clock.  With `summaries=<n>` every n-th pump also
+/// emits a `*_AVG_*` summary event, the protected stream overload
+/// shedding must never cut.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensorDecl {
     /// Monitored host.
@@ -173,6 +221,11 @@ pub struct SensorDecl {
     pub every_us: u64,
     /// Preferred gateway.
     pub via: String,
+    /// Circuit-breaker base delay after a failed gateway resolution,
+    /// microseconds (`None` = probe every period, the legacy behaviour).
+    pub backoff_us: Option<u64>,
+    /// Emit a summary event every n-th pump (`None` = raw readings only).
+    pub summary_every: Option<u64>,
 }
 
 /// One fault-timeline entry: apply `fault` once the simulated clock
@@ -497,7 +550,39 @@ fn parse_on(p: &mut LineParser<'_>, what: &str) -> Result<String, SpecError> {
 fn parse_gateway(p: &mut LineParser<'_>) -> Result<GatewayDecl, SpecError> {
     let name = p.required("gateway name")?.0.to_string();
     let host = parse_on(p, "gateway")?;
-    Ok(GatewayDecl { name, host })
+    let mut qos: Option<QosDecl> = None;
+    while let Some((tok, pos)) = p.next_token() {
+        let (key, value) = split_attr(tok, pos)?;
+        // Any qos attribute enables the plane; `qos=on` alone enables it
+        // with every threshold at its library default.
+        let q = qos.get_or_insert_with(QosDecl::default);
+        match key {
+            "qos" => {
+                if value != "on" {
+                    return Err(SpecError {
+                        pos,
+                        reason: format!("expected qos=on, got `qos={value}`"),
+                    });
+                }
+            }
+            "retier" => q.retier = Some(parse_u64(value, pos)?),
+            "lag-enter" => q.lag_enter = Some(parse_f64(value, pos)?),
+            "lag-exit" => q.lag_exit = Some(parse_f64(value, pos)?),
+            "prob-enter" => q.probation_enter = Some(parse_f64(value, pos)?),
+            "prob-exit" => q.probation_exit = Some(parse_f64(value, pos)?),
+            "shed-enter" => q.shed_enter = Some(parse_f64(value, pos)?),
+            "shed-exit" => q.shed_exit = Some(parse_f64(value, pos)?),
+            "budget-lagging" => q.budget_lagging = Some(parse_f64(value, pos)?),
+            "budget-probation" => q.budget_probation = Some(parse_f64(value, pos)?),
+            other => {
+                return Err(SpecError {
+                    pos,
+                    reason: format!("unknown gateway attribute `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(GatewayDecl { name, host, qos })
 }
 
 fn parse_subscriber(p: &mut LineParser<'_>) -> Result<SubscriberDecl, SpecError> {
@@ -554,12 +639,16 @@ fn parse_sensors(p: &mut LineParser<'_>) -> Result<SensorDecl, SpecError> {
         host: host.to_string(),
         every_us: 1_000_000,
         via: String::new(),
+        backoff_us: None,
+        summary_every: None,
     };
     while let Some((tok, pos)) = p.next_token() {
         let (key, value) = split_attr(tok, pos)?;
         match key {
             "every" => s.every_us = parse_duration(value, pos)?,
             "via" => s.via = value.to_string(),
+            "backoff" => s.backoff_us = Some(parse_duration(value, pos)?),
+            "summaries" => s.summary_every = Some(parse_u64(value, pos)?),
             other => {
                 return Err(SpecError {
                     pos,
@@ -942,7 +1031,38 @@ impl fmt::Display for ScenarioSpec {
             writeln!(f)?;
         }
         for g in &self.gateways {
-            writeln!(f, "gateway {} on {}", g.name, g.host)?;
+            write!(f, "gateway {} on {}", g.name, g.host)?;
+            if let Some(q) = &g.qos {
+                write!(f, " qos=on")?;
+                if let Some(v) = q.retier {
+                    write!(f, " retier={v}")?;
+                }
+                if let Some(v) = q.lag_enter {
+                    write!(f, " lag-enter={v}")?;
+                }
+                if let Some(v) = q.lag_exit {
+                    write!(f, " lag-exit={v}")?;
+                }
+                if let Some(v) = q.probation_enter {
+                    write!(f, " prob-enter={v}")?;
+                }
+                if let Some(v) = q.probation_exit {
+                    write!(f, " prob-exit={v}")?;
+                }
+                if let Some(v) = q.shed_enter {
+                    write!(f, " shed-enter={v}")?;
+                }
+                if let Some(v) = q.shed_exit {
+                    write!(f, " shed-exit={v}")?;
+                }
+                if let Some(v) = q.budget_lagging {
+                    write!(f, " budget-lagging={v}")?;
+                }
+                if let Some(v) = q.budget_probation {
+                    write!(f, " budget-probation={v}")?;
+                }
+            }
+            writeln!(f)?;
         }
         for s in &self.subscribers {
             write!(
@@ -969,13 +1089,20 @@ impl fmt::Display for ScenarioSpec {
             )?;
         }
         for s in &self.sensors {
-            writeln!(
+            write!(
                 f,
                 "sensors {} every={} via={}",
                 s.host,
                 fmt_dur(s.every_us),
                 s.via
             )?;
+            if let Some(b) = s.backoff_us {
+                write!(f, " backoff={}", fmt_dur(b))?;
+            }
+            if let Some(n) = s.summary_every {
+                write!(f, " summaries={n}")?;
+            }
+            writeln!(f)?;
         }
         for entry in &self.timeline {
             write!(f, "at {} ", fmt_dur(entry.at_us))?;
@@ -1028,9 +1155,11 @@ link wan bw=30mbit delay=28ms queue=64k
 router core links=wan
 flow bulk a.lbl.gov -> b.isi.edu port=7000 window=1m via=wan
 gateway gw on a.lbl.gov
+gateway gw2 on b.isi.edu qos=on retier=64 lag-enter=0.25 lag-exit=0.1 shed-enter=0.7 shed-exit=0.4 budget-probation=0.25
 subscriber viz on b.isi.edu via=gw drain=2ms capacity=512 cpu-of=b.isi.edu
 archiver arch on a.lbl.gov via=gw
 sensors a.lbl.gov every=100ms via=gw
+sensors b.isi.edu every=100ms via=gw2 backoff=500ms summaries=10
 at 12s link wan degrade 30mbit
 at 20s host b.isi.edu crash
 at 25s host b.isi.edu recover
@@ -1052,6 +1181,15 @@ at 45s replay arch via gw
         assert_eq!(spec.hosts.len(), 2);
         assert_eq!(spec.hosts[0].memory_kb, Some(512 * 1024));
         assert_eq!(spec.links[0].bandwidth_bps, 30_000_000);
+        assert_eq!(spec.gateways[0].qos, None);
+        let q = spec.gateways[1].qos.expect("gw2 has a qos plane");
+        assert_eq!(q.retier, Some(64));
+        assert_eq!(q.lag_enter, Some(0.25));
+        assert_eq!(q.shed_enter, Some(0.7));
+        assert_eq!(q.budget_probation, Some(0.25));
+        assert_eq!(q.probation_enter, None, "unset thresholds stay default");
+        assert_eq!(spec.sensors[1].backoff_us, Some(500_000));
+        assert_eq!(spec.sensors[1].summary_every, Some(10));
         assert_eq!(spec.timeline.len(), 11);
         let rendered = spec.to_string();
         let again = ScenarioSpec::parse(&rendered).expect("round-trip parses");

@@ -10,8 +10,8 @@
 
 use jamm_core::check::{forall, Gen};
 use jamm_netsim::engine::spec::{
-    Fault, FlowDecl, GatewayDecl, HostDecl, LinkDecl, RouterDecl, ScenarioSpec, SensorDecl,
-    SubscriberDecl, TimelineEntry,
+    Fault, FlowDecl, GatewayDecl, HostDecl, LinkDecl, QosDecl, RouterDecl, ScenarioSpec,
+    SensorDecl, SubscriberDecl, TimelineEntry,
 };
 
 fn name(g: &mut Gen, prefix: &str, i: usize) -> String {
@@ -94,9 +94,24 @@ fn gen_spec(g: &mut Gen) -> ScenarioSpec {
         });
     }
     for i in 0..g.usize_in(0, 2) {
+        // A qos plane on ~40% of gateways, each threshold independently
+        // present — `{}` on f64 prints the shortest reparsing string, so
+        // any finite threshold round-trips exactly.
+        let qos = g.bool(0.4).then(|| QosDecl {
+            retier: g.bool(0.6).then(|| g.rng().gen_range(1u64..4_096)),
+            lag_enter: g.bool(0.5).then(|| g.f64_in(0.1, 0.5)),
+            lag_exit: g.bool(0.5).then(|| g.f64_in(0.0, 0.1)),
+            probation_enter: g.bool(0.5).then(|| g.f64_in(0.5, 0.9)),
+            probation_exit: g.bool(0.5).then(|| g.f64_in(0.1, 0.5)),
+            shed_enter: g.bool(0.5).then(|| g.f64_in(0.4, 0.9)),
+            shed_exit: g.bool(0.5).then(|| g.f64_in(0.0, 0.4)),
+            budget_lagging: g.bool(0.5).then(|| g.f64_in(0.1, 1.0)),
+            budget_probation: g.bool(0.5).then(|| g.f64_in(0.0, 0.5)),
+        });
         spec.gateways.push(GatewayDecl {
             name: name(g, "gw", i),
             host: pick(g, &hosts),
+            qos,
         });
     }
     let gws: Vec<String> = spec.gateways.iter().map(|gw| gw.name.clone()).collect();
@@ -118,6 +133,8 @@ fn gen_spec(g: &mut Gen) -> ScenarioSpec {
                 host: pick(g, &hosts),
                 every_us: g.rng().gen_range(1u64..5_000) * 1_000,
                 via: pick(g, &gws),
+                backoff_us: g.bool(0.4).then(|| g.rng().gen_range(1u64..2_000) * 1_000),
+                summary_every: g.bool(0.4).then(|| g.rng().gen_range(1u64..64)),
             });
         }
     }

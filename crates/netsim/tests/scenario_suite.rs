@@ -11,7 +11,7 @@
 //! spec file; the determinism test at the bottom asserts that the entire
 //! rendered report is byte-identical across two runs.
 
-use jamm_netsim::engine::{ScenarioEngine, ScenarioReport};
+use jamm_netsim::engine::{ScenarioEngine, ScenarioReport, ScenarioSpec};
 use jamm_ulm::keys::jamm;
 
 fn load(name: &str) -> String {
@@ -120,6 +120,86 @@ fn slow_consumer_tier_degradation_is_diagnosed() {
         .no_drops_outside(1, 0)
         .delivery_p99_under("viz", 200_000)
         .diagnosis_localizes(jamm::SUB_DELIVER, jamm::SUB_DRAIN, "viz")
+        .assert_ok();
+}
+
+/// QoS quarantine: the viz subscriber stalls to 400 ms per drain at 10s
+/// and must be walked into the probation tier, with every drop its own
+/// and nothing shed from the fast tier.  Isolation is asserted against
+/// a programmatic no-stall baseline: the fast consumer's p99 delivery
+/// latency under the stall must stay within 2x of the unfaulted run.
+#[test]
+fn a_stalled_consumer_is_quarantined_in_probation() {
+    let report = run("qos_stalled_consumer.scn");
+    let mut spec = ScenarioSpec::parse(&load("qos_stalled_consumer.scn")).expect("parses");
+    spec.timeline.clear();
+    let baseline = ScenarioEngine::new(spec).expect("compiles").run();
+    let base_p99 = baseline
+        .consumer("ops")
+        .expect("baseline ops")
+        .latency_percentile_us(99.0)
+        .max(1);
+    let stalled_p99 = report
+        .consumer("ops")
+        .expect("ops")
+        .latency_percentile_us(99.0);
+    assert!(
+        stalled_p99 <= base_p99 * 2,
+        "fast-tier p99 {stalled_p99}us under the stall > 2x the {base_p99}us no-stall baseline"
+    );
+    report
+        .expect()
+        .tiered_as("gw-mon", "viz", "probation")
+        .tiered_as("gw-mon", "ops", "fast")
+        .drops_only_for("viz")
+        .drops_at_least(100)
+        .delivery_p99_under("ops", 20_000)
+        .shed_none("gw-mon", "fast")
+        .self_lifelines_lossless()
+        .assert_ok();
+}
+
+/// Degradation order under a 20x burst: declared overload sheds the
+/// probation tier only — the fast tier is never cut, the protected
+/// summary stream reaches ops losslessly, the self-lifelines survive,
+/// and every queue drop belongs to the overwhelmed trend subscriber,
+/// confined to the burst window.
+#[test]
+fn a_burst_sheds_the_lowest_tier_first_and_summaries_survive() {
+    let report = run("qos_burst_shed.scn");
+    assert!(
+        report.summaries_published >= 3_000,
+        "expected a summary stream, got {}",
+        report.summaries_published
+    );
+    report
+        .expect()
+        .tiered_as("gw-mon", "ops", "fast")
+        .shed_at_least("gw-mon", "probation", 500)
+        .shed_none("gw-mon", "fast")
+        .shed_none("gw-mon", "lagging")
+        .drops_only_for("trend")
+        .no_drops_outside(15, 31)
+        .summaries_delivered_at_least("ops", 3_000)
+        .self_lifelines_lossless()
+        .assert_ok();
+}
+
+/// Self-healing reconnect: the gateway host crashes at 12s and recovers
+/// at 18s.  Both sensor breakers must open (no directory probing while
+/// down), revive within the 500ms-base/4s-cap backoff envelope after
+/// recovery, and flush their buffered readings losslessly; the TCP flow
+/// the crash severed recovers too.
+#[test]
+fn a_crashed_gateway_host_is_redialed_within_the_backoff_envelope() {
+    let report = run("qos_collector_reconnect.scn");
+    report
+        .expect()
+        .revived_at_least(2)
+        .revived_within(5)
+        .no_drops_outside(1, 0) // empty window: lossless everywhere
+        .events_delivered_at_least("ops", 11_000)
+        .recovered_within(3)
         .assert_ok();
 }
 

@@ -24,16 +24,20 @@
 //! [`EventEdge::socket_stats`] and `JammSystem::admin_stats`.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use jamm_core::OverflowPolicy;
+use jamm_core::channel::{bounded, Receiver, TrySendError};
+use jamm_core::sync::Mutex;
+use jamm_core::{Backoff, BreakerState, BreakerStats, CircuitBreaker, OverflowPolicy};
 use jamm_gateway::EventGateway;
 use jamm_reactor::{ConnHandler, ConnId, ConnIo, ListenerId, Reactor, SocketRow};
-use jamm_ulm::codec::{codec_for, BINARY};
+use jamm_ulm::codec::{codec_for, EventCodec, BINARY};
+use jamm_ulm::Event;
 
 /// Configuration for [`EventEdge::open`].
 #[derive(Debug, Clone)]
@@ -346,6 +350,343 @@ impl Drop for EventEdge {
     }
 }
 
+/// Configuration for [`EdgeClient::connect`].
+#[derive(Debug, Clone)]
+pub struct EdgeClientConfig {
+    /// Wire format the edge broadcasts (must match the edge's
+    /// `content_type`).
+    pub content_type: String,
+    /// Decoded-event queue capacity.
+    pub capacity: usize,
+    /// What to do when the decoded-event queue is full.
+    pub overflow: OverflowPolicy,
+    /// How long one connection attempt may take.
+    pub connect_timeout: Duration,
+    /// First reconnect delay after a disconnect.
+    pub retry_base: Duration,
+    /// Reconnect-delay ceiling for an edge that stays down.
+    pub retry_max: Duration,
+    /// Socket read timeout; also bounds how fast `stop` is noticed.
+    pub poll_interval: Duration,
+}
+
+impl Default for EdgeClientConfig {
+    fn default() -> Self {
+        EdgeClientConfig {
+            content_type: BINARY.to_string(),
+            capacity: 8192,
+            overflow: OverflowPolicy::DropOldest,
+            connect_timeout: Duration::from_secs(5),
+            retry_base: Duration::from_millis(250),
+            retry_max: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Point-in-time counters of an [`EdgeClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeClientStats {
+    /// Successful connects (the first one and every reconnect).
+    pub connects: u64,
+    /// Connections lost (EOF or read error).
+    pub disconnects: u64,
+    /// Events decoded and queued.
+    pub received: u64,
+    /// Events dropped because the decoded-event queue was full.
+    pub dropped: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// The reconnect breaker's current state.
+    pub state: BreakerState,
+    /// The reconnect breaker's lifetime counters.
+    pub breaker: BreakerStats,
+}
+
+/// Counters and breaker shared between the [`EdgeClient`] handle and its
+/// reader thread.
+struct ClientShared {
+    connects: AtomicU64,
+    disconnects: AtomicU64,
+    received: AtomicU64,
+    dropped: AtomicU64,
+    decode_errors: AtomicU64,
+    breaker: Mutex<CircuitBreaker>,
+    origin: Instant,
+}
+
+impl ClientShared {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Largest binary frame the client will buffer before declaring the
+/// stream corrupt (matches the edge's encode-side frames, which are far
+/// smaller).
+const CLIENT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A self-healing subscriber to an [`EventEdge`] broadcast stream.
+///
+/// A reader thread owns the TCP connection: it decodes broadcast frames
+/// back into [`Event`]s and queues them on a bounded channel read through
+/// [`EdgeClient::events`].  When the edge dies, the thread trips a
+/// [`CircuitBreaker`] and redials on a jittered-exponential backoff
+/// schedule — reconnecting *resumes the subscription*, because an edge
+/// streams to every accepted connection.  A permanently dead edge costs
+/// one bounded connect attempt per backoff deadline, never a busy-loop,
+/// and every transition is visible in [`EdgeClient::stats`].
+pub struct EdgeClient {
+    events: Receiver<Event>,
+    stop: Arc<AtomicBool>,
+    shared: Arc<ClientShared>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EdgeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "EdgeClient({:?}, {} connects, {} events)",
+            s.state, s.connects, s.received
+        )
+    }
+}
+
+impl EdgeClient {
+    /// Start a subscriber for the edge at `addr`.
+    ///
+    /// Returns immediately: the reader thread performs the first dial, so
+    /// an edge that is not up *yet* is the same case as an edge that
+    /// crashed — the client keeps probing on the backoff schedule until
+    /// it appears.
+    pub fn connect(addr: SocketAddr, config: EdgeClientConfig) -> Result<EdgeClient, EdgeError> {
+        let codec = codec_for(&config.content_type)
+            .ok_or_else(|| EdgeError::UnknownContentType(config.content_type.clone()))?;
+        let newline_framed = config.content_type != BINARY;
+        let (tx, rx) = bounded(config.capacity.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ClientShared {
+            connects: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            breaker: Mutex::new(CircuitBreaker::new(
+                1,
+                Backoff::new(
+                    config.retry_base.as_micros() as u64,
+                    config.retry_max.as_micros() as u64,
+                    u64::from(addr.port()),
+                ),
+            )),
+            origin: Instant::now(),
+        });
+        let reader = {
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
+            let overflow = config.overflow;
+            let connect_timeout = config.connect_timeout;
+            let poll = config.poll_interval.max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("jamm-edge-client".to_string())
+                .spawn(move || {
+                    let mut buf: Vec<u8> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        if !shared.breaker.lock().allow(shared.now_us()) {
+                            // Bounded nap, not a spin: stop stays
+                            // responsive while the breaker is open.
+                            std::thread::sleep(poll);
+                            continue;
+                        }
+                        let stream = match TcpStream::connect_timeout(&addr, connect_timeout) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                shared.breaker.lock().record_failure(shared.now_us());
+                                continue;
+                            }
+                        };
+                        // A push stream has no response to await: the
+                        // accepted connection is the probe's success.
+                        shared.breaker.lock().record_success();
+                        shared.connects.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_read_timeout(Some(poll));
+                        buf.clear();
+                        let mut stream = stream;
+                        let mut chunk = [0u8; 16 * 1024];
+                        let lost = loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break false;
+                            }
+                            match stream.read(&mut chunk) {
+                                Ok(0) => break true,
+                                Ok(n) => {
+                                    buf.extend_from_slice(&chunk[..n]);
+                                    if !drain_frames(
+                                        &mut buf,
+                                        newline_framed,
+                                        &codec,
+                                        &shared,
+                                        overflow,
+                                        &tx,
+                                    ) {
+                                        break true;
+                                    }
+                                }
+                                Err(e)
+                                    if e.kind() == io::ErrorKind::WouldBlock
+                                        || e.kind() == io::ErrorKind::TimedOut =>
+                                {
+                                    continue
+                                }
+                                Err(_) => break true,
+                            }
+                        };
+                        if lost {
+                            shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.breaker.lock().record_failure(shared.now_us());
+                        }
+                    }
+                })
+                .expect("spawn edge client")
+        };
+        Ok(EdgeClient {
+            events: rx,
+            stop,
+            shared,
+            reader: Some(reader),
+        })
+    }
+
+    /// The decoded-event stream.
+    pub fn events(&self) -> &Receiver<Event> {
+        &self.events
+    }
+
+    /// Current counters, including the breaker's state.
+    pub fn stats(&self) -> EdgeClientStats {
+        let (state, breaker) = {
+            let b = self.shared.breaker.lock();
+            (b.state(), b.stats())
+        };
+        EdgeClientStats {
+            connects: self.shared.connects.load(Ordering::Relaxed),
+            disconnects: self.shared.disconnects.load(Ordering::Relaxed),
+            received: self.shared.received.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+            state,
+            breaker,
+        }
+    }
+
+    /// Stop the reader thread and close the connection.
+    pub fn stop(&mut self) {
+        if let Some(reader) = self.reader.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = reader.join();
+        }
+    }
+}
+
+impl Drop for EdgeClient {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Decode every complete frame in `buf`, queue the events, and keep the
+/// trailing partial frame for the next read.  Returns `false` when the
+/// stream is unrecoverable (an oversized length prefix — resynchronising
+/// a corrupt length-prefixed stream is not possible, so the connection is
+/// dropped and the breaker paces the redial).
+fn drain_frames(
+    buf: &mut Vec<u8>,
+    newline_framed: bool,
+    codec: &EventCodec,
+    shared: &ClientShared,
+    overflow: OverflowPolicy,
+    tx: &jamm_core::channel::Sender<Event>,
+) -> bool {
+    let mut consumed = 0usize;
+    if newline_framed {
+        while let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') {
+            let line = &buf[consumed..consumed + nl];
+            consumed += nl + 1;
+            let trimmed: &[u8] = match std::str::from_utf8(line) {
+                Ok(s) => s.trim().as_bytes(),
+                Err(_) => line,
+            };
+            if trimmed.is_empty() || trimmed.first() == Some(&b'#') {
+                continue;
+            }
+            match codec.decode(trimmed) {
+                Ok(ev) => deliver(ev, overflow, tx, shared),
+                Err(_) => {
+                    shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    } else {
+        while buf.len() - consumed >= 4 {
+            let head: [u8; 4] = buf[consumed..consumed + 4].try_into().expect("4 bytes");
+            let len = u32::from_le_bytes(head) as usize;
+            if len > CLIENT_MAX_FRAME {
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                return false;
+            }
+            let total = 4 + len;
+            if buf.len() - consumed < total {
+                break;
+            }
+            match codec.decode(&buf[consumed..consumed + total]) {
+                Ok(ev) => deliver(ev, overflow, tx, shared),
+                Err(_) => {
+                    shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            consumed += total;
+        }
+    }
+    if consumed > 0 {
+        buf.drain(..consumed);
+    }
+    true
+}
+
+/// Queue one decoded event per the configured overflow policy.
+fn deliver(
+    ev: Event,
+    overflow: OverflowPolicy,
+    tx: &jamm_core::channel::Sender<Event>,
+    shared: &ClientShared,
+) {
+    let queued = match overflow {
+        OverflowPolicy::DropOldest => match tx.send_overwriting(ev) {
+            Ok(evicted) => {
+                if evicted {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            Err(_) => false,
+        },
+        OverflowPolicy::DropNewest => match tx.try_send(ev) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        },
+    };
+    if queued {
+        shared.received.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +752,79 @@ mod tests {
 
         edge.stop();
         wait_for(|| edge.subscribers() == 0, "subscribers to close");
+        reactor.shutdown();
+    }
+
+    /// An `EdgeClient` decodes the broadcast stream; when the edge dies
+    /// and a new one comes up on the same address, the client redials it
+    /// within the breaker's backoff envelope and keeps receiving events —
+    /// the reconnect resumes the subscription.
+    #[test]
+    fn edge_client_survives_an_edge_restart() {
+        let reactor = Arc::new(Reactor::start(ReactorConfig::default()).unwrap());
+        let gateway = Arc::new(EventGateway::new(GatewayConfig::open("edge-restart")));
+        let mut edge = EventEdge::open(
+            Arc::clone(&reactor),
+            Arc::clone(&gateway),
+            EdgeConfig::default(),
+        )
+        .unwrap();
+        let addr = edge.addr();
+
+        let mut client = EdgeClient::connect(
+            addr,
+            EdgeClientConfig {
+                retry_base: Duration::from_millis(10),
+                retry_max: Duration::from_millis(50),
+                poll_interval: Duration::from_millis(2),
+                ..EdgeClientConfig::default()
+            },
+        )
+        .unwrap();
+        wait_for(|| client.stats().connects == 1, "first connect");
+        wait_for(|| edge.subscribers() == 1, "edge to see the client");
+
+        gateway.publish_shared(sample(1));
+        let ev = client
+            .events()
+            .recv_timeout(Duration::from_secs(10))
+            .expect("event before restart");
+        assert_eq!(ev, *sample(1));
+
+        // Kill the edge; the client loses the connection and its breaker
+        // opens instead of busy-dialing the dead port.
+        edge.stop();
+        wait_for(|| client.stats().disconnects >= 1, "disconnect noticed");
+
+        // A new edge appears on the same address; the client's next probe
+        // redials it and events flow again.
+        let mut edge2 = EventEdge::open(
+            Arc::clone(&reactor),
+            Arc::clone(&gateway),
+            EdgeConfig {
+                bind: addr.to_string(),
+                ..EdgeConfig::default()
+            },
+        )
+        .unwrap();
+        wait_for(|| client.stats().connects >= 2, "reconnect");
+        wait_for(|| edge2.subscribers() == 1, "edge2 to see the client");
+
+        gateway.publish_shared(sample(2));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.events().recv_timeout(Duration::from_millis(100)) {
+                Ok(ev) if ev == *sample(2) => break,
+                Ok(_) => {}
+                Err(_) => assert!(Instant::now() < deadline, "no event after reconnect"),
+            }
+        }
+        let stats = client.stats();
+        assert!(stats.connects >= 2, "reconnect not counted: {stats:?}");
+        assert_eq!(stats.state, BreakerState::Closed);
+
+        client.stop();
+        edge2.stop();
         reactor.shutdown();
     }
 

@@ -18,7 +18,9 @@
 //!   each other exactly like local ones;
 //! * [`edge`] — the reactor-backed subscriber transport: one event loop
 //!   broadcasting a gateway's stream to many TCP consumers with
-//!   encode-once/write-N framing and per-socket backpressure;
+//!   encode-once/write-N framing and per-socket backpressure, plus
+//!   [`edge::EdgeClient`], a self-healing subscriber that redials a
+//!   crashed edge on a circuit-breaker backoff schedule;
 //! * [`bridge`] — monitoring events over the substrate: any
 //!   [`jamm_core::flow::EventSink`] exposed as a service, with ULM codec
 //!   negotiation between producer and sink.
@@ -36,5 +38,8 @@ pub mod tcp;
 pub use activation::ActivationRegistry;
 pub use bridge::{BridgeService, RemoteEventSink};
 pub use bus::{MessageBus, Service};
-pub use edge::{EdgeConfig, EdgeError, EdgeStats, EdgeStatsHandle, EventEdge};
+pub use edge::{
+    EdgeClient, EdgeClientConfig, EdgeClientStats, EdgeConfig, EdgeError, EdgeStats,
+    EdgeStatsHandle, EventEdge,
+};
 pub use message::{MethodCall, RmiError, RmiResult};

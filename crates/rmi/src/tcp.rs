@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use jamm_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use jamm_core::json::Json;
-use jamm_core::OverflowPolicy;
+use jamm_core::{Backoff, BreakerState, BreakerStats, CircuitBreaker, OverflowPolicy};
 use jamm_reactor::{CloseReason, ConnHandler, ConnId, ConnIo, Reactor, ReactorConfig, SocketRow};
 
 use crate::bus::MessageBus;
@@ -39,6 +39,15 @@ const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// How long [`ReactorClient::invoke`] waits for a response.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long [`ReactorClient`] waits for a (re)connect to complete.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// First retry delay of [`ReactorClient`]'s reconnect backoff.
+const RETRY_BASE: Duration = Duration::from_millis(250);
+
+/// Ceiling of [`ReactorClient`]'s reconnect backoff.
+const RETRY_MAX: Duration = Duration::from_secs(30);
 
 /// Invoke-worker threads per server.  Each connection is pinned to one
 /// worker (by connection id), so responses stay in request order and a
@@ -301,17 +310,34 @@ impl RmiClient {
 /// its own blocking I/O: requests are queued to the loop, responses come
 /// back over a channel.  Useful for agents that already run a reactor and
 /// want many client connections without any extra threads.
+///
+/// The client is self-healing: a timed-out or failed call closes the
+/// connection and opens a [`CircuitBreaker`] instead of poisoning the
+/// client forever.  While the breaker is open every call fails fast
+/// (one comparison, no syscall); once the jittered-exponential backoff
+/// deadline passes, the next call is a half-open probe that reconnects
+/// and, on success, closes the breaker again.
 pub struct ReactorClient {
     reactor: Arc<Reactor>,
-    conn: ConnId,
+    addr: SocketAddr,
+    conn: Option<ConnId>,
     responses: Receiver<Json>,
     timeout: Duration,
-    poisoned: bool,
+    breaker: CircuitBreaker,
+    /// Epoch the breaker's microsecond clock counts from.
+    origin: std::time::Instant,
+    reconnects: u64,
 }
 
 impl std::fmt::Debug for ReactorClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ReactorClient(conn {})", self.conn)
+        write!(
+            f,
+            "ReactorClient({}, conn {:?}, {:?})",
+            self.addr,
+            self.conn,
+            self.breaker.state()
+        )
     }
 }
 
@@ -358,47 +384,126 @@ impl ConnHandler for ClientConn {
 impl ReactorClient {
     /// Connect to a server and serve the socket on `reactor`.
     pub fn connect(reactor: Arc<Reactor>, addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
         let (tx, rx) = unbounded();
         let conn = reactor.adopt(stream, Box::new(ClientConn { responses: tx }))?;
         Ok(ReactorClient {
             reactor,
-            conn,
+            addr,
+            conn: Some(conn),
             responses: rx,
             timeout: CLIENT_TIMEOUT,
-            poisoned: false,
+            breaker: CircuitBreaker::new(
+                1,
+                Backoff::new(
+                    RETRY_BASE.as_micros() as u64,
+                    RETRY_MAX.as_micros() as u64,
+                    addr.port() as u64,
+                ),
+            ),
+            origin: std::time::Instant::now(),
+            reconnects: 0,
         })
     }
 
     /// How long [`ReactorClient::invoke`] waits before giving up on a
-    /// response (default 30 s).  A timed-out call poisons the client.
+    /// response (default 30 s).  A timed-out call opens the circuit
+    /// breaker.
     pub fn set_invoke_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Replace the reconnect backoff schedule (first delay and ceiling).
+    /// Resets the breaker to closed.
+    pub fn set_retry_backoff(&mut self, base: Duration, max: Duration) {
+        self.breaker = CircuitBreaker::new(
+            1,
+            Backoff::new(
+                base.as_micros() as u64,
+                max.as_micros() as u64,
+                self.addr.port() as u64,
+            ),
+        );
+    }
+
+    /// The breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// The breaker's lifetime counters (opens, probes, revivals,
+    /// failures).
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.breaker.stats()
+    }
+
+    /// Successful reconnects since the client was created.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Re-establish the connection with a fresh response channel — any
+    /// late response still in flight on the old connection is discarded
+    /// with the old receiver, so it can never surface as the answer to a
+    /// later call.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        let (tx, rx) = unbounded();
+        let conn = self
+            .reactor
+            .adopt(stream, Box::new(ClientConn { responses: tx }))?;
+        self.conn = Some(conn);
+        self.responses = rx;
+        self.reconnects += 1;
+        Ok(())
     }
 
     /// Invoke a remote method.  Calls are serialized per connection (one
     /// outstanding request at a time), mirroring [`RmiClient`].
     ///
-    /// A call that times out poisons the client: the connection is closed
-    /// and every later `invoke` fails fast.  The alternative — leaving the
-    /// connection open — would let the late response surface as the
-    /// answer to the *next* call, silently returning wrong data.
+    /// A call that times out closes the connection (the late response
+    /// must not surface as the answer to the *next* call) and opens the
+    /// breaker; while open, calls fail fast without touching the
+    /// network.  Once the backoff deadline passes, the next call probes
+    /// half-open: it reconnects and — if the round-trip succeeds —
+    /// closes the breaker, reviving the client.
     pub fn invoke(&mut self, call: &MethodCall) -> RmiResult {
-        if self.poisoned {
-            return Err(RmiError::Transport(
-                "connection poisoned by an earlier timeout".into(),
-            ));
+        if self.conn.is_none() {
+            if !self.breaker.allow(self.now_us()) {
+                return Err(RmiError::Transport(format!(
+                    "circuit open after {} failures; probe in {}us",
+                    self.breaker.stats().failures,
+                    self.breaker.retry_at_us().saturating_sub(self.now_us())
+                )));
+            }
+            if let Err(e) = self.reconnect() {
+                self.breaker.record_failure(self.now_us());
+                return Err(RmiError::Transport(format!("reconnect failed: {e}")));
+            }
         }
+        let conn = self.conn.expect("connected above");
         self.reactor
-            .send_strict(self.conn, Arc::new(encode_frame(&call.to_json())));
+            .send_strict(conn, Arc::new(encode_frame(&call.to_json())));
         match self.responses.recv_timeout(self.timeout) {
-            Ok(doc) => WireResponse::from_json(&doc)?.into(),
+            Ok(doc) => {
+                self.breaker.record_success();
+                WireResponse::from_json(&doc)?.into()
+            }
             Err(RecvTimeoutError::Timeout) => {
-                self.poisoned = true;
-                self.reactor.close(self.conn);
-                Err(RmiError::Transport("invoke timed out".into()))
+                self.reactor.close(conn);
+                self.conn = None;
+                self.breaker.record_failure(self.now_us());
+                Err(RmiError::Transport(
+                    "invoke timed out; circuit opened".into(),
+                ))
             }
             Err(RecvTimeoutError::Disconnected) => {
+                self.conn = None;
+                self.breaker.record_failure(self.now_us());
                 Err(RmiError::Transport("connection closed".into()))
             }
         }
@@ -407,7 +512,9 @@ impl ReactorClient {
 
 impl Drop for ReactorClient {
     fn drop(&mut self) {
-        self.reactor.close(self.conn);
+        if let Some(conn) = self.conn.take() {
+            self.reactor.close(conn);
+        }
     }
 }
 
@@ -606,32 +713,45 @@ mod tests {
         server.shutdown();
     }
 
-    /// A timed-out `invoke` must not leave the late response queued where
-    /// the next call would read it as its own answer; the client poisons
-    /// itself instead.
+    /// A timed-out `invoke` opens the breaker (the late response must be
+    /// discarded, never handed to the next call), later calls fail fast
+    /// while it is open, and a half-open probe after the backoff deadline
+    /// reconnects and revives the client.
     #[test]
-    fn reactor_client_timeout_poisons_the_connection() {
+    fn reactor_client_timeout_opens_the_breaker_and_a_probe_revives_it() {
         let server = RmiServer::start(slow_fast_bus(Duration::from_millis(300))).unwrap();
         let reactor = Arc::new(
             Reactor::start(ReactorConfig {
-                thread_name: "rmi-poison-test".to_string(),
+                thread_name: "rmi-breaker-test".to_string(),
                 ..rmi_reactor_config()
             })
             .unwrap(),
         );
         let mut c = ReactorClient::connect(Arc::clone(&reactor), server.addr()).unwrap();
+        c.set_retry_backoff(Duration::from_millis(100), Duration::from_millis(400));
         c.set_invoke_timeout(Duration::from_millis(50));
         let r = c.invoke(&MethodCall::new("svc", "slow", json!(null)));
         assert!(matches!(r, Err(RmiError::Transport(_))), "got {r:?}");
-        // Wait long enough for the late response to arrive — it must be
-        // discarded, not handed to the next call.
-        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(c.breaker_state(), BreakerState::Open);
+        // While the breaker is open, calls fail fast without touching
+        // the network.
         match c.invoke(&MethodCall::new("svc", "fast", json!(null))) {
             Err(RmiError::Transport(msg)) => {
-                assert!(msg.contains("poisoned"), "unexpected error: {msg}")
+                assert!(msg.contains("circuit open"), "unexpected error: {msg}")
             }
-            other => panic!("poisoned client returned {other:?}"),
+            other => panic!("open-breaker client returned {other:?}"),
         }
+        // Wait past both the backoff deadline and the late `slow`
+        // response — which must be discarded with the old channel, never
+        // handed to the next call as its answer.
+        std::thread::sleep(Duration::from_millis(700));
+        let r = c
+            .invoke(&MethodCall::new("svc", "fast", json!(null)))
+            .expect("half-open probe should reconnect and succeed");
+        assert_eq!(r.as_str(), Some("quick"));
+        assert_eq!(c.breaker_state(), BreakerState::Closed);
+        assert!(c.reconnects() >= 1, "probe should have reconnected");
+        assert_eq!(c.breaker_stats().revivals, 1);
         reactor.shutdown();
     }
 
