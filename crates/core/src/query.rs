@@ -40,6 +40,9 @@
 //! | `(crosses=50)` | pass when the reading crosses the threshold in either direction |
 //! | `(relchange=0.2)` | pass when the reading changed by more than the fraction |
 //! | `(limit=100)` | result limit (a pushdown directive; always matches) |
+//! | `(groupby=host)` / `(groupby=type)` / `(groupby=host,type)` | aggregate directive: group matches by host and/or event type |
+//! | `(topk=5)` | aggregate directive: keep the 5 highest-scoring groups |
+//! | `(rate=60s)` | aggregate directive: report per-group event rate over a trailing window (`N` = micros, `Ns` = seconds) |
 //! | `(attr=value)` | case-insensitive attribute equality (directory entries; event pseudo-attrs) |
 //! | `(attr~=value)` | case-insensitive equality on *any* attribute, including `host`/`type` (LDAP approximate match) |
 //! | `(attr=*)` | attribute presence |
@@ -177,6 +180,33 @@ pub enum Predicate {
     /// Result-limit directive: always matches; the limit is carried as a
     /// pushdown fact for scans.
     Limit(usize),
+    /// Aggregate directive: group matching records by the given keys
+    /// (always matches as a filter; the grouping is carried in the plan's
+    /// [`AggregateSpec`]).
+    GroupBy(Vec<GroupKey>),
+    /// Aggregate directive: keep only the K highest-scoring groups.
+    TopK(usize),
+    /// Aggregate directive: report each group's event rate over a trailing
+    /// window of this many microseconds.
+    Rate(u64),
+}
+
+/// A grouping key for the aggregate directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// Group by the record's host.
+    Host,
+    /// Group by the record's event type.
+    Type,
+}
+
+impl GroupKey {
+    fn as_str(self) -> &'static str {
+        match self {
+            GroupKey::Host => "host",
+            GroupKey::Type => "type",
+        }
+    }
 }
 
 impl Predicate {
@@ -257,7 +287,12 @@ impl Predicate {
         } else {
             None
         };
-        Plan { root, facts, state }
+        Plan {
+            root,
+            facts,
+            state,
+            aggregate: predicate_aggregate(self),
+        }
     }
 }
 
@@ -353,6 +388,18 @@ impl std::fmt::Display for Predicate {
                 write!(f, "{s})")
             }
             Predicate::Limit(n) => write!(f, "(limit={n})"),
+            Predicate::GroupBy(keys) => {
+                write!(f, "(groupby=")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", k.as_str())?;
+                }
+                write!(f, ")")
+            }
+            Predicate::TopK(k) => write!(f, "(topk={k})"),
+            Predicate::Rate(w) => write!(f, "(rate={w})"),
         }
     }
 }
@@ -634,6 +681,42 @@ impl<'a> Parser<'a> {
                         .map_err(|_| self.err(format!("expected a count, got '{value}'")))?,
                 )
             }
+            "groupby" => {
+                eq_only(self)?;
+                let mut keys = Vec::new();
+                for part in value.split(',') {
+                    keys.push(match part.trim().to_ascii_lowercase().as_str() {
+                        "host" => GroupKey::Host,
+                        "type" | "eventtype" => GroupKey::Type,
+                        other => {
+                            return Err(
+                                self.err(format!("unknown group key '{other}' (host, type)"))
+                            )
+                        }
+                    });
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                Predicate::GroupBy(keys)
+            }
+            "topk" => {
+                eq_only(self)?;
+                Predicate::TopK(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|k| *k > 0)
+                        .ok_or_else(|| self.err(format!("expected a count, got '{value}'")))?,
+                )
+            }
+            "rate" => {
+                eq_only(self)?;
+                Predicate::Rate(
+                    parse_time_micros(value)
+                        .filter(|w| *w > 0)
+                        .ok_or_else(|| self.err(format!("expected a duration, got '{value}'")))?,
+                )
+            }
             _ => match op {
                 "~=" => Predicate::Equals(attr_lower, unescape(value)),
                 "=" => match shape(value) {
@@ -790,7 +873,11 @@ enum Node {
 
 fn compile_node(p: &Predicate) -> Node {
     match p {
-        Predicate::True | Predicate::Limit(_) => Node::True,
+        Predicate::True
+        | Predicate::Limit(_)
+        | Predicate::GroupBy(_)
+        | Predicate::TopK(_)
+        | Predicate::Rate(_) => Node::True,
         Predicate::And(cs) => Node::And(cs.iter().map(compile_node).collect()),
         Predicate::Or(cs) => Node::Or(cs.iter().map(compile_node).collect()),
         Predicate::Not(c) => Node::Not(Box::new(compile_node(c))),
@@ -1033,6 +1120,66 @@ fn predicate_limit(p: &Predicate) -> Option<usize> {
     }
 }
 
+/// What a plan's aggregate directives ask for.  Present on a plan only
+/// when the predicate carried at least one of `groupby` / `topk` / `rate`
+/// (through conjunctions on the way to the root, like `limit`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSpec {
+    /// Grouping keys.  Defaults to `[Host, Type]` when `topk` or `rate`
+    /// appears without an explicit `groupby`.
+    pub group_by: Vec<GroupKey>,
+    /// Keep only the K highest-scoring groups (see [`Aggregator::rows`]).
+    pub top_k: Option<usize>,
+    /// Trailing rate window in microseconds.
+    pub rate_window_micros: Option<u64>,
+}
+
+/// Aggregate directives survive only through conjunctions, like limits.
+fn predicate_aggregate(p: &Predicate) -> Option<AggregateSpec> {
+    fn walk(p: &Predicate, spec: &mut AggregateSpec, any: &mut bool) {
+        match p {
+            Predicate::GroupBy(keys) => {
+                *any = true;
+                for k in keys {
+                    if !spec.group_by.contains(k) {
+                        spec.group_by.push(*k);
+                    }
+                }
+                spec.group_by.sort_unstable();
+            }
+            Predicate::TopK(k) => {
+                *any = true;
+                spec.top_k = Some(spec.top_k.map_or(*k, |prev: usize| prev.min(*k)));
+            }
+            Predicate::Rate(w) => {
+                *any = true;
+                spec.rate_window_micros =
+                    Some(spec.rate_window_micros.map_or(*w, |prev: u64| prev.min(*w)));
+            }
+            Predicate::And(cs) => {
+                for c in cs {
+                    walk(c, spec, any);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut spec = AggregateSpec {
+        group_by: Vec::new(),
+        top_k: None,
+        rate_window_micros: None,
+    };
+    let mut any = false;
+    walk(p, &mut spec, &mut any);
+    if !any {
+        return None;
+    }
+    if spec.group_by.is_empty() {
+        spec.group_by = vec![GroupKey::Host, GroupKey::Type];
+    }
+    Some(spec)
+}
+
 /// A compiled, executable predicate: the one evaluator every layer runs.
 ///
 /// * [`Plan::eval`] answers "does this record match", allocation-free in
@@ -1051,6 +1198,8 @@ pub struct Plan {
     facts: Facts,
     /// Per-series previous readings, present only for stateful plans.
     state: Option<Mutex<HashMap<(Sym, Sym), f64>>>,
+    /// Aggregate directives carried by the predicate, if any.
+    aggregate: Option<AggregateSpec>,
 }
 
 impl Clone for Plan {
@@ -1059,6 +1208,7 @@ impl Clone for Plan {
             root: self.root.clone(),
             facts: self.facts.clone(),
             state: self.state.as_ref().map(|_| Mutex::new(HashMap::new())),
+            aggregate: self.aggregate.clone(),
         }
     }
 }
@@ -1084,6 +1234,19 @@ impl Plan {
     /// relative-change leaves).
     pub fn is_stateful(&self) -> bool {
         self.state.is_some()
+    }
+
+    /// The aggregate directives carried by the predicate, if any.
+    pub fn aggregate(&self) -> Option<&AggregateSpec> {
+        self.aggregate.as_ref()
+    }
+
+    /// True when [`Plan::eval_batch`] is *exact* for this plan: every node
+    /// is decidable from the batch's columns (no stateful or attribute
+    /// leaves), so the batch selection equals the per-row [`Plan::eval`]
+    /// result and a scan may skip the row-at-a-time re-check entirely.
+    pub fn batch_definite(&self) -> bool {
+        node_batch_definite(&self.root)
     }
 
     /// Evaluate the plan against a record, updating per-series memory.
@@ -1177,6 +1340,579 @@ fn eval_node<R: Record + ?Sized>(n: &Node, rec: &R, ctx: &Ctx) -> bool {
         Node::Equals(a, v) => rec.attr_any(a.as_str(), &mut |x| x.eq_ignore_ascii_case(v)),
         Node::Present(a) => rec.attr_present(a.as_str()),
         Node::Substring(a, parts) => rec.attr_any(a.as_str(), &mut |x| substring_match(x, parts)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar (vectorized) evaluation
+// ---------------------------------------------------------------------------
+
+/// A batch of records laid out column-wise — what the storage engine's
+/// columnar segments decode into, and what [`Plan::eval_batch`] evaluates
+/// without building a single row.
+///
+/// All row slices must have the same length.  Host and event-type columns
+/// hold *dictionary indices* into `dict`; a typed leaf resolves its interned
+/// strings to matching dictionary indices once per batch and then compares
+/// integers per row.  `values` carries the conventional `VAL` reading per
+/// row with `val_present` (a bitmap, bit `i` = row `i`) saying whether the
+/// row has one — so a stored NaN reading still compares exactly like the
+/// row evaluator's `Some(NaN)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnBatch<'a> {
+    /// Timestamp column, microseconds.
+    pub ts_micros: &'a [u64],
+    /// Host column as dictionary indices into `dict`.
+    pub host_ids: &'a [u32],
+    /// Event-type column as dictionary indices into `dict`.
+    pub type_ids: &'a [u32],
+    /// Severity-rank column (see [`level_rank`]).
+    pub levels: &'a [u8],
+    /// `VAL` reading column (meaningful only where `val_present` is set).
+    pub values: &'a [f64],
+    /// Presence bitmap for `values`: bit `i` of word `i / 64`.
+    pub val_present: &'a [u64],
+    /// The dictionary host/type indices point into.
+    pub dict: &'a [String],
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// Rows in the batch.
+    pub fn len(&self) -> usize {
+        self.ts_micros.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ts_micros.is_empty()
+    }
+
+    fn check(&self) {
+        let n = self.ts_micros.len();
+        assert!(
+            self.host_ids.len() == n
+                && self.type_ids.len() == n
+                && self.levels.len() == n
+                && self.values.len() == n
+                && self.val_present.len() >= n.div_ceil(64),
+            "column batch slices must agree on length"
+        );
+    }
+}
+
+/// A reusable row-selection bitmap filled by [`Plan::eval_batch`] /
+/// [`Facts::eval_batch`].  Allocates only when it grows past its previous
+/// high-water mark, so a scan reusing one selection across batches is
+/// allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct Selection {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Selection {
+    /// An empty selection (no capacity yet).
+    pub fn new() -> Selection {
+        Selection::default()
+    }
+
+    /// Number of rows the selection covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the selection covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is row `i` selected?
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// How many rows are selected.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the selected row indices in increasing order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    fn resize_for(&mut self, len: usize) {
+        self.len = len;
+        let words = len.div_ceil(64);
+        self.bits.clear();
+        self.bits.resize(words, 0);
+    }
+}
+
+/// Reusable scratch buffers for [`Plan::eval_batch`]: a pool of bitmap
+/// words for inner nodes and an id buffer for dictionary resolution.  Keep
+/// one per scan (or per thread) and the batch-eval hot loop never
+/// allocates after warm-up.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    pool: Vec<Vec<u64>>,
+    ids: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    fn take_buf(&mut self, words: usize) -> Vec<u64> {
+        let mut b = self.pool.pop().unwrap_or_default();
+        b.clear();
+        b.resize(words, 0);
+        b
+    }
+
+    fn put_buf(&mut self, b: Vec<u64>) {
+        self.pool.push(b);
+    }
+}
+
+/// Set `out` from a per-row predicate, keeping tail bits clear.
+fn fill_rows<F: FnMut(usize) -> bool>(out: &mut [u64], len: usize, mut f: F) {
+    for (wi, word) in out.iter_mut().enumerate() {
+        let base = wi * 64;
+        let top = (len - base).min(64);
+        let mut w = 0u64;
+        for b in 0..top {
+            w |= (f(base + b) as u64) << b;
+        }
+        *word = w;
+    }
+}
+
+fn fill_ones(out: &mut [u64], len: usize) {
+    for (wi, word) in out.iter_mut().enumerate() {
+        let base = wi * 64;
+        let top = (len - base).min(64);
+        *word = if top == 64 { !0u64 } else { (1u64 << top) - 1 };
+    }
+}
+
+/// Resolve which dictionary indices match any of the leaf's interned
+/// strings, into `ids` (cleared first).  O(dict × leaf) string compares,
+/// paid once per batch per leaf — per-row work is then integer equality.
+fn resolve_dict_ids(dict: &[String], syms: &[Sym], ids: &mut Vec<u32>) {
+    ids.clear();
+    for (i, entry) in dict.iter().enumerate() {
+        if syms.iter().any(|s| s.as_str() == entry.as_str()) {
+            ids.push(i as u32);
+        }
+    }
+}
+
+/// Select rows whose id column matches any resolved id.
+fn fill_id_match(out: &mut [u64], len: usize, col: &[u32], ids: &[u32]) {
+    match ids.len() {
+        0 => {
+            for w in out.iter_mut() {
+                *w = 0;
+            }
+        }
+        1 => {
+            let id = ids[0];
+            fill_rows(out, len, |i| col[i] == id);
+        }
+        _ => fill_rows(out, len, |i| ids.contains(&col[i])),
+    }
+}
+
+/// Evaluate one node over the batch into `out`.  Returns whether the
+/// result is *definite* (exact) rather than a conservative superset:
+/// stateful and attribute leaves are not decidable from the columns, so
+/// they select every row and poison definiteness — the caller re-checks
+/// survivors row-at-a-time only in that case.
+fn eval_node_batch(
+    n: &Node,
+    b: &ColumnBatch<'_>,
+    out: &mut [u64],
+    scratch: &mut BatchScratch,
+) -> bool {
+    let len = b.len();
+    match n {
+        Node::True => {
+            fill_ones(out, len);
+            true
+        }
+        Node::And(cs) => {
+            fill_ones(out, len);
+            let mut definite = true;
+            let mut tmp = scratch.take_buf(out.len());
+            for c in cs {
+                definite &= eval_node_batch(c, b, &mut tmp, scratch);
+                for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                    *o &= *t;
+                }
+            }
+            scratch.put_buf(tmp);
+            definite
+        }
+        Node::Or(cs) => {
+            for w in out.iter_mut() {
+                *w = 0;
+            }
+            let mut definite = true;
+            let mut tmp = scratch.take_buf(out.len());
+            for c in cs {
+                definite &= eval_node_batch(c, b, &mut tmp, scratch);
+                for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                    *o |= *t;
+                }
+            }
+            scratch.put_buf(tmp);
+            definite
+        }
+        Node::Not(c) => {
+            let mut tmp = scratch.take_buf(out.len());
+            let definite = eval_node_batch(c, b, &mut tmp, scratch);
+            if definite {
+                for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                    *o = !*t;
+                }
+                // Re-mask the tail the complement just set.
+                let words = out.len();
+                if let Some(last) = out.last_mut() {
+                    let top = len - (words - 1) * 64;
+                    if top < 64 {
+                        *last &= (1u64 << top) - 1;
+                    }
+                }
+                scratch.put_buf(tmp);
+                true
+            } else {
+                // NOT of a superset guarantees nothing: every row stays
+                // possible.
+                scratch.put_buf(tmp);
+                fill_ones(out, len);
+                false
+            }
+        }
+        Node::Types(ts) => {
+            let mut ids = std::mem::take(&mut scratch.ids);
+            resolve_dict_ids(b.dict, ts, &mut ids);
+            fill_id_match(out, len, b.type_ids, &ids);
+            scratch.ids = ids;
+            true
+        }
+        Node::Hosts(hs) => {
+            let mut ids = std::mem::take(&mut scratch.ids);
+            resolve_dict_ids(b.dict, hs, &mut ids);
+            fill_id_match(out, len, b.host_ids, &ids);
+            scratch.ids = ids;
+            true
+        }
+        Node::MinLevel(r) => {
+            let floor = *r;
+            fill_rows(out, len, |i| b.levels[i] >= floor);
+            true
+        }
+        Node::Time { from, to } => {
+            let (from, to) = (from.unwrap_or(0), to.unwrap_or(u64::MAX));
+            fill_rows(out, len, |i| {
+                let t = b.ts_micros[i];
+                t >= from && t < to
+            });
+            true
+        }
+        Node::Value(cmp, t) => {
+            let (cmp, t) = (*cmp, *t);
+            fill_rows(out, len, |i| {
+                b.val_present[i / 64] & (1u64 << (i % 64)) != 0 && cmp.apply(b.values[i], t)
+            });
+            true
+        }
+        // Stateful and attribute leaves cannot be decided from the
+        // columns: conservatively keep every row.
+        Node::OnChange
+        | Node::Crosses(_)
+        | Node::RelativeChange(_)
+        | Node::Equals(..)
+        | Node::Present(_)
+        | Node::Substring(..) => {
+            fill_ones(out, len);
+            false
+        }
+    }
+}
+
+fn node_batch_definite(n: &Node) -> bool {
+    match n {
+        Node::True
+        | Node::Types(_)
+        | Node::Hosts(_)
+        | Node::MinLevel(_)
+        | Node::Time { .. }
+        | Node::Value(..) => true,
+        Node::And(cs) | Node::Or(cs) => cs.iter().all(node_batch_definite),
+        Node::Not(c) => node_batch_definite(c),
+        Node::OnChange
+        | Node::Crosses(_)
+        | Node::RelativeChange(_)
+        | Node::Equals(..)
+        | Node::Present(_)
+        | Node::Substring(..) => false,
+    }
+}
+
+impl Plan {
+    /// Evaluate the plan over a column batch into `sel`, vectorized: typed
+    /// leaves compare dictionary indices and numeric columns word-at-a-time
+    /// with no string work and no row materialization.
+    ///
+    /// Returns `true` when the selection is **exact** (equals what
+    /// [`Plan::eval`] would say per row — guaranteed whenever
+    /// [`Plan::batch_definite`] holds), `false` when it is a conservative
+    /// **superset** because the plan carries stateful or attribute leaves;
+    /// the caller then re-checks the (already pruned) survivors row-wise.
+    /// Allocation-free in steady state given a reused `sel` and `scratch`.
+    pub fn eval_batch(
+        &self,
+        batch: &ColumnBatch<'_>,
+        sel: &mut Selection,
+        scratch: &mut BatchScratch,
+    ) -> bool {
+        batch.check();
+        sel.resize_for(batch.len());
+        eval_node_batch(&self.root, batch, &mut sel.bits, scratch)
+    }
+}
+
+impl Facts {
+    /// Vectorized [`Facts::admits`]: select exactly the rows the pushdown
+    /// facts admit.  Used by scans of *stateful* plans, which must feed
+    /// every facts-admissible row (in merge order) through the row
+    /// evaluator so per-series memory sees the same stream the row-oriented
+    /// oracle would.
+    pub fn eval_batch(
+        &self,
+        batch: &ColumnBatch<'_>,
+        sel: &mut Selection,
+        scratch: &mut BatchScratch,
+    ) {
+        batch.check();
+        let len = batch.len();
+        sel.resize_for(len);
+        let out = &mut sel.bits;
+        let (from, to) = (
+            self.from_micros.unwrap_or(0),
+            self.to_micros.unwrap_or(u64::MAX),
+        );
+        let floor = self.level_floor.unwrap_or(0);
+        fill_rows(out, len, |i| {
+            let t = batch.ts_micros[i];
+            t >= from && t < to && batch.levels[i] >= floor
+        });
+        let mut tmp = scratch.take_buf(out.len());
+        let mut ids = std::mem::take(&mut scratch.ids);
+        if let Some(types) = &self.types {
+            resolve_dict_ids(batch.dict, types, &mut ids);
+            fill_id_match(&mut tmp, len, batch.type_ids, &ids);
+            for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                *o &= *t;
+            }
+        }
+        if let Some(hosts) = &self.hosts {
+            resolve_dict_ids(batch.dict, hosts, &mut ids);
+            fill_id_match(&mut tmp, len, batch.host_ids, &ids);
+            for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                *o &= *t;
+            }
+        }
+        scratch.ids = ids;
+        scratch.put_buf(tmp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// One group's aggregate results, from [`Aggregator::rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggRow {
+    /// Group host (present when grouping by host).
+    pub host: Option<Sym>,
+    /// Group event type (present when grouping by type).
+    pub event_type: Option<Sym>,
+    /// Records in the group.
+    pub count: u64,
+    /// Sum of the group's numeric readings.
+    pub sum: f64,
+    /// Smallest reading (`0.0` when the group had none).
+    pub min: f64,
+    /// Largest reading (`0.0` when the group had none).
+    pub max: f64,
+    /// Mean reading, when the group had any.
+    pub mean: Option<f64>,
+    /// Events per second over the trailing rate window, when requested.
+    pub rate: Option<f64>,
+}
+
+impl AggRow {
+    /// The score top-k ranks groups by: the rate when requested, else the
+    /// mean reading, else the plain count.
+    pub fn score(&self) -> f64 {
+        self.rate.or(self.mean).unwrap_or(self.count as f64)
+    }
+}
+
+#[derive(Debug, Default)]
+struct AggGroup {
+    count: u64,
+    nvals: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Timestamps inside the trailing rate window (kept only when the
+    /// spec asks for a rate; pruned against the newest timestamp seen).
+    times: std::collections::VecDeque<u64>,
+    newest: u64,
+}
+
+/// Incremental group-by / top-k / rate aggregation over a record stream —
+/// the engine behind both ad-hoc aggregate queries (fold a scan) and
+/// continuously-maintained views (fold the publish path).
+///
+/// Group identity is the interned `(host, type)` pair restricted to the
+/// spec's keys, so pushing a record hashes `u32`s; readings feed
+/// count/sum/min/max, and when a rate window is requested each group keeps
+/// its in-window timestamps (pruned as newer records arrive, the
+/// `SummaryEngine` horizon discipline).
+#[derive(Debug)]
+pub struct Aggregator {
+    spec: AggregateSpec,
+    groups: HashMap<(Option<Sym>, Option<Sym>), AggGroup>,
+}
+
+impl Aggregator {
+    /// An empty aggregator for a spec.
+    pub fn new(spec: AggregateSpec) -> Aggregator {
+        Aggregator {
+            spec,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// The spec this aggregator maintains.
+    pub fn spec(&self) -> &AggregateSpec {
+        &self.spec
+    }
+
+    /// Number of groups seen so far (before any top-k cut).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Fold one record in.  Hosts and event types are bounded identifier
+    /// sets, so interning the group key here is safe (same discipline as
+    /// stateful plan memory).
+    pub fn push<R: Record + ?Sized>(&mut self, rec: &R) {
+        let host = if self.spec.group_by.contains(&GroupKey::Host) {
+            rec.host().map(Sym::intern)
+        } else {
+            None
+        };
+        let ty = if self.spec.group_by.contains(&GroupKey::Type) {
+            rec.event_type().map(Sym::intern)
+        } else {
+            None
+        };
+        self.observe(host, ty, rec.time_micros().unwrap_or(0), rec.value());
+    }
+
+    /// Fold one already-interned observation in (the publish-path fast
+    /// lane: the gateway has interned host and type once per event).
+    pub fn observe(&mut self, host: Option<Sym>, ty: Option<Sym>, ts: u64, value: Option<f64>) {
+        let g = self.groups.entry((host, ty)).or_default();
+        g.count += 1;
+        if let Some(v) = value {
+            if g.nvals == 0 {
+                g.min = v;
+                g.max = v;
+            } else {
+                g.min = g.min.min(v);
+                g.max = g.max.max(v);
+            }
+            g.nvals += 1;
+            g.sum += v;
+        }
+        if let Some(window) = self.spec.rate_window_micros {
+            g.newest = g.newest.max(ts);
+            g.times.push_back(ts);
+            let horizon = g.newest.saturating_sub(window);
+            while g.times.front().is_some_and(|t| *t < horizon) {
+                g.times.pop_front();
+            }
+        }
+    }
+
+    /// The aggregate rows as of `now_micros`: one per group, rate computed
+    /// over `[now - window, now]`, sorted by descending [`AggRow::score`]
+    /// (ties by group name) and cut to the spec's top-k.
+    pub fn rows(&self, now_micros: u64) -> Vec<AggRow> {
+        let mut rows: Vec<AggRow> = self
+            .groups
+            .iter()
+            .map(|((host, ty), g)| {
+                let rate = self.spec.rate_window_micros.map(|window| {
+                    let horizon = now_micros.saturating_sub(window);
+                    let in_window = g.times.iter().filter(|t| **t >= horizon).count();
+                    in_window as f64 / (window as f64 / 1_000_000.0)
+                });
+                AggRow {
+                    host: *host,
+                    event_type: *ty,
+                    count: g.count,
+                    sum: g.sum,
+                    min: if g.nvals > 0 { g.min } else { 0.0 },
+                    max: if g.nvals > 0 { g.max } else { 0.0 },
+                    mean: (g.nvals > 0).then(|| g.sum / g.nvals as f64),
+                    rate,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.score()
+                .partial_cmp(&a.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    let name = |r: &AggRow| {
+                        (
+                            r.host.map(|s| s.as_str()).unwrap_or(""),
+                            r.event_type.map(|s| s.as_str()).unwrap_or(""),
+                        )
+                    };
+                    name(a).cmp(&name(b))
+                })
+        });
+        if let Some(k) = self.spec.top_k {
+            rows.truncate(k);
+        }
+        rows
     }
 }
 
@@ -1341,6 +2077,10 @@ mod tests {
             "(crosses=50)",
             "(relchange=0.2)",
             "(limit=100)",
+            "(groupby=host)",
+            "(groupby=host,type)",
+            "(topk=5)",
+            "(rate=60000000)",
             "(&)",
             "(|)",
         ] {
@@ -1435,6 +2175,9 @@ mod tests {
             ("(level>=loud)", "unknown level"),
             ("(limit=many)", "expected a count"),
             ("(type>=X)", "supports '='"),
+            ("(groupby=rack)", "unknown group key"),
+            ("(topk=0)", "expected a count"),
+            ("(rate=soon)", "expected a duration"),
         ] {
             let err = Predicate::parse(bad).expect_err(bad);
             assert!(
@@ -1488,5 +2231,280 @@ mod tests {
                 );
             }
         });
+    }
+
+    // -- columnar + aggregate machinery -----------------------------------
+
+    /// Batch + parallel row records built from the same random data, so
+    /// batch and row evaluation can be compared directly.
+    struct BatchData {
+        dict: Vec<String>,
+        ts: Vec<u64>,
+        hosts: Vec<u32>,
+        types: Vec<u32>,
+        levels: Vec<u8>,
+        values: Vec<f64>,
+        present: Vec<u64>,
+    }
+
+    impl BatchData {
+        fn random(g: &mut crate::check::Gen, rows: usize) -> BatchData {
+            let dict: Vec<String> = ["h1", "h2", "h3", "A", "B", "C"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let mut d = BatchData {
+                dict,
+                ts: Vec::new(),
+                hosts: Vec::new(),
+                types: Vec::new(),
+                levels: Vec::new(),
+                values: Vec::new(),
+                present: vec![0; rows.div_ceil(64)],
+            };
+            for i in 0..rows {
+                d.ts.push(g.u64(3_000_000));
+                d.hosts.push(g.u64(3) as u32);
+                d.types.push(3 + g.u64(3) as u32);
+                d.levels.push(g.u64(9) as u8);
+                if g.bool(0.7) {
+                    d.present[i / 64] |= 1 << (i % 64);
+                    d.values.push(if g.bool(0.05) {
+                        f64::NAN
+                    } else {
+                        g.f64_in(0.0, 100.0)
+                    });
+                } else {
+                    d.values.push(0.0);
+                }
+            }
+            d
+        }
+
+        fn batch(&self) -> ColumnBatch<'_> {
+            ColumnBatch {
+                ts_micros: &self.ts,
+                host_ids: &self.hosts,
+                type_ids: &self.types,
+                levels: &self.levels,
+                values: &self.values,
+                val_present: &self.present,
+                dict: &self.dict,
+            }
+        }
+
+        fn row(&self, i: usize) -> Rec {
+            Rec {
+                host: match self.dict[self.hosts[i] as usize].as_str() {
+                    "h1" => "h1",
+                    "h2" => "h2",
+                    _ => "h3",
+                },
+                ty: match self.dict[self.types[i] as usize].as_str() {
+                    "A" => "A",
+                    "B" => "B",
+                    _ => "C",
+                },
+                level: self.levels[i],
+                time: self.ts[i],
+                value: (self.present[i / 64] & (1 << (i % 64)) != 0).then(|| self.values[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_row_eval() {
+        let definite = [
+            "(&)",
+            "(type=A)",
+            "(host=h2)",
+            "(|(type=A)(type=B))",
+            "(&(type=A)(host=h1)(level>=warning)(val>50))",
+            "(&(time>=1000000)(time<2000000))",
+            "(!(host=h1))",
+            "(val!=0)",
+            "(!(val>50))",
+            "(&(|(host=h1)(host=h2))(!(type=C)))",
+        ];
+        let indefinite = [
+            "(name=*x*)",
+            "(&(type=A)(name=y))",
+            "(|(host=h1)(name=y))",
+            "(!(name=y))",
+        ];
+        crate::check::forall("eval_batch vs eval", 64, |g| {
+            let rows = g.usize_in(1, 150);
+            let data = BatchData::random(g, rows);
+            let batch = data.batch();
+            let mut sel = Selection::new();
+            let mut scratch = BatchScratch::new();
+            for text in definite {
+                let plan = Predicate::parse(text).unwrap().compile();
+                assert!(plan.batch_definite(), "{text}");
+                let exact = plan.eval_batch(&batch, &mut sel, &mut scratch);
+                assert!(exact, "{text}");
+                for i in 0..rows {
+                    assert_eq!(sel.contains(i), plan.eval(&data.row(i)), "{text} row {i}");
+                }
+            }
+            for text in indefinite {
+                let plan = Predicate::parse(text).unwrap().compile();
+                assert!(!plan.batch_definite(), "{text}");
+                let exact = plan.eval_batch(&batch, &mut sel, &mut scratch);
+                assert!(!exact, "{text}");
+                // Superset: every row the plan matches must be selected.
+                for i in 0..rows {
+                    if plan.eval(&data.row(i)) {
+                        assert!(sel.contains(i), "{text} dropped matching row {i}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn facts_eval_batch_matches_admits() {
+        crate::check::forall("facts batch vs admits", 64, |g| {
+            let rows = g.usize_in(1, 100);
+            let data = BatchData::random(g, rows);
+            let batch = data.batch();
+            let preds = [
+                "(&)",
+                "(&(host=h2)(type=C)(level>=error))",
+                "(&(time>=1000000)(time<2000000))",
+                "(|(type=A)(type=B))",
+                "(&(type=A)(onchange))",
+            ];
+            let plan = Predicate::parse(g.choice(&preds)).unwrap().compile();
+            let mut sel = Selection::new();
+            let mut scratch = BatchScratch::new();
+            plan.facts().eval_batch(&batch, &mut sel, &mut scratch);
+            for i in 0..rows {
+                assert_eq!(sel.contains(i), plan.facts().admits(&data.row(i)));
+            }
+        });
+    }
+
+    #[test]
+    fn selection_ones_and_count_agree() {
+        let mut sel = Selection::new();
+        let mut scratch = BatchScratch::new();
+        let data = BatchData {
+            dict: vec!["h1".into(), "A".into()],
+            ts: vec![0; 70],
+            hosts: vec![0; 70],
+            types: vec![1; 70],
+            levels: (0..70).map(|i| (i % 9) as u8).collect(),
+            values: vec![0.0; 70],
+            present: vec![0, 0],
+        };
+        let plan = Predicate::parse("(level>=warning)").unwrap().compile();
+        plan.eval_batch(&data.batch(), &mut sel, &mut scratch);
+        let ones: Vec<usize> = sel.ones().collect();
+        assert_eq!(ones.len(), sel.count());
+        assert!(ones.iter().all(|i| data.levels[*i] >= 4));
+        assert_eq!(ones.len(), data.levels.iter().filter(|l| **l >= 4).count());
+    }
+
+    #[test]
+    fn aggregate_spec_survives_conjunctions_only() {
+        let plan = Predicate::parse("(&(type=A)(groupby=host)(topk=3)(rate=60s))")
+            .unwrap()
+            .compile();
+        let spec = plan.aggregate().expect("spec");
+        assert_eq!(spec.group_by, vec![GroupKey::Host]);
+        assert_eq!(spec.top_k, Some(3));
+        assert_eq!(spec.rate_window_micros, Some(60_000_000));
+        // Group keys default to host+type when only topk/rate appear.
+        let plan = Predicate::parse("(topk=2)").unwrap().compile();
+        let spec = plan.aggregate().expect("spec");
+        assert_eq!(spec.group_by, vec![GroupKey::Host, GroupKey::Type]);
+        // Directives inside disjunctions or negations don't apply.
+        for text in ["(|(groupby=host)(type=A))", "(!(topk=2))"] {
+            let plan = Predicate::parse(text).unwrap().compile();
+            assert!(plan.aggregate().is_none(), "{text}");
+        }
+        assert!(Predicate::parse("(type=A)")
+            .unwrap()
+            .compile()
+            .aggregate()
+            .is_none());
+    }
+
+    #[test]
+    fn aggregator_groups_ranks_and_rates() {
+        let spec = AggregateSpec {
+            group_by: vec![GroupKey::Host],
+            top_k: Some(2),
+            rate_window_micros: Some(1_000_000),
+        };
+        let mut agg = Aggregator::new(spec);
+        // h1: 3 events inside the last second; h2: 1 inside, 1 stale;
+        // h3: 1 stale event only.
+        for (host, ts, v) in [
+            ("h1", 1_200_000u64, 10.0),
+            ("h1", 1_500_000, 20.0),
+            ("h1", 1_900_000, 30.0),
+            ("h2", 100_000, 5.0),
+            ("h2", 1_800_000, 7.0),
+            ("h3", 200_000, 1.0),
+        ] {
+            let mut r = rec(
+                match host {
+                    "h1" => "h1",
+                    "h2" => "h2",
+                    _ => "h3",
+                },
+                "X",
+                Some(v),
+            );
+            r.time = ts;
+            agg.push(&r);
+        }
+        assert_eq!(agg.len(), 3);
+        let rows = agg.rows(2_000_000);
+        // top_k=2 keeps the two highest-rate groups: h1 (3/s) then h2 (1/s).
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].host.unwrap().as_str(), "h1");
+        assert_eq!(rows[0].count, 3);
+        assert_eq!(rows[0].sum, 60.0);
+        assert_eq!(rows[0].min, 10.0);
+        assert_eq!(rows[0].max, 30.0);
+        assert_eq!(rows[0].mean, Some(20.0));
+        assert_eq!(rows[0].rate, Some(3.0));
+        assert_eq!(rows[1].host.unwrap().as_str(), "h2");
+        assert_eq!(rows[1].rate, Some(1.0));
+    }
+
+    #[test]
+    fn aggregator_without_rate_ranks_by_mean_then_count() {
+        let mut agg = Aggregator::new(AggregateSpec {
+            group_by: vec![GroupKey::Type],
+            top_k: None,
+            rate_window_micros: None,
+        });
+        for (ty, v) in [("A", Some(1.0)), ("A", Some(3.0)), ("B", Some(10.0))] {
+            agg.push(&rec("h", if ty == "A" { "A" } else { "B" }, v));
+        }
+        let rows = agg.rows(0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].event_type.unwrap().as_str(), "B");
+        assert_eq!(rows[0].mean, Some(10.0));
+        assert_eq!(rows[1].event_type.unwrap().as_str(), "A");
+        assert_eq!(rows[1].mean, Some(2.0));
+        // No readings at all: score falls back to count.
+        let mut agg = Aggregator::new(AggregateSpec {
+            group_by: vec![GroupKey::Type],
+            top_k: Some(1),
+            rate_window_micros: None,
+        });
+        for ty in ["A", "B", "B"] {
+            agg.push(&rec("h", if ty == "A" { "A" } else { "B" }, None));
+        }
+        let rows = agg.rows(0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].event_type.unwrap().as_str(), "B");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].mean, None);
     }
 }

@@ -401,6 +401,8 @@ pub struct EventGateway {
     tier_pools: Option<[(usize, usize); 3]>,
     /// Publishes since the gateway opened, driving the re-tier cadence.
     qos_publishes: AtomicU64,
+    /// Continuous queries materialized on the publish path.
+    views: crate::views::ViewEngine,
 }
 
 impl std::fmt::Debug for EventGateway {
@@ -522,6 +524,7 @@ impl EventGateway {
             qos,
             tier_pools,
             qos_publishes: AtomicU64::new(0),
+            views: crate::views::ViewEngine::new(),
         }
     }
 
@@ -633,6 +636,7 @@ impl EventGateway {
             .write()
             .insert((host, ty), SharedEvent::clone(event));
         self.summaries.record_interned(host, ty, event);
+        self.views.observe(host, ty, event);
         ty
     }
 
@@ -880,6 +884,40 @@ impl EventGateway {
         Ok(self
             .summaries
             .summary_events(&self.config.summary_windows, now, &self.config.name))
+    }
+
+    /// Register a continuous query: `text` is parsed, compiled, and from
+    /// now on maintained incrementally on the publish path.  Readers get
+    /// its contents from [`EventGateway::view_snapshot`] without any
+    /// rescan.  Re-registering a name replaces the view with fresh state.
+    pub fn register_view(
+        &self,
+        name: &str,
+        text: &str,
+    ) -> Result<Arc<crate::views::ContinuousQuery>> {
+        self.views.register(name, text)
+    }
+
+    /// The current snapshot of a continuous query — one `Arc` clone per
+    /// call, never a rescan.  Gated by the same [`Action::Query`] right
+    /// as the live cache.
+    pub fn view_snapshot(
+        &self,
+        consumer: &str,
+        name: &str,
+    ) -> Result<Arc<crate::views::ViewSnapshot>> {
+        self.check(consumer, Action::Query)?;
+        let view = self
+            .views
+            .by_name(name)
+            .ok_or_else(|| GatewayError::BadQuery(format!("no such view {name:?}")))?;
+        Ok(view.snapshot())
+    }
+
+    /// The continuous-query engine (for the facade's view-first query
+    /// routing and for deterministic snapshot flushes in tests).
+    pub fn views(&self) -> &crate::views::ViewEngine {
+        &self.views
     }
 
     /// Per-subscription delivery/drop counts — used by the experiments and

@@ -21,6 +21,11 @@
 //!   with hysteresis, per-tier queue budgets and worker pools, and
 //!   declared overload shedding that drops lowest-tier raw events first
 //!   while summaries and `_jamm` self-lifelines survive;
+//! * [`views`] — continuous queries: registered query-plane plans
+//!   maintained incrementally on the publish path (the summary engine
+//!   generalized to arbitrary predicates plus group-by/top-k/rate
+//!   aggregation), snapshot-readable by any number of concurrent
+//!   dashboards without rescanning;
 //! * [`gateway`] — the [`EventGateway`] itself: publish (as a
 //!   [`jamm_core::flow::EventSink`]), the fluent [`SubscriptionBuilder`]
 //!   for bounded streaming subscriptions, query (most recent event),
@@ -37,6 +42,7 @@ pub mod qos;
 pub mod routing;
 pub mod summary;
 pub mod trace;
+pub mod views;
 
 pub use filter::{EventFilter, FilterChain};
 pub use gateway::{
@@ -51,6 +57,7 @@ pub use qos::{
 pub use routing::{FlatFanout, RouteOutcome, ShardReport, DEFAULT_GATEWAY_SHARDS};
 pub use summary::{ShardedSummaryEngine, SummaryEngine, SummaryWindow};
 pub use trace::{PipelineTracer, TraceClock, DEFAULT_SAMPLE_EVERY};
+pub use views::{ContinuousQuery, ViewEngine, ViewSnapshot, VIEW_RING_CAPACITY};
 
 /// Errors returned by gateway operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,404 @@
+//! Continuous queries: incrementally-maintained materialized views.
+//!
+//! A *continuous query* is a compiled query-plane [`Plan`] registered on
+//! the gateway and maintained on the publish path — the
+//! [`crate::summary::SummaryEngine`] generalized from fixed per-series
+//! averages to arbitrary predicates with optional group-by / top-k / rate
+//! aggregation.  Each published event is evaluated once per view; matches
+//! land in a bounded ring (most recent first out) and fold into the view's
+//! [`Aggregator`].  Readers never touch any of that: they grab the view's
+//! current [`ViewSnapshot`], an immutable `Arc` swapped in periodically,
+//! so a million dashboards re-reading a view cost refcount bumps — not
+//! rescans, not even a per-reader clone of the data.
+//!
+//! **Staleness semantics**: snapshots are rebuilt every
+//! [`REFRESH_EVERY`] matching updates (and on [`ViewEngine::flush`],
+//! which tests and deterministic drivers call), so a reader can lag the
+//! publish path by at most `REFRESH_EVERY - 1` matching events.  That is
+//! the explicit trade: bounded staleness for contention-free reads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jamm_core::intern::Sym;
+use jamm_core::query::{AggRow, Aggregator, Plan, Predicate};
+use jamm_core::sync::{Mutex, RwLock};
+use jamm_ulm::{SharedEvent, Timestamp};
+
+use crate::{GatewayError, Result};
+
+/// Matching updates between automatic snapshot rebuilds.
+pub const REFRESH_EVERY: u64 = 64;
+
+/// Most recent matching events a view's ring retains (and thus the most a
+/// snapshot exposes).
+pub const VIEW_RING_CAPACITY: usize = 1_024;
+
+/// An immutable, shareable read of one view's current contents.  Cheap to
+/// hand out (one `Arc` clone) and safe to hold across publishes — it
+/// never changes after construction.
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    /// View name.
+    pub name: String,
+    /// Canonical text of the view's predicate.
+    pub query: String,
+    /// Timestamp of the newest event folded in when the snapshot was cut.
+    pub as_of: Timestamp,
+    /// The most recent matching events, oldest first (bounded by
+    /// [`VIEW_RING_CAPACITY`]).
+    pub events: Vec<SharedEvent>,
+    /// Aggregate rows (group-by / top-k / rate), when the view's query
+    /// carries aggregate directives.
+    pub aggregates: Vec<AggRow>,
+    /// Matching updates folded into the view since registration.
+    pub updates: u64,
+}
+
+/// Mutable maintenance state of one view, touched only by the publish
+/// path (under a mutex — observation is already serialized per gateway
+/// by the synchronous observe step).
+#[derive(Debug)]
+struct ViewState {
+    ring: VecDeque<SharedEvent>,
+    agg: Option<Aggregator>,
+    /// Matching updates since the last snapshot cut.
+    dirty: u64,
+    /// Newest event timestamp seen.
+    as_of: Timestamp,
+}
+
+/// One registered continuous query.
+#[derive(Debug)]
+pub struct ContinuousQuery {
+    name: String,
+    /// Canonical (display-normalized) predicate text — the lookup key for
+    /// "is this query already materialized?".
+    text: String,
+    plan: Plan,
+    state: Mutex<ViewState>,
+    snap: RwLock<Arc<ViewSnapshot>>,
+    /// Snapshot reads served.
+    reads: AtomicU64,
+    /// Matching updates folded in.
+    updates: AtomicU64,
+}
+
+impl ContinuousQuery {
+    fn new(name: String, predicate: &Predicate) -> ContinuousQuery {
+        let text = predicate.to_string();
+        let plan = predicate.compile();
+        let agg = plan.aggregate().cloned().map(Aggregator::new);
+        let empty = Arc::new(ViewSnapshot {
+            name: name.clone(),
+            query: text.clone(),
+            as_of: Timestamp::EPOCH,
+            events: Vec::new(),
+            aggregates: Vec::new(),
+            updates: 0,
+        });
+        ContinuousQuery {
+            name,
+            text,
+            plan,
+            state: Mutex::new(ViewState {
+                ring: VecDeque::with_capacity(VIEW_RING_CAPACITY.min(64)),
+                agg,
+                dirty: 0,
+                as_of: Timestamp::EPOCH,
+            }),
+            snap: RwLock::new(empty),
+            reads: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// View name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Canonical predicate text this view materializes.
+    pub fn query_text(&self) -> &str {
+        &self.text
+    }
+
+    /// Snapshot reads served so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Matching updates folded in so far.
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Fold one published event in (publish path).  The host/type syms
+    /// are already interned by the gateway's observe step.
+    fn observe(&self, host: Sym, ty: Sym, event: &SharedEvent) {
+        if !self.plan.eval(&**event) {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.ring.len() == VIEW_RING_CAPACITY {
+            st.ring.pop_front();
+        }
+        st.ring.push_back(SharedEvent::clone(event));
+        if let Some(agg) = &mut st.agg {
+            agg.observe(
+                Some(host),
+                Some(ty),
+                event.timestamp.as_micros(),
+                event.value(),
+            );
+        }
+        st.as_of = st.as_of.max(event.timestamp);
+        st.dirty += 1;
+        let total = self.updates.fetch_add(1, Ordering::Relaxed) + 1;
+        if st.dirty >= REFRESH_EVERY {
+            self.rebuild(&mut st, total);
+        }
+    }
+
+    /// Cut a fresh snapshot from the current state.
+    fn rebuild(&self, st: &mut ViewState, total_updates: u64) {
+        st.dirty = 0;
+        let snapshot = Arc::new(ViewSnapshot {
+            name: self.name.clone(),
+            query: self.text.clone(),
+            as_of: st.as_of,
+            events: st.ring.iter().cloned().collect(),
+            aggregates: st
+                .agg
+                .as_ref()
+                .map(|a| a.rows(st.as_of.as_micros()))
+                .unwrap_or_default(),
+            updates: total_updates,
+        });
+        *self.snap.write() = snapshot;
+    }
+
+    /// The current snapshot: one read-lock acquisition and one `Arc`
+    /// clone, regardless of how much data the view holds.
+    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(&self.snap.read())
+    }
+
+    /// Force a snapshot cut if anything changed since the last one.
+    pub fn flush(&self) {
+        let mut st = self.state.lock();
+        if st.dirty > 0 {
+            let total = self.updates.load(Ordering::Relaxed);
+            self.rebuild(&mut st, total);
+        }
+    }
+}
+
+/// The registry of continuous queries attached to one gateway.
+///
+/// The view list itself is an `Arc`-swapped immutable snapshot (the same
+/// discipline as the routing tables): the publish path reads it with one
+/// read-lock + `Arc` clone and registration rebuilds it on the cold path.
+#[derive(Debug, Default)]
+pub struct ViewEngine {
+    views: RwLock<Vec<Arc<ContinuousQuery>>>,
+    /// Registered-view count mirrored out of the lock so the publish hot
+    /// path pays one relaxed load — not a read-lock — when no views exist.
+    active: AtomicU64,
+}
+
+impl ViewEngine {
+    /// An empty engine.
+    pub fn new() -> ViewEngine {
+        ViewEngine::default()
+    }
+
+    /// Register `text` as a continuous query named `name`.  Re-registering
+    /// the same name replaces the view (fresh state).  Errors on a query
+    /// that does not parse.
+    pub fn register(&self, name: &str, text: &str) -> Result<Arc<ContinuousQuery>> {
+        let predicate = Predicate::parse(text)
+            .map_err(|e| GatewayError::BadQuery(format!("view {name:?}: {e}")))?;
+        let view = Arc::new(ContinuousQuery::new(name.to_string(), &predicate));
+        let mut views = self.views.write();
+        views.retain(|v| v.name != name);
+        views.push(Arc::clone(&view));
+        self.active.store(views.len() as u64, Ordering::Relaxed);
+        Ok(view)
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.read().len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.read().is_empty()
+    }
+
+    /// Fold one published event into every view (publish path).
+    pub fn observe(&self, host: Sym, ty: Sym, event: &SharedEvent) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let views = self.views.read();
+        for view in views.iter() {
+            view.observe(host, ty, event);
+        }
+    }
+
+    /// Look up a view by name.
+    pub fn by_name(&self, name: &str) -> Option<Arc<ContinuousQuery>> {
+        self.views.read().iter().find(|v| v.name == name).cloned()
+    }
+
+    /// Look up a view materializing exactly this canonical predicate text
+    /// — the facade's "can a view answer this query?" probe.
+    pub fn by_query_text(&self, canonical: &str) -> Option<Arc<ContinuousQuery>> {
+        self.views
+            .read()
+            .iter()
+            .find(|v| v.text == canonical)
+            .cloned()
+    }
+
+    /// All registered views.
+    pub fn all(&self) -> Vec<Arc<ContinuousQuery>> {
+        self.views.read().clone()
+    }
+
+    /// Cut fresh snapshots on every view that changed since its last cut.
+    /// Deterministic drivers (tests, the scenario engine's sampling tick)
+    /// call this so assertions never race the refresh cadence.
+    pub fn flush(&self) {
+        for view in self.views.read().iter() {
+            view.flush();
+        }
+    }
+
+    /// Total snapshot reads served across views.
+    pub fn total_reads(&self) -> u64 {
+        self.views.read().iter().map(|v| v.reads()).sum()
+    }
+
+    /// Total matching updates folded across views.
+    pub fn total_updates(&self) -> u64 {
+        self.views.read().iter().map(|v| v.updates()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jamm_ulm::{Event, Level};
+
+    fn ev(host: &str, ty: &str, t: u64, v: f64) -> SharedEvent {
+        Arc::new(
+            Event::builder("prog", host)
+                .level(Level::Usage)
+                .event_type(ty)
+                .timestamp(Timestamp::from_micros(t))
+                .value(v)
+                .build(),
+        )
+    }
+
+    fn feed(engine: &ViewEngine, e: &SharedEvent) {
+        let host = Sym::intern(&e.host);
+        let ty = Sym::intern(&e.event_type);
+        engine.observe(host, ty, e);
+    }
+
+    #[test]
+    fn views_fold_matches_and_snapshot_after_flush() {
+        let engine = ViewEngine::new();
+        engine
+            .register("hot-cpu", "(&(type=CPU_TOTAL)(val>50))")
+            .unwrap();
+        feed(&engine, &ev("h1", "CPU_TOTAL", 1_000, 80.0));
+        feed(&engine, &ev("h1", "CPU_TOTAL", 2_000, 20.0)); // filtered
+        feed(&engine, &ev("h2", "MEM_FREE", 3_000, 90.0)); // filtered
+        feed(&engine, &ev("h2", "CPU_TOTAL", 4_000, 60.0));
+        let view = engine.by_name("hot-cpu").unwrap();
+        // Below the refresh cadence the snapshot is still the empty one.
+        assert_eq!(view.snapshot().events.len(), 0);
+        engine.flush();
+        let snap = view.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.updates, 2);
+        assert_eq!(snap.as_of, Timestamp::from_micros(4_000));
+        assert_eq!(view.updates(), 2);
+        assert!(view.reads() >= 2);
+    }
+
+    #[test]
+    fn snapshots_auto_refresh_on_cadence() {
+        let engine = ViewEngine::new();
+        engine.register("all", "(&)").unwrap();
+        for i in 0..REFRESH_EVERY {
+            feed(&engine, &ev("h", "T", i, i as f64));
+        }
+        let snap = engine.by_name("all").unwrap().snapshot();
+        assert_eq!(snap.updates, REFRESH_EVERY);
+        assert_eq!(snap.events.len(), REFRESH_EVERY as usize);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let engine = ViewEngine::new();
+        engine.register("all", "(&)").unwrap();
+        for i in 0..(VIEW_RING_CAPACITY as u64 + 100) {
+            feed(&engine, &ev("h", "T", i, 0.0));
+        }
+        engine.flush();
+        let snap = engine.by_name("all").unwrap().snapshot();
+        assert_eq!(snap.events.len(), VIEW_RING_CAPACITY);
+        // Oldest entries were evicted: the ring starts at event 100.
+        assert_eq!(snap.events[0].timestamp.as_micros(), 100);
+    }
+
+    #[test]
+    fn aggregate_views_maintain_group_rows() {
+        let engine = ViewEngine::new();
+        engine
+            .register(
+                "rates",
+                "(&(type=CPU_TOTAL)(groupby=host)(topk=2)(rate=1s))",
+            )
+            .unwrap();
+        for i in 0..10u64 {
+            feed(
+                &engine,
+                &ev("busy", "CPU_TOTAL", 1_000_000 + i * 50_000, 1.0),
+            );
+        }
+        feed(&engine, &ev("idle", "CPU_TOTAL", 1_200_000, 1.0));
+        feed(&engine, &ev("calm", "CPU_TOTAL", 1_300_000, 1.0));
+        engine.flush();
+        let snap = engine.by_name("rates").unwrap().snapshot();
+        assert_eq!(snap.aggregates.len(), 2, "top-k cuts to 2 groups");
+        assert_eq!(snap.aggregates[0].host.unwrap().as_str(), "busy");
+        assert_eq!(snap.aggregates[0].count, 10);
+        assert!(snap.aggregates[0].rate.unwrap() > snap.aggregates[1].rate.unwrap());
+    }
+
+    #[test]
+    fn reregistering_replaces_and_lookup_by_text_uses_canonical_form() {
+        let engine = ViewEngine::new();
+        engine.register("v", "(host=h1)").unwrap();
+        engine.register("v", "(host=h2)").unwrap();
+        assert_eq!(engine.len(), 1);
+        // Lookup key is the *canonical* display form.
+        let canonical = Predicate::parse("(host=h2)").unwrap().to_string();
+        assert!(engine.by_query_text(&canonical).is_some());
+        assert!(engine.by_query_text("(host=h1)").is_none());
+        // Bad queries are rejected with BadQuery.
+        assert!(matches!(
+            engine.register("bad", "(((").unwrap_err(),
+            GatewayError::BadQuery(_)
+        ));
+    }
+}

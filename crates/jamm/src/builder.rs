@@ -5,6 +5,7 @@
 //! imperative setup.  The builder names each part once and `build()`
 //! returns a [`JammSystem`] holding the wired components.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use jamm_archive::EventArchive;
@@ -12,7 +13,7 @@ use jamm_consumers::archiver::ArchiverAgent;
 use jamm_consumers::collector::EventCollector;
 use jamm_consumers::GatewayRegistry;
 use jamm_core::obs::{MetricsRegistry, MetricsSnapshot, Sample};
-use jamm_core::query::{Facts, Predicate};
+use jamm_core::query::{AggRow, Aggregator, Facts, Predicate};
 use jamm_core::Sym;
 use jamm_directory::{DirectoryServer, Dn, Filter};
 use jamm_gateway::{
@@ -394,6 +395,7 @@ impl JammBuilder {
             self_sub,
             self_log: Arc::new(jamm_core::sync::Mutex::new(Vec::new())),
             metrics,
+            query_tiers: Arc::new(QueryTierStats::default()),
         })
     }
 }
@@ -666,6 +668,9 @@ pub struct JammSystem {
     self_log: Arc<jamm_core::sync::Mutex<Vec<SharedEvent>>>,
     /// The metrics registry every component reports through.
     metrics: Arc<MetricsRegistry>,
+    /// Which tier served each [`JammSystem::query`] history answer —
+    /// shared with the RMI `admin.diagnose` closure.
+    query_tiers: Arc<QueryTierStats>,
 }
 
 impl std::fmt::Debug for JammSystem {
@@ -845,13 +850,31 @@ impl JammSystem {
         use jamm_core::json::Json;
         let metrics = Arc::clone(&self.metrics);
         let self_log = Arc::clone(&self.self_log);
+        let query_tiers = Arc::clone(&self.query_tiers);
         let gateways: Vec<Arc<EventGateway>> = self.gateways.iter().map(Arc::clone).collect();
         bus.register_fn("admin", move |method, _args| match method {
             "metrics" => Ok(Json::String(metrics.snapshot().render_text())),
             "diagnose" => {
                 let log = self_log.lock();
                 let report = jamm_netlogger::analysis::diagnose(log.iter().map(|e| e.as_ref()));
-                Ok(Json::String(report.render_text()))
+                let mut text = report.render_text();
+                text.push_str(&format!(
+                    "\nquery tiers: views_served={} archive_scans={}\n",
+                    query_tiers.views_served.load(Relaxed),
+                    query_tiers.archive_scans.load(Relaxed),
+                ));
+                for gw in &gateways {
+                    for view in gw.views().all() {
+                        text.push_str(&format!(
+                            "view {}/{}: updates={} reads={}\n",
+                            gw.name(),
+                            view.name(),
+                            view.updates(),
+                            view.reads(),
+                        ));
+                    }
+                }
+                Ok(Json::String(text))
             }
             "qos" => {
                 let rows = gateways
@@ -1001,8 +1024,10 @@ impl JammSystem {
     ///   the plan's host/type pushdown facts (a summary for `CPU_TOTAL`
     ///   answers a `(type=CPU_TOTAL)` query even though its synthetic
     ///   event type is `CPU_TOTAL_AVG_1MIN`);
-    /// * **history** — a plan-driven archive scan with full segment
-    ///   pruning and limit pushdown.
+    /// * **history** — a materialized view when one matches the query
+    ///   exactly (snapshot read, no scan), else a plan-driven archive
+    ///   scan with full segment pruning and limit pushdown.  The answer's
+    ///   [`QueryAnswer::history_source`] says which tier served it.
     ///
     /// Access control applies per gateway exactly as for direct queries
     /// and summary requests.
@@ -1014,8 +1039,13 @@ impl JammSystem {
     ) -> Result<QueryAnswer, QueryError> {
         let pred = Predicate::parse(query).map_err(|e| QueryError::BadQuery(e.to_string()))?;
         let plan = pred.compile();
+        let canonical = pred.to_string();
         let mut live = Vec::new();
         let mut summaries = Vec::new();
+        let mut view_names = Vec::new();
+        let mut view_updates = 0u64;
+        let mut view_history: Vec<Event> = Vec::new();
+        let mut aggregates: Vec<AggRow> = Vec::new();
         for gw in &self.gateways {
             live.extend(
                 gw.query_matching(consumer, &plan)
@@ -1027,15 +1057,71 @@ impl JammSystem {
                     .into_iter()
                     .filter(|s| summary_admitted(plan.facts(), s)),
             );
+            // A continuous query materializing exactly this predicate
+            // (canonical text match) answers history from its snapshot —
+            // one Arc clone, no archive scan, no per-reader work.
+            if let Some(view) = gw.views().by_query_text(&canonical) {
+                let snap = view.snapshot();
+                view_names.push(format!("{}/{}", gw.name(), view.name()));
+                view_updates += snap.updates;
+                view_history.extend(snap.events.iter().map(|e| (**e).clone()));
+                aggregates.extend(snap.aggregates.iter().cloned());
+            }
         }
-        // The historical scan runs through its own plan clone (fresh
-        // stateful memory), with segment pruning and limit pushdown.
-        let history: Vec<Event> = self.archive.scan_plan(&plan).collect();
+        let (history, history_source) = if view_names.is_empty() {
+            // The historical scan runs through its own plan clone (fresh
+            // stateful memory), with segment pruning and limit pushdown.
+            let scanned0 = self.archive.stats().segments_scanned();
+            let pruned0 = self.archive.stats().segments_pruned();
+            let history: Vec<Event> = self.archive.scan_plan(&plan).collect();
+            self.query_tiers.archive_scans.fetch_add(1, Relaxed);
+            // Ad-hoc aggregate queries fold the scan result; continuous
+            // queries maintain theirs incrementally.
+            if let Some(spec) = plan.aggregate() {
+                let mut agg = Aggregator::new(spec.clone());
+                for event in &history {
+                    agg.push(event);
+                }
+                aggregates = agg.rows(now.as_micros());
+            }
+            let source = HistorySource::ArchiveScan {
+                segments_scanned: self.archive.stats().segments_scanned() - scanned0,
+                segments_pruned: self.archive.stats().segments_pruned() - pruned0,
+            };
+            (history, source)
+        } else {
+            self.query_tiers.views_served.fetch_add(1, Relaxed);
+            let source = HistorySource::MaterializedView {
+                views: view_names,
+                updates: view_updates,
+            };
+            (view_history, source)
+        };
         Ok(QueryAnswer {
             live,
             summaries,
             history,
+            aggregates,
+            history_source,
         })
+    }
+
+    /// Register a continuous query on every gateway: from now on each
+    /// gateway maintains the materialized view on its publish path, and
+    /// [`JammSystem::query`] with the same predicate text is served from
+    /// view snapshots instead of archive scans.
+    pub fn register_continuous_query(&self, name: &str, text: &str) -> Result<(), QueryError> {
+        for gw in &self.gateways {
+            gw.register_view(name, text)
+                .map_err(|e| QueryError::BadQuery(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Counters for which tier served query history — the numbers behind
+    /// the scenario engine's `served_from_views` expectation.
+    pub fn query_tier_stats(&self) -> &QueryTierStats {
+        &self.query_tiers
     }
 }
 
@@ -1077,6 +1163,42 @@ pub struct QueryAnswer {
     /// Matching archived history, in time order (limit applied by the
     /// storage engine's scan).
     pub history: Vec<Event>,
+    /// Aggregate rows when the query carries group-by / top-k / rate
+    /// directives — maintained incrementally when a view served the
+    /// query, folded from the scan otherwise.
+    pub aggregates: Vec<AggRow>,
+    /// Which tier produced [`QueryAnswer::history`].
+    pub history_source: HistorySource,
+}
+
+/// Provenance of a [`QueryAnswer`]'s history: which tier actually did
+/// the work.  Tests and `admin.diagnose` assert on this instead of
+/// guessing from timings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistorySource {
+    /// Served from continuous-query snapshots — no archive scan ran.
+    MaterializedView {
+        /// `gateway/view` labels of every snapshot consulted.
+        views: Vec<String>,
+        /// Total publish-path updates folded into those snapshots.
+        updates: u64,
+    },
+    /// Served by scanning the archive.
+    ArchiveScan {
+        /// Segments the scan actually opened.
+        segments_scanned: u64,
+        /// Segments skipped whole by catalog pruning.
+        segments_pruned: u64,
+    },
+}
+
+/// Counters for which tier served [`JammSystem::query`] history answers.
+#[derive(Debug, Default)]
+pub struct QueryTierStats {
+    /// Queries answered from materialized views (no scan).
+    pub views_served: AtomicU64,
+    /// Queries that fell back to an archive scan.
+    pub archive_scans: AtomicU64,
 }
 
 /// Errors from [`JammSystem::query`].
@@ -1380,6 +1502,122 @@ mod tests {
             jamm.query("ops", "(nonsense", Timestamp::from_secs(0)),
             Err(QueryError::BadQuery(_))
         ));
+    }
+
+    #[test]
+    fn continuous_queries_serve_history_without_archive_scans() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .archiver("archiver", "archive=main,o=grid")
+            .build()
+            .unwrap();
+        jamm.connect_archiver(vec![]);
+        let text = "(&(type=CPU_TOTAL)(host=h1))";
+
+        // Before any view exists the archive serves history and says so.
+        jamm.publish("gw1", &ev("h1", Level::Usage, 1_000));
+        jamm.poll();
+        let cold = jamm
+            .query("ops", text, Timestamp::from_secs(1_001))
+            .unwrap();
+        assert!(matches!(
+            cold.history_source,
+            HistorySource::ArchiveScan { .. }
+        ));
+        assert_eq!(jamm.query_tier_stats().archive_scans.load(Relaxed), 1);
+
+        // Register the view; matching publishes fold in from then on.
+        jamm.register_continuous_query("hot-cpu", text).unwrap();
+        for t in 0..10u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, 2_000 + t));
+            jamm.publish("gw1", &ev("h2", Level::Usage, 2_000 + t)); // filtered
+        }
+        jamm.gateways[0].views().flush();
+
+        let scans_before = jamm.archive.stats().segments_scanned();
+        let warm = jamm
+            .query("ops", text, Timestamp::from_secs(2_010))
+            .unwrap();
+        match &warm.history_source {
+            HistorySource::MaterializedView { views, updates } => {
+                assert_eq!(views, &["gw1/hot-cpu".to_string()]);
+                assert_eq!(*updates, 10);
+            }
+            other => panic!("expected view provenance, got {other:?}"),
+        }
+        assert_eq!(warm.history.len(), 10);
+        assert!(warm.history.iter().all(|e| e.host == "h1"));
+        // The archive was not touched: zero new segment scans.
+        assert_eq!(jamm.archive.stats().segments_scanned(), scans_before);
+        assert_eq!(jamm.query_tier_stats().views_served.load(Relaxed), 1);
+
+        // A *different* predicate still falls back to the archive.
+        let miss = jamm
+            .query("ops", "(type=MEM_FREE)", Timestamp::from_secs(2_010))
+            .unwrap();
+        assert!(matches!(
+            miss.history_source,
+            HistorySource::ArchiveScan { .. }
+        ));
+        assert_eq!(jamm.query_tier_stats().archive_scans.load(Relaxed), 2);
+
+        // Bad view queries are rejected at registration.
+        assert!(matches!(
+            jamm.register_continuous_query("bad", "((("),
+            Err(QueryError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_queries_fold_rows_from_either_tier() {
+        let mut jamm = JammBuilder::new()
+            .gateway("gw1")
+            .archiver("archiver", "archive=main,o=grid")
+            .build()
+            .unwrap();
+        jamm.connect_archiver(vec![]);
+        let text = "(&(type=CPU_TOTAL)(groupby=host)(topk=2))";
+        for t in 0..6u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, 1_000 + t));
+        }
+        for t in 0..3u64 {
+            jamm.publish("gw1", &ev("h2", Level::Usage, 1_000 + t));
+        }
+        jamm.publish("gw1", &ev("h3", Level::Usage, 1_000));
+        jamm.poll();
+
+        // Ad-hoc: folded from the archive scan.
+        let adhoc = jamm
+            .query("ops", text, Timestamp::from_secs(1_010))
+            .unwrap();
+        assert!(matches!(
+            adhoc.history_source,
+            HistorySource::ArchiveScan { .. }
+        ));
+        assert_eq!(adhoc.aggregates.len(), 2, "top-k cut");
+        assert_eq!(adhoc.aggregates[0].host.unwrap().as_str(), "h1");
+        assert_eq!(adhoc.aggregates[0].count, 6);
+        assert_eq!(adhoc.aggregates[1].count, 3);
+
+        // Continuous: maintained on the publish path, same answer shape.
+        jamm.register_continuous_query("by-host", text).unwrap();
+        for t in 0..6u64 {
+            jamm.publish("gw1", &ev("h1", Level::Usage, 3_000 + t));
+        }
+        for t in 0..3u64 {
+            jamm.publish("gw1", &ev("h2", Level::Usage, 3_000 + t));
+        }
+        jamm.gateways[0].views().flush();
+        let cont = jamm
+            .query("ops", text, Timestamp::from_secs(3_010))
+            .unwrap();
+        assert!(matches!(
+            cont.history_source,
+            HistorySource::MaterializedView { .. }
+        ));
+        assert_eq!(cont.aggregates.len(), 2);
+        assert_eq!(cont.aggregates[0].host.unwrap().as_str(), "h1");
+        assert_eq!(cont.aggregates[0].count, 6);
     }
 
     #[test]

@@ -71,10 +71,11 @@ pub mod cluster;
 pub mod deployment;
 
 pub use builder::{
-    ArchiveMaintenanceReport, BuildError, GatewayAdminStats, JammBuilder, JammSystem, QueryAnswer,
-    QueryError, SELF_GATEWAY,
+    ArchiveMaintenanceReport, BuildError, GatewayAdminStats, HistorySource, JammBuilder,
+    JammSystem, QueryAnswer, QueryError, QueryTierStats, SELF_GATEWAY,
 };
 pub use deployment::{DeploymentConfig, JammDeployment};
+pub use jamm_core::query::AggRow;
 pub use jamm_ulm::SharedEvent;
 
 // Re-export the sub-crates under predictable names so downstream users need

@@ -45,6 +45,35 @@ pub struct ConsumerReport {
     pub latencies_us: Vec<u64>,
 }
 
+/// Whole-run totals of one dashboard reader pool (`readers` directive):
+/// N concurrent readers over one continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReaderReport {
+    /// Pool (and view) name.
+    pub name: String,
+    /// Concurrent readers in the pool.
+    pub count: u64,
+    /// View snapshots taken in total (one per reader per period).
+    pub reads: u64,
+    /// Reads served from the materialized view.
+    pub served_from_views: u64,
+    /// Reads that fell through to the archive-scan path.
+    pub archive_scans: u64,
+    /// Events in the last snapshot the pool read.
+    pub last_snapshot_len: u64,
+}
+
+impl ReaderReport {
+    /// Snapshot reads per reader — the per-dashboard throughput that
+    /// must stay flat as the pool grows.
+    pub fn reads_per_reader(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.reads as f64 / self.count as f64
+    }
+}
+
 /// End-of-run state of one gateway's QoS plane (present only for
 /// gateways declared with `qos=on`).
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +134,8 @@ pub struct ScenarioReport {
     pub consumers: Vec<ConsumerReport>,
     /// (archiver name, events stored) pairs.
     pub archived: Vec<(String, u64)>,
+    /// Dashboard reader pool totals (`readers` directives).
+    pub readers: Vec<ReaderReport>,
     /// QoS plane state per `qos=on` gateway (empty otherwise).
     pub qos: Vec<GatewayQosReport>,
     /// Events dropped from the monitoring plane's own self-lifeline
@@ -139,6 +170,11 @@ impl ScenarioReport {
     /// Look up a gateway's QoS report by name.
     pub fn qos_for(&self, gateway: &str) -> Option<&GatewayQosReport> {
         self.qos.iter().find(|q| q.gateway == gateway)
+    }
+
+    /// Look up a reader pool's totals by name.
+    pub fn reader_pool(&self, name: &str) -> Option<&ReaderReport> {
+        self.readers.iter().find(|r| r.name == name)
     }
 
     /// Mean data throughput (Mbit/s) over a closed range of simulated
@@ -203,6 +239,13 @@ impl ScenarioReport {
         }
         for (name, stored) in &self.archived {
             let _ = writeln!(out, "archiver {name}: stored={stored}");
+        }
+        for r in &self.readers {
+            let _ = writeln!(
+                out,
+                "readers {}: n={} reads={} served_from_views={} archive_scans={} snapshot_len={}",
+                r.name, r.count, r.reads, r.served_from_views, r.archive_scans, r.last_snapshot_len
+            );
         }
         for q in &self.qos {
             let _ = writeln!(
@@ -515,6 +558,59 @@ impl<'a> Expectations<'a> {
                 )
             }
             None => self.check(false, format!("no consumer named {name}")),
+        }
+    }
+
+    /// Reader pool `name` was served entirely from its materialized view:
+    /// it actually read something, every read was a snapshot, it saw
+    /// events, and the archive-scan fallback counter stayed at zero.
+    pub fn served_from_views(self, name: &str) -> Self {
+        match self.report.reader_pool(name) {
+            Some(r) => {
+                let ok = r.reads > 0
+                    && r.served_from_views == r.reads
+                    && r.archive_scans == 0
+                    && r.last_snapshot_len > 0;
+                self.check(
+                    ok,
+                    format!(
+                        "reader pool {name}: reads={} served_from_views={} \
+                         archive_scans={} snapshot_len={} (wanted all reads from \
+                         a non-empty view, zero scans)",
+                        r.reads, r.served_from_views, r.archive_scans, r.last_snapshot_len
+                    ),
+                )
+            }
+            None => self.check(false, format!("no reader pool named {name}")),
+        }
+    }
+
+    /// Per-reader snapshot throughput stays flat as the pool grows: pool
+    /// `big` (more readers) achieves at least 90% of pool `small`'s
+    /// reads-per-reader.  With per-reader rescans this would collapse
+    /// with N; with snapshot reads it cannot.
+    pub fn reader_rate_flat(self, small: &str, big: &str) -> Self {
+        match (self.report.reader_pool(small), self.report.reader_pool(big)) {
+            (Some(s), Some(b)) => {
+                let (rs, rb) = (s.reads_per_reader(), b.reads_per_reader());
+                let ok = rs > 0.0 && rb >= rs * 0.9;
+                self.check(
+                    ok,
+                    format!(
+                        "reader rate not flat: {small} {rs:.1} reads/reader vs \
+                         {big} {rb:.1} (wanted >= 90%)"
+                    ),
+                )
+            }
+            (s, b) => {
+                let missing = [(small, s.is_none()), (big, b.is_none())]
+                    .iter()
+                    .filter(|(_, m)| *m)
+                    .map(|(n, _)| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.check(false, format!("no reader pool named {missing}"))
+            }
         }
     }
 

@@ -43,9 +43,11 @@ use crate::link::{LinkId, Router};
 use crate::network::Network;
 use crate::{clock::SimClock, host::HostSpec, link::LinkSpec, FlowId};
 
-pub use analysis::{ConsumerReport, Expectations, GatewayQosReport, ScenarioReport, SecondSample};
+pub use analysis::{
+    ConsumerReport, Expectations, GatewayQosReport, ReaderReport, ScenarioReport, SecondSample,
+};
 pub use faults::FaultInjector;
-pub use spec::{Fault, QosDecl, ScenarioSpec, SpecError, TimelineEntry};
+pub use spec::{Fault, QosDecl, ReaderDecl, ScenarioSpec, SpecError, TimelineEntry};
 
 /// Why a spec failed to compile or parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -259,6 +261,24 @@ impl SubscriberRt {
     }
 }
 
+pub(crate) struct ReaderRt {
+    pub name: String,
+    pub host: String,
+    pub via: String,
+    pub count: u64,
+    pub every_us: u64,
+    pub next_at_us: u64,
+    /// View snapshots taken (one per reader per period).
+    pub reads: u64,
+    /// Reads served from the materialized view (an `Arc` clone).
+    pub served_from_views: u64,
+    /// Reads that would have needed an archive scan (view unavailable) —
+    /// the counter the `served_from_views` expectation pins at zero.
+    pub archive_scans: u64,
+    /// Events visible in the most recent snapshot read.
+    pub last_snapshot_len: u64,
+}
+
 pub(crate) struct ArchiverRt {
     pub name: String,
     pub host: String,
@@ -325,6 +345,7 @@ pub struct ScenarioEngine {
     self_sub: Subscription,
     pub(crate) gateways: Vec<GatewayRt>,
     pub(crate) subscribers: Vec<SubscriberRt>,
+    pub(crate) readers: Vec<ReaderRt>,
     pub(crate) archivers: Vec<ArchiverRt>,
     pub(crate) sensors: Vec<SensorRt>,
     pub(crate) flows: Vec<FlowRt>,
@@ -504,6 +525,36 @@ impl ScenarioEngine {
             });
         }
 
+        let mut readers = Vec::new();
+        for r in &spec.readers {
+            host_id(&r.host)?;
+            if !gateway_exists(&r.via) {
+                return Err(EngineError::Compile(format!(
+                    "readers `{}` reference unknown gateway `{}`",
+                    r.name, r.via
+                )));
+            }
+            // Register the pool's continuous query as a materialized view
+            // on the gateway: from here on the publish path maintains it
+            // and the readers only ever take snapshots.
+            let gw = registry.resolve(&r.via).expect("gateway just registered");
+            gw.register_view(&r.name, &r.query).map_err(|e| {
+                EngineError::Compile(format!("readers `{}`: bad query: {e}", r.name))
+            })?;
+            readers.push(ReaderRt {
+                name: r.name.clone(),
+                host: r.host.clone(),
+                via: r.via.clone(),
+                count: r.count.max(1),
+                every_us: r.every_us.max(spec.tick_us),
+                next_at_us: r.every_us.max(spec.tick_us),
+                reads: 0,
+                served_from_views: 0,
+                archive_scans: 0,
+                last_snapshot_len: 0,
+            });
+        }
+
         let mut archivers = Vec::new();
         for a in &spec.archivers {
             host_id(&a.host)?;
@@ -573,6 +624,7 @@ impl ScenarioEngine {
             self_sub,
             gateways,
             subscribers,
+            readers,
             archivers,
             sensors,
             flows,
@@ -815,6 +867,53 @@ impl ScenarioEngine {
         }
     }
 
+    /// Dashboard reader pools: each period, every reader in the pool
+    /// takes the view's current snapshot.  A successful snapshot is an
+    /// `Arc` clone — counted as served-from-view; a failed one (view
+    /// missing) is what *would* have forced an archive scan, and the
+    /// `served_from_views` expectation pins that counter at zero.
+    fn poll_readers(&mut self) {
+        let now = self.net.clock().now_us();
+        for i in 0..self.readers.len() {
+            if now < self.readers[i].next_at_us {
+                continue;
+            }
+            let every = self.readers[i].every_us;
+            self.readers[i].next_at_us = now + every;
+            let host = self.readers[i].host.clone();
+            if self.crashed.contains(&host) {
+                continue;
+            }
+            let gw_name = self.readers[i].via.clone();
+            let reach = self.gateway_up(&gw_name)
+                && self
+                    .gateway_host(&gw_name)
+                    .map(str::to_string)
+                    .is_some_and(|gh| self.reachable(&host, &gh));
+            if !reach {
+                continue;
+            }
+            let gw = self
+                .registry
+                .resolve(&gw_name)
+                .expect("reader gateway is registered");
+            // One deterministic snapshot cut per period (bounded
+            // staleness), then the whole pool reads it concurrently.
+            gw.views().flush();
+            let r = &mut self.readers[i];
+            for _ in 0..r.count {
+                r.reads += 1;
+                match gw.view_snapshot(&r.name, &r.name) {
+                    Ok(snap) => {
+                        r.served_from_views += 1;
+                        r.last_snapshot_len = snap.events.len() as u64;
+                    }
+                    Err(_) => r.archive_scans += 1,
+                }
+            }
+        }
+    }
+
     fn poll_archivers(&mut self) {
         for i in 0..self.archivers.len() {
             let host = self.archivers[i].host.clone();
@@ -875,6 +974,7 @@ impl ScenarioEngine {
         self.clock_cell
             .store(self.net.clock().timestamp().as_micros(), Ordering::Relaxed);
         self.drain_subscribers();
+        self.poll_readers();
         self.poll_archivers();
         self.self_events.extend(self.self_sub.drain());
         self.sample_second();
@@ -923,6 +1023,18 @@ impl ScenarioEngine {
             .iter()
             .map(|a| (a.name.clone(), a.agent.archive().len() as u64))
             .collect();
+        let readers = self
+            .readers
+            .iter()
+            .map(|r| analysis::ReaderReport {
+                name: r.name.clone(),
+                count: r.count,
+                reads: r.reads,
+                served_from_views: r.served_from_views,
+                archive_scans: r.archive_scans,
+                last_snapshot_len: r.last_snapshot_len,
+            })
+            .collect();
         let qos = self
             .gateways
             .iter()
@@ -952,6 +1064,7 @@ impl ScenarioEngine {
             seconds: self.seconds,
             consumers,
             archived,
+            readers,
             qos,
             self_dropped: self.self_sub.dropped(),
             summaries_published: self.summaries_published,

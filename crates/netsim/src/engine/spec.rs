@@ -189,6 +189,33 @@ pub struct SubscriberDecl {
     pub cpu_of: Option<String>,
 }
 
+/// A pool of dashboard readers over one continuous query
+/// (`readers <name> on <host> n=<count> via=<gw> query=<predicate>
+/// [every=<dur>]`).
+///
+/// At compile time the engine registers `query` as a materialized view
+/// on the gateway; every `every` period each of the `n` readers grabs
+/// the view's current snapshot — an `Arc` clone, never a rescan.  The
+/// per-pool counters feed the `served_from_views` and
+/// `reader_rate_flat` expectations: reader throughput must stay flat as
+/// `n` grows while archive scan counters stay at zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReaderDecl {
+    /// Pool name (also the registered view's name).
+    pub name: String,
+    /// Host the readers run on.
+    pub host: String,
+    /// Number of concurrent readers in the pool.
+    pub count: u64,
+    /// Gateway whose view they read.
+    pub via: String,
+    /// The continuous query's predicate text (no whitespace — the query
+    /// grammar is fully parenthesized).
+    pub query: String,
+    /// Read period per reader, microseconds (default 100 ms).
+    pub every_us: u64,
+}
+
 /// An archiver agent (`archiver <name> on <host> via=<gw>,...`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArchiverDecl {
@@ -341,6 +368,8 @@ pub struct ScenarioSpec {
     pub gateways: Vec<GatewayDecl>,
     /// Subscribing consumers.
     pub subscribers: Vec<SubscriberDecl>,
+    /// Dashboard reader pools over continuous queries.
+    pub readers: Vec<ReaderDecl>,
     /// Archiver agents.
     pub archivers: Vec<ArchiverDecl>,
     /// Sensor pumps.
@@ -364,6 +393,7 @@ impl Default for ScenarioSpec {
             flows: Vec::new(),
             gateways: Vec::new(),
             subscribers: Vec::new(),
+            readers: Vec::new(),
             archivers: Vec::new(),
             sensors: Vec::new(),
             timeline: Vec::new(),
@@ -399,6 +429,7 @@ impl ScenarioSpec {
                 "flow" => spec.flows.push(parse_flow(&mut p)?),
                 "gateway" => spec.gateways.push(parse_gateway(&mut p)?),
                 "subscriber" => spec.subscribers.push(parse_subscriber(&mut p)?),
+                "readers" => spec.readers.push(parse_readers(&mut p)?),
                 "archiver" => spec.archivers.push(parse_archiver(&mut p)?),
                 "sensors" => spec.sensors.push(parse_sensors(&mut p)?),
                 "at" => spec.timeline.push(parse_timeline(&mut p)?),
@@ -612,6 +643,45 @@ fn parse_subscriber(p: &mut LineParser<'_>) -> Result<SubscriberDecl, SpecError>
         }
     }
     Ok(s)
+}
+
+fn parse_readers(p: &mut LineParser<'_>) -> Result<ReaderDecl, SpecError> {
+    let (name, npos) = p.required("reader pool name")?;
+    let name = name.to_string();
+    let host = parse_on(p, "reader pool")?;
+    let mut r = ReaderDecl {
+        name,
+        host,
+        count: 0,
+        via: String::new(),
+        query: String::new(),
+        every_us: 100_000,
+    };
+    while let Some((tok, pos)) = p.next_token() {
+        let (key, value) = split_attr(tok, pos)?;
+        match key {
+            "n" => r.count = parse_u64(value, pos)?,
+            "via" => r.via = value.to_string(),
+            "query" => r.query = value.to_string(),
+            "every" => r.every_us = parse_duration(value, pos)?,
+            other => {
+                return Err(SpecError {
+                    pos,
+                    reason: format!("unknown readers attribute `{other}`"),
+                })
+            }
+        }
+    }
+    if r.count == 0 || r.via.is_empty() || r.query.is_empty() {
+        return Err(SpecError {
+            pos: npos,
+            reason: format!(
+                "readers `{}` need n=<count>, via=<gateway> and query=<predicate>",
+                r.name
+            ),
+        });
+    }
+    Ok(r)
 }
 
 fn parse_archiver(p: &mut LineParser<'_>) -> Result<ArchiverDecl, SpecError> {
@@ -1079,6 +1149,18 @@ impl fmt::Display for ScenarioSpec {
             }
             writeln!(f)?;
         }
+        for r in &self.readers {
+            writeln!(
+                f,
+                "readers {} on {} n={} via={} query={} every={}",
+                r.name,
+                r.host,
+                r.count,
+                r.via,
+                r.query,
+                fmt_dur(r.every_us)
+            )?;
+        }
         for a in &self.archivers {
             writeln!(
                 f,
@@ -1157,6 +1239,7 @@ flow bulk a.lbl.gov -> b.isi.edu port=7000 window=1m via=wan
 gateway gw on a.lbl.gov
 gateway gw2 on b.isi.edu qos=on retier=64 lag-enter=0.25 lag-exit=0.1 shed-enter=0.7 shed-exit=0.4 budget-probation=0.25
 subscriber viz on b.isi.edu via=gw drain=2ms capacity=512 cpu-of=b.isi.edu
+readers dash on b.isi.edu n=32 via=gw query=(&(type=CPU_TOTAL)(host=a.lbl.gov)) every=250ms
 archiver arch on a.lbl.gov via=gw
 sensors a.lbl.gov every=100ms via=gw
 sensors b.isi.edu every=100ms via=gw2 backoff=500ms summaries=10
@@ -1190,6 +1273,10 @@ at 45s replay arch via gw
         assert_eq!(q.probation_enter, None, "unset thresholds stay default");
         assert_eq!(spec.sensors[1].backoff_us, Some(500_000));
         assert_eq!(spec.sensors[1].summary_every, Some(10));
+        assert_eq!(spec.readers.len(), 1);
+        assert_eq!(spec.readers[0].count, 32);
+        assert_eq!(spec.readers[0].query, "(&(type=CPU_TOTAL)(host=a.lbl.gov))");
+        assert_eq!(spec.readers[0].every_us, 250_000);
         assert_eq!(spec.timeline.len(), 11);
         let rendered = spec.to_string();
         let again = ScenarioSpec::parse(&rendered).expect("round-trip parses");
@@ -1215,5 +1302,13 @@ at 45s replay arch via gw
     fn partition_requires_two_groups() {
         let err = ScenarioSpec::parse("at 1s partition {a}\n").unwrap_err();
         assert!(err.reason.contains("two"), "{}", err.reason);
+    }
+
+    #[test]
+    fn readers_require_count_gateway_and_query() {
+        let err = ScenarioSpec::parse("readers dash on h n=4 via=gw\n").unwrap_err();
+        assert!(err.reason.contains("query="), "{}", err.reason);
+        let err = ScenarioSpec::parse("readers dash on h via=gw query=(&)\n").unwrap_err();
+        assert!(err.reason.contains("n="), "{}", err.reason);
     }
 }

@@ -203,6 +203,25 @@ fn a_crashed_gateway_host_is_redialed_within_the_backoff_envelope() {
         .assert_ok();
 }
 
+/// Continuous-query dashboards: a small (n=4) and a big (n=32) reader
+/// pool poll the same materialized view.  Every read must be served
+/// from an incrementally-maintained snapshot (archive-scan fallback
+/// counter pinned at zero), per-reader throughput must stay flat as
+/// the pool grows 8x, and the archiver keeps filling the archive the
+/// whole time — views don't starve the cold tier.
+#[test]
+fn a_dashboard_pool_reads_views_without_archive_scans() {
+    let report = run("dashboard_readers.scn");
+    report
+        .expect()
+        .served_from_views("dash-small")
+        .served_from_views("dash-big")
+        .reader_rate_flat("dash-small", "dash-big")
+        .events_delivered_at_least("ops", 2_000)
+        .archived_at_least("keeper", 2_000)
+        .assert_ok();
+}
+
 /// Same spec + same seed => byte-identical analyser report.  The whole
 /// pipeline — fluid TCP, fault injection, gateway routing, self-lifeline
 /// timestamps (via the shared TraceClock), the diagnosis text — must be

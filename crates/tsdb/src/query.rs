@@ -1,7 +1,7 @@
 //! Plan-driven range scans and the streaming scan iterator.
 //!
 //! Since the query-plane refactor the storage engine answers compiled
-//! [`Plan`]s from `jamm_core::query`: the plan's pushdown [`Facts`] prune
+//! [`Plan`]s from `jamm_core::query`: the plan's pushdown [`Facts`](jamm_core::query::Facts) prune
 //! segments (via their catalogs) and pre-filter the merge sources, and the
 //! plan itself is the row-level matcher — the same evaluator the gateway's
 //! subscription filters and the directory's searches run.  [`TsdbQuery`]
@@ -17,10 +17,10 @@
 //! snapshot — are dropped immediately instead of being decoded and
 //! truncated afterwards.
 
-use jamm_core::query::{Facts, Plan, Predicate};
+use jamm_core::query::{Plan, Predicate};
 use jamm_ulm::{Event, SharedEvent, Timestamp};
 
-use crate::segment::SegmentCursor;
+use crate::segment::{ColMode, ColScan, SegmentCursor};
 
 /// A builder for the classic range-query shape (half-open time range,
 /// optional host / event-type restriction).  Compiles into a query-plane
@@ -86,11 +86,14 @@ impl TsdbQuery {
     }
 }
 
-/// One merge source: either the (facts-pre-filtered, pre-sorted) memtable
-/// snapshot or a lazily decoding segment cursor.
+/// One merge source: the (facts-pre-filtered, pre-sorted) memtable
+/// snapshot, a lazily decoding row-major segment cursor, or a batched
+/// columnar scan that filters with [`jamm_core::query::Plan::eval_batch`]
+/// before materializing anything.
 enum Source {
     Mem(std::vec::IntoIter<(u64, SharedEvent)>),
     Seg(SegmentCursor),
+    Col(Box<ColScan>),
 }
 
 /// A source plus its staged next item, for the k-way merge.
@@ -98,13 +101,19 @@ struct Peeked {
     source: Source,
     /// Next `(timestamp, seq, event)` this source will yield.
     head: Option<(Timestamp, u64, Event)>,
+    /// Whether heads from this source still need the row-at-a-time
+    /// `plan.eval` post-merge.  False only for columnar sources under
+    /// [`ColMode::Exact`], where the batch selection *is* the match set.
+    needs_eval: bool,
 }
 
 impl Peeked {
-    /// Stage the source's next facts-admissible event.  Only the cheap
-    /// pushdown facts apply here — the full plan (which may carry
-    /// per-series state) runs post-merge, in global time order.
-    fn advance(&mut self, facts: &Facts) {
+    /// Stage the source's next admissible event.  Memtable and row-major
+    /// segment sources filter by the cheap pushdown facts — the full plan
+    /// (which may carry per-series state) runs post-merge, in global time
+    /// order.  Columnar sources arrive pre-filtered by their batch pass.
+    fn advance(&mut self, plan: &Plan, mode: ColMode) {
+        let facts = plan.facts();
         self.head = loop {
             match &mut self.source {
                 Source::Mem(iter) => {
@@ -131,6 +140,11 @@ impl Peeked {
                         }
                     }
                 },
+                Source::Col(scan) => match scan.next_match(plan, mode) {
+                    None => break None,
+                    Some(Err(e)) => panic!("segment decode failed mid-scan: {e}"),
+                    Some(Ok((seq, e))) => break Some((e.timestamp, seq, e)),
+                },
             }
         };
     }
@@ -143,6 +157,8 @@ impl Peeked {
 /// can outlive the store lock it was created under.
 pub struct ScanIter {
     plan: Plan,
+    /// How columnar segments batch-filter for this plan (see [`ColMode`]).
+    mode: ColMode,
     sources: Vec<Peeked>,
     /// Results still allowed out under the plan's limit fact (`None` =
     /// unlimited).  Hitting zero drops every remaining source.
@@ -155,24 +171,45 @@ impl ScanIter {
         mem: Vec<(u64, SharedEvent)>,
         cursors: Vec<SegmentCursor>,
     ) -> ScanIter {
+        // Stateful plans must feed *every* facts-admissible row through
+        // the row evaluator in merge order (its per-series memory updates
+        // on evaluation, match or not), so their columnar batches filter
+        // by facts alone.  Stateless plans batch-filter with the full
+        // plan: exactly when every node is column-decidable, as a
+        // superset (re-checked post-merge) otherwise.
+        let mode = if plan.is_stateful() {
+            ColMode::FactsOnly
+        } else if plan.batch_definite() {
+            ColMode::Exact
+        } else {
+            ColMode::Superset
+        };
         let mut sources = Vec::with_capacity(cursors.len() + 1);
         sources.push(Peeked {
             source: Source::Mem(mem.into_iter()),
             head: None,
+            needs_eval: true,
         });
         for cursor in cursors {
+            let source = match cursor.segment().col_scan() {
+                Some(scan) => Source::Col(Box::new(scan)),
+                None => Source::Seg(cursor),
+            };
+            let needs_eval = !(matches!(source, Source::Col(_)) && mode == ColMode::Exact);
             sources.push(Peeked {
-                source: Source::Seg(cursor),
+                source,
                 head: None,
+                needs_eval,
             });
         }
         for s in &mut sources {
-            s.advance(plan.facts());
+            s.advance(&plan, mode);
         }
         sources.retain(|s| s.head.is_some());
         let remaining = plan.limit();
         let mut iter = ScanIter {
             plan,
+            mode,
             sources,
             remaining,
         };
@@ -200,13 +237,17 @@ impl Iterator for ScanIter {
                 })
                 .map(|(i, _)| i)?;
             let item = self.sources[min].head.take().expect("staged head");
-            self.sources[min].advance(self.plan.facts());
+            let needs_eval = self.sources[min].needs_eval;
+            self.sources[min].advance(&self.plan, self.mode);
             if self.sources[min].head.is_none() {
                 self.sources.swap_remove(min);
             }
             // The full plan runs post-merge so stateful predicates (e.g. an
             // on-change replay query) see the stream in global time order.
-            if !self.plan.eval(&item.2) {
+            // Rows from an exact columnar batch pass already *are* matches
+            // and skip the re-check (their plans are stateless, so no
+            // per-series memory is starved by skipping).
+            if needs_eval && !self.plan.eval(&item.2) {
                 continue;
             }
             if let Some(remaining) = &mut self.remaining {

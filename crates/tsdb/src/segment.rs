@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
 use jamm_core::intern::Sym;
-use jamm_core::query::Facts;
+use jamm_core::query::{BatchScratch, ColumnBatch, Facts, Plan, Selection};
 use jamm_ulm::{binary, Event, Timestamp, Value};
 
 use crate::codec::{
@@ -30,14 +30,22 @@ use crate::codec::{
 };
 use crate::{Result, TsdbError};
 
-/// Magic bytes opening a segment file.  `JSG2` added the catalog's
-/// maximum severity rank (level-floor pruning); `JSG1` files predate it
-/// and are still readable ([`Segment::from_bytes`] treats them as
-/// containing every level, so they are never level-pruned).
-pub const SEGMENT_MAGIC: &[u8; 4] = b"JSG2";
+/// Magic bytes opening a segment file.  `JSG3` lays the event stream out
+/// as per-field *columns* (see [`Segment`]); the previous row-major
+/// generations stay readable: `JSG2` added the catalog's maximum severity
+/// rank (level-floor pruning) and `JSG1` predates even that
+/// ([`Segment::from_bytes`] treats those as containing every level, so
+/// they are never level-pruned).  A `JSG`-prefixed magic this build does
+/// not know is reported as an unsupported *version* rather than
+/// corruption, so downgrading past a future format fails loudly and
+/// clearly.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"JSG3";
 
-/// Previous-generation magic: identical layout minus the catalog's
-/// `max_level` byte.
+/// Previous-generation row-major magic (still readable).
+pub const SEGMENT_MAGIC_V2: &[u8; 4] = b"JSG2";
+
+/// First-generation magic: identical to `JSG2` minus the catalog's
+/// `max_level` byte (still readable).
 pub const SEGMENT_MAGIC_V1: &[u8; 4] = b"JSG1";
 
 /// File extension of segment files inside a store directory.
@@ -129,6 +137,17 @@ impl SegmentCatalog {
 }
 
 /// An immutable sorted run of compressed events.
+///
+/// Newly built segments are **columnar** (`JSG3`): each event field lives
+/// in its own region — delta-of-delta timestamps, sequence deltas, level
+/// codes, host/program/type dictionary indices, a typed `f64` column for
+/// the conventional `VAL` reading (with presence bitmap), per-row field
+/// counts and key lists, and *sparse per-key columns* holding the
+/// remaining field payloads grouped by key.  A plan scan decodes the fixed
+/// columns a batch at a time, runs the vectorized
+/// [`jamm_core::query::Plan::eval_batch`] over them, and only
+/// *materializes* full [`Event`]s for rows that survive the filter (late
+/// materialization) — skipped rows pay varint skips, never a `String`.
 #[derive(Debug)]
 pub struct Segment {
     catalog: SegmentCatalog,
@@ -141,8 +160,79 @@ pub struct Segment {
     max_seq: u64,
     /// String dictionary referenced by the data stream.
     dict: Vec<String>,
-    /// The compressed event stream.
-    data: Vec<u8>,
+    /// The compressed event stream, row-major (legacy) or columnar.
+    repr: Repr,
+}
+
+/// The two on-disk generations of a segment's event stream.
+#[derive(Debug)]
+enum Repr {
+    /// `JSG1`/`JSG2` row-major stream: events concatenated field-by-field.
+    /// Read-compat only — new segments are never built in this shape.
+    Rows(Vec<u8>),
+    /// `JSG3` per-field columns.
+    Cols(Box<ColData>),
+}
+
+/// The encoded column regions of a `JSG3` segment.
+#[derive(Debug, Default)]
+struct ColData {
+    /// Timestamps: first row uvarint, second row uvarint delta, then
+    /// zigzag delta-of-delta varints.
+    ts: Vec<u8>,
+    /// Sequence numbers as zigzag deltas.
+    seqs: Vec<u8>,
+    /// One `binary::level_code` byte per row.
+    levels: Vec<u8>,
+    /// Host dictionary indices, uvarint per row.
+    host_ix: Vec<u8>,
+    /// Program dictionary indices, uvarint per row.
+    prog_ix: Vec<u8>,
+    /// Event-type dictionary indices, uvarint per row.
+    type_ix: Vec<u8>,
+    /// Bit `r%8` of byte `r/8` set when row `r` has a numeric `VAL`
+    /// reading (i.e. `Event::value()` is `Some`).
+    val_present: Vec<u8>,
+    /// Subset of `val_present`: rows whose *first* `VAL` field is a
+    /// `Value::Float` — those fields are omitted from the sparse columns
+    /// and reconstructed from the typed `vals` column on materialization.
+    val_float: Vec<u8>,
+    /// Packed little-endian `f64`, one per `val_present` row, in row order.
+    vals: Vec<u8>,
+    /// Per-row field count, uvarint per row.
+    nfields: Vec<u8>,
+    /// Per-row key list: field-key dictionary indices in field order,
+    /// row-major (`sum(nfields)` uvarints) — this is what preserves exact
+    /// field order and duplicate keys across the columnar split.
+    keys: Vec<u8>,
+    /// Sparse per-key value columns: `uvarint n_keys`, then per key
+    /// `uvarint key_ix, uvarint n_entries, uvarint byte_len, entries…`
+    /// where each entry is `tag + payload` in row order (same encoding as
+    /// the row-major generations).
+    sparse: Vec<u8>,
+}
+
+impl ColData {
+    fn total_bytes(&self) -> usize {
+        self.ts.len()
+            + self.seqs.len()
+            + self.levels.len()
+            + self.host_ix.len()
+            + self.prog_ix.len()
+            + self.type_ix.len()
+            + self.val_present.len()
+            + self.val_float.len()
+            + self.vals.len()
+            + self.nfields.len()
+            + self.keys.len()
+            + self.sparse.len()
+    }
+}
+
+/// Test a row bit in a `val_present`/`val_float` style bitmap.
+fn bitmap_get(bits: &[u8], row: usize) -> bool {
+    bits.get(row / 8)
+        .is_some_and(|b| b & (1u8 << (row % 8)) != 0)
 }
 
 impl Segment {
@@ -173,7 +263,14 @@ impl Segment {
             })
         };
         let mut value_index: HashMap<&str, u64> = HashMap::new();
-        let mut data = Vec::new();
+        let mut cols = ColData::default();
+        let nrows = sorted.len();
+        cols.val_present = vec![0u8; nrows.div_ceil(8)];
+        cols.val_float = vec![0u8; nrows.div_ceil(8)];
+        // Per-key sparse columns accumulate out of line and are stitched
+        // into the `sparse` region after the row loop; BTreeMap keeps the
+        // key directory in deterministic (dictionary-index) order.
+        let mut sparse_cols: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
         let mut prev_ts = 0u64;
         let mut prev_delta = 0u64;
         let mut prev_seq = 0u64;
@@ -183,46 +280,63 @@ impl Segment {
         let mut event_types: BTreeMap<String, usize> = BTreeMap::new();
         let mut series: BTreeMap<(String, String), usize> = BTreeMap::new();
         let mut max_level = 0u8;
-        for (i, (seq, e)) in sorted.iter().enumerate() {
+        for (r, (seq, e)) in sorted.iter().enumerate() {
             let e = e.borrow();
             let ts = e.timestamp.as_micros();
-            match i {
-                0 => put_uvarint(&mut data, ts),
+            match r {
+                0 => put_uvarint(&mut cols.ts, ts),
                 1 => {
                     let delta = ts.wrapping_sub(prev_ts);
-                    put_uvarint(&mut data, delta);
+                    put_uvarint(&mut cols.ts, delta);
                     prev_delta = delta;
                 }
                 _ => {
                     let delta = ts.wrapping_sub(prev_ts);
-                    put_ivarint(&mut data, delta.wrapping_sub(prev_delta) as i64);
+                    put_ivarint(&mut cols.ts, delta.wrapping_sub(prev_delta) as i64);
                     prev_delta = delta;
                 }
             }
             prev_ts = ts;
-            put_ivarint(&mut data, seq.wrapping_sub(prev_seq) as i64);
+            put_ivarint(&mut cols.seqs, seq.wrapping_sub(prev_seq) as i64);
             prev_seq = *seq;
             min_seq = min_seq.min(*seq);
             max_seq = max_seq.max(*seq);
-            data.push(binary::level_code(e.level));
+            cols.levels.push(binary::level_code(e.level));
             let host_ix = collect(&e.host, &mut dict, &mut sym_index);
-            put_uvarint(&mut data, host_ix);
+            put_uvarint(&mut cols.host_ix, host_ix);
             let prog_ix = collect(&e.program, &mut dict, &mut sym_index);
-            put_uvarint(&mut data, prog_ix);
+            put_uvarint(&mut cols.prog_ix, prog_ix);
             let ty_ix = collect(&e.event_type, &mut dict, &mut sym_index);
-            put_uvarint(&mut data, ty_ix);
-            put_uvarint(&mut data, e.fields.len() as u64);
+            put_uvarint(&mut cols.type_ix, ty_ix);
+            if let Some(v) = e.value() {
+                cols.val_present[r / 8] |= 1u8 << (r % 8);
+                cols.vals.extend_from_slice(&v.to_le_bytes());
+            }
+            put_uvarint(&mut cols.nfields, e.fields.len() as u64);
+            let mut saw_val = false;
             for (k, v) in &e.fields {
                 let key_ix = collect(k, &mut dict, &mut sym_index);
-                put_uvarint(&mut data, key_ix);
+                put_uvarint(&mut cols.keys, key_ix);
+                if !saw_val && k == jamm_ulm::keys::VALUE {
+                    saw_val = true;
+                    if matches!(v, Value::Float(_)) {
+                        // The typed `vals` column already holds exactly this
+                        // float (it is the first `VAL` field, which is what
+                        // `Event::value()` reads); don't store it twice.
+                        cols.val_float[r / 8] |= 1u8 << (r % 8);
+                        continue;
+                    }
+                }
+                let (count, data) = sparse_cols.entry(key_ix).or_default();
+                *count += 1;
                 match v {
                     Value::UInt(u) => {
                         data.push(TAG_UINT);
-                        put_uvarint(&mut data, *u);
+                        put_uvarint(data, *u);
                     }
                     Value::Int(s) => {
                         data.push(TAG_INT);
-                        put_ivarint(&mut data, *s);
+                        put_ivarint(data, *s);
                     }
                     Value::Float(f) => {
                         data.push(TAG_FLOAT);
@@ -246,7 +360,7 @@ impl Segment {
                                 dict.len() as u64 - 1
                             })
                         });
-                        put_uvarint(&mut data, str_ix);
+                        put_uvarint(data, str_ix);
                     }
                 }
             }
@@ -256,6 +370,13 @@ impl Segment {
                 .entry((e.host.clone(), e.event_type.clone()))
                 .or_insert(0) += 1;
             max_level = max_level.max(e.level.severity());
+        }
+        put_uvarint(&mut cols.sparse, sparse_cols.len() as u64);
+        for (key_ix, (count, data)) in &sparse_cols {
+            put_uvarint(&mut cols.sparse, *key_ix);
+            put_uvarint(&mut cols.sparse, *count);
+            put_uvarint(&mut cols.sparse, data.len() as u64);
+            cols.sparse.extend_from_slice(data);
         }
 
         Segment {
@@ -272,7 +393,7 @@ impl Segment {
             min_seq,
             max_seq,
             dict,
-            data,
+            repr: Repr::Cols(Box::new(cols)),
         }
     }
 
@@ -310,12 +431,25 @@ impl Segment {
     /// Size in bytes of the compressed event stream (excluding dictionary
     /// and catalog).
     pub fn data_bytes(&self) -> usize {
-        self.data.len()
+        match &self.repr {
+            Repr::Rows(data) => data.len(),
+            Repr::Cols(cols) => cols.total_bytes(),
+        }
     }
 
-    /// Serialize the segment to its file form.
+    /// True when the segment stores per-field columns (`JSG3`) rather than
+    /// a legacy row-major stream.
+    pub(crate) fn is_columnar(&self) -> bool {
+        matches!(self.repr, Repr::Cols(_))
+    }
+
+    /// Serialize the segment to its file form: `JSG3` for columnar
+    /// segments, `JSG2` for a loaded legacy row-major segment (so
+    /// re-serializing an old segment never silently re-encodes it; only a
+    /// rebuild through [`Segment::build`] — seal, compaction, retention —
+    /// upgrades the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(self.data.len() + 256);
+        let mut body = Vec::with_capacity(self.data_bytes() + 256);
         put_uvarint(&mut body, self.catalog.id);
         put_uvarint(&mut body, self.min_seq);
         put_uvarint(&mut body, self.max_seq);
@@ -343,11 +477,36 @@ impl Segment {
         for s in &self.dict {
             put_str(&mut body, s);
         }
-        put_uvarint(&mut body, self.data.len() as u64);
-        body.extend_from_slice(&self.data);
+        let magic = match &self.repr {
+            Repr::Rows(data) => {
+                put_uvarint(&mut body, data.len() as u64);
+                body.extend_from_slice(data);
+                SEGMENT_MAGIC_V2
+            }
+            Repr::Cols(cols) => {
+                for region in [
+                    &cols.ts,
+                    &cols.seqs,
+                    &cols.levels,
+                    &cols.host_ix,
+                    &cols.prog_ix,
+                    &cols.type_ix,
+                    &cols.val_present,
+                    &cols.val_float,
+                    &cols.vals,
+                    &cols.nfields,
+                    &cols.keys,
+                    &cols.sparse,
+                ] {
+                    put_uvarint(&mut body, region.len() as u64);
+                    body.extend_from_slice(region);
+                }
+                SEGMENT_MAGIC
+            }
+        };
 
         let mut out = Vec::with_capacity(body.len() + 12);
-        out.extend_from_slice(SEGMENT_MAGIC);
+        out.extend_from_slice(magic);
         out.extend_from_slice(&body);
         out.extend_from_slice(&fnv64(&body).to_le_bytes());
         out
@@ -361,10 +520,21 @@ impl Segment {
         if bytes.len() < 12 {
             return Err(TsdbError::Corrupt("bad segment magic"));
         }
-        let v1 = &bytes[..4] == SEGMENT_MAGIC_V1;
-        if !v1 && &bytes[..4] != SEGMENT_MAGIC {
-            return Err(TsdbError::Corrupt("bad segment magic"));
-        }
+        let version = match &bytes[..4] {
+            m if m == SEGMENT_MAGIC_V1 => 1u8,
+            m if m == SEGMENT_MAGIC_V2 => 2,
+            m if m == SEGMENT_MAGIC => 3,
+            m if &m[..3] == b"JSG" => {
+                // A future generation this build does not know: refuse with
+                // a version error, not a corruption error, so operators see
+                // "upgrade the reader" instead of "restore from backup".
+                return Err(TsdbError::Corrupt(
+                    "unsupported segment version (written by a newer build)",
+                ));
+            }
+            _ => return Err(TsdbError::Corrupt("bad segment magic")),
+        };
+        let v1 = version == 1;
         let body = &bytes[4..bytes.len() - 8];
         let stored = u64::from_le_bytes(
             bytes[bytes.len() - 8..]
@@ -413,10 +583,42 @@ impl Segment {
         for _ in 0..dict_len {
             dict.push(get_str(body, &mut pos)?);
         }
-        let data_len = get_uvarint(body, &mut pos)? as usize;
-        if body.len() - pos != data_len {
-            return Err(TsdbError::Corrupt("segment data length mismatch"));
-        }
+        let repr = if version <= 2 {
+            let data_len = get_uvarint(body, &mut pos)? as usize;
+            if body.len() - pos != data_len {
+                return Err(TsdbError::Corrupt("segment data length mismatch"));
+            }
+            Repr::Rows(body[pos..].to_vec())
+        } else {
+            let mut region = || -> Result<Vec<u8>> {
+                let len = get_uvarint(body, &mut pos)? as usize;
+                let end = pos
+                    .checked_add(len)
+                    .filter(|end| *end <= body.len())
+                    .ok_or(TsdbError::Corrupt("truncated column region"))?;
+                let bytes = body[pos..end].to_vec();
+                pos = end;
+                Ok(bytes)
+            };
+            let cols = ColData {
+                ts: region()?,
+                seqs: region()?,
+                levels: region()?,
+                host_ix: region()?,
+                prog_ix: region()?,
+                type_ix: region()?,
+                val_present: region()?,
+                val_float: region()?,
+                vals: region()?,
+                nfields: region()?,
+                keys: region()?,
+                sparse: region()?,
+            };
+            if pos != body.len() {
+                return Err(TsdbError::Corrupt("segment data length mismatch"));
+            }
+            Repr::Cols(Box::new(cols))
+        };
         Ok(Segment {
             catalog: SegmentCatalog {
                 id,
@@ -431,7 +633,7 @@ impl Segment {
             min_seq,
             max_seq,
             dict,
-            data: body[pos..].to_vec(),
+            repr,
         })
     }
 
@@ -469,10 +671,110 @@ impl Segment {
             state: CursorState::default(),
         }
     }
+
+    /// A batched columnar scan over this segment, or `None` when the
+    /// segment is a legacy row-major one (those scan through
+    /// [`Segment::cursor`] instead).
+    pub(crate) fn col_scan(self: &std::sync::Arc<Self>) -> Option<ColScan> {
+        self.is_columnar()
+            .then(|| ColScan::new(std::sync::Arc::clone(self)))
+    }
+
+    /// Build a segment in the legacy `JSG2` row-major shape — what PR 5-era
+    /// code wrote.  Test-only: it exists so compatibility tests can
+    /// produce genuine old-format fixtures (and exercise the row-major
+    /// scan path) now that [`Segment::build`] always emits columns.
+    #[cfg(test)]
+    pub(crate) fn build_rows_legacy<B: std::borrow::Borrow<Event>>(
+        id: u64,
+        sorted: &[(u64, B)],
+    ) -> Segment {
+        let columnar = Segment::build(id, sorted);
+        let mut data = Vec::new();
+        let mut dict: Vec<String> = Vec::new();
+        let mut sym_index: HashMap<Sym, u64> = HashMap::new();
+        let collect = |s: &str, dict: &mut Vec<String>, index: &mut HashMap<Sym, u64>| -> u64 {
+            let sym = Sym::intern(s);
+            *index.entry(sym).or_insert_with(|| {
+                dict.push(s.to_string());
+                dict.len() as u64 - 1
+            })
+        };
+        let mut value_index: HashMap<String, u64> = HashMap::new();
+        let mut prev_ts = 0u64;
+        let mut prev_delta = 0u64;
+        let mut prev_seq = 0u64;
+        for (i, (seq, e)) in sorted.iter().enumerate() {
+            let e = e.borrow();
+            let ts = e.timestamp.as_micros();
+            match i {
+                0 => put_uvarint(&mut data, ts),
+                1 => {
+                    let delta = ts.wrapping_sub(prev_ts);
+                    put_uvarint(&mut data, delta);
+                    prev_delta = delta;
+                }
+                _ => {
+                    let delta = ts.wrapping_sub(prev_ts);
+                    put_ivarint(&mut data, delta.wrapping_sub(prev_delta) as i64);
+                    prev_delta = delta;
+                }
+            }
+            prev_ts = ts;
+            put_ivarint(&mut data, seq.wrapping_sub(prev_seq) as i64);
+            prev_seq = *seq;
+            data.push(binary::level_code(e.level));
+            put_uvarint(&mut data, collect(&e.host, &mut dict, &mut sym_index));
+            put_uvarint(&mut data, collect(&e.program, &mut dict, &mut sym_index));
+            put_uvarint(&mut data, collect(&e.event_type, &mut dict, &mut sym_index));
+            put_uvarint(&mut data, e.fields.len() as u64);
+            for (k, v) in &e.fields {
+                put_uvarint(&mut data, collect(k, &mut dict, &mut sym_index));
+                match v {
+                    Value::UInt(u) => {
+                        data.push(TAG_UINT);
+                        put_uvarint(&mut data, *u);
+                    }
+                    Value::Int(s) => {
+                        data.push(TAG_INT);
+                        put_ivarint(&mut data, *s);
+                    }
+                    Value::Float(f) => {
+                        data.push(TAG_FLOAT);
+                        data.extend_from_slice(&f.to_le_bytes());
+                    }
+                    Value::Bool(b) => {
+                        data.push(TAG_BOOL);
+                        data.push(*b as u8);
+                    }
+                    Value::Str(s) => {
+                        data.push(TAG_STR);
+                        let identifier_slot =
+                            Sym::lookup(s).and_then(|sym| sym_index.get(&sym).copied());
+                        let str_ix = identifier_slot.unwrap_or_else(|| {
+                            *value_index.entry(s.clone()).or_insert_with(|| {
+                                dict.push(s.clone());
+                                dict.len() as u64 - 1
+                            })
+                        });
+                        put_uvarint(&mut data, str_ix);
+                    }
+                }
+            }
+        }
+        Segment {
+            catalog: columnar.catalog,
+            min_seq: columnar.min_seq,
+            max_seq: columnar.max_seq,
+            dict,
+            repr: Repr::Rows(data),
+        }
+    }
 }
 
 /// Streaming decoder over one segment's compressed data.  Yields events in
-/// `(timestamp, sequence)` order without materializing the segment.
+/// `(timestamp, sequence)` order without materializing the segment, and
+/// works over both the legacy row-major stream and the columnar layout.
 #[derive(Debug)]
 pub struct SegmentCursor {
     seg: std::sync::Arc<Segment>,
@@ -484,11 +786,60 @@ pub struct SegmentCursor {
 /// per-event `Arc` clone).
 #[derive(Debug, Default)]
 struct CursorState {
+    /// Row-major stream position (legacy repr only).
     pos: usize,
     decoded: usize,
     prev_ts: u64,
     prev_delta: u64,
     prev_seq: u64,
+    /// Columnar region positions, initialized on first decode of a
+    /// columnar segment.
+    cols: Option<Box<ColsPos>>,
+}
+
+/// Per-region decode positions for a columnar segment.
+#[derive(Debug, Default)]
+struct ColsPos {
+    ts: usize,
+    seqs: usize,
+    host: usize,
+    prog: usize,
+    ty: usize,
+    /// Byte offset into the packed `vals` column.
+    vals: usize,
+    nf: usize,
+    keys: usize,
+    /// Per-key cursor into the sparse region, keyed by dictionary index.
+    sparse: HashMap<u64, SparseCur>,
+}
+
+/// A cursor into one key's sparse value column.
+#[derive(Debug, Clone, Copy)]
+struct SparseCur {
+    pos: usize,
+    end: usize,
+}
+
+impl ColsPos {
+    /// Parse the sparse-region key directory into per-key cursors.
+    fn init(cols: &ColData) -> Result<ColsPos> {
+        let mut cp = ColsPos::default();
+        let data: &[u8] = &cols.sparse;
+        let mut pos = 0usize;
+        let n_keys = get_uvarint(data, &mut pos)? as usize;
+        for _ in 0..n_keys {
+            let key_ix = get_uvarint(data, &mut pos)?;
+            let _n_entries = get_uvarint(data, &mut pos)?;
+            let byte_len = get_uvarint(data, &mut pos)? as usize;
+            let end = pos
+                .checked_add(byte_len)
+                .filter(|end| *end <= data.len())
+                .ok_or(TsdbError::Corrupt("truncated sparse column"))?;
+            cp.sparse.insert(key_ix, SparseCur { pos, end });
+            pos = end;
+        }
+        Ok(cp)
+    }
 }
 
 impl SegmentCursor {
@@ -499,14 +850,25 @@ impl SegmentCursor {
         if self.state.decoded >= self.seg.len() {
             return None;
         }
-        Some(decode_event(&self.seg, &mut self.state))
+        Some(match &self.seg.repr {
+            Repr::Rows(_) => decode_event(&self.seg, &mut self.state),
+            Repr::Cols(_) => decode_event_cols(&self.seg, &mut self.state),
+        })
+    }
+
+    /// The segment this cursor reads.
+    pub(crate) fn segment(&self) -> &std::sync::Arc<Segment> {
+        &self.seg
     }
 }
 
-/// Decode one event from the segment's compressed stream, advancing the
-/// cursor state only on success.
+/// Decode one event from a legacy row-major stream, advancing the cursor
+/// state only on success.
 fn decode_event(seg: &Segment, st: &mut CursorState) -> Result<(u64, Event)> {
-    let data: &[u8] = &seg.data;
+    let data: &[u8] = match &seg.repr {
+        Repr::Rows(data) => data,
+        Repr::Cols(_) => unreachable!("row decode on a columnar segment"),
+    };
     let mut pos = st.pos;
     let ts = match st.decoded {
         0 => get_uvarint(data, &mut pos)?,
@@ -567,13 +929,418 @@ fn decode_event(seg: &Segment, st: &mut CursorState) -> Result<(u64, Event)> {
     ))
 }
 
-/// Resolve a dictionary reference from the data stream.
+/// Decode one event from the columnar regions, advancing every column
+/// position by one row.
+fn decode_event_cols(seg: &Segment, st: &mut CursorState) -> Result<(u64, Event)> {
+    let cols = match &seg.repr {
+        Repr::Cols(cols) => cols,
+        Repr::Rows(_) => unreachable!("column decode on a row-major segment"),
+    };
+    if st.cols.is_none() {
+        st.cols = Some(Box::new(ColsPos::init(cols)?));
+    }
+    let r = st.decoded;
+    let cp = st.cols.as_mut().expect("initialized above");
+    let ts = match r {
+        0 => get_uvarint(&cols.ts, &mut cp.ts)?,
+        1 => {
+            let delta = get_uvarint(&cols.ts, &mut cp.ts)?;
+            st.prev_delta = delta;
+            st.prev_ts.wrapping_add(delta)
+        }
+        _ => {
+            let dod = get_ivarint(&cols.ts, &mut cp.ts)?;
+            let delta = st.prev_delta.wrapping_add(dod as u64);
+            st.prev_delta = delta;
+            st.prev_ts.wrapping_add(delta)
+        }
+    };
+    st.prev_ts = ts;
+    let dseq = get_ivarint(&cols.seqs, &mut cp.seqs)?;
+    let seq = st.prev_seq.wrapping_add(dseq as u64);
+    st.prev_seq = seq;
+    let level = *cols
+        .levels
+        .get(r)
+        .ok_or(TsdbError::Corrupt("truncated level column"))?;
+    let level = binary::level_from_code(level).map_err(|_| TsdbError::Corrupt("bad level code"))?;
+    let host = dict_str(seg, &cols.host_ix, &mut cp.host)?;
+    let program = dict_str(seg, &cols.prog_ix, &mut cp.prog)?;
+    let event_type = dict_str(seg, &cols.type_ix, &mut cp.ty)?;
+    let val = if bitmap_get(&cols.val_present, r) {
+        Some(f64::from_le_bytes(get_bytes::<8>(
+            &cols.vals,
+            &mut cp.vals,
+        )?))
+    } else {
+        None
+    };
+    let val_is_float = bitmap_get(&cols.val_float, r);
+    let n_fields = get_uvarint(&cols.nfields, &mut cp.nf)? as usize;
+    let mut fields = Vec::with_capacity(n_fields);
+    let mut saw_val = false;
+    for _ in 0..n_fields {
+        let key_ix = get_uvarint(&cols.keys, &mut cp.keys)?;
+        let key = seg
+            .dict
+            .get(key_ix as usize)
+            .cloned()
+            .ok_or(TsdbError::Corrupt("dictionary index out of range"))?;
+        if !saw_val && key == jamm_ulm::keys::VALUE {
+            saw_val = true;
+            if val_is_float {
+                let v = val.ok_or(TsdbError::Corrupt("float VAL bit without typed value"))?;
+                fields.push((key, Value::Float(v)));
+                continue;
+            }
+        }
+        let cur = cp
+            .sparse
+            .get_mut(&key_ix)
+            .ok_or(TsdbError::Corrupt("missing sparse column"))?;
+        let value = read_sparse_value(seg, &cols.sparse, cur)?;
+        fields.push((key, value));
+    }
+    st.decoded += 1;
+    Ok((
+        seq,
+        Event {
+            timestamp: Timestamp::from_micros(ts),
+            host,
+            program,
+            level,
+            event_type,
+            fields,
+        },
+    ))
+}
+
+/// Read one `tag + payload` entry from a sparse column.
+fn read_sparse_value(seg: &Segment, data: &[u8], cur: &mut SparseCur) -> Result<Value> {
+    if cur.pos >= cur.end {
+        return Err(TsdbError::Corrupt("sparse column exhausted"));
+    }
+    let tag = data[cur.pos];
+    cur.pos += 1;
+    let value = match tag {
+        TAG_UINT => Value::UInt(get_uvarint(data, &mut cur.pos)?),
+        TAG_INT => Value::Int(get_ivarint(data, &mut cur.pos)?),
+        TAG_FLOAT => Value::Float(f64::from_le_bytes(get_bytes::<8>(data, &mut cur.pos)?)),
+        TAG_BOOL => {
+            let b = *data
+                .get(cur.pos)
+                .ok_or(TsdbError::Corrupt("truncated bool"))?;
+            cur.pos += 1;
+            Value::Bool(b != 0)
+        }
+        TAG_STR => Value::Str(dict_str(seg, data, &mut cur.pos)?),
+        _ => return Err(TsdbError::Corrupt("unknown value tag")),
+    };
+    Ok(value)
+}
+
+/// Skip one `tag + payload` entry in a sparse column — the late-
+/// materialization fast path for rows the filter rejected: no dictionary
+/// lookup, no `String`, just position arithmetic.
+fn skip_sparse_value(data: &[u8], cur: &mut SparseCur) -> Result<()> {
+    if cur.pos >= cur.end {
+        return Err(TsdbError::Corrupt("sparse column exhausted"));
+    }
+    let tag = data[cur.pos];
+    cur.pos += 1;
+    match tag {
+        TAG_UINT | TAG_STR => {
+            get_uvarint(data, &mut cur.pos)?;
+        }
+        TAG_INT => {
+            get_ivarint(data, &mut cur.pos)?;
+        }
+        TAG_FLOAT => {
+            get_bytes::<8>(data, &mut cur.pos)?;
+        }
+        TAG_BOOL => {
+            if cur.pos >= data.len() {
+                return Err(TsdbError::Corrupt("truncated bool"));
+            }
+            cur.pos += 1;
+        }
+        _ => return Err(TsdbError::Corrupt("unknown value tag")),
+    }
+    Ok(())
+}
+
+/// Resolve a dictionary reference from a data stream.
 fn dict_str(seg: &Segment, data: &[u8], pos: &mut usize) -> Result<String> {
     let idx = get_uvarint(data, pos)? as usize;
     seg.dict
         .get(idx)
         .cloned()
         .ok_or(TsdbError::Corrupt("dictionary index out of range"))
+}
+
+// ---------------------------------------------------------------------------
+// Batched columnar scan
+// ---------------------------------------------------------------------------
+
+/// How a [`ColScan`] filters each decoded batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColMode {
+    /// The plan's batch evaluation is exact ([`Plan::batch_definite`]):
+    /// selected rows *are* the matches, and the scan's merge loop skips
+    /// the row-at-a-time re-check for rows from this source.
+    Exact,
+    /// The plan carries attribute leaves the columns can't decide: batch
+    /// evaluation selects a superset, and survivors are re-checked
+    /// row-wise after materialization.
+    Superset,
+    /// The plan is stateful: batch-select by the pushdown [`Facts`] only,
+    /// so *every* facts-admissible row reaches the row evaluator in merge
+    /// order and per-series memory sees exactly the stream the row-
+    /// oriented scan would have fed it.
+    FactsOnly,
+}
+
+/// Rows per [`ColScan`] decode batch.
+const COL_BATCH: usize = 1024;
+
+/// A scan-optimized reader over one columnar segment: decodes the fixed
+/// columns a batch at a time into reusable buffers, evaluates the plan
+/// once per batch via [`Plan::eval_batch`], and materializes only the
+/// selected rows.
+#[derive(Debug)]
+pub struct ColScan {
+    seg: std::sync::Arc<Segment>,
+    state: CursorState,
+    /// Decoded fixed columns for the current batch (reused).
+    ts: Vec<u64>,
+    seqs: Vec<u64>,
+    level_codes: Vec<u8>,
+    levels_sev: Vec<u8>,
+    hosts: Vec<u32>,
+    progs: Vec<u32>,
+    types: Vec<u32>,
+    vals: Vec<f64>,
+    present: Vec<u64>,
+    floats: Vec<u64>,
+    sel: Selection,
+    scratch: BatchScratch,
+    /// Materialized matches awaiting the merge loop.
+    out: std::collections::VecDeque<(u64, Event)>,
+    done: bool,
+}
+
+impl ColScan {
+    fn new(seg: std::sync::Arc<Segment>) -> ColScan {
+        ColScan {
+            seg,
+            state: CursorState::default(),
+            ts: Vec::new(),
+            seqs: Vec::new(),
+            level_codes: Vec::new(),
+            levels_sev: Vec::new(),
+            hosts: Vec::new(),
+            progs: Vec::new(),
+            types: Vec::new(),
+            vals: Vec::new(),
+            present: Vec::new(),
+            floats: Vec::new(),
+            sel: Selection::new(),
+            scratch: BatchScratch::new(),
+            out: std::collections::VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// The next row surviving the batch filter, in `(timestamp, sequence)`
+    /// order; `None` when the segment (or the plan's time window) is
+    /// exhausted.
+    pub fn next_match(&mut self, plan: &Plan, mode: ColMode) -> Option<Result<(u64, Event)>> {
+        loop {
+            if let Some(hit) = self.out.pop_front() {
+                return Some(Ok(hit));
+            }
+            if self.done || self.state.decoded >= self.seg.len() {
+                return None;
+            }
+            if let Err(e) = self.fill_batch(plan, mode) {
+                self.done = true;
+                return Some(Err(e));
+            }
+        }
+    }
+
+    /// Decode one batch of fixed columns, filter it, and materialize the
+    /// survivors into `out`.
+    fn fill_batch(&mut self, plan: &Plan, mode: ColMode) -> Result<()> {
+        let seg = &*self.seg;
+        let cols = match &seg.repr {
+            Repr::Cols(cols) => cols,
+            Repr::Rows(_) => unreachable!("ColScan over a row-major segment"),
+        };
+        let st = &mut self.state;
+        if st.cols.is_none() {
+            st.cols = Some(Box::new(ColsPos::init(cols)?));
+        }
+        let base = st.decoded;
+        let n = (seg.len() - base).min(COL_BATCH);
+        let words = n.div_ceil(64);
+        self.ts.clear();
+        self.seqs.clear();
+        self.level_codes.clear();
+        self.levels_sev.clear();
+        self.hosts.clear();
+        self.progs.clear();
+        self.types.clear();
+        self.vals.clear();
+        self.present.clear();
+        self.present.resize(words, 0);
+        self.floats.clear();
+        self.floats.resize(words, 0);
+        {
+            let cp = st.cols.as_mut().expect("initialized above");
+            for i in 0..n {
+                let r = base + i;
+                let ts = match r {
+                    0 => get_uvarint(&cols.ts, &mut cp.ts)?,
+                    1 => {
+                        let delta = get_uvarint(&cols.ts, &mut cp.ts)?;
+                        st.prev_delta = delta;
+                        st.prev_ts.wrapping_add(delta)
+                    }
+                    _ => {
+                        let dod = get_ivarint(&cols.ts, &mut cp.ts)?;
+                        let delta = st.prev_delta.wrapping_add(dod as u64);
+                        st.prev_delta = delta;
+                        st.prev_ts.wrapping_add(delta)
+                    }
+                };
+                st.prev_ts = ts;
+                self.ts.push(ts);
+                let dseq = get_ivarint(&cols.seqs, &mut cp.seqs)?;
+                let seq = st.prev_seq.wrapping_add(dseq as u64);
+                st.prev_seq = seq;
+                self.seqs.push(seq);
+                let code = *cols
+                    .levels
+                    .get(r)
+                    .ok_or(TsdbError::Corrupt("truncated level column"))?;
+                self.level_codes.push(code);
+                let level = binary::level_from_code(code)
+                    .map_err(|_| TsdbError::Corrupt("bad level code"))?;
+                self.levels_sev.push(level.severity());
+                self.hosts
+                    .push(get_uvarint(&cols.host_ix, &mut cp.host)? as u32);
+                self.progs
+                    .push(get_uvarint(&cols.prog_ix, &mut cp.prog)? as u32);
+                self.types
+                    .push(get_uvarint(&cols.type_ix, &mut cp.ty)? as u32);
+                if bitmap_get(&cols.val_present, r) {
+                    self.present[i / 64] |= 1u64 << (i % 64);
+                    self.vals.push(f64::from_le_bytes(get_bytes::<8>(
+                        &cols.vals,
+                        &mut cp.vals,
+                    )?));
+                } else {
+                    self.vals.push(0.0);
+                }
+                if bitmap_get(&cols.val_float, r) {
+                    self.floats[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            st.decoded = base + n;
+        }
+
+        // Early stop: a sorted segment whose batch starts at or past the
+        // plan's exclusive upper time bound has nothing left to offer.
+        if let Some(to) = plan.facts().to_micros {
+            if self.ts.first().is_some_and(|first| *first >= to) {
+                self.done = true;
+                return Ok(());
+            }
+        }
+
+        let batch = ColumnBatch {
+            ts_micros: &self.ts,
+            host_ids: &self.hosts,
+            type_ids: &self.types,
+            levels: &self.levels_sev,
+            values: &self.vals,
+            val_present: &self.present,
+            dict: &seg.dict,
+        };
+        match mode {
+            ColMode::Exact | ColMode::Superset => {
+                plan.eval_batch(&batch, &mut self.sel, &mut self.scratch);
+            }
+            ColMode::FactsOnly => {
+                plan.facts()
+                    .eval_batch(&batch, &mut self.sel, &mut self.scratch);
+            }
+        }
+
+        // Late materialization: walk the rows in order (the key-list and
+        // sparse positions are strictly sequential), building an `Event`
+        // only for selected rows; rejected rows pay varint skips.
+        let cp = st.cols.as_mut().expect("initialized above");
+        for i in 0..n {
+            let n_fields = get_uvarint(&cols.nfields, &mut cp.nf)? as usize;
+            let selected = self.sel.contains(i);
+            let val_is_float = self.floats[i / 64] & (1u64 << (i % 64)) != 0;
+            let mut fields = if selected {
+                Vec::with_capacity(n_fields)
+            } else {
+                Vec::new()
+            };
+            let mut saw_val = false;
+            for _ in 0..n_fields {
+                let key_ix = get_uvarint(&cols.keys, &mut cp.keys)?;
+                let key_str = seg
+                    .dict
+                    .get(key_ix as usize)
+                    .ok_or(TsdbError::Corrupt("dictionary index out of range"))?;
+                if !saw_val && key_str == jamm_ulm::keys::VALUE {
+                    saw_val = true;
+                    if val_is_float {
+                        if selected {
+                            fields.push((key_str.clone(), Value::Float(self.vals[i])));
+                        }
+                        continue;
+                    }
+                }
+                let cur = cp
+                    .sparse
+                    .get_mut(&key_ix)
+                    .ok_or(TsdbError::Corrupt("missing sparse column"))?;
+                if selected {
+                    let value = read_sparse_value(seg, &cols.sparse, cur)?;
+                    fields.push((key_str.clone(), value));
+                } else {
+                    skip_sparse_value(&cols.sparse, cur)?;
+                }
+            }
+            if selected {
+                let dict_at = |ix: u32| -> Result<String> {
+                    seg.dict
+                        .get(ix as usize)
+                        .cloned()
+                        .ok_or(TsdbError::Corrupt("dictionary index out of range"))
+                };
+                self.out.push_back((
+                    self.seqs[i],
+                    Event {
+                        timestamp: Timestamp::from_micros(self.ts[i]),
+                        host: dict_at(self.hosts[i])?,
+                        program: dict_at(self.progs[i])?,
+                        level: binary::level_from_code(self.level_codes[i])
+                            .map_err(|_| TsdbError::Corrupt("bad level code"))?,
+                        event_type: dict_at(self.types[i])?,
+                        fields,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -723,7 +1490,8 @@ mod tests {
     #[test]
     fn legacy_jsg1_segments_still_load_and_are_never_level_pruned() {
         use jamm_core::query::Predicate;
-        let seg = Segment::build(7, &sorted_batch(25)); // all Usage level
+        // all Usage level; JSG2-shaped so stripping max_level yields JSG1
+        let seg = Segment::build_rows_legacy(7, &sorted_batch(25));
         let bytes = seg.to_bytes();
         // Re-encode as the previous generation: JSG1 magic, no max_level
         // byte (it sits right after the sixth leading varint), fresh
@@ -800,5 +1568,157 @@ mod tests {
         assert!(path.ends_with("seg-00000012.jseg"));
         let back = Segment::read_from_file(&path).unwrap();
         assert_eq!(back.catalog(), seg.catalog());
+    }
+
+    #[test]
+    fn jsg2_fixture_written_by_pr5_era_code_still_opens_and_scans() {
+        // `build_rows_legacy` reproduces the exact PR 5-era encoder, so
+        // its bytes are a faithful JSG2 fixture: JSG2 magic, row-major
+        // stream after the dictionary.
+        let batch = sorted_batch(40);
+        let legacy = Segment::build_rows_legacy(4, &batch);
+        let bytes = legacy.to_bytes();
+        assert_eq!(&bytes[..4], SEGMENT_MAGIC_V2);
+
+        let back = Arc::new(Segment::from_bytes(&bytes).expect("JSG2 stays readable"));
+        assert!(!back.is_columnar(), "legacy bytes load as row-major");
+        assert_eq!(back.catalog(), legacy.catalog());
+        // Events decode identically to the same batch built columnar.
+        let modern = Arc::new(Segment::build(4, &batch));
+        assert!(modern.is_columnar());
+        let mut a = back.cursor();
+        let mut b = modern.cursor();
+        while let Some(x) = a.next_event() {
+            assert_eq!(x.unwrap(), b.next_event().unwrap().unwrap());
+        }
+        assert!(b.next_event().is_none());
+        // Round-trips through a file like any current segment.
+        let dir = crate::test_util::TempDir::new("segment-jsg2");
+        std::fs::write(dir.path().join(Segment::file_name(4)), &bytes).unwrap();
+        let from_file = Segment::read_from_file(&dir.path().join(Segment::file_name(4))).unwrap();
+        assert_eq!(from_file.catalog(), legacy.catalog());
+        // Re-serializing a loaded legacy segment preserves its generation.
+        assert_eq!(&from_file.to_bytes()[..4], SEGMENT_MAGIC_V2);
+    }
+
+    #[test]
+    fn unknown_future_segment_version_errors_clearly() {
+        let mut bytes = Segment::build(1, &sorted_batch(5)).to_bytes();
+        assert_eq!(&bytes[..4], SEGMENT_MAGIC);
+        bytes[3] = b'9'; // "JSG9": a generation this build does not know
+        let err = Segment::from_bytes(&bytes).expect_err("future version");
+        assert!(
+            err.to_string().contains("unsupported segment version"),
+            "got {err}"
+        );
+        // Non-JSG garbage is still plain corruption, not a version error.
+        bytes[0] = b'X';
+        let err = Segment::from_bytes(&bytes).expect_err("garbage");
+        assert!(err.to_string().contains("bad segment magic"), "got {err}");
+    }
+
+    #[test]
+    fn columnar_round_trip_covers_field_shapes() {
+        // Duplicate keys, non-float VAL, float VAL, missing VAL, numeric
+        // string VAL, NaN-free mixed payloads — the shapes the sparse
+        // key columns and the typed-VAL reconstruction must preserve
+        // exactly, in order.
+        let mk = |t: u64, fields: Vec<(&str, Value)>| {
+            let mut b = Event::builder("prog", "h")
+                .event_type("T")
+                .timestamp(Timestamp::from_micros(t));
+            for (k, v) in fields {
+                b = b.field(k, v);
+            }
+            b.build()
+        };
+        let batch: Vec<(u64, Event)> = vec![
+            (
+                1,
+                mk(10, vec![("VAL", Value::Float(1.5)), ("N", Value::UInt(7))]),
+            ),
+            (
+                2,
+                mk(
+                    20,
+                    vec![("VAL", Value::UInt(9)), ("VAL", Value::Float(2.5))],
+                ),
+            ),
+            (
+                3,
+                mk(
+                    30,
+                    vec![("A", Value::Str("x".into())), ("A", Value::Str("y".into()))],
+                ),
+            ),
+            (
+                4,
+                mk(40, vec![("N", Value::Int(-3)), ("B", Value::Bool(true))]),
+            ),
+            (5, mk(50, vec![("VAL", Value::Str("4.25".into()))])),
+            (6, mk(60, vec![])),
+        ];
+        let seg = Arc::new(Segment::build(1, &batch));
+        // Sequential cursor reproduces every event bit-for-bit.
+        let mut cur = seg.cursor();
+        for (seq, e) in &batch {
+            let (got_seq, got) = cur.next_event().unwrap().unwrap();
+            assert_eq!((got_seq, &got), (*seq, e));
+        }
+        assert!(cur.next_event().is_none());
+        // File round trip preserves the columnar generation.
+        let back = Arc::new(Segment::from_bytes(&seg.to_bytes()).unwrap());
+        assert!(back.is_columnar());
+        let mut cur = back.cursor();
+        for (seq, e) in &batch {
+            let (got_seq, got) = cur.next_event().unwrap().unwrap();
+            assert_eq!((got_seq, &got), (*seq, e));
+        }
+    }
+
+    #[test]
+    fn col_scan_matches_cursor_under_every_mode() {
+        use jamm_core::query::Predicate;
+        let mut batch = sorted_batch(300);
+        batch[7].1.level = Level::Error;
+        let seg = Arc::new(Segment::build(1, &batch));
+        for (text, want_mode) in [
+            ("(&(host=h1)(type=CPU_TOTAL)(val>=30))", ColMode::Exact),
+            ("(&(host=h1)(PEER=mems.cairn.net))", ColMode::Superset),
+            ("(onchange)", ColMode::FactsOnly),
+        ] {
+            let plan = Predicate::parse(text).unwrap().compile();
+            let mode = if plan.is_stateful() {
+                ColMode::FactsOnly
+            } else if plan.batch_definite() {
+                ColMode::Exact
+            } else {
+                ColMode::Superset
+            };
+            assert_eq!(mode, want_mode, "{text}");
+            // Oracle: row-at-a-time over the sequential cursor with a
+            // fresh plan clone (fresh stateful memory).
+            let oracle_plan = plan.clone();
+            let mut cur = seg.cursor();
+            let mut want = Vec::new();
+            while let Some(item) = cur.next_event() {
+                let (seq, e) = item.unwrap();
+                if oracle_plan.facts().admits(&e) && oracle_plan.eval(&e) {
+                    want.push((seq, e));
+                }
+            }
+            // Columnar: batch filter + (except Exact) row re-check, the
+            // same shape ScanIter runs.
+            let mut scan = seg.col_scan().expect("columnar");
+            let col_plan = plan.clone();
+            let mut got = Vec::new();
+            while let Some(item) = scan.next_match(&col_plan, mode) {
+                let (seq, e) = item.unwrap();
+                if mode == ColMode::Exact || col_plan.eval(&e) {
+                    got.push((seq, e));
+                }
+            }
+            assert_eq!(got, want, "{text}");
+        }
     }
 }

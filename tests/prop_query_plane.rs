@@ -390,6 +390,177 @@ fn pruned_scan_equals_full_scan() {
     });
 }
 
+/// The columnar scan path (JSG3 segments batch-filtered through
+/// `Plan::eval_batch` / `Facts::eval_batch`) is behaviorally identical to
+/// the row-oriented oracle — a fresh plan fed every event in merge order —
+/// including *stateful* plans, whose per-series memory must see the same
+/// stream either way.  Timestamps are strictly increasing so merge order
+/// is the insertion order and stateful equivalence is exact, and the
+/// archive is randomly sealed/compacted mid-stream so events land in
+/// memtables, fresh segments, and compacted segments alike.
+#[test]
+fn columnar_scan_matches_row_oracle_for_stateful_plans() {
+    forall("columnar scan ≡ stateful row oracle", 48, |g| {
+        let archive = EventArchive::in_memory_with(TsdbOptions {
+            memtable_max_events: g.usize_in(4, 12),
+            small_segment_events: g.usize_in(6, 16),
+            sync_wal: false,
+        });
+        let n = g.usize_in(40, 150);
+        let mut all: Vec<Event> = Vec::new();
+        let mut ts = 0u64;
+        for _ in 0..n {
+            ts += 1 + g.u64(400_000);
+            let mut b = Event::builder("sensor", g.choice(&HOSTS))
+                .level(g.choice(&LEVELS))
+                .event_type(g.choice(&TYPES))
+                .timestamp(Timestamp::from_micros(ts));
+            if g.bool(0.8) {
+                b = b.value((g.u64(8) as f64) * 10.0);
+            }
+            let e = b.build();
+            archive.store(e.clone());
+            all.push(e);
+            if g.bool(0.05) {
+                archive.seal();
+            }
+            if g.bool(0.03) {
+                archive.compact();
+            }
+        }
+
+        // Stateful leaves key their memory by `(host, type)` series, so
+        // conjoining them only with host/type/val leaves keeps the oracle
+        // exact: rows the scan's pushdown facts exclude belong to foreign
+        // series and can never perturb the queried series' memory.
+        let queries = [
+            "(onchange)",
+            "(&(type=CPU_TOTAL)(onchange))",
+            "(&(host=dpss1.lbl.gov)(crosses=35))",
+            "(&(type=MEM_FREE)(relchange=0.2))",
+            "(&(host=mems.cairn.net)(type=CPU_TOTAL)(crosses=45))",
+            "(&(type=TCPD_RETRANSMITS)(val>=40)(onchange))",
+            "(&(type=CPU_TOTAL)(host=h4))",
+            "(&(level>=warning)(val>=40))",
+            "(|(type=PROC_DIED)(host=portnoy.lbl.gov))",
+        ];
+        let text = g.choice(&queries);
+        let pred = Predicate::parse(text).unwrap();
+
+        let got: Vec<Event> = archive.scan_plan(&pred.compile()).collect();
+        let oracle = pred.compile(); // fresh per-series memory
+        let want: Vec<Event> = all.iter().filter(|e| oracle.eval(*e)).cloned().collect();
+        let key = |e: &Event| format!("{e:?}");
+        assert_eq!(
+            got.iter().map(key).collect::<Vec<_>>(),
+            want.iter().map(key).collect::<Vec<_>>(),
+            "query {text} diverged from the row oracle"
+        );
+    });
+}
+
+/// `Plan::eval_batch` over a hand-built column batch agrees with per-row
+/// `Plan::eval`: exactly when the plan reports `batch_definite`, and as a
+/// conservative superset otherwise (stateful or attribute leaves) — and
+/// the definiteness flag it returns is precisely `batch_definite()`.
+#[test]
+fn eval_batch_agrees_with_row_eval() {
+    use jamm::jamm_core::query::{BatchScratch, ColumnBatch, Selection};
+
+    forall("eval_batch ≡ row eval", 96, |g| {
+        let n = g.usize_in(1, 200);
+        let events: Vec<Event> = (0..n).map(|_| random_event(g)).collect();
+
+        // Columnarize: dictionary-encode hosts/types, severity-rank the
+        // levels, split VAL into a dense column plus a presence bitmap —
+        // the same shape JSG3 segments decode into.
+        let mut dict: Vec<String> = Vec::new();
+        let id = |dict: &mut Vec<String>, s: &str| -> u32 {
+            match dict.iter().position(|d| d == s) {
+                Some(i) => i as u32,
+                None => {
+                    dict.push(s.to_string());
+                    (dict.len() - 1) as u32
+                }
+            }
+        };
+        let mut ts_micros = Vec::new();
+        let mut host_ids = Vec::new();
+        let mut type_ids = Vec::new();
+        let mut levels = Vec::new();
+        let mut values = Vec::new();
+        let mut val_present = vec![0u64; n.div_ceil(64)];
+        for (i, e) in events.iter().enumerate() {
+            ts_micros.push(e.timestamp.as_micros());
+            host_ids.push(id(&mut dict, &e.host));
+            type_ids.push(id(&mut dict, &e.event_type));
+            levels.push(e.level.severity());
+            match e.value() {
+                Some(v) => {
+                    values.push(v);
+                    val_present[i / 64] |= 1u64 << (i % 64);
+                }
+                None => values.push(0.0),
+            }
+        }
+        let batch = ColumnBatch {
+            ts_micros: &ts_micros,
+            host_ids: &host_ids,
+            type_ids: &type_ids,
+            levels: &levels,
+            values: &values,
+            val_present: &val_present,
+            dict: &dict,
+        };
+
+        let queries = [
+            "(&)",
+            "(host=dpss1.lbl.gov)",
+            "(|(type=CPU_TOTAL)(type=MEM_FREE))",
+            "(level>=warning)",
+            "(&(time>=5000000)(time<20000000))",
+            "(val>=40)",
+            "(!(val<30))",
+            "(&(host=mems.cairn.net)(|(level>=error)(val>=70)))",
+            "(onchange)",
+            "(&(type=CPU_TOTAL)(crosses=45))",
+            "(status=run*)",
+            "(&(host=h4)(relchange=0.25))",
+        ];
+        let text = g.choice(&queries);
+        let plan = Predicate::parse(text).unwrap().compile();
+
+        let mut sel = Selection::new();
+        let mut scratch = BatchScratch::new();
+        let definite = plan.eval_batch(&batch, &mut sel, &mut scratch);
+        assert_eq!(
+            definite,
+            plan.batch_definite(),
+            "definiteness flag disagrees with batch_definite() for {text}"
+        );
+        assert_eq!(sel.len(), n);
+
+        // The row oracle walks rows in batch order, so stateful memory
+        // sees the same stream a scan of this batch would feed it.
+        let oracle = Predicate::parse(text).unwrap().compile();
+        for (i, e) in events.iter().enumerate() {
+            let row = oracle.eval(e);
+            if definite {
+                assert_eq!(
+                    sel.contains(i),
+                    row,
+                    "definite batch disagrees with row eval at {i} for {text}: {e:?}"
+                );
+            } else if row {
+                assert!(
+                    sel.contains(i),
+                    "superset batch dropped matching row {i} for {text}: {e:?}"
+                );
+            }
+        }
+    });
+}
+
 /// Limit pushdown returns exactly the first `k` of the unlimited scan.
 #[test]
 fn limit_pushdown_is_a_prefix_of_the_full_result() {
